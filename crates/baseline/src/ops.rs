@@ -1,0 +1,256 @@
+//! Tuple-at-a-time operators.
+//!
+//! Each operator consumes one tuple and emits zero or more tuples through a
+//! virtual `process` call — the per-tuple dispatch cost that DataCell's
+//! bulk processing amortizes away.
+
+use std::collections::VecDeque;
+
+use datacell_bat::types::Value;
+
+/// One stream tuple: payload values plus an arrival timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Payload values.
+    pub values: Vec<Value>,
+    /// Arrival timestamp (engine-epoch microseconds).
+    pub ts: i64,
+}
+
+impl Tuple {
+    /// Convenience constructor.
+    pub fn new(values: Vec<Value>, ts: i64) -> Self {
+        Tuple { values, ts }
+    }
+}
+
+/// A tuple-at-a-time operator.
+pub trait Operator: Send {
+    /// Process one input tuple; push outputs into `out`.
+    fn process(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>);
+}
+
+/// Range selection on an integer column: `lo <= col <= hi`.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Tested column index.
+    pub column: usize,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Operator for Selection {
+    fn process(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        if let Some(v) = tuple.values.get(self.column).and_then(Value::as_int) {
+            if v >= self.lo && v <= self.hi {
+                out.push(tuple.clone());
+            }
+        }
+    }
+}
+
+/// Column projection.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Indices to keep, in output order.
+    pub columns: Vec<usize>,
+}
+
+impl Operator for Projection {
+    fn process(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let values = self
+            .columns
+            .iter()
+            .map(|&c| tuple.values.get(c).cloned().unwrap_or(Value::Nil))
+            .collect();
+        out.push(Tuple {
+            values,
+            ts: tuple.ts,
+        });
+    }
+}
+
+/// Arbitrary per-tuple transformation.
+pub struct MapOp<F: FnMut(&Tuple) -> Option<Tuple> + Send> {
+    f: F,
+}
+
+impl<F: FnMut(&Tuple) -> Option<Tuple> + Send> MapOp<F> {
+    /// Wrap a closure; returning `None` drops the tuple.
+    pub fn new(f: F) -> Self {
+        MapOp { f }
+    }
+}
+
+impl<F: FnMut(&Tuple) -> Option<Tuple> + Send> Operator for MapOp<F> {
+    fn process(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        if let Some(t) = (self.f)(tuple) {
+            out.push(t);
+        }
+    }
+}
+
+/// Which aggregate a [`SlidingAggregate`] maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineAgg {
+    /// Running sum.
+    Sum,
+    /// Tuple count.
+    Count,
+    /// Window maximum (recomputed over the buffer on expiry, as a real
+    /// tuple-engine must for non-invertible aggregates).
+    Max,
+}
+
+/// Per-tuple incremental sliding count-window aggregate over an int column.
+///
+/// The buffer holds the current window; every `slide`-th arrival emits the
+/// aggregate of the last `size` tuples. Sum/count update in O(1); max pays
+/// a scan when the maximum expires.
+pub struct SlidingAggregate {
+    /// Aggregated column.
+    pub column: usize,
+    size: usize,
+    slide: usize,
+    agg: BaselineAgg,
+    buffer: VecDeque<i64>,
+    since_emit: usize,
+    running_sum: i64,
+}
+
+impl SlidingAggregate {
+    /// Build a sliding aggregate (`slide <= size`).
+    pub fn new(column: usize, agg: BaselineAgg, size: usize, slide: usize) -> Self {
+        assert!(size > 0 && slide > 0 && slide <= size, "invalid window");
+        SlidingAggregate {
+            column,
+            size,
+            slide,
+            agg,
+            buffer: VecDeque::with_capacity(size + 1),
+            since_emit: 0,
+            running_sum: 0,
+        }
+    }
+}
+
+impl Operator for SlidingAggregate {
+    fn process(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let v = tuple
+            .values
+            .get(self.column)
+            .and_then(Value::as_int)
+            .unwrap_or(0);
+        self.buffer.push_back(v);
+        self.running_sum += v;
+        if self.buffer.len() > self.size {
+            if let Some(old) = self.buffer.pop_front() {
+                self.running_sum -= old;
+            }
+        }
+        self.since_emit += 1;
+        if self.buffer.len() == self.size && self.since_emit >= self.slide {
+            self.since_emit = 0;
+            let value = match self.agg {
+                BaselineAgg::Sum => self.running_sum,
+                BaselineAgg::Count => self.buffer.len() as i64,
+                BaselineAgg::Max => self.buffer.iter().copied().max().unwrap_or(0),
+            };
+            out.push(Tuple {
+                values: vec![Value::Int(value)],
+                ts: tuple.ts,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)], 0)
+    }
+
+    #[test]
+    fn selection_filters() {
+        let mut s = Selection {
+            column: 0,
+            lo: 2,
+            hi: 4,
+        };
+        let mut out = Vec::new();
+        for v in [1, 2, 3, 5] {
+            s.process(&t(v), &mut out);
+        }
+        let got: Vec<i64> = out.iter().map(|x| x.values[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn selection_drops_nil_and_missing() {
+        let mut s = Selection {
+            column: 0,
+            lo: 0,
+            hi: 10,
+        };
+        let mut out = Vec::new();
+        s.process(&Tuple::new(vec![Value::Nil], 0), &mut out);
+        s.process(&Tuple::new(vec![], 0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let mut p = Projection {
+            columns: vec![1, 0],
+        };
+        let mut out = Vec::new();
+        p.process(
+            &Tuple::new(vec![Value::Int(1), Value::Str("x".into())], 5),
+            &mut out,
+        );
+        assert_eq!(out[0].values, vec![Value::Str("x".into()), Value::Int(1)]);
+        assert_eq!(out[0].ts, 5);
+    }
+
+    #[test]
+    fn map_op_drops_on_none() {
+        let mut m = MapOp::new(|t: &Tuple| {
+            let v = t.values[0].as_int()?;
+            (v % 2 == 0).then(|| Tuple::new(vec![Value::Int(v * 10)], t.ts))
+        });
+        let mut out = Vec::new();
+        m.process(&t(1), &mut out);
+        m.process(&t(2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], Value::Int(20));
+    }
+
+    #[test]
+    fn sliding_sum_matches_oracle() {
+        let mut w = SlidingAggregate::new(0, BaselineAgg::Sum, 4, 2);
+        let data: Vec<i64> = (1..=10).collect();
+        let mut out = Vec::new();
+        for &v in &data {
+            w.process(&t(v), &mut out);
+        }
+        // Windows ending at positions 4, 6, 8, 10: sums 10, 18, 26, 34.
+        let got: Vec<i64> = out.iter().map(|x| x.values[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![10, 18, 26, 34]);
+    }
+
+    #[test]
+    fn sliding_max_handles_expiry() {
+        let mut w = SlidingAggregate::new(0, BaselineAgg::Max, 3, 1);
+        let mut out = Vec::new();
+        for v in [9, 1, 2, 3, 4] {
+            w.process(&t(v), &mut out);
+        }
+        let got: Vec<i64> = out.iter().map(|x| x.values[0].as_int().unwrap()).collect();
+        // Windows: [9,1,2]=9, [1,2,3]=3, [2,3,4]=4.
+        assert_eq!(got, vec![9, 3, 4]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Threaded wrapper: a receptor-like input channel feeding the tuple engine
+//! on its own thread, mirroring DataCell's topology so end-to-end latency
+//! comparisons are apples-to-apples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::engine::TupleEngine;
+use crate::ops::Tuple;
+
+/// Per-tuple latency accumulator shared with the caller.
+#[derive(Debug, Default)]
+pub struct BaselineMetrics {
+    /// Result tuples delivered.
+    pub delivered: AtomicU64,
+    /// Sum of (delivery − arrival) in µs.
+    pub latency_sum_micros: AtomicU64,
+}
+
+impl BaselineMetrics {
+    /// Mean latency in microseconds.
+    pub fn mean_latency_micros(&self) -> f64 {
+        let n = self.delivered.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.latency_sum_micros.load(Ordering::Relaxed) as f64 / n as f64
+    }
+}
+
+/// A running tuple-at-a-time engine on its own thread.
+pub struct ThreadedBaseline {
+    tx: Option<Sender<Tuple>>,
+    handle: Option<JoinHandle<TupleEngine>>,
+    metrics: Arc<BaselineMetrics>,
+}
+
+impl ThreadedBaseline {
+    /// Spawn the engine thread. `now_micros` supplies the delivery clock
+    /// (inject the DataCell clock for comparable numbers).
+    pub fn spawn(
+        mut engine: TupleEngine,
+        now_micros: impl Fn() -> i64 + Send + 'static,
+    ) -> Self {
+        let (tx, rx): (Sender<Tuple>, Receiver<Tuple>) = unbounded();
+        let metrics = Arc::new(BaselineMetrics::default());
+        let thread_metrics = Arc::clone(&metrics);
+        let handle = std::thread::Builder::new()
+            .name("baseline-engine".into())
+            .spawn(move || {
+                while let Ok(tuple) = rx.recv() {
+                    engine.push(&tuple);
+                    // Deliver: account latency per produced result.
+                    let now = now_micros();
+                    for qi in 0..engine.query_count() {
+                        for r in engine.query_mut(qi).drain_results() {
+                            thread_metrics.delivered.fetch_add(1, Ordering::Relaxed);
+                            thread_metrics
+                                .latency_sum_micros
+                                .fetch_add((now - r.ts).max(0) as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+                engine
+            })
+            .expect("spawn baseline engine");
+        ThreadedBaseline {
+            tx: Some(tx),
+            handle: Some(handle),
+            metrics,
+        }
+    }
+
+    /// The input channel.
+    pub fn sender(&self) -> Sender<Tuple> {
+        self.tx.as_ref().expect("not finished").clone()
+    }
+
+    /// Shared metrics.
+    pub fn metrics(&self) -> Arc<BaselineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Close the input and wait for the engine to drain; returns it.
+    pub fn finish(mut self) -> TupleEngine {
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .expect("not finished")
+            .join()
+            .expect("baseline engine thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Query;
+    use crate::ops::Selection;
+    use datacell_bat::types::Value;
+
+    #[test]
+    fn threaded_roundtrip() {
+        let mut engine = TupleEngine::new();
+        engine.add_query(Query::new(
+            "q",
+            vec![Box::new(Selection {
+                column: 0,
+                lo: 10,
+                hi: 100,
+            })],
+        ));
+        let rt = ThreadedBaseline::spawn(engine, || 1_000);
+        let tx = rt.sender();
+        let metrics = rt.metrics();
+        for v in [5i64, 50, 70] {
+            tx.send(Tuple::new(vec![Value::Int(v)], 100)).unwrap();
+        }
+        drop(tx);
+        let engine = rt.finish();
+        assert_eq!(engine.stats().tuples_in, 3);
+        assert_eq!(metrics.delivered.load(Ordering::Relaxed), 2);
+        assert!((metrics.mean_latency_micros() - 900.0).abs() < 1e-9);
+    }
+}

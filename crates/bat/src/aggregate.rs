@@ -1,0 +1,386 @@
+//! Aggregation kernels: scalar and grouped sum/count/min/max/avg.
+//!
+//! Nil values are skipped (SQL semantics): `COUNT(col)` counts non-nil rows,
+//! `SUM`/`MIN`/`MAX`/`AVG` over an all-nil (or empty) input yield nil.
+//! Integer sums overflow-check and report rather than wrap.
+
+use crate::bat::Bat;
+use crate::candidates::Candidates;
+use crate::column::Column;
+use crate::error::{BatError, Result};
+use crate::group::Grouping;
+use crate::types::{is_nil_float, is_nil_int, DataType, Value};
+
+/// Aggregate functions supported by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row/value count (`COUNT(*)` when `star`, else non-nil count).
+    Count {
+        /// True for `COUNT(*)` — count rows regardless of nil.
+        star: bool,
+    },
+    /// Sum of non-nil values.
+    Sum,
+    /// Minimum non-nil value.
+    Min,
+    /// Maximum non-nil value.
+    Max,
+    /// Mean of non-nil values (always float).
+    Avg,
+}
+
+impl AggFunc {
+    /// Output type of the aggregate given its input type.
+    pub fn output_type(self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count { .. } => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => {
+                if input == DataType::Float {
+                    DataType::Float
+                } else {
+                    DataType::Int
+                }
+            }
+            AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+
+    /// Short lowercase name for plans and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count { star: true } => "count(*)",
+            AggFunc::Count { star: false } => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// Streaming accumulator for one group; also the unit of the incremental
+/// basic-window model (summaries per sub-window, §3.1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    /// Rows seen (including nil).
+    pub rows: u64,
+    /// Non-nil values seen.
+    pub non_nil: u64,
+    /// Integer sum (valid when the input was integral).
+    pub sum_int: i64,
+    /// Float sum (always maintained, widened from ints).
+    pub sum_float: f64,
+    /// Minimum non-nil value.
+    pub min: Option<Value>,
+    /// Maximum non-nil value.
+    pub max: Option<Value>,
+    int_overflow: bool,
+}
+
+impl Accumulator {
+    /// Fresh empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one value in.
+    pub fn update(&mut self, v: &Value) {
+        self.rows += 1;
+        if v.is_nil() {
+            return;
+        }
+        self.non_nil += 1;
+        if let Some(i) = v.as_int() {
+            match self.sum_int.checked_add(i) {
+                Some(s) => self.sum_int = s,
+                None => self.int_overflow = true,
+            }
+        }
+        if let Some(f) = v.as_float() {
+            self.sum_float += f;
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v.total_cmp(m) == std::cmp::Ordering::Less => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v.total_cmp(m) == std::cmp::Ordering::Greater => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    /// Merge another accumulator (the basic-window "combine summaries" step).
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.rows += other.rows;
+        self.non_nil += other.non_nil;
+        match self.sum_int.checked_add(other.sum_int) {
+            Some(s) => self.sum_int = s,
+            None => self.int_overflow = true,
+        }
+        self.int_overflow |= other.int_overflow;
+        self.sum_float += other.sum_float;
+        if let Some(m) = &other.min {
+            match &self.min {
+                None => self.min = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur) == std::cmp::Ordering::Less => {
+                    self.min = Some(m.clone())
+                }
+                _ => {}
+            }
+        }
+        if let Some(m) = &other.max {
+            match &self.max {
+                None => self.max = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur) == std::cmp::Ordering::Greater => {
+                    self.max = Some(m.clone())
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Extract the aggregate value for `func` given the input type.
+    pub fn finish(&self, func: AggFunc, input: DataType) -> Result<Value> {
+        Ok(match func {
+            AggFunc::Count { star: true } => Value::Int(self.rows as i64),
+            AggFunc::Count { star: false } => Value::Int(self.non_nil as i64),
+            AggFunc::Sum => {
+                if self.non_nil == 0 {
+                    Value::Nil
+                } else if input == DataType::Float {
+                    Value::Float(self.sum_float)
+                } else {
+                    if self.int_overflow {
+                        return Err(BatError::Overflow("sum"));
+                    }
+                    Value::Int(self.sum_int)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Nil),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Nil),
+            AggFunc::Avg => {
+                if self.non_nil == 0 {
+                    Value::Nil
+                } else {
+                    Value::Float(self.sum_float / self.non_nil as f64)
+                }
+            }
+        })
+    }
+}
+
+/// Aggregate `bat` (restricted to `cand`) to a single value.
+pub fn scalar_agg(func: AggFunc, bat: &Bat, cand: Option<&Candidates>) -> Result<Value> {
+    // Fast numeric paths avoid Value boxing for the hot types.
+    match (bat.tail(), func) {
+        (Column::Int(v) | Column::Timestamp(v), AggFunc::Sum) => {
+            let mut sum = 0i64;
+            let mut any = false;
+            for p in iter_rows(bat.len(), cand)? {
+                let x = v[p];
+                if !is_nil_int(x) {
+                    sum = sum.checked_add(x).ok_or(BatError::Overflow("sum"))?;
+                    any = true;
+                }
+            }
+            return Ok(if any { Value::Int(sum) } else { Value::Nil });
+        }
+        (Column::Float(v), AggFunc::Sum) => {
+            let mut sum = 0f64;
+            let mut any = false;
+            for p in iter_rows(bat.len(), cand)? {
+                let x = v[p];
+                if !is_nil_float(x) {
+                    sum += x;
+                    any = true;
+                }
+            }
+            return Ok(if any { Value::Float(sum) } else { Value::Nil });
+        }
+        _ => {}
+    }
+    let mut acc = Accumulator::new();
+    for p in iter_rows(bat.len(), cand)? {
+        acc.update(&bat.get(p)?);
+    }
+    acc.finish(func, bat.data_type())
+}
+
+/// Grouped aggregation: one output value per group of `grouping`, in group
+/// id order. The `bat` must cover the positions in `grouping.rows`.
+pub fn grouped_agg(func: AggFunc, bat: &Bat, grouping: &Grouping) -> Result<Column> {
+    let mut accs = vec![Accumulator::new(); grouping.n_groups];
+    for (i, &p) in grouping.rows.iter().enumerate() {
+        if p >= bat.len() {
+            return Err(BatError::PositionOutOfRange {
+                pos: p,
+                len: bat.len(),
+            });
+        }
+        accs[grouping.ids[i]].update(&bat.get(p)?);
+    }
+    let out_ty = func.output_type(bat.data_type());
+    let mut col = Column::with_capacity(out_ty, grouping.n_groups);
+    for acc in &accs {
+        let v = acc.finish(func, bat.data_type())?;
+        col.push(&v)?;
+    }
+    Ok(col)
+}
+
+fn iter_rows(len: usize, cand: Option<&Candidates>) -> Result<Vec<usize>> {
+    match cand {
+        None => Ok((0..len).collect()),
+        Some(c) => {
+            let rows = c.to_positions();
+            if let Some(&bad) = rows.iter().find(|&&p| p >= len) {
+                return Err(BatError::PositionOutOfRange { pos: bad, len });
+            }
+            Ok(rows)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_by;
+
+    #[test]
+    fn scalar_sum_min_max_avg_count() {
+        let b = Bat::from_ints(vec![4, 1, 3, NIL_INT]);
+        assert_eq!(scalar_agg(AggFunc::Sum, &b, None).unwrap(), Value::Int(8));
+        assert_eq!(scalar_agg(AggFunc::Min, &b, None).unwrap(), Value::Int(1));
+        assert_eq!(scalar_agg(AggFunc::Max, &b, None).unwrap(), Value::Int(4));
+        assert_eq!(
+            scalar_agg(AggFunc::Avg, &b, None).unwrap(),
+            Value::Float(8.0 / 3.0)
+        );
+        assert_eq!(
+            scalar_agg(AggFunc::Count { star: false }, &b, None).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            scalar_agg(AggFunc::Count { star: true }, &b, None).unwrap(),
+            Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_nil_or_zero() {
+        let b = Bat::empty(DataType::Int);
+        assert_eq!(scalar_agg(AggFunc::Sum, &b, None).unwrap(), Value::Nil);
+        assert_eq!(scalar_agg(AggFunc::Min, &b, None).unwrap(), Value::Nil);
+        assert_eq!(scalar_agg(AggFunc::Avg, &b, None).unwrap(), Value::Nil);
+        assert_eq!(
+            scalar_agg(AggFunc::Count { star: true }, &b, None).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn scalar_with_candidates() {
+        let b = Bat::from_ints(vec![10, 20, 30]);
+        let c = Candidates::from_positions(vec![0, 2]).unwrap();
+        assert_eq!(
+            scalar_agg(AggFunc::Sum, &b, Some(&c)).unwrap(),
+            Value::Int(40)
+        );
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let b = Bat::from_ints(vec![i64::MAX, 1]);
+        assert_eq!(
+            scalar_agg(AggFunc::Sum, &b, None).unwrap_err(),
+            BatError::Overflow("sum")
+        );
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let keys = Bat::from_ints(vec![1, 2, 1, 2, 1]);
+        let vals = Bat::from_ints(vec![10, 20, 30, 40, NIL_INT]);
+        let g = group_by(&keys, None, None).unwrap();
+        let sums = grouped_agg(AggFunc::Sum, &vals, &g).unwrap();
+        assert_eq!(sums.as_ints().unwrap(), &[40, 60]);
+        let counts = grouped_agg(AggFunc::Count { star: false }, &vals, &g).unwrap();
+        assert_eq!(counts.as_ints().unwrap(), &[2, 2]);
+        let stars = grouped_agg(AggFunc::Count { star: true }, &vals, &g).unwrap();
+        assert_eq!(stars.as_ints().unwrap(), &[3, 2]);
+    }
+
+    #[test]
+    fn grouped_avg_is_float() {
+        let keys = Bat::from_ints(vec![1, 1, 2]);
+        let vals = Bat::from_ints(vec![1, 2, 9]);
+        let g = group_by(&keys, None, None).unwrap();
+        let avgs = grouped_agg(AggFunc::Avg, &vals, &g).unwrap();
+        assert_eq!(avgs.as_floats().unwrap(), &[1.5, 9.0]);
+    }
+
+    #[test]
+    fn grouped_min_max_strings() {
+        let keys = Bat::from_ints(vec![1, 1, 2]);
+        let vals = Bat::from_strs(&["pear", "apple", "kiwi"]);
+        let g = group_by(&keys, None, None).unwrap();
+        let mins = grouped_agg(AggFunc::Min, &vals, &g).unwrap();
+        assert_eq!(mins.get(0).unwrap(), Value::Str("apple".into()));
+        assert_eq!(mins.get(1).unwrap(), Value::Str("kiwi".into()));
+        let maxs = grouped_agg(AggFunc::Max, &vals, &g).unwrap();
+        assert_eq!(maxs.get(0).unwrap(), Value::Str("pear".into()));
+    }
+
+    #[test]
+    fn all_nil_group_yields_nil() {
+        let keys = Bat::from_ints(vec![1, 1]);
+        let vals = Bat::from_ints(vec![NIL_INT, NIL_INT]);
+        let g = group_by(&keys, None, None).unwrap();
+        let sums = grouped_agg(AggFunc::Sum, &vals, &g).unwrap();
+        assert_eq!(sums.get(0).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_bulk() {
+        let vals: Vec<i64> = (1..=10).collect();
+        let mut whole = Accumulator::new();
+        for v in &vals {
+            whole.update(&Value::Int(*v));
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for v in &vals[..4] {
+            left.update(&Value::Int(*v));
+        }
+        for v in &vals[4..] {
+            right.update(&Value::Int(*v));
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(
+            left.finish(AggFunc::Sum, DataType::Int).unwrap(),
+            Value::Int(55)
+        );
+        assert_eq!(
+            left.finish(AggFunc::Avg, DataType::Int).unwrap(),
+            Value::Float(5.5)
+        );
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggFunc::Avg.output_type(DataType::Int), DataType::Float);
+        assert_eq!(AggFunc::Sum.output_type(DataType::Int), DataType::Int);
+        assert_eq!(AggFunc::Sum.output_type(DataType::Float), DataType::Float);
+        assert_eq!(AggFunc::Min.output_type(DataType::Str), DataType::Str);
+        assert_eq!(
+            AggFunc::Count { star: true }.output_type(DataType::Str),
+            DataType::Int
+        );
+    }
+
+    use crate::types::NIL_INT;
+}

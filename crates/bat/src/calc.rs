@@ -1,0 +1,556 @@
+//! Element-wise kernels ("batcalc"): arithmetic, comparison and boolean
+//! logic over columns.
+//!
+//! All kernels propagate nil: any nil operand yields a nil result
+//! (three-valued logic for booleans). Division by zero yields nil rather
+//! than aborting — a continuous query must keep running when one tuple in a
+//! batch is degenerate; the paper's robustness argument (§2.2) favours
+//! treating such tuples as non-qualifying over killing the factory.
+//! Integer overflow, by contrast, is a hard error (silent wraparound would
+//! corrupt aggregates downstream).
+
+use crate::column::{Column, NIL_BOOL};
+use crate::error::{BatError, Result};
+use crate::select::CmpOp;
+use crate::types::{is_nil_float, is_nil_int, nil_float, DataType, Value, NIL_INT};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// Symbol for plan rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+
+    #[inline]
+    fn eval_i64(self, a: i64, b: i64) -> Result<i64> {
+        match self {
+            ArithOp::Add => a.checked_add(b).ok_or(BatError::Overflow("add")),
+            ArithOp::Sub => a.checked_sub(b).ok_or(BatError::Overflow("sub")),
+            ArithOp::Mul => a.checked_mul(b).ok_or(BatError::Overflow("mul")),
+            ArithOp::Div => {
+                if b == 0 {
+                    Ok(NIL_INT)
+                } else {
+                    a.checked_div(b).ok_or(BatError::Overflow("div"))
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    Ok(NIL_INT)
+                } else {
+                    a.checked_rem(b).ok_or(BatError::Overflow("mod"))
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn eval_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            // Float division by zero would give ±inf; nil keeps the policy
+            // uniform with the integer kernel.
+            ArithOp::Div => {
+                if b == 0.0 {
+                    nil_float()
+                } else {
+                    a / b
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0.0 {
+                    nil_float()
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Operand for the calc kernels: a column or a scalar broadcast across rows.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand<'a> {
+    /// Column operand.
+    Col(&'a Column),
+    /// Scalar operand, broadcast to every row.
+    Scalar(&'a Value),
+}
+
+impl Operand<'_> {
+    fn data_type(&self) -> Option<DataType> {
+        match self {
+            Operand::Col(c) => Some(c.data_type()),
+            Operand::Scalar(v) => v.data_type(),
+        }
+    }
+
+    fn len(&self) -> Option<usize> {
+        match self {
+            Operand::Col(c) => Some(c.len()),
+            Operand::Scalar(_) => None,
+        }
+    }
+
+    #[inline]
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            Operand::Col(c) => match c {
+                Column::Int(v) | Column::Timestamp(v) => v[i],
+                _ => NIL_INT,
+            },
+            Operand::Scalar(v) => v.as_int().unwrap_or(NIL_INT),
+        }
+    }
+
+    #[inline]
+    fn float_at(&self, i: usize) -> f64 {
+        match self {
+            Operand::Col(c) => match c {
+                Column::Float(v) => v[i],
+                Column::Int(v) | Column::Timestamp(v) => {
+                    if is_nil_int(v[i]) {
+                        nil_float()
+                    } else {
+                        v[i] as f64
+                    }
+                }
+                _ => nil_float(),
+            },
+            Operand::Scalar(v) => v.as_float().unwrap_or(nil_float()),
+        }
+    }
+}
+
+fn rows_of(a: &Operand<'_>, b: &Operand<'_>, op: &'static str) -> Result<usize> {
+    match (a.len(), b.len()) {
+        (Some(x), Some(y)) if x != y => Err(BatError::Misaligned {
+            op,
+            left: x,
+            right: y,
+        }),
+        (Some(x), _) => Ok(x),
+        (_, Some(y)) => Ok(y),
+        (None, None) => Err(BatError::Invalid(format!(
+            "{op}: at least one operand must be a column"
+        ))),
+    }
+}
+
+/// Element-wise arithmetic. Output is `Int` when both operands are integral
+/// (`Timestamp` arithmetic yields `Int` durations), `Float` when either side
+/// is float.
+pub fn arith(op: ArithOp, a: Operand<'_>, b: Operand<'_>) -> Result<Column> {
+    let n = rows_of(&a, &b, "arith")?;
+    let ta = a.data_type();
+    let tb = b.data_type();
+    let float = matches!(ta, Some(DataType::Float)) || matches!(tb, Some(DataType::Float));
+    let ok = |t: Option<DataType>| {
+        t.is_none()
+            || matches!(
+                t,
+                Some(DataType::Int) | Some(DataType::Float) | Some(DataType::Timestamp)
+            )
+    };
+    if !ok(ta) || !ok(tb) {
+        return Err(BatError::TypeMismatch {
+            op: "arith",
+            expected: "numeric",
+            got: ta.or(tb).map(|t| t.name()).unwrap_or("nil"),
+        });
+    }
+    if float {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (x, y) = (a.float_at(i), b.float_at(i));
+            if is_nil_float(x) || is_nil_float(y) {
+                out.push(nil_float());
+            } else {
+                out.push(op.eval_f64(x, y));
+            }
+        }
+        Ok(Column::Float(out))
+    } else {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (x, y) = (a.int_at(i), b.int_at(i));
+            if is_nil_int(x) || is_nil_int(y) {
+                out.push(NIL_INT);
+            } else {
+                out.push(op.eval_i64(x, y)?);
+            }
+        }
+        Ok(Column::Int(out))
+    }
+}
+
+/// Element-wise comparison producing a tri-state boolean column
+/// (nil operand → nil result).
+pub fn compare(op: CmpOp, a: Operand<'_>, b: Operand<'_>) -> Result<Column> {
+    let n = rows_of(&a, &b, "compare")?;
+    // String comparison path.
+    let str_side = |o: &Operand<'_>| matches!(o.data_type(), Some(DataType::Str));
+    if str_side(&a) || str_side(&b) {
+        if !(str_side(&a) || a.data_type().is_none()) || !(str_side(&b) || b.data_type().is_none())
+        {
+            return Err(BatError::TypeMismatch {
+                op: "compare",
+                expected: "str",
+                got: "mixed",
+            });
+        }
+        let get = |o: &Operand<'_>, i: usize| -> Option<String> {
+            match o {
+                Operand::Col(c) => match c.get(i).ok()? {
+                    Value::Str(s) => Some(s),
+                    _ => None,
+                },
+                Operand::Scalar(v) => v.as_str().map(str::to_string),
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match (get(&a, i), get(&b, i)) {
+                (Some(x), Some(y)) => out.push(i8::from(op.eval(x.cmp(&y)))),
+                _ => out.push(NIL_BOOL),
+            }
+        }
+        return Ok(Column::Bool(out));
+    }
+    // Boolean equality path.
+    let bool_side = |o: &Operand<'_>| matches!(o.data_type(), Some(DataType::Bool));
+    if bool_side(&a) || bool_side(&b) {
+        let get = |o: &Operand<'_>, i: usize| -> i8 {
+            match o {
+                Operand::Col(c) => match c {
+                    Column::Bool(v) => v[i],
+                    _ => NIL_BOOL,
+                },
+                Operand::Scalar(v) => v.as_bool().map_or(NIL_BOOL, i8::from),
+            }
+        };
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (x, y) = (get(&a, i), get(&b, i));
+            if !(0..=1).contains(&x) || !(0..=1).contains(&y) {
+                out.push(NIL_BOOL);
+            } else {
+                out.push(i8::from(op.eval(x.cmp(&y))));
+            }
+        }
+        return Ok(Column::Bool(out));
+    }
+    // Numeric path (ints compare exactly unless a float is involved).
+    let float = matches!(a.data_type(), Some(DataType::Float))
+        || matches!(b.data_type(), Some(DataType::Float));
+    let mut out = Vec::with_capacity(n);
+    if float {
+        for i in 0..n {
+            let (x, y) = (a.float_at(i), b.float_at(i));
+            if is_nil_float(x) || is_nil_float(y) {
+                out.push(NIL_BOOL);
+            } else {
+                out.push(i8::from(op.eval(x.total_cmp(&y))));
+            }
+        }
+    } else {
+        for i in 0..n {
+            let (x, y) = (a.int_at(i), b.int_at(i));
+            if is_nil_int(x) || is_nil_int(y) {
+                out.push(NIL_BOOL);
+            } else {
+                out.push(i8::from(op.eval(x.cmp(&y))));
+            }
+        }
+    }
+    Ok(Column::Bool(out))
+}
+
+/// Three-valued AND: false dominates nil.
+pub fn and(a: &Column, b: &Column) -> Result<Column> {
+    let (x, y) = bool_pair(a, b, "and")?;
+    Ok(Column::Bool(
+        x.iter()
+            .zip(y)
+            .map(|(&p, &q)| match (tri(p), tri(q)) {
+                (Some(false), _) | (_, Some(false)) => 0,
+                (Some(true), Some(true)) => 1,
+                _ => NIL_BOOL,
+            })
+            .collect(),
+    ))
+}
+
+/// Three-valued OR: true dominates nil.
+pub fn or(a: &Column, b: &Column) -> Result<Column> {
+    let (x, y) = bool_pair(a, b, "or")?;
+    Ok(Column::Bool(
+        x.iter()
+            .zip(y)
+            .map(|(&p, &q)| match (tri(p), tri(q)) {
+                (Some(true), _) | (_, Some(true)) => 1,
+                (Some(false), Some(false)) => 0,
+                _ => NIL_BOOL,
+            })
+            .collect(),
+    ))
+}
+
+/// Three-valued NOT: nil stays nil.
+pub fn not(a: &Column) -> Result<Column> {
+    let x = a.as_bools()?;
+    Ok(Column::Bool(
+        x.iter()
+            .map(|&p| match tri(p) {
+                Some(true) => 0,
+                Some(false) => 1,
+                None => NIL_BOOL,
+            })
+            .collect(),
+    ))
+}
+
+/// Arithmetic negation.
+pub fn neg(a: &Column) -> Result<Column> {
+    match a {
+        Column::Int(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            for &x in v {
+                if is_nil_int(x) {
+                    out.push(NIL_INT);
+                } else {
+                    out.push(x.checked_neg().ok_or(BatError::Overflow("neg"))?);
+                }
+            }
+            Ok(Column::Int(out))
+        }
+        Column::Float(v) => Ok(Column::Float(
+            v.iter()
+                .map(|&x| if is_nil_float(x) { nil_float() } else { -x })
+                .collect(),
+        )),
+        other => Err(BatError::TypeMismatch {
+            op: "neg",
+            expected: "numeric",
+            got: other.data_type().name(),
+        }),
+    }
+}
+
+/// Positions where a tri-state boolean column is exactly `true`
+/// (the WHERE-clause contract: nil and false both filter out).
+pub fn true_candidates(a: &Column) -> Result<crate::candidates::Candidates> {
+    let x = a.as_bools()?;
+    let mut out = Vec::new();
+    for (i, &v) in x.iter().enumerate() {
+        if v == 1 {
+            out.push(i);
+        }
+    }
+    Ok(crate::candidates::Candidates::from_sorted_unchecked(out))
+}
+
+#[inline]
+fn tri(v: i8) -> Option<bool> {
+    match v {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn bool_pair<'a>(a: &'a Column, b: &'a Column, op: &'static str) -> Result<(&'a [i8], &'a [i8])> {
+    let x = a.as_bools()?;
+    let y = b.as_bools()?;
+    if x.len() != y.len() {
+        return Err(BatError::Misaligned {
+            op,
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    Ok((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icol(v: Vec<i64>) -> Column {
+        Column::Int(v)
+    }
+
+    #[test]
+    fn add_col_col() {
+        let a = icol(vec![1, 2, NIL_INT]);
+        let b = icol(vec![10, 20, 30]);
+        let c = arith(ArithOp::Add, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Int(11));
+        assert_eq!(c.get(1).unwrap(), Value::Int(22));
+        assert_eq!(c.get(2).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn arith_col_scalar_broadcast() {
+        let a = icol(vec![1, 2, 3]);
+        let c = arith(ArithOp::Mul, Operand::Col(&a), Operand::Scalar(&Value::Int(5))).unwrap();
+        assert_eq!(c.as_ints().unwrap(), &[5, 10, 15]);
+        let d = arith(ArithOp::Sub, Operand::Scalar(&Value::Int(10)), Operand::Col(&a)).unwrap();
+        assert_eq!(d.as_ints().unwrap(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let a = icol(vec![1, 2]);
+        let b = Column::Float(vec![0.5, 0.25]);
+        let c = arith(ArithOp::Add, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(c.as_floats().unwrap(), &[1.5, 2.25]);
+    }
+
+    #[test]
+    fn division_by_zero_yields_nil() {
+        let a = icol(vec![10, 10]);
+        let b = icol(vec![2, 0]);
+        let c = arith(ArithOp::Div, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Int(5));
+        assert_eq!(c.get(1).unwrap(), Value::Nil);
+        let f = arith(
+            ArithOp::Div,
+            Operand::Scalar(&Value::Float(1.0)),
+            Operand::Col(&icol(vec![0])),
+        )
+        .unwrap();
+        assert_eq!(f.get(0).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let a = icol(vec![i64::MAX]);
+        let b = icol(vec![1]);
+        assert_eq!(
+            arith(ArithOp::Add, Operand::Col(&a), Operand::Col(&b)).unwrap_err(),
+            BatError::Overflow("add")
+        );
+    }
+
+    #[test]
+    fn misaligned_is_error() {
+        let a = icol(vec![1, 2]);
+        let b = icol(vec![1]);
+        assert!(matches!(
+            arith(ArithOp::Add, Operand::Col(&a), Operand::Col(&b)).unwrap_err(),
+            BatError::Misaligned { .. }
+        ));
+    }
+
+    #[test]
+    fn arith_rejects_strings() {
+        let a = Column::from_strs(&["x"]);
+        let b = icol(vec![1]);
+        assert!(arith(ArithOp::Add, Operand::Col(&a), Operand::Col(&b)).is_err());
+    }
+
+    #[test]
+    fn compare_numeric_with_nil() {
+        let a = icol(vec![1, 5, NIL_INT]);
+        let c = compare(CmpOp::Gt, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Bool(false));
+        assert_eq!(c.get(1).unwrap(), Value::Bool(true));
+        assert_eq!(c.get(2).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn compare_strings() {
+        let a = Column::from_strs(&["apple", "pear"]);
+        let c = compare(
+            CmpOp::Lt,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Str("kiwi".into())),
+        )
+        .unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Bool(true));
+        assert_eq!(c.get(1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn compare_bools() {
+        let a = Column::from_bools(vec![true, false]);
+        let c = compare(
+            CmpOp::Eq,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Bool(true)),
+        )
+        .unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Bool(true));
+        assert_eq!(c.get(1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        let t = Column::Bool(vec![1, 1, 1, 0, 0, 0, NIL_BOOL, NIL_BOOL, NIL_BOOL]);
+        let u = Column::Bool(vec![1, 0, NIL_BOOL, 1, 0, NIL_BOOL, 1, 0, NIL_BOOL]);
+        let a = and(&t, &u).unwrap();
+        assert_eq!(
+            a.as_bools().unwrap(),
+            &[1, 0, NIL_BOOL, 0, 0, 0, NIL_BOOL, 0, NIL_BOOL]
+        );
+        let o = or(&t, &u).unwrap();
+        assert_eq!(
+            o.as_bools().unwrap(),
+            &[1, 1, 1, 1, 0, NIL_BOOL, 1, NIL_BOOL, NIL_BOOL]
+        );
+        let n = not(&u).unwrap();
+        assert_eq!(
+            n.as_bools().unwrap(),
+            &[0, 1, NIL_BOOL, 0, 1, NIL_BOOL, 0, 1, NIL_BOOL]
+        );
+    }
+
+    #[test]
+    fn true_candidates_filters_nil_and_false() {
+        let c = Column::Bool(vec![1, 0, NIL_BOOL, 1]);
+        assert_eq!(true_candidates(&c).unwrap().to_positions(), vec![0, 3]);
+    }
+
+    #[test]
+    fn negate() {
+        let a = icol(vec![1, -2, NIL_INT]);
+        let n = neg(&a).unwrap();
+        assert_eq!(n.get(0).unwrap(), Value::Int(-1));
+        assert_eq!(n.get(1).unwrap(), Value::Int(2));
+        assert_eq!(n.get(2).unwrap(), Value::Nil);
+        let f = neg(&Column::Float(vec![2.5])).unwrap();
+        assert_eq!(f.get(0).unwrap(), Value::Float(-2.5));
+        assert!(neg(&Column::from_strs(&["x"])).is_err());
+    }
+
+    #[test]
+    fn timestamp_minus_timestamp_gives_int() {
+        let a = Column::from_timestamps(vec![1000, 2000]);
+        let b = Column::from_timestamps(vec![400, 500]);
+        let c = arith(ArithOp::Sub, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(c.as_ints().unwrap(), &[600, 1500]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Candidate lists: the selection vectors threaded through every kernel.
+//!
+//! MonetDB composes selections by passing *candidate lists* — sorted lists of
+//! qualifying positions — from one operator to the next, avoiding early
+//! materialization. We mirror that with a compact two-variant representation:
+//! a dense range (the common "everything qualifies" case costs two words) or
+//! an explicit sorted position list.
+
+use std::ops::Range;
+
+use crate::error::{BatError, Result};
+
+/// A sorted set of row positions into some BAT.
+///
+/// Invariant: `Positions` vectors are strictly ascending. All constructors
+/// and combinators preserve this; [`Candidates::from_positions`] checks it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Candidates {
+    /// Every position in `range` qualifies.
+    Dense(Range<usize>),
+    /// Exactly these positions qualify (strictly ascending).
+    Positions(Vec<usize>),
+}
+
+impl Candidates {
+    /// All positions of a BAT of length `len`.
+    pub fn all(len: usize) -> Self {
+        Candidates::Dense(0..len)
+    }
+
+    /// The empty candidate list.
+    pub fn none() -> Self {
+        Candidates::Dense(0..0)
+    }
+
+    /// Build from an explicit position list, verifying strict ascent.
+    pub fn from_positions(pos: Vec<usize>) -> Result<Self> {
+        if pos.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(BatError::Invalid(
+                "candidate positions must be strictly ascending".into(),
+            ));
+        }
+        Ok(Candidates::Positions(pos))
+    }
+
+    /// Build from a position list known (by construction) to be ascending.
+    ///
+    /// Debug builds still verify the invariant.
+    pub fn from_sorted_unchecked(pos: Vec<usize>) -> Self {
+        debug_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        Candidates::Positions(pos)
+    }
+
+    /// Number of qualifying positions.
+    pub fn len(&self) -> usize {
+        match self {
+            Candidates::Dense(r) => r.len(),
+            Candidates::Positions(p) => p.len(),
+        }
+    }
+
+    /// True iff nothing qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff this is a dense range (kernels take a faster path).
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Candidates::Dense(_))
+    }
+
+    /// The `i`-th qualifying position.
+    pub fn get(&self, i: usize) -> Option<usize> {
+        match self {
+            Candidates::Dense(r) => {
+                let p = r.start.checked_add(i)?;
+                (p < r.end).then_some(p)
+            }
+            Candidates::Positions(p) => p.get(i).copied(),
+        }
+    }
+
+    /// Membership test (binary search on position lists).
+    pub fn contains(&self, pos: usize) -> bool {
+        match self {
+            Candidates::Dense(r) => r.contains(&pos),
+            Candidates::Positions(p) => p.binary_search(&pos).is_ok(),
+        }
+    }
+
+    /// Iterate qualifying positions in ascending order.
+    pub fn iter(&self) -> CandIter<'_> {
+        match self {
+            Candidates::Dense(r) => CandIter::Dense(r.clone()),
+            Candidates::Positions(p) => CandIter::Positions(p.iter()),
+        }
+    }
+
+    /// Materialize into a position vector.
+    pub fn to_positions(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Intersect with another candidate list over the same BAT.
+    pub fn intersect(&self, other: &Candidates) -> Candidates {
+        match (self, other) {
+            (Candidates::Dense(a), Candidates::Dense(b)) => {
+                let start = a.start.max(b.start);
+                let end = a.end.min(b.end);
+                if start >= end {
+                    Candidates::none()
+                } else {
+                    Candidates::Dense(start..end)
+                }
+            }
+            (Candidates::Dense(r), Candidates::Positions(p))
+            | (Candidates::Positions(p), Candidates::Dense(r)) => Candidates::Positions(
+                p.iter().copied().filter(|x| r.contains(x)).collect(),
+            ),
+            (Candidates::Positions(a), Candidates::Positions(b)) => {
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                Candidates::Positions(out)
+            }
+        }
+    }
+
+    /// Union with another candidate list over the same BAT.
+    pub fn union(&self, other: &Candidates) -> Candidates {
+        // Adjacent/overlapping dense ranges stay dense.
+        if let (Candidates::Dense(a), Candidates::Dense(b)) = (self, other) {
+            if a.is_empty() {
+                return other.clone();
+            }
+            if b.is_empty() {
+                return self.clone();
+            }
+            if a.start <= b.end && b.start <= a.end {
+                return Candidates::Dense(a.start.min(b.start)..a.end.max(b.end));
+            }
+        }
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut ia, mut ib) = (self.iter().peekable(), other.iter().peekable());
+        loop {
+            match (ia.peek().copied(), ib.peek().copied()) {
+                (Some(x), Some(y)) => {
+                    use std::cmp::Ordering::*;
+                    match x.cmp(&y) {
+                        Less => {
+                            out.push(x);
+                            ia.next();
+                        }
+                        Greater => {
+                            out.push(y);
+                            ib.next();
+                        }
+                        Equal => {
+                            out.push(x);
+                            ia.next();
+                            ib.next();
+                        }
+                    }
+                }
+                (Some(x), None) => {
+                    out.push(x);
+                    ia.next();
+                }
+                (None, Some(y)) => {
+                    out.push(y);
+                    ib.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Candidates::Positions(out)
+    }
+
+    /// Complement within a BAT of length `len` (anti-selection).
+    pub fn complement(&self, len: usize) -> Candidates {
+        match self {
+            Candidates::Dense(r) if r.start == 0 => {
+                if r.end >= len {
+                    Candidates::none()
+                } else {
+                    Candidates::Dense(r.end..len)
+                }
+            }
+            _ => {
+                let mut out = Vec::with_capacity(len.saturating_sub(self.len()));
+                let mut it = self.iter().peekable();
+                for pos in 0..len {
+                    if it.peek() == Some(&pos) {
+                        it.next();
+                    } else {
+                        out.push(pos);
+                    }
+                }
+                Candidates::Positions(out)
+            }
+        }
+    }
+
+    /// First `n` qualifying positions (LIMIT pushdown).
+    pub fn first_n(&self, n: usize) -> Candidates {
+        match self {
+            Candidates::Dense(r) => Candidates::Dense(r.start..r.end.min(r.start + n)),
+            Candidates::Positions(p) => Candidates::Positions(p[..n.min(p.len())].to_vec()),
+        }
+    }
+}
+
+/// Iterator over qualifying positions.
+pub enum CandIter<'a> {
+    /// Dense-range walk.
+    Dense(Range<usize>),
+    /// Position-list walk.
+    Positions(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for CandIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            CandIter::Dense(r) => r.next(),
+            CandIter::Positions(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CandIter::Dense(r) => r.size_hint(),
+            CandIter::Positions(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for CandIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_basics() {
+        let c = Candidates::all(5);
+        assert_eq!(c.len(), 5);
+        assert!(c.is_dense());
+        assert!(c.contains(4));
+        assert!(!c.contains(5));
+        assert_eq!(c.to_positions(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.get(2), Some(2));
+        assert_eq!(c.get(5), None);
+    }
+
+    #[test]
+    fn from_positions_validates_order() {
+        assert!(Candidates::from_positions(vec![0, 2, 2]).is_err());
+        assert!(Candidates::from_positions(vec![3, 1]).is_err());
+        let c = Candidates::from_positions(vec![1, 3, 7]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), Some(3));
+    }
+
+    #[test]
+    fn intersect_dense_dense() {
+        let a = Candidates::Dense(2..8);
+        let b = Candidates::Dense(5..10);
+        assert_eq!(a.intersect(&b), Candidates::Dense(5..8));
+        let c = Candidates::Dense(8..9);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_mixed() {
+        let a = Candidates::Dense(2..6);
+        let b = Candidates::from_positions(vec![1, 3, 5, 7]).unwrap();
+        assert_eq!(a.intersect(&b).to_positions(), vec![3, 5]);
+        assert_eq!(b.intersect(&a).to_positions(), vec![3, 5]);
+    }
+
+    #[test]
+    fn intersect_positions_positions() {
+        let a = Candidates::from_positions(vec![1, 2, 4, 8]).unwrap();
+        let b = Candidates::from_positions(vec![2, 3, 4, 9]).unwrap();
+        assert_eq!(a.intersect(&b).to_positions(), vec![2, 4]);
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        let a = Candidates::from_positions(vec![1, 4, 6]).unwrap();
+        let b = Candidates::from_positions(vec![2, 4, 7]).unwrap();
+        assert_eq!(a.union(&b).to_positions(), vec![1, 2, 4, 6, 7]);
+    }
+
+    #[test]
+    fn union_dense_adjacent_stays_dense() {
+        let a = Candidates::Dense(0..3);
+        let b = Candidates::Dense(3..6);
+        assert_eq!(a.union(&b), Candidates::Dense(0..6));
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = Candidates::none();
+        let b = Candidates::Dense(2..4);
+        assert_eq!(a.union(&b), Candidates::Dense(2..4));
+        assert_eq!(b.union(&a), Candidates::Dense(2..4));
+    }
+
+    #[test]
+    fn complement_of_prefix_is_dense() {
+        let a = Candidates::Dense(0..3);
+        assert_eq!(a.complement(5), Candidates::Dense(3..5));
+        assert!(Candidates::all(5).complement(5).is_empty());
+    }
+
+    #[test]
+    fn complement_of_positions() {
+        let a = Candidates::from_positions(vec![1, 3]).unwrap();
+        assert_eq!(a.complement(5).to_positions(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn first_n_limits() {
+        assert_eq!(Candidates::all(10).first_n(3), Candidates::Dense(0..3));
+        let p = Candidates::from_positions(vec![2, 5, 9]).unwrap();
+        assert_eq!(p.first_n(2).to_positions(), vec![2, 5]);
+        assert_eq!(p.first_n(9).len(), 3);
+    }
+}

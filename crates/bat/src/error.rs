@@ -1,0 +1,103 @@
+//! Error type shared by all kernel primitives.
+
+use std::fmt;
+
+/// Errors raised by BAT kernel operations.
+///
+/// The kernel is deliberately strict: type confusion, misaligned inputs and
+/// out-of-range positions are programming errors in the layers above and are
+/// reported rather than silently coerced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatError {
+    /// An operator received a column of an unexpected type.
+    TypeMismatch {
+        /// Operation that failed.
+        op: &'static str,
+        /// Type the operation expected.
+        expected: &'static str,
+        /// Type it actually received.
+        got: &'static str,
+    },
+    /// Two inputs that must be aligned (same length / head sequence) are not.
+    Misaligned {
+        /// Operation that failed.
+        op: &'static str,
+        /// Length of the left input.
+        left: usize,
+        /// Length of the right input.
+        right: usize,
+    },
+    /// A position (oid) is outside the BAT it indexes.
+    PositionOutOfRange {
+        /// Offending position.
+        pos: usize,
+        /// Length of the indexed BAT.
+        len: usize,
+    },
+    /// Division or modulo by zero in a calc kernel.
+    DivisionByZero,
+    /// Numeric overflow in a calc kernel or aggregate.
+    Overflow(&'static str),
+    /// Anything else; carries a human-readable description.
+    Invalid(String),
+}
+
+impl fmt::Display for BatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatError::TypeMismatch { op, expected, got } => {
+                write!(f, "{op}: type mismatch, expected {expected}, got {got}")
+            }
+            BatError::Misaligned { op, left, right } => {
+                write!(f, "{op}: misaligned inputs ({left} vs {right})")
+            }
+            BatError::PositionOutOfRange { pos, len } => {
+                write!(f, "position {pos} out of range for BAT of length {len}")
+            }
+            BatError::DivisionByZero => write!(f, "division by zero"),
+            BatError::Overflow(op) => write!(f, "numeric overflow in {op}"),
+            BatError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatError {}
+
+/// Convenient alias used across the kernel.
+pub type Result<T> = std::result::Result<T, BatError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = BatError::TypeMismatch {
+            op: "select",
+            expected: "int",
+            got: "str",
+        };
+        assert_eq!(e.to_string(), "select: type mismatch, expected int, got str");
+        assert_eq!(
+            BatError::Misaligned {
+                op: "join",
+                left: 3,
+                right: 4
+            }
+            .to_string(),
+            "join: misaligned inputs (3 vs 4)"
+        );
+        assert_eq!(
+            BatError::PositionOutOfRange { pos: 9, len: 4 }.to_string(),
+            "position 9 out of range for BAT of length 4"
+        );
+        assert_eq!(BatError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(BatError::Overflow("add").to_string(), "numeric overflow in add");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Group-by kernels using MonetDB's iterative subgroup refinement.
+//!
+//! Multi-column grouping is computed one column at a time: grouping by the
+//! first column yields a [`Grouping`]; each further column *refines* it
+//! (`group.subgroup` in MAL). Aggregates then run over the final group ids
+//! (see [`crate::aggregate`]).
+//!
+//! Unlike comparisons, GROUP BY treats nil as a regular key: all nil rows
+//! form one group (SQL semantics).
+
+use std::collections::HashMap;
+
+use crate::bat::Bat;
+use crate::candidates::Candidates;
+use crate::error::{BatError, Result};
+use crate::types::{is_nil_float, is_nil_int, NIL_STR_CODE};
+
+/// Result of grouping `n` rows: a dense group id per row plus one
+/// representative row position per group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    /// Group id for each considered row, in candidate order. Ids are dense
+    /// in `0..n_groups`, numbered by first appearance.
+    pub ids: Vec<usize>,
+    /// Number of distinct groups.
+    pub n_groups: usize,
+    /// For each group, the position (in the underlying BAT) of its first
+    /// member — used to fetch the grouping keys for the output.
+    pub representatives: Vec<usize>,
+    /// Row positions considered, in the same order as `ids`.
+    pub rows: Vec<usize>,
+}
+
+impl Grouping {
+    /// Per-group member counts.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.n_groups];
+        for &g in &self.ids {
+            h[g] += 1;
+        }
+        h
+    }
+}
+
+/// Hashable per-row key; `Nil` groups all nulls together.
+#[derive(Hash, PartialEq, Eq, Clone, Copy)]
+enum GKey {
+    Nil,
+    Int(i64),
+    Bits(u64),
+    Bool(bool),
+    // Dictionary code is a stable identity *within one column's heap*,
+    // which is the only scope a grouping key needs.
+    StrCode(u32),
+}
+
+fn gkey(bat: &Bat, p: usize) -> GKey {
+    match bat.tail() {
+        crate::column::Column::Int(v) | crate::column::Column::Timestamp(v) => {
+            if is_nil_int(v[p]) {
+                GKey::Nil
+            } else {
+                GKey::Int(v[p])
+            }
+        }
+        crate::column::Column::Float(v) => {
+            if is_nil_float(v[p]) {
+                GKey::Nil
+            } else if v[p] == 0.0 {
+                GKey::Bits(0.0f64.to_bits())
+            } else {
+                GKey::Bits(v[p].to_bits())
+            }
+        }
+        crate::column::Column::Bool(v) => match v[p] {
+            0 => GKey::Bool(false),
+            1 => GKey::Bool(true),
+            _ => GKey::Nil,
+        },
+        crate::column::Column::Str { codes, .. } => {
+            if codes[p] == NIL_STR_CODE {
+                GKey::Nil
+            } else {
+                GKey::StrCode(codes[p])
+            }
+        }
+    }
+}
+
+/// Group the rows of `bat` (restricted to `cand` if given), optionally
+/// refining a previous grouping over the *same* row set.
+pub fn group_by(
+    bat: &Bat,
+    prev: Option<&Grouping>,
+    cand: Option<&Candidates>,
+) -> Result<Grouping> {
+    let rows: Vec<usize> = match (prev, cand) {
+        (Some(g), _) => g.rows.clone(),
+        (None, Some(c)) => c.to_positions(),
+        (None, None) => (0..bat.len()).collect(),
+    };
+    if let Some(&bad) = rows.iter().find(|&&p| p >= bat.len()) {
+        return Err(BatError::PositionOutOfRange {
+            pos: bad,
+            len: bat.len(),
+        });
+    }
+    if let Some(g) = prev {
+        if g.ids.len() != rows.len() {
+            return Err(BatError::Misaligned {
+                op: "group_by",
+                left: g.ids.len(),
+                right: rows.len(),
+            });
+        }
+    }
+
+    let mut map: HashMap<(usize, GKey), usize> = HashMap::with_capacity(rows.len());
+    let mut ids = Vec::with_capacity(rows.len());
+    let mut representatives = Vec::new();
+    for (i, &p) in rows.iter().enumerate() {
+        let prev_id = prev.map_or(0, |g| g.ids[i]);
+        let key = (prev_id, gkey(bat, p));
+        let next = map.len();
+        let id = *map.entry(key).or_insert_with(|| {
+            representatives.push(p);
+            next
+        });
+        ids.push(id);
+    }
+    Ok(Grouping {
+        n_groups: representatives.len(),
+        ids,
+        representatives,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::NIL_INT;
+
+    #[test]
+    fn single_column_grouping() {
+        let b = Bat::from_ints(vec![3, 1, 3, 2, 1]);
+        let g = group_by(&b, None, None).unwrap();
+        assert_eq!(g.n_groups, 3);
+        assert_eq!(g.ids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(g.representatives, vec![0, 1, 3]);
+        assert_eq!(g.histogram(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn nils_form_one_group() {
+        let b = Bat::from_ints(vec![NIL_INT, 1, NIL_INT]);
+        let g = group_by(&b, None, None).unwrap();
+        assert_eq!(g.n_groups, 2);
+        assert_eq!(g.ids, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn refinement_multi_column() {
+        // (a, b) pairs: (1,x) (1,y) (2,x) (1,x)
+        let a = Bat::from_ints(vec![1, 1, 2, 1]);
+        let b = Bat::from_strs(&["x", "y", "x", "x"]);
+        let g1 = group_by(&a, None, None).unwrap();
+        assert_eq!(g1.n_groups, 2);
+        let g2 = group_by(&b, Some(&g1), None).unwrap();
+        assert_eq!(g2.n_groups, 3);
+        assert_eq!(g2.ids, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn grouping_with_candidates() {
+        let b = Bat::from_ints(vec![1, 2, 1, 2, 3]);
+        let cand = Candidates::from_positions(vec![1, 3, 4]).unwrap();
+        let g = group_by(&b, None, Some(&cand)).unwrap();
+        assert_eq!(g.rows, vec![1, 3, 4]);
+        assert_eq!(g.ids, vec![0, 0, 1]);
+        assert_eq!(g.n_groups, 2);
+        assert_eq!(g.representatives, vec![1, 4]);
+    }
+
+    #[test]
+    fn refinement_length_mismatch_is_error() {
+        let a = Bat::from_ints(vec![1, 2]);
+        let b = Bat::from_ints(vec![1, 2, 3]);
+        let g1 = group_by(&a, None, None).unwrap();
+        // g1.rows refers to rows 0..2, valid for b, but ids length differs
+        // from a fresh grouping over b's full row set only via prev.rows —
+        // simulate corruption by handing a prev with wrong arity.
+        let bad = Grouping {
+            ids: vec![0],
+            n_groups: 1,
+            representatives: vec![0],
+            rows: vec![0, 1],
+        };
+        assert!(group_by(&b, Some(&bad), None).is_err());
+        let _ = g1;
+    }
+
+    #[test]
+    fn float_zero_negzero_same_group() {
+        let b = Bat::from_floats(vec![0.0, -0.0, 1.0]);
+        let g = group_by(&b, None, None).unwrap();
+        assert_eq!(g.n_groups, 2);
+        assert_eq!(g.ids, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn bool_grouping_with_nil() {
+        let mut c = Column::from_bools(vec![true, false, true]);
+        c.push_nil();
+        let b = Bat::new(c);
+        let g = group_by(&b, None, None).unwrap();
+        assert_eq!(g.n_groups, 3);
+    }
+
+    #[test]
+    fn out_of_range_candidate_rejected() {
+        let b = Bat::from_ints(vec![1]);
+        let cand = Candidates::from_positions(vec![3]).unwrap();
+        assert!(group_by(&b, None, Some(&cand)).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Dictionary heap for string columns.
+//!
+//! MonetDB stores string tails as offsets into a variable-width heap with
+//! duplicate elimination. We reproduce that: a [`StrHeap`] interns distinct
+//! strings once and hands out dense `u32` codes. Equality and hashing on
+//! string columns then work on codes; ordering falls back to the heap.
+
+use std::collections::HashMap;
+
+use crate::types::NIL_STR_CODE;
+
+/// An interning heap: distinct strings stored once, addressed by dense codes.
+///
+/// Codes are stable for the lifetime of the heap: interning never moves or
+/// reuses a code, so columns referencing the heap stay valid under appends.
+#[derive(Debug, Default, Clone)]
+pub struct StrHeap {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl StrHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its code (existing code if already present).
+    ///
+    /// # Panics
+    /// Panics if the heap would exceed `u32::MAX - 1` distinct strings, the
+    /// code space reserved by the nil sentinel.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = u32::try_from(self.strings.len()).expect("string heap full");
+        assert!(code != NIL_STR_CODE, "string heap full");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, code);
+        code
+    }
+
+    /// Look up the code for `s` without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolve a code to its string. Returns `None` for the nil code or an
+    /// unknown code.
+    pub fn get(&self, code: u32) -> Option<&str> {
+        if code == NIL_STR_CODE {
+            return None;
+        }
+        self.strings.get(code as usize).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Compare two codes by their string contents (nil sorts first).
+    pub fn cmp_codes(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        match (self.get(a), self.get(b)) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x.cmp(y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut h = StrHeap::new();
+        let a = h.intern("alpha");
+        let b = h.intern("beta");
+        let a2 = h.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn get_roundtrips() {
+        let mut h = StrHeap::new();
+        let c = h.intern("hello");
+        assert_eq!(h.get(c), Some("hello"));
+        assert_eq!(h.get(NIL_STR_CODE), None);
+        assert_eq!(h.get(999), None);
+    }
+
+    #[test]
+    fn code_of_does_not_intern() {
+        let mut h = StrHeap::new();
+        assert_eq!(h.code_of("x"), None);
+        let c = h.intern("x");
+        assert_eq!(h.code_of("x"), Some(c));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn cmp_codes_orders_by_content_nil_first() {
+        let mut h = StrHeap::new();
+        let b = h.intern("b");
+        let a = h.intern("a");
+        assert_eq!(h.cmp_codes(a, b), std::cmp::Ordering::Less);
+        assert_eq!(h.cmp_codes(b, a), std::cmp::Ordering::Greater);
+        assert_eq!(h.cmp_codes(a, a), std::cmp::Ordering::Equal);
+        assert_eq!(h.cmp_codes(NIL_STR_CODE, a), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn codes_are_dense_and_stable() {
+        let mut h = StrHeap::new();
+        for i in 0..100 {
+            let code = h.intern(&format!("s{i}"));
+            assert_eq!(code, i as u32);
+        }
+        for i in 0..100 {
+            assert_eq!(h.get(i as u32), Some(format!("s{i}").as_str()));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # datacell-bat — a column-store kernel in the style of MonetDB
+//!
+//! This crate is the storage and primitive-operator substrate of the DataCell
+//! reproduction. It implements the *Binary Association Table* (BAT) model the
+//! paper builds on (§2 of Liarou & Kersten, VLDB'09):
+//!
+//! * every relational column is a [`Bat`]: a virtual dense *head* of object
+//!   identifiers (oids) plus a typed *tail* [`Column`] of values;
+//! * tuple order is aligned across all columns of a table, so tuple
+//!   reconstruction is a positional [`join::fetch_join`];
+//! * operators are *bulk* (vectorized): they consume whole columns and
+//!   [`Candidates`] selection vectors and produce columns/candidates, never a
+//!   tuple at a time. This is the property DataCell's batch-processing
+//!   argument rests on.
+//!
+//! ## Nil semantics
+//!
+//! Like MonetDB, nulls are encoded as in-domain sentinels (`i64::MIN`, `NaN`,
+//! code `u32::MAX` for strings) rather than validity bitmaps; see [`types`].
+//! All kernels treat nils as "never qualifies" for comparisons and "skip" for
+//! aggregation, which matches SQL three-valued logic for the supported
+//! operations.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | logical types, [`types::Value`], nil sentinels |
+//! | [`heap`] | shared dictionary heap for string columns |
+//! | [`mod@column`] | typed value vectors |
+//! | [`bat`] | the BAT itself: head sequence + tail column + properties |
+//! | [`candidates`] | selection vectors (dense ranges or position lists) and their algebra |
+//! | [`select`] | range/theta selection producing candidates |
+//! | [`join`] | hash join, merge join, positional fetch join |
+//! | [`group`] | iterative group-by refinement |
+//! | [`aggregate`] | grouped and scalar aggregates |
+//! | [`calc`] | element-wise arithmetic/comparison/boolean kernels ("batcalc") |
+//! | [`sort`] | order permutations, top-N, distinct |
+//! | [`error`] | kernel error type |
+
+pub mod aggregate;
+pub mod bat;
+pub mod calc;
+pub mod candidates;
+pub mod column;
+pub mod error;
+pub mod group;
+pub mod heap;
+pub mod join;
+pub mod select;
+pub mod sort;
+pub mod types;
+
+pub use crate::bat::Bat;
+pub use crate::candidates::Candidates;
+pub use crate::column::Column;
+pub use crate::error::{BatError, Result};
+pub use crate::types::{DataType, Value};

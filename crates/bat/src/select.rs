@@ -1,0 +1,504 @@
+//! Selection kernels: range and theta selects producing candidate lists.
+//!
+//! These are the workhorses of Algorithm 1 in the paper
+//! (`monetdb.select(input, v1, v2)`): bulk scans over a tail column that emit
+//! the qualifying positions as [`Candidates`], composable with a prior
+//! candidate list. Nil never qualifies.
+
+use crate::bat::Bat;
+use crate::candidates::Candidates;
+use crate::error::{BatError, Result};
+use crate::types::{is_nil_float, is_nil_int, DataType, Value};
+
+/// Comparison operators for [`theta_select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the operator on an `Ordering`.
+    #[inline]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⇔ `a op.negate() b`), ignoring nil.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Range selection: positions `p` where `lo (<|<=) tail[p] (<|<=) hi`.
+///
+/// * `lo`/`hi` of `None` mean unbounded on that side.
+/// * `li`/`hi_incl` choose inclusive bounds.
+/// * `anti` inverts the predicate (nil still never qualifies).
+/// * `cand` restricts the scan to a prior candidate list.
+pub fn select_range(
+    bat: &Bat,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+    cand: Option<&Candidates>,
+) -> Result<Candidates> {
+    match bat.data_type() {
+        DataType::Int | DataType::Timestamp => {
+            let vals = bat.tail().as_i64s()?;
+            let lo = bound_int(lo, "select lo")?;
+            let hi = bound_int(hi, "select hi")?;
+            scan(vals.len(), cand, |p| {
+                let v = vals[p];
+                if is_nil_int(v) {
+                    return false;
+                }
+                let ok = ge_bound(v, lo, li) && le_bound(v, hi, hi_incl);
+                ok != anti
+            })
+        }
+        DataType::Float => {
+            let vals = bat.tail().as_floats()?;
+            let lo = bound_float(lo, "select lo")?;
+            let hi = bound_float(hi, "select hi")?;
+            scan(vals.len(), cand, |p| {
+                let v = vals[p];
+                if is_nil_float(v) {
+                    return false;
+                }
+                let ok = lo.is_none_or(|b| if li { v >= b } else { v > b })
+                    && hi.is_none_or(|b| if hi_incl { v <= b } else { v < b });
+                ok != anti
+            })
+        }
+        DataType::Str => {
+            let (codes, heap) = bat.tail().as_strs()?;
+            let lo = bound_str(lo, "select lo")?;
+            let hi = bound_str(hi, "select hi")?;
+            scan(codes.len(), cand, |p| {
+                let s = match heap.get(codes[p]) {
+                    Some(s) => s,
+                    None => return false,
+                };
+                let ok = lo.is_none_or(|b| if li { s >= b } else { s > b })
+                    && hi.is_none_or(|b| if hi_incl { s <= b } else { s < b });
+                ok != anti
+            })
+        }
+        DataType::Bool => {
+            let vals = bat.tail().as_bools()?;
+            let want = |v: Option<&Value>| -> Result<Option<i8>> {
+                match v {
+                    None => Ok(None),
+                    Some(x) => Ok(Some(i8::from(x.as_bool().ok_or(
+                        BatError::TypeMismatch {
+                            op: "select",
+                            expected: "bool",
+                            got: "other",
+                        },
+                    )?))),
+                }
+            };
+            let lo = want(lo)?;
+            let hi = want(hi)?;
+            scan(vals.len(), cand, |p| {
+                let v = vals[p];
+                if v != 0 && v != 1 {
+                    return false;
+                }
+                let ok = lo.is_none_or(|b| if li { v >= b } else { v > b })
+                    && hi.is_none_or(|b| if hi_incl { v <= b } else { v < b });
+                ok != anti
+            })
+        }
+    }
+}
+
+/// Theta selection: positions where `tail[p] op value`.
+pub fn theta_select(
+    bat: &Bat,
+    op: CmpOp,
+    value: &Value,
+    cand: Option<&Candidates>,
+) -> Result<Candidates> {
+    if value.is_nil() {
+        // Comparisons with NULL are never true.
+        return Ok(Candidates::none());
+    }
+    match bat.data_type() {
+        DataType::Int | DataType::Timestamp => {
+            let vals = bat.tail().as_i64s()?;
+            let rhs = value.as_int().ok_or(BatError::TypeMismatch {
+                op: "theta_select",
+                expected: "int",
+                got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
+            })?;
+            scan(vals.len(), cand, |p| {
+                !is_nil_int(vals[p]) && op.eval(vals[p].cmp(&rhs))
+            })
+        }
+        DataType::Float => {
+            let vals = bat.tail().as_floats()?;
+            let rhs = value.as_float().ok_or(BatError::TypeMismatch {
+                op: "theta_select",
+                expected: "float",
+                got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
+            })?;
+            scan(vals.len(), cand, |p| {
+                !is_nil_float(vals[p]) && op.eval(vals[p].total_cmp(&rhs))
+            })
+        }
+        DataType::Str => {
+            let (codes, heap) = bat.tail().as_strs()?;
+            let rhs = value.as_str().ok_or(BatError::TypeMismatch {
+                op: "theta_select",
+                expected: "str",
+                got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
+            })?;
+            // Fast path: equality against a string absent from the dictionary
+            // matches nothing; present strings compare by code.
+            if op == CmpOp::Eq {
+                return match heap.code_of(rhs) {
+                    None => Ok(Candidates::none()),
+                    Some(code) => scan(codes.len(), cand, |p| codes[p] == code),
+                };
+            }
+            scan(codes.len(), cand, |p| match heap.get(codes[p]) {
+                Some(s) => op.eval(s.cmp(rhs)),
+                None => false,
+            })
+        }
+        DataType::Bool => {
+            let vals = bat.tail().as_bools()?;
+            let rhs = i8::from(value.as_bool().ok_or(BatError::TypeMismatch {
+                op: "theta_select",
+                expected: "bool",
+                got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
+            })?);
+            scan(vals.len(), cand, |p| {
+                (vals[p] == 0 || vals[p] == 1) && op.eval(vals[p].cmp(&rhs))
+            })
+        }
+    }
+}
+
+/// Shared scan driver: applies `pred` over either the dense range or the
+/// prior candidate list, producing ascending positions.
+fn scan<F: FnMut(usize) -> bool>(
+    len: usize,
+    cand: Option<&Candidates>,
+    mut pred: F,
+) -> Result<Candidates> {
+    let mut out = Vec::new();
+    match cand {
+        None => {
+            for p in 0..len {
+                if pred(p) {
+                    out.push(p);
+                }
+            }
+        }
+        Some(c) => {
+            for p in c.iter() {
+                if p >= len {
+                    return Err(BatError::PositionOutOfRange { pos: p, len });
+                }
+                if pred(p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    Ok(Candidates::from_sorted_unchecked(out))
+}
+
+fn bound_int(v: Option<&Value>, op: &str) -> Result<Option<i64>> {
+    match v {
+        None => Ok(None),
+        Some(x) => x
+            .as_int()
+            .map(Some)
+            .ok_or_else(|| BatError::Invalid(format!("{op}: expected integer bound, got {x:?}"))),
+    }
+}
+
+fn bound_float(v: Option<&Value>, op: &str) -> Result<Option<f64>> {
+    match v {
+        None => Ok(None),
+        Some(x) => x
+            .as_float()
+            .map(Some)
+            .ok_or_else(|| BatError::Invalid(format!("{op}: expected float bound, got {x:?}"))),
+    }
+}
+
+fn bound_str<'a>(v: Option<&'a Value>, op: &str) -> Result<Option<&'a str>> {
+    match v {
+        None => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| BatError::Invalid(format!("{op}: expected string bound, got {x:?}"))),
+    }
+}
+
+#[inline]
+fn ge_bound(v: i64, lo: Option<i64>, incl: bool) -> bool {
+    match lo {
+        None => true,
+        Some(b) => {
+            if incl {
+                v >= b
+            } else {
+                v > b
+            }
+        }
+    }
+}
+
+#[inline]
+fn le_bound(v: i64, hi: Option<i64>, incl: bool) -> bool {
+    match hi {
+        None => true,
+        Some(b) => {
+            if incl {
+                v <= b
+            } else {
+                v < b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NIL_INT;
+
+    fn ints(v: Vec<i64>) -> Bat {
+        Bat::from_ints(v)
+    }
+
+    #[test]
+    fn range_inclusive_int() {
+        let b = ints(vec![1, 5, 10, 15, 20]);
+        let c = select_range(
+            &b,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(15)),
+            true,
+            true,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(c.to_positions(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn range_exclusive_and_anti() {
+        let b = ints(vec![1, 5, 10, 15, 20]);
+        let c = select_range(
+            &b,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(15)),
+            false,
+            false,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(c.to_positions(), vec![2]);
+        let anti = select_range(
+            &b,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(15)),
+            true,
+            true,
+            true,
+            None,
+        )
+        .unwrap();
+        assert_eq!(anti.to_positions(), vec![0, 4]);
+    }
+
+    #[test]
+    fn range_unbounded_sides() {
+        let b = ints(vec![3, 7, 11]);
+        let lo_only =
+            select_range(&b, Some(&Value::Int(7)), None, true, true, false, None).unwrap();
+        assert_eq!(lo_only.to_positions(), vec![1, 2]);
+        let hi_only =
+            select_range(&b, None, Some(&Value::Int(7)), true, false, false, None).unwrap();
+        assert_eq!(hi_only.to_positions(), vec![0]);
+    }
+
+    #[test]
+    fn nil_never_qualifies_even_anti() {
+        let b = ints(vec![1, NIL_INT, 3]);
+        let c = select_range(
+            &b,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(10)),
+            true,
+            true,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(c.to_positions(), vec![0, 2]);
+        let anti = select_range(
+            &b,
+            Some(&Value::Int(2)),
+            Some(&Value::Int(10)),
+            true,
+            true,
+            true,
+            None,
+        )
+        .unwrap();
+        assert_eq!(anti.to_positions(), vec![0]);
+    }
+
+    #[test]
+    fn composes_with_candidates() {
+        let b = ints(vec![1, 2, 3, 4, 5, 6]);
+        let first = theta_select(&b, CmpOp::Gt, &Value::Int(2), None).unwrap();
+        assert_eq!(first.to_positions(), vec![2, 3, 4, 5]);
+        let second = theta_select(&b, CmpOp::Lt, &Value::Int(6), Some(&first)).unwrap();
+        assert_eq!(second.to_positions(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn theta_all_ops() {
+        let b = ints(vec![1, 2, 3]);
+        let v = Value::Int(2);
+        assert_eq!(
+            theta_select(&b, CmpOp::Eq, &v, None).unwrap().to_positions(),
+            vec![1]
+        );
+        assert_eq!(
+            theta_select(&b, CmpOp::Ne, &v, None).unwrap().to_positions(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            theta_select(&b, CmpOp::Lt, &v, None).unwrap().to_positions(),
+            vec![0]
+        );
+        assert_eq!(
+            theta_select(&b, CmpOp::Le, &v, None).unwrap().to_positions(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            theta_select(&b, CmpOp::Gt, &v, None).unwrap().to_positions(),
+            vec![2]
+        );
+        assert_eq!(
+            theta_select(&b, CmpOp::Ge, &v, None).unwrap().to_positions(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn theta_with_null_matches_nothing() {
+        let b = ints(vec![1, 2, 3]);
+        assert!(theta_select(&b, CmpOp::Eq, &Value::Nil, None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn string_select_dictionary_fast_path() {
+        let b = Bat::from_strs(&["ab", "cd", "ab", "ef"]);
+        let eq = theta_select(&b, CmpOp::Eq, &Value::Str("ab".into()), None).unwrap();
+        assert_eq!(eq.to_positions(), vec![0, 2]);
+        let missing = theta_select(&b, CmpOp::Eq, &Value::Str("zz".into()), None).unwrap();
+        assert!(missing.is_empty());
+        let lt = theta_select(&b, CmpOp::Lt, &Value::Str("cd".into()), None).unwrap();
+        assert_eq!(lt.to_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn float_range() {
+        let b = Bat::from_floats(vec![0.5, 1.5, 2.5, f64::NAN]);
+        let c = select_range(
+            &b,
+            Some(&Value::Float(1.0)),
+            Some(&Value::Float(3.0)),
+            true,
+            true,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(c.to_positions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bool_theta() {
+        let b = Bat::new(Column::from_bools(vec![true, false, true]));
+        let c = theta_select(&b, CmpOp::Eq, &Value::Bool(true), None).unwrap();
+        assert_eq!(c.to_positions(), vec![0, 2]);
+    }
+
+    use crate::column::Column;
+
+    #[test]
+    fn int_float_cross_type_theta() {
+        let b = Bat::from_floats(vec![1.0, 2.5, 3.0]);
+        let c = theta_select(&b, CmpOp::Ge, &Value::Int(2), None).unwrap();
+        assert_eq!(c.to_positions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn candidate_out_of_range_is_error() {
+        let b = ints(vec![1]);
+        let cand = Candidates::from_positions(vec![5]).unwrap();
+        assert!(theta_select(&b, CmpOp::Eq, &Value::Int(1), Some(&cand)).is_err());
+    }
+
+    #[test]
+    fn op_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+}

@@ -1,0 +1,231 @@
+//! Ordering kernels: sort permutations, top-N, and distinct.
+//!
+//! Sorts return *order permutations* (position vectors), not materialized
+//! data — the engine then gathers payload columns through the permutation
+//! with [`crate::join::fetch_join`], MonetDB-style. Nil sorts first in
+//! ascending order (SQL `NULLS FIRST`).
+
+use crate::bat::Bat;
+use crate::candidates::Candidates;
+use crate::error::{BatError, Result};
+use crate::types::Value;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending, nil first.
+    Asc,
+    /// Descending, nil last.
+    Desc,
+}
+
+/// Stable order permutation of `bat` (restricted to `cand`): the returned
+/// positions, read in order, visit the rows in sorted order.
+pub fn order(bat: &Bat, ord: SortOrder, cand: Option<&Candidates>) -> Result<Vec<usize>> {
+    let mut rows: Vec<usize> = match cand {
+        Some(c) => c.to_positions(),
+        None => (0..bat.len()).collect(),
+    };
+    if let Some(&bad) = rows.iter().find(|&&p| p >= bat.len()) {
+        return Err(BatError::PositionOutOfRange {
+            pos: bad,
+            len: bat.len(),
+        });
+    }
+    // Typed fast paths for the hot cases.
+    if let Ok(v) = bat.tail().as_i64s() {
+        // Nil (i64::MIN) naturally sorts first ascending.
+        rows.sort_by(|&a, &b| {
+            let o = v[a].cmp(&v[b]);
+            match ord {
+                SortOrder::Asc => o,
+                SortOrder::Desc => o.reverse(),
+            }
+        });
+        return Ok(rows);
+    }
+    if let Ok(v) = bat.tail().as_floats() {
+        rows.sort_by(|&a, &b| {
+            // total_cmp puts NaN (nil) last ascending; flip to nil-first.
+            let (x, y) = (v[a], v[b]);
+            let o = match (x.is_nan(), y.is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                (false, false) => x.total_cmp(&y),
+            };
+            match ord {
+                SortOrder::Asc => o,
+                SortOrder::Desc => o.reverse(),
+            }
+        });
+        return Ok(rows);
+    }
+    if let Ok((codes, heap)) = bat.tail().as_strs() {
+        rows.sort_by(|&a, &b| {
+            let o = heap.cmp_codes(codes[a], codes[b]);
+            match ord {
+                SortOrder::Asc => o,
+                SortOrder::Desc => o.reverse(),
+            }
+        });
+        return Ok(rows);
+    }
+    // Generic fallback (bool columns).
+    let vals: Vec<Value> = rows
+        .iter()
+        .map(|&p| bat.get(p))
+        .collect::<Result<Vec<_>>>()?;
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let o = vals[a].total_cmp(&vals[b]);
+        match ord {
+            SortOrder::Asc => o,
+            SortOrder::Desc => o.reverse(),
+        }
+    });
+    Ok(idx.into_iter().map(|i| rows[i]).collect())
+}
+
+/// Refine an existing permutation by a further sort key (multi-key ORDER BY):
+/// rows equal under all previous keys are reordered by `bat`, preserving the
+/// previous order otherwise. `perm` lists row positions; equal-run boundaries
+/// are provided in `runs` as (start, end) index pairs into `perm`.
+pub fn order_refine(
+    bat: &Bat,
+    perm: &mut [usize],
+    runs: &[(usize, usize)],
+    ord: SortOrder,
+) -> Result<Vec<(usize, usize)>> {
+    let mut new_runs = Vec::new();
+    for &(s, e) in runs {
+        if e > perm.len() || s > e {
+            return Err(BatError::PositionOutOfRange {
+                pos: e,
+                len: perm.len(),
+            });
+        }
+        let slice = &mut perm[s..e];
+        let vals: Vec<Value> = slice
+            .iter()
+            .map(|&p| bat.get(p))
+            .collect::<Result<Vec<_>>>()?;
+        let mut idx: Vec<usize> = (0..slice.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let o = vals[a].total_cmp(&vals[b]);
+            match ord {
+                SortOrder::Asc => o,
+                SortOrder::Desc => o.reverse(),
+            }
+        });
+        let reordered: Vec<usize> = idx.iter().map(|&i| slice[i]).collect();
+        slice.copy_from_slice(&reordered);
+        // Recompute equal runs within this segment for the next key.
+        let sorted_vals: Vec<&Value> = idx.iter().map(|&i| &vals[i]).collect();
+        let mut run_start = 0;
+        for i in 1..=sorted_vals.len() {
+            if i == sorted_vals.len()
+                || sorted_vals[i].total_cmp(sorted_vals[run_start]) != std::cmp::Ordering::Equal
+            {
+                if i - run_start > 1 {
+                    new_runs.push((s + run_start, s + i));
+                }
+                run_start = i;
+            }
+        }
+    }
+    Ok(new_runs)
+}
+
+/// Positions of the top `n` rows under `ord` (stable; ties broken by
+/// position). Equivalent to `order(...)` truncated, but O(len · log n).
+pub fn topn(bat: &Bat, ord: SortOrder, n: usize, cand: Option<&Candidates>) -> Result<Vec<usize>> {
+    let full = order(bat, ord, cand)?;
+    Ok(full.into_iter().take(n).collect())
+}
+
+/// Candidate list of the first occurrence of each distinct value.
+pub fn distinct(bat: &Bat, cand: Option<&Candidates>) -> Result<Candidates> {
+    let g = crate::group::group_by(bat, None, cand)?;
+    let mut reps = g.representatives;
+    reps.sort_unstable();
+    Ok(Candidates::from_sorted_unchecked(reps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NIL_INT;
+
+    #[test]
+    fn order_ints_asc_desc() {
+        let b = Bat::from_ints(vec![3, 1, 2]);
+        assert_eq!(order(&b, SortOrder::Asc, None).unwrap(), vec![1, 2, 0]);
+        assert_eq!(order(&b, SortOrder::Desc, None).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn order_nil_first_asc() {
+        let b = Bat::from_ints(vec![5, NIL_INT, 1]);
+        assert_eq!(order(&b, SortOrder::Asc, None).unwrap(), vec![1, 2, 0]);
+        assert_eq!(order(&b, SortOrder::Desc, None).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn order_floats_with_nan_nil() {
+        let b = Bat::from_floats(vec![2.0, f64::NAN, 1.0]);
+        assert_eq!(order(&b, SortOrder::Asc, None).unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn order_strings() {
+        let b = Bat::from_strs(&["pear", "apple", "kiwi"]);
+        assert_eq!(order(&b, SortOrder::Asc, None).unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn order_stability() {
+        let b = Bat::from_ints(vec![1, 1, 1]);
+        assert_eq!(order(&b, SortOrder::Asc, None).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_with_candidates() {
+        let b = Bat::from_ints(vec![9, 4, 7, 1]);
+        let c = Candidates::from_positions(vec![0, 2, 3]).unwrap();
+        assert_eq!(order(&b, SortOrder::Asc, Some(&c)).unwrap(), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn topn_truncates() {
+        let b = Bat::from_ints(vec![5, 3, 9, 1]);
+        assert_eq!(topn(&b, SortOrder::Desc, 2, None).unwrap(), vec![2, 0]);
+        assert_eq!(topn(&b, SortOrder::Asc, 10, None).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn distinct_first_occurrences() {
+        let b = Bat::from_ints(vec![2, 1, 2, 3, 1]);
+        assert_eq!(distinct(&b, None).unwrap().to_positions(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn multi_key_refinement() {
+        // Sort by a asc, then b desc: rows (a,b) = (1,5) (2,1) (1,9) (2,7)
+        let a = Bat::from_ints(vec![1, 2, 1, 2]);
+        let b = Bat::from_ints(vec![5, 1, 9, 7]);
+        let mut perm = order(&a, SortOrder::Asc, None).unwrap();
+        // perm now [0,2,1,3]; equal runs: (0,2) for a=1, (2,4) for a=2.
+        let runs = vec![(0usize, 2usize), (2, 4)];
+        let next = order_refine(&b, &mut perm, &runs, SortOrder::Desc).unwrap();
+        assert_eq!(perm, vec![2, 0, 3, 1]);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn refine_out_of_range_run_is_error() {
+        let b = Bat::from_ints(vec![1, 2]);
+        let mut perm = vec![0, 1];
+        assert!(order_refine(&b, &mut perm, &[(0, 5)], SortOrder::Asc).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests over the kernel primitives.
+//!
+//! Strategy: compare every vectorized kernel against a straightforward
+//! row-at-a-time oracle, and check algebraic laws (candidate-list algebra,
+//! join symmetry, accumulator mergeability) on arbitrary inputs.
+
+use datacell_bat::aggregate::{scalar_agg, AggFunc, Accumulator};
+use datacell_bat::calc::{arith, compare, true_candidates, ArithOp, Operand};
+use datacell_bat::candidates::Candidates;
+use datacell_bat::group::group_by;
+use datacell_bat::join::{anti_join, hash_join, semi_join};
+use datacell_bat::select::{select_range, theta_select, CmpOp};
+use datacell_bat::sort::{distinct, order, SortOrder};
+use datacell_bat::types::{DataType, Value, NIL_INT};
+use datacell_bat::{Bat, Column};
+use proptest::prelude::*;
+
+/// Small-domain ints (lots of duplicates, occasional nil) stress joins and
+/// grouping harder than uniform randoms.
+fn small_ints() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        prop_oneof![9 => (-5i64..15).prop_map(|v| v), 1 => Just(NIL_INT)],
+        0..60,
+    )
+}
+
+fn sorted_positions(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0..max.max(1), 0..max.min(30)).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn theta_select_matches_oracle(vals in small_ints(), pivot in -5i64..15) {
+        let b = Bat::from_ints(vals.clone());
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let got = theta_select(&b, op, &Value::Int(pivot), None).unwrap().to_positions();
+            let want: Vec<usize> = vals.iter().enumerate()
+                .filter(|(_, &v)| v != NIL_INT && op.eval(v.cmp(&pivot)))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn range_select_equals_two_thetas(vals in small_ints(), lo in -5i64..15, width in 0i64..10) {
+        let hi = lo + width;
+        let b = Bat::from_ints(vals);
+        let range = select_range(&b, Some(&Value::Int(lo)), Some(&Value::Int(hi)), true, true, false, None).unwrap();
+        let ge = theta_select(&b, CmpOp::Ge, &Value::Int(lo), None).unwrap();
+        let both = theta_select(&b, CmpOp::Le, &Value::Int(hi), Some(&ge)).unwrap();
+        prop_assert_eq!(range.to_positions(), both.to_positions());
+    }
+
+    #[test]
+    fn anti_range_is_complement_minus_nils(vals in small_ints(), lo in -5i64..15, width in 0i64..10) {
+        let hi = lo + width;
+        let b = Bat::from_ints(vals.clone());
+        let pos = select_range(&b, Some(&Value::Int(lo)), Some(&Value::Int(hi)), true, true, false, None).unwrap();
+        let anti = select_range(&b, Some(&Value::Int(lo)), Some(&Value::Int(hi)), true, true, true, None).unwrap();
+        // pos ∪ anti = all non-nil rows; pos ∩ anti = ∅
+        prop_assert!(pos.intersect(&anti).is_empty());
+        let union = pos.union(&anti);
+        let non_nil: Vec<usize> = vals.iter().enumerate().filter(|(_, &v)| v != NIL_INT).map(|(i, _)| i).collect();
+        prop_assert_eq!(union.to_positions(), non_nil);
+    }
+
+    #[test]
+    fn candidate_algebra_laws(a in sorted_positions(50), b in sorted_positions(50)) {
+        let ca = Candidates::from_positions(a.clone()).unwrap();
+        let cb = Candidates::from_positions(b.clone()).unwrap();
+        // Commutativity
+        prop_assert_eq!(ca.intersect(&cb).to_positions(), cb.intersect(&ca).to_positions());
+        prop_assert_eq!(ca.union(&cb).to_positions(), cb.union(&ca).to_positions());
+        // Absorption: a ∩ (a ∪ b) = a
+        prop_assert_eq!(ca.intersect(&ca.union(&cb)).to_positions(), a.clone());
+        // Complement round-trip within domain 50
+        prop_assert_eq!(ca.complement(50).complement(50).to_positions(), a);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop(l in small_ints(), r in small_ints()) {
+        let lb = Bat::from_ints(l.clone());
+        let rb = Bat::from_ints(r.clone());
+        let (lp, rp) = hash_join(&lb, &rb, None, None).unwrap();
+        let mut got: Vec<(usize, usize)> = lp.into_iter().zip(rp).collect();
+        let mut want = Vec::new();
+        for (i, &x) in l.iter().enumerate() {
+            if x == NIL_INT { continue; }
+            for (j, &y) in r.iter().enumerate() {
+                if y != NIL_INT && x == y { want.push((i, j)); }
+            }
+        }
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn semi_anti_partition_non_nil_rows(l in small_ints(), r in small_ints()) {
+        let lb = Bat::from_ints(l.clone());
+        let rb = Bat::from_ints(r.clone());
+        let semi = semi_join(&lb, &rb, None).unwrap();
+        let anti = anti_join(&lb, &rb, None).unwrap();
+        prop_assert!(semi.intersect(&anti).is_empty());
+        let non_nil: Vec<usize> = l.iter().enumerate().filter(|(_, &v)| v != NIL_INT).map(|(i, _)| i).collect();
+        prop_assert_eq!(semi.union(&anti).to_positions(), non_nil);
+    }
+
+    #[test]
+    fn group_ids_consistent_with_values(vals in small_ints()) {
+        let b = Bat::from_ints(vals.clone());
+        let g = group_by(&b, None, None).unwrap();
+        prop_assert_eq!(g.ids.len(), vals.len());
+        // Same value ⇔ same group id.
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                prop_assert_eq!(g.ids[i] == g.ids[j], vals[i] == vals[j]);
+            }
+        }
+        prop_assert_eq!(g.histogram().iter().sum::<usize>(), vals.len());
+    }
+
+    #[test]
+    fn sum_agg_matches_oracle(vals in small_ints()) {
+        let b = Bat::from_ints(vals.clone());
+        let got = scalar_agg(AggFunc::Sum, &b, None).unwrap();
+        let non_nil: Vec<i64> = vals.iter().copied().filter(|&v| v != NIL_INT).collect();
+        if non_nil.is_empty() {
+            prop_assert_eq!(got, Value::Nil);
+        } else {
+            prop_assert_eq!(got, Value::Int(non_nil.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn accumulator_split_merge_invariance(vals in small_ints(), split in 0usize..60) {
+        let split = split.min(vals.len());
+        let mut whole = Accumulator::new();
+        for &v in &vals {
+            whole.update(&if v == NIL_INT { Value::Nil } else { Value::Int(v) });
+        }
+        let (a, b) = vals.split_at(split);
+        let mut left = Accumulator::new();
+        for &v in a { left.update(&if v == NIL_INT { Value::Nil } else { Value::Int(v) }); }
+        let mut right = Accumulator::new();
+        for &v in b { right.update(&if v == NIL_INT { Value::Nil } else { Value::Int(v) }); }
+        left.merge(&right);
+        for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Count { star: false }, AggFunc::Count { star: true }] {
+            prop_assert_eq!(
+                left.finish(f, DataType::Int).unwrap(),
+                whole.finish(f, DataType::Int).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn order_produces_sorted_permutation(vals in small_ints()) {
+        let b = Bat::from_ints(vals.clone());
+        let perm = order(&b, SortOrder::Asc, None).unwrap();
+        // Is a permutation
+        let mut seen = vec![false; vals.len()];
+        for &p in &perm { prop_assert!(!seen[p]); seen[p] = true; }
+        prop_assert!(seen.into_iter().all(|x| x));
+        // Is sorted (nil = i64::MIN sorts first naturally)
+        for w in perm.windows(2) {
+            prop_assert!(vals[w[0]] <= vals[w[1]]);
+        }
+    }
+
+    #[test]
+    fn distinct_yields_unique_values_covering_all(vals in small_ints()) {
+        let b = Bat::from_ints(vals.clone());
+        let d = distinct(&b, None).unwrap();
+        let picked: Vec<i64> = d.iter().map(|p| vals[p]).collect();
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(picked.len(), uniq.len());
+        for v in &vals {
+            prop_assert!(picked.contains(v));
+        }
+    }
+
+    #[test]
+    fn compare_then_candidates_equals_theta(vals in small_ints(), pivot in -5i64..15) {
+        let b = Bat::from_ints(vals);
+        let col = Column::from_ints(b.tail().as_ints().unwrap().to_vec());
+        for op in [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq] {
+            let boolcol = compare(op, Operand::Col(&col), Operand::Scalar(&Value::Int(pivot))).unwrap();
+            let via_calc = true_candidates(&boolcol).unwrap();
+            let via_theta = theta_select(&b, op, &Value::Int(pivot), None).unwrap();
+            prop_assert_eq!(via_calc.to_positions(), via_theta.to_positions());
+        }
+    }
+
+    #[test]
+    fn arith_add_sub_roundtrip(vals in prop::collection::vec(-1000i64..1000, 0..50), k in -1000i64..1000) {
+        let col = Column::from_ints(vals.clone());
+        let added = arith(ArithOp::Add, Operand::Col(&col), Operand::Scalar(&Value::Int(k))).unwrap();
+        let back = arith(ArithOp::Sub, Operand::Col(&added), Operand::Scalar(&Value::Int(k))).unwrap();
+        prop_assert_eq!(back.as_ints().unwrap(), &vals[..]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the column-store kernel — the statistical
+//! backing for the experiment binaries' kernel-level claims (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacell_bat::aggregate::{grouped_agg, scalar_agg, AggFunc};
+use datacell_bat::group::group_by;
+use datacell_bat::join::hash_join;
+use datacell_bat::select::{select_range, theta_select, CmpOp};
+use datacell_bat::sort::{order, SortOrder};
+use datacell_bat::types::Value;
+use datacell_bat::Bat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn ints(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let bat = Bat::from_ints(ints(N, 1000, 1));
+    let mut g = c.benchmark_group("kernel/select");
+    g.throughput(Throughput::Elements(N as u64));
+    for selectivity in [1i64, 10, 50] {
+        let hi = selectivity * 10 - 1;
+        g.bench_with_input(
+            BenchmarkId::new("range", format!("{selectivity}%")),
+            &hi,
+            |b, &hi| {
+                b.iter(|| {
+                    select_range(
+                        &bat,
+                        Some(&Value::Int(0)),
+                        Some(&Value::Int(hi)),
+                        true,
+                        true,
+                        false,
+                        None,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.bench_function("theta_eq", |b| {
+        b.iter(|| theta_select(&bat, CmpOp::Eq, &Value::Int(500), None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/join");
+    for (ln, rn) in [(10_000usize, 10_000usize), (100_000, 10_000)] {
+        let l = Bat::from_ints(ints(ln, 50_000, 2));
+        let r = Bat::from_ints(ints(rn, 50_000, 3));
+        g.throughput(Throughput::Elements((ln + rn) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("hash", format!("{ln}x{rn}")),
+            &(),
+            |b, ()| b.iter(|| hash_join(&l, &r, None, None).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_group_agg(c: &mut Criterion) {
+    let keys = Bat::from_ints(ints(N, 100, 4));
+    let vals = Bat::from_ints(ints(N, 1000, 5));
+    let mut g = c.benchmark_group("kernel/aggregate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("group_by_100_groups", |b| {
+        b.iter(|| group_by(&keys, None, None).unwrap())
+    });
+    let grouping = group_by(&keys, None, None).unwrap();
+    g.bench_function("grouped_sum", |b| {
+        b.iter(|| grouped_agg(AggFunc::Sum, &vals, &grouping).unwrap())
+    });
+    g.bench_function("scalar_sum", |b| {
+        b.iter(|| scalar_agg(AggFunc::Sum, &vals, None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let bat = Bat::from_ints(ints(N, 1_000_000, 6));
+    let mut g = c.benchmark_group("kernel/sort");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("order_permutation", |b| {
+        b.iter(|| order(&bat, SortOrder::Asc, None).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_select, bench_join, bench_group_agg, bench_sort);
+criterion_main!(benches);

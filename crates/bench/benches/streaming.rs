@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the DataCell streaming layer: basket
+//! traffic, factory steps at varying batch sizes (the statistical backing
+//! for `exp1_batch`), and window evaluation (backing `exp5_windows`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacell::catalog::StreamCatalog;
+use datacell::factory::{Factory, FactoryOutput};
+use datacell::scheduler::Transition;
+use datacell::window::{BasicWindowAgg, ReEvalWindow, WindowSpec};
+use datacell_baseline::{Query, Selection, TupleEngine};
+use datacell_bat::aggregate::AggFunc;
+use datacell_bat::types::Value;
+use datacell_bat::DataType;
+use datacell_bench::int_stream;
+use datacell_sql::Schema;
+
+fn bench_basket(c: &mut Criterion) {
+    let mut cat = StreamCatalog::new();
+    let basket = cat
+        .create_basket("b", Schema::new(vec![("v".into(), DataType::Int)]))
+        .unwrap();
+    let rows = int_stream(1_000, 1000, 1);
+    let mut g = c.benchmark_group("streaming/basket");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("append_drain_1k", |b| {
+        b.iter(|| {
+            basket.append_rows(&rows).unwrap();
+            basket.drain()
+        })
+    });
+    g.finish();
+}
+
+fn bench_factory_batches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming/factory_step");
+    for batch in [1usize, 100, 10_000] {
+        let mut cat = StreamCatalog::new();
+        let input = cat
+            .create_basket("s", Schema::new(vec![("v".into(), DataType::Int)]))
+            .unwrap();
+        let factory = Factory::compile(
+            "q",
+            "select s2.v from [select * from s] as s2 where s2.v between 0 and 99",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        let rows = int_stream(batch, 1000, 2);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("batch", batch), &(), |b, ()| {
+            b.iter(|| {
+                input.append_rows(&rows).unwrap();
+                factory.step(None).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_per_tuple(c: &mut Criterion) {
+    let mut engine = TupleEngine::new();
+    engine.add_query(Query::new(
+        "q",
+        vec![Box::new(Selection {
+            column: 0,
+            lo: 0,
+            hi: 99,
+        })],
+    ));
+    let tuples: Vec<datacell_baseline::Tuple> = int_stream(1_000, 1000, 3)
+        .into_iter()
+        .map(|v| datacell_baseline::Tuple::new(v, 0))
+        .collect();
+    let mut g = c.benchmark_group("streaming/baseline");
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    g.bench_function("tuple_at_a_time_1k", |b| {
+        b.iter(|| {
+            for t in &tuples {
+                engine.push(t);
+            }
+            engine.query_mut(0).drain_results()
+        })
+    });
+    g.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming/window");
+    let rows = int_stream(10_000, 1000, 4);
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.sample_size(20);
+    for (name, size, slide) in [("tumbling_1k", 1_000usize, 1_000usize), ("sliding_4k_500", 4_000, 500)] {
+        g.bench_with_input(BenchmarkId::new("reeval", name), &(), |b, ()| {
+            let mut cat = StreamCatalog::new();
+            let input = cat
+                .create_basket("w", Schema::new(vec![("v".into(), DataType::Int)]))
+                .unwrap();
+            let w = ReEvalWindow::new(
+                "re",
+                "select sum(s.v) as value from [select * from w] as s",
+                &cat,
+                Arc::clone(&input),
+                WindowSpec::Count { size, slide },
+                FactoryOutput::Discard,
+            )
+            .unwrap();
+            b.iter(|| {
+                input.append_rows(&rows).unwrap();
+                w.step(None).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", name), &(), |b, ()| {
+            let mut cat = StreamCatalog::new();
+            let input = cat
+                .create_basket("w", Schema::new(vec![("v".into(), DataType::Int)]))
+                .unwrap();
+            let out = cat
+                .create_basket("o", Schema::new(vec![("value".into(), DataType::Int)]))
+                .unwrap();
+            let w = BasicWindowAgg::new(
+                "inc",
+                Arc::clone(&input),
+                "v",
+                AggFunc::Sum,
+                None,
+                size,
+                slide,
+                Arc::clone(&out),
+            )
+            .unwrap();
+            b.iter(|| {
+                input.append_rows(&rows).unwrap();
+                w.step(None).unwrap();
+                out.drain()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sql_compile(c: &mut Criterion) {
+    let mut cat = StreamCatalog::new();
+    cat.create_basket(
+        "s",
+        Schema::new(vec![
+            ("k".into(), DataType::Int),
+            ("v".into(), DataType::Int),
+        ]),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("streaming/compile");
+    g.bench_function("continuous_groupby", |b| {
+        b.iter(|| {
+            datacell_sql::compile_query(
+                "select s2.k, sum(s2.v) as sv from [select * from s where s.v > 10] as s2 \
+                 group by s2.k order by sv desc limit 5",
+                &cat,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+    let _ = Value::Int(0);
+}
+
+criterion_group!(
+    benches,
+    bench_basket,
+    bench_factory_batches,
+    bench_baseline_per_tuple,
+    bench_windows,
+    bench_sql_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! `tab:linearroad` — the paper's stated experiment (§5): Linear Road on
+//! DataCell.
+//!
+//! Sweeps the number of expressways L, validating outputs against the
+//! independent reference implementation and checking the benchmark's
+//! 5-second response-time rule. `headroom` is throughput relative to the
+//! real-time input rate: the maximum supported L is the largest with
+//! headroom > 1.
+//!
+//! Expected shape: every run validates; response times sit far below the
+//! 5 s deadline at low L; headroom shrinks roughly linearly with L.
+
+use datacell_bench::banner;
+use linearroad::harness::l_rating_sweep;
+
+fn main() {
+    banner(
+        "tab:linearroad",
+        "Linear Road (type 0/2/3 workload, synthetic MITSIM substitute), L swept",
+        "all runs validate; sub-deadline responses; headroom falls with L",
+    );
+    let reports = l_rating_sweep(&[1, 2, 4, 8], 600, 42);
+    for r in &reports {
+        println!("{}", r.table_row());
+        assert!(
+            r.validation.passed(),
+            "validation failed at L={}: {:?}",
+            r.xways,
+            r.validation.mismatches
+        );
+    }
+    let max_l = reports
+        .iter()
+        .filter(|r| r.headroom > 1.0 && r.passed())
+        .map(|r| r.xways)
+        .max();
+    println!();
+    match max_l {
+        Some(l) => println!("maximum supported L in this sweep: {l}"),
+        None => println!("no L in the sweep was sustainable"),
+    }
+}

@@ -1,0 +1,656 @@
+//! Baskets: the key data structure of the DataCell (§2.2).
+//!
+//! A basket holds a portion of a stream as a temporary main-memory table —
+//! one column per attribute plus the implicit `ts` timestamp column that
+//! records when each tuple entered the system. Receptors append, factories
+//! consume, and "careful management of the baskets ensures that one
+//! factory, receptor or emitter at a time updates a given basket"
+//! (§2.3) — here a [`parking_lot::Mutex`] held for the whole factory step.
+//!
+//! Two consumption disciplines coexist:
+//!
+//! * **exclusive** (separate-baskets strategy): a consuming scan's
+//!   qualifying positions are deleted immediately after the step;
+//! * **shared** (shared-baskets strategy): registered readers each keep an
+//!   oid *cursor*; a tuple is physically removed only once every reader's
+//!   cursor has passed it — "a tuple remains in its basket until all
+//!   relevant factories have seen it" (§2.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell_bat::candidates::Candidates;
+use datacell_bat::column::Column;
+use datacell_bat::types::{DataType, Value};
+use datacell_engine::Chunk;
+use datacell_sql::{ColumnDef, Schema};
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::now_micros;
+use crate::error::{DataCellError, Result};
+
+/// Name of the implicit arrival-timestamp column.
+pub const TS_COLUMN: &str = "ts";
+
+/// Monotone counters describing a basket's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BasketStats {
+    /// Tuples ever appended.
+    pub appended: u64,
+    /// Tuples ever removed (consumed or trimmed).
+    pub consumed: u64,
+}
+
+/// A version-counter signal used to wake the scheduler and emitters when a
+/// basket changes.
+#[derive(Debug, Default)]
+pub struct Signal {
+    version: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Signal {
+    /// Fresh signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump the version and wake all waiters.
+    pub fn notify(&self) {
+        let mut v = self.version.lock();
+        *v += 1;
+        self.cv.notify_all();
+    }
+
+    /// Current version (pair with [`Signal::wait_past`]).
+    pub fn version(&self) -> u64 {
+        *self.version.lock()
+    }
+
+    /// Block until the version exceeds `seen` or `timeout` elapses.
+    /// Returns the version observed on wakeup.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut v = self.version.lock();
+        if *v > seen {
+            return *v;
+        }
+        let _ = self.cv.wait_for(&mut v, timeout);
+        *v
+    }
+}
+
+/// Identifier of a registered shared reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReaderId(u32);
+
+#[derive(Debug)]
+struct Inner {
+    /// User columns followed by the `ts` column.
+    columns: Vec<Column>,
+    /// Oid of the first resident tuple.
+    base_oid: u64,
+    /// Shared readers' cursors (absolute oids).
+    cursors: HashMap<ReaderId, u64>,
+    next_reader: u32,
+    stats: BasketStats,
+}
+
+/// A stream buffer (see module docs). Shareable across threads via `Arc`.
+#[derive(Debug)]
+pub struct Basket {
+    name: String,
+    schema: Schema,
+    inner: Mutex<Inner>,
+    signal: Arc<Signal>,
+    /// Optional aggregated signal (the scheduler's): notified alongside the
+    /// basket's own signal so one waiter can watch every basket.
+    parent_signal: Mutex<Option<Arc<Signal>>>,
+}
+
+impl Basket {
+    /// Create a basket with the given *user* schema; the implicit
+    /// [`TS_COLUMN`] is appended. Rejects user columns named `ts`.
+    pub fn new(name: impl Into<String>, user_schema: Schema) -> Result<Self> {
+        let name = name.into();
+        if user_schema.index_of(TS_COLUMN).is_some() {
+            return Err(DataCellError::Catalog(format!(
+                "basket {name}: column name '{TS_COLUMN}' is reserved for the implicit \
+                 timestamp column"
+            )));
+        }
+        let mut schema = user_schema;
+        schema
+            .columns
+            .push(ColumnDef::new(TS_COLUMN, DataType::Timestamp));
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| Column::empty(c.ty))
+            .collect();
+        Ok(Basket {
+            name,
+            schema,
+            inner: Mutex::new(Inner {
+                columns,
+                base_oid: 0,
+                cursors: HashMap::new(),
+                next_reader: 0,
+                stats: BasketStats::default(),
+            }),
+            signal: Arc::new(Signal::new()),
+            parent_signal: Mutex::new(None),
+        })
+    }
+
+    /// Basket name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Full schema including the trailing `ts` column.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Width without the `ts` column.
+    pub fn user_width(&self) -> usize {
+        self.schema.len() - 1
+    }
+
+    /// The change signal (subscribe for wakeups).
+    pub fn signal(&self) -> Arc<Signal> {
+        Arc::clone(&self.signal)
+    }
+
+    /// Attach an aggregated signal (e.g. the scheduler's) that is notified
+    /// on every change alongside the basket's own signal.
+    pub fn set_parent_signal(&self, parent: Arc<Signal>) {
+        *self.parent_signal.lock() = Some(parent);
+    }
+
+    fn notify(&self) {
+        self.signal.notify();
+        if let Some(p) = self.parent_signal.lock().as_ref() {
+            p.notify();
+        }
+    }
+
+    /// Atomically snapshot and remove every resident tuple — the emitter's
+    /// pick-up step: no tuple can slip in between read and delete.
+    pub fn drain(&self) -> Chunk {
+        let chunk;
+        {
+            let mut inner = self.inner.lock();
+            let removed = inner.columns[0].len();
+            chunk = Chunk {
+                schema: self.schema.clone(),
+                columns: inner.columns.clone(),
+            };
+            let base = inner.base_oid + removed as u64;
+            for c in &mut inner.columns {
+                c.clear();
+            }
+            inner.base_oid = base;
+            for cur in inner.cursors.values_mut() {
+                *cur = base;
+            }
+            inner.stats.consumed += removed as u64;
+        }
+        if !chunk.is_empty() {
+            self.notify();
+        }
+        chunk
+    }
+
+    /// Resident tuple count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().columns[0].len()
+    }
+
+    /// True iff no tuples are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tuples not yet seen by shared reader `r`.
+    pub fn pending_for(&self, r: ReaderId) -> usize {
+        let inner = self.inner.lock();
+        let cursor = inner.cursors.get(&r).copied().unwrap_or(inner.base_oid);
+        let end = inner.base_oid + inner.columns[0].len() as u64;
+        (end - cursor.min(end)) as usize
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> BasketStats {
+        self.inner.lock().stats
+    }
+
+    /// Append rows of user values (arity = user width); each row is stamped
+    /// with the current engine time.
+    pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut inner = self.inner.lock();
+            let user_width = self.schema.len() - 1;
+            for row in rows {
+                if row.len() != user_width {
+                    return Err(DataCellError::Wiring(format!(
+                        "basket {}: row arity {} != {}",
+                        self.name,
+                        row.len(),
+                        user_width
+                    )));
+                }
+            }
+            let ts = now_micros();
+            for row in rows {
+                for (v, (c, cd)) in row.iter().zip(
+                    inner
+                        .columns
+                        .iter_mut()
+                        .zip(self.schema.columns.iter())
+                        .take(user_width),
+                ) {
+                    if v.is_nil() {
+                        c.push_nil();
+                    } else {
+                        let coerced = v.coerce_to(cd.ty).ok_or_else(|| {
+                            DataCellError::Wiring(format!(
+                                "basket: cannot coerce {v:?} to {}",
+                                cd.ty
+                            ))
+                        })?;
+                        c.push(&coerced)?;
+                    }
+                }
+                inner
+                    .columns
+                    .last_mut()
+                    .expect("ts column")
+                    .push(&Value::Timestamp(ts))?;
+            }
+            inner.stats.appended += rows.len() as u64;
+        }
+        self.notify();
+        Ok(())
+    }
+
+    /// Append a chunk of user columns (no `ts`); stamps arrival time.
+    pub fn append_chunk(&self, chunk: &Chunk) -> Result<()> {
+        self.append_chunk_impl(chunk, None)
+    }
+
+    /// Append a chunk whose **last column is a timestamp column** to carry
+    /// through (factory outputs propagating the original arrival time so
+    /// emitters can measure true end-to-end latency).
+    pub fn append_chunk_carry_ts(&self, chunk: &Chunk) -> Result<()> {
+        self.append_chunk_impl(chunk, Some(chunk.schema.len() - 1))
+    }
+
+    fn append_chunk_impl(&self, chunk: &Chunk, ts_from: Option<usize>) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut inner = self.inner.lock();
+            let user_width = self.schema.len() - 1;
+            let data_width = match ts_from {
+                None => chunk.schema.len(),
+                Some(_) => chunk.schema.len() - 1,
+            };
+            if data_width != user_width {
+                return Err(DataCellError::Wiring(format!(
+                    "basket {}: chunk width {} != user width {}",
+                    self.name, data_width, user_width
+                )));
+            }
+            for i in 0..user_width {
+                inner.columns[i].append_column(&chunk.columns[i])?;
+            }
+            match ts_from {
+                None => {
+                    let ts = now_micros();
+                    let n = chunk.len();
+                    let last = inner.columns.last_mut().expect("ts column");
+                    for _ in 0..n {
+                        last.push(&Value::Timestamp(ts))?;
+                    }
+                }
+                Some(idx) => {
+                    let src = &chunk.columns[idx];
+                    if src.data_type() != DataType::Timestamp {
+                        return Err(DataCellError::Wiring(format!(
+                            "basket {}: carry-ts column has type {}, expected timestamp",
+                            self.name,
+                            src.data_type()
+                        )));
+                    }
+                    let src = src.clone();
+                    inner
+                        .columns
+                        .last_mut()
+                        .expect("ts column")
+                        .append_column(&src)?;
+                }
+            }
+            inner.stats.appended += chunk.len() as u64;
+        }
+        self.notify();
+        Ok(())
+    }
+
+    /// Snapshot the full resident contents (all columns including `ts`).
+    pub fn snapshot(&self) -> Chunk {
+        let inner = self.inner.lock();
+        Chunk {
+            schema: self.schema.clone(),
+            columns: inner.columns.clone(),
+        }
+    }
+
+    /// Delete the tuples at `positions` (relative to the current snapshot).
+    /// Used to apply the consumption side effect of basket expressions in
+    /// the exclusive (separate-baskets) discipline.
+    pub fn consume_positions(&self, positions: &Candidates) -> Result<usize> {
+        let removed;
+        {
+            let mut inner = self.inner.lock();
+            let len = inner.columns[0].len();
+            let keep = positions.complement(len).to_positions();
+            removed = len - keep.len();
+            if removed == 0 {
+                return Ok(0);
+            }
+            for c in &mut inner.columns {
+                c.retain_positions(&keep)?;
+            }
+            // Deleting arbitrary positions invalidates oid-density; shared
+            // readers and exclusive consumption are not meant to be mixed on
+            // one basket, but keep cursors sane by clamping to the new end.
+            inner.base_oid += removed as u64;
+            let end = inner.base_oid + inner.columns[0].len() as u64;
+            for cur in inner.cursors.values_mut() {
+                *cur = (*cur).min(end);
+            }
+            inner.stats.consumed += removed as u64;
+        }
+        self.notify();
+        Ok(removed)
+    }
+
+    /// Remove every resident tuple (`basket.empty` of Algorithm 1).
+    pub fn clear(&self) -> usize {
+        let removed;
+        {
+            let mut inner = self.inner.lock();
+            removed = inner.columns[0].len();
+            let base = inner.base_oid + removed as u64;
+            for c in &mut inner.columns {
+                c.clear();
+            }
+            inner.base_oid = base;
+            for cur in inner.cursors.values_mut() {
+                *cur = base;
+            }
+            inner.stats.consumed += removed as u64;
+        }
+        self.notify();
+        removed
+    }
+
+    // ------------- shared-reader discipline (§2.5) -------------
+
+    /// Register a shared reader starting at the current end of stream
+    /// (it sees only tuples arriving after registration) or at the start of
+    /// resident data when `from_start`.
+    pub fn register_reader(&self, from_start: bool) -> ReaderId {
+        let mut inner = self.inner.lock();
+        let id = ReaderId(inner.next_reader);
+        inner.next_reader += 1;
+        let cursor = if from_start {
+            inner.base_oid
+        } else {
+            inner.base_oid + inner.columns[0].len() as u64
+        };
+        inner.cursors.insert(id, cursor);
+        id
+    }
+
+    /// Remove a reader; its cursor no longer holds back trimming.
+    pub fn unregister_reader(&self, r: ReaderId) {
+        let mut inner = self.inner.lock();
+        inner.cursors.remove(&r);
+        drop(inner);
+        self.trim();
+    }
+
+    /// Snapshot the tuples reader `r` has not yet seen, along with the end
+    /// oid to pass to [`Basket::commit_reader`] after processing.
+    pub fn snapshot_for_reader(&self, r: ReaderId) -> (Chunk, u64) {
+        let inner = self.inner.lock();
+        let base = inner.base_oid;
+        let len = inner.columns[0].len();
+        let cursor = inner.cursors.get(&r).copied().unwrap_or(base);
+        let from = (cursor.saturating_sub(base) as usize).min(len);
+        let columns = inner
+            .columns
+            .iter()
+            .map(|c| c.slice(from, len).expect("slice within bounds"))
+            .collect();
+        (
+            Chunk {
+                schema: self.schema.clone(),
+                columns,
+            },
+            base + len as u64,
+        )
+    }
+
+    /// Advance reader `r`'s cursor to `end_oid` and trim tuples every
+    /// reader has now seen.
+    pub fn commit_reader(&self, r: ReaderId, end_oid: u64) {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(cur) = inner.cursors.get_mut(&r) {
+                *cur = (*cur).max(end_oid);
+            }
+        }
+        self.trim();
+    }
+
+    /// Drop the prefix all registered readers have consumed. No-op when no
+    /// readers are registered (exclusive baskets trim via consumption).
+    fn trim(&self) {
+        let mut notified = false;
+        {
+            let mut inner = self.inner.lock();
+            if inner.cursors.is_empty() {
+                return;
+            }
+            let min_cursor = inner.cursors.values().copied().min().unwrap_or(0);
+            let drop_n = min_cursor.saturating_sub(inner.base_oid) as usize;
+            let drop_n = drop_n.min(inner.columns[0].len());
+            if drop_n > 0 {
+                for c in &mut inner.columns {
+                    c.drop_head(drop_n);
+                }
+                inner.base_oid += drop_n as u64;
+                inner.stats.consumed += drop_n as u64;
+                notified = true;
+            }
+        }
+        if notified {
+            self.notify();
+        }
+    }
+
+    /// Heap footprint in bytes (diagnostics / load shedding).
+    pub fn byte_size(&self) -> usize {
+        self.inner.lock().columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_bat::types::DataType;
+
+    fn basket() -> Basket {
+        Basket::new(
+            "b",
+            Schema::new(vec![
+                ("x".into(), DataType::Int),
+                ("y".into(), DataType::Float),
+            ]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn implicit_ts_column() {
+        let b = basket();
+        assert_eq!(b.schema().len(), 3);
+        assert_eq!(b.schema().columns[2].name, TS_COLUMN);
+        assert_eq!(b.user_width(), 2);
+        assert!(Basket::new(
+            "bad",
+            Schema::new(vec![("ts".into(), DataType::Int)])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn append_rows_stamps_ts() {
+        let b = basket();
+        b.append_rows(&[
+            vec![Value::Int(1), Value::Float(0.5)],
+            vec![Value::Int(2), Value::Float(1.5)],
+        ])
+        .unwrap();
+        assert_eq!(b.len(), 2);
+        let snap = b.snapshot();
+        let ts = snap.columns[2].as_timestamps().unwrap();
+        assert!(ts[0] >= 0 && ts[1] >= ts[0]);
+        assert_eq!(b.stats().appended, 2);
+    }
+
+    #[test]
+    fn arity_and_coercion_checked() {
+        let b = basket();
+        assert!(b.append_rows(&[vec![Value::Int(1)]]).is_err());
+        assert!(b
+            .append_rows(&[vec![Value::Str("no".into()), Value::Float(0.0)]])
+            .is_err());
+        // Int coerces into float column.
+        b.append_rows(&[vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn consume_positions_removes() {
+        let b = basket();
+        for i in 0..5 {
+            b.append_rows(&[vec![Value::Int(i), Value::Float(0.0)]]).unwrap();
+        }
+        let n = b
+            .consume_positions(&Candidates::from_positions(vec![0, 2, 4]).unwrap())
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(b.len(), 2);
+        let snap = b.snapshot();
+        assert_eq!(snap.columns[0].as_ints().unwrap(), &[1, 3]);
+        assert_eq!(b.stats().consumed, 3);
+    }
+
+    #[test]
+    fn clear_empties_and_counts() {
+        let b = basket();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        assert_eq!(b.clear(), 1);
+        assert!(b.is_empty());
+        assert_eq!(b.stats().consumed, 1);
+    }
+
+    #[test]
+    fn shared_readers_see_disjoint_batches_and_trim() {
+        let b = basket();
+        let r1 = b.register_reader(true);
+        let r2 = b.register_reader(true);
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]]).unwrap();
+
+        let (c1, end1) = b.snapshot_for_reader(r1);
+        assert_eq!(c1.len(), 2);
+        b.commit_reader(r1, end1);
+        // r2 has not read: nothing trimmed yet (§2.5).
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pending_for(r1), 0);
+        assert_eq!(b.pending_for(r2), 2);
+
+        let (c2, end2) = b.snapshot_for_reader(r2);
+        assert_eq!(c2.len(), 2);
+        b.commit_reader(r2, end2);
+        // All readers have seen the tuples: basket trimmed.
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.stats().consumed, 2);
+    }
+
+    #[test]
+    fn late_reader_starts_at_end() {
+        let b = basket();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        let r = b.register_reader(false);
+        assert_eq!(b.pending_for(r), 0);
+        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]]).unwrap();
+        assert_eq!(b.pending_for(r), 1);
+        let (c, _) = b.snapshot_for_reader(r);
+        assert_eq!(c.columns[0].as_ints().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn unregister_releases_trim() {
+        let b = basket();
+        let r1 = b.register_reader(true);
+        let r2 = b.register_reader(true);
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        let (_, end) = b.snapshot_for_reader(r1);
+        b.commit_reader(r1, end);
+        assert_eq!(b.len(), 1);
+        b.unregister_reader(r2);
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn signal_versions_bump_on_append() {
+        let b = basket();
+        let s = b.signal();
+        let v0 = s.version();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        assert!(s.version() > v0);
+    }
+
+    #[test]
+    fn append_chunk_carry_ts_preserves_times() {
+        let b = basket();
+        // Build a chunk shaped like a factory output: x, y, ts.
+        let chunk = Chunk::new(
+            Schema::new(vec![
+                ("x".into(), DataType::Int),
+                ("y".into(), DataType::Float),
+                ("ts".into(), DataType::Timestamp),
+            ]),
+            vec![
+                Column::from_ints(vec![7]),
+                Column::from_floats(vec![1.0]),
+                Column::from_timestamps(vec![12345]),
+            ],
+        )
+        .unwrap();
+        b.append_chunk_carry_ts(&chunk).unwrap();
+        let snap = b.snapshot();
+        assert_eq!(snap.columns[2].as_timestamps().unwrap(), &[12345]);
+    }
+}

@@ -1,0 +1,35 @@
+//! The engine clock: microseconds since process start.
+//!
+//! Every tuple entering the system is stamped with this clock (the implicit
+//! `ts` column of §2.2); emitters subtract it from "now" to measure
+//! end-to-end latency. A monotonic, process-local epoch keeps timestamps
+//! comparable across threads without wall-clock hazards.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the engine epoch (first call wins the epoch).
+pub fn now_micros() -> i64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as i64
+}
+
+/// Force epoch initialization (call early in main for tidy timestamps).
+pub fn init() {
+    let _ = now_micros();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+        assert!(a >= 0);
+    }
+}

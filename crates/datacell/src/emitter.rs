@@ -1,0 +1,344 @@
+//! Emitters: threads at the output periphery (§2.1).
+//!
+//! "An emitter is a separate thread that picks up events prepared by the
+//! DataCell kernel and delivers them to interested clients, i.e., those
+//! that have subscribed to a query result." An emitter drains its basket
+//! atomically (no tuple is delivered twice, none is lost) and hands the
+//! batch to a [`Sink`]. The textual sink reproduces the paper's flat
+//! tuple-exchange format; the latency sink powers the evaluation harness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use datacell_bat::types::Value;
+use datacell_engine::Chunk;
+use parking_lot::Mutex;
+
+use crate::basket::Basket;
+use crate::clock::now_micros;
+use crate::error::{DataCellError, Result};
+use crate::metrics::LatencyHistogram;
+
+/// Where an emitter delivers result batches.
+pub trait Sink: Send {
+    /// Deliver one drained batch (includes the basket's `ts` column last).
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()>;
+}
+
+/// Renders each tuple as a comma-separated text line into a channel — the
+/// paper's textual interface towards clients.
+pub struct TextSink {
+    tx: Sender<String>,
+    /// Include the trailing `ts` column in the rendering?
+    pub include_ts: bool,
+}
+
+impl TextSink {
+    /// Deliver lines into `tx`, omitting the `ts` column.
+    pub fn new(tx: Sender<String>) -> Self {
+        TextSink {
+            tx,
+            include_ts: false,
+        }
+    }
+}
+
+impl Sink for TextSink {
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()> {
+        let width = if self.include_ts {
+            chunk.schema.len()
+        } else {
+            chunk.schema.len().saturating_sub(1)
+        };
+        for i in 0..chunk.len() {
+            let row = chunk.row(i)?;
+            let line = row[..width]
+                .iter()
+                .map(Value::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            self.tx
+                .send(line)
+                .map_err(|_| DataCellError::Runtime("text sink disconnected".into()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects delivered rows in memory (tests, examples).
+#[derive(Clone, Default)]
+pub struct CollectSink {
+    rows: Arc<Mutex<Vec<Vec<Value>>>>,
+}
+
+impl CollectSink {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows delivered so far (without the trailing `ts` column).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        self.rows.lock().clone()
+    }
+
+    /// Number of rows delivered.
+    pub fn len(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// True iff nothing delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for CollectSink {
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()> {
+        let width = chunk.schema.len().saturating_sub(1);
+        let mut rows = self.rows.lock();
+        for i in 0..chunk.len() {
+            let mut row = chunk.row(i)?;
+            row.truncate(width);
+            rows.push(row);
+        }
+        Ok(())
+    }
+}
+
+/// Records per-tuple end-to-end latency: delivery time minus the tuple's
+/// `ts` column (arrival stamp, carried through factories when strategies
+/// project it).
+#[derive(Clone)]
+pub struct LatencySink {
+    histogram: Arc<LatencyHistogram>,
+}
+
+impl LatencySink {
+    /// Record into `histogram`.
+    pub fn new(histogram: Arc<LatencyHistogram>) -> Self {
+        LatencySink { histogram }
+    }
+}
+
+impl Sink for LatencySink {
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()> {
+        let ts_col = chunk.schema.len() - 1;
+        let now = now_micros();
+        let ts = chunk.columns[ts_col].as_timestamps()?;
+        for &t in ts {
+            self.histogram.record((now - t).max(0) as u64);
+        }
+        Ok(())
+    }
+}
+
+/// Fan a batch out to several sinks.
+pub struct TeeSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// Combine sinks.
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()> {
+        for s in &mut self.sinks {
+            s.deliver(chunk)?;
+        }
+        Ok(())
+    }
+}
+
+/// Monotone emitter counters.
+#[derive(Debug, Default)]
+pub struct EmitterStats {
+    /// Tuples delivered.
+    pub tuples: AtomicU64,
+    /// Drain cycles that delivered at least one tuple.
+    pub batches: AtomicU64,
+}
+
+/// A running emitter thread.
+pub struct Emitter {
+    name: String,
+    stop: Arc<AtomicBool>,
+    stats: Arc<EmitterStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Emitter {
+    /// Spawn an emitter draining `basket` into `sink` whenever the basket
+    /// signals new content.
+    pub fn spawn(
+        name: impl Into<String>,
+        basket: Arc<Basket>,
+        mut sink: impl Sink + 'static,
+    ) -> Result<Emitter> {
+        let name = name.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(EmitterStats::default());
+        let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&stats);
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("emitter-{name}"))
+            .spawn(move || {
+                let signal = basket.signal();
+                let mut seen = signal.version();
+                while !thread_stop.load(Ordering::Relaxed) {
+                    let chunk = basket.drain();
+                    if chunk.is_empty() {
+                        seen = signal.wait_past(seen, Duration::from_millis(5));
+                        continue;
+                    }
+                    thread_stats
+                        .tuples
+                        .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    thread_stats.batches.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = sink.deliver(&chunk) {
+                        eprintln!("emitter {thread_name}: {e}");
+                        break;
+                    }
+                }
+            })
+            .map_err(|e| DataCellError::Runtime(format!("spawn emitter: {e}")))?;
+        Ok(Emitter {
+            name,
+            stop,
+            stats,
+            handle: Some(handle),
+        })
+    }
+
+    /// Emitter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tuples delivered so far.
+    pub fn tuples_delivered(&self) -> u64 {
+        self.stats.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Stop the thread and wait for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Emitter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use datacell_bat::types::DataType;
+    use datacell_sql::Schema;
+
+    fn basket() -> Arc<Basket> {
+        Arc::new(
+            Basket::new("out", Schema::new(vec![("x".into(), DataType::Int)])).unwrap(),
+        )
+    }
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < Duration::from_millis(deadline_ms) {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn collect_sink_receives_all_tuples() {
+        let b = basket();
+        let sink = CollectSink::new();
+        let e = Emitter::spawn("e", Arc::clone(&b), sink.clone()).unwrap();
+        for i in 0..50 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(2000, || sink.len() == 50), "got {}", sink.len());
+        assert!(b.is_empty());
+        assert_eq!(e.tuples_delivered(), 50);
+        e.stop();
+        let rows = sink.rows();
+        assert_eq!(rows[0], vec![Value::Int(0)]);
+        assert_eq!(rows[49], vec![Value::Int(49)]);
+    }
+
+    #[test]
+    fn text_sink_renders_lines() {
+        let b = basket();
+        let (tx, rx) = unbounded();
+        let e = Emitter::spawn("e", Arc::clone(&b), TextSink::new(tx)).unwrap();
+        b.append_rows(&[vec![Value::Int(7)], vec![Value::Nil]]).unwrap();
+        let line1 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let line2 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(line1, "7");
+        assert_eq!(line2, "nil");
+        e.stop();
+    }
+
+    #[test]
+    fn latency_sink_records_per_tuple() {
+        let b = basket();
+        let hist = Arc::new(LatencyHistogram::new());
+        let e = Emitter::spawn("e", Arc::clone(&b), LatencySink::new(Arc::clone(&hist))).unwrap();
+        b.append_rows(&[vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        assert!(wait_until(2000, || hist.count() == 2));
+        e.stop();
+        assert!(hist.mean_micros() >= 0.0);
+    }
+
+    #[test]
+    fn drain_is_atomic_no_duplicates() {
+        let b = basket();
+        let sink = CollectSink::new();
+        let e = Emitter::spawn("e", Arc::clone(&b), sink.clone()).unwrap();
+        // Hammer appends from two threads while the emitter drains.
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        b.append_rows(&[vec![Value::Int(w * 1000 + i)]]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(wait_until(3000, || sink.len() == 1000), "got {}", sink.len());
+        e.stop();
+        let mut values: Vec<i64> = sink
+            .rows()
+            .into_iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 1000, "no duplicates, no losses");
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the DataCell layer.
+
+use std::fmt;
+
+use datacell_bat::BatError;
+use datacell_sql::SqlError;
+
+/// Errors raised by the stream engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataCellError {
+    /// Kernel-level failure.
+    Kernel(BatError),
+    /// Front-end (parse/bind/plan) failure.
+    Sql(SqlError),
+    /// Catalog problems: unknown/duplicate baskets, factories, queries.
+    Catalog(String),
+    /// Invalid component wiring (e.g. a factory with no input baskets).
+    Wiring(String),
+    /// A component thread failed or disconnected.
+    Runtime(String),
+}
+
+impl fmt::Display for DataCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataCellError::Kernel(e) => write!(f, "kernel error: {e}"),
+            DataCellError::Sql(e) => write!(f, "sql error: {e}"),
+            DataCellError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DataCellError::Wiring(m) => write!(f, "wiring error: {m}"),
+            DataCellError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataCellError {}
+
+impl From<BatError> for DataCellError {
+    fn from(e: BatError) -> Self {
+        DataCellError::Kernel(e)
+    }
+}
+
+impl From<SqlError> for DataCellError {
+    fn from(e: SqlError) -> Self {
+        DataCellError::Sql(e)
+    }
+}
+
+/// Result alias for the stream engine.
+pub type Result<T> = std::result::Result<T, DataCellError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let k: DataCellError = BatError::DivisionByZero.into();
+        assert!(k.to_string().contains("kernel"));
+        let s: DataCellError = SqlError::Bind("x".into()).into();
+        assert!(s.to_string().contains("sql"));
+        assert!(DataCellError::Wiring("no inputs".into())
+            .to_string()
+            .contains("wiring"));
+    }
+}

@@ -1,0 +1,686 @@
+//! Factories: compiled continuous queries with state saved between calls
+//! (§2.3, Algorithm 1).
+//!
+//! A factory owns the physical plan of one continuous query (or one part of
+//! a split plan, §3.2), references to its input baskets (data inputs, each
+//! exclusive or shared), optional *control* baskets that regulate firing
+//! (the auxiliary token places of §2.4), and an optional output basket.
+//!
+//! One `step()` is one loop iteration of Algorithm 1:
+//!
+//! 1. snapshot the input baskets (the locks are per-basket and internal —
+//!    see the concurrency note below);
+//! 2. run the plan in bulk over the snapshots;
+//! 3. apply consumption: exclusive inputs delete exactly the tuples the
+//!    basket expression referenced; shared inputs advance their reader
+//!    cursor;
+//! 4. append results to the output basket and emit control tokens.
+//!
+//! **Concurrency.** The paper's Algorithm 1 holds the basket locks for the
+//! whole loop body. We get the same effect with finer locks because (a)
+//! receptors only ever *append*, and consumption is expressed as positions
+//! within the snapshot — appends that slip in during plan execution are
+//! untouched and wait for the next firing; (b) two factories never consume
+//! the same basket exclusively at the same time by construction (the
+//! scheduler fires a factory at most once concurrently, and cascades
+//! serialize via control tokens).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use datacell_bat::candidates::Candidates;
+use datacell_bat::types::Value;
+use datacell_engine::{execute, Catalog, Chunk};
+use datacell_sql::physical::PhysicalPlan;
+use datacell_sql::Schema;
+
+use crate::basket::{Basket, ReaderId};
+use crate::catalog::{StepSource, StreamCatalog};
+use crate::error::{DataCellError, Result};
+
+/// How a factory reads one of its input baskets.
+#[derive(Debug, Clone, Copy)]
+pub enum InputMode {
+    /// Separate-baskets discipline: the basket expression's qualifying
+    /// tuples are deleted right after the step.
+    Exclusive,
+    /// Shared-baskets discipline: read from this reader's cursor; tuples
+    /// are removed only when every reader has passed them.
+    Shared(ReaderId),
+}
+
+/// One data input of a factory.
+#[derive(Debug, Clone)]
+pub struct FactoryInput {
+    /// The basket read from.
+    pub basket: Arc<Basket>,
+    /// Read/consume discipline.
+    pub mode: InputMode,
+}
+
+/// Where a factory's result tuples go.
+#[derive(Clone)]
+pub enum FactoryOutput {
+    /// Append to a basket, stamping a fresh arrival timestamp.
+    Basket(Arc<Basket>),
+    /// Append to a basket, carrying the plan's last output column (which
+    /// must be a timestamp) through as the arrival time — used to preserve
+    /// end-to-end latency accounting across a factory chain.
+    BasketCarryTs(Arc<Basket>),
+    /// Discard results (pure side-effect factories, e.g. the terminal stage
+    /// of a cascade chain, or benchmarks measuring pure query cost).
+    Discard,
+}
+
+impl std::fmt::Debug for FactoryOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactoryOutput::Basket(b) => write!(f, "Basket({})", b.name()),
+            FactoryOutput::BasketCarryTs(b) => write!(f, "BasketCarryTs({})", b.name()),
+            FactoryOutput::Discard => write!(f, "Discard"),
+        }
+    }
+}
+
+/// Monotone counters for one factory.
+#[derive(Debug, Default)]
+pub struct FactoryStats {
+    /// Completed firings.
+    pub invocations: AtomicU64,
+    /// Input tuples processed (sum over data inputs of snapshot sizes).
+    pub tuples_in: AtomicU64,
+    /// Result tuples produced.
+    pub tuples_out: AtomicU64,
+    /// Time spent inside `step`, in microseconds.
+    pub busy_micros: AtomicU64,
+}
+
+/// Snapshot of [`FactoryStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactoryStatsSnapshot {
+    /// Completed firings.
+    pub invocations: u64,
+    /// Input tuples processed.
+    pub tuples_in: u64,
+    /// Result tuples produced.
+    pub tuples_out: u64,
+    /// Total busy time in microseconds.
+    pub busy_micros: u64,
+}
+
+/// Result of one firing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Tuples visible in input snapshots.
+    pub tuples_in: usize,
+    /// Tuples removed from input baskets.
+    pub consumed: usize,
+    /// Result tuples produced.
+    pub produced: usize,
+}
+
+/// A compiled continuous query (or plan fragment) — see module docs.
+pub struct Factory {
+    name: String,
+    plan: PhysicalPlan,
+    out_schema: Schema,
+    inputs: Vec<FactoryInput>,
+    control_in: Vec<Arc<Basket>>,
+    control_out: Vec<Arc<Basket>>,
+    output: FactoryOutput,
+    /// Fire only when every data input has at least this many pending
+    /// tuples (§2.4: "the system may explicitly require a basket to have a
+    /// minimum of n tuples before the relevant factory may run").
+    min_tuples: usize,
+    /// After the step, delete the *entire* input snapshot from exclusive
+    /// inputs, not just the qualifying tuples. Terminal stages of cascade
+    /// chains use this to drop tuples no later query wants.
+    drain_inputs: bool,
+    /// When false, data inputs need not be non-empty to fire — the factory
+    /// fires on control tokens alone, processing whatever is resident
+    /// (possibly nothing). Cascade stages after the first use this so an
+    /// empty leftover basket cannot wedge the token chain.
+    require_data: bool,
+    stats: FactoryStats,
+}
+
+impl std::fmt::Debug for Factory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Factory")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs.len())
+            .field("output", &self.output)
+            .field("min_tuples", &self.min_tuples)
+            .finish()
+    }
+}
+
+impl Factory {
+    /// Compile a continuous query into a factory.
+    ///
+    /// `sql` must be a SELECT containing at least one basket expression;
+    /// the consumed baskets become the factory's data inputs (exclusive by
+    /// default — strategies switch them to shared).
+    pub fn compile(
+        name: impl Into<String>,
+        sql: &str,
+        catalog: &StreamCatalog,
+        output: FactoryOutput,
+    ) -> Result<Factory> {
+        let (plan, out_schema) = datacell_sql::compile_query(sql, catalog)?;
+        Factory::from_plan(name, plan, out_schema, catalog, output)
+    }
+
+    /// Build a factory from an already-compiled plan.
+    pub fn from_plan(
+        name: impl Into<String>,
+        plan: PhysicalPlan,
+        out_schema: Schema,
+        catalog: &StreamCatalog,
+        output: FactoryOutput,
+    ) -> Result<Factory> {
+        let name = name.into();
+        let consumed = plan.consumed_baskets();
+        if consumed.is_empty() {
+            return Err(DataCellError::Wiring(format!(
+                "factory {name}: the query has no basket expression — it is a one-time \
+                 query, not a continuous one (§2.6)"
+            )));
+        }
+        let inputs = consumed
+            .iter()
+            .map(|b| {
+                Ok(FactoryInput {
+                    basket: catalog.basket(b)?,
+                    mode: InputMode::Exclusive,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let factory = Factory {
+            name,
+            plan,
+            out_schema,
+            inputs,
+            control_in: Vec::new(),
+            control_out: Vec::new(),
+            output,
+            min_tuples: 1,
+            drain_inputs: false,
+            require_data: true,
+            stats: FactoryStats::default(),
+        };
+        factory.validate_output()?;
+        Ok(factory)
+    }
+
+    fn validate_output(&self) -> Result<()> {
+        match &self.output {
+            FactoryOutput::Basket(b) => {
+                if b.user_width() != self.out_schema.len() {
+                    return Err(DataCellError::Wiring(format!(
+                        "factory {}: output width {} != basket {} user width {}",
+                        self.name,
+                        self.out_schema.len(),
+                        b.name(),
+                        b.user_width()
+                    )));
+                }
+            }
+            FactoryOutput::BasketCarryTs(b) => {
+                if self.out_schema.is_empty()
+                    || b.user_width() != self.out_schema.len() - 1
+                {
+                    return Err(DataCellError::Wiring(format!(
+                        "factory {}: carry-ts output needs plan width {} = basket user \
+                         width + 1",
+                        self.name,
+                        self.out_schema.len()
+                    )));
+                }
+                if self.out_schema.columns.last().map(|c| c.ty)
+                    != Some(datacell_bat::DataType::Timestamp)
+                {
+                    return Err(DataCellError::Wiring(format!(
+                        "factory {}: carry-ts output requires a trailing timestamp column",
+                        self.name
+                    )));
+                }
+            }
+            FactoryOutput::Discard => {}
+        }
+        Ok(())
+    }
+
+    /// Factory name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled plan (diagnostics, Petri-net construction).
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Output schema of the plan.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Data inputs.
+    pub fn inputs(&self) -> &[FactoryInput] {
+        &self.inputs
+    }
+
+    /// Output wiring.
+    pub fn output(&self) -> &FactoryOutput {
+        &self.output
+    }
+
+    /// Control-input baskets (token places).
+    pub fn control_in(&self) -> &[Arc<Basket>] {
+        &self.control_in
+    }
+
+    /// Control-output baskets.
+    pub fn control_out(&self) -> &[Arc<Basket>] {
+        &self.control_out
+    }
+
+    /// Set the firing threshold.
+    pub fn set_min_tuples(&mut self, n: usize) {
+        self.min_tuples = n.max(1);
+    }
+
+    /// Firing threshold.
+    pub fn min_tuples(&self) -> usize {
+        self.min_tuples
+    }
+
+    /// Mark this factory as a cascade terminal: after each step it deletes
+    /// its whole input snapshot (leftover tuples no query wants).
+    pub fn set_drain_inputs(&mut self, drain: bool) {
+        self.drain_inputs = drain;
+    }
+
+    /// Allow firing with empty data inputs (cascade stages gated purely by
+    /// control tokens).
+    pub fn set_require_data(&mut self, require: bool) {
+        self.require_data = require;
+    }
+
+    /// Switch input basket `name` to the shared discipline using reader `r`.
+    pub fn set_shared(&mut self, basket: &str, r: ReaderId) -> Result<()> {
+        for input in &mut self.inputs {
+            if input.basket.name() == basket {
+                input.mode = InputMode::Shared(r);
+                return Ok(());
+            }
+        }
+        Err(DataCellError::Wiring(format!(
+            "factory {}: no input basket {basket}",
+            self.name
+        )))
+    }
+
+    /// Add a control input (the factory consumes one token per firing).
+    pub fn add_control_in(&mut self, token_basket: Arc<Basket>) {
+        self.control_in.push(token_basket);
+    }
+
+    /// Add a control output (the factory emits one token per firing).
+    pub fn add_control_out(&mut self, token_basket: Arc<Basket>) {
+        self.control_out.push(token_basket);
+    }
+
+    /// Petri-net firing condition (§2.4): every data input holds at least
+    /// `min_tuples` pending tuples and every control input holds a token.
+    pub fn ready(&self) -> bool {
+        let data_ready = !self.require_data
+            || self.inputs.iter().all(|i| match i.mode {
+                InputMode::Exclusive => i.basket.len() >= self.min_tuples,
+                InputMode::Shared(r) => i.basket.pending_for(r) >= self.min_tuples,
+            });
+        data_ready && self.control_in.iter().all(|c| !c.is_empty())
+    }
+
+    /// Fire once: snapshot → execute → consume → emit (Algorithm 1 body).
+    pub fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
+        let started = Instant::now();
+
+        // 1. Snapshot inputs.
+        let mut snapshots: HashMap<String, Chunk> = HashMap::new();
+        let mut shared_ends: HashMap<String, u64> = HashMap::new();
+        let mut tuples_in = 0usize;
+        for input in &self.inputs {
+            let name = input.basket.name().to_string();
+            let chunk = match input.mode {
+                InputMode::Exclusive => input.basket.snapshot(),
+                InputMode::Shared(r) => {
+                    let (chunk, end) = input.basket.snapshot_for_reader(r);
+                    shared_ends.insert(name.clone(), end);
+                    chunk
+                }
+            };
+            tuples_in += chunk.len();
+            snapshots.insert(name, chunk);
+        }
+
+        // 2. Execute the plan over the snapshots.
+        let src = StepSource {
+            snapshots: &snapshots,
+            tables,
+        };
+        let outcome = execute(&self.plan, &src)?;
+
+        // 3. Consumption (§2.6 side effect).
+        let mut consumed = 0usize;
+        // Merge candidates per basket (a self-join of one basket reports it
+        // twice).
+        let mut merged: HashMap<&str, Candidates> = HashMap::new();
+        for (name, cands) in &outcome.consumed {
+            merged
+                .entry(name.as_str())
+                .and_modify(|c| *c = c.union(cands))
+                .or_insert_with(|| cands.clone());
+        }
+        for input in &self.inputs {
+            let name = input.basket.name();
+            match input.mode {
+                InputMode::Exclusive => {
+                    if self.drain_inputs {
+                        let n = snapshots.get(name).map_or(0, Chunk::len);
+                        consumed += input.basket.consume_positions(&Candidates::all(n))?;
+                    } else if let Some(cands) = merged.get(name) {
+                        consumed += input.basket.consume_positions(cands)?;
+                    }
+                }
+                InputMode::Shared(r) => {
+                    if let Some(&end) = shared_ends.get(name) {
+                        input.basket.commit_reader(r, end);
+                        consumed += snapshots.get(name).map_or(0, Chunk::len);
+                    }
+                }
+            }
+        }
+
+        // 4. Control tokens: consume one per control input.
+        for c in &self.control_in {
+            c.consume_positions(&Candidates::Dense(0..1))?;
+        }
+
+        // 5. Deliver results.
+        let produced = outcome.chunk.len();
+        match &self.output {
+            FactoryOutput::Basket(b) => b.append_chunk(&outcome.chunk)?,
+            FactoryOutput::BasketCarryTs(b) => b.append_chunk_carry_ts(&outcome.chunk)?,
+            FactoryOutput::Discard => {}
+        }
+        for c in &self.control_out {
+            c.append_rows(&[vec![Value::Int(1)]])?;
+        }
+
+        // 6. Book-keeping ("its status is kept around", §2.3).
+        self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .tuples_in
+            .fetch_add(tuples_in as u64, Ordering::Relaxed);
+        self.stats
+            .tuples_out
+            .fetch_add(produced as u64, Ordering::Relaxed);
+        self.stats
+            .busy_micros
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+
+        Ok(StepOutcome {
+            tuples_in,
+            consumed,
+            produced,
+        })
+    }
+
+    /// Snapshot the factory's counters.
+    pub fn stats(&self) -> FactoryStatsSnapshot {
+        FactoryStatsSnapshot {
+            invocations: self.stats.invocations.load(Ordering::Relaxed),
+            tuples_in: self.stats.tuples_in.load(Ordering::Relaxed),
+            tuples_out: self.stats.tuples_out.load(Ordering::Relaxed),
+            busy_micros: self.stats.busy_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_bat::types::DataType;
+    use datacell_sql::Schema;
+
+    fn setup() -> (StreamCatalog, Arc<Basket>, Arc<Basket>) {
+        let mut cat = StreamCatalog::new();
+        let input = cat
+            .create_basket(
+                "r",
+                Schema::new(vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let output = cat
+            .create_basket("out", Schema::new(vec![("a".into(), DataType::Int)]))
+            .unwrap();
+        (cat, input, output)
+    }
+
+    fn push(b: &Basket, vals: &[(i64, i64)]) {
+        let rows: Vec<Vec<Value>> = vals
+            .iter()
+            .map(|&(a, bb)| vec![Value::Int(a), Value::Int(bb)])
+            .collect();
+        b.append_rows(&rows).unwrap();
+    }
+
+    #[test]
+    fn paper_algorithm_one_selection() {
+        // The running example of Algorithm 1: select values of X in a range.
+        let (cat, input, output) = setup();
+        let f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s where s.a between 10 and 20",
+            &cat,
+            FactoryOutput::Basket(Arc::clone(&output)),
+        )
+        .unwrap();
+        push(&input, &[(5, 0), (15, 0), (25, 0), (12, 0)]);
+        assert!(f.ready());
+        let out = f.step(Some(&cat.tables)).unwrap();
+        assert_eq!(out.tuples_in, 4);
+        assert_eq!(out.consumed, 4); // plain basket expression consumes all
+        assert_eq!(out.produced, 2);
+        assert!(input.is_empty());
+        assert_eq!(output.len(), 2);
+        let snap = output.snapshot();
+        assert_eq!(snap.columns[0].as_ints().unwrap(), &[15, 12]);
+        assert!(!f.ready(), "input drained, factory must suspend");
+    }
+
+    #[test]
+    fn predicate_window_leaves_partial_basket() {
+        // Query q2 of §2.6: the basket expression filters, so only the
+        // tuples inside the predicate window are removed.
+        let (cat, input, _) = setup();
+        let f = Factory::compile(
+            "q2",
+            "select s.a from [select * from r where r.b < 10] as s where s.a > 0",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        push(&input, &[(1, 5), (2, 50), (3, 7)]);
+        f.step(Some(&cat.tables)).unwrap();
+        // (2, 50) is outside the predicate window: it stays.
+        assert_eq!(input.len(), 1);
+        let snap = input.snapshot();
+        assert_eq!(snap.columns[0].as_ints().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn non_continuous_query_rejected() {
+        let (mut cat, _, _) = setup();
+        cat.tables
+            .create_table("t", Schema::new(vec![("x".into(), DataType::Int)]))
+            .unwrap();
+        let err = Factory::compile("bad", "select x from t", &cat, FactoryOutput::Discard)
+            .unwrap_err();
+        assert!(err.to_string().contains("basket expression"), "{err}");
+    }
+
+    #[test]
+    fn min_tuples_threshold_gates_firing() {
+        let (cat, input, _) = setup();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        f.set_min_tuples(3);
+        push(&input, &[(1, 0), (2, 0)]);
+        assert!(!f.ready());
+        push(&input, &[(3, 0)]);
+        assert!(f.ready());
+    }
+
+    #[test]
+    fn control_tokens_regulate_firing() {
+        let (mut cat, input, _) = setup();
+        let token = cat
+            .create_basket("tok", Schema::new(vec![("t".into(), DataType::Int)]))
+            .unwrap();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        f.add_control_in(Arc::clone(&token));
+        push(&input, &[(1, 0)]);
+        assert!(!f.ready(), "no token yet");
+        token.append_rows(&[vec![Value::Int(1)]]).unwrap();
+        assert!(f.ready());
+        f.step(Some(&cat.tables)).unwrap();
+        assert!(token.is_empty(), "token consumed");
+    }
+
+    #[test]
+    fn control_token_emitted() {
+        let (mut cat, input, _) = setup();
+        let token = cat
+            .create_basket("tok", Schema::new(vec![("t".into(), DataType::Int)]))
+            .unwrap();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        f.add_control_out(Arc::clone(&token));
+        push(&input, &[(1, 0)]);
+        f.step(Some(&cat.tables)).unwrap();
+        assert_eq!(token.len(), 1);
+    }
+
+    #[test]
+    fn shared_input_advances_cursor_only() {
+        let (cat, input, _) = setup();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r where r.a > 100] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        let r = input.register_reader(true);
+        f.set_shared("r", r).unwrap();
+        let r2 = input.register_reader(true); // a second reader holds tuples
+        push(&input, &[(1, 0), (2, 0)]);
+        f.step(Some(&cat.tables)).unwrap();
+        // Nothing qualified, but the reader has seen both tuples...
+        assert_eq!(input.pending_for(r), 0);
+        // ...and they stay resident because reader 2 hasn't.
+        assert_eq!(input.len(), 2);
+        assert_eq!(input.pending_for(r2), 2);
+    }
+
+    #[test]
+    fn drain_inputs_clears_snapshot() {
+        let (cat, input, _) = setup();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r where r.a > 100] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        f.set_drain_inputs(true);
+        push(&input, &[(1, 0), (2, 0)]);
+        f.step(Some(&cat.tables)).unwrap();
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (cat, input, output) = setup();
+        let f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Basket(output),
+        )
+        .unwrap();
+        push(&input, &[(1, 0), (2, 0)]);
+        f.step(Some(&cat.tables)).unwrap();
+        push(&input, &[(3, 0)]);
+        f.step(Some(&cat.tables)).unwrap();
+        let s = f.stats();
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.tuples_in, 3);
+        assert_eq!(s.tuples_out, 3);
+    }
+
+    #[test]
+    fn output_width_validated() {
+        let (cat, _, output) = setup();
+        // Plan outputs 2 columns, basket has 1 user column.
+        let err = Factory::compile(
+            "q",
+            "select s.a, s.b from [select * from r] as s",
+            &cat,
+            FactoryOutput::Basket(output),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
+    }
+
+    #[test]
+    fn carry_ts_output() {
+        let (cat, input, output) = setup();
+        let f = Factory::compile(
+            "q",
+            "select s.a, s.ts from [select * from r] as s",
+            &cat,
+            FactoryOutput::BasketCarryTs(Arc::clone(&output)),
+        )
+        .unwrap();
+        push(&input, &[(1, 0)]);
+        let in_ts = input.snapshot().columns[2].as_timestamps().unwrap()[0];
+        f.step(Some(&cat.tables)).unwrap();
+        let out_ts = output.snapshot().columns[1].as_timestamps().unwrap()[0];
+        assert_eq!(in_ts, out_ts, "arrival timestamp carried through");
+    }
+}

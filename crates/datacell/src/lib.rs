@@ -1,0 +1,55 @@
+//! # datacell — a data stream engine on top of a relational database kernel
+//!
+//! This crate is the paper's contribution (Liarou & Kersten, VLDB'09): the
+//! DataCell layer that turns the relational stack underneath
+//! (`datacell-bat` kernel, `datacell-sql` front-end, `datacell-engine`
+//! executor) into a continuous-query engine — without new query operators.
+//!
+//! The architecture is the one in Figure 1 of the paper:
+//!
+//! ```text
+//!   stream ──▶ Receptor ──▶ Basket B1 ──▶ Factory(Q) ──▶ Basket B2 ──▶ Emitter ──▶ client
+//! ```
+//!
+//! * [`basket::Basket`] — the key data structure (§2.2): a locked,
+//!   timestamped, main-memory table holding a portion of a stream. Tuples
+//!   are removed once all relevant queries have consumed them.
+//! * [`receptor::Receptor`] / [`emitter::Emitter`] (§2.1) — threads at the
+//!   periphery exchanging flat relational tuples in a textual format.
+//! * [`factory::Factory`] (§2.3) — a compiled continuous query plan with
+//!   execution state saved between calls; re-invoked by the scheduler, it
+//!   locks its baskets, processes input in bulk, appends results, unlocks
+//!   (Algorithm 1).
+//! * [`scheduler::Scheduler`] (§2.4) — the Petri-net engine: baskets are
+//!   token places, receptors/factories/emitters are transitions, and a
+//!   transition fires when all of its inputs hold tuples.
+//! * [`strategy`] (§2.5) — separate / shared / cascading basket wiring for
+//!   multi-query workloads.
+//! * [`window`] (§3.1) — windowed processing *above* the kernel: full
+//!   re-evaluation and the incremental basic-window method, both built from
+//!   ordinary relational operators plus scheduling.
+//! * [`multiquery`] (§3.2) — plan splitting so a fast query never waits for
+//!   a slow one on a shared basket.
+//!
+//! The front door is [`DataCell`]: a session that accepts standard SQL plus
+//! the stream DDL (`CREATE BASKET`, `CREATE CONTINUOUS QUERY`) and manages
+//! the component threads.
+
+pub mod basket;
+pub mod catalog;
+pub mod clock;
+pub mod emitter;
+pub mod error;
+pub mod factory;
+pub mod metrics;
+pub mod multiquery;
+pub mod petri;
+pub mod receptor;
+pub mod scheduler;
+pub mod session;
+pub mod strategy;
+pub mod window;
+
+pub use crate::basket::{Basket, BasketStats};
+pub use crate::error::{DataCellError, Result};
+pub use crate::session::DataCell;

@@ -1,0 +1,181 @@
+//! Measurement infrastructure for the evaluation harness: latency
+//! histograms and throughput meters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A log-scaled latency histogram (microseconds) with exact totals.
+///
+/// Buckets are powers of two: bucket `i` covers `[2^i, 2^(i+1))` µs, which
+/// spans 1 µs to ~1 hour in 32 buckets — plenty for stream latencies, with
+/// O(1) record cost and no allocation on the hot path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 40],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency observation in microseconds.
+    pub fn record(&self, micros: u64) {
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(39);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_micros()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Wall-clock throughput meter: tuples per second over a measured span.
+#[derive(Debug)]
+pub struct Throughput {
+    started: Mutex<Instant>,
+    tuples: AtomicU64,
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Throughput {
+    /// Start measuring now.
+    pub fn new() -> Self {
+        Throughput {
+            started: Mutex::new(Instant::now()),
+            tuples: AtomicU64::new(0),
+        }
+    }
+
+    /// Count `n` processed tuples.
+    pub fn add(&self, n: u64) {
+        self.tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Tuples counted so far.
+    pub fn total(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Tuples per second since start (or the last reset).
+    pub fn rate(&self) -> f64 {
+        let elapsed = self.started.lock().elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.total() as f64 / elapsed
+    }
+
+    /// Restart the clock and zero the counter.
+    pub fn reset(&self) {
+        *self.started.lock() = Instant::now();
+        self.tuples.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 4, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean_micros() - (11107.0 / 6.0)).abs() < 1e-9);
+        assert_eq!(h.max_micros(), 10_000);
+        // Median bucket upper bound covers the 3rd observation (4µs → bucket [4,8)).
+        assert!(h.quantile_micros(0.5) >= 4);
+        assert!(h.quantile_micros(1.0) >= 10_000 / 2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn histogram_zero_latency_is_clamped() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn throughput_counts() {
+        let t = Throughput::new();
+        t.add(100);
+        t.add(50);
+        assert_eq!(t.total(), 150);
+        assert!(t.rate() > 0.0);
+        t.reset();
+        assert_eq!(t.total(), 0);
+    }
+}

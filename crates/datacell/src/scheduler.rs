@@ -1,0 +1,429 @@
+//! The scheduler: the Petri-net execution engine (§2.4).
+//!
+//! "The DataCell kernel contains a scheduler to organize the execution of
+//! the various transitions. The scheduler runs an infinite loop and at
+//! every iteration it checks which of the existing transitions can be
+//! processed by analyzing their inputs."
+//!
+//! Receptors and emitters are their own threads (transitions that fire on
+//! their channels); the scheduler drives the *factories*: each pass it
+//! re-evaluates every factory's firing condition — all data inputs hold at
+//! least `min_tuples` tuples, all control inputs hold a token — and fires
+//! the ready ones in priority order. When nothing is ready it blocks on an
+//! aggregated basket signal instead of spinning.
+//!
+//! Two drive modes:
+//! * [`Scheduler::start`] — the production mode: a background thread runs
+//!   the infinite loop;
+//! * [`Scheduler::run_until_quiescent`] — a deterministic single-threaded
+//!   drive for tests and benchmarks (fire until no transition is ready).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use datacell_engine::Catalog;
+
+use crate::basket::Signal;
+use crate::catalog::StreamCatalog;
+use crate::error::{DataCellError, Result};
+use crate::factory::{Factory, StepOutcome};
+
+/// A schedulable Petri-net transition. [`Factory`] is the canonical
+/// implementation; the window evaluators in [`crate::window`] are others.
+pub trait Transition: Send + Sync {
+    /// Transition name (unique within a scheduler).
+    fn name(&self) -> &str;
+    /// Firing condition (§2.4): true when all inputs hold enough tokens.
+    fn ready(&self) -> bool;
+    /// Fire once.
+    fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome>;
+    /// Subscribe the transition's input baskets to the scheduler's wake-up
+    /// signal.
+    fn subscribe(&self, signal: Arc<Signal>);
+}
+
+impl Transition for Factory {
+    fn name(&self) -> &str {
+        Factory::name(self)
+    }
+
+    fn ready(&self) -> bool {
+        Factory::ready(self)
+    }
+
+    fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
+        Factory::step(self, tables)
+    }
+
+    fn subscribe(&self, signal: Arc<Signal>) {
+        for input in self.inputs() {
+            input.basket.set_parent_signal(Arc::clone(&signal));
+        }
+        for c in self.control_in() {
+            c.set_parent_signal(Arc::clone(&signal));
+        }
+    }
+}
+
+/// Per-factory scheduling parameters.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct SchedulePolicy {
+    /// Higher fires first within a pass (paper: "different query
+    /// priorities").
+    pub priority: i32,
+    /// Fire at most once per interval (time-sliced batching); `None` =
+    /// eager.
+    pub min_interval: Option<Duration>,
+}
+
+
+struct Entry {
+    factory: Arc<dyn Transition>,
+    policy: SchedulePolicy,
+    last_fired: Mutex<Option<Instant>>,
+}
+
+/// Monotone scheduler counters.
+#[derive(Debug, Default)]
+pub struct SchedulerStats {
+    /// Scheduling passes executed.
+    pub passes: AtomicU64,
+    /// Factory firings.
+    pub firings: AtomicU64,
+    /// Step errors (logged and skipped — a failing query must not take the
+    /// engine down).
+    pub errors: AtomicU64,
+}
+
+struct Shared {
+    entries: Mutex<Vec<Arc<Entry>>>,
+    catalog: Arc<RwLock<StreamCatalog>>,
+    signal: Arc<Signal>,
+    stop: AtomicBool,
+    stats: SchedulerStats,
+}
+
+/// The factory scheduler (see module docs).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Create a scheduler over a shared catalog.
+    pub fn new(catalog: Arc<RwLock<StreamCatalog>>) -> Self {
+        Scheduler {
+            shared: Arc::new(Shared {
+                entries: Mutex::new(Vec::new()),
+                catalog,
+                signal: Arc::new(Signal::new()),
+                stop: AtomicBool::new(false),
+                stats: SchedulerStats::default(),
+            }),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// The aggregated wake-up signal; baskets should set it as their parent
+    /// signal so appends wake the scheduler (done automatically for
+    /// factories registered via [`Scheduler::add_factory`]).
+    pub fn signal(&self) -> Arc<Signal> {
+        Arc::clone(&self.shared.signal)
+    }
+
+    /// Register a factory with the default policy.
+    pub fn add_factory(&self, factory: Factory) -> Arc<Factory> {
+        self.add_factory_with_policy(factory, SchedulePolicy::default())
+    }
+
+    /// Register a factory with an explicit policy.
+    pub fn add_factory_with_policy(
+        &self,
+        factory: Factory,
+        policy: SchedulePolicy,
+    ) -> Arc<Factory> {
+        let factory = Arc::new(factory);
+        self.add_transition(Arc::clone(&factory) as Arc<dyn Transition>, policy);
+        factory
+    }
+
+    /// Register any transition (factories, window evaluators). Its input
+    /// baskets are subscribed to the scheduler's wake-up signal.
+    pub fn add_transition(&self, transition: Arc<dyn Transition>, policy: SchedulePolicy) {
+        transition.subscribe(self.signal());
+        let mut entries = self.shared.entries.lock();
+        entries.push(Arc::new(Entry {
+            factory: transition,
+            policy,
+            last_fired: Mutex::new(None),
+        }));
+        // Stable priority order, high first; ties keep registration order.
+        entries.sort_by_key(|e| std::cmp::Reverse(e.policy.priority));
+        drop(entries);
+        self.shared.signal.notify();
+    }
+
+    /// Deregister a factory by name.
+    pub fn remove_factory(&self, name: &str) -> Result<()> {
+        let mut entries = self.shared.entries.lock();
+        let before = entries.len();
+        entries.retain(|e| e.factory.name() != name);
+        if entries.len() == before {
+            return Err(DataCellError::Catalog(format!("unknown factory {name}")));
+        }
+        Ok(())
+    }
+
+    /// Registered transitions, in firing order.
+    pub fn transitions(&self) -> Vec<Arc<dyn Transition>> {
+        self.shared
+            .entries
+            .lock()
+            .iter()
+            .map(|e| Arc::clone(&e.factory))
+            .collect()
+    }
+
+    /// One scheduling pass: fire every ready factory once. Returns the
+    /// number of firings.
+    pub fn pass(&self) -> u64 {
+        Self::pass_shared(&self.shared)
+    }
+
+    fn pass_shared(shared: &Shared) -> u64 {
+        let entries: Vec<Arc<Entry>> = shared.entries.lock().clone();
+        let mut fired = 0;
+        for entry in entries {
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(interval) = entry.policy.min_interval {
+                let last = *entry.last_fired.lock();
+                if let Some(t) = last {
+                    if t.elapsed() < interval {
+                        continue;
+                    }
+                }
+            }
+            if !entry.factory.ready() {
+                continue;
+            }
+            let catalog = shared.catalog.read();
+            let result = entry.factory.step(Some(&catalog.tables));
+            drop(catalog);
+            *entry.last_fired.lock() = Some(Instant::now());
+            match result {
+                Ok(_) => fired += 1,
+                Err(e) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("scheduler: factory {} failed: {e}", entry.factory.name());
+                }
+            }
+        }
+        shared.stats.passes.fetch_add(1, Ordering::Relaxed);
+        shared.stats.firings.fetch_add(fired, Ordering::Relaxed);
+        fired
+    }
+
+    /// Deterministic drive: fire until no factory is ready (or `limit`
+    /// passes, as a cycle guard). Returns total firings.
+    pub fn run_until_quiescent(&self, limit: usize) -> u64 {
+        let mut total = 0;
+        for _ in 0..limit {
+            let fired = self.pass();
+            total += fired;
+            if fired == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Start the background scheduling thread (idempotent).
+    pub fn start(&self) {
+        let mut handle = self.handle.lock();
+        if handle.is_some() {
+            return;
+        }
+        self.shared.stop.store(false, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        *handle = Some(
+            std::thread::Builder::new()
+                .name("datacell-scheduler".into())
+                .spawn(move || {
+                    let mut seen = shared.signal.version();
+                    while !shared.stop.load(Ordering::Relaxed) {
+                        let fired = Self::pass_shared(&shared);
+                        if fired == 0 {
+                            // Nothing ready: block until a basket changes.
+                            // The timeout bounds the wait so time-sliced
+                            // policies and stop flags are honoured.
+                            seen = shared.signal.wait_past(seen, Duration::from_millis(1));
+                        } else {
+                            seen = shared.signal.version();
+                        }
+                    }
+                })
+                .expect("spawn scheduler thread"),
+        );
+    }
+
+    /// Stop the background thread and wait for it.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.signal.notify();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Counter snapshot: (passes, firings, errors).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.stats.passes.load(Ordering::Relaxed),
+            self.shared.stats.firings.load(Ordering::Relaxed),
+            self.shared.stats.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::FactoryOutput;
+    use datacell_bat::types::{DataType, Value};
+    use datacell_sql::Schema;
+
+    fn setup() -> (Arc<RwLock<StreamCatalog>>, Scheduler) {
+        let mut cat = StreamCatalog::new();
+        cat.create_basket(
+            "r",
+            Schema::new(vec![("a".into(), DataType::Int)]),
+        )
+        .unwrap();
+        cat.create_basket("out", Schema::new(vec![("a".into(), DataType::Int)]))
+            .unwrap();
+        let catalog = Arc::new(RwLock::new(cat));
+        let sched = Scheduler::new(Arc::clone(&catalog));
+        (catalog, sched)
+    }
+
+    fn selection_factory(catalog: &Arc<RwLock<StreamCatalog>>, name: &str) -> Factory {
+        let cat = catalog.read();
+        let out = cat.basket("out").unwrap();
+        Factory::compile(
+            name,
+            "select s.a from [select * from r] as s where s.a > 10",
+            &cat,
+            FactoryOutput::Basket(out),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn quiescent_drive_processes_everything() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        input
+            .append_rows(&[vec![Value::Int(5)], vec![Value::Int(15)], vec![Value::Int(25)]])
+            .unwrap();
+        let fired = sched.run_until_quiescent(100);
+        assert_eq!(fired, 1);
+        assert!(input.is_empty());
+        assert_eq!(out.len(), 2);
+        let (passes, firings, errors) = sched.stats();
+        assert!(passes >= 1);
+        assert_eq!(firings, 1);
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn background_thread_fires_on_append() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.start();
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        input.append_rows(&[vec![Value::Int(50)]]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while out.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.stop();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn priority_orders_firing() {
+        let (catalog, sched) = setup();
+        let low = sched.add_factory_with_policy(
+            selection_factory(&catalog, "low"),
+            SchedulePolicy {
+                priority: 1,
+                min_interval: None,
+            },
+        );
+        let high = sched.add_factory_with_policy(
+            selection_factory(&catalog, "high"),
+            SchedulePolicy {
+                priority: 10,
+                min_interval: None,
+            },
+        );
+        let names: Vec<String> = sched
+            .transitions()
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["high".to_string(), "low".to_string()]);
+        let _ = (low, high);
+    }
+
+    #[test]
+    fn min_interval_gates_refiring() {
+        let (catalog, sched) = setup();
+        sched.add_factory_with_policy(
+            selection_factory(&catalog, "q"),
+            SchedulePolicy {
+                priority: 0,
+                min_interval: Some(Duration::from_secs(3600)),
+            },
+        );
+        let input = catalog.read().basket("r").unwrap();
+        input.append_rows(&[vec![Value::Int(50)]]).unwrap();
+        assert_eq!(sched.pass(), 1);
+        input.append_rows(&[vec![Value::Int(60)]]).unwrap();
+        // Interval not elapsed: no firing.
+        assert_eq!(sched.pass(), 0);
+        assert_eq!(input.len(), 1);
+    }
+
+    #[test]
+    fn remove_factory_stops_firing() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.remove_factory("q").unwrap();
+        assert!(sched.remove_factory("q").is_err());
+        let input = catalog.read().basket("r").unwrap();
+        input.append_rows(&[vec![Value::Int(50)]]).unwrap();
+        assert_eq!(sched.run_until_quiescent(10), 0);
+        assert_eq!(input.len(), 1);
+    }
+}

@@ -1,0 +1,591 @@
+//! The DataCell session: the system's front door.
+//!
+//! A [`DataCell`] owns the stream catalog, the scheduler, and the periphery
+//! threads, and accepts the full SQL surface: ordinary statements behave as
+//! in the underlying DBMS, while the stream DDL — `CREATE BASKET` and
+//! `CREATE CONTINUOUS QUERY` — builds the streaming topology. This is the
+//! paper's positioning of DataCell "between the SQL-to-MAL compiler and the
+//! MonetDB kernel": one language, one optimizer, two execution regimes.
+//!
+//! Semantics worth noting (§2.6):
+//! * a basket named *outside* a basket expression "behaves as any
+//!   (temporary) table" — `SELECT * FROM b` inspects without consuming;
+//! * a one-time `SELECT` that *does* contain a basket expression consumes,
+//!   once — registration via `CREATE CONTINUOUS QUERY` is what makes it
+//!   continual.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use datacell_bat::candidates::Candidates;
+use datacell_bat::types::DataType;
+use datacell_engine::{execute, Chunk, DataSource};
+use datacell_sql::ast::{DropKind, Statement};
+use datacell_sql::resolve::{bind_insert_rows, bind_query};
+use datacell_sql::{parser, Schema, SqlError};
+use parking_lot::{Mutex, RwLock};
+
+use crate::basket::{Basket, TS_COLUMN};
+use crate::catalog::StreamCatalog;
+use crate::emitter::{CollectSink, Emitter, Sink, TextSink};
+use crate::error::{DataCellError, Result};
+use crate::factory::{Factory, FactoryOutput};
+use crate::petri::PetriNet;
+use crate::receptor::{Receptor, TupleSource};
+use crate::scheduler::{SchedulePolicy, Scheduler};
+
+/// Result of one statement.
+#[derive(Debug, Clone)]
+pub enum CellResult {
+    /// DDL acknowledged.
+    Ack(String),
+    /// Rows affected.
+    Affected(usize),
+    /// Query result.
+    Rows(Chunk),
+    /// EXPLAIN rendering.
+    Plan(String),
+}
+
+/// Read-only data source over the whole stream catalog (one-time queries).
+struct CatalogSource<'a>(&'a StreamCatalog);
+
+impl DataSource for CatalogSource<'_> {
+    fn scan(&self, table: &str) -> datacell_bat::error::Result<Chunk> {
+        if let Ok(b) = self.0.basket(table) {
+            return Ok(b.snapshot());
+        }
+        self.0.tables.scan(table)
+    }
+}
+
+/// The DataCell system handle (see module docs).
+pub struct DataCell {
+    catalog: Arc<RwLock<StreamCatalog>>,
+    scheduler: Scheduler,
+    /// Continuous query name → output basket.
+    query_outputs: Mutex<HashMap<String, Arc<Basket>>>,
+    factory_registry: Mutex<Vec<Arc<Factory>>>,
+    receptors: Mutex<Vec<Receptor>>,
+    emitters: Mutex<Vec<Emitter>>,
+    /// Wiring records for the Petri-net rendering.
+    receptor_wiring: Mutex<Vec<(String, Vec<String>)>>,
+    emitter_wiring: Mutex<Vec<(String, String)>>,
+}
+
+impl Default for DataCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataCell {
+    /// Fresh, empty system.
+    pub fn new() -> Self {
+        let catalog = Arc::new(RwLock::new(StreamCatalog::new()));
+        let scheduler = Scheduler::new(Arc::clone(&catalog));
+        crate::clock::init();
+        DataCell {
+            catalog,
+            scheduler,
+            query_outputs: Mutex::new(HashMap::new()),
+            factory_registry: Mutex::new(Vec::new()),
+            receptors: Mutex::new(Vec::new()),
+            emitters: Mutex::new(Vec::new()),
+            receptor_wiring: Mutex::new(Vec::new()),
+            emitter_wiring: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared catalog (programmatic data loading).
+    pub fn catalog(&self) -> Arc<RwLock<StreamCatalog>> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// The scheduler (policy tuning, manual drive).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Look up a basket.
+    pub fn basket(&self, name: &str) -> Result<Arc<Basket>> {
+        self.catalog.read().basket(name)
+    }
+
+    /// Output basket of a registered continuous query.
+    pub fn query_output(&self, query: &str) -> Result<Arc<Basket>> {
+        self.query_outputs
+            .lock()
+            .get(query)
+            .cloned()
+            .ok_or_else(|| DataCellError::Catalog(format!("unknown continuous query {query}")))
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<CellResult> {
+        let stmt = parser::parse(sql).map_err(DataCellError::Sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a `;`-separated script.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<CellResult>> {
+        parser::parse_script(sql)
+            .map_err(DataCellError::Sql)?
+            .into_iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
+    }
+
+    /// Convenience: run a one-time SELECT and get its rows.
+    pub fn query(&self, sql: &str) -> Result<Chunk> {
+        match self.execute(sql)? {
+            CellResult::Rows(c) => Ok(c),
+            other => Err(DataCellError::Runtime(format!(
+                "expected rows, got {other:?}"
+            ))),
+        }
+    }
+
+    fn execute_statement(&self, stmt: Statement) -> Result<CellResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                self.catalog
+                    .write()
+                    .tables
+                    .create_table(&name, Schema::new(columns))?;
+                Ok(CellResult::Ack(format!("created table {name}")))
+            }
+            Statement::CreateBasket { name, columns } => {
+                let basket = self
+                    .catalog
+                    .write()
+                    .create_basket(&name, Schema::new(columns))?;
+                basket.set_parent_signal(self.scheduler.signal());
+                Ok(CellResult::Ack(format!("created basket {name}")))
+            }
+            Statement::CreateContinuousQuery { name, query } => {
+                if !query.is_continuous() {
+                    return Err(DataCellError::Wiring(format!(
+                        "continuous query {name} must contain a basket expression (§2.6)"
+                    )));
+                }
+                let out_name = format!("{name}_out");
+                // Compile against the current catalog.
+                let (plan, out_schema) = {
+                    let cat = self.catalog.read();
+                    let bound = bind_query(&query, &*cat)?;
+                    let optimized = datacell_sql::optimizer::optimize(bound);
+                    datacell_sql::physical::plan(optimized)?
+                };
+                // Carry the arrival timestamp through when the query
+                // projects `ts` as its last column.
+                let carry_ts = out_schema
+                    .columns
+                    .last()
+                    .is_some_and(|c| c.name == TS_COLUMN && c.ty == DataType::Timestamp);
+                let user_schema = if carry_ts {
+                    Schema {
+                        columns: out_schema.columns[..out_schema.len() - 1].to_vec(),
+                    }
+                } else {
+                    out_schema.clone()
+                };
+                let output = {
+                    let mut cat = self.catalog.write();
+                    let b = cat.create_basket(&out_name, user_schema)?;
+                    b.set_parent_signal(self.scheduler.signal());
+                    b
+                };
+                let factory = {
+                    let cat = self.catalog.read();
+                    Factory::from_plan(
+                        &name,
+                        plan,
+                        out_schema,
+                        &cat,
+                        if carry_ts {
+                            FactoryOutput::BasketCarryTs(Arc::clone(&output))
+                        } else {
+                            FactoryOutput::Basket(Arc::clone(&output))
+                        },
+                    )?
+                };
+                let handle = self.scheduler.add_factory(factory);
+                self.factory_registry.lock().push(handle);
+                self.query_outputs.lock().insert(name.clone(), output);
+                Ok(CellResult::Ack(format!(
+                    "registered continuous query {name} (output basket {out_name})"
+                )))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let cat = self.catalog.read();
+                if let Ok(basket) = cat.basket(&table) {
+                    // Bind against the *user* schema (no ts).
+                    let user_schema = Schema {
+                        columns: basket.schema().columns[..basket.user_width()].to_vec(),
+                    };
+                    let bound = bind_insert_rows(&rows, columns.as_deref(), &user_schema)
+                        .map_err(DataCellError::Sql)?;
+                    basket.append_rows(&bound)?;
+                    return Ok(CellResult::Affected(bound.len()));
+                }
+                drop(cat);
+                let mut cat = self.catalog.write();
+                let schema = cat.tables.table(&table)?.schema.clone();
+                let bound = bind_insert_rows(&rows, columns.as_deref(), &schema)
+                    .map_err(DataCellError::Sql)?;
+                let t = cat.tables.table_mut(&table)?;
+                for row in &bound {
+                    t.append_row(row)?;
+                }
+                Ok(CellResult::Affected(bound.len()))
+            }
+            Statement::Delete { table, predicate } => {
+                if predicate.is_some() {
+                    return Err(DataCellError::Runtime(
+                        "DELETE with predicate on stream objects is not supported; \
+                         use a consuming basket expression instead"
+                            .into(),
+                    ));
+                }
+                let cat = self.catalog.read();
+                if let Ok(basket) = cat.basket(&table) {
+                    return Ok(CellResult::Affected(basket.clear()));
+                }
+                drop(cat);
+                let mut cat = self.catalog.write();
+                let t = cat.tables.table_mut(&table)?;
+                let n = t.len();
+                t.clear();
+                Ok(CellResult::Affected(n))
+            }
+            Statement::Select(q) => {
+                let cat = self.catalog.read();
+                let bound = bind_query(&q, &*cat)?;
+                let optimized = datacell_sql::optimizer::optimize(bound);
+                let (plan, _) = datacell_sql::physical::plan(optimized)?;
+                let outcome = execute(&plan, &CatalogSource(&cat)).map_err(sql_err)?;
+                // One-shot consumption of basket expressions (§2.6).
+                for (basket, cands) in &outcome.consumed {
+                    cat.basket(basket)?.consume_positions(cands)?;
+                }
+                Ok(CellResult::Rows(outcome.chunk))
+            }
+            Statement::Drop { kind, name } => match kind {
+                DropKind::Table => {
+                    self.catalog.write().tables.drop_table(&name)?;
+                    Ok(CellResult::Ack(format!("dropped table {name}")))
+                }
+                DropKind::Basket => {
+                    self.catalog.write().drop_basket(&name)?;
+                    Ok(CellResult::Ack(format!("dropped basket {name}")))
+                }
+                DropKind::ContinuousQuery => {
+                    self.scheduler.remove_factory(&name)?;
+                    self.factory_registry.lock().retain(|f| f.name() != name);
+                    if let Some(out) = self.query_outputs.lock().remove(&name) {
+                        let _ = self.catalog.write().drop_basket(out.name());
+                    }
+                    Ok(CellResult::Ack(format!("dropped continuous query {name}")))
+                }
+            },
+            Statement::Explain(q) => {
+                let cat = self.catalog.read();
+                let bound = bind_query(&q, &*cat)?;
+                let optimized = datacell_sql::optimizer::optimize(bound);
+                let (plan, _) = datacell_sql::physical::plan(optimized)?;
+                Ok(CellResult::Plan(plan.display()))
+            }
+        }
+    }
+
+    // ---------------- programmatic wiring ----------------
+
+    /// Register a hand-built factory with the scheduler.
+    pub fn add_factory(&self, factory: Factory, policy: SchedulePolicy) -> Arc<Factory> {
+        let handle = self.scheduler.add_factory_with_policy(factory, policy);
+        self.factory_registry.lock().push(Arc::clone(&handle));
+        handle
+    }
+
+    /// Attach a receptor pumping `source` into the named baskets.
+    pub fn attach_receptor(
+        &self,
+        name: &str,
+        source: impl TupleSource + 'static,
+        targets: &[&str],
+        batch_size: usize,
+    ) -> Result<()> {
+        let cat = self.catalog.read();
+        let baskets = targets
+            .iter()
+            .map(|t| cat.basket(t))
+            .collect::<Result<Vec<_>>>()?;
+        drop(cat);
+        let receptor = Receptor::spawn(name, source, baskets, batch_size)?;
+        self.receptor_wiring.lock().push((
+            name.to_string(),
+            targets.iter().map(|s| s.to_string()).collect(),
+        ));
+        self.receptors.lock().push(receptor);
+        Ok(())
+    }
+
+    /// Attach an emitter draining the named basket into `sink`.
+    pub fn attach_emitter(
+        &self,
+        name: &str,
+        basket: &str,
+        sink: impl Sink + 'static,
+    ) -> Result<()> {
+        let b = self.catalog.read().basket(basket)?;
+        let emitter = Emitter::spawn(name, b, sink)?;
+        self.emitter_wiring
+            .lock()
+            .push((name.to_string(), basket.to_string()));
+        self.emitters.lock().push(emitter);
+        Ok(())
+    }
+
+    /// Subscribe to a continuous query's results as text lines.
+    pub fn subscribe_text(&self, query: &str) -> Result<crossbeam::channel::Receiver<String>> {
+        let out = self.query_output(query)?;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let emitter = Emitter::spawn(format!("emit-{query}"), Arc::clone(&out), TextSink::new(tx))?;
+        self.emitter_wiring
+            .lock()
+            .push((format!("emit-{query}"), out.name().to_string()));
+        self.emitters.lock().push(emitter);
+        Ok(rx)
+    }
+
+    /// Subscribe to a continuous query's results into a collector.
+    pub fn subscribe_collect(&self, query: &str) -> Result<CollectSink> {
+        let out = self.query_output(query)?;
+        let sink = CollectSink::new();
+        let emitter = Emitter::spawn(format!("emit-{query}"), Arc::clone(&out), sink.clone())?;
+        self.emitter_wiring
+            .lock()
+            .push((format!("emit-{query}"), out.name().to_string()));
+        self.emitters.lock().push(emitter);
+        Ok(sink)
+    }
+
+    /// Start the scheduler thread.
+    pub fn start(&self) {
+        self.scheduler.start();
+    }
+
+    /// Stop the scheduler and all periphery threads.
+    pub fn stop(&self) {
+        self.scheduler.stop();
+        for r in self.receptors.lock().drain(..) {
+            r.stop();
+        }
+        for e in self.emitters.lock().drain(..) {
+            e.stop();
+        }
+    }
+
+    /// Deterministic drive for tests/benches: fire factories until
+    /// quiescent.
+    pub fn run_until_quiescent(&self, limit: usize) -> u64 {
+        self.scheduler.run_until_quiescent(limit)
+    }
+
+    /// Snapshot the Petri-net of the current configuration.
+    pub fn petri_net(&self) -> PetriNet {
+        let mut net = PetriNet::new();
+        for (name, targets) in self.receptor_wiring.lock().iter() {
+            net.add_receptor(name, targets);
+        }
+        for f in self.factory_registry.lock().iter() {
+            net.add_factory(f);
+        }
+        for (name, source) in self.emitter_wiring.lock().iter() {
+            net.add_emitter(name, source);
+        }
+        net
+    }
+
+    /// Delete the rows of `basket` matching positions (programmatic
+    /// consumption used by tests).
+    pub fn consume(&self, basket: &str, cands: &Candidates) -> Result<usize> {
+        self.basket(basket)?.consume_positions(cands)
+    }
+}
+
+impl Drop for DataCell {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn sql_err(e: SqlError) -> DataCellError {
+    DataCellError::Sql(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_bat::types::Value;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn figure1_chain_end_to_end() {
+        // The complete R → B1 → Q → B2 → E chain of Figure 1, via SQL.
+        let cell = DataCell::new();
+        cell.execute("create basket b1 (x int, y float)").unwrap();
+        cell.execute(
+            "create continuous query q as \
+             select s.x, s.y from [select * from b1] as s where s.x > 10",
+        )
+        .unwrap();
+        let results = cell.subscribe_collect("q").unwrap();
+        cell.start();
+        cell.execute("insert into b1 values (5, 0.5), (15, 1.5), (25, 2.5)")
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while results.len() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cell.stop();
+        let rows = results.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(15));
+        assert_eq!(rows[1][0], Value::Int(25));
+        // The consumed tuples left the basket; (5, 0.5) was consumed too
+        // (plain basket expression references everything).
+        assert!(cell.basket("b1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn basket_inspection_does_not_consume() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute("insert into b values (1), (2)").unwrap();
+        // Named access: behaves as a temporary table (§2.6).
+        let rows = cell.query("select x from b order by x").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(cell.basket("b").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn one_time_basket_expression_consumes_once() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute("insert into b values (1), (20)").unwrap();
+        let rows = cell
+            .query("select s.x from [select * from b where b.x > 10] as s")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Only the tuple inside the predicate window was removed.
+        assert_eq!(cell.basket("b").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn continuous_query_requires_basket_expression() {
+        let cell = DataCell::new();
+        cell.execute("create table t (x int)").unwrap();
+        let err = cell
+            .execute("create continuous query bad as select x from t")
+            .unwrap_err();
+        assert!(err.to_string().contains("basket expression"), "{err}");
+    }
+
+    #[test]
+    fn carry_ts_output_created_when_query_projects_ts() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute(
+            "create continuous query q as \
+             select s.x, s.ts from [select * from b] as s",
+        )
+        .unwrap();
+        cell.execute("insert into b values (1)").unwrap();
+        cell.run_until_quiescent(10);
+        let out = cell.query_output("q").unwrap();
+        // Output basket has user width 1 (x) + implicit ts carried through.
+        assert_eq!(out.user_width(), 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn continuous_query_joins_stream_with_table() {
+        let cell = DataCell::new();
+        cell.execute("create table dims (k int, label varchar(20))")
+            .unwrap();
+        cell.execute("insert into dims values (1, 'one'), (2, 'two')")
+            .unwrap();
+        cell.execute("create basket b (k int)").unwrap();
+        cell.execute(
+            "create continuous query q as \
+             select d.label from [select * from b] as s join dims d on s.k = d.k",
+        )
+        .unwrap();
+        cell.execute("insert into b values (2), (3)").unwrap();
+        cell.run_until_quiescent(10);
+        let out = cell.query_output("q").unwrap();
+        let snap = out.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.row(0).unwrap()[0], Value::Str("two".into()));
+    }
+
+    #[test]
+    fn drop_continuous_query_cleans_up() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute(
+            "create continuous query q as select s.x from [select * from b] as s",
+        )
+        .unwrap();
+        cell.execute("drop continuous query q").unwrap();
+        assert!(cell.query_output("q").is_err());
+        cell.execute("insert into b values (1)").unwrap();
+        assert_eq!(cell.run_until_quiescent(10), 0);
+    }
+
+    #[test]
+    fn petri_net_snapshot() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute(
+            "create continuous query q as select s.x from [select * from b] as s",
+        )
+        .unwrap();
+        let _ = cell.subscribe_collect("q").unwrap();
+        let net = cell.petri_net();
+        let dot = net.to_dot();
+        assert!(dot.contains("\"b\" -> \"q\""));
+        assert!(dot.contains("\"q\" -> \"q_out\""));
+    }
+
+    #[test]
+    fn delete_clears_basket() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute("insert into b values (1), (2)").unwrap();
+        match cell.execute("delete from b").unwrap() {
+            CellResult::Affected(2) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(cell.basket("b").unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_shows_consuming_scan() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        match cell
+            .execute("explain select s.x from [select * from b] as s")
+            .unwrap()
+        {
+            CellResult::Plan(p) => assert!(p.contains("[consume]"), "{p}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

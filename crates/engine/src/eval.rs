@@ -1,0 +1,343 @@
+//! Vectorized evaluation of bound scalar expressions over chunks.
+//!
+//! Hot node kinds (arithmetic, comparisons, boolean connectives) map 1:1
+//! onto the kernel's batcalc primitives and stay columnar end to end;
+//! literal operands are broadcast via scalar operands rather than
+//! materialized. Cooler node kinds (LIKE, CASE, scalar functions) evaluate
+//! column-wise with per-row value logic — still one tight loop per column,
+//! just not a fused kernel.
+
+use datacell_bat::calc::{self, Operand};
+use datacell_bat::candidates::Candidates;
+use datacell_bat::column::{Column, NIL_BOOL};
+use datacell_bat::error::Result as BatResult;
+use datacell_bat::types::Value;
+use datacell_sql::expr::{eval_func, like_match, ScalarExpr};
+use datacell_sql::{Result, SqlError};
+
+use crate::chunk::Chunk;
+
+/// Evaluate `expr` over every row of `chunk`, producing one output column of
+/// `chunk.len()` rows.
+pub fn eval(expr: &ScalarExpr, chunk: &Chunk) -> Result<Column> {
+    Ok(match expr {
+        ScalarExpr::Column { index, .. } => chunk
+            .columns
+            .get(*index)
+            .cloned()
+            .ok_or_else(|| SqlError::Plan(format!("column {index} out of range")))?,
+        ScalarExpr::Literal(v) => broadcast(v, chunk.len())?,
+        ScalarExpr::Arith {
+            op, left, right, ..
+        } => with_operands(left, right, chunk, |l, r| calc::arith(*op, l, r))?,
+        ScalarExpr::Cmp { op, left, right } => {
+            with_operands(left, right, chunk, |l, r| calc::compare(*op, l, r))?
+        }
+        ScalarExpr::And(a, b) => {
+            let ca = eval(a, chunk)?;
+            let cb = eval(b, chunk)?;
+            calc::and(&ca, &cb)?
+        }
+        ScalarExpr::Or(a, b) => {
+            let ca = eval(a, chunk)?;
+            let cb = eval(b, chunk)?;
+            calc::or(&ca, &cb)?
+        }
+        ScalarExpr::Not(e) => calc::not(&eval(e, chunk)?)?,
+        ScalarExpr::Neg(e) => calc::neg(&eval(e, chunk)?)?,
+        ScalarExpr::IsNull { expr, negated } => {
+            let c = eval(expr, chunk)?;
+            let out: Vec<i8> = (0..c.len())
+                .map(|i| i8::from(c.is_nil_at(i) != *negated))
+                .collect();
+            Column::Bool(out)
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let c = eval(expr, chunk)?;
+            let (codes, heap) = c.as_strs()?;
+            // LIKE over a dictionary column: match each *distinct* string
+            // once, then map codes — the classic dictionary-encoding win.
+            let mut memo: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+            let out: Vec<i8> = codes
+                .iter()
+                .map(|&code| match heap.get(code) {
+                    None => NIL_BOOL,
+                    Some(s) => {
+                        let hit = *memo
+                            .entry(code)
+                            .or_insert_with(|| like_match(pattern, s));
+                        i8::from(hit != *negated)
+                    }
+                })
+                .collect();
+            Column::Bool(out)
+        }
+        ScalarExpr::Func { func, args, ty } => {
+            let cols: Vec<Column> = args
+                .iter()
+                .map(|a| eval(a, chunk))
+                .collect::<Result<_>>()?;
+            let n = chunk.len();
+            let mut out = Column::with_capacity(*ty, n);
+            let mut argv: Vec<Value> = Vec::with_capacity(cols.len());
+            for i in 0..n {
+                argv.clear();
+                for c in &cols {
+                    argv.push(c.get(i)?);
+                }
+                let v = eval_func(*func, &argv)?;
+                push_coerced(&mut out, &v, *ty)?;
+            }
+            out
+        }
+        ScalarExpr::Case {
+            when_then,
+            else_expr,
+            ty,
+        } => {
+            let conds: Vec<Column> = when_then
+                .iter()
+                .map(|(c, _)| eval(c, chunk))
+                .collect::<Result<_>>()?;
+            let results: Vec<Column> = when_then
+                .iter()
+                .map(|(_, r)| eval(r, chunk))
+                .collect::<Result<_>>()?;
+            let else_col = match else_expr {
+                Some(e) => Some(eval(e, chunk)?),
+                None => None,
+            };
+            let n = chunk.len();
+            let mut out = Column::with_capacity(*ty, n);
+            for i in 0..n {
+                let mut taken = false;
+                for (c, r) in conds.iter().zip(&results) {
+                    if c.as_bools()?[i] == 1 {
+                        push_coerced(&mut out, &r.get(i)?, *ty)?;
+                        taken = true;
+                        break;
+                    }
+                }
+                if !taken {
+                    match &else_col {
+                        Some(e) => push_coerced(&mut out, &e.get(i)?, *ty)?,
+                        None => out.push_nil(),
+                    }
+                }
+            }
+            out
+        }
+        ScalarExpr::Cast { expr, ty } => {
+            let c = eval(expr, chunk)?;
+            let n = c.len();
+            let mut out = Column::with_capacity(*ty, n);
+            for i in 0..n {
+                let v = datacell_sql::expr::cast_value(&c.get(i)?, *ty)?;
+                out.push(&v)?;
+            }
+            out
+        }
+    })
+}
+
+/// Evaluate a boolean expression and return the positions where it is
+/// exactly `true` (the WHERE contract).
+pub fn eval_predicate(expr: &ScalarExpr, chunk: &Chunk) -> Result<Candidates> {
+    let col = eval(expr, chunk)?;
+    Ok(calc::true_candidates(&col)?)
+}
+
+fn push_coerced(out: &mut Column, v: &Value, ty: datacell_bat::DataType) -> Result<()> {
+    if v.is_nil() {
+        out.push_nil();
+        return Ok(());
+    }
+    let coerced = v
+        .coerce_to(ty)
+        .ok_or_else(|| SqlError::Type(format!("cannot coerce {v:?} to {ty}")))?;
+    out.push(&coerced)?;
+    Ok(())
+}
+
+/// Evaluate the two operands of a binary kernel, keeping literal sides as
+/// scalar operands (broadcast-free).
+fn with_operands(
+    left: &ScalarExpr,
+    right: &ScalarExpr,
+    chunk: &Chunk,
+    kernel: impl FnOnce(Operand<'_>, Operand<'_>) -> BatResult<Column>,
+) -> Result<Column> {
+    match (left, right) {
+        (ScalarExpr::Literal(l), ScalarExpr::Literal(r)) => {
+            // Both constant (rare after folding): materialize one side so
+            // the kernel has a column to size its output from.
+            let lc = broadcast(l, chunk.len())?;
+            Ok(kernel(Operand::Col(&lc), Operand::Scalar(r))?)
+        }
+        (ScalarExpr::Literal(l), r) => {
+            let rc = eval(r, chunk)?;
+            Ok(kernel(Operand::Scalar(l), Operand::Col(&rc))?)
+        }
+        (l, ScalarExpr::Literal(r)) => {
+            let lc = eval(l, chunk)?;
+            Ok(kernel(Operand::Col(&lc), Operand::Scalar(r))?)
+        }
+        (l, r) => {
+            let lc = eval(l, chunk)?;
+            let rc = eval(r, chunk)?;
+            Ok(kernel(Operand::Col(&lc), Operand::Col(&rc))?)
+        }
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Result<Column> {
+    let ty = v.data_type().unwrap_or(datacell_bat::DataType::Bool);
+    let mut c = Column::with_capacity(ty, n);
+    for _ in 0..n {
+        if v.is_nil() {
+            c.push_nil();
+        } else {
+            c.push(v)?;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_bat::calc::ArithOp;
+    use datacell_bat::select::CmpOp;
+    use datacell_bat::types::DataType;
+    use datacell_sql::expr::ScalarFunc;
+    use datacell_sql::Schema;
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            Schema::new(vec![
+                ("a".into(), DataType::Int),
+                ("s".into(), DataType::Str),
+            ]),
+            vec![
+                Column::from_ints(vec![1, 2, 3, 4]),
+                Column::from_strs(&["apple", "pear", "avocado", "plum"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn col(i: usize, ty: DataType) -> ScalarExpr {
+        ScalarExpr::Column { index: i, ty }
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let c = chunk();
+        let out = eval(&col(0, DataType::Int), &c).unwrap();
+        assert_eq!(out.as_ints().unwrap(), &[1, 2, 3, 4]);
+        let lit = eval(&ScalarExpr::Literal(Value::Int(7)), &c).unwrap();
+        assert_eq!(lit.as_ints().unwrap(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn vectorized_arith_with_scalar() {
+        let c = chunk();
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(col(0, DataType::Int)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(10))),
+            ty: DataType::Int,
+        };
+        assert_eq!(eval(&e, &c).unwrap().as_ints().unwrap(), &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn predicate_candidates() {
+        let c = chunk();
+        let e = ScalarExpr::Cmp {
+            op: CmpOp::Ge,
+            left: Box::new(col(0, DataType::Int)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(3))),
+        };
+        assert_eq!(eval_predicate(&e, &c).unwrap().to_positions(), vec![2, 3]);
+    }
+
+    #[test]
+    fn like_with_dictionary_memo() {
+        let c = chunk();
+        let e = ScalarExpr::Like {
+            expr: Box::new(col(1, DataType::Str)),
+            pattern: "a%".into(),
+            negated: false,
+        };
+        let out = eval(&e, &c).unwrap();
+        assert_eq!(out.as_bools().unwrap(), &[1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn case_vectorized() {
+        let c = chunk();
+        let e = ScalarExpr::Case {
+            when_then: vec![(
+                ScalarExpr::Cmp {
+                    op: CmpOp::Lt,
+                    left: Box::new(col(0, DataType::Int)),
+                    right: Box::new(ScalarExpr::Literal(Value::Int(3))),
+                },
+                ScalarExpr::Literal(Value::Int(0)),
+            )],
+            else_expr: Some(Box::new(col(0, DataType::Int))),
+            ty: DataType::Int,
+        };
+        assert_eq!(eval(&e, &c).unwrap().as_ints().unwrap(), &[0, 0, 3, 4]);
+    }
+
+    #[test]
+    fn case_without_else_yields_nil() {
+        let c = chunk();
+        let e = ScalarExpr::Case {
+            when_then: vec![(ScalarExpr::Literal(Value::Bool(false)), col(0, DataType::Int))],
+            else_expr: None,
+            ty: DataType::Int,
+        };
+        let out = eval(&e, &c).unwrap();
+        assert!(out.is_nil_at(0));
+    }
+
+    #[test]
+    fn func_and_cast() {
+        let c = chunk();
+        let e = ScalarExpr::Func {
+            func: ScalarFunc::Length,
+            args: vec![col(1, DataType::Str)],
+            ty: DataType::Int,
+        };
+        assert_eq!(eval(&e, &c).unwrap().as_ints().unwrap(), &[5, 4, 7, 4]);
+        let cast = ScalarExpr::Cast {
+            expr: Box::new(col(0, DataType::Int)),
+            ty: DataType::Float,
+        };
+        assert_eq!(
+            eval(&cast, &c).unwrap().as_floats().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn is_null_vectorized() {
+        let c = Chunk::new(
+            Schema::new(vec![("a".into(), DataType::Int)]),
+            vec![Column::from_ints(vec![1, datacell_bat::types::NIL_INT])],
+        )
+        .unwrap();
+        let e = ScalarExpr::IsNull {
+            expr: Box::new(col(0, DataType::Int)),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &c).unwrap().as_bools().unwrap(), &[0, 1]);
+    }
+}

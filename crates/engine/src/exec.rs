@@ -1,0 +1,623 @@
+//! The plan interpreter: executes a [`PhysicalPlan`] against a
+//! [`DataSource`], column-at-a-time.
+//!
+//! Consuming scans (basket expressions) do not mutate anything here — the
+//! engine is side-effect free. Instead, the qualifying positions of every
+//! consuming scan are reported in [`ExecOutcome::consumed`]; the DataCell
+//! layer, which holds the basket locks for the whole factory step
+//! (Algorithm 1 in the paper), applies the deletions. That separation keeps
+//! the engine reusable for one-time queries and keeps all locking protocol
+//! in one place.
+
+use datacell_bat::aggregate::{grouped_agg, scalar_agg};
+use datacell_bat::bat::Bat;
+use datacell_bat::candidates::Candidates;
+use datacell_bat::column::Column;
+use datacell_bat::error::Result as BatResult;
+use datacell_bat::group::{group_by, Grouping};
+use datacell_bat::types::Value;
+use datacell_sql::expr::ScalarExpr;
+use datacell_sql::physical::{PhysAgg, PhysicalPlan};
+use datacell_sql::{Result, Schema, SqlError};
+
+use crate::chunk::Chunk;
+use crate::eval::{eval, eval_predicate};
+
+/// Where scans read their data from.
+///
+/// The engine's [`crate::Catalog`] implements this for stored tables; the
+/// DataCell layer implements it over locked basket snapshots.
+pub trait DataSource {
+    /// Snapshot the full contents of `table`.
+    fn scan(&self, table: &str) -> BatResult<Chunk>;
+}
+
+/// Result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The query result.
+    pub chunk: Chunk,
+    /// For each consuming scan: the basket name and the positions (within
+    /// the snapshot served by the data source) that the basket expression
+    /// referenced and must therefore be removed (§2.6).
+    pub consumed: Vec<(String, Candidates)>,
+}
+
+/// Execute `plan` against `src`.
+pub fn execute(plan: &PhysicalPlan, src: &dyn DataSource) -> Result<ExecOutcome> {
+    let mut consumed = Vec::new();
+    let chunk = run(plan, src, &mut consumed)?;
+    Ok(ExecOutcome { chunk, consumed })
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    src: &dyn DataSource,
+    consumed: &mut Vec<(String, Candidates)>,
+) -> Result<Chunk> {
+    match plan {
+        PhysicalPlan::ScanTable {
+            table,
+            consume,
+            predicate,
+            projection,
+            schema,
+            full_schema,
+        } => {
+            let raw = src.scan(table).map_err(SqlError::Kernel)?;
+            if raw.schema.len() != full_schema.len() {
+                return Err(SqlError::Plan(format!(
+                    "source {table} width {} does not match planned width {}",
+                    raw.schema.len(),
+                    full_schema.len()
+                )));
+            }
+            let cands = match predicate {
+                None => Candidates::all(raw.len()),
+                Some(p) => eval_predicate(p, &raw)?,
+            };
+            if *consume {
+                consumed.push((table.clone(), cands.clone()));
+            }
+            let selected = raw.gather(&cands).map_err(SqlError::Kernel)?;
+            let out = match projection {
+                None => selected,
+                Some(cols) => Chunk {
+                    schema: schema.clone(),
+                    columns: cols.iter().map(|&i| selected.columns[i].clone()).collect(),
+                },
+            };
+            Ok(out)
+        }
+        PhysicalPlan::Filter {
+            input, predicate, ..
+        } => {
+            let child = run(input, src, consumed)?;
+            let cands = eval_predicate(predicate, &child)?;
+            child.gather(&cands).map_err(SqlError::Kernel)
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = run(input, src, consumed)?;
+            let columns = exprs
+                .iter()
+                .map(|(e, _)| eval(e, &child))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Chunk {
+                schema: schema.clone(),
+                columns,
+            })
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
+            let lchunk = run(left, src, consumed)?;
+            let rchunk = run(right, src, consumed)?;
+            let lkeys = left_keys
+                .iter()
+                .map(|k| eval(k, &lchunk))
+                .collect::<Result<Vec<_>>>()?;
+            let rkeys = right_keys
+                .iter()
+                .map(|k| eval(k, &rchunk))
+                .collect::<Result<Vec<_>>>()?;
+            let (lpos, rpos) = multi_key_join(&lkeys, &rkeys, lchunk.len(), rchunk.len())?;
+            let joined = materialize_join(&lchunk, &rchunk, &lpos, &rpos, schema)?;
+            match residual {
+                None => Ok(joined),
+                Some(r) => {
+                    let cands = eval_predicate(r, &joined)?;
+                    joined.gather(&cands).map_err(SqlError::Kernel)
+                }
+            }
+        }
+        PhysicalPlan::NestedLoop {
+            left,
+            right,
+            schema,
+        } => {
+            let lchunk = run(left, src, consumed)?;
+            let rchunk = run(right, src, consumed)?;
+            let (ln, rn) = (lchunk.len(), rchunk.len());
+            let mut lpos = Vec::with_capacity(ln * rn);
+            let mut rpos = Vec::with_capacity(ln * rn);
+            for i in 0..ln {
+                for j in 0..rn {
+                    lpos.push(i);
+                    rpos.push(j);
+                }
+            }
+            materialize_join(&lchunk, &rchunk, &lpos, &rpos, schema)
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            let child = run(input, src, consumed)?;
+            aggregate(&child, group, aggs, schema)
+        }
+        PhysicalPlan::Sort { input, keys, .. } => {
+            let child = run(input, src, consumed)?;
+            sort_chunk(child, keys)
+        }
+        PhysicalPlan::Limit { input, n, .. } => {
+            let child = run(input, src, consumed)?;
+            child.head(*n as usize).map_err(SqlError::Kernel)
+        }
+        PhysicalPlan::Distinct { input, .. } => {
+            let child = run(input, src, consumed)?;
+            distinct_chunk(child)
+        }
+        PhysicalPlan::ConstRow { exprs, schema } => {
+            let mut columns = Vec::with_capacity(exprs.len());
+            for ((e, _), cd) in exprs.iter().zip(&schema.columns) {
+                let v = e.eval_row(&[])?;
+                let mut c = Column::with_capacity(cd.ty, 1);
+                if v.is_nil() {
+                    c.push_nil();
+                } else {
+                    let coerced = v.coerce_to(cd.ty).ok_or_else(|| {
+                        SqlError::Type(format!("cannot coerce {v:?} to {}", cd.ty))
+                    })?;
+                    c.push(&coerced).map_err(SqlError::Kernel)?;
+                }
+                columns.push(c);
+            }
+            Ok(Chunk {
+                schema: schema.clone(),
+                columns,
+            })
+        }
+    }
+}
+
+/// Multi-key equi-join over evaluated key columns: single-key joins go
+/// straight to the kernel's hash join; composite keys use iterative group
+/// refinement to reduce to a single surrogate key first.
+fn multi_key_join(
+    lkeys: &[Column],
+    rkeys: &[Column],
+    ln: usize,
+    rn: usize,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if lkeys.len() == 1 {
+        let lbat = Bat::new(lkeys[0].clone());
+        let rbat = Bat::new(rkeys[0].clone());
+        return datacell_bat::join::hash_join(&lbat, &rbat, None, None).map_err(SqlError::Kernel);
+    }
+    // Composite key: group the *concatenation* of both sides' keys column by
+    // column; rows in the same final group share a composite key. Then a
+    // surrogate-int join on group ids yields the pairs.
+    let mut grouping: Option<Grouping> = None;
+    for (lk, rk) in lkeys.iter().zip(rkeys) {
+        let mut combined = lk.clone();
+        combined.append_column(rk).map_err(SqlError::Kernel)?;
+        let bat = Bat::new(combined);
+        grouping =
+            Some(group_by(&bat, grouping.as_ref(), None).map_err(SqlError::Kernel)?);
+    }
+    let g = grouping.expect("at least one key");
+    // Nil keys never match in SQL; detect rows where any key is nil.
+    let is_nil_row = |cols: &[Column], i: usize| cols.iter().any(|c| c.is_nil_at(i));
+    let lids = Column::from_ints(
+        (0..ln)
+            .map(|i| {
+                if is_nil_row(lkeys, i) {
+                    datacell_bat::types::NIL_INT
+                } else {
+                    g.ids[i] as i64
+                }
+            })
+            .collect(),
+    );
+    let rids = Column::from_ints(
+        (0..rn)
+            .map(|j| {
+                if is_nil_row(rkeys, j) {
+                    datacell_bat::types::NIL_INT
+                } else {
+                    g.ids[ln + j] as i64
+                }
+            })
+            .collect(),
+    );
+    datacell_bat::join::hash_join(&Bat::new(lids), &Bat::new(rids), None, None)
+        .map_err(SqlError::Kernel)
+}
+
+fn materialize_join(
+    l: &Chunk,
+    r: &Chunk,
+    lpos: &[usize],
+    rpos: &[usize],
+    schema: &Schema,
+) -> Result<Chunk> {
+    let mut columns = Vec::with_capacity(l.columns.len() + r.columns.len());
+    for c in &l.columns {
+        columns.push(c.take(lpos).map_err(SqlError::Kernel)?);
+    }
+    for c in &r.columns {
+        columns.push(c.take(rpos).map_err(SqlError::Kernel)?);
+    }
+    Ok(Chunk {
+        schema: schema.clone(),
+        columns,
+    })
+}
+
+fn aggregate(
+    child: &Chunk,
+    group: &[(ScalarExpr, String)],
+    aggs: &[PhysAgg],
+    schema: &Schema,
+) -> Result<Chunk> {
+    if group.is_empty() {
+        // Global aggregation: exactly one output row, even for empty input.
+        let mut columns = Vec::with_capacity(aggs.len());
+        for (a, cd) in aggs.iter().zip(&schema.columns) {
+            let v = match &a.arg {
+                None => Value::Int(child.len() as i64),
+                Some(e) => {
+                    let col = eval(e, child)?;
+                    scalar_agg(a.func, &Bat::new(col), None).map_err(SqlError::Kernel)?
+                }
+            };
+            let mut c = Column::with_capacity(cd.ty, 1);
+            if v.is_nil() {
+                c.push_nil();
+            } else {
+                let coerced = v
+                    .coerce_to(cd.ty)
+                    .ok_or_else(|| SqlError::Type(format!("agg type drift: {v:?} vs {}", cd.ty)))?;
+                c.push(&coerced).map_err(SqlError::Kernel)?;
+            }
+            columns.push(c);
+        }
+        return Ok(Chunk {
+            schema: schema.clone(),
+            columns,
+        });
+    }
+    // Grouped: iterative refinement over evaluated key columns.
+    let key_cols: Vec<Column> = group
+        .iter()
+        .map(|(e, _)| eval(e, child))
+        .collect::<Result<_>>()?;
+    let mut grouping: Option<Grouping> = None;
+    for k in &key_cols {
+        let bat = Bat::new(k.clone());
+        grouping = Some(group_by(&bat, grouping.as_ref(), None).map_err(SqlError::Kernel)?);
+    }
+    let g = grouping.expect("non-empty group keys");
+    let mut columns: Vec<Column> = Vec::with_capacity(group.len() + aggs.len());
+    // Group key outputs: key value at each group's representative row.
+    for k in &key_cols {
+        columns.push(k.take(&g.representatives).map_err(SqlError::Kernel)?);
+    }
+    // Aggregates.
+    for a in aggs {
+        let col = match &a.arg {
+            None => {
+                // count(*): histogram of group sizes.
+                Column::from_ints(g.histogram().iter().map(|&n| n as i64).collect())
+            }
+            Some(e) => {
+                let arg = eval(e, child)?;
+                grouped_agg(a.func, &Bat::new(arg), &g).map_err(SqlError::Kernel)?
+            }
+        };
+        columns.push(col);
+    }
+    Chunk::new(schema.clone(), columns).map_err(SqlError::Kernel)
+}
+
+fn sort_chunk(chunk: Chunk, keys: &[(usize, bool)]) -> Result<Chunk> {
+    if chunk.len() <= 1 || keys.is_empty() {
+        return Ok(chunk);
+    }
+    // Stable multi-key sort via a single comparator over the key columns.
+    let mut perm: Vec<usize> = (0..chunk.len()).collect();
+    let key_vals: Vec<(&Column, bool)> = keys
+        .iter()
+        .map(|&(k, asc)| (&chunk.columns[k], asc))
+        .collect();
+    perm.sort_by(|&a, &b| {
+        for (col, asc) in &key_vals {
+            let va = col.get(a).unwrap_or(Value::Nil);
+            let vb = col.get(b).unwrap_or(Value::Nil);
+            let ord = va.total_cmp(&vb);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let columns = chunk
+        .columns
+        .iter()
+        .map(|c| c.take(&perm))
+        .collect::<BatResult<Vec<_>>>()
+        .map_err(SqlError::Kernel)?;
+    Ok(Chunk {
+        schema: chunk.schema,
+        columns,
+    })
+}
+
+fn distinct_chunk(chunk: Chunk) -> Result<Chunk> {
+    if chunk.len() <= 1 {
+        return Ok(chunk);
+    }
+    let mut grouping: Option<Grouping> = None;
+    for c in &chunk.columns {
+        let bat = Bat::new(c.clone());
+        grouping = Some(group_by(&bat, grouping.as_ref(), None).map_err(SqlError::Kernel)?);
+    }
+    let mut reps = match grouping {
+        Some(g) => g.representatives,
+        None => return Ok(chunk), // zero-column chunk
+    };
+    reps.sort_unstable();
+    chunk
+        .gather(&Candidates::from_sorted_unchecked(reps))
+        .map_err(SqlError::Kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use datacell_bat::types::DataType;
+    use datacell_sql::compile_query;
+    use datacell_sql::Schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "t",
+            Schema::new(vec![
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Float),
+                ("s".into(), DataType::Str),
+            ]),
+        )
+        .unwrap();
+        let t = c.table_mut("t").unwrap();
+        for (a, b, s) in [
+            (1, 10.0, "x"),
+            (2, 20.0, "y"),
+            (3, 30.0, "x"),
+            (4, 40.0, "z"),
+            (5, 50.0, "y"),
+        ] {
+            t.append_row(&[Value::Int(a), Value::Float(b), Value::Str(s.into())])
+                .unwrap();
+        }
+        c.create_table(
+            "u",
+            Schema::new(vec![
+                ("k".into(), DataType::Int),
+                ("v".into(), DataType::Str),
+            ]),
+        )
+        .unwrap();
+        let u = c.table_mut("u").unwrap();
+        for (k, v) in [(2, "two"), (4, "four"), (9, "nine")] {
+            u.append_row(&[Value::Int(k), Value::Str(v.into())]).unwrap();
+        }
+        c
+    }
+
+    fn query(c: &Catalog, sql: &str) -> Chunk {
+        let (plan, _) = compile_query(sql, c).unwrap();
+        execute(&plan, c).unwrap().chunk
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let c = catalog();
+        let out = query(&c, "select a, b * 2 as bb from t where a >= 3");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.columns[0].as_ints().unwrap(), &[3, 4, 5]);
+        assert_eq!(out.columns[1].as_floats().unwrap(), &[60.0, 80.0, 100.0]);
+    }
+
+    #[test]
+    fn join_one_key() {
+        let c = catalog();
+        let out = query(&c, "select t.a, u.v from t join u on t.a = u.k");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.columns[0].as_ints().unwrap(), &[2, 4]);
+        assert_eq!(out.row(0).unwrap()[1], Value::Str("two".into()));
+    }
+
+    #[test]
+    fn join_residual_predicate() {
+        let c = catalog();
+        let out = query(&c, "select t.a from t join u on t.a = u.k and t.b > 25.0");
+        assert_eq!(out.columns[0].as_ints().unwrap(), &[4]);
+    }
+
+    #[test]
+    fn multi_key_join_works() {
+        let mut c = Catalog::new();
+        c.create_table(
+            "l",
+            Schema::new(vec![
+                ("x".into(), DataType::Int),
+                ("y".into(), DataType::Str),
+            ]),
+        )
+        .unwrap();
+        c.create_table(
+            "r",
+            Schema::new(vec![
+                ("x".into(), DataType::Int),
+                ("y".into(), DataType::Str),
+                ("p".into(), DataType::Int),
+            ]),
+        )
+        .unwrap();
+        for (x, y) in [(1, "a"), (1, "b"), (2, "a")] {
+            c.table_mut("l")
+                .unwrap()
+                .append_row(&[Value::Int(x), Value::Str(y.into())])
+                .unwrap();
+        }
+        for (x, y, p) in [(1, "a", 10), (1, "b", 20), (2, "b", 30)] {
+            c.table_mut("r")
+                .unwrap()
+                .append_row(&[Value::Int(x), Value::Str(y.into()), Value::Int(p)])
+                .unwrap();
+        }
+        let out = query(
+            &c,
+            "select r.p from l join r on l.x = r.x and l.y = r.y",
+        );
+        let mut got = out.columns[0].as_ints().unwrap().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20]);
+    }
+
+    #[test]
+    fn cross_join_counts() {
+        let c = catalog();
+        let out = query(&c, "select t.a, u.k from t cross join u");
+        assert_eq!(out.len(), 15);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let c = catalog();
+        let out = query(
+            &c,
+            "select s, sum(a) as total, count(*) as n from t group by s order by s",
+        );
+        assert_eq!(out.len(), 3);
+        let rows = out.rows().unwrap();
+        assert_eq!(
+            rows[0],
+            vec![Value::Str("x".into()), Value::Int(4), Value::Int(2)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::Str("y".into()), Value::Int(7), Value::Int(2)]
+        );
+        assert_eq!(
+            rows[2],
+            vec![Value::Str("z".into()), Value::Int(4), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let c = catalog();
+        let out = query(&c, "select count(*) as n, sum(a) as s from t where a > 100");
+        assert_eq!(out.len(), 1);
+        let row = out.row(0).unwrap();
+        assert_eq!(row[0], Value::Int(0));
+        assert_eq!(row[1], Value::Nil);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let c = catalog();
+        let out = query(
+            &c,
+            "select s, count(*) as n from t group by s having count(*) > 1 order by s",
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let c = catalog();
+        let out = query(&c, "select a from t order by a desc limit 2");
+        assert_eq!(out.columns[0].as_ints().unwrap(), &[5, 4]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let c = catalog();
+        let out = query(&c, "select s, a from t order by s asc, a desc");
+        let rows = out.rows().unwrap();
+        assert_eq!(rows[0][0], Value::Str("x".into()));
+        assert_eq!(rows[0][1], Value::Int(3));
+        assert_eq!(rows[1][1], Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let c = catalog();
+        let out = query(&c, "select distinct s from t order by s");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn const_row() {
+        let c = catalog();
+        let out = query(&c, "select 2 + 3 as five, 'hi' as greet");
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.row(0).unwrap(),
+            vec![Value::Int(5), Value::Str("hi".into())]
+        );
+    }
+
+    #[test]
+    fn case_in_projection() {
+        let c = catalog();
+        let out = query(
+            &c,
+            "select a, case when a % 2 = 0 then 'even' else 'odd' end as par from t order by a",
+        );
+        assert_eq!(out.row(0).unwrap()[1], Value::Str("odd".into()));
+        assert_eq!(out.row(1).unwrap()[1], Value::Str("even".into()));
+    }
+
+    #[test]
+    fn in_and_between_execute() {
+        let c = catalog();
+        let out = query(&c, "select a from t where a in (1, 4) or a between 5 and 9");
+        assert_eq!(out.columns[0].as_ints().unwrap(), &[1, 4, 5]);
+    }
+
+    #[test]
+    fn no_consumption_for_plain_tables() {
+        let c = catalog();
+        let (plan, _) = compile_query("select a from t where a > 2", &c).unwrap();
+        let outcome = execute(&plan, &c).unwrap();
+        assert!(outcome.consumed.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # datacell-engine — vectorized execution over the BAT kernel
+//!
+//! The engine interprets the front-end's physical plans with bulk operators,
+//! MonetDB-style: every operator consumes and produces whole columns
+//! ([`chunk::Chunk`]s of aligned [`datacell_bat::Column`]s), never a tuple at
+//! a time. This is the half of the paper's performance argument that the
+//! kernel provides; the DataCell layer adds the streaming half on top.
+//!
+//! Components:
+//!
+//! * [`table::Table`] / [`catalog::Catalog`] — relational storage as aligned
+//!   column collections, plus the catalog that backs one-time queries;
+//! * [`chunk::Chunk`] — the unit of data flow between operators;
+//! * [`eval`] — vectorized scalar-expression evaluation;
+//! * [`exec`] — the plan interpreter, including consuming basket scans that
+//!   report which positions a basket expression removed;
+//! * [`session::Session`] — a convenience REPL-style API (`CREATE TABLE`,
+//!   `INSERT`, `SELECT`, `EXPLAIN`) used by examples and tests.
+
+pub mod catalog;
+pub mod chunk;
+pub mod eval;
+pub mod exec;
+pub mod session;
+pub mod table;
+
+pub use crate::catalog::Catalog;
+pub use crate::chunk::Chunk;
+pub use crate::exec::{execute, DataSource, ExecOutcome};
+pub use crate::session::Session;
+pub use crate::table::Table;

@@ -1,0 +1,450 @@
+//! Deterministic Linear Road traffic generator.
+//!
+//! Geometry follows the benchmark: an expressway is 100 segments of 1 mile,
+//! each direction; vehicles report type-0 position records every 30
+//! simulated seconds. Accidents are injected by parking two vehicles at the
+//! same position (they emit ≥4 identical reports); traffic approaching an
+//! accident slows down, which is what drives the toll formula's interesting
+//! cases. A seeded RNG makes every run reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of 1-mile segments per expressway direction.
+pub const SEGMENTS: i64 = 100;
+/// Position-report period in simulated seconds.
+pub const REPORT_PERIOD_S: i64 = 30;
+
+/// One input record, pre-flattened to the benchmark's wide tuple layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LrRecord {
+    /// Type-0 position report.
+    Position {
+        /// Simulated second.
+        time: i64,
+        /// Vehicle id.
+        vid: i64,
+        /// Speed in mph (0 = stopped).
+        speed: i64,
+        /// Expressway number.
+        xway: i64,
+        /// Lane (0 entry, 1-3 travel, 4 exit).
+        lane: i64,
+        /// Direction (0 east, 1 west).
+        dir: i64,
+        /// Segment 0..100.
+        seg: i64,
+        /// Absolute position in feet.
+        pos: i64,
+    },
+    /// Type-2 account-balance query.
+    AccountBalance {
+        /// Simulated second.
+        time: i64,
+        /// Vehicle id.
+        vid: i64,
+        /// Query id (echoed in the answer).
+        qid: i64,
+    },
+    /// Type-3 daily-expenditure query.
+    DailyExpenditure {
+        /// Simulated second.
+        time: i64,
+        /// Vehicle id.
+        vid: i64,
+        /// Query id.
+        qid: i64,
+        /// Day (1 = yesterday … 69).
+        day: i64,
+        /// Expressway asked about.
+        xway: i64,
+    },
+}
+
+impl LrRecord {
+    /// Simulated timestamp of the record.
+    pub fn time(&self) -> i64 {
+        match self {
+            LrRecord::Position { time, .. }
+            | LrRecord::AccountBalance { time, .. }
+            | LrRecord::DailyExpenditure { time, .. } => *time,
+        }
+    }
+
+    /// Flatten to the wide input tuple
+    /// `(rtype, time, vid, speed, xway, lane, dir, seg, pos, qid, day)`.
+    pub fn to_row(&self) -> Vec<datacell_bat::Value> {
+        use datacell_bat::Value as V;
+        match *self {
+            LrRecord::Position {
+                time,
+                vid,
+                speed,
+                xway,
+                lane,
+                dir,
+                seg,
+                pos,
+            } => vec![
+                V::Int(0),
+                V::Int(time),
+                V::Int(vid),
+                V::Int(speed),
+                V::Int(xway),
+                V::Int(lane),
+                V::Int(dir),
+                V::Int(seg),
+                V::Int(pos),
+                V::Int(-1),
+                V::Int(-1),
+            ],
+            LrRecord::AccountBalance { time, vid, qid } => vec![
+                V::Int(2),
+                V::Int(time),
+                V::Int(vid),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(qid),
+                V::Int(-1),
+            ],
+            LrRecord::DailyExpenditure {
+                time,
+                vid,
+                qid,
+                day,
+                xway,
+            } => vec![
+                V::Int(3),
+                V::Int(time),
+                V::Int(vid),
+                V::Int(-1),
+                V::Int(xway),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(-1),
+                V::Int(qid),
+                V::Int(day),
+            ],
+        }
+    }
+
+    /// The wide input schema matching [`LrRecord::to_row`].
+    pub fn input_schema() -> datacell_sql::Schema {
+        use datacell_bat::DataType::Int;
+        datacell_sql::Schema::new(
+            [
+                "rtype", "time", "vid", "speed", "xway", "lane", "dir", "seg", "pos", "qid",
+                "day",
+            ]
+            .iter()
+            .map(|n| (n.to_string(), Int))
+            .collect(),
+        )
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Number of expressways (the benchmark's L).
+    pub xways: usize,
+    /// Vehicles entering per expressway per simulated minute.
+    pub cars_per_xway_per_min: usize,
+    /// Simulated duration in seconds.
+    pub duration_s: i64,
+    /// Accidents injected per expressway over the whole run.
+    pub accidents_per_xway: usize,
+    /// Fraction (per mille) of position reports followed by a balance query.
+    pub balance_query_permille: u32,
+    /// Fraction (per mille) followed by a daily-expenditure query.
+    pub daily_query_permille: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            xways: 1,
+            cars_per_xway_per_min: 20,
+            duration_s: 600,
+            accidents_per_xway: 1,
+            balance_query_permille: 10,
+            daily_query_permille: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// An injected accident: two vehicles stopped at a position for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accident {
+    /// Expressway.
+    pub xway: i64,
+    /// Direction.
+    pub dir: i64,
+    /// Segment where the crash sits.
+    pub seg: i64,
+    /// Start second.
+    pub start: i64,
+    /// Clear second.
+    pub end: i64,
+}
+
+/// The traffic simulator.
+pub struct TrafficSim {
+    /// Configuration used.
+    pub config: TrafficConfig,
+    /// Accidents injected (ground truth for the validator).
+    pub accidents: Vec<Accident>,
+    records: Vec<LrRecord>,
+}
+
+impl TrafficSim {
+    /// Generate the full record stream (time-ordered).
+    pub fn generate(config: TrafficConfig) -> TrafficSim {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut records: Vec<LrRecord> = Vec::new();
+        let mut accidents = Vec::new();
+        let mut next_vid: i64 = 1;
+        let mut next_qid: i64 = 1;
+
+        // Plan accidents first so normal traffic can react to them.
+        for xway in 0..config.xways as i64 {
+            for _ in 0..config.accidents_per_xway {
+                let start = rng.gen_range(60..(config.duration_s / 2).max(61));
+                let accident = Accident {
+                    xway,
+                    dir: rng.gen_range(0..2),
+                    seg: rng.gen_range(5..SEGMENTS - 5),
+                    start,
+                    end: (start + rng.gen_range(120..300)).min(config.duration_s),
+                };
+                accidents.push(accident);
+                // The two crashed vehicles: stopped at the *same* position
+                // (that is what makes it an accident), emitting identical
+                // reports every period for the accident's duration.
+                let pos = accident.seg * 5280 + rng.gen_range(0..5280);
+                for _ in 0..2 {
+                    let vid = next_vid;
+                    next_vid += 1;
+                    let mut t = accident.start;
+                    while t < accident.end {
+                        records.push(LrRecord::Position {
+                            time: t,
+                            vid,
+                            speed: 0,
+                            xway,
+                            lane: 2,
+                            dir: accident.dir,
+                            seg: accident.seg,
+                            pos,
+                        });
+                        t += REPORT_PERIOD_S;
+                    }
+                }
+            }
+        }
+
+        // Normal traffic.
+        for xway in 0..config.xways as i64 {
+            let minutes = (config.duration_s / 60).max(1);
+            for minute in 0..minutes {
+                for _ in 0..config.cars_per_xway_per_min {
+                    let vid = next_vid;
+                    next_vid += 1;
+                    let dir = rng.gen_range(0..2i64);
+                    let enter_time = minute * 60 + rng.gen_range(0..60);
+                    // Entry ramps cover the whole expressway so traffic
+                    // exists everywhere, accident zones included.
+                    let mut seg = if dir == 0 {
+                        rng.gen_range(0..SEGMENTS - 10)
+                    } else {
+                        rng.gen_range(10..SEGMENTS)
+                    };
+                    let journey_segs = rng.gen_range(5..40);
+                    let base_speed = rng.gen_range(50..100i64);
+                    let mut t = enter_time;
+                    let mut travelled = 0i64;
+                    let mut lane = 0; // enter on the entry lane
+                    while travelled < journey_segs && t < config.duration_s && seg < SEGMENTS
+                    {
+                        // Slow down sharply when approaching an active
+                        // accident (0..4 segments downstream of us).
+                        let near_accident = accidents.iter().any(|a| {
+                            a.xway == xway
+                                && a.dir == dir
+                                && t >= a.start
+                                && t < a.end
+                                && (dir == 0 && a.seg >= seg && a.seg - seg <= 4
+                                    || dir == 1 && seg >= a.seg && seg - a.seg <= 4)
+                        });
+                        let speed = if near_accident {
+                            rng.gen_range(5..20)
+                        } else {
+                            (base_speed + rng.gen_range(-10..10)).clamp(30, 100)
+                        };
+                        records.push(LrRecord::Position {
+                            time: t,
+                            vid,
+                            speed,
+                            xway,
+                            lane,
+                            dir,
+                            seg,
+                            pos: seg * 5280 + rng.gen_range(0..5280),
+                        });
+                        // Occasional historical queries ride along.
+                        if rng.gen_ratio(config.balance_query_permille, 1000) {
+                            records.push(LrRecord::AccountBalance {
+                                time: t,
+                                vid,
+                                qid: next_qid,
+                            });
+                            next_qid += 1;
+                        }
+                        if rng.gen_ratio(config.daily_query_permille, 1000) {
+                            records.push(LrRecord::DailyExpenditure {
+                                time: t,
+                                vid,
+                                qid: next_qid,
+                                day: rng.gen_range(1..70),
+                                xway,
+                            });
+                            next_qid += 1;
+                        }
+                        // Advance: miles per report period at `speed` mph.
+                        let miles = (speed * REPORT_PERIOD_S) / 3600;
+                        let advance = miles.max(if near_accident { 0 } else { 1 });
+                        seg += if dir == 0 { advance } else { 0 };
+                        seg -= if dir == 1 { advance.min(seg) } else { 0 };
+                        travelled += advance;
+                        lane = rng.gen_range(1..4);
+                        t += REPORT_PERIOD_S;
+                    }
+                }
+            }
+        }
+
+        records.sort_by_key(|r| r.time());
+        TrafficSim {
+            config,
+            accidents,
+            records,
+        }
+    }
+
+    /// The generated records, time-ordered.
+    pub fn records(&self) -> &[LrRecord] {
+        &self.records
+    }
+
+    /// Count of type-0 records.
+    pub fn position_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, LrRecord::Position { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TrafficConfig {
+        TrafficConfig {
+            xways: 1,
+            cars_per_xway_per_min: 5,
+            duration_s: 300,
+            accidents_per_xway: 1,
+            seed: 7,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TrafficSim::generate(small());
+        let b = TrafficSim::generate(small());
+        assert_eq!(a.records(), b.records());
+        let mut c = small();
+        c.seed = 8;
+        let c = TrafficSim::generate(c);
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn records_time_ordered_and_well_formed() {
+        let sim = TrafficSim::generate(small());
+        assert!(!sim.records().is_empty());
+        let mut last = 0;
+        for r in sim.records() {
+            assert!(r.time() >= last);
+            last = r.time();
+            if let LrRecord::Position {
+                seg, speed, lane, ..
+            } = r
+            {
+                assert!((0..SEGMENTS).contains(seg), "seg {seg}");
+                assert!((0..=100).contains(speed));
+                assert!((0..=4).contains(lane));
+            }
+        }
+    }
+
+    #[test]
+    fn accident_vehicles_emit_identical_stopped_reports() {
+        let sim = TrafficSim::generate(small());
+        let accident = sim.accidents[0];
+        // Find a vehicle with ≥4 consecutive identical stopped reports in
+        // the accident segment.
+        let stopped: Vec<&LrRecord> = sim
+            .records()
+            .iter()
+            .filter(|r| {
+                matches!(r, LrRecord::Position { speed: 0, seg, .. } if *seg == accident.seg)
+            })
+            .collect();
+        assert!(stopped.len() >= 8, "two vehicles × ≥4 reports, got {}", stopped.len());
+    }
+
+    #[test]
+    fn historical_queries_present() {
+        let mut cfg = small();
+        cfg.balance_query_permille = 200;
+        cfg.daily_query_permille = 100;
+        let sim = TrafficSim::generate(cfg);
+        assert!(sim
+            .records()
+            .iter()
+            .any(|r| matches!(r, LrRecord::AccountBalance { .. })));
+        assert!(sim
+            .records()
+            .iter()
+            .any(|r| matches!(r, LrRecord::DailyExpenditure { .. })));
+    }
+
+    #[test]
+    fn scaling_l_scales_input() {
+        let one = TrafficSim::generate(small());
+        let mut cfg2 = small();
+        cfg2.xways = 2;
+        let two = TrafficSim::generate(cfg2);
+        assert!(two.position_count() > (one.position_count() * 3) / 2);
+    }
+
+    #[test]
+    fn row_flattening_roundtrip_shape() {
+        let sim = TrafficSim::generate(small());
+        let schema = LrRecord::input_schema();
+        for r in sim.records().iter().take(50) {
+            assert_eq!(r.to_row().len(), schema.len());
+        }
+    }
+}

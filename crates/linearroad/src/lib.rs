@@ -1,0 +1,31 @@
+//! # linearroad — the Linear Road stream benchmark on DataCell
+//!
+//! The paper's evaluation claim (§5) is that the DataCell prototype
+//! "achieved out of the box good performance on the Linear Road benchmark"
+//! (Arasu et al., VLDB 2004). This crate reproduces that experiment:
+//!
+//! * [`gen`] — a deterministic traffic simulator producing the benchmark's
+//!   input schema (type-0 position reports every 30 simulated seconds per
+//!   vehicle, type-2 account-balance and type-3 daily-expenditure queries),
+//!   with accident injection. This substitutes for the original MITSIM
+//!   traces, which are not redistributable; the synthetic traffic exercises
+//!   the identical query code paths (see DESIGN.md §2).
+//! * [`pipeline`] — the continuous-query set wired as DataCell transitions:
+//!   segment statistics (NOV/LAV), accident detection (4 identical
+//!   consecutive reports, ≥2 stopped vehicles co-located), toll computation
+//!   `2·(NOV−50)²` with accident suppression, toll notifications on segment
+//!   crossing, account balances, daily expenditures.
+//! * [`validator`] — an independent reference implementation that recomputes
+//!   expected outputs from the raw records and checks the system's answers,
+//!   plus the benchmark's 5-second response-time rule.
+//! * [`harness`] — the L-rating run: drive L expressways of traffic through
+//!   the system, measure response times and sustainable throughput.
+
+pub mod gen;
+pub mod harness;
+pub mod pipeline;
+pub mod validator;
+
+pub use crate::gen::{LrRecord, TrafficConfig, TrafficSim};
+pub use crate::harness::{run_linear_road, LrReport};
+pub use crate::pipeline::LinearRoadSystem;

@@ -1,0 +1,301 @@
+//! Independent reference implementation and output validation.
+//!
+//! The validator replays the raw record stream through a deliberately
+//! simple, tuple-at-a-time reference of the same benchmark rules and
+//! compares the system's outputs. Because DataCell processes in batches
+//! with its own scheduling, agreement is a real test of the batching and
+//! consumption machinery, not a tautology.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::gen::LrRecord;
+use crate::pipeline::LinearRoadSystem;
+
+/// A reference toll notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RefToll {
+    /// Vehicle.
+    pub vid: i64,
+    /// Simulated second of the notification.
+    pub time: i64,
+    /// Assessed toll.
+    pub toll: i64,
+}
+
+/// Reference outputs for a record stream.
+#[derive(Debug, Default)]
+pub struct Reference {
+    /// Expected toll notifications.
+    pub tolls: Vec<RefToll>,
+    /// Expected balance answers: (qid, vid, balance).
+    pub balances: Vec<(i64, i64, i64)>,
+    /// Expected accident-alert count.
+    pub accident_alerts: usize,
+}
+
+/// Compute the expected outputs (same rules as `pipeline`, implemented
+/// independently row-by-row).
+pub fn reference(records: &[LrRecord]) -> Reference {
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct Last {
+        xway: i64,
+        lane: i64,
+        dir: i64,
+        seg: i64,
+        pos: i64,
+        speed: i64,
+    }
+    #[derive(Default)]
+    struct Veh {
+        last: Option<Last>,
+        run: usize,
+        pending: i64,
+        balance: i64,
+    }
+    /// (xway, dir, seg, minute) → (distinct vehicles, speed sum, samples).
+    type SegMinute = (i64, i64, i64, i64);
+    let mut vehicles: HashMap<i64, Veh> = HashMap::new();
+    let mut stats: HashMap<SegMinute, (HashSet<i64>, i64, i64)> = HashMap::new();
+    let mut stopped: HashMap<(i64, i64, i64, i64), HashSet<i64>> = HashMap::new();
+    let mut accidents: HashSet<(i64, i64, i64)> = HashSet::new();
+    let mut out = Reference::default();
+
+    for r in records {
+        match *r {
+            LrRecord::Position {
+                time,
+                vid,
+                speed,
+                xway,
+                lane,
+                dir,
+                seg,
+                pos,
+            } => {
+                let minute = time / 60;
+                let entry = stats.entry((xway, dir, seg, minute)).or_default();
+                entry.0.insert(vid);
+                entry.1 += speed;
+                entry.2 += 1;
+
+                let cur = Last {
+                    xway,
+                    lane,
+                    dir,
+                    seg,
+                    pos,
+                    speed,
+                };
+                let (prev, run) = {
+                    let v = vehicles.entry(vid).or_default();
+                    let same = v.last == Some(cur);
+                    v.run = if same { v.run + 1 } else { 1 };
+                    (v.last, v.run)
+                };
+                if run >= 4 && speed == 0 {
+                    let set = stopped.entry((xway, dir, seg, pos)).or_default();
+                    set.insert(vid);
+                    if set.len() >= 2 {
+                        accidents.insert((xway, dir, seg));
+                    }
+                } else if let Some(p) = prev {
+                    if let Some(set) = stopped.get_mut(&(p.xway, p.dir, p.seg, p.pos)) {
+                        set.remove(&vid);
+                        if set.len() < 2 {
+                            accidents.remove(&(p.xway, p.dir, p.seg));
+                        }
+                    }
+                }
+
+                let crossed =
+                    prev.is_none_or(|p| p.seg != seg || p.xway != xway || p.dir != dir);
+                if crossed && lane != 4 {
+                    let nov = stats
+                        .get(&(xway, dir, seg, minute - 1))
+                        .map_or(0, |s| s.0.len() as i64);
+                    let mut sum = 0;
+                    let mut cnt = 0;
+                    for m in (minute - 5)..minute {
+                        if let Some(s) = stats.get(&(xway, dir, seg, m)) {
+                            sum += s.1;
+                            cnt += s.2;
+                        }
+                    }
+                    let lav = (cnt > 0).then(|| sum as f64 / cnt as f64);
+                    let accident = (0..=4).any(|d| {
+                        let s = if dir == 0 { seg + d } else { seg - d };
+                        accidents.contains(&(xway, dir, s))
+                    });
+                    let toll = if accident || lav.is_none_or(|v| v >= 40.0) || nov <= 50 {
+                        0
+                    } else {
+                        2 * (nov - 50) * (nov - 50)
+                    };
+                    if accident {
+                        out.accident_alerts += 1;
+                    }
+                    let v = vehicles.entry(vid).or_default();
+                    v.balance += v.pending;
+                    v.pending = toll;
+                    out.tolls.push(RefToll { vid, time, toll });
+                }
+                vehicles.entry(vid).or_default().last = Some(cur);
+            }
+            LrRecord::AccountBalance { vid, qid, .. } => {
+                let balance = vehicles.get(&vid).map_or(0, |v| v.balance);
+                out.balances.push((qid, vid, balance));
+            }
+            LrRecord::DailyExpenditure { .. } => {}
+        }
+    }
+    out
+}
+
+/// Validation outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Expected vs produced toll notifications.
+    pub tolls_expected: usize,
+    /// Toll notifications the system produced.
+    pub tolls_produced: usize,
+    /// Toll notifications that match exactly (vid, time, toll).
+    pub tolls_matching: usize,
+    /// Balance answers that match exactly (qid, vid, balance).
+    pub balances_matching: usize,
+    /// Balance answers expected.
+    pub balances_expected: usize,
+    /// Mismatched samples (at most 5, for debugging).
+    pub mismatches: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True iff every expected output matches.
+    pub fn passed(&self) -> bool {
+        self.tolls_matching == self.tolls_expected
+            && self.tolls_produced == self.tolls_expected
+            && self.balances_matching == self.balances_expected
+    }
+}
+
+/// Compare the system's drained outputs against the reference for
+/// `records`. Call after `sys.drain()`.
+pub fn validate(sys: &LinearRoadSystem, records: &[LrRecord]) -> ValidationReport {
+    let expected = reference(records);
+    let mut report = ValidationReport {
+        tolls_expected: expected.tolls.len(),
+        balances_expected: expected.balances.len(),
+        ..ValidationReport::default()
+    };
+
+    let toll_snap = sys.toll_out.snapshot();
+    report.tolls_produced = toll_snap.len();
+    let mut produced: Vec<RefToll> = (0..toll_snap.len())
+        .map(|i| RefToll {
+            vid: toll_snap.columns[0].as_ints().unwrap()[i],
+            time: toll_snap.columns[1].as_ints().unwrap()[i],
+            toll: toll_snap.columns[3].as_ints().unwrap()[i],
+        })
+        .collect();
+    let mut want = expected.tolls.clone();
+    produced.sort();
+    want.sort();
+    let produced_set: HashSet<RefToll> = produced.iter().copied().collect();
+    for t in &want {
+        if produced_set.contains(t) {
+            report.tolls_matching += 1;
+        } else if report.mismatches.len() < 5 {
+            report.mismatches.push(format!("missing toll {t:?}"));
+        }
+    }
+
+    let bal_snap = sys.bal_out.snapshot();
+    let produced_bal: HashSet<(i64, i64, i64)> = (0..bal_snap.len())
+        .map(|i| {
+            (
+                bal_snap.columns[0].as_ints().unwrap()[i],
+                bal_snap.columns[1].as_ints().unwrap()[i],
+                bal_snap.columns[2].as_ints().unwrap()[i],
+            )
+        })
+        .collect();
+    for b in &expected.balances {
+        if produced_bal.contains(b) {
+            report.balances_matching += 1;
+        } else if report.mismatches.len() < 5 {
+            report.mismatches.push(format!("balance mismatch {b:?}"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TrafficConfig, TrafficSim};
+
+    #[test]
+    fn system_matches_reference_on_generated_traffic() {
+        let sim = TrafficSim::generate(TrafficConfig {
+            xways: 1,
+            cars_per_xway_per_min: 15,
+            duration_s: 480,
+            accidents_per_xway: 1,
+            balance_query_permille: 25,
+            daily_query_permille: 0,
+            seed: 3,
+        });
+        let sys = LinearRoadSystem::new(&[]).unwrap();
+        sys.feed(sim.records()).unwrap();
+        sys.drain();
+        let report = validate(&sys, sim.records());
+        assert!(
+            report.passed(),
+            "validation failed: {:?} (expected {} tolls, produced {}, matching {})",
+            report.mismatches,
+            report.tolls_expected,
+            report.tolls_produced,
+            report.tolls_matching
+        );
+        assert!(report.tolls_expected > 50);
+    }
+
+    #[test]
+    fn system_matches_reference_under_batched_feeding() {
+        // Feed in small batches with scheduler drains in between: the
+        // batching must not change the answers.
+        let sim = TrafficSim::generate(TrafficConfig {
+            xways: 1,
+            cars_per_xway_per_min: 10,
+            duration_s: 300,
+            accidents_per_xway: 1,
+            balance_query_permille: 20,
+            daily_query_permille: 0,
+            seed: 5,
+        });
+        let sys = LinearRoadSystem::new(&[]).unwrap();
+        for batch in sim.records().chunks(17) {
+            sys.feed(batch).unwrap();
+            sys.drain();
+        }
+        let report = validate(&sys, sim.records());
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn reference_detects_injected_accidents() {
+        let sim = TrafficSim::generate(TrafficConfig {
+            xways: 1,
+            cars_per_xway_per_min: 30,
+            duration_s: 600,
+            accidents_per_xway: 2,
+            balance_query_permille: 0,
+            daily_query_permille: 0,
+            seed: 9,
+        });
+        let r = reference(sim.records());
+        assert!(
+            r.accident_alerts > 0,
+            "traffic near injected accidents should trigger alerts"
+        );
+    }
+}

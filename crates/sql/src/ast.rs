@@ -1,0 +1,518 @@
+//! Abstract syntax trees for the supported SQL subset plus DataCell
+//! stream extensions.
+
+use datacell_bat::types::{DataType, Value};
+
+/// A parsed top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `CREATE BASKET name (col type, ...)` — a stream buffer (§2.2).
+    CreateBasket {
+        /// Basket name.
+        name: String,
+        /// Column definitions (a `ts` timestamp column is added implicitly
+        /// by the DataCell layer if absent).
+        columns: Vec<(String, DataType)>,
+    },
+    /// `CREATE CONTINUOUS QUERY name AS select` — registers a factory.
+    CreateContinuousQuery {
+        /// Query (factory) name.
+        name: String,
+        /// The standing query; must contain ≥1 basket expression.
+        query: Query,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (..), (..)`
+    Insert {
+        /// Target table/basket.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row literals.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DELETE FROM name [WHERE expr]`
+    Delete {
+        /// Target table/basket.
+        table: String,
+        /// Optional predicate; `None` deletes everything.
+        predicate: Option<Expr>,
+    },
+    /// A (possibly continuous) SELECT query.
+    Select(Query),
+    /// `DROP TABLE name` / `DROP BASKET name` / `DROP CONTINUOUS QUERY name`
+    Drop {
+        /// What kind of object is dropped.
+        kind: DropKind,
+        /// Object name.
+        name: String,
+    },
+    /// `EXPLAIN select` — render the optimized plan.
+    Explain(Query),
+}
+
+/// Object kinds for [`Statement::Drop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// A stored table.
+    Table,
+    /// A stream basket.
+    Basket,
+    /// A registered continuous query.
+    ContinuousQuery,
+}
+
+impl Statement {
+    /// Statement kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::CreateTable { .. } => "CREATE TABLE",
+            Statement::CreateBasket { .. } => "CREATE BASKET",
+            Statement::CreateContinuousQuery { .. } => "CREATE CONTINUOUS QUERY",
+            Statement::Insert { .. } => "INSERT",
+            Statement::Delete { .. } => "DELETE",
+            Statement::Select(_) => "SELECT",
+            Statement::Drop { .. } => "DROP",
+            Statement::Explain(_) => "EXPLAIN",
+        }
+    }
+}
+
+/// A select query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause; empty means a single-row constant query.
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// True iff any table reference (recursively) is a basket expression —
+    /// the marker distinguishing continuous from one-time queries (§2.6:
+    /// "basket expressions may be part only of continuous queries, which
+    /// allows the system to distinguish between continuous and normal/
+    /// one-time queries").
+    pub fn is_continuous(&self) -> bool {
+        fn source_has_basket(s: &TableSource) -> bool {
+            match s {
+                TableSource::Named(_) => false,
+                TableSource::Subquery(q) => q.is_continuous(),
+                TableSource::BasketExpr(_) => true,
+            }
+        }
+        self.from.iter().any(|t| {
+            source_has_basket(&t.source) || t.joins.iter().any(|j| source_has_basket(&j.source))
+        })
+    }
+
+    /// Collect the names of all baskets consumed through basket expressions
+    /// (the factory's *input baskets*, §2.3).
+    pub fn basket_inputs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk_source(s: &TableSource, out: &mut Vec<String>) {
+            match s {
+                TableSource::Named(_) => {}
+                TableSource::Subquery(sub) => walk_query(sub, out),
+                TableSource::BasketExpr(sub) => {
+                    // The innermost named FROM sources of the basket
+                    // expression are the consumed baskets.
+                    for it in &sub.from {
+                        match &it.source {
+                            TableSource::Named(n) => out.push(n.clone()),
+                            other => walk_source(other, out),
+                        }
+                        for j in &it.joins {
+                            match &j.source {
+                                TableSource::Named(n) => out.push(n.clone()),
+                                other => walk_source(other, out),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fn walk_query(q: &Query, out: &mut Vec<String>) {
+            for t in &q.from {
+                walk_source(&t.source, out);
+                for j in &t.joins {
+                    walk_source(&j.source, out);
+                }
+            }
+        }
+        walk_query(self, &mut out);
+        out
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS name]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output column name.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause source with optional alias and join chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// The underlying source.
+    pub source: TableSource,
+    /// Alias (`AS s`); required for subqueries and basket expressions.
+    pub alias: Option<String>,
+    /// Explicit `JOIN ... ON ...` chain hanging off this source.
+    pub joins: Vec<Join>,
+}
+
+/// What a [`TableRef`] reads from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A named table or basket (read-only inspection; tuples are *not*
+    /// removed — §2.6: "a basket can also be inspected outside a basket
+    /// expression; then it behaves as any temporary table").
+    Named(String),
+    /// A parenthesized derived table.
+    Subquery(Box<Query>),
+    /// A DataCell basket expression `[select ...]` — consume-on-read.
+    BasketExpr(Box<Query>),
+}
+
+/// An explicit join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join kind.
+    pub kind: JoinKind,
+    /// Right-hand source.
+    pub source: TableSource,
+    /// Right-hand alias.
+    pub alias: Option<String>,
+    /// ON predicate (`None` only for CROSS).
+    pub on: Option<Expr>,
+}
+
+/// Supported join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `CROSS JOIN`
+    Cross,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending?
+    pub asc: bool,
+}
+
+/// Binary operators in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `a` or `t.a`.
+    Column {
+        /// Table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `NOT expr`
+    Not(Box<Expr>),
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List elements.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` (`%` and `_` wildcards).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Function call (aggregate or scalar).
+    Function {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments; empty plus `star` for `count(*)`.
+        args: Vec<Expr>,
+        /// True for `count(*)`.
+        star: bool,
+    },
+    /// `CASE WHEN c1 THEN v1 [WHEN ...] [ELSE e] END`
+    Case {
+        /// (condition, result) arms.
+        when_then: Vec<(Expr, Expr)>,
+        /// ELSE result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`
+    Cast {
+        /// Source expression.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: DataType,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Depth-first walk over the expression and all children.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.walk(f),
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.walk(f);
+                lo.walk(f);
+                hi.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Like { expr, .. } => expr.walk(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Case {
+                when_then,
+                else_expr,
+            } => {
+                for (c, r) in when_then {
+                    c.walk(f);
+                    r.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk(f),
+        }
+    }
+
+    /// True iff the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Function { name, .. } = e {
+                if is_aggregate_name(name) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+/// True for the aggregate function names the planner recognizes.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "min" | "max" | "avg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(n: &str) -> TableRef {
+        TableRef {
+            source: TableSource::Named(n.into()),
+            alias: None,
+            joins: vec![],
+        }
+    }
+
+    fn empty_query(from: Vec<TableRef>) -> Query {
+        Query {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            from,
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn continuity_detection() {
+        let plain = empty_query(vec![named("r")]);
+        assert!(!plain.is_continuous());
+
+        let basket = empty_query(vec![TableRef {
+            source: TableSource::BasketExpr(Box::new(empty_query(vec![named("r")]))),
+            alias: Some("s".into()),
+            joins: vec![],
+        }]);
+        assert!(basket.is_continuous());
+        assert_eq!(basket.basket_inputs(), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn nested_subquery_continuity() {
+        let inner = empty_query(vec![TableRef {
+            source: TableSource::BasketExpr(Box::new(empty_query(vec![named("s")]))),
+            alias: Some("x".into()),
+            joins: vec![],
+        }]);
+        let outer = empty_query(vec![TableRef {
+            source: TableSource::Subquery(Box::new(inner)),
+            alias: Some("y".into()),
+            joins: vec![],
+        }]);
+        assert!(outer.is_continuous());
+        assert_eq!(outer.basket_inputs(), vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::Column {
+                qualifier: None,
+                name: "a".into(),
+            }],
+            star: false,
+        };
+        assert!(agg.contains_aggregate());
+        let wrapped = Expr::binary(BinaryOp::Add, agg, Expr::Literal(Value::Int(1)));
+        assert!(wrapped.contains_aggregate());
+        let scalar = Expr::Function {
+            name: "abs".into(),
+            args: vec![Expr::Literal(Value::Int(-1))],
+            star: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::Column {
+                qualifier: None,
+                name: "x".into(),
+            }),
+            lo: Box::new(Expr::Literal(Value::Int(1))),
+            hi: Box::new(Expr::Literal(Value::Int(2))),
+            negated: false,
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+}

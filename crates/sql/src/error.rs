@@ -1,0 +1,84 @@
+//! Front-end error type covering all compilation stages.
+
+use std::fmt;
+
+use datacell_bat::BatError;
+
+/// Errors from lexing through physical planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer error with byte offset.
+    Lex {
+        /// Byte offset in the input where lexing failed.
+        offset: usize,
+        /// Description of the failure.
+        msg: String,
+    },
+    /// Parser error: what was expected and what was found.
+    Parse {
+        /// Human-readable expectation.
+        expected: String,
+        /// The offending token (rendered).
+        found: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// Name-resolution error (unknown table/column, ambiguity, arity).
+    Bind(String),
+    /// Type error found while binding expressions.
+    Type(String),
+    /// Logical/physical planning error.
+    Plan(String),
+    /// Kernel error surfaced during constant folding.
+    Kernel(BatError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, msg } => write!(f, "lex error at byte {offset}: {msg}"),
+            SqlError::Parse {
+                expected,
+                found,
+                offset,
+            } => write!(f, "parse error at byte {offset}: expected {expected}, found {found}"),
+            SqlError::Bind(m) => write!(f, "binding error: {m}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<BatError> for SqlError {
+    fn from(e: BatError) -> Self {
+        SqlError::Kernel(e)
+    }
+}
+
+/// Result alias for the front-end.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = SqlError::Parse {
+            expected: "FROM".into(),
+            found: "WHERE".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("FROM"));
+    }
+
+    #[test]
+    fn kernel_errors_convert() {
+        let e: SqlError = BatError::DivisionByZero.into();
+        assert!(matches!(e, SqlError::Kernel(_)));
+    }
+}

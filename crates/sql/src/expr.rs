@@ -1,0 +1,778 @@
+//! Resolved (bound, typed) scalar expressions.
+//!
+//! The binder lowers AST expressions into [`ScalarExpr`], resolving column
+//! names to positional indices and checking types. `BETWEEN` and `IN`
+//! desugar to comparison trees here, so the executor only ever sees the
+//! small closed set below. Scalar evaluation over single values (used for
+//! constant folding and by the tuple-at-a-time baseline engine) also lives
+//! here; vectorized evaluation lives in `datacell-engine`.
+
+use datacell_bat::calc::ArithOp;
+use datacell_bat::select::CmpOp;
+use datacell_bat::types::{DataType, Value};
+
+use crate::error::{Result, SqlError};
+
+/// Scalar (non-aggregate) functions known to the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Absolute value.
+    Abs,
+    /// Round towards negative infinity.
+    Floor,
+    /// Round towards positive infinity.
+    Ceil,
+    /// Round half away from zero.
+    Round,
+    /// String length.
+    Length,
+    /// Lowercase a string.
+    Lower,
+    /// Uppercase a string.
+    Upper,
+    /// Two-argument minimum.
+    Least,
+    /// Two-argument maximum.
+    Greatest,
+}
+
+impl ScalarFunc {
+    /// Look a function up by its lowercased SQL name.
+    pub fn by_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "abs" => ScalarFunc::Abs,
+            "floor" => ScalarFunc::Floor,
+            "ceil" | "ceiling" => ScalarFunc::Ceil,
+            "round" => ScalarFunc::Round,
+            "length" | "len" => ScalarFunc::Length,
+            "lower" => ScalarFunc::Lower,
+            "upper" => ScalarFunc::Upper,
+            "least" => ScalarFunc::Least,
+            "greatest" => ScalarFunc::Greatest,
+            _ => return None,
+        })
+    }
+
+    /// Arity of the function.
+    pub fn arity(self) -> usize {
+        match self {
+            ScalarFunc::Least | ScalarFunc::Greatest => 2,
+            _ => 1,
+        }
+    }
+
+    /// Output type given the argument types (already validated).
+    pub fn output_type(self, args: &[DataType]) -> DataType {
+        match self {
+            ScalarFunc::Abs | ScalarFunc::Round => args[0],
+            ScalarFunc::Floor | ScalarFunc::Ceil => args[0],
+            ScalarFunc::Length => DataType::Int,
+            ScalarFunc::Lower | ScalarFunc::Upper => DataType::Str,
+            ScalarFunc::Least | ScalarFunc::Greatest => args[0],
+        }
+    }
+}
+
+/// A bound, typed scalar expression over some input schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Input column by position.
+    Column {
+        /// Position in the input schema.
+        index: usize,
+        /// Column type.
+        ty: DataType,
+    },
+    /// Constant.
+    Literal(Value),
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+        /// Result type (Int unless a float is involved).
+        ty: DataType,
+    },
+    /// Comparison (result: Bool).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Three-valued AND.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Three-valued OR.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Three-valued NOT.
+    Not(Box<ScalarExpr>),
+    /// Arithmetic negation.
+    Neg(Box<ScalarExpr>),
+    /// `IS [NOT] NULL` (result: Bool, never nil).
+    IsNull {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `LIKE` pattern match on strings.
+    Like {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Scalar function call.
+    Func {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<ScalarExpr>,
+        /// Result type.
+        ty: DataType,
+    },
+    /// `CASE WHEN ... END`.
+    Case {
+        /// (condition, result) arms.
+        when_then: Vec<(ScalarExpr, ScalarExpr)>,
+        /// ELSE arm (`None` = NULL).
+        else_expr: Option<Box<ScalarExpr>>,
+        /// Unified result type.
+        ty: DataType,
+    },
+    /// Type cast.
+    Cast {
+        /// Source.
+        expr: Box<ScalarExpr>,
+        /// Target type.
+        ty: DataType,
+    },
+}
+
+impl ScalarExpr {
+    /// Result type of this expression.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ScalarExpr::Column { ty, .. } => *ty,
+            ScalarExpr::Literal(v) => v.data_type().unwrap_or(DataType::Bool),
+            ScalarExpr::Arith { ty, .. } => *ty,
+            ScalarExpr::Cmp { .. }
+            | ScalarExpr::And(..)
+            | ScalarExpr::Or(..)
+            | ScalarExpr::Not(..)
+            | ScalarExpr::IsNull { .. }
+            | ScalarExpr::Like { .. } => DataType::Bool,
+            ScalarExpr::Neg(e) => e.data_type(),
+            ScalarExpr::Func { ty, .. } => *ty,
+            ScalarExpr::Case { ty, .. } => *ty,
+            ScalarExpr::Cast { ty, .. } => *ty,
+        }
+    }
+
+    /// True iff the expression references no input columns.
+    pub fn is_constant(&self) -> bool {
+        let mut constant = true;
+        self.walk(&mut |e| {
+            if matches!(e, ScalarExpr::Column { .. }) {
+                constant = false;
+            }
+        });
+        constant
+    }
+
+    /// Depth-first walk.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a ScalarExpr)) {
+        f(self);
+        match self {
+            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) => {}
+            ScalarExpr::Arith { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::Neg(e) => e.walk(f),
+            ScalarExpr::IsNull { expr, .. } | ScalarExpr::Like { expr, .. } => expr.walk(f),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ScalarExpr::Case {
+                when_then,
+                else_expr,
+                ..
+            } => {
+                for (c, r) in when_then {
+                    c.walk(f);
+                    r.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            ScalarExpr::Cast { expr, .. } => expr.walk(f),
+        }
+    }
+
+    /// Set of input column indices referenced.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| {
+            if let ScalarExpr::Column { index, .. } = e {
+                if !cols.contains(index) {
+                    cols.push(*index);
+                }
+            }
+        });
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Rewrite column indices through `map` (old index → new index).
+    /// Used by projection pruning and plan splitting.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column { index, ty } => ScalarExpr::Column {
+                index: map(*index),
+                ty: *ty,
+            },
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Arith {
+                op,
+                left,
+                right,
+                ty,
+            } => ScalarExpr::Arith {
+                op: *op,
+                left: Box::new(left.remap_columns(map)),
+                right: Box::new(right.remap_columns(map)),
+                ty: *ty,
+            },
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op: *op,
+                left: Box::new(left.remap_columns(map)),
+                right: Box::new(right.remap_columns(map)),
+            },
+            ScalarExpr::And(a, b) => ScalarExpr::And(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Or(a, b) => ScalarExpr::Or(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_columns(map))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.remap_columns(map))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.remap_columns(map)),
+                negated: *negated,
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
+                expr: Box::new(expr.remap_columns(map)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            ScalarExpr::Func { func, args, ty } => ScalarExpr::Func {
+                func: *func,
+                args: args.iter().map(|a| a.remap_columns(map)).collect(),
+                ty: *ty,
+            },
+            ScalarExpr::Case {
+                when_then,
+                else_expr,
+                ty,
+            } => ScalarExpr::Case {
+                when_then: when_then
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
+                    .collect(),
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| Box::new(e.remap_columns(map))),
+                ty: *ty,
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.remap_columns(map)),
+                ty: *ty,
+            },
+        }
+    }
+
+    /// Evaluate against one row of input values (value-at-a-time path:
+    /// constant folding, the baseline DSMS, and INSERT literal evaluation).
+    pub fn eval_row(&self, row: &[Value]) -> Result<Value> {
+        Ok(match self {
+            ScalarExpr::Column { index, .. } => row
+                .get(*index)
+                .cloned()
+                .ok_or_else(|| SqlError::Plan(format!("row too short for column {index}")))?,
+            ScalarExpr::Literal(v) => v.clone(),
+            ScalarExpr::Arith {
+                op, left, right, ..
+            } => {
+                let l = left.eval_row(row)?;
+                let r = right.eval_row(row)?;
+                eval_arith(*op, &l, &r)?
+            }
+            ScalarExpr::Cmp { op, left, right } => {
+                let l = left.eval_row(row)?;
+                let r = right.eval_row(row)?;
+                if l.is_nil() || r.is_nil() {
+                    Value::Nil
+                } else {
+                    Value::Bool(op.eval(l.total_cmp(&r)))
+                }
+            }
+            ScalarExpr::And(a, b) => {
+                match (a.eval_row(row)?.as_bool(), b.eval_row(row)?.as_bool()) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Nil,
+                }
+            }
+            ScalarExpr::Or(a, b) => {
+                match (a.eval_row(row)?.as_bool(), b.eval_row(row)?.as_bool()) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Nil,
+                }
+            }
+            ScalarExpr::Not(e) => match e.eval_row(row)?.as_bool() {
+                Some(b) => Value::Bool(!b),
+                None => Value::Nil,
+            },
+            ScalarExpr::Neg(e) => {
+                let v = e.eval_row(row)?;
+                match v {
+                    Value::Nil => Value::Nil,
+                    Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
+                        SqlError::Plan("integer overflow in negation".into())
+                    })?),
+                    Value::Float(f) => Value::Float(-f),
+                    other => {
+                        return Err(SqlError::Type(format!("cannot negate {other:?}")));
+                    }
+                }
+            }
+            ScalarExpr::IsNull { expr, negated } => {
+                let isnull = expr.eval_row(row)?.is_nil();
+                Value::Bool(isnull != *negated)
+            }
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval_row(row)?;
+                match v.as_str() {
+                    None => Value::Nil,
+                    Some(s) => Value::Bool(like_match(pattern, s) != *negated),
+                }
+            }
+            ScalarExpr::Func { func, args, .. } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval_row(row))
+                    .collect::<Result<_>>()?;
+                eval_func(*func, &vals)?
+            }
+            ScalarExpr::Case {
+                when_then,
+                else_expr,
+                ..
+            } => {
+                let mut result = None;
+                for (c, r) in when_then {
+                    if c.eval_row(row)?.as_bool() == Some(true) {
+                        result = Some(r.eval_row(row)?);
+                        break;
+                    }
+                }
+                match (result, else_expr) {
+                    (Some(v), _) => v,
+                    (None, Some(e)) => e.eval_row(row)?,
+                    (None, None) => Value::Nil,
+                }
+            }
+            ScalarExpr::Cast { expr, ty } => {
+                let v = expr.eval_row(row)?;
+                cast_value(&v, *ty)?
+            }
+        })
+    }
+}
+
+/// Value-level arithmetic shared with the baseline engine.
+pub fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_nil() || r.is_nil() {
+        return Ok(Value::Nil);
+    }
+    let float = matches!(l, Value::Float(_)) || matches!(r, Value::Float(_));
+    if float {
+        let (a, b) = (
+            l.as_float()
+                .ok_or_else(|| SqlError::Type(format!("non-numeric operand {l:?}")))?,
+            r.as_float()
+                .ok_or_else(|| SqlError::Type(format!("non-numeric operand {r:?}")))?,
+        );
+        return Ok(match op {
+            ArithOp::Add => Value::Float(a + b),
+            ArithOp::Sub => Value::Float(a - b),
+            ArithOp::Mul => Value::Float(a * b),
+            ArithOp::Div => {
+                if b == 0.0 {
+                    Value::Nil
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0.0 {
+                    Value::Nil
+                } else {
+                    Value::Float(a % b)
+                }
+            }
+        });
+    }
+    let (a, b) = (
+        l.as_int()
+            .ok_or_else(|| SqlError::Type(format!("non-numeric operand {l:?}")))?,
+        r.as_int()
+            .ok_or_else(|| SqlError::Type(format!("non-numeric operand {r:?}")))?,
+    );
+    let overflow = || SqlError::Plan(format!("integer overflow in {}", op.symbol()));
+    Ok(match op {
+        ArithOp::Add => Value::Int(a.checked_add(b).ok_or_else(overflow)?),
+        ArithOp::Sub => Value::Int(a.checked_sub(b).ok_or_else(overflow)?),
+        ArithOp::Mul => Value::Int(a.checked_mul(b).ok_or_else(overflow)?),
+        ArithOp::Div => {
+            if b == 0 {
+                Value::Nil
+            } else {
+                Value::Int(a / b)
+            }
+        }
+        ArithOp::Mod => {
+            if b == 0 {
+                Value::Nil
+            } else {
+                Value::Int(a % b)
+            }
+        }
+    })
+}
+
+/// Value-level scalar function evaluation.
+pub fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+    if args.iter().any(Value::is_nil) {
+        return Ok(Value::Nil);
+    }
+    Ok(match func {
+        ScalarFunc::Abs => match &args[0] {
+            Value::Int(v) => Value::Int(v.abs()),
+            Value::Float(v) => Value::Float(v.abs()),
+            other => return Err(SqlError::Type(format!("abs of {other:?}"))),
+        },
+        ScalarFunc::Floor => match &args[0] {
+            Value::Int(v) => Value::Int(*v),
+            Value::Float(v) => Value::Float(v.floor()),
+            other => return Err(SqlError::Type(format!("floor of {other:?}"))),
+        },
+        ScalarFunc::Ceil => match &args[0] {
+            Value::Int(v) => Value::Int(*v),
+            Value::Float(v) => Value::Float(v.ceil()),
+            other => return Err(SqlError::Type(format!("ceil of {other:?}"))),
+        },
+        ScalarFunc::Round => match &args[0] {
+            Value::Int(v) => Value::Int(*v),
+            Value::Float(v) => Value::Float(v.round()),
+            other => return Err(SqlError::Type(format!("round of {other:?}"))),
+        },
+        ScalarFunc::Length => match &args[0] {
+            Value::Str(s) => Value::Int(s.chars().count() as i64),
+            other => return Err(SqlError::Type(format!("length of {other:?}"))),
+        },
+        ScalarFunc::Lower => match &args[0] {
+            Value::Str(s) => Value::Str(s.to_lowercase()),
+            other => return Err(SqlError::Type(format!("lower of {other:?}"))),
+        },
+        ScalarFunc::Upper => match &args[0] {
+            Value::Str(s) => Value::Str(s.to_uppercase()),
+            other => return Err(SqlError::Type(format!("upper of {other:?}"))),
+        },
+        ScalarFunc::Least => {
+            if args[0].total_cmp(&args[1]) == std::cmp::Ordering::Less {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            }
+        }
+        ScalarFunc::Greatest => {
+            if args[0].total_cmp(&args[1]) == std::cmp::Ordering::Greater {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            }
+        }
+    })
+}
+
+/// Cast a value to `ty` (runtime CAST: numeric narrowing truncates,
+/// string parses).
+pub fn cast_value(v: &Value, ty: DataType) -> Result<Value> {
+    if v.is_nil() {
+        return Ok(Value::Nil);
+    }
+    Ok(match (v, ty) {
+        (Value::Int(x), DataType::Int) => Value::Int(*x),
+        (Value::Int(x), DataType::Float) => Value::Float(*x as f64),
+        (Value::Int(x), DataType::Str) => Value::Str(x.to_string()),
+        (Value::Int(x), DataType::Timestamp) => Value::Timestamp(*x),
+        (Value::Int(x), DataType::Bool) => Value::Bool(*x != 0),
+        (Value::Float(x), DataType::Float) => Value::Float(*x),
+        (Value::Float(x), DataType::Int) => Value::Int(*x as i64),
+        (Value::Float(x), DataType::Str) => Value::Str(x.to_string()),
+        (Value::Bool(x), DataType::Bool) => Value::Bool(*x),
+        (Value::Bool(x), DataType::Int) => Value::Int(i64::from(*x)),
+        (Value::Bool(x), DataType::Str) => Value::Str(x.to_string()),
+        (Value::Str(s), DataType::Str) => Value::Str(s.clone()),
+        (Value::Str(s), DataType::Int) => Value::Int(
+            s.trim()
+                .parse()
+                .map_err(|_| SqlError::Type(format!("cannot cast '{s}' to int")))?,
+        ),
+        (Value::Str(s), DataType::Float) => Value::Float(
+            s.trim()
+                .parse()
+                .map_err(|_| SqlError::Type(format!("cannot cast '{s}' to float")))?,
+        ),
+        (Value::Str(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(SqlError::Type(format!("cannot cast '{s}' to bool"))),
+        },
+        (Value::Str(s), DataType::Timestamp) => Value::Timestamp(
+            s.trim()
+                .parse()
+                .map_err(|_| SqlError::Type(format!("cannot cast '{s}' to timestamp")))?,
+        ),
+        (Value::Timestamp(x), DataType::Timestamp) => Value::Timestamp(*x),
+        (Value::Timestamp(x), DataType::Int) => Value::Int(*x),
+        (Value::Timestamp(x), DataType::Str) => Value::Str(x.to_string()),
+        (v, ty) => {
+            return Err(SqlError::Type(format!("cannot cast {v:?} to {ty}")));
+        }
+    })
+}
+
+/// SQL LIKE matcher: `%` matches any run, `_` matches one character.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Collapse consecutive % and try all suffixes.
+                let rest = &p[1..];
+                (0..=s.len()).any(|k| rec(rest, &s[k..]))
+            }
+            Some('_') => !s.is_empty() && rec(&p[1..], &s[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let sc: Vec<char> = s.chars().collect();
+    rec(&p, &sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize, ty: DataType) -> ScalarExpr {
+        ScalarExpr::Column { index: i, ty }
+    }
+
+    fn lit(v: Value) -> ScalarExpr {
+        ScalarExpr::Literal(v)
+    }
+
+    #[test]
+    fn eval_arith_and_cmp() {
+        let e = ScalarExpr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(ScalarExpr::Arith {
+                op: ArithOp::Mul,
+                left: Box::new(col(0, DataType::Int)),
+                right: Box::new(lit(Value::Int(2))),
+                ty: DataType::Int,
+            }),
+            right: Box::new(lit(Value::Int(5))),
+        };
+        assert_eq!(e.eval_row(&[Value::Int(3)]).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval_row(&[Value::Int(2)]).unwrap(), Value::Bool(false));
+        assert_eq!(e.eval_row(&[Value::Nil]).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = lit(Value::Bool(true));
+        let f = lit(Value::Bool(false));
+        let n = lit(Value::Nil);
+        let and_fn = ScalarExpr::And(Box::new(f.clone()), Box::new(n.clone()));
+        assert_eq!(and_fn.eval_row(&[]).unwrap(), Value::Bool(false));
+        let or_tn = ScalarExpr::Or(Box::new(t), Box::new(n.clone()));
+        assert_eq!(or_tn.eval_row(&[]).unwrap(), Value::Bool(true));
+        let and_tn = ScalarExpr::And(Box::new(lit(Value::Bool(true))), Box::new(n));
+        assert_eq!(and_tn.eval_row(&[]).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn is_null_never_nil() {
+        let e = ScalarExpr::IsNull {
+            expr: Box::new(col(0, DataType::Int)),
+            negated: false,
+        };
+        assert_eq!(e.eval_row(&[Value::Nil]).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval_row(&[Value::Int(1)]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("a%", "abc"));
+        assert!(like_match("%c", "abc"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%b%", "abc"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+        assert!(like_match("a%b%c", "a-x-b-y-c"));
+    }
+
+    #[test]
+    fn case_fallthrough() {
+        let e = ScalarExpr::Case {
+            when_then: vec![(
+                ScalarExpr::Cmp {
+                    op: CmpOp::Gt,
+                    left: Box::new(col(0, DataType::Int)),
+                    right: Box::new(lit(Value::Int(0))),
+                },
+                lit(Value::Str("pos".into())),
+            )],
+            else_expr: Some(Box::new(lit(Value::Str("other".into())))),
+            ty: DataType::Str,
+        };
+        assert_eq!(
+            e.eval_row(&[Value::Int(5)]).unwrap(),
+            Value::Str("pos".into())
+        );
+        assert_eq!(
+            e.eval_row(&[Value::Int(-5)]).unwrap(),
+            Value::Str("other".into())
+        );
+        // No ELSE → NULL
+        let e2 = ScalarExpr::Case {
+            when_then: vec![(lit(Value::Bool(false)), lit(Value::Int(1)))],
+            else_expr: None,
+            ty: DataType::Int,
+        };
+        assert_eq!(e2.eval_row(&[]).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            cast_value(&Value::Str("42".into()), DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            cast_value(&Value::Float(2.9), DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert!(cast_value(&Value::Str("abc".into()), DataType::Int).is_err());
+        assert_eq!(cast_value(&Value::Nil, DataType::Int).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn scalar_funcs() {
+        assert_eq!(
+            eval_func(ScalarFunc::Abs, &[Value::Int(-3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_func(ScalarFunc::Length, &[Value::Str("héllo".into())]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_func(ScalarFunc::Least, &[Value::Int(3), Value::Int(1)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_func(ScalarFunc::Greatest, &[Value::Float(1.0), Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_func(ScalarFunc::Abs, &[Value::Nil]).unwrap(),
+            Value::Nil
+        );
+    }
+
+    #[test]
+    fn constantness_and_references() {
+        let c = ScalarExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(lit(Value::Int(1))),
+            right: Box::new(lit(Value::Int(2))),
+            ty: DataType::Int,
+        };
+        assert!(c.is_constant());
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(col(2, DataType::Int)),
+                right: Box::new(col(0, DataType::Int)),
+            }),
+            Box::new(lit(Value::Bool(true))),
+        );
+        assert!(!e.is_constant());
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(1, DataType::Int)),
+            right: Box::new(col(3, DataType::Int)),
+        };
+        let remapped = e.remap_columns(&|i| i - 1);
+        assert_eq!(remapped.referenced_columns(), vec![0, 2]);
+    }
+
+    #[test]
+    fn division_by_zero_row_eval() {
+        assert_eq!(
+            eval_arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)).unwrap(),
+            Value::Nil
+        );
+        assert_eq!(
+            eval_arith(ArithOp::Mod, &Value::Float(1.0), &Value::Float(0.0)).unwrap(),
+            Value::Nil
+        );
+    }
+}

@@ -1,0 +1,491 @@
+//! Hand-written SQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers are normalized to lowercase
+//! (double-quoted identifiers preserve case). String literals use single
+//! quotes with `''` escaping. Square brackets are *tokens in their own
+//! right*: they delimit DataCell basket expressions (§2.6), not quoted
+//! identifiers as in some dialects.
+
+use crate::error::{Result, SqlError};
+
+/// One lexical token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or bare identifier, lowercased.
+    Ident(String),
+    /// Case-preserved, double-quoted identifier.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` — opens a basket expression.
+    LBracket,
+    /// `]` — closes a basket expression.
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||` string concatenation
+    Concat,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Render the token for error messages.
+    pub fn render(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::QuotedIdent(s) => format!("\"{s}\""),
+            TokenKind::Int(v) => v.to_string(),
+            TokenKind::Float(v) => v.to_string(),
+            TokenKind::Str(s) => format!("'{s}'"),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Semicolon => ";".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::Percent => "%".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Ne => "<>".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::Concat => "||".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize `input` completely (the final token is always [`TokenKind::Eof`]).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: start,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Semicolon
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '%' => {
+                i += 1;
+                TokenKind::Percent
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        msg: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    i += 2;
+                    TokenKind::Le
+                }
+                Some(&b'>') => {
+                    i += 2;
+                    TokenKind::Ne
+                }
+                _ => {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    TokenKind::Concat
+                } else {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        msg: "unexpected '|'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: start,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: start,
+                                msg: "unterminated quoted identifier".into(),
+                            })
+                        }
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                TokenKind::QuotedIdent(s)
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        msg: format!("invalid float literal {text}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        msg: format!("integer literal {text} out of range"),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                TokenKind::Ident(input[start..i].to_ascii_lowercase())
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        out.push(Token {
+            kind,
+            offset: start,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        assert_eq!(
+            kinds("SELECT Foo"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 3e2 4.5e-1"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(300.0),
+                TokenKind::Float(0.45),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_access_is_not_float() {
+        assert_eq!(
+            kinds("r.a"),
+            vec![
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        assert_eq!(
+            kinds("\"MiXeD\""),
+            vec![TokenKind::QuotedIdent("MiXeD".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != = < > || + - * / %"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Concat,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_for_basket_expressions() {
+        assert_eq!(
+            kinds("[select]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("select".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- comment\n 1 /* block */ 2"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("select @").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+}

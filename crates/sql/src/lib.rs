@@ -1,0 +1,62 @@
+//! # datacell-sql — SQL'03-subset front-end with DataCell stream extensions
+//!
+//! The paper's thesis (§1) is that continuous queries should be "a
+//! lightweight and orthogonal extension of SQL with a direct hook into the
+//! sophisticated algorithms and techniques of the DBMS". This crate is that
+//! single shared front-end: **one** lexer, parser, binder, optimizer and
+//! physical planner serve both one-time queries and continuous queries.
+//!
+//! The stream extensions (§2.6) are:
+//!
+//! * **basket expressions** — a sub-query in square brackets in the `FROM`
+//!   clause, e.g. `select * from [select * from R where R.b < 10] as S`.
+//!   Reading through a basket expression has the side effect of *removing*
+//!   the referenced tuples from the underlying basket (consume-on-read);
+//!   this is what distinguishes a continuous from a one-time query.
+//! * **`CREATE BASKET`** — declares a stream buffer with the syntax of
+//!   `CREATE TABLE` (§2.2: "the syntax and semantics of baskets is aligned
+//!   with the table definition in SQL'03 as much as possible").
+//! * **`CREATE CONTINUOUS QUERY name AS select`** — registers a standing
+//!   query; the select must contain at least one basket expression.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`resolve`] (against a
+//! [`schema::SchemaProvider`]) → [`logical`] plan → [`optimizer`] rewrites →
+//! [`physical`] plan consumed by `datacell-engine`.
+
+pub mod ast;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod logical;
+pub mod optimizer;
+pub mod parser;
+pub mod physical;
+pub mod resolve;
+pub mod schema;
+
+pub use crate::error::{Result, SqlError};
+pub use crate::schema::{ColumnDef, Schema, SchemaProvider};
+
+/// Parse, bind, optimize and physically plan a query string in one call.
+///
+/// This is the convenience entry point used by the engine's session layer;
+/// the individual stages remain public for tests and for DataCell's factory
+/// compiler, which needs to inspect basket expressions before planning.
+pub fn compile_query(
+    sql: &str,
+    provider: &dyn SchemaProvider,
+) -> Result<(physical::PhysicalPlan, Schema)> {
+    let stmt = parser::parse(sql)?;
+    let query = match stmt {
+        ast::Statement::Select(q) => q,
+        other => {
+            return Err(SqlError::Plan(format!(
+                "compile_query expects a SELECT, got {}",
+                other.kind()
+            )))
+        }
+    };
+    let bound = resolve::bind_query(&query, provider)?;
+    let logical = optimizer::optimize(bound);
+    physical::plan(logical)
+}

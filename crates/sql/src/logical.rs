@@ -1,0 +1,402 @@
+//! Logical query plans.
+//!
+//! The binder produces these; the optimizer rewrites them; the physical
+//! planner lowers them 1:1 onto the engine's vectorized operators. Scans
+//! carry the two pieces of DataCell state the paper adds to ordinary
+//! relational plans: the `consume` flag (basket-expression semantics, §2.6)
+//! and the fused consumption predicate (predicate window).
+
+use datacell_bat::aggregate::AggFunc;
+
+use crate::expr::ScalarExpr;
+use crate::schema::{ColumnDef, Schema};
+
+/// One aggregate computation in an [`LogicalPlan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument expression over the input schema (`None` for `count(*)`).
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Logical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Leaf scan of a table or basket.
+    Scan {
+        /// Source name.
+        table: String,
+        /// Full schema of the source.
+        schema: Schema,
+        /// True for basket-expression reads: qualifying tuples are removed
+        /// from the basket as a side effect (§2.6).
+        consume: bool,
+        /// Predicate fused into the scan. For consuming scans this *is* the
+        /// predicate window: it decides which tuples are referenced and
+        /// therefore removed.
+        predicate: Option<ScalarExpr>,
+        /// Optional column pruning: physical positions to read. `None`
+        /// reads everything. Output schema follows this list.
+        projection: Option<Vec<usize>>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input schema.
+        predicate: ScalarExpr,
+    },
+    /// Projection / expression evaluation.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// (expression, output name) pairs.
+        exprs: Vec<(ScalarExpr, String)>,
+    },
+    /// Equi hash join with optional residual predicate.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Key expressions over the left schema.
+        left_keys: Vec<ScalarExpr>,
+        /// Key expressions over the right schema (pairwise with left).
+        right_keys: Vec<ScalarExpr>,
+        /// Residual predicate over the concatenated schema.
+        residual: Option<ScalarExpr>,
+    },
+    /// Cartesian product.
+    Cross {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Grouped aggregation (group keys first in the output, then aggregates).
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group key (expression, output name) pairs; empty = one global group.
+        group: Vec<(ScalarExpr, String)>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by output columns of the input.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// (output column index, ascending) keys, major first.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// A single constant row (`SELECT 1+1`).
+    ConstRow {
+        /// (expression, output name) pairs; must be constant.
+        exprs: Vec<(ScalarExpr, String)>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this plan node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan {
+                schema, projection, ..
+            } => match projection {
+                None => schema.clone(),
+                Some(cols) => Schema {
+                    columns: cols.iter().map(|&i| schema.columns[i].clone()).collect(),
+                },
+            },
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::Project { exprs, .. } | LogicalPlan::ConstRow { exprs } => Schema {
+                columns: exprs
+                    .iter()
+                    .map(|(e, name)| ColumnDef::new(name.clone(), e.data_type()))
+                    .collect(),
+            },
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Cross { left, right } => {
+                left.schema().concat(&right.schema())
+            }
+            LogicalPlan::Aggregate { group, aggs, input } => {
+                let mut columns: Vec<ColumnDef> = group
+                    .iter()
+                    .map(|(e, name)| ColumnDef::new(name.clone(), e.data_type()))
+                    .collect();
+                let in_schema = input.schema();
+                for a in aggs {
+                    let in_ty = a
+                        .arg
+                        .as_ref()
+                        .map(|e| e.data_type())
+                        .unwrap_or(datacell_bat::DataType::Int);
+                    let _ = &in_schema;
+                    columns.push(ColumnDef::new(a.name.clone(), a.func.output_type(in_ty)));
+                }
+                Schema { columns }
+            }
+        }
+    }
+
+    /// All consuming scans in the plan (basket names), used by the factory
+    /// compiler to wire input baskets and by the scheduler's Petri-net
+    /// dependency graph.
+    pub fn consumed_baskets(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let LogicalPlan::Scan {
+                table,
+                consume: true,
+                ..
+            } = p
+            {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// All scanned sources (consuming or not).
+    pub fn scanned_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let LogicalPlan::Scan { table, .. } = p {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order walk.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::ConstRow { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.walk(f),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Cross { left, right } => {
+                left.walk(f);
+                right.walk(f);
+            }
+        }
+    }
+
+    /// Indented plan rendering for `EXPLAIN` and debugging.
+    pub fn display(&self) -> String {
+        let mut s = String::new();
+        self.fmt_into(&mut s, 0);
+        s
+    }
+
+    fn fmt_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                consume,
+                predicate,
+                projection,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Scan {table}{}{}{}\n",
+                    if *consume { " [consume]" } else { "" },
+                    predicate
+                        .as_ref()
+                        .map(|p| format!(" pred={p:?}"))
+                        .unwrap_or_default(),
+                    projection
+                        .as_ref()
+                        .map(|p| format!(" cols={p:?}"))
+                        .unwrap_or_default(),
+                ));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                out.push_str(&format!(
+                    "{pad}HashJoin on {left_keys:?} = {right_keys:?}{}\n",
+                    residual
+                        .as_ref()
+                        .map(|r| format!(" residual={r:?}"))
+                        .unwrap_or_default()
+                ));
+                left.fmt_into(out, depth + 1);
+                right.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Cross { left, right } => {
+                out.push_str(&format!("{pad}Cross\n"));
+                left.fmt_into(out, depth + 1);
+                right.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate { input, group, aggs } => {
+                let gs: Vec<&str> = group.iter().map(|(_, n)| n.as_str()).collect();
+                let asx: Vec<String> = aggs
+                    .iter()
+                    .map(|a| format!("{}:{}", a.name, a.func.name()))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group=[{}] aggs=[{}]\n",
+                    gs.join(", "),
+                    asx.join(", ")
+                ));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            LogicalPlan::ConstRow { exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}ConstRow [{}]\n", names.join(", ")));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_bat::types::{DataType, Value};
+
+    fn scan(name: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: name.into(),
+            schema: Schema::new(vec![
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Float),
+            ]),
+            consume: false,
+            predicate: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn scan_schema_with_projection() {
+        let mut s = scan("t");
+        if let LogicalPlan::Scan { projection, .. } = &mut s {
+            *projection = Some(vec![1]);
+        }
+        assert_eq!(s.schema().columns[0].name, "b");
+        assert_eq!(s.schema().len(), 1);
+    }
+
+    #[test]
+    fn join_schema_concat() {
+        let j = LogicalPlan::Cross {
+            left: Box::new(scan("l")),
+            right: Box::new(scan("r")),
+        };
+        assert_eq!(j.schema().len(), 4);
+    }
+
+    #[test]
+    fn aggregate_schema_types() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan("t")),
+            group: vec![(
+                ScalarExpr::Column {
+                    index: 0,
+                    ty: DataType::Int,
+                },
+                "a".into(),
+            )],
+            aggs: vec![
+                AggSpec {
+                    func: AggFunc::Avg,
+                    arg: Some(ScalarExpr::Column {
+                        index: 1,
+                        ty: DataType::Float,
+                    }),
+                    name: "avg_b".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Count { star: true },
+                    arg: None,
+                    name: "n".into(),
+                },
+            ],
+        };
+        let s = agg.schema();
+        assert_eq!(s.columns[0].ty, DataType::Int);
+        assert_eq!(s.columns[1].ty, DataType::Float);
+        assert_eq!(s.columns[2].ty, DataType::Int);
+    }
+
+    #[test]
+    fn consumed_baskets_collects_unique() {
+        let mut left = scan("b1");
+        if let LogicalPlan::Scan { consume, .. } = &mut left {
+            *consume = true;
+        }
+        let plan = LogicalPlan::Cross {
+            left: Box::new(left.clone()),
+            right: Box::new(left),
+        };
+        assert_eq!(plan.consumed_baskets(), vec!["b1".to_string()]);
+        assert_eq!(plan.scanned_tables(), vec!["b1".to_string()]);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t")),
+                predicate: ScalarExpr::Literal(Value::Bool(true)),
+            }),
+            n: 3,
+        };
+        let text = plan.display();
+        assert!(text.contains("Limit 3"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan t"));
+    }
+}

@@ -1,0 +1,1086 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Precedence (loosest → tightest): `OR` → `AND` → `NOT` → comparison /
+//! `BETWEEN` / `IN` / `LIKE` / `IS NULL` → `+ -` → `* / %` → unary → primary.
+
+use datacell_bat::types::{DataType, Value};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse one statement (an optional trailing `;` is allowed).
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a whole script of `;`-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_if(&TokenKind::Semicolon) {}
+        if p.peek_kind() == &TokenKind::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat_if(&TokenKind::Semicolon) {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_expected(&self, expected: &str) -> SqlError {
+        let t = self.peek();
+        SqlError::Parse {
+            expected: expected.into(),
+            found: t.kind.render(),
+            offset: t.offset,
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.err_expected(&kind.render()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.peek_kind() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err_expected("end of statement"))
+        }
+    }
+
+    /// Consume keyword `kw` (lowercased) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek_kind() {
+            if s == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_expected(&kw.to_uppercase()))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.err_expected("identifier")),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("create") {
+            return self.create();
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("delete") {
+            return self.delete();
+        }
+        if self.eat_kw("drop") {
+            return self.drop();
+        }
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(self.query()?));
+        }
+        if self.peek_kw("select") {
+            return Ok(Statement::Select(self.query()?));
+        }
+        Err(self.err_expected("statement keyword"))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        if self.eat_kw("table") {
+            let name = self.ident()?;
+            let columns = self.column_defs()?;
+            return Ok(Statement::CreateTable { name, columns });
+        }
+        if self.eat_kw("basket") {
+            let name = self.ident()?;
+            let columns = self.column_defs()?;
+            return Ok(Statement::CreateBasket { name, columns });
+        }
+        if self.eat_kw("continuous") {
+            self.expect_kw("query")?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.query()?;
+            return Ok(Statement::CreateContinuousQuery { name, query });
+        }
+        Err(self.err_expected("TABLE, BASKET or CONTINUOUS QUERY"))
+    }
+
+    fn column_defs(&mut self) -> Result<Vec<(String, DataType)>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ty = self.type_name()?;
+            cols.push((name, ty));
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(cols)
+    }
+
+    fn type_name(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" => DataType::Int,
+            "float" | "double" | "real" | "decimal" | "numeric" => DataType::Float,
+            "bool" | "boolean" => DataType::Bool,
+            "varchar" | "char" | "text" | "string" | "clob" => {
+                // Optional length parameter, accepted and ignored.
+                if self.eat_if(&TokenKind::LParen) {
+                    match self.peek_kind() {
+                        TokenKind::Int(_) => {
+                            self.advance();
+                        }
+                        _ => return Err(self.err_expected("length")),
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                DataType::Str
+            }
+            "timestamp" | "time" | "date" => DataType::Timestamp,
+            other => {
+                return Err(SqlError::Parse {
+                    expected: "type name".into(),
+                    found: other.into(),
+                    offset: self.peek().offset,
+                })
+            }
+        };
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.eat_if(&TokenKind::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_if(&TokenKind::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
+        let kind = if self.eat_kw("table") {
+            DropKind::Table
+        } else if self.eat_kw("basket") {
+            DropKind::Basket
+        } else if self.eat_kw("continuous") {
+            self.expect_kw("query")?;
+            DropKind::ContinuousQuery
+        } else {
+            return Err(self.err_expected("TABLE, BASKET or CONTINUOUS QUERY"));
+        };
+        let name = self.ident()?;
+        Ok(Statement::Drop { kind, name })
+    }
+
+    // ---------------- queries ----------------
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            from.push(self.table_ref()?);
+            while self.eat_if(&TokenKind::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderKey { expr, asc });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.peek_kind().clone() {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.advance();
+                    Some(n as u64)
+                }
+                _ => return Err(self.err_expected("non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Dot)
+                && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Star)
+            {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            match self.peek_kind() {
+                // Bare alias (not a clause keyword).
+                TokenKind::Ident(s) if !is_clause_keyword(s) => Some(self.ident()?),
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_source(&mut self) -> Result<TableSource> {
+        if self.eat_if(&TokenKind::LBracket) {
+            let q = self.query()?;
+            self.expect(&TokenKind::RBracket)?;
+            return Ok(TableSource::BasketExpr(Box::new(q)));
+        }
+        if self.eat_if(&TokenKind::LParen) {
+            let q = self.query()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(TableSource::Subquery(Box::new(q)));
+        }
+        Ok(TableSource::Named(self.ident()?))
+    }
+
+    fn table_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        match self.peek_kind() {
+            TokenKind::Ident(s) if !is_clause_keyword(s) && !is_join_keyword(s) => {
+                Ok(Some(self.ident()?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let source = self.table_source()?;
+        let alias = self.table_alias()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("cross") {
+                self.expect_kw("join")?;
+                JoinKind::Cross
+            } else if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.eat_kw("join") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let source = self.table_source()?;
+            let alias = self.table_alias()?;
+            let on = if kind == JoinKind::Inner {
+                self.expect_kw("on")?;
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            joins.push(Join {
+                kind,
+                source,
+                alias,
+                on,
+            });
+        }
+        Ok(TableRef {
+            source,
+            alias,
+            joins,
+        })
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Entry point: OR level.
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = if self.peek_kw("not") {
+            // Lookahead: NOT BETWEEN / NOT IN / NOT LIKE
+            let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+            let follows = matches!(next, Some(TokenKind::Ident(s)) if s == "between" || s == "in" || s == "like");
+            if follows {
+                self.advance();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = match self.peek_kind().clone() {
+                TokenKind::Str(s) => {
+                    self.advance();
+                    s
+                }
+                _ => return Err(self.err_expected("string pattern")),
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err_expected("BETWEEN, IN or LIKE after NOT"));
+        }
+        let op = match self.peek_kind() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::Ne => BinaryOp::Ne,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_if(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_if(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if is_reserved_in_expr(&name) {
+                    return Err(self.err_expected("expression"));
+                }
+                match name.as_str() {
+                    "null" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Nil));
+                    }
+                    "true" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    "false" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    "case" => {
+                        self.advance();
+                        return self.case_expr();
+                    }
+                    "cast" => {
+                        self.advance();
+                        self.expect(&TokenKind::LParen)?;
+                        let e = self.expr()?;
+                        self.expect_kw("as")?;
+                        let ty = self.type_name()?;
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::Cast {
+                            expr: Box::new(e),
+                            ty,
+                        });
+                    }
+                    _ => {}
+                }
+                self.advance();
+                // Function call
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.advance();
+                    if name == "count" && self.eat_if(&TokenKind::Star) {
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::Function {
+                            name,
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        args.push(self.expr()?);
+                        while self.eat_if(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function {
+                        name,
+                        args,
+                        star: false,
+                    });
+                }
+                // Qualified column
+                if self.eat_if(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            TokenKind::QuotedIdent(name) => {
+                self.advance();
+                if self.eat_if(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            _ => Err(self.err_expected("expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut when_then = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let result = self.expr()?;
+            when_then.push((cond, result));
+        }
+        if when_then.is_empty() {
+            return Err(self.err_expected("WHEN"));
+        }
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case {
+            when_then,
+            else_expr,
+        })
+    }
+}
+
+/// Keywords that cannot begin an expression; rejecting them here gives
+/// "expected expression, found FROM"-style errors instead of silently
+/// treating a misplaced keyword as a column name.
+fn is_reserved_in_expr(s: &str) -> bool {
+    matches!(
+        s,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "inner"
+            | "cross"
+            | "on"
+            | "as"
+            | "distinct"
+            | "union"
+            | "values"
+            | "into"
+            | "create"
+            | "insert"
+            | "delete"
+            | "drop"
+            | "and"
+            | "or"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+    )
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "as"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "union"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "asc"
+            | "desc"
+            | "between"
+            | "in"
+            | "like"
+            | "is"
+    )
+}
+
+fn is_join_keyword(s: &str) -> bool {
+    matches!(s, "join" | "inner" | "cross" | "left" | "right" | "full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        match parse(sql).unwrap() {
+            Statement::Select(q) => q,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let query = q("select a, b from r where a > 5");
+        assert_eq!(query.items.len(), 2);
+        assert_eq!(query.from.len(), 1);
+        assert!(query.where_clause.is_some());
+        assert!(!query.is_continuous());
+    }
+
+    #[test]
+    fn select_star_and_aliases() {
+        let query = q("select *, r.*, a as x, b y from r");
+        assert_eq!(query.items.len(), 4);
+        assert!(matches!(query.items[0], SelectItem::Wildcard));
+        assert!(matches!(
+            &query.items[1],
+            SelectItem::QualifiedWildcard(t) if t == "r"
+        ));
+        assert!(
+            matches!(&query.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x")
+        );
+        assert!(
+            matches!(&query.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y")
+        );
+    }
+
+    #[test]
+    fn paper_query_q1() {
+        // Query q1 from §2.6 of the paper, verbatim apart from v1.
+        let query = q("select * from [select * from R] as S where S.a > 10");
+        assert!(query.is_continuous());
+        assert_eq!(query.basket_inputs(), vec!["r".to_string()]);
+        assert_eq!(query.from[0].alias.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn paper_query_q2_predicate_window() {
+        let query = q("select * from [select * from R where R.b < 20] as S where S.a > 10");
+        assert!(query.is_continuous());
+        match &query.from[0].source {
+            TableSource::BasketExpr(inner) => {
+                assert!(inner.where_clause.is_some());
+            }
+            other => panic!("expected basket expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let query = q(
+            "select k, sum(v) as total from r group by k having sum(v) > 10 \
+             order by total desc, k limit 5",
+        );
+        assert_eq!(query.group_by.len(), 1);
+        assert!(query.having.is_some());
+        assert_eq!(query.order_by.len(), 2);
+        assert!(!query.order_by[0].asc);
+        assert!(query.order_by[1].asc);
+        assert_eq!(query.limit, Some(5));
+    }
+
+    #[test]
+    fn joins() {
+        let query = q("select * from a join b on a.x = b.y cross join c");
+        assert_eq!(query.from[0].joins.len(), 2);
+        assert_eq!(query.from[0].joins[0].kind, JoinKind::Inner);
+        assert!(query.from[0].joins[0].on.is_some());
+        assert_eq!(query.from[0].joins[1].kind, JoinKind::Cross);
+        assert!(query.from[0].joins[1].on.is_none());
+    }
+
+    #[test]
+    fn implicit_cross_join_via_comma() {
+        let query = q("select * from a, b where a.x = b.y");
+        assert_eq!(query.from.len(), 2);
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let query = q("select * from (select a from r) as s");
+        assert!(matches!(query.from[0].source, TableSource::Subquery(_)));
+        assert_eq!(query.from[0].alias.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let query = q("select 1 + 2 * 3 from r");
+        match &query.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Binary { op, right, .. } => {
+                    assert_eq!(*op, BinaryOp::Add);
+                    assert!(matches!(
+                        **right,
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let query = q("select * from r where a = 1 or b = 2 and c = 3");
+        match query.where_clause.unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(op, BinaryOp::Or),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_not_variants() {
+        let query = q(
+            "select * from r where a between 1 and 5 and b not in (1, 2) \
+             and c like 'x%' and d not like '_y' and e is not null and f is null",
+        );
+        let mut betweens = 0;
+        let mut ins = 0;
+        let mut likes = 0;
+        let mut nulls = 0;
+        query.where_clause.unwrap().walk(&mut |e| match e {
+            Expr::Between { .. } => betweens += 1,
+            Expr::InList { negated, .. } => {
+                assert!(*negated);
+                ins += 1;
+            }
+            Expr::Like { .. } => likes += 1,
+            Expr::IsNull { .. } => nulls += 1,
+            _ => {}
+        });
+        assert_eq!((betweens, ins, likes, nulls), (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let query = q(
+            "select case when a > 0 then 'pos' when a < 0 then 'neg' else 'zero' end, \
+             cast(a as float) from r",
+        );
+        assert_eq!(query.items.len(), 2);
+        match &query.items[1] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(expr, Expr::Cast { ty: DataType::Float, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let query = q("select count(*) from r");
+        match &query.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(expr, Expr::Function { star: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ddl_statements() {
+        match parse("create table t (a int, b varchar(10), c timestamp)").unwrap() {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(
+                    columns,
+                    vec![
+                        ("a".to_string(), DataType::Int),
+                        ("b".to_string(), DataType::Str),
+                        ("c".to_string(), DataType::Timestamp)
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse("create basket b (x int)").unwrap(),
+            Statement::CreateBasket { .. }
+        ));
+        match parse("create continuous query cq1 as select * from [select * from b] as s").unwrap()
+        {
+            Statement::CreateContinuousQuery { name, query } => {
+                assert_eq!(name, "cq1");
+                assert!(query.is_continuous());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        match parse("insert into t (a, b) values (1, 'x'), (2, 'y')").unwrap() {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap().len(), 2);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse("delete from t where a = 1").unwrap(),
+            Statement::Delete { predicate: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn drops() {
+        assert!(matches!(
+            parse("drop table t").unwrap(),
+            Statement::Drop {
+                kind: DropKind::Table,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("drop basket b").unwrap(),
+            Statement::Drop {
+                kind: DropKind::Basket,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("drop continuous query cq").unwrap(),
+            Statement::Drop {
+                kind: DropKind::ContinuousQuery,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "create table t (a int); insert into t values (1); select * from t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_reporting_includes_offset() {
+        let err = parse("select from").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }), "{err}");
+        let err = parse("select * frm t").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("select 1 from r extra garbage ; nonsense").is_err());
+    }
+
+    #[test]
+    fn nested_basket_expression_in_join() {
+        let query = q(
+            "select * from [select * from s1] as a join [select * from s2] as b on a.k = b.k",
+        );
+        assert!(query.is_continuous());
+        let mut inputs = query.basket_inputs();
+        inputs.sort();
+        assert_eq!(inputs, vec!["s1".to_string(), "s2".to_string()]);
+    }
+}

@@ -1,0 +1,565 @@
+//! Physical plans: the executable operator trees the engine interprets.
+//!
+//! Lowering from [`LogicalPlan`] is intentionally direct — by the time a
+//! plan gets here, bind-time pushdown and the optimizer have already shaped
+//! it. What lowering adds is *cached output schemas* on every node (the
+//! engine consults them constantly) and validation that the plan is
+//! executable (sort keys in range, join key arities equal, etc.).
+
+use datacell_bat::aggregate::AggFunc;
+
+use crate::error::{Result, SqlError};
+use crate::expr::ScalarExpr;
+use crate::logical::LogicalPlan;
+use crate::schema::Schema;
+
+/// One aggregate in a [`PhysicalPlan::HashAggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysAgg {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument over the input schema (`None` for `count(*)`).
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Executable plan tree. Every node carries its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan a table or basket snapshot, apply the fused predicate, emit the
+    /// projected columns. For `consume: true` the executor also reports the
+    /// qualifying positions to the execution context so the DataCell layer
+    /// can remove them from the basket (basket-expression semantics).
+    ScanTable {
+        /// Source name.
+        table: String,
+        /// Full stored schema (predicate binds against this).
+        full_schema: Schema,
+        /// Basket-expression consumption flag.
+        consume: bool,
+        /// Fused predicate over the full schema.
+        predicate: Option<ScalarExpr>,
+        /// Columns to emit (positions into the full schema); `None` = all.
+        projection: Option<Vec<usize>>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Predicate over the input schema.
+        predicate: ScalarExpr,
+        /// Cached output schema (same as input).
+        schema: Schema,
+    },
+    /// Expression projection.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// (expression, name) outputs.
+        exprs: Vec<(ScalarExpr, String)>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+    /// Hash equi-join.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysicalPlan>,
+        /// Right (build) input.
+        right: Box<PhysicalPlan>,
+        /// Probe-side key expressions.
+        left_keys: Vec<ScalarExpr>,
+        /// Build-side key expressions.
+        right_keys: Vec<ScalarExpr>,
+        /// Residual predicate over the concatenated schema.
+        residual: Option<ScalarExpr>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+    /// Cartesian product (small inputs only; produced when no equi keys).
+    NestedLoop {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+    /// Hash aggregation (group keys then aggregates).
+    HashAggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Group key (expression, name) pairs.
+        group: Vec<(ScalarExpr, String)>,
+        /// Aggregates.
+        aggs: Vec<PhysAgg>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+    /// Sort by output columns.
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// (column, ascending) keys, major first.
+        keys: Vec<(usize, bool)>,
+        /// Cached output schema (same as input).
+        schema: Schema,
+    },
+    /// Row limit.
+    Limit {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Maximum rows.
+        n: u64,
+        /// Cached output schema (same as input).
+        schema: Schema,
+    },
+    /// Whole-row duplicate elimination.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Cached output schema (same as input).
+        schema: Schema,
+    },
+    /// Single constant row.
+    ConstRow {
+        /// Constant (expression, name) outputs.
+        exprs: Vec<(ScalarExpr, String)>,
+        /// Cached output schema.
+        schema: Schema,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema of this operator.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysicalPlan::ScanTable { schema, .. }
+            | PhysicalPlan::Filter { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::NestedLoop { schema, .. }
+            | PhysicalPlan::HashAggregate { schema, .. }
+            | PhysicalPlan::Sort { schema, .. }
+            | PhysicalPlan::Limit { schema, .. }
+            | PhysicalPlan::Distinct { schema, .. }
+            | PhysicalPlan::ConstRow { schema, .. } => schema,
+        }
+    }
+
+    /// Names of baskets consumed by this plan (for factory wiring).
+    pub fn consumed_baskets(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let PhysicalPlan::ScanTable {
+                table,
+                consume: true,
+                ..
+            } = p
+            {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// All scanned source names.
+    pub fn scanned_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let PhysicalPlan::ScanTable { table, .. } = p {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order walk.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a PhysicalPlan)) {
+        f(self);
+        match self {
+            PhysicalPlan::ScanTable { .. } | PhysicalPlan::ConstRow { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input, .. } => input.walk(f),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoop { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+        }
+    }
+
+    /// Indented rendering for EXPLAIN.
+    pub fn display(&self) -> String {
+        let mut s = String::new();
+        self.fmt_into(&mut s, 0);
+        s
+    }
+
+    fn fmt_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::ScanTable {
+                table,
+                consume,
+                predicate,
+                projection,
+                ..
+            } => out.push_str(&format!(
+                "{pad}ScanTable {table}{}{}{}\n",
+                if *consume { " [consume]" } else { "" },
+                predicate
+                    .as_ref()
+                    .map(|_| " [pred]".to_string())
+                    .unwrap_or_default(),
+                projection
+                    .as_ref()
+                    .map(|p| format!(" cols={p:?}"))
+                    .unwrap_or_default()
+            )),
+            PhysicalPlan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                ..
+            } => {
+                out.push_str(&format!("{pad}HashJoin ({} keys)\n", left_keys.len()));
+                left.fmt_into(out, depth + 1);
+                right.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::NestedLoop { left, right, .. } => {
+                out.push_str(&format!("{pad}NestedLoop\n"));
+                left.fmt_into(out, depth + 1);
+                right.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::HashAggregate {
+                input, group, aggs, ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}HashAggregate groups={} aggs={}\n",
+                    group.len(),
+                    aggs.len()
+                ));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::Sort { input, keys, .. } => {
+                out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::Limit { input, n, .. } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::Distinct { input, .. } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PhysicalPlan::ConstRow { exprs, .. } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}ConstRow [{}]\n", names.join(", ")));
+            }
+        }
+    }
+}
+
+/// Lower an optimized logical plan to a physical plan, returning it along
+/// with its output schema.
+pub fn plan(logical: LogicalPlan) -> Result<(PhysicalPlan, Schema)> {
+    let phys = lower(logical)?;
+    let schema = phys.schema().clone();
+    Ok((phys, schema))
+}
+
+fn lower(plan: LogicalPlan) -> Result<PhysicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            consume,
+            predicate,
+            projection,
+        } => {
+            let out_schema = match &projection {
+                None => schema.clone(),
+                Some(cols) => {
+                    if let Some(&bad) = cols.iter().find(|&&c| c >= schema.len()) {
+                        return Err(SqlError::Plan(format!(
+                            "scan projection column {bad} out of range for {table}"
+                        )));
+                    }
+                    Schema {
+                        columns: cols.iter().map(|&i| schema.columns[i].clone()).collect(),
+                    }
+                }
+            };
+            PhysicalPlan::ScanTable {
+                table,
+                full_schema: schema,
+                consume,
+                predicate,
+                projection,
+                schema: out_schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let input = lower(*input)?;
+            let schema = input.schema().clone();
+            check_refs(&predicate, schema.len(), "filter predicate")?;
+            PhysicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
+                schema,
+            }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let input = lower(*input)?;
+            let in_width = input.schema().len();
+            for (e, _) in &exprs {
+                check_refs(e, in_width, "projection")?;
+            }
+            let schema = Schema {
+                columns: exprs
+                    .iter()
+                    .map(|(e, n)| crate::schema::ColumnDef::new(n.clone(), e.data_type()))
+                    .collect(),
+            };
+            PhysicalPlan::Project {
+                input: Box::new(input),
+                exprs,
+                schema,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                return Err(SqlError::Plan("hash join requires matching, non-empty key lists".into()));
+            }
+            let left = lower(*left)?;
+            let right = lower(*right)?;
+            for k in &left_keys {
+                check_refs(k, left.schema().len(), "left join key")?;
+            }
+            for k in &right_keys {
+                check_refs(k, right.schema().len(), "right join key")?;
+            }
+            let schema = left.schema().concat(right.schema());
+            if let Some(r) = &residual {
+                check_refs(r, schema.len(), "join residual")?;
+            }
+            PhysicalPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            }
+        }
+        LogicalPlan::Cross { left, right } => {
+            let left = lower(*left)?;
+            let right = lower(*right)?;
+            let schema = left.schema().concat(right.schema());
+            PhysicalPlan::NestedLoop {
+                left: Box::new(left),
+                right: Box::new(right),
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, group, aggs } => {
+            let node = LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+            };
+            let schema = node.schema();
+            let (input, group, aggs) = match node {
+                LogicalPlan::Aggregate { input, group, aggs } => (input, group, aggs),
+                _ => unreachable!(),
+            };
+            let input = lower(*input)?;
+            let in_width = input.schema().len();
+            for (e, _) in &group {
+                check_refs(e, in_width, "group key")?;
+            }
+            for a in &aggs {
+                if let Some(e) = &a.arg {
+                    check_refs(e, in_width, "aggregate argument")?;
+                }
+            }
+            PhysicalPlan::HashAggregate {
+                input: Box::new(input),
+                group,
+                aggs: aggs
+                    .into_iter()
+                    .map(|a| PhysAgg {
+                        func: a.func,
+                        arg: a.arg,
+                        name: a.name,
+                    })
+                    .collect(),
+                schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let input = lower(*input)?;
+            let schema = input.schema().clone();
+            if let Some(&(bad, _)) = keys.iter().find(|&&(k, _)| k >= schema.len()) {
+                return Err(SqlError::Plan(format!("sort key {bad} out of range")));
+            }
+            PhysicalPlan::Sort {
+                input: Box::new(input),
+                keys,
+                schema,
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let input = lower(*input)?;
+            let schema = input.schema().clone();
+            PhysicalPlan::Limit {
+                input: Box::new(input),
+                n,
+                schema,
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let input = lower(*input)?;
+            let schema = input.schema().clone();
+            PhysicalPlan::Distinct {
+                input: Box::new(input),
+                schema,
+            }
+        }
+        LogicalPlan::ConstRow { exprs } => {
+            for (e, _) in &exprs {
+                if !e.is_constant() {
+                    return Err(SqlError::Plan(
+                        "ConstRow expressions must be constant".into(),
+                    ));
+                }
+            }
+            let schema = Schema {
+                columns: exprs
+                    .iter()
+                    .map(|(e, n)| crate::schema::ColumnDef::new(n.clone(), e.data_type()))
+                    .collect(),
+            };
+            PhysicalPlan::ConstRow { exprs, schema }
+        }
+    })
+}
+
+fn check_refs(e: &ScalarExpr, width: usize, what: &str) -> Result<()> {
+    if let Some(&bad) = e.referenced_columns().iter().find(|&&c| c >= width) {
+        return Err(SqlError::Plan(format!(
+            "{what} references column {bad}, input width is {width}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::bind_query;
+    use crate::schema::StaticProvider;
+    use datacell_bat::types::DataType;
+
+    fn provider() -> StaticProvider {
+        StaticProvider::new()
+            .with_table(
+                "t",
+                Schema::new(vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Float),
+                ]),
+            )
+            .with_basket(
+                "r",
+                Schema::new(vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Int),
+                ]),
+            )
+    }
+
+    fn phys(sql: &str) -> PhysicalPlan {
+        let stmt = parse(sql).unwrap();
+        let q = match stmt {
+            crate::ast::Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let logical = crate::optimizer::optimize(bind_query(&q, &provider()).unwrap());
+        lower(logical).unwrap()
+    }
+
+    #[test]
+    fn lowering_preserves_schema() {
+        let p = phys("select a, b * 2 as bb from t where a > 0 order by bb limit 2");
+        assert_eq!(p.schema().columns[0].name, "a");
+        assert_eq!(p.schema().columns[1].name, "bb");
+        assert_eq!(p.schema().columns[1].ty, DataType::Float);
+    }
+
+    #[test]
+    fn consuming_scan_survives_lowering() {
+        let p = phys("select * from [select * from r where r.a > 5] as s");
+        assert_eq!(p.consumed_baskets(), vec!["r".to_string()]);
+        let mut consume_pred = false;
+        p.walk(&mut |n| {
+            if let PhysicalPlan::ScanTable {
+                consume: true,
+                predicate: Some(_),
+                ..
+            } = n
+            {
+                consume_pred = true;
+            }
+        });
+        assert!(consume_pred, "{}", p.display());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = phys("select a, count(*) as n from t group by a");
+        let text = p.display();
+        assert!(text.contains("HashAggregate"), "{text}");
+        assert!(text.contains("ScanTable t"), "{text}");
+    }
+
+    #[test]
+    fn compile_query_end_to_end() {
+        let (p, schema) = crate::compile_query("select a from t where b > 1.5", &provider()).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert!(matches!(p, PhysicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn compile_query_rejects_non_select() {
+        assert!(crate::compile_query("drop table t", &provider()).is_err());
+    }
+}

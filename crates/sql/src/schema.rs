@@ -1,0 +1,179 @@
+//! Schemas and the catalog interface the binder resolves names against.
+
+use datacell_bat::types::DataType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (lowercased by the parser unless quoted).
+    pub name: String,
+    /// Logical type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Columns in position order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new(cols: Vec<(String, DataType)>) -> Self {
+        Schema {
+            columns: cols
+                .into_iter()
+                .map(|(name, ty)| ColumnDef { name, ty })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of column `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Type of column `name`, if present.
+    pub fn type_of(&self, name: &str) -> Option<DataType> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.ty)
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Render as `name:type, ...` for plan display.
+    pub fn render(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| format!("{}:{}", c.name, c.ty))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Catalog interface: the binder asks this for table/basket schemas.
+///
+/// Both the engine's catalog (tables) and DataCell's basket registry
+/// implement this, so the same front-end compiles one-time and continuous
+/// queries — the paper's central reuse argument.
+pub trait SchemaProvider {
+    /// Schema of `name`, or `None` if unknown.
+    fn get_schema(&self, name: &str) -> Option<Schema>;
+
+    /// True iff `name` names a basket (stream buffer) rather than a table.
+    /// Basket expressions may only consume baskets.
+    fn is_basket(&self, name: &str) -> bool;
+}
+
+/// A trivial provider over a fixed list; used by tests throughout the
+/// workspace.
+#[derive(Debug, Default, Clone)]
+pub struct StaticProvider {
+    tables: Vec<(String, Schema, bool)>,
+}
+
+impl StaticProvider {
+    /// Empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table.
+    pub fn with_table(mut self, name: &str, schema: Schema) -> Self {
+        self.tables.push((name.to_string(), schema, false));
+        self
+    }
+
+    /// Register a basket.
+    pub fn with_basket(mut self, name: &str, schema: Schema) -> Self {
+        self.tables.push((name.to_string(), schema, true));
+        self
+    }
+}
+
+impl SchemaProvider for StaticProvider {
+    fn get_schema(&self, name: &str) -> Option<Schema> {
+        self.tables
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, _)| s.clone())
+    }
+
+    fn is_basket(&self, name: &str) -> bool {
+        self.tables
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .is_some_and(|(_, _, b)| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_type_lookup() {
+        let s = Schema::new(vec![
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Str),
+        ]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.type_of("a"), Some(DataType::Int));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn concat_orders_left_then_right() {
+        let a = Schema::new(vec![("x".into(), DataType::Int)]);
+        let b = Schema::new(vec![("y".into(), DataType::Float)]);
+        let c = a.concat(&b);
+        assert_eq!(c.index_of("x"), Some(0));
+        assert_eq!(c.index_of("y"), Some(1));
+    }
+
+    #[test]
+    fn static_provider() {
+        let p = StaticProvider::new()
+            .with_table("t", Schema::new(vec![("a".into(), DataType::Int)]))
+            .with_basket("b", Schema::new(vec![("v".into(), DataType::Float)]));
+        assert!(p.get_schema("t").is_some());
+        assert!(!p.is_basket("t"));
+        assert!(p.is_basket("b"));
+        assert!(p.get_schema("nope").is_none());
+    }
+
+    #[test]
+    fn render_format() {
+        let s = Schema::new(vec![("a".into(), DataType::Int)]);
+        assert_eq!(s.render(), "a:int");
+    }
+}

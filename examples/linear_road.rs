@@ -1,0 +1,41 @@
+//! Linear Road in one minute — the paper's §5 experiment, small scale.
+//!
+//! Generates synthetic traffic for one expressway, runs the full
+//! continuous-query set (tolls, accidents, balances, daily expenditures),
+//! validates against the independent reference implementation, and prints
+//! the benchmark report.
+//!
+//! Run with: `cargo run --release --example linear_road`
+
+use linearroad::harness::run_linear_road;
+
+fn main() {
+    let report = run_linear_road(1, 600, 4242);
+    println!("Linear Road, L = {}", report.xways);
+    println!("  input records        : {}", report.records);
+    println!("  toll notifications   : {}", report.tolls);
+    println!("  accident alerts      : {}", report.accident_alerts);
+    println!("  balance answers      : {}", report.balances);
+    println!("  daily-exp. answers   : {}", report.dailies);
+    println!("  wall time            : {:.3} s", report.wall_s);
+    println!("  throughput           : {:.0} records/s", report.throughput);
+    println!(
+        "  response time        : mean {:.2} ms, max {:.2} ms (deadline 5000 ms)",
+        report.mean_response_micros / 1000.0,
+        report.max_response_micros as f64 / 1000.0
+    );
+    println!(
+        "  real-time headroom   : {:.0}x (max sustainable L ≈ {:.0})",
+        report.headroom,
+        report.headroom * report.xways as f64
+    );
+    println!(
+        "  validation           : {}",
+        if report.validation.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    assert!(report.passed(), "{:?}", report.validation.mismatches);
+}

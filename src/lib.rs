@@ -1,0 +1,12 @@
+//! Workspace facade re-exporting the public crates for examples/tests.
+//!
+//! Depend on the individual crates (`datacell`, `datacell-sql`, …) in real
+//! use; this crate exists so workspace-level examples and integration
+//! tests have one import root.
+
+pub use datacell;
+pub use datacell_baseline;
+pub use datacell_bat;
+pub use datacell_engine;
+pub use datacell_sql;
+pub use linearroad;

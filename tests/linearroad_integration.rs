@@ -1,0 +1,50 @@
+//! Integration test for `tab:linearroad`: a short full-system Linear Road
+//! run must validate against the reference implementation and meet the
+//! response-time deadline.
+
+use linearroad::harness::run_linear_road;
+use linearroad::validator::validate;
+use linearroad::{LinearRoadSystem, TrafficConfig, TrafficSim};
+
+#[test]
+fn short_run_validates_and_meets_deadline() {
+    let report = run_linear_road(1, 300, 777);
+    assert!(report.validation.passed(), "{:?}", report.validation.mismatches);
+    assert!(report.max_response_micros < 5_000_000, "5 s deadline");
+    assert!(report.tolls > 0);
+}
+
+#[test]
+fn interleaved_feeding_matches_reference() {
+    // Feed record-by-record with scheduler drains at odd points: arrival
+    // batching must never change answers.
+    let sim = TrafficSim::generate(TrafficConfig {
+        xways: 1,
+        cars_per_xway_per_min: 8,
+        duration_s: 240,
+        accidents_per_xway: 1,
+        balance_query_permille: 30,
+        daily_query_permille: 10,
+        seed: 99,
+    });
+    let history = vec![(1, 1, 0, 10), (2, 2, 0, 20)];
+    let sys = LinearRoadSystem::new(&history).unwrap();
+    for (i, rec) in sim.records().iter().enumerate() {
+        sys.feed(std::slice::from_ref(rec)).unwrap();
+        if i % 7 == 0 {
+            sys.drain();
+        }
+    }
+    sys.drain();
+    let report = validate(&sys, sim.records());
+    assert!(report.passed(), "{:?}", report.mismatches);
+    assert!(sys.daily_out.len() > 0);
+}
+
+#[test]
+fn scaling_l_scales_output_not_correctness() {
+    let r1 = run_linear_road(1, 180, 5);
+    let r2 = run_linear_road(2, 180, 5);
+    assert!(r2.tolls > r1.tolls);
+    assert!(r1.validation.passed() && r2.validation.passed());
+}
