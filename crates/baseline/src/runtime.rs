@@ -41,10 +41,7 @@ pub struct ThreadedBaseline {
 impl ThreadedBaseline {
     /// Spawn the engine thread. `now_micros` supplies the delivery clock
     /// (inject the DataCell clock for comparable numbers).
-    pub fn spawn(
-        mut engine: TupleEngine,
-        now_micros: impl Fn() -> i64 + Send + 'static,
-    ) -> Self {
+    pub fn spawn(mut engine: TupleEngine, now_micros: impl Fn() -> i64 + Send + 'static) -> Self {
         let (tx, rx): (Sender<Tuple>, Receiver<Tuple>) = unbounded();
         let metrics = Arc::new(BaselineMetrics::default());
         let thread_metrics = Arc::clone(&metrics);

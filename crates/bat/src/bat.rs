@@ -113,7 +113,10 @@ impl Bat {
         #[cfg(debug_assertions)]
         if sorted {
             if let Ok(v) = self.tail.as_i64s() {
-                debug_assert!(v.windows(2).all(|w| w[0] <= w[1]), "set_sorted on unsorted tail");
+                debug_assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "set_sorted on unsorted tail"
+                );
             }
         }
         self.tsorted = sorted;
@@ -126,10 +129,12 @@ impl Bat {
 
     /// Read the value with oid `oid`.
     pub fn get_oid(&self, oid: u64) -> Result<Value> {
-        let p = oid.checked_sub(self.hseqbase).ok_or(BatError::PositionOutOfRange {
-            pos: 0,
-            len: self.len(),
-        })?;
+        let p = oid
+            .checked_sub(self.hseqbase)
+            .ok_or(BatError::PositionOutOfRange {
+                pos: 0,
+                len: self.len(),
+            })?;
         self.tail.get(p as usize)
     }
 

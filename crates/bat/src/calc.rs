@@ -415,9 +415,19 @@ mod tests {
     #[test]
     fn arith_col_scalar_broadcast() {
         let a = icol(vec![1, 2, 3]);
-        let c = arith(ArithOp::Mul, Operand::Col(&a), Operand::Scalar(&Value::Int(5))).unwrap();
+        let c = arith(
+            ArithOp::Mul,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(5)),
+        )
+        .unwrap();
         assert_eq!(c.as_ints().unwrap(), &[5, 10, 15]);
-        let d = arith(ArithOp::Sub, Operand::Scalar(&Value::Int(10)), Operand::Col(&a)).unwrap();
+        let d = arith(
+            ArithOp::Sub,
+            Operand::Scalar(&Value::Int(10)),
+            Operand::Col(&a),
+        )
+        .unwrap();
         assert_eq!(d.as_ints().unwrap(), &[9, 8, 7]);
     }
 

@@ -114,9 +114,9 @@ impl Candidates {
                 }
             }
             (Candidates::Dense(r), Candidates::Positions(p))
-            | (Candidates::Positions(p), Candidates::Dense(r)) => Candidates::Positions(
-                p.iter().copied().filter(|x| r.contains(x)).collect(),
-            ),
+            | (Candidates::Positions(p), Candidates::Dense(r)) => {
+                Candidates::Positions(p.iter().copied().filter(|x| r.contains(x)).collect())
+            }
             (Candidates::Positions(a), Candidates::Positions(b)) => {
                 let mut out = Vec::with_capacity(a.len().min(b.len()));
                 let (mut i, mut j) = (0, 0);

@@ -77,7 +77,10 @@ mod tests {
             expected: "int",
             got: "str",
         };
-        assert_eq!(e.to_string(), "select: type mismatch, expected int, got str");
+        assert_eq!(
+            e.to_string(),
+            "select: type mismatch, expected int, got str"
+        );
         assert_eq!(
             BatError::Misaligned {
                 op: "join",
@@ -92,7 +95,10 @@ mod tests {
             "position 9 out of range for BAT of length 4"
         );
         assert_eq!(BatError::DivisionByZero.to_string(), "division by zero");
-        assert_eq!(BatError::Overflow("add").to_string(), "numeric overflow in add");
+        assert_eq!(
+            BatError::Overflow("add").to_string(),
+            "numeric overflow in add"
+        );
     }
 
     #[test]

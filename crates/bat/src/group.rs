@@ -89,11 +89,7 @@ fn gkey(bat: &Bat, p: usize) -> GKey {
 
 /// Group the rows of `bat` (restricted to `cand` if given), optionally
 /// refining a previous grouping over the *same* row set.
-pub fn group_by(
-    bat: &Bat,
-    prev: Option<&Grouping>,
-    cand: Option<&Candidates>,
-) -> Result<Grouping> {
+pub fn group_by(bat: &Bat, prev: Option<&Grouping>, cand: Option<&Candidates>) -> Result<Grouping> {
     let rows: Vec<usize> = match (prev, cand) {
         (Some(g), _) => g.rows.clone(),
         (None, Some(c)) => c.to_positions(),

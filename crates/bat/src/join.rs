@@ -190,11 +190,7 @@ pub fn merge_join(left: &Bat, right: &Bat) -> Result<(Vec<usize>, Vec<usize>)> {
 }
 
 /// Left semi-join: candidates of `left` positions having ≥1 match in `right`.
-pub fn semi_join(
-    left: &Bat,
-    right: &Bat,
-    lcand: Option<&Candidates>,
-) -> Result<Candidates> {
+pub fn semi_join(left: &Bat, right: &Bat, lcand: Option<&Candidates>) -> Result<Candidates> {
     let as_float = join_types(left, right, "semi_join")?;
     let mut keys: HashMap<Key<'_>, ()> = HashMap::new();
     for rp in 0..right.len() {
@@ -226,11 +222,7 @@ pub fn semi_join(
 /// Left anti-join: candidates of `left` positions with *no* match in
 /// `right`. Rows whose key is nil are excluded (SQL `NOT IN` semantics for
 /// non-null probe keys).
-pub fn anti_join(
-    left: &Bat,
-    right: &Bat,
-    lcand: Option<&Candidates>,
-) -> Result<Candidates> {
+pub fn anti_join(left: &Bat, right: &Bat, lcand: Option<&Candidates>) -> Result<Candidates> {
     let as_float = join_types(left, right, "anti_join")?;
     let mut keys: HashMap<Key<'_>, ()> = HashMap::new();
     for rp in 0..right.len() {

@@ -412,27 +412,39 @@ mod tests {
         let b = ints(vec![1, 2, 3]);
         let v = Value::Int(2);
         assert_eq!(
-            theta_select(&b, CmpOp::Eq, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Eq, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![1]
         );
         assert_eq!(
-            theta_select(&b, CmpOp::Ne, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Ne, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![0, 2]
         );
         assert_eq!(
-            theta_select(&b, CmpOp::Lt, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Lt, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![0]
         );
         assert_eq!(
-            theta_select(&b, CmpOp::Le, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Le, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![0, 1]
         );
         assert_eq!(
-            theta_select(&b, CmpOp::Gt, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Gt, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![2]
         );
         assert_eq!(
-            theta_select(&b, CmpOp::Ge, &v, None).unwrap().to_positions(),
+            theta_select(&b, CmpOp::Ge, &v, None)
+                .unwrap()
+                .to_positions(),
             vec![1, 2]
         );
     }

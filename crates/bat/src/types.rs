@@ -166,6 +166,26 @@ impl Value {
         }
     }
 
+    /// True iff [`Value::coerce_to`] would succeed — the same decision
+    /// without cloning string payloads, for pre-validation passes that
+    /// must not mutate anything until every value is known good.
+    pub fn can_coerce_to(&self, ty: DataType) -> bool {
+        if self.is_nil() {
+            return true;
+        }
+        matches!(
+            (self, ty),
+            (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Int(_), DataType::Timestamp)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Timestamp(_), DataType::Timestamp)
+                | (Value::Timestamp(_), DataType::Int)
+        )
+    }
+
     /// Coerce this value to `ty`, if a lossless coercion exists.
     pub fn coerce_to(&self, ty: DataType) -> Option<Value> {
         if self.is_nil() {
@@ -204,6 +224,41 @@ impl Value {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             // Heterogeneous comparisons order by type tag so sorting is total.
             (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $variant:ident $(as $cast:ty)?),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$variant(v $(as $cast)?)
+            }
+        }
+    )*};
+}
+
+impl_value_from! {
+    i64 => Int,
+    i32 => Int as i64,
+    u32 => Int as i64,
+    f64 => Float,
+    f32 => Float as f64,
+    bool => Bool,
+    String => Str,
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Nil,
         }
     }
 }

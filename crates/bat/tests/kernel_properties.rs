@@ -4,7 +4,7 @@
 //! row-at-a-time oracle, and check algebraic laws (candidate-list algebra,
 //! join symmetry, accumulator mergeability) on arbitrary inputs.
 
-use datacell_bat::aggregate::{scalar_agg, AggFunc, Accumulator};
+use datacell_bat::aggregate::{scalar_agg, Accumulator, AggFunc};
 use datacell_bat::calc::{arith, compare, true_candidates, ArithOp, Operand};
 use datacell_bat::candidates::Candidates;
 use datacell_bat::group::group_by;

@@ -94,5 +94,11 @@ fn bench_sort(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_select, bench_join, bench_group_agg, bench_sort);
+criterion_group!(
+    benches,
+    bench_select,
+    bench_join,
+    bench_group_agg,
+    bench_sort
+);
 criterion_main!(benches);

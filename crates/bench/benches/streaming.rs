@@ -91,7 +91,10 @@ fn bench_windows(c: &mut Criterion) {
     let rows = int_stream(10_000, 1000, 4);
     g.throughput(Throughput::Elements(rows.len() as u64));
     g.sample_size(20);
-    for (name, size, slide) in [("tumbling_1k", 1_000usize, 1_000usize), ("sliding_4k_500", 4_000, 500)] {
+    for (name, size, slide) in [
+        ("tumbling_1k", 1_000usize, 1_000usize),
+        ("sliding_4k_500", 4_000, 500),
+    ] {
         g.bench_with_input(BenchmarkId::new("reeval", name), &(), |b, ()| {
             let mut cat = StreamCatalog::new();
             let input = cat

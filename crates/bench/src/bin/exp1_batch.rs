@@ -84,13 +84,7 @@ fn main() {
         ),
         "DataCell per-tuple cost falls with batch size; baseline flat; crossover at small batches",
     );
-    let table = TablePrinter::new(&[
-        "engine",
-        "batch",
-        "tuples/s",
-        "ns/tuple",
-        "results",
-    ]);
+    let table = TablePrinter::new(&["engine", "batch", "tuples/s", "ns/tuple", "results"]);
     let (bt, bn) = baseline_run();
     table.row(&[
         "tuple-at-a-time".into(),

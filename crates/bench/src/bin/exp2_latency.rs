@@ -48,17 +48,18 @@ impl TupleSource for PacedSource {
 }
 
 fn run(rate: f64, total: u64) -> (f64, u64, u64) {
-    let cell = DataCell::new();
+    let cell = DataCell::builder().build();
     cell.execute("create basket s (v int)").unwrap();
-    cell.execute(
-        "create continuous query q as \
-         select s2.v, s2.ts from [select * from s] as s2 where s2.v < 500",
-    )
-    .unwrap();
-    let hist = Arc::new(LatencyHistogram::new());
-    let out = cell.query_output("q").unwrap();
-    let emitter = Emitter::spawn("lat", Arc::clone(&out), LatencySink::new(Arc::clone(&hist)))
+    let q = cell
+        .continuous_query(
+            "q",
+            "select s2.v, s2.ts from [select * from s] as s2 where s2.v < 500",
+        )
         .unwrap();
+    let hist = Arc::new(LatencyHistogram::new());
+    let out = q.output().unwrap();
+    let emitter =
+        Emitter::spawn("lat", Arc::clone(&out), LatencySink::new(Arc::clone(&hist))).unwrap();
     cell.start();
     let receptor = Receptor::spawn(
         "paced",
@@ -91,7 +92,14 @@ fn main() {
         "flat sub-ms latency until saturation, then a sharp hockey stick",
     );
     let table = TablePrinter::new(&["rate (t/s)", "mean (us)", "p99 (us)", "delivered"]);
-    for rate in [1_000.0, 10_000.0, 50_000.0, 200_000.0, 1_000_000.0, 4_000_000.0] {
+    for rate in [
+        1_000.0,
+        10_000.0,
+        50_000.0,
+        200_000.0,
+        1_000_000.0,
+        4_000_000.0,
+    ] {
         let total = ((rate * 1.5) as u64).clamp(20_000, 2_000_000);
         let (mean, p99, n) = run(rate, total);
         table.row(&[f(rate), f(mean), p99.to_string(), n.to_string()]);

@@ -76,12 +76,7 @@ fn main() {
         ),
         "cascading's win over shared grows with coverage (more pruning)",
     );
-    let table = TablePrinter::new(&[
-        "coverage %",
-        "shared (s)",
-        "cascading (s)",
-        "speedup",
-    ]);
+    let table = TablePrinter::new(&["coverage %", "shared (s)", "cascading (s)", "speedup"]);
     for coverage in [10i64, 25, 50, 75, 100] {
         // Best of three to suppress scheduler noise.
         let shared = (0..3)

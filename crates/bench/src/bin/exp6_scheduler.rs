@@ -50,17 +50,23 @@ impl TupleSource for PacedSource {
 }
 
 fn run(policy_name: &str, min_tuples: usize, min_interval: Option<Duration>) -> (f64, u64, u64) {
-    let cell = DataCell::new();
+    let cell = DataCell::builder()
+        .scheduler_policy(SchedulePolicy {
+            priority: 0,
+            min_interval,
+        })
+        .build();
     cell.execute("create basket s (v int)").unwrap();
     // Build the factory by SQL, then adjust the threshold through the
-    // registered handle.
-    cell.execute(
-        "create continuous query q as \
-         select s2.v, s2.ts from [select * from s] as s2 where s2.v < 500",
+    // registered handle; the typed lifecycle (QueryHandle::drop_query)
+    // detaches the SQL-registered factory first.
+    cell.continuous_query(
+        "q",
+        "select s2.v, s2.ts from [select * from s] as s2 where s2.v < 500",
     )
+    .unwrap()
+    .drop_query()
     .unwrap();
-    // Re-register with the requested policy: simplest is a fresh factory.
-    cell.execute("drop continuous query q").unwrap();
     let factory = {
         let catalog = cell.catalog();
         let mut cat = catalog.write();

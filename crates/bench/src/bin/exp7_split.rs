@@ -88,9 +88,16 @@ fn build(split_heavy: bool) -> Rig {
     };
     if split_heavy {
         let mut cat = catalog.write();
-        let mut sq = split(&mut cat, "heavy", HEAVY_SQL, FactoryOutput::Basket(heavy_out))
+        let mut sq = split(
+            &mut cat,
+            "heavy",
+            HEAVY_SQL,
+            FactoryOutput::Basket(heavy_out),
+        )
+        .unwrap();
+        sq.head
+            .set_shared("s", input.register_reader(true))
             .unwrap();
-        sq.head.set_shared("s", input.register_reader(true)).unwrap();
         drop(cat);
         // The cheap head runs eagerly; only the heavy *tail* is slow — the
         // whole point of the split.
@@ -99,8 +106,7 @@ fn build(split_heavy: bool) -> Rig {
     } else {
         let cat = catalog.read();
         let mut heavy =
-            Factory::compile("heavy", HEAVY_SQL, &cat, FactoryOutput::Basket(heavy_out))
-                .unwrap();
+            Factory::compile("heavy", HEAVY_SQL, &cat, FactoryOutput::Basket(heavy_out)).unwrap();
         heavy.set_shared("s", input.register_reader(true)).unwrap();
         drop(cat);
         scheduler.add_factory_with_policy(heavy, slow);

@@ -41,23 +41,14 @@ fn battery() -> Vec<(&'static str, String, String)> {
             "having",
             "select c, count(*) as n from {src} group by c having count(*) > 2 order by c",
         ),
-        (
-            "distinct",
-            "select distinct v from {src} order by v",
-        ),
+        ("distinct", "select distinct v from {src} order by v"),
         (
             "case+in",
             "select a, case when v in (25, 55) then 'hit' else 'miss' end as tag \
              from {src} order by a",
         ),
-        (
-            "like",
-            "select a from {src} where c like '%ee%' order by a",
-        ),
-        (
-            "limit",
-            "select a, v from {src} order by v desc limit 3",
-        ),
+        ("like", "select a from {src} where c like '%ee%' order by a"),
+        ("limit", "select a, v from {src} order by v desc limit 3"),
         (
             "global-agg",
             "select count(*) as n, avg(v) as av, min(c) as mc from {src}",
@@ -89,7 +80,7 @@ fn main() {
          basket-expression queries (basket)",
         "every pair of result sets matches",
     );
-    let cell = DataCell::new();
+    let cell = DataCell::builder().build();
     cell.execute("create table t (a int, v int, c varchar(10))")
         .unwrap();
     cell.execute("create basket b (a int, v int, c varchar(10))")
@@ -98,15 +89,17 @@ fn main() {
         cell.execute(&format!("insert into t values ({a}, {v}, '{c}')"))
             .unwrap();
     }
+    let mut refill = cell.writer("b").unwrap();
     let table = TablePrinter::new(&["query shape", "rows", "match"]);
     let mut all_ok = true;
     for (name, one_time, continuous) in battery() {
-        // Refill the basket for each case (basket expressions consume).
+        // Refill the basket for each case (basket expressions consume),
+        // through the typed writer.
         cell.execute("delete from b").unwrap();
-        for (a, v, c) in ROWS {
-            cell.execute(&format!("insert into b values ({a}, {v}, '{c}')"))
-                .unwrap();
+        for &(a, v, c) in ROWS {
+            refill.append((a, v, c)).unwrap();
         }
+        refill.flush().unwrap();
         let expect = rows_of(&cell, &one_time);
         let got = rows_of(&cell, &continuous);
         let ok = expect == got;
@@ -122,9 +115,6 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "front-end parity: {}",
-        if all_ok { "PASS" } else { "FAIL" }
-    );
+    println!("front-end parity: {}", if all_ok { "PASS" } else { "FAIL" });
     assert!(all_ok);
 }

@@ -123,11 +123,7 @@ impl Basket {
         schema
             .columns
             .push(ColumnDef::new(TS_COLUMN, DataType::Timestamp));
-        let columns = schema
-            .columns
-            .iter()
-            .map(|c| Column::empty(c.ty))
-            .collect();
+        let columns = schema.columns.iter().map(|c| Column::empty(c.ty)).collect();
         Ok(Basket {
             name,
             schema,
@@ -227,14 +223,31 @@ impl Basket {
     }
 
     /// Append rows of user values (arity = user width); each row is stamped
-    /// with the current engine time.
+    /// with the current engine time. Values are coerced to the column
+    /// types (the same rules as SQL `INSERT`).
     pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
+        self.append_rows_inner(rows, true)
+    }
+
+    /// Append rows whose values are already coerced to the column types —
+    /// the [`StreamWriter`](crate::client::StreamWriter) fast path, which
+    /// validates on `append` and must not pay a second coercion (and
+    /// string-clone) pass per tuple on flush. Arity and type tags are
+    /// still pre-checked, so a bad row fails *before* anything is pushed.
+    pub fn append_rows_prevalidated(&self, rows: &[Vec<Value>]) -> Result<()> {
+        self.append_rows_inner(rows, false)
+    }
+
+    fn append_rows_inner(&self, rows: &[Vec<Value>], coerce: bool) -> Result<()> {
         if rows.is_empty() {
             return Ok(());
         }
         {
             let mut inner = self.inner.lock();
             let user_width = self.schema.len() - 1;
+            // Pre-check every row completely before mutating any column:
+            // a failure mid-append would leave the columns with unequal
+            // lengths (a torn write visible to every later reader).
             for row in rows {
                 if row.len() != user_width {
                     return Err(DataCellError::Wiring(format!(
@@ -243,6 +256,14 @@ impl Basket {
                         row.len(),
                         user_width
                     )));
+                }
+                for (v, cd) in row.iter().zip(self.schema.columns.iter().take(user_width)) {
+                    if !v.can_coerce_to(cd.ty) {
+                        return Err(DataCellError::Wiring(format!(
+                            "basket {}: cannot coerce {v:?} to {}",
+                            self.name, cd.ty
+                        )));
+                    }
                 }
             }
             let ts = now_micros();
@@ -256,7 +277,7 @@ impl Basket {
                 ) {
                     if v.is_nil() {
                         c.push_nil();
-                    } else {
+                    } else if coerce {
                         let coerced = v.coerce_to(cd.ty).ok_or_else(|| {
                             DataCellError::Wiring(format!(
                                 "basket: cannot coerce {v:?} to {}",
@@ -264,6 +285,8 @@ impl Basket {
                             ))
                         })?;
                         c.push(&coerced)?;
+                    } else {
+                        c.push(v)?;
                     }
                 }
                 inner
@@ -489,7 +512,12 @@ impl Basket {
 
     /// Heap footprint in bytes (diagnostics / load shedding).
     pub fn byte_size(&self) -> usize {
-        self.inner.lock().columns.iter().map(Column::byte_size).sum()
+        self.inner
+            .lock()
+            .columns
+            .iter()
+            .map(Column::byte_size)
+            .sum()
     }
 }
 
@@ -515,11 +543,7 @@ mod tests {
         assert_eq!(b.schema().len(), 3);
         assert_eq!(b.schema().columns[2].name, TS_COLUMN);
         assert_eq!(b.user_width(), 2);
-        assert!(Basket::new(
-            "bad",
-            Schema::new(vec![("ts".into(), DataType::Int)])
-        )
-        .is_err());
+        assert!(Basket::new("bad", Schema::new(vec![("ts".into(), DataType::Int)])).is_err());
     }
 
     #[test]
@@ -545,15 +569,35 @@ mod tests {
             .append_rows(&[vec![Value::Str("no".into()), Value::Float(0.0)]])
             .is_err());
         // Int coerces into float column.
-        b.append_rows(&[vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Int(2)]])
+            .unwrap();
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn failed_append_leaves_no_torn_write() {
+        let b = basket();
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.0)],
+            vec![Value::Int(2), Value::Str("not a float".into())],
+        ];
+        // Both paths must reject the batch before touching any column.
+        assert!(b.append_rows(&rows).is_err());
+        assert!(b.append_rows_prevalidated(&rows).is_err());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.stats().appended, 0);
+        // The basket still works and rows stay rectangular.
+        b.append_rows_prevalidated(&[vec![Value::Int(1), Value::Float(1.0)]])
+            .unwrap();
+        assert_eq!(b.snapshot().row(0).unwrap().len(), 3);
     }
 
     #[test]
     fn consume_positions_removes() {
         let b = basket();
         for i in 0..5 {
-            b.append_rows(&[vec![Value::Int(i), Value::Float(0.0)]]).unwrap();
+            b.append_rows(&[vec![Value::Int(i), Value::Float(0.0)]])
+                .unwrap();
         }
         let n = b
             .consume_positions(&Candidates::from_positions(vec![0, 2, 4]).unwrap())
@@ -568,7 +612,8 @@ mod tests {
     #[test]
     fn clear_empties_and_counts() {
         let b = basket();
-        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]])
+            .unwrap();
         assert_eq!(b.clear(), 1);
         assert!(b.is_empty());
         assert_eq!(b.stats().consumed, 1);
@@ -579,8 +624,10 @@ mod tests {
         let b = basket();
         let r1 = b.register_reader(true);
         let r2 = b.register_reader(true);
-        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
-        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]])
+            .unwrap();
+        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]])
+            .unwrap();
 
         let (c1, end1) = b.snapshot_for_reader(r1);
         assert_eq!(c1.len(), 2);
@@ -601,10 +648,12 @@ mod tests {
     #[test]
     fn late_reader_starts_at_end() {
         let b = basket();
-        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]])
+            .unwrap();
         let r = b.register_reader(false);
         assert_eq!(b.pending_for(r), 0);
-        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(2), Value::Float(0.0)]])
+            .unwrap();
         assert_eq!(b.pending_for(r), 1);
         let (c, _) = b.snapshot_for_reader(r);
         assert_eq!(c.columns[0].as_ints().unwrap(), &[2]);
@@ -615,7 +664,8 @@ mod tests {
         let b = basket();
         let r1 = b.register_reader(true);
         let r2 = b.register_reader(true);
-        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]])
+            .unwrap();
         let (_, end) = b.snapshot_for_reader(r1);
         b.commit_reader(r1, end);
         assert_eq!(b.len(), 1);
@@ -628,7 +678,8 @@ mod tests {
         let b = basket();
         let s = b.signal();
         let v0 = s.version();
-        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1), Value::Float(0.0)]])
+            .unwrap();
         assert!(s.version() > v0);
     }
 

@@ -1,0 +1,761 @@
+//! The typed client facade: [`DataCellBuilder`], [`StreamWriter`],
+//! [`Subscription`] and [`QueryHandle`].
+//!
+//! The paper's periphery exchanges *textual* tuples (§2.1), and the
+//! original session API mirrored that literally: raw `String` lines out of
+//! `subscribe_text`, hand-wired receptors in. This module is the typed
+//! surface above the same Figure-1 pipeline:
+//!
+//! ```text
+//! DataCell::builder() ──▶ DataCell
+//!     cell.writer("b1")?           — typed, batched, schema-validated in
+//!     cell.subscribe::<T>("q")?    — typed, decoded rows out
+//!     cell.query_handle("q")?      — pause / resume / drop lifecycle
+//! ```
+//!
+//! Rows go in through [`StreamWriter::append`] (anything implementing
+//! [`IntoRow`]: tuples of primitives, `Vec<Value>`) and come out through
+//! [`Subscription::next_timeout`] (anything implementing [`FromRow`]:
+//! tuples of primitives, `Vec<Value>`, or `String` for the wire-format
+//! text-compat mode). Nothing beneath the facade changed: receptors,
+//! baskets, factories, emitters and the Petri-net scheduler are exactly
+//! the paper's architecture.
+
+use std::marker::PhantomData;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use datacell_bat::types::Value;
+use datacell_sql::Schema;
+
+use crate::basket::Basket;
+use crate::error::{DataCellError, Result};
+use crate::metrics::SessionMetrics;
+use crate::scheduler::SchedulePolicy;
+use crate::session::DataCell;
+use crate::text;
+
+// ---------------------------------------------------------------- builder
+
+/// What a [`StreamWriter`] does when its target basket is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Wait for the pipeline to drain (bounded-queue backpressure).
+    #[default]
+    Block,
+    /// Fail the flush with [`DataCellError::Backpressure`], leaving the
+    /// not-yet-appended rows buffered for a later
+    /// [`flush`](StreamWriter::flush) retry.
+    Reject,
+}
+
+/// Configures and constructs a [`DataCell`] session.
+///
+/// ```
+/// use datacell::client::DataCellBuilder;
+/// use datacell::scheduler::SchedulePolicy;
+///
+/// let cell = DataCellBuilder::new()
+///     .scheduler_policy(SchedulePolicy::default())
+///     .writer_batch_size(128)
+///     .basket_capacity(100_000)
+///     .metrics(true)
+///     .build();
+/// cell.execute("create basket b (x int)").unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCellBuilder {
+    pub(crate) default_policy: SchedulePolicy,
+    pub(crate) writer_batch: usize,
+    pub(crate) basket_capacity: Option<usize>,
+    pub(crate) overflow: OverflowPolicy,
+    pub(crate) metrics: bool,
+    pub(crate) auto_start: bool,
+}
+
+impl Default for DataCellBuilder {
+    fn default() -> Self {
+        DataCellBuilder {
+            default_policy: SchedulePolicy::default(),
+            writer_batch: 256,
+            basket_capacity: None,
+            overflow: OverflowPolicy::Block,
+            metrics: false,
+            auto_start: false,
+        }
+    }
+}
+
+impl DataCellBuilder {
+    /// Fresh builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scheduling policy applied to continuous queries registered through
+    /// SQL (`CREATE CONTINUOUS QUERY`); see [`SchedulePolicy`].
+    pub fn scheduler_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
+    /// Shorthand: priority of SQL-registered queries.
+    pub fn query_priority(mut self, priority: i32) -> Self {
+        self.default_policy.priority = priority;
+        self
+    }
+
+    /// Shorthand: minimum interval between firings of SQL-registered
+    /// queries (time-sliced batching).
+    pub fn min_fire_interval(mut self, interval: Duration) -> Self {
+        self.default_policy.min_interval = Some(interval);
+        self
+    }
+
+    /// Rows a [`StreamWriter`] buffers before flushing to its basket.
+    pub fn writer_batch_size(mut self, rows: usize) -> Self {
+        self.writer_batch = rows.max(1);
+        self
+    }
+
+    /// Soft capacity (resident tuples) of writer target baskets; writers
+    /// apply the [`OverflowPolicy`] when a flush would exceed it.
+    pub fn basket_capacity(mut self, tuples: usize) -> Self {
+        self.basket_capacity = Some(tuples.max(1));
+        self
+    }
+
+    /// What writers do at capacity (default: [`OverflowPolicy::Block`]).
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Collect session-wide ingest/delivery/latency metrics, readable via
+    /// [`DataCell::metrics`].
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Start the scheduler thread as part of `build()` (default: off; call
+    /// [`DataCell::start`] explicitly).
+    pub fn auto_start(mut self, enabled: bool) -> Self {
+        self.auto_start = enabled;
+        self
+    }
+
+    /// Construct the session. Also initializes the engine clock so the
+    /// first tuple's arrival timestamp is well-anchored.
+    pub fn build(self) -> DataCell {
+        DataCell::from_builder(self)
+    }
+}
+
+// ------------------------------------------------------------- row traits
+
+/// Conversion into a row of engine values; implemented for `Vec<Value>`,
+/// `&[Value]`, and tuples of primitives up to arity 8.
+pub trait IntoRow {
+    /// Consume self into the row representation.
+    fn into_row(self) -> Vec<Value>;
+}
+
+impl IntoRow for Vec<Value> {
+    fn into_row(self) -> Vec<Value> {
+        self
+    }
+}
+
+impl IntoRow for &[Value] {
+    fn into_row(self) -> Vec<Value> {
+        self.to_vec()
+    }
+}
+
+macro_rules! impl_into_row_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Into<Value>),+> IntoRow for ($($name,)+) {
+            fn into_row(self) -> Vec<Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                vec![$($name.into()),+]
+            }
+        }
+    };
+}
+
+impl_into_row_tuple!(A);
+impl_into_row_tuple!(A, B);
+impl_into_row_tuple!(A, B, C);
+impl_into_row_tuple!(A, B, C, D);
+impl_into_row_tuple!(A, B, C, D, E);
+impl_into_row_tuple!(A, B, C, D, E, F);
+impl_into_row_tuple!(A, B, C, D, E, F, G);
+impl_into_row_tuple!(A, B, C, D, E, F, G, H);
+
+/// Conversion out of a single engine value; the per-column half of
+/// [`FromRow`].
+pub trait FromValue: Sized {
+    /// Decode one value.
+    fn from_value(v: &Value) -> Result<Self>;
+}
+
+impl FromValue for Value {
+    fn from_value(v: &Value) -> Result<Self> {
+        Ok(v.clone())
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_int()
+            .ok_or_else(|| DataCellError::Decode(format!("expected int, got {v}")))
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_float()
+            .ok_or_else(|| DataCellError::Decode(format!("expected float, got {v}")))
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_bool()
+            .ok_or_else(|| DataCellError::Decode(format!("expected bool, got {v}")))
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DataCellError::Decode(format!("expected string, got {v}")))
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.is_nil() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+/// Deserialization of a delivered result row (`ts` already stripped);
+/// implemented for `Vec<Value>` (raw), `String` (the textual wire format —
+/// the compat mode for old `subscribe_text` users), and tuples of
+/// [`FromValue`] types up to arity 8.
+pub trait FromRow: Sized {
+    /// Decode one row.
+    fn from_row(row: Vec<Value>) -> Result<Self>;
+}
+
+impl FromRow for Vec<Value> {
+    fn from_row(row: Vec<Value>) -> Result<Self> {
+        Ok(row)
+    }
+}
+
+impl FromRow for String {
+    fn from_row(row: Vec<Value>) -> Result<Self> {
+        Ok(text::render_row(&row))
+    }
+}
+
+macro_rules! impl_from_row_tuple {
+    ($n:literal; $($name:ident : $idx:tt),+) => {
+        impl<$($name: FromValue),+> FromRow for ($($name,)+) {
+            fn from_row(row: Vec<Value>) -> Result<Self> {
+                if row.len() != $n {
+                    return Err(DataCellError::Decode(format!(
+                        "row has {} columns, tuple wants {}",
+                        row.len(),
+                        $n
+                    )));
+                }
+                Ok(($($name::from_value(&row[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_from_row_tuple!(1; A: 0);
+impl_from_row_tuple!(2; A: 0, B: 1);
+impl_from_row_tuple!(3; A: 0, B: 1, C: 2);
+impl_from_row_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+impl_from_row_tuple!(5; A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_from_row_tuple!(6; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_from_row_tuple!(7; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_from_row_tuple!(8; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+// ------------------------------------------------------------ StreamWriter
+
+/// Monotone writer counters (plain integers: a writer is exclusively
+/// owned, so nothing here is shared across threads).
+#[derive(Debug, Default)]
+struct WriterStats {
+    appended: u64,
+    rejected: u64,
+    flushes: u64,
+    backpressure_waits: u64,
+}
+
+/// Point-in-time view of a writer's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStatsSnapshot {
+    /// Rows accepted into the basket.
+    pub appended: u64,
+    /// Rows rejected by validation (arity, type, malformed text).
+    pub rejected: u64,
+    /// Flushes that reached the basket.
+    pub flushes: u64,
+    /// Flushes that hit the capacity limit (blocked or rejected).
+    pub backpressure_waits: u64,
+}
+
+/// A typed, schema-validated, batched ingestion handle for one basket —
+/// the replacement for hand-wiring a `ChannelSource` receptor.
+///
+/// Rows are validated against the basket's user schema on [`append`]
+/// (coercion rules identical to SQL `INSERT`), buffered up to the batch
+/// size, and appended in bulk on [`flush`] — preserving the paper's
+/// batch-processing advantage on the ingest path. A writer is independent
+/// of the session's lifetime and may be moved to a producer thread.
+///
+/// [`append`]: StreamWriter::append
+/// [`flush`]: StreamWriter::flush
+pub struct StreamWriter {
+    basket: Arc<Basket>,
+    user_schema: Schema,
+    buf: Vec<Vec<Value>>,
+    batch_size: usize,
+    capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    stats: WriterStats,
+    metrics: Option<Arc<SessionMetrics>>,
+}
+
+impl StreamWriter {
+    pub(crate) fn new(
+        basket: Arc<Basket>,
+        batch_size: usize,
+        capacity: Option<usize>,
+        overflow: OverflowPolicy,
+        metrics: Option<Arc<SessionMetrics>>,
+    ) -> Self {
+        let user_schema = Schema {
+            columns: basket.schema().columns[..basket.user_width()].to_vec(),
+        };
+        StreamWriter {
+            basket,
+            user_schema,
+            buf: Vec::new(),
+            batch_size: batch_size.max(1),
+            capacity,
+            overflow,
+            stats: WriterStats::default(),
+            metrics,
+        }
+    }
+
+    /// Name of the target basket.
+    pub fn basket_name(&self) -> &str {
+        self.basket.name()
+    }
+
+    /// The user schema rows are validated against (no `ts` column).
+    pub fn schema(&self) -> &Schema {
+        &self.user_schema
+    }
+
+    /// Rows buffered but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WriterStatsSnapshot {
+        WriterStatsSnapshot {
+            appended: self.stats.appended,
+            rejected: self.stats.rejected,
+            flushes: self.stats.flushes,
+            backpressure_waits: self.stats.backpressure_waits,
+        }
+    }
+
+    /// Validate and buffer one row; flushes automatically when the buffer
+    /// reaches the batch size. Rejected rows
+    /// ([`DataCellError::Decode`]) are counted and do not disturb the
+    /// buffer. A [`DataCellError::Backpressure`] error is different: the
+    /// row *was* accepted and stays buffered — the auto-flush could not
+    /// complete. Retry with [`flush`](StreamWriter::flush) (or just keep
+    /// appending); do **not** re-append the same row.
+    pub fn append(&mut self, row: impl IntoRow) -> Result<()> {
+        let row = row.into_row();
+        let validated = self.validate(row)?;
+        self.buf.push(validated);
+        if self.buf.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Parse and buffer one textual tuple (the paper's wire format, with
+    /// quoting rules per [`crate::text`]); malformed lines are counted in
+    /// [`WriterStatsSnapshot::rejected`].
+    pub fn append_text(&mut self, line: &str) -> Result<()> {
+        match text::parse_tuple(line, &self.user_schema) {
+            Ok(row) => {
+                self.buf.push(row);
+                if self.buf.len() >= self.batch_size {
+                    self.flush()?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(&mut self, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.user_schema.len() {
+            self.stats.rejected += 1;
+            return Err(DataCellError::Decode(format!(
+                "row arity {} != schema {} arity {}",
+                row.len(),
+                self.user_schema.render(),
+                self.user_schema.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, cd) in row.into_iter().zip(&self.user_schema.columns) {
+            if v.is_nil() {
+                out.push(Value::Nil);
+                continue;
+            }
+            match v.coerce_to(cd.ty) {
+                Some(coerced) => out.push(coerced),
+                None => {
+                    self.stats.rejected += 1;
+                    return Err(DataCellError::Decode(format!(
+                        "column {}: cannot coerce {v} to {}",
+                        cd.name, cd.ty
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Append every buffered row to the basket in bulk, applying the
+    /// capacity/overflow policy. A buffer larger than the remaining
+    /// capacity is flushed in capacity-sized chunks, so a batch size above
+    /// the basket capacity still makes progress. Returns the number of
+    /// rows flushed; on [`DataCellError::Backpressure`] the rows already
+    /// appended are removed from the buffer, the rest stay for retry.
+    pub fn flush(&mut self) -> Result<usize> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        let total = self.buf.len();
+        let mut offset = 0;
+        let mut waited = false;
+        while offset < total {
+            let (room, resident) = match self.capacity {
+                None => (total - offset, 0),
+                Some(capacity) => {
+                    let resident = self.basket.len();
+                    (capacity.saturating_sub(resident), resident)
+                }
+            };
+            if room == 0 {
+                if !waited {
+                    self.stats.backpressure_waits += 1;
+                    waited = true;
+                }
+                match self.overflow {
+                    OverflowPolicy::Reject => {
+                        self.buf.drain(..offset);
+                        self.record_flush(offset);
+                        return Err(DataCellError::Backpressure {
+                            basket: self.basket.name().to_string(),
+                            resident,
+                            capacity: self.capacity.unwrap_or(0),
+                        });
+                    }
+                    OverflowPolicy::Block => {
+                        let signal = self.basket.signal();
+                        let seen = signal.version();
+                        // Re-check after any basket change (or 1ms, so a
+                        // stopped pipeline cannot wedge the writer forever
+                        // without it noticing stop conditions upstream).
+                        signal.wait_past(seen, Duration::from_millis(1));
+                        continue;
+                    }
+                }
+            }
+            let n = room.min(total - offset);
+            // Rows were validated/coerced on append; skip re-coercion.
+            self.basket
+                .append_rows_prevalidated(&self.buf[offset..offset + n])?;
+            offset += n;
+        }
+        self.buf.clear();
+        self.record_flush(total);
+        Ok(total)
+    }
+
+    fn record_flush(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.stats.appended += n as u64;
+        self.stats.flushes += 1;
+        if let Some(m) = &self.metrics {
+            m.ingested.add(n as u64);
+        }
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        // Best effort: do not lose buffered rows on drop, but never block
+        // a (possibly panicking) thread on backpressure — flush whatever
+        // fits right now and abandon the rest.
+        if !self.buf.is_empty() {
+            self.overflow = OverflowPolicy::Reject;
+            let _ = self.flush();
+        }
+    }
+}
+
+// ------------------------------------------------------------ Subscription
+
+/// A typed stream of continuous-query results.
+///
+/// Each delivered tuple (minus the implicit `ts` column) is decoded into
+/// `T` via [`FromRow`]. `Subscription<String>` reproduces the old textual
+/// interface; `Subscription<Vec<Value>>` gives raw rows.
+///
+/// The channel closes — [`next_timeout`] returns
+/// [`DataCellError::Disconnected`] — when the query is dropped
+/// ([`QueryHandle::drop_query`] or `DROP CONTINUOUS QUERY`) or the session
+/// stops.
+///
+/// [`next_timeout`]: Subscription::next_timeout
+pub struct Subscription<T = Vec<Value>> {
+    query: String,
+    rx: Receiver<Vec<Value>>,
+    _decode: PhantomData<fn() -> T>,
+}
+
+impl<T: FromRow> Subscription<T> {
+    pub(crate) fn new(query: String, rx: Receiver<Vec<Value>>) -> Self {
+        Subscription {
+            query,
+            rx,
+            _decode: PhantomData,
+        }
+    }
+
+    /// Name of the subscribed continuous query.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// Non-blocking receive: `Ok(Some)` on data, `Ok(None)` when nothing
+    /// is queued, `Err(Disconnected)` once the query is gone.
+    pub fn try_next(&self) -> Result<Option<T>> {
+        match self.rx.try_recv() {
+            Ok(row) => T::from_row(row).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(DataCellError::Disconnected),
+        }
+    }
+
+    /// Blocking receive with a deadline: `Ok(None)` means the timeout
+    /// elapsed (the subscription is still live).
+    pub fn next_timeout(&self, timeout: Duration) -> Result<Option<T>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(row) => T::from_row(row).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(DataCellError::Disconnected),
+        }
+    }
+
+    /// Decode everything currently queued, without blocking.
+    pub fn drain(&self) -> Result<Vec<T>> {
+        let mut out = Vec::new();
+        while let Some(v) = self.try_next()? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Collect up to `n` rows, waiting at most `within` overall.
+    pub fn collect_n(&self, n: usize, within: Duration) -> Result<Vec<T>> {
+        let deadline = Instant::now() + within;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.next_timeout(deadline - now) {
+                Ok(Some(v)) => out.push(v),
+                Ok(None) => break,
+                Err(DataCellError::Disconnected) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterate rows, ending when no row arrives within `idle_timeout` or
+    /// the subscription closes. Decode failures also end iteration — use
+    /// [`next_timeout`](Subscription::next_timeout) for per-row errors.
+    pub fn iter_timeout(&self, idle_timeout: Duration) -> SubscriptionIter<'_, T> {
+        SubscriptionIter {
+            sub: self,
+            idle_timeout,
+        }
+    }
+}
+
+/// Iterator over a [`Subscription`] with an idle timeout.
+pub struct SubscriptionIter<'a, T> {
+    sub: &'a Subscription<T>,
+    idle_timeout: Duration,
+}
+
+impl<T: FromRow> Iterator for SubscriptionIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.sub.next_timeout(self.idle_timeout).ok().flatten()
+    }
+}
+
+// ------------------------------------------------------------- QueryHandle
+
+/// Lifecycle handle for one registered continuous query.
+///
+/// Obtained from [`DataCell::query_handle`]. `pause` stops the scheduler
+/// from firing the factory (inputs keep buffering); `resume` processes the
+/// backlog in one bulk step; [`drop_query`](QueryHandle::drop_query)
+/// detaches the factory, drops the output basket, and closes every
+/// subscription — equivalent to the SQL `DROP CONTINUOUS QUERY`.
+pub struct QueryHandle<'a> {
+    cell: &'a DataCell,
+    name: String,
+}
+
+impl<'a> QueryHandle<'a> {
+    pub(crate) fn new(cell: &'a DataCell, name: String) -> Self {
+        QueryHandle { cell, name }
+    }
+
+    /// The query's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stop scheduling the factory; input baskets keep buffering.
+    pub fn pause(&self) -> Result<()> {
+        self.cell.pause_query(&self.name)
+    }
+
+    /// Re-enable scheduling; the buffered backlog is processed in bulk.
+    pub fn resume(&self) -> Result<()> {
+        self.cell.resume_query(&self.name)
+    }
+
+    /// True iff the factory is currently paused.
+    pub fn is_paused(&self) -> Result<bool> {
+        self.cell.is_query_paused(&self.name)
+    }
+
+    /// The query's output basket.
+    pub fn output(&self) -> Result<Arc<Basket>> {
+        self.cell.query_output(&self.name)
+    }
+
+    /// Subscribe to this query's results (same as [`DataCell::subscribe`]).
+    pub fn subscribe<T: FromRow>(&self) -> Result<Subscription<T>> {
+        self.cell.subscribe(&self.name)
+    }
+
+    /// Drop the query: detach the factory from the scheduler, remove the
+    /// output basket from the catalog, stop its emitters, and close every
+    /// subscription channel.
+    pub fn drop_query(self) -> Result<()> {
+        self.cell.drop_query(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_row_accepts_tuples_and_vecs() {
+        let r = (1i64, 2.5f64, "x", true).into_row();
+        assert_eq!(
+            r,
+            vec![
+                Value::Int(1),
+                Value::Float(2.5),
+                Value::Str("x".into()),
+                Value::Bool(true)
+            ]
+        );
+        assert_eq!(vec![Value::Int(1)].into_row(), vec![Value::Int(1)]);
+        assert_eq!((None::<i64>,).into_row(), vec![Value::Nil]);
+    }
+
+    #[test]
+    fn from_row_decodes_tuples_strings_and_options() {
+        let row = vec![Value::Int(5), Value::Str("a,b".into())];
+        let (i, s): (i64, String) = FromRow::from_row(row.clone()).unwrap();
+        assert_eq!((i, s.as_str()), (5, "a,b"));
+        let text: String = FromRow::from_row(row.clone()).unwrap();
+        assert_eq!(text, "5,\"a,b\"", "wire format quotes the comma");
+        let raw: Vec<Value> = FromRow::from_row(row).unwrap();
+        assert_eq!(raw.len(), 2);
+        let opt: (Option<i64>,) = FromRow::from_row(vec![Value::Nil]).unwrap();
+        assert_eq!(opt.0, None);
+        let bad: Result<(i64,)> = FromRow::from_row(vec![Value::Str("x".into())]);
+        assert!(matches!(bad, Err(DataCellError::Decode(_))));
+        let wrong_arity: Result<(i64, i64)> = FromRow::from_row(vec![Value::Int(1)]);
+        assert!(matches!(wrong_arity, Err(DataCellError::Decode(_))));
+    }
+
+    #[test]
+    fn builder_defaults_and_knobs() {
+        let b = DataCellBuilder::new()
+            .query_priority(3)
+            .min_fire_interval(Duration::from_millis(5))
+            .writer_batch_size(0)
+            .basket_capacity(0)
+            .overflow_policy(OverflowPolicy::Reject)
+            .metrics(true);
+        assert_eq!(b.default_policy.priority, 3);
+        assert_eq!(
+            b.default_policy.min_interval,
+            Some(Duration::from_millis(5))
+        );
+        assert_eq!(b.writer_batch, 1, "clamped to >= 1");
+        assert_eq!(b.basket_capacity, Some(1), "clamped to >= 1");
+        assert_eq!(b.overflow, OverflowPolicy::Reject);
+        assert!(b.metrics);
+    }
+}

@@ -20,7 +20,8 @@ use parking_lot::Mutex;
 use crate::basket::Basket;
 use crate::clock::now_micros;
 use crate::error::{DataCellError, Result};
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{LatencyHistogram, SessionMetrics};
+use crate::text::render_row;
 
 /// Where an emitter delivers result batches.
 pub trait Sink: Send {
@@ -55,14 +56,46 @@ impl Sink for TextSink {
         };
         for i in 0..chunk.len() {
             let row = chunk.row(i)?;
-            let line = row[..width]
-                .iter()
-                .map(Value::to_string)
-                .collect::<Vec<_>>()
-                .join(",");
             self.tx
-                .send(line)
-                .map_err(|_| DataCellError::Runtime("text sink disconnected".into()))?;
+                .send(render_row(&row[..width]))
+                .map_err(|_| DataCellError::Disconnected)?;
+        }
+        Ok(())
+    }
+}
+
+/// Delivers each tuple as a `Vec<Value>` row into a channel — the transport
+/// behind [`Subscription`](crate::client::Subscription). The trailing `ts`
+/// column is stripped before delivery; when session metrics are attached it
+/// is first used to record per-tuple delivery latency.
+pub struct RowSink {
+    tx: Sender<Vec<Value>>,
+    metrics: Option<Arc<SessionMetrics>>,
+}
+
+impl RowSink {
+    /// Deliver rows into `tx`, optionally recording into `metrics`.
+    pub fn new(tx: Sender<Vec<Value>>, metrics: Option<Arc<SessionMetrics>>) -> Self {
+        RowSink { tx, metrics }
+    }
+}
+
+impl Sink for RowSink {
+    fn deliver(&mut self, chunk: &Chunk) -> Result<()> {
+        let width = chunk.schema.len().saturating_sub(1);
+        let now = now_micros();
+        for i in 0..chunk.len() {
+            let mut row = chunk.row(i)?;
+            let ts = row.get(width).and_then(Value::as_int);
+            row.truncate(width);
+            self.tx.send(row).map_err(|_| DataCellError::Disconnected)?;
+            // Count only rows that actually reached the subscriber.
+            if let Some(m) = &self.metrics {
+                m.delivered.add(1);
+                if let Some(t) = ts {
+                    m.latency.record((now - t).max(0) as u64);
+                }
+            }
         }
         Ok(())
     }
@@ -199,13 +232,28 @@ impl Emitter {
                         seen = signal.wait_past(seen, Duration::from_millis(5));
                         continue;
                     }
-                    thread_stats
-                        .tuples
-                        .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                    thread_stats.batches.fetch_add(1, Ordering::Relaxed);
-                    if let Err(e) = sink.deliver(&chunk) {
-                        eprintln!("emitter {thread_name}: {e}");
-                        break;
+                    match sink.deliver(&chunk) {
+                        Ok(()) => {
+                            thread_stats
+                                .tuples
+                                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                            thread_stats.batches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The sink is gone (subscriber hung up) or broken.
+                        // Put the drained chunk back — with its original
+                        // timestamps — so a competing emitter on the same
+                        // basket delivers it instead of it vanishing; a
+                        // disconnect is a clean shutdown, not a fault
+                        // worth logging.
+                        Err(DataCellError::Disconnected) => {
+                            let _ = basket.append_chunk_carry_ts(&chunk);
+                            break;
+                        }
+                        Err(e) => {
+                            eprintln!("emitter {thread_name}: {e}");
+                            let _ = basket.append_chunk_carry_ts(&chunk);
+                            break;
+                        }
                     }
                 }
             })
@@ -254,9 +302,7 @@ mod tests {
     use datacell_sql::Schema;
 
     fn basket() -> Arc<Basket> {
-        Arc::new(
-            Basket::new("out", Schema::new(vec![("x".into(), DataType::Int)])).unwrap(),
-        )
+        Arc::new(Basket::new("out", Schema::new(vec![("x".into(), DataType::Int)])).unwrap())
     }
 
     fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
@@ -292,7 +338,8 @@ mod tests {
         let b = basket();
         let (tx, rx) = unbounded();
         let e = Emitter::spawn("e", Arc::clone(&b), TextSink::new(tx)).unwrap();
-        b.append_rows(&[vec![Value::Int(7)], vec![Value::Nil]]).unwrap();
+        b.append_rows(&[vec![Value::Int(7)], vec![Value::Nil]])
+            .unwrap();
         let line1 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         let line2 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(line1, "7");
@@ -305,7 +352,8 @@ mod tests {
         let b = basket();
         let hist = Arc::new(LatencyHistogram::new());
         let e = Emitter::spawn("e", Arc::clone(&b), LatencySink::new(Arc::clone(&hist))).unwrap();
-        b.append_rows(&[vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        b.append_rows(&[vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
         assert!(wait_until(2000, || hist.count() == 2));
         e.stop();
         assert!(hist.mean_micros() >= 0.0);
@@ -330,7 +378,11 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
-        assert!(wait_until(3000, || sink.len() == 1000), "got {}", sink.len());
+        assert!(
+            wait_until(3000, || sink.len() == 1000),
+            "got {}",
+            sink.len()
+        );
         e.stop();
         let mut values: Vec<i64> = sink
             .rows()

@@ -18,6 +18,24 @@ pub enum DataCellError {
     Wiring(String),
     /// A component thread failed or disconnected.
     Runtime(String),
+    /// The peer of a channel-backed handle is gone: a dropped
+    /// [`Subscription`](crate::client::Subscription) on the emitter side,
+    /// or a dropped/stopped query on the subscriber side. A clean shutdown
+    /// signal, not a fault.
+    Disconnected,
+    /// A typed ingest or decode failed: the row did not match the schema
+    /// (arity, type, or a malformed textual tuple).
+    Decode(String),
+    /// A [`StreamWriter`](crate::client::StreamWriter) with a bounded
+    /// target basket refused an append because the basket is at capacity.
+    Backpressure {
+        /// The basket that is full.
+        basket: String,
+        /// Tuples currently resident.
+        resident: usize,
+        /// The configured soft capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for DataCellError {
@@ -28,6 +46,16 @@ impl fmt::Display for DataCellError {
             DataCellError::Catalog(m) => write!(f, "catalog error: {m}"),
             DataCellError::Wiring(m) => write!(f, "wiring error: {m}"),
             DataCellError::Runtime(m) => write!(f, "runtime error: {m}"),
+            DataCellError::Disconnected => f.write_str("channel disconnected"),
+            DataCellError::Decode(m) => write!(f, "decode error: {m}"),
+            DataCellError::Backpressure {
+                basket,
+                resident,
+                capacity,
+            } => write!(
+                f,
+                "backpressure: basket {basket} holds {resident} tuples (capacity {capacity})"
+            ),
         }
     }
 }

@@ -229,9 +229,7 @@ impl Factory {
                 }
             }
             FactoryOutput::BasketCarryTs(b) => {
-                if self.out_schema.is_empty()
-                    || b.user_width() != self.out_schema.len() - 1
-                {
+                if self.out_schema.is_empty() || b.user_width() != self.out_schema.len() - 1 {
                     return Err(DataCellError::Wiring(format!(
                         "factory {}: carry-ts output needs plan width {} = basket user \
                          width + 1",
@@ -532,8 +530,8 @@ mod tests {
         cat.tables
             .create_table("t", Schema::new(vec![("x".into(), DataType::Int)]))
             .unwrap();
-        let err = Factory::compile("bad", "select x from t", &cat, FactoryOutput::Discard)
-            .unwrap_err();
+        let err =
+            Factory::compile("bad", "select x from t", &cat, FactoryOutput::Discard).unwrap_err();
         assert!(err.to_string().contains("basket expression"), "{err}");
     }
 

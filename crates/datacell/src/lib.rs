@@ -32,11 +32,17 @@
 //!   a slow one on a shared basket.
 //!
 //! The front door is [`DataCell`]: a session that accepts standard SQL plus
-//! the stream DDL (`CREATE BASKET`, `CREATE CONTINUOUS QUERY`) and manages
-//! the component threads.
+//! the stream DDL (`CREATE BASKET`, `CREATE CONTINUOUS QUERY`,
+//! `DROP/PAUSE/RESUME CONTINUOUS QUERY`) and manages the component threads.
+//! Above it sits the typed [`client`] facade: sessions are configured with
+//! [`DataCellBuilder`], rows go in through a schema-validated, batched
+//! [`StreamWriter`], results come out as a typed [`Subscription`], and
+//! every continuous query has a [`QueryHandle`] lifecycle
+//! (pause / resume / drop).
 
 pub mod basket;
 pub mod catalog;
+pub mod client;
 pub mod clock;
 pub mod emitter;
 pub mod error;
@@ -48,8 +54,14 @@ pub mod receptor;
 pub mod scheduler;
 pub mod session;
 pub mod strategy;
+pub mod text;
 pub mod window;
 
 pub use crate::basket::{Basket, BasketStats};
+pub use crate::client::{
+    DataCellBuilder, FromRow, FromValue, IntoRow, OverflowPolicy, QueryHandle, StreamWriter,
+    Subscription,
+};
 pub use crate::error::{DataCellError, Result};
+pub use crate::metrics::MetricsSnapshot;
 pub use crate::session::DataCell;

@@ -140,6 +140,44 @@ impl Throughput {
     }
 }
 
+/// Session-wide traffic and latency counters, shared by every
+/// [`StreamWriter`](crate::client::StreamWriter) and subscription emitter
+/// of one [`DataCell`](crate::DataCell) when metrics are enabled through
+/// [`DataCellBuilder::metrics`](crate::client::DataCellBuilder::metrics).
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    /// Tuples accepted by writers.
+    pub ingested: Throughput,
+    /// Tuples delivered to subscriptions.
+    pub delivered: Throughput,
+    /// Basket-entry → subscription-delivery latency per delivered tuple.
+    pub latency: LatencyHistogram,
+}
+
+/// Point-in-time view of [`SessionMetrics`] plus scheduler counters,
+/// returned by [`DataCell::metrics`](crate::DataCell::metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Tuples accepted by writers.
+    pub tuples_ingested: u64,
+    /// Writer ingest rate since session start (tuples/s).
+    pub ingest_rate: f64,
+    /// Tuples delivered to subscriptions.
+    pub tuples_delivered: u64,
+    /// Subscription delivery rate since session start (tuples/s).
+    pub delivery_rate: f64,
+    /// Mean delivery latency in microseconds.
+    pub mean_latency_micros: f64,
+    /// 99th-percentile delivery latency in microseconds (bucket bound).
+    pub p99_latency_micros: u64,
+    /// Scheduler passes executed.
+    pub scheduler_passes: u64,
+    /// Factory firings.
+    pub factory_firings: u64,
+    /// Factory step errors.
+    pub factory_errors: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -238,8 +238,13 @@ mod tests {
         let (input, res) = {
             let mut cat = catalog.write();
             let res = cat.basket("res").unwrap();
-            let sq = split(&mut cat, "heavy", sql, FactoryOutput::Basket(Arc::clone(&res)))
-                .unwrap();
+            let sq = split(
+                &mut cat,
+                "heavy",
+                sql,
+                FactoryOutput::Basket(Arc::clone(&res)),
+            )
+            .unwrap();
             scheduler.add_factory(sq.head);
             scheduler.add_factory(sq.tail);
             (cat.basket("s").unwrap(), res)
@@ -267,8 +272,7 @@ mod tests {
         let (input, head) = {
             let mut cat = catalog.write();
             let res = cat.basket("res").unwrap();
-            let mut sq =
-                split(&mut cat, "q", sql, FactoryOutput::Basket(res)).unwrap();
+            let mut sq = split(&mut cat, "q", sql, FactoryOutput::Basket(res)).unwrap();
             let source = cat.basket("s").unwrap();
             let reader = source.register_reader(true);
             sq.head.set_shared("s", reader).unwrap();

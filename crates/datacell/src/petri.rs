@@ -80,7 +80,10 @@ impl PetriNet {
             self.add_place(&b);
             self.inputs.push((b.clone(), name.clone()));
             if matches!(input.mode, InputMode::Exclusive) {
-                self.exclusive_consumers.entry(b).or_default().push(name.clone());
+                self.exclusive_consumers
+                    .entry(b)
+                    .or_default()
+                    .push(name.clone());
             }
         }
         for c in factory.control_in() {

@@ -17,11 +17,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, TryRecvError};
-use datacell_bat::types::{DataType, Value};
+use datacell_bat::types::Value;
 use datacell_sql::Schema;
 
 use crate::basket::Basket;
 use crate::error::{DataCellError, Result};
+pub use crate::text::parse_tuple;
 
 /// One fetch from a tuple source.
 #[derive(Debug, Clone)]
@@ -105,46 +106,6 @@ impl TextSource {
     pub fn rejected_counter(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.rejected)
     }
-}
-
-/// Parse one textual tuple against a user schema.
-pub fn parse_tuple(line: &str, schema: &Schema) -> Result<Vec<Value>> {
-    let parts: Vec<&str> = line.split(',').map(str::trim).collect();
-    if parts.len() != schema.len() {
-        return Err(DataCellError::Runtime(format!(
-            "tuple has {} fields, schema {} wants {}",
-            parts.len(),
-            schema.render(),
-            schema.len()
-        )));
-    }
-    parts
-        .iter()
-        .zip(&schema.columns)
-        .map(|(raw, cd)| {
-            if raw.eq_ignore_ascii_case("nil") || raw.eq_ignore_ascii_case("null") {
-                return Ok(Value::Nil);
-            }
-            let v = match cd.ty {
-                DataType::Int => Value::Int(raw.parse().map_err(|_| bad_field(raw, cd.ty))?),
-                DataType::Float => Value::Float(raw.parse().map_err(|_| bad_field(raw, cd.ty))?),
-                DataType::Bool => match raw.to_ascii_lowercase().as_str() {
-                    "true" | "t" | "1" => Value::Bool(true),
-                    "false" | "f" | "0" => Value::Bool(false),
-                    _ => return Err(bad_field(raw, cd.ty)),
-                },
-                DataType::Str => Value::Str((*raw).to_string()),
-                DataType::Timestamp => {
-                    Value::Timestamp(raw.parse().map_err(|_| bad_field(raw, cd.ty))?)
-                }
-            };
-            Ok(v)
-        })
-        .collect()
-}
-
-fn bad_field(raw: &str, ty: DataType) -> DataCellError {
-    DataCellError::Runtime(format!("cannot parse {raw:?} as {ty}"))
 }
 
 impl TupleSource for TextSource {
@@ -410,8 +371,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let src =
-            GeneratorSource::new(100, |i| vec![Value::Int(i as i64), Value::Str("g".into())]);
+        let src = GeneratorSource::new(100, |i| vec![Value::Int(i as i64), Value::Str("g".into())]);
         let r = Receptor::spawn("gen", src, vec![Arc::clone(&b1), Arc::clone(&b2)], 16).unwrap();
         r.join();
         assert_eq!(b1.len(), 100);

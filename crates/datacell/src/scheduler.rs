@@ -70,8 +70,7 @@ impl Transition for Factory {
 }
 
 /// Per-factory scheduling parameters.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SchedulePolicy {
     /// Higher fires first within a pass (paper: "different query
     /// priorities").
@@ -81,11 +80,13 @@ pub struct SchedulePolicy {
     pub min_interval: Option<Duration>,
 }
 
-
 struct Entry {
     factory: Arc<dyn Transition>,
     policy: SchedulePolicy,
     last_fired: Mutex<Option<Instant>>,
+    /// Paused transitions are skipped by every pass; their input baskets
+    /// keep buffering (the query lifecycle's `pause`/`resume`).
+    paused: AtomicBool,
 }
 
 /// Monotone scheduler counters.
@@ -161,11 +162,40 @@ impl Scheduler {
             factory: transition,
             policy,
             last_fired: Mutex::new(None),
+            paused: AtomicBool::new(false),
         }));
         // Stable priority order, high first; ties keep registration order.
         entries.sort_by_key(|e| std::cmp::Reverse(e.policy.priority));
         drop(entries);
         self.shared.signal.notify();
+    }
+
+    /// Pause or resume a transition by name. Paused transitions never fire;
+    /// their input baskets keep accumulating tuples, so resuming processes
+    /// the backlog in one bulk step (the paper's batching at its best).
+    pub fn set_paused(&self, name: &str, paused: bool) -> Result<()> {
+        let entries = self.shared.entries.lock();
+        let entry = entries
+            .iter()
+            .find(|e| e.factory.name() == name)
+            .ok_or_else(|| DataCellError::Catalog(format!("unknown factory {name}")))?;
+        entry.paused.store(paused, Ordering::Relaxed);
+        drop(entries);
+        if !paused {
+            // Wake the scheduler so the backlog is drained promptly.
+            self.shared.signal.notify();
+        }
+        Ok(())
+    }
+
+    /// True iff the named transition is currently paused.
+    pub fn is_paused(&self, name: &str) -> Result<bool> {
+        let entries = self.shared.entries.lock();
+        entries
+            .iter()
+            .find(|e| e.factory.name() == name)
+            .map(|e| e.paused.load(Ordering::Relaxed))
+            .ok_or_else(|| DataCellError::Catalog(format!("unknown factory {name}")))
     }
 
     /// Deregister a factory by name.
@@ -201,6 +231,9 @@ impl Scheduler {
         for entry in entries {
             if shared.stop.load(Ordering::Relaxed) {
                 break;
+            }
+            if entry.paused.load(Ordering::Relaxed) {
+                continue;
             }
             if let Some(interval) = entry.policy.min_interval {
                 let last = *entry.last_fired.lock();
@@ -307,11 +340,8 @@ mod tests {
 
     fn setup() -> (Arc<RwLock<StreamCatalog>>, Scheduler) {
         let mut cat = StreamCatalog::new();
-        cat.create_basket(
-            "r",
-            Schema::new(vec![("a".into(), DataType::Int)]),
-        )
-        .unwrap();
+        cat.create_basket("r", Schema::new(vec![("a".into(), DataType::Int)]))
+            .unwrap();
         cat.create_basket("out", Schema::new(vec![("a".into(), DataType::Int)]))
             .unwrap();
         let catalog = Arc::new(RwLock::new(cat));
@@ -340,7 +370,11 @@ mod tests {
             (cat.basket("r").unwrap(), cat.basket("out").unwrap())
         };
         input
-            .append_rows(&[vec![Value::Int(5)], vec![Value::Int(15)], vec![Value::Int(25)]])
+            .append_rows(&[
+                vec![Value::Int(5)],
+                vec![Value::Int(15)],
+                vec![Value::Int(25)],
+            ])
             .unwrap();
         let fired = sched.run_until_quiescent(100);
         assert_eq!(fired, 1);
@@ -413,6 +447,29 @@ mod tests {
         // Interval not elapsed: no firing.
         assert_eq!(sched.pass(), 0);
         assert_eq!(input.len(), 1);
+    }
+
+    #[test]
+    fn pause_skips_firing_and_resume_drains_backlog() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        sched.set_paused("q", true).unwrap();
+        assert!(sched.is_paused("q").unwrap());
+        input
+            .append_rows(&[vec![Value::Int(20)], vec![Value::Int(30)]])
+            .unwrap();
+        assert_eq!(sched.run_until_quiescent(10), 0, "paused: no firings");
+        assert_eq!(input.len(), 2, "input keeps buffering while paused");
+        sched.set_paused("q", false).unwrap();
+        assert!(!sched.is_paused("q").unwrap());
+        assert_eq!(sched.run_until_quiescent(10), 1, "backlog in one step");
+        assert_eq!(out.len(), 2);
+        assert!(sched.set_paused("nope", true).is_err());
+        assert!(sched.is_paused("nope").is_err());
     }
 
     #[test]

@@ -15,21 +15,26 @@
 //!   continual.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datacell_bat::candidates::Candidates;
 use datacell_bat::types::DataType;
 use datacell_engine::{execute, Chunk, DataSource};
-use datacell_sql::ast::{DropKind, Statement};
+use datacell_sql::ast::{DropKind, QueryLifecycle, Statement};
 use datacell_sql::resolve::{bind_insert_rows, bind_query};
 use datacell_sql::{parser, Schema, SqlError};
 use parking_lot::{Mutex, RwLock};
 
 use crate::basket::{Basket, TS_COLUMN};
 use crate::catalog::StreamCatalog;
-use crate::emitter::{CollectSink, Emitter, Sink, TextSink};
+use crate::client::{
+    DataCellBuilder, FromRow, OverflowPolicy, QueryHandle, StreamWriter, Subscription,
+};
+use crate::emitter::{CollectSink, Emitter, RowSink, Sink, TextSink};
 use crate::error::{DataCellError, Result};
 use crate::factory::{Factory, FactoryOutput};
+use crate::metrics::{MetricsSnapshot, SessionMetrics};
 use crate::petri::PetriNet;
 use crate::receptor::{Receptor, TupleSource};
 use crate::scheduler::{SchedulePolicy, Scheduler};
@@ -59,15 +64,28 @@ impl DataSource for CatalogSource<'_> {
     }
 }
 
+/// Session configuration resolved from [`DataCellBuilder`].
+pub(crate) struct CellConfig {
+    pub(crate) default_policy: SchedulePolicy,
+    pub(crate) writer_batch: usize,
+    pub(crate) basket_capacity: Option<usize>,
+    pub(crate) overflow: OverflowPolicy,
+    pub(crate) metrics: Option<Arc<SessionMetrics>>,
+}
+
 /// The DataCell system handle (see module docs).
 pub struct DataCell {
     catalog: Arc<RwLock<StreamCatalog>>,
     scheduler: Scheduler,
+    config: CellConfig,
     /// Continuous query name → output basket.
     query_outputs: Mutex<HashMap<String, Arc<Basket>>>,
     factory_registry: Mutex<Vec<Arc<Factory>>>,
     receptors: Mutex<Vec<Receptor>>,
-    emitters: Mutex<Vec<Emitter>>,
+    /// Emitters, tagged with the continuous query they serve (if any) so
+    /// dropping the query can stop exactly its emitters.
+    emitters: Mutex<Vec<(Option<String>, Emitter)>>,
+    emitter_seq: AtomicU64,
     /// Wiring records for the Petri-net rendering.
     receptor_wiring: Mutex<Vec<(String, Vec<String>)>>,
     emitter_wiring: Mutex<Vec<(String, String)>>,
@@ -80,21 +98,44 @@ impl Default for DataCell {
 }
 
 impl DataCell {
-    /// Fresh, empty system.
+    /// Fresh, empty system with default configuration. Equivalent to
+    /// `DataCell::builder().build()`.
     pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Configure a session: scheduling policy, writer batching, basket
+    /// capacity/backpressure, and metrics. See [`DataCellBuilder`].
+    pub fn builder() -> DataCellBuilder {
+        DataCellBuilder::new()
+    }
+
+    pub(crate) fn from_builder(builder: DataCellBuilder) -> Self {
         let catalog = Arc::new(RwLock::new(StreamCatalog::new()));
         let scheduler = Scheduler::new(Arc::clone(&catalog));
         crate::clock::init();
-        DataCell {
+        let cell = DataCell {
             catalog,
             scheduler,
+            config: CellConfig {
+                default_policy: builder.default_policy,
+                writer_batch: builder.writer_batch,
+                basket_capacity: builder.basket_capacity,
+                overflow: builder.overflow,
+                metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
+            },
             query_outputs: Mutex::new(HashMap::new()),
             factory_registry: Mutex::new(Vec::new()),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
+            emitter_seq: AtomicU64::new(0),
             receptor_wiring: Mutex::new(Vec::new()),
             emitter_wiring: Mutex::new(Vec::new()),
+        };
+        if builder.auto_start {
+            cell.start();
         }
+        cell
     }
 
     /// The shared catalog (programmatic data loading).
@@ -210,7 +251,9 @@ impl DataCell {
                         },
                     )?
                 };
-                let handle = self.scheduler.add_factory(factory);
+                let handle = self
+                    .scheduler
+                    .add_factory_with_policy(factory, self.config.default_policy);
                 self.factory_registry.lock().push(handle);
                 self.query_outputs.lock().insert(name.clone(), output);
                 Ok(CellResult::Ack(format!(
@@ -285,12 +328,18 @@ impl DataCell {
                     Ok(CellResult::Ack(format!("dropped basket {name}")))
                 }
                 DropKind::ContinuousQuery => {
-                    self.scheduler.remove_factory(&name)?;
-                    self.factory_registry.lock().retain(|f| f.name() != name);
-                    if let Some(out) = self.query_outputs.lock().remove(&name) {
-                        let _ = self.catalog.write().drop_basket(out.name());
-                    }
+                    self.drop_query(&name)?;
                     Ok(CellResult::Ack(format!("dropped continuous query {name}")))
+                }
+            },
+            Statement::AlterContinuousQuery { name, action } => match action {
+                QueryLifecycle::Pause => {
+                    self.pause_query(&name)?;
+                    Ok(CellResult::Ack(format!("paused continuous query {name}")))
+                }
+                QueryLifecycle::Resume => {
+                    self.resume_query(&name)?;
+                    Ok(CellResult::Ack(format!("resumed continuous query {name}")))
                 }
             },
             Statement::Explain(q) => {
@@ -303,6 +352,197 @@ impl DataCell {
         }
     }
 
+    // ---------------- typed client facade ----------------
+
+    /// A typed, schema-validated, batched [`StreamWriter`] for the named
+    /// basket, configured with the session defaults (batch size, capacity,
+    /// overflow policy from [`DataCell::builder`]).
+    pub fn writer(&self, basket: &str) -> Result<StreamWriter> {
+        let b = self.catalog.read().basket(basket)?;
+        Ok(StreamWriter::new(
+            b,
+            self.config.writer_batch,
+            self.config.basket_capacity,
+            self.config.overflow,
+            self.config.metrics.clone(),
+        ))
+    }
+
+    /// A [`StreamWriter`] with explicit batching and capacity, overriding
+    /// the session defaults.
+    pub fn writer_with(
+        &self,
+        basket: &str,
+        batch_size: usize,
+        capacity: Option<usize>,
+        overflow: OverflowPolicy,
+    ) -> Result<StreamWriter> {
+        let b = self.catalog.read().basket(basket)?;
+        Ok(StreamWriter::new(
+            b,
+            batch_size,
+            capacity,
+            overflow,
+            self.config.metrics.clone(),
+        ))
+    }
+
+    /// Subscribe to a continuous query's results, decoding each delivered
+    /// tuple into `T` (see [`FromRow`]): tuples of primitives,
+    /// `Vec<Value>` for raw rows, or `String` for the textual wire format.
+    ///
+    /// Each subscription drains the query's output basket through its own
+    /// emitter thread; with several subscriptions on one query, each tuple
+    /// is delivered to exactly *one* of them (competing consumers). The
+    /// subscription closes when the query is dropped or the session stops.
+    pub fn subscribe<T: FromRow>(&self, query: &str) -> Result<Subscription<T>> {
+        let out = self.query_output(query)?;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        // The `#seq` suffix is globally unique, so emitter names can never
+        // collide across queries (e.g. a query literally named "q-1").
+        let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("emit-{query}#{seq}");
+        let sink = RowSink::new(tx, self.config.metrics.clone());
+        let emitter = Emitter::spawn(name.clone(), Arc::clone(&out), sink)?;
+        self.emitter_wiring
+            .lock()
+            .push((name, out.name().to_string()));
+        self.emitters
+            .lock()
+            .push((Some(query.to_string()), emitter));
+        Ok(Subscription::new(query.to_string(), rx))
+    }
+
+    /// Register a continuous query from its SELECT text and return its
+    /// lifecycle [`QueryHandle`] — the typed equivalent of
+    /// `CREATE CONTINUOUS QUERY name AS select`.
+    pub fn continuous_query(&self, name: &str, select_sql: &str) -> Result<QueryHandle<'_>> {
+        let stmt = parser::parse(select_sql).map_err(DataCellError::Sql)?;
+        let query = match stmt {
+            Statement::Select(q) => q,
+            other => {
+                return Err(DataCellError::Sql(SqlError::Plan(format!(
+                    "continuous_query expects a SELECT, got {}",
+                    other.kind()
+                ))))
+            }
+        };
+        self.execute_statement(Statement::CreateContinuousQuery {
+            name: name.to_string(),
+            query,
+        })?;
+        self.query_handle(name)
+    }
+
+    /// Lifecycle handle for a registered continuous query
+    /// (pause / resume / drop; see [`QueryHandle`]).
+    pub fn query_handle(&self, name: &str) -> Result<QueryHandle<'_>> {
+        if !self.query_outputs.lock().contains_key(name) {
+            return Err(DataCellError::Catalog(format!(
+                "unknown continuous query {name}"
+            )));
+        }
+        Ok(QueryHandle::new(self, name.to_string()))
+    }
+
+    /// Pause a continuous query: the scheduler stops firing its factory
+    /// while its input baskets keep buffering. Works for SQL-registered
+    /// queries and factories added programmatically via `add_factory`.
+    pub fn pause_query(&self, name: &str) -> Result<()> {
+        self.scheduler
+            .set_paused(name, true)
+            .map_err(|e| self.lifecycle_err(name, e))
+    }
+
+    /// Resume a paused continuous query; the backlog is processed in one
+    /// bulk step.
+    pub fn resume_query(&self, name: &str) -> Result<()> {
+        self.scheduler
+            .set_paused(name, false)
+            .map_err(|e| self.lifecycle_err(name, e))
+    }
+
+    /// True iff the named continuous query is paused.
+    pub fn is_query_paused(&self, name: &str) -> Result<bool> {
+        self.scheduler
+            .is_paused(name)
+            .map_err(|e| self.lifecycle_err(name, e))
+    }
+
+    /// Drop a continuous query: detach its factory from the scheduler,
+    /// remove the output basket from the catalog, and stop its emitters so
+    /// every [`Subscription`] channel closes. Equivalent to the SQL
+    /// `DROP CONTINUOUS QUERY name`; also detaches factories registered
+    /// programmatically via `add_factory` (which have no output basket or
+    /// emitters of their own).
+    pub fn drop_query(&self, name: &str) -> Result<()> {
+        self.scheduler
+            .remove_factory(name)
+            .map_err(|e| self.lifecycle_err(name, e))?;
+        self.factory_registry.lock().retain(|f| f.name() != name);
+        let out = self.query_outputs.lock().remove(name);
+        if let Some(out) = out {
+            let _ = self.catalog.write().drop_basket(out.name());
+        }
+        // Take this query's emitters out of the registry, then stop them
+        // outside the lock (stop joins the thread).
+        let mine: Vec<Emitter> = {
+            let mut emitters = self.emitters.lock();
+            let mut mine = Vec::new();
+            let mut keep = Vec::with_capacity(emitters.len());
+            for (tag, e) in emitters.drain(..) {
+                if tag.as_deref() == Some(name) {
+                    mine.push(e);
+                } else {
+                    keep.push((tag, e));
+                }
+            }
+            *emitters = keep;
+            mine
+        };
+        let stopped: Vec<String> = mine.iter().map(|e| e.name().to_string()).collect();
+        for e in mine {
+            e.stop();
+        }
+        self.emitter_wiring
+            .lock()
+            .retain(|(n, _)| !stopped.contains(n));
+        Ok(())
+    }
+
+    /// Session-wide metrics snapshot. Scheduler counters are always
+    /// populated; traffic and latency counters require
+    /// [`DataCellBuilder::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (passes, firings, errors) = self.scheduler.stats();
+        let mut snap = MetricsSnapshot {
+            scheduler_passes: passes,
+            factory_firings: firings,
+            factory_errors: errors,
+            ..Default::default()
+        };
+        if let Some(m) = &self.config.metrics {
+            snap.tuples_ingested = m.ingested.total();
+            snap.ingest_rate = m.ingested.rate();
+            snap.tuples_delivered = m.delivered.total();
+            snap.delivery_rate = m.delivered.rate();
+            snap.mean_latency_micros = m.latency.mean_micros();
+            snap.p99_latency_micros = m.latency.quantile_micros(0.99);
+        }
+        snap
+    }
+
+    /// Rewrite a scheduler "unknown factory" error into the session-level
+    /// "unknown continuous query" wording, unless the name *is* registered
+    /// as a query (then the scheduler error is the real story).
+    fn lifecycle_err(&self, name: &str, e: DataCellError) -> DataCellError {
+        if self.query_outputs.lock().contains_key(name) {
+            e
+        } else {
+            DataCellError::Catalog(format!("unknown continuous query {name}"))
+        }
+    }
+
     // ---------------- programmatic wiring ----------------
 
     /// Register a hand-built factory with the scheduler.
@@ -312,7 +552,10 @@ impl DataCell {
         handle
     }
 
-    /// Attach a receptor pumping `source` into the named baskets.
+    /// Attach a receptor pumping `source` into the named baskets — the
+    /// low-level thread-driven ingest path for custom [`TupleSource`]s
+    /// (paced/replayed feeds). For typed programmatic ingestion prefer
+    /// [`DataCell::writer`].
     pub fn attach_receptor(
         &self,
         name: &str,
@@ -335,7 +578,9 @@ impl DataCell {
         Ok(())
     }
 
-    /// Attach an emitter draining the named basket into `sink`.
+    /// Attach an emitter draining the named basket into `sink` — the
+    /// low-level delivery path for custom [`Sink`]s (latency probes,
+    /// tees). For typed consumption prefer [`DataCell::subscribe`].
     pub fn attach_emitter(
         &self,
         name: &str,
@@ -347,31 +592,44 @@ impl DataCell {
         self.emitter_wiring
             .lock()
             .push((name.to_string(), basket.to_string()));
-        self.emitters.lock().push(emitter);
+        self.emitters.lock().push((None, emitter));
         Ok(())
     }
 
     /// Subscribe to a continuous query's results as text lines.
+    #[deprecated(since = "0.1.0", note = "use `subscribe::<String>` instead")]
     pub fn subscribe_text(&self, query: &str) -> Result<crossbeam::channel::Receiver<String>> {
         let out = self.query_output(query)?;
         let (tx, rx) = crossbeam::channel::unbounded();
-        let emitter = Emitter::spawn(format!("emit-{query}"), Arc::clone(&out), TextSink::new(tx))?;
+        let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("emit-text-{query}#{seq}");
+        let emitter = Emitter::spawn(name.clone(), Arc::clone(&out), TextSink::new(tx))?;
         self.emitter_wiring
             .lock()
-            .push((format!("emit-{query}"), out.name().to_string()));
-        self.emitters.lock().push(emitter);
+            .push((name, out.name().to_string()));
+        self.emitters
+            .lock()
+            .push((Some(query.to_string()), emitter));
         Ok(rx)
     }
 
     /// Subscribe to a continuous query's results into a collector.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `subscribe::<Vec<Value>>` and `collect_n`/`drain` instead"
+    )]
     pub fn subscribe_collect(&self, query: &str) -> Result<CollectSink> {
         let out = self.query_output(query)?;
         let sink = CollectSink::new();
-        let emitter = Emitter::spawn(format!("emit-{query}"), Arc::clone(&out), sink.clone())?;
+        let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("emit-collect-{query}#{seq}");
+        let emitter = Emitter::spawn(name.clone(), Arc::clone(&out), sink.clone())?;
         self.emitter_wiring
             .lock()
-            .push((format!("emit-{query}"), out.name().to_string()));
-        self.emitters.lock().push(emitter);
+            .push((name, out.name().to_string()));
+        self.emitters
+            .lock()
+            .push((Some(query.to_string()), emitter));
         Ok(sink)
     }
 
@@ -386,7 +644,7 @@ impl DataCell {
         for r in self.receptors.lock().drain(..) {
             r.stop();
         }
-        for e in self.emitters.lock().drain(..) {
+        for (_, e) in self.emitters.lock().drain(..) {
             e.stop();
         }
     }
@@ -433,34 +691,218 @@ fn sql_err(e: SqlError) -> DataCellError {
 mod tests {
     use super::*;
     use datacell_bat::types::Value;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     #[test]
     fn figure1_chain_end_to_end() {
-        // The complete R → B1 → Q → B2 → E chain of Figure 1, via SQL.
-        let cell = DataCell::new();
+        // The complete R → B1 → Q → B2 → E chain of Figure 1, via SQL and
+        // the typed facade.
+        let cell = DataCell::builder().auto_start(true).build();
         cell.execute("create basket b1 (x int, y float)").unwrap();
-        cell.execute(
-            "create continuous query q as \
-             select s.x, s.y from [select * from b1] as s where s.x > 10",
-        )
-        .unwrap();
-        let results = cell.subscribe_collect("q").unwrap();
-        cell.start();
+        let q = cell
+            .continuous_query(
+                "q",
+                "select s.x, s.y from [select * from b1] as s where s.x > 10",
+            )
+            .unwrap();
+        let results = q.subscribe::<(i64, f64)>().unwrap();
         cell.execute("insert into b1 values (5, 0.5), (15, 1.5), (25, 2.5)")
             .unwrap();
-        let deadline = Instant::now() + Duration::from_secs(3);
-        while results.len() < 2 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        let rows = results.collect_n(2, Duration::from_secs(3)).unwrap();
         cell.stop();
-        let rows = results.rows();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0][0], Value::Int(15));
-        assert_eq!(rows[1][0], Value::Int(25));
+        assert_eq!(rows, vec![(15, 1.5), (25, 2.5)]);
         // The consumed tuples left the basket; (5, 0.5) was consumed too
         // (plain basket expression references everything).
         assert!(cell.basket("b1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn writer_validates_batches_and_counts() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int, y float)").unwrap();
+        let mut w = cell
+            .writer_with("b", 3, None, OverflowPolicy::Block)
+            .unwrap();
+        w.append((1i64, 0.5f64)).unwrap();
+        w.append(vec![Value::Int(2), Value::Int(3)]).unwrap();
+        assert_eq!(w.pending(), 2);
+        assert!(
+            cell.basket("b").unwrap().is_empty(),
+            "buffered, not flushed"
+        );
+        // Arity and type failures are rejected and counted.
+        assert!(matches!(w.append((1i64,)), Err(DataCellError::Decode(_))));
+        assert!(matches!(
+            w.append(("no".to_string(), 1.0f64)),
+            Err(DataCellError::Decode(_))
+        ));
+        // Third good row triggers the batch flush.
+        w.append_text("7, 8.5").unwrap();
+        assert_eq!(w.pending(), 0);
+        assert_eq!(cell.basket("b").unwrap().len(), 3);
+        assert!(matches!(
+            w.append_text("oops"),
+            Err(DataCellError::Decode(_))
+        ));
+        let stats = w.stats();
+        assert_eq!(stats.appended, 3);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.flushes, 1);
+    }
+
+    #[test]
+    fn writer_backpressure_rejects_at_capacity() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        let mut w = cell
+            .writer_with("b", 1, Some(2), OverflowPolicy::Reject)
+            .unwrap();
+        w.append((1i64,)).unwrap();
+        w.append((2i64,)).unwrap();
+        let err = w.append((3i64,)).unwrap_err();
+        assert!(matches!(err, DataCellError::Backpressure { .. }), "{err}");
+        assert_eq!(w.pending(), 1, "row stays buffered for retry");
+        // Draining the basket unblocks the retry.
+        cell.basket("b").unwrap().clear();
+        assert_eq!(w.flush().unwrap(), 1);
+        assert_eq!(w.stats().backpressure_waits, 1);
+    }
+
+    #[test]
+    fn writer_flushes_oversized_buffer_in_capacity_chunks() {
+        // Buffer (5 rows) larger than the basket capacity (2): flush must
+        // make progress chunk by chunk instead of wedging or failing
+        // without appending anything.
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        let mut w = cell
+            .writer_with("b", 100, Some(2), OverflowPolicy::Reject)
+            .unwrap();
+        for i in 0..5i64 {
+            w.append((i,)).unwrap();
+        }
+        assert_eq!(w.pending(), 5);
+        let err = w.flush().unwrap_err();
+        assert!(matches!(err, DataCellError::Backpressure { .. }), "{err}");
+        assert_eq!(cell.basket("b").unwrap().len(), 2, "first chunk landed");
+        assert_eq!(w.pending(), 3, "appended prefix left the buffer");
+        assert_eq!(w.stats().appended, 2);
+        // Draining the basket lets the rest through (again chunked).
+        cell.basket("b").unwrap().clear();
+        assert!(w.flush().is_err(), "3 rows still exceed capacity 2");
+        cell.basket("b").unwrap().clear();
+        assert_eq!(w.flush().unwrap(), 1);
+        assert_eq!(w.stats().appended, 5);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn sql_lifecycle_reaches_programmatic_factories() {
+        // Factories registered via add_factory (no output basket) must be
+        // reachable from PAUSE/RESUME/DROP CONTINUOUS QUERY, as they were
+        // before the facade.
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        cell.execute("create basket out (x int)").unwrap();
+        let factory = {
+            let catalog = cell.catalog();
+            let cat = catalog.read();
+            Factory::compile(
+                "prog",
+                "select s.x from [select * from b] as s",
+                &cat,
+                FactoryOutput::Basket(cat.basket("out").unwrap()),
+            )
+            .unwrap()
+        };
+        cell.add_factory(factory, SchedulePolicy::default());
+        cell.execute("pause continuous query prog").unwrap();
+        assert!(cell.is_query_paused("prog").unwrap());
+        cell.execute("resume continuous query prog").unwrap();
+        cell.execute("drop continuous query prog").unwrap();
+        cell.execute("insert into b values (1)").unwrap();
+        assert_eq!(cell.run_until_quiescent(10), 0, "factory detached");
+    }
+
+    #[test]
+    fn dropped_subscription_does_not_swallow_tuples() {
+        // Competing consumers: when one subscriber hangs up, its emitter
+        // must put any chunk it raced away back into the output basket so
+        // the surviving subscriber still sees every tuple.
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        let q = cell
+            .continuous_query("q", "select s.x from [select * from b] as s")
+            .unwrap();
+        let dead = q.subscribe::<(i64,)>().unwrap();
+        let live = q.subscribe::<(i64,)>().unwrap();
+        drop(dead);
+        cell.execute("insert into b values (1), (2), (3)").unwrap();
+        cell.run_until_quiescent(10);
+        let mut rows = live.collect_n(3, Duration::from_secs(3)).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1,), (2,), (3,)]);
+    }
+
+    #[test]
+    fn subscription_decodes_text_compat_mode() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int, s varchar(20))")
+            .unwrap();
+        let q = cell
+            .continuous_query("q", "select t.x, t.s from [select * from b] as t")
+            .unwrap();
+        let sub = q.subscribe::<String>().unwrap();
+        cell.execute("insert into b values (1, 'a,b')").unwrap();
+        cell.run_until_quiescent(10);
+        let line = sub.next_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(line, "1,\"a,b\"", "wire format with quoting");
+    }
+
+    #[test]
+    fn query_handle_pause_resume_lifecycle() {
+        let cell = DataCell::new();
+        cell.execute("create basket b (x int)").unwrap();
+        let q = cell
+            .continuous_query("q", "select s.x from [select * from b] as s")
+            .unwrap();
+        q.pause().unwrap();
+        assert!(q.is_paused().unwrap());
+        cell.execute("insert into b values (1), (2)").unwrap();
+        assert_eq!(cell.run_until_quiescent(10), 0);
+        assert_eq!(cell.basket("b").unwrap().len(), 2);
+        q.resume().unwrap();
+        assert_eq!(cell.run_until_quiescent(10), 1, "backlog in one firing");
+        assert_eq!(q.output().unwrap().len(), 2);
+        // SQL surface drives the same lifecycle.
+        cell.execute("pause continuous query q").unwrap();
+        assert!(cell.is_query_paused("q").unwrap());
+        cell.execute("resume continuous query q").unwrap();
+        assert!(!cell.is_query_paused("q").unwrap());
+        assert!(cell.execute("pause continuous query nope").is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_traffic() {
+        let cell = DataCell::builder().metrics(true).build();
+        cell.execute("create basket b (x int)").unwrap();
+        let q = cell
+            .continuous_query("q", "select s.x from [select * from b] as s")
+            .unwrap();
+        let sub = q.subscribe::<(i64,)>().unwrap();
+        let mut w = cell.writer("b").unwrap();
+        for i in 0..10i64 {
+            w.append((i,)).unwrap();
+        }
+        w.flush().unwrap();
+        cell.run_until_quiescent(10);
+        let rows = sub.collect_n(10, Duration::from_secs(2)).unwrap();
+        assert_eq!(rows.len(), 10);
+        let m = cell.metrics();
+        assert_eq!(m.tuples_ingested, 10);
+        assert_eq!(m.tuples_delivered, 10);
+        assert!(m.factory_firings >= 1);
+        cell.stop();
     }
 
     #[test]
@@ -539,25 +981,25 @@ mod tests {
     fn drop_continuous_query_cleans_up() {
         let cell = DataCell::new();
         cell.execute("create basket b (x int)").unwrap();
-        cell.execute(
-            "create continuous query q as select s.x from [select * from b] as s",
-        )
-        .unwrap();
+        cell.execute("create continuous query q as select s.x from [select * from b] as s")
+            .unwrap();
+        let sub = cell.subscribe::<(i64,)>("q").unwrap();
         cell.execute("drop continuous query q").unwrap();
         assert!(cell.query_output("q").is_err());
+        assert!(cell.query_handle("q").is_err());
         cell.execute("insert into b values (1)").unwrap();
         assert_eq!(cell.run_until_quiescent(10), 0);
+        // The subscription channel closed with the query.
+        assert!(matches!(sub.try_next(), Err(DataCellError::Disconnected)));
     }
 
     #[test]
     fn petri_net_snapshot() {
         let cell = DataCell::new();
         cell.execute("create basket b (x int)").unwrap();
-        cell.execute(
-            "create continuous query q as select s.x from [select * from b] as s",
-        )
-        .unwrap();
-        let _ = cell.subscribe_collect("q").unwrap();
+        cell.execute("create continuous query q as select s.x from [select * from b] as s")
+            .unwrap();
+        let _sub = cell.subscribe::<Vec<Value>>("q").unwrap();
         let net = cell.petri_net();
         let dot = net.to_dot();
         assert!(dot.contains("\"b\" -> \"q\""));

@@ -133,7 +133,9 @@ pub fn deploy(
         }
     }
     match strategy {
-        Strategy::SeparateBaskets => deploy_separate(catalog, scheduler, stream, user_schema, queries),
+        Strategy::SeparateBaskets => {
+            deploy_separate(catalog, scheduler, stream, user_schema, queries)
+        }
         Strategy::SharedBaskets => deploy_shared(catalog, scheduler, stream, user_schema, queries),
         Strategy::CascadingBaskets => {
             ensure_disjoint(queries)?;

@@ -1,0 +1,250 @@
+//! The textual tuple-exchange format of the periphery (§2.1).
+//!
+//! "Receptors and emitters use a textual interface for exchanging flat
+//! relational tuples": one tuple per line, comma-separated fields. This
+//! module is the single definition of that wire format, shared by
+//! [`crate::receptor`] (parsing, via [`parse_tuple`]) and
+//! [`crate::emitter`] (rendering, via [`render_row`]) so the two stay
+//! round-trip consistent:
+//!
+//! * fields may be double-quoted; inside quotes, commas are literal and
+//!   `""` is an escaped quote — so strings containing the delimiter
+//!   survive the wire;
+//! * whitespace around unquoted fields (including trailing whitespace at
+//!   end of line) is ignored; whitespace inside quotes is preserved;
+//! * the unquoted tokens `nil` and `null` (any case) denote SQL NULL; the
+//!   *quoted* string `"nil"` stays a string.
+
+use datacell_bat::types::{DataType, Value};
+use datacell_sql::Schema;
+
+use crate::error::{DataCellError, Result};
+
+/// One raw field split out of a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field content with quoting resolved and outer whitespace trimmed
+    /// (for unquoted fields).
+    pub text: String,
+    /// True iff the field was double-quoted in the input.
+    pub quoted: bool,
+}
+
+/// Split one line into comma-separated fields, honouring double quotes.
+///
+/// Never fails: an unterminated quote runs to end of line (lenient, like
+/// most CSV readers); the caller's type checks catch genuinely bad input.
+pub fn split_fields(line: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Skip leading whitespace.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let mut text = String::new();
+        let mut quoted = false;
+        if chars.peek() == Some(&'"') {
+            quoted = true;
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            text.push('"');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                    None => break, // unterminated quote: lenient
+                }
+            }
+            // Consume anything up to the next delimiter (stray trailing
+            // characters after the closing quote are ignored).
+            while matches!(chars.peek(), Some(c) if *c != ',') {
+                chars.next();
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if *c != ',') {
+                text.push(chars.next().expect("peeked"));
+            }
+            // Trailing whitespace (including end-of-line) is not data.
+            text.truncate(text.trim_end().len());
+        }
+        fields.push(Field { text, quoted });
+        match chars.next() {
+            Some(',') => continue,
+            _ => break,
+        }
+    }
+    fields
+}
+
+/// Parse one textual tuple against a user schema (see module docs for the
+/// format rules).
+pub fn parse_tuple(line: &str, schema: &Schema) -> Result<Vec<Value>> {
+    let fields = split_fields(line);
+    if fields.len() != schema.len() {
+        return Err(DataCellError::Decode(format!(
+            "tuple has {} fields, schema {} wants {}",
+            fields.len(),
+            schema.render(),
+            schema.len()
+        )));
+    }
+    fields
+        .iter()
+        .zip(&schema.columns)
+        .map(|(field, cd)| {
+            let raw = field.text.as_str();
+            if !field.quoted
+                && (raw.eq_ignore_ascii_case("nil") || raw.eq_ignore_ascii_case("null"))
+            {
+                return Ok(Value::Nil);
+            }
+            let v = match cd.ty {
+                DataType::Int => Value::Int(raw.parse().map_err(|_| bad_field(raw, cd.ty))?),
+                DataType::Float => Value::Float(raw.parse().map_err(|_| bad_field(raw, cd.ty))?),
+                DataType::Bool => match raw.to_ascii_lowercase().as_str() {
+                    "true" | "t" | "1" => Value::Bool(true),
+                    "false" | "f" | "0" => Value::Bool(false),
+                    _ => return Err(bad_field(raw, cd.ty)),
+                },
+                DataType::Str => Value::Str(raw.to_string()),
+                DataType::Timestamp => {
+                    Value::Timestamp(raw.parse().map_err(|_| bad_field(raw, cd.ty))?)
+                }
+            };
+            Ok(v)
+        })
+        .collect()
+}
+
+fn bad_field(raw: &str, ty: DataType) -> DataCellError {
+    DataCellError::Decode(format!("cannot parse {raw:?} as {ty}"))
+}
+
+/// Render one value as a wire field, quoting strings that would otherwise
+/// be ambiguous (embedded comma/quote, outer whitespace, or a bare `nil`).
+pub fn render_field(v: &Value) -> String {
+    match v {
+        Value::Str(s) if needs_quoting(s) => {
+            let escaped = s.replace('"', "\"\"");
+            format!("\"{escaped}\"")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.contains(',')
+        || s.contains('"')
+        || s != s.trim()
+        || s.eq_ignore_ascii_case("nil")
+        || s.eq_ignore_ascii_case("null")
+}
+
+/// Render a row as one wire line; parses back to the same values.
+pub fn render_row(row: &[Value]) -> String {
+    row.iter().map(render_field).collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(tys: &[DataType]) -> Schema {
+        Schema::new(
+            tys.iter()
+                .enumerate()
+                .map(|(i, &ty)| (format!("c{i}"), ty))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quoted_strings_keep_delimiters_and_whitespace() {
+        let s = schema(&[DataType::Str, DataType::Int]);
+        let row = parse_tuple(r#""a,b", 2"#, &s).unwrap();
+        assert_eq!(row[0], Value::Str("a,b".into()));
+        assert_eq!(row[1], Value::Int(2));
+        let row = parse_tuple(r#""  padded  ",7"#, &s).unwrap();
+        assert_eq!(row[0], Value::Str("  padded  ".into()));
+    }
+
+    #[test]
+    fn escaped_quotes_roundtrip() {
+        let s = schema(&[DataType::Str]);
+        let row = parse_tuple(r#""he said ""hi""""#, &s).unwrap();
+        assert_eq!(row[0], Value::Str(r#"he said "hi""#.into()));
+    }
+
+    #[test]
+    fn null_tokens_unquoted_only() {
+        let s = schema(&[DataType::Str, DataType::Str, DataType::Int]);
+        let row = parse_tuple(r#"nil, "nil", NULL"#, &s).unwrap();
+        assert_eq!(row[0], Value::Nil);
+        assert_eq!(row[1], Value::Str("nil".into()), "quoted nil is a string");
+        assert_eq!(row[2], Value::Nil);
+    }
+
+    #[test]
+    fn trailing_whitespace_ignored() {
+        let s = schema(&[DataType::Int, DataType::Str]);
+        let row = parse_tuple("  1  ,  x  \t", &s).unwrap();
+        assert_eq!(row, vec![Value::Int(1), Value::Str("x".into())]);
+    }
+
+    #[test]
+    fn arity_and_type_errors_are_decode_errors() {
+        let s = schema(&[DataType::Int, DataType::Int]);
+        assert!(matches!(
+            parse_tuple("1", &s),
+            Err(DataCellError::Decode(_))
+        ));
+        assert!(matches!(
+            parse_tuple("1, x", &s),
+            Err(DataCellError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let s = schema(&[DataType::Str, DataType::Str, DataType::Int, DataType::Float]);
+        let rows = [
+            vec![
+                Value::Str("plain".into()),
+                Value::Str("a, \"b\"".into()),
+                Value::Int(-3),
+                Value::Float(2.5),
+            ],
+            vec![
+                Value::Str("nil".into()),
+                Value::Str("  spaced ".into()),
+                Value::Nil,
+                Value::Nil,
+            ],
+            vec![
+                Value::Str(String::new()),
+                Value::Str(",".into()),
+                Value::Int(0),
+                Value::Float(0.0),
+            ],
+        ];
+        for row in rows {
+            let line = render_row(&row);
+            let back = parse_tuple(&line, &s).unwrap();
+            assert_eq!(back, row, "line was {line:?}");
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_lenient() {
+        let s = schema(&[DataType::Str]);
+        let row = parse_tuple(r#""open ended"#, &s).unwrap();
+        assert_eq!(row[0], Value::Str("open ended".into()));
+    }
+}

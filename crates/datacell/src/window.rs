@@ -188,9 +188,7 @@ impl Transition for ReEvalWindow {
                     produced += self.evaluate_window(&window, tables)?;
                     // Slide: drop the oldest `slide` tuples.
                     let remaining = state.buffer.len();
-                    state.buffer = state
-                        .buffer
-                        .gather(&Candidates::Dense(slide..remaining))?;
+                    state.buffer = state.buffer.gather(&Candidates::Dense(slide..remaining))?;
                 }
             }
             WindowSpec::Time {
@@ -449,10 +447,7 @@ mod tests {
             .create_basket("w", Schema::new(vec![("v".into(), DataType::Int)]))
             .unwrap();
         let out = cat
-            .create_basket(
-                "wout",
-                Schema::new(vec![("value".into(), DataType::Int)]),
-            )
+            .create_basket("wout", Schema::new(vec![("value".into(), DataType::Int)]))
             .unwrap();
         (cat, input, out)
     }
@@ -591,10 +586,7 @@ mod tests {
             .create_basket("w2", Schema::new(vec![("v".into(), DataType::Int)]))
             .unwrap();
         let inc_out = cat
-            .create_basket(
-                "iout",
-                Schema::new(vec![("value".into(), DataType::Int)]),
-            )
+            .create_basket("iout", Schema::new(vec![("value".into(), DataType::Int)]))
             .unwrap();
 
         let reeval = ReEvalWindow::new(
@@ -635,10 +627,7 @@ mod tests {
             .create_basket("w2", Schema::new(vec![("v".into(), DataType::Int)]))
             .unwrap();
         let inc_out = cat
-            .create_basket(
-                "iout",
-                Schema::new(vec![("value".into(), DataType::Int)]),
-            )
+            .create_basket("iout", Schema::new(vec![("value".into(), DataType::Int)]))
             .unwrap();
         let reeval = ReEvalWindow::new(
             "re",
@@ -681,10 +670,7 @@ mod tests {
             .create_basket("w3", Schema::new(vec![("v".into(), DataType::Int)]))
             .unwrap();
         let inc_out = cat
-            .create_basket(
-                "mout",
-                Schema::new(vec![("value".into(), DataType::Int)]),
-            )
+            .create_basket("mout", Schema::new(vec![("value".into(), DataType::Int)]))
             .unwrap();
         let inc = BasicWindowAgg::new(
             "mx",
@@ -726,17 +712,9 @@ mod tests {
             Arc::clone(&out),
         )
         .is_err());
-        assert!(BasicWindowAgg::new(
-            "bad",
-            input,
-            "missing",
-            AggFunc::Sum,
-            None,
-            4,
-            2,
-            out,
-        )
-        .is_err());
+        assert!(
+            BasicWindowAgg::new("bad", input, "missing", AggFunc::Sum, None, 4, 2, out,).is_err()
+        );
     }
 
     #[test]
@@ -749,10 +727,7 @@ mod tests {
             .create_basket("w4", Schema::new(vec![("v".into(), DataType::Int)]))
             .unwrap();
         let inc_out = cat
-            .create_basket(
-                "sout",
-                Schema::new(vec![("value".into(), DataType::Int)]),
-            )
+            .create_basket("sout", Schema::new(vec![("value".into(), DataType::Int)]))
             .unwrap();
         let inc = BasicWindowAgg::new(
             "s",

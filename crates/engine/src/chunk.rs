@@ -49,11 +49,7 @@ impl Chunk {
 
     /// Empty chunk with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = schema
-            .columns
-            .iter()
-            .map(|c| Column::empty(c.ty))
-            .collect();
+        let columns = schema.columns.iter().map(|c| Column::empty(c.ty)).collect();
         Chunk { schema, columns }
     }
 
@@ -136,12 +132,7 @@ impl Chunk {
     /// Render as an aligned text table (for examples and the emitter's
     /// textual interface).
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.len())
-            .collect();
+        let mut widths: Vec<usize> = self.schema.columns.iter().map(|c| c.name.len()).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.len());
         for i in 0..self.len() {
             let row: Vec<String> = self

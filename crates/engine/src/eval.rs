@@ -67,9 +67,7 @@ pub fn eval(expr: &ScalarExpr, chunk: &Chunk) -> Result<Column> {
                 .map(|&code| match heap.get(code) {
                     None => NIL_BOOL,
                     Some(s) => {
-                        let hit = *memo
-                            .entry(code)
-                            .or_insert_with(|| like_match(pattern, s));
+                        let hit = *memo.entry(code).or_insert_with(|| like_match(pattern, s));
                         i8::from(hit != *negated)
                     }
                 })
@@ -77,10 +75,7 @@ pub fn eval(expr: &ScalarExpr, chunk: &Chunk) -> Result<Column> {
             Column::Bool(out)
         }
         ScalarExpr::Func { func, args, ty } => {
-            let cols: Vec<Column> = args
-                .iter()
-                .map(|a| eval(a, chunk))
-                .collect::<Result<_>>()?;
+            let cols: Vec<Column> = args.iter().map(|a| eval(a, chunk)).collect::<Result<_>>()?;
             let n = chunk.len();
             let mut out = Column::with_capacity(*ty, n);
             let mut argv: Vec<Value> = Vec::with_capacity(cols.len());
@@ -300,7 +295,10 @@ mod tests {
     fn case_without_else_yields_nil() {
         let c = chunk();
         let e = ScalarExpr::Case {
-            when_then: vec![(ScalarExpr::Literal(Value::Bool(false)), col(0, DataType::Int))],
+            when_then: vec![(
+                ScalarExpr::Literal(Value::Bool(false)),
+                col(0, DataType::Int),
+            )],
             else_expr: None,
             ty: DataType::Int,
         };

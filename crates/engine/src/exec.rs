@@ -223,8 +223,7 @@ fn multi_key_join(
         let mut combined = lk.clone();
         combined.append_column(rk).map_err(SqlError::Kernel)?;
         let bat = Bat::new(combined);
-        grouping =
-            Some(group_by(&bat, grouping.as_ref(), None).map_err(SqlError::Kernel)?);
+        grouping = Some(group_by(&bat, grouping.as_ref(), None).map_err(SqlError::Kernel)?);
     }
     let g = grouping.expect("at least one key");
     // Nil keys never match in SQL; detect rows where any key is nil.
@@ -434,7 +433,8 @@ mod tests {
         .unwrap();
         let u = c.table_mut("u").unwrap();
         for (k, v) in [(2, "two"), (4, "four"), (9, "nine")] {
-            u.append_row(&[Value::Int(k), Value::Str(v.into())]).unwrap();
+            u.append_row(&[Value::Int(k), Value::Str(v.into())])
+                .unwrap();
         }
         c
     }
@@ -501,10 +501,7 @@ mod tests {
                 .append_row(&[Value::Int(x), Value::Str(y.into()), Value::Int(p)])
                 .unwrap();
         }
-        let out = query(
-            &c,
-            "select r.p from l join r on l.x = r.x and l.y = r.y",
-        );
+        let out = query(&c, "select r.p from l join r on l.x = r.x and l.y = r.y");
         let mut got = out.columns[0].as_ints().unwrap().to_vec();
         got.sort_unstable();
         assert_eq!(got, vec![10, 20]);

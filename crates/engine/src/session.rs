@@ -81,11 +81,11 @@ impl Session {
                     .map_err(SqlError::Kernel)?;
                 Ok(StatementResult::Ack(format!("created table {name}")))
             }
-            Statement::CreateBasket { .. } | Statement::CreateContinuousQuery { .. } => {
-                Err(SqlError::Plan(
-                    "stream DDL requires a DataCell session (use datacell::DataCell)".into(),
-                ))
-            }
+            Statement::CreateBasket { .. }
+            | Statement::CreateContinuousQuery { .. }
+            | Statement::AlterContinuousQuery { .. } => Err(SqlError::Plan(
+                "stream DDL requires a DataCell session (use datacell::DataCell)".into(),
+            )),
             Statement::Insert {
                 table,
                 columns,

@@ -22,11 +22,7 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = schema
-            .columns
-            .iter()
-            .map(|c| Column::empty(c.ty))
-            .collect();
+        let columns = schema.columns.iter().map(|c| Column::empty(c.ty)).collect();
         Table {
             name: name.into(),
             schema,
@@ -168,7 +164,8 @@ mod tests {
     fn delete_positions_removes() {
         let mut t = table();
         for i in 0..5 {
-            t.append_row(&[Value::Int(i), Value::Float(i as f64)]).unwrap();
+            t.append_row(&[Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
         }
         let deleted = t
             .delete_positions(&Candidates::from_positions(vec![1, 3]).unwrap())
@@ -176,10 +173,7 @@ mod tests {
         assert_eq!(deleted, 2);
         assert_eq!(t.len(), 3);
         let snap = t.snapshot();
-        assert_eq!(
-            snap.columns[0].as_ints().unwrap(),
-            &[0, 2, 4]
-        );
+        assert_eq!(snap.columns[0].as_ints().unwrap(), &[0, 2, 4]);
     }
 
     #[test]

@@ -138,8 +138,7 @@ impl LrRecord {
         use datacell_bat::DataType::Int;
         datacell_sql::Schema::new(
             [
-                "rtype", "time", "vid", "speed", "xway", "lane", "dir", "seg", "pos", "qid",
-                "day",
+                "rtype", "time", "vid", "speed", "xway", "lane", "dir", "seg", "pos", "qid", "day",
             ]
             .iter()
             .map(|n| (n.to_string(), Int))
@@ -272,8 +271,7 @@ impl TrafficSim {
                     let mut t = enter_time;
                     let mut travelled = 0i64;
                     let mut lane = 0; // enter on the entry lane
-                    while travelled < journey_segs && t < config.duration_s && seg < SEGMENTS
-                    {
+                    while travelled < journey_segs && t < config.duration_s && seg < SEGMENTS {
                         // Slow down sharply when approaching an active
                         // accident (0..4 segments downstream of us).
                         let near_accident = accidents.iter().any(|a| {
@@ -407,11 +405,15 @@ mod tests {
         let stopped: Vec<&LrRecord> = sim
             .records()
             .iter()
-            .filter(|r| {
-                matches!(r, LrRecord::Position { speed: 0, seg, .. } if *seg == accident.seg)
-            })
+            .filter(
+                |r| matches!(r, LrRecord::Position { speed: 0, seg, .. } if *seg == accident.seg),
+            )
             .collect();
-        assert!(stopped.len() >= 8, "two vehicles × ≥4 reports, got {}", stopped.len());
+        assert!(
+            stopped.len() >= 8,
+            "two vehicles × ≥4 reports, got {}",
+            stopped.len()
+        );
     }
 
     #[test]

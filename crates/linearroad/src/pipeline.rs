@@ -138,7 +138,11 @@ impl LrCore {
 
     fn accident_ahead(state: &CoreState, key: SegKey) -> bool {
         (0..=ACCIDENT_RANGE).any(|d| {
-            let seg = if key.dir == 0 { key.seg + d } else { key.seg - d };
+            let seg = if key.dir == 0 {
+                key.seg + d
+            } else {
+                key.seg - d
+            };
             state.accidents.contains(&SegKey { seg, ..key })
         })
     }
@@ -250,13 +254,7 @@ impl LrCore {
         Ok(())
     }
 
-    fn balance_query(
-        &self,
-        state: &CoreState,
-        time: i64,
-        vid: i64,
-        qid: i64,
-    ) -> Result<()> {
+    fn balance_query(&self, state: &CoreState, time: i64, vid: i64, qid: i64) -> Result<()> {
         let balance = state.vehicles.get(&vid).map_or(0, |v| v.balance);
         Self::emit(
             &self.bal_out,
@@ -501,8 +499,7 @@ mod tests {
     use super::*;
     use crate::gen::{TrafficConfig, TrafficSim};
 
-    fn positions(
-        entries: &[(i64, i64, i64, i64)], // (time, vid, speed, seg)
+    fn positions(entries: &[(i64, i64, i64, i64)], // (time, vid, speed, seg)
     ) -> Vec<LrRecord> {
         entries
             .iter()
@@ -644,8 +641,8 @@ mod tests {
         sys.feed(sim.records()).unwrap();
         sys.drain();
         assert!(sys.toll_out.len() > 100, "tolls: {}", sys.toll_out.len());
-        assert!(sys.bal_out.len() > 0);
-        assert!(sys.daily_out.len() > 0);
+        assert!(!sys.bal_out.is_empty());
+        assert!(!sys.daily_out.is_empty());
         // Input fully consumed.
         assert!(sys.input.is_empty());
     }

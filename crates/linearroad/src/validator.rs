@@ -107,8 +107,7 @@ pub fn reference(records: &[LrRecord]) -> Reference {
                     }
                 }
 
-                let crossed =
-                    prev.is_none_or(|p| p.seg != seg || p.xway != xway || p.dir != dir);
+                let crossed = prev.is_none_or(|p| p.seg != seg || p.xway != xway || p.dir != dir);
                 if crossed && lane != 4 {
                     let nov = stats
                         .get(&(xway, dir, seg, minute - 1))

@@ -1,0 +1,147 @@
+//! API-compatible subset of `rand`, backed by splitmix64.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow RNG surface it uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] /
+//! [`Rng::gen_ratio`]. Determinism per seed is the only contract the
+//! workspace relies on (workload generators, benchmarks); the statistical
+//! quality of splitmix64 is more than adequate for both.
+
+use std::ops::Range;
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range.start, range.end)
+    }
+
+    /// True with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Map 64 random bits into `[lo, hi)`.
+    fn sample(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128);
+                (lo as u128 + (bits as u128 % span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, isize);
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample(bits: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..15);
+            assert!((-5..15).contains(&v));
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_ratio_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| r.gen_ratio(100, 100)));
+        assert!((0..100).all(|_| !r.gen_ratio(0, 100)));
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((1_500..3_500).contains(&hits), "{hits}");
+    }
+}

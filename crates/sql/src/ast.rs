@@ -53,8 +53,26 @@ pub enum Statement {
         /// Object name.
         name: String,
     },
+    /// `PAUSE CONTINUOUS QUERY name` / `RESUME CONTINUOUS QUERY name` —
+    /// suspend or re-enable a registered factory without dropping it (the
+    /// scheduler skips paused transitions; their baskets keep buffering).
+    AlterContinuousQuery {
+        /// Query (factory) name.
+        name: String,
+        /// Pause or resume.
+        action: QueryLifecycle,
+    },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
+}
+
+/// Lifecycle actions for [`Statement::AlterContinuousQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLifecycle {
+    /// Stop scheduling the factory; inputs keep buffering.
+    Pause,
+    /// Re-enable scheduling.
+    Resume,
 }
 
 /// Object kinds for [`Statement::Drop`].
@@ -79,6 +97,14 @@ impl Statement {
             Statement::Delete { .. } => "DELETE",
             Statement::Select(_) => "SELECT",
             Statement::Drop { .. } => "DROP",
+            Statement::AlterContinuousQuery {
+                action: QueryLifecycle::Pause,
+                ..
+            } => "PAUSE CONTINUOUS QUERY",
+            Statement::AlterContinuousQuery {
+                action: QueryLifecycle::Resume,
+                ..
+            } => "RESUME CONTINUOUS QUERY",
             Statement::Explain(_) => "EXPLAIN",
         }
     }

@@ -41,7 +41,10 @@ impl fmt::Display for SqlError {
                 expected,
                 found,
                 offset,
-            } => write!(f, "parse error at byte {offset}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "parse error at byte {offset}: expected {expected}, found {found}"
+            ),
             SqlError::Bind(m) => write!(f, "binding error: {m}"),
             SqlError::Type(m) => write!(f, "type error: {m}"),
             SqlError::Plan(m) => write!(f, "planning error: {m}"),

@@ -300,9 +300,7 @@ impl ScalarExpr {
                     .iter()
                     .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
                     .collect(),
-                else_expr: else_expr
-                    .as_ref()
-                    .map(|e| Box::new(e.remap_columns(map))),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.remap_columns(map))),
                 ty: *ty,
             },
             ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
@@ -359,9 +357,10 @@ impl ScalarExpr {
                 let v = e.eval_row(row)?;
                 match v {
                     Value::Nil => Value::Nil,
-                    Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
-                        SqlError::Plan("integer overflow in negation".into())
-                    })?),
+                    Value::Int(i) => Value::Int(
+                        i.checked_neg()
+                            .ok_or_else(|| SqlError::Plan("integer overflow in negation".into()))?,
+                    ),
                     Value::Float(f) => Value::Float(-f),
                     other => {
                         return Err(SqlError::Type(format!("cannot negate {other:?}")));

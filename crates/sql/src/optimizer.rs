@@ -263,7 +263,8 @@ fn prune_to(plan: LogicalPlan, required: &[usize]) -> LogicalPlan {
                 None => required.to_vec(),
                 Some(p) => required.iter().map(|&i| p[i]).collect(),
             };
-            let identity = base.len() == schema.len() && base.iter().enumerate().all(|(i, &c)| i == c);
+            let identity =
+                base.len() == schema.len() && base.iter().enumerate().all(|(i, &c)| i == c);
             LogicalPlan::Scan {
                 table,
                 schema,

@@ -146,6 +146,12 @@ impl Parser {
         if self.eat_kw("drop") {
             return self.drop();
         }
+        if self.eat_kw("pause") {
+            return self.alter_continuous(QueryLifecycle::Pause);
+        }
+        if self.eat_kw("resume") {
+            return self.alter_continuous(QueryLifecycle::Resume);
+        }
         if self.eat_kw("explain") {
             return Ok(Statement::Explain(self.query()?));
         }
@@ -281,6 +287,13 @@ impl Parser {
         };
         let name = self.ident()?;
         Ok(Statement::Drop { kind, name })
+    }
+
+    fn alter_continuous(&mut self, action: QueryLifecycle) -> Result<Statement> {
+        self.expect_kw("continuous")?;
+        self.expect_kw("query")?;
+        let name = self.ident()?;
+        Ok(Statement::AlterContinuousQuery { name, action })
     }
 
     // ---------------- queries ----------------
@@ -831,12 +844,8 @@ mod tests {
             &query.items[1],
             SelectItem::QualifiedWildcard(t) if t == "r"
         ));
-        assert!(
-            matches!(&query.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x")
-        );
-        assert!(
-            matches!(&query.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y")
-        );
+        assert!(matches!(&query.items[2], SelectItem::Expr { alias: Some(a), .. } if a == "x"));
+        assert!(matches!(&query.items[3], SelectItem::Expr { alias: Some(a), .. } if a == "y"));
     }
 
     #[test]
@@ -959,7 +968,13 @@ mod tests {
         assert_eq!(query.items.len(), 2);
         match &query.items[1] {
             SelectItem::Expr { expr, .. } => {
-                assert!(matches!(expr, Expr::Cast { ty: DataType::Float, .. }));
+                assert!(matches!(
+                    expr,
+                    Expr::Cast {
+                        ty: DataType::Float,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1022,8 +1037,31 @@ mod tests {
         }
         assert!(matches!(
             parse("delete from t where a = 1").unwrap(),
-            Statement::Delete { predicate: Some(_), .. }
+            Statement::Delete {
+                predicate: Some(_),
+                ..
+            }
         ));
+    }
+
+    #[test]
+    fn pause_resume_continuous_query() {
+        assert_eq!(
+            parse("pause continuous query cq").unwrap(),
+            Statement::AlterContinuousQuery {
+                name: "cq".into(),
+                action: QueryLifecycle::Pause,
+            }
+        );
+        assert_eq!(
+            parse("RESUME CONTINUOUS QUERY cq").unwrap(),
+            Statement::AlterContinuousQuery {
+                name: "cq".into(),
+                action: QueryLifecycle::Resume,
+            }
+        );
+        assert!(parse("pause query cq").is_err());
+        assert!(parse("resume continuous cq").is_err());
     }
 
     #[test]
@@ -1053,10 +1091,9 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_script(
-            "create table t (a int); insert into t values (1); select * from t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("create table t (a int); insert into t values (1); select * from t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1075,9 +1112,8 @@ mod tests {
 
     #[test]
     fn nested_basket_expression_in_join() {
-        let query = q(
-            "select * from [select * from s1] as a join [select * from s2] as b on a.k = b.k",
-        );
+        let query =
+            q("select * from [select * from s1] as a join [select * from s2] as b on a.k = b.k");
         assert!(query.is_continuous());
         let mut inputs = query.basket_inputs();
         inputs.sort();

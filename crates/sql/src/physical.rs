@@ -356,7 +356,9 @@ fn lower(plan: LogicalPlan) -> Result<PhysicalPlan> {
             residual,
         } => {
             if left_keys.len() != right_keys.len() || left_keys.is_empty() {
-                return Err(SqlError::Plan("hash join requires matching, non-empty key lists".into()));
+                return Err(SqlError::Plan(
+                    "hash join requires matching, non-empty key lists".into(),
+                ));
             }
             let left = lower(*left)?;
             let right = lower(*right)?;
@@ -390,11 +392,7 @@ fn lower(plan: LogicalPlan) -> Result<PhysicalPlan> {
             }
         }
         LogicalPlan::Aggregate { input, group, aggs } => {
-            let node = LogicalPlan::Aggregate {
-                input,
-                group,
-                aggs,
-            };
+            let node = LogicalPlan::Aggregate { input, group, aggs };
             let schema = node.schema();
             let (input, group, aggs) = match node {
                 LogicalPlan::Aggregate { input, group, aggs } => (input, group, aggs),
@@ -553,7 +551,8 @@ mod tests {
 
     #[test]
     fn compile_query_end_to_end() {
-        let (p, schema) = crate::compile_query("select a from t where b > 1.5", &provider()).unwrap();
+        let (p, schema) =
+            crate::compile_query("select a from t where b > 1.5", &provider()).unwrap();
         assert_eq!(schema.len(), 1);
         assert!(matches!(p, PhysicalPlan::Project { .. }));
     }

@@ -245,11 +245,7 @@ impl Binder<'_> {
                     let name = alias.clone().unwrap_or_else(|| derive_name(expr, i));
                     exprs.push((bound, name));
                 }
-                _ => {
-                    return Err(SqlError::Bind(
-                        "wildcard requires a FROM clause".into(),
-                    ))
-                }
+                _ => return Err(SqlError::Bind("wildcard requires a FROM clause".into())),
             }
         }
         Ok(LogicalPlan::ConstRow { exprs })
@@ -257,15 +253,12 @@ impl Binder<'_> {
 
     // ---------------- FROM ----------------
 
-    fn bind_from(
-        &self,
-        from: &[TableRef],
-        consume_scans: bool,
-    ) -> Result<(LogicalPlan, Scope)> {
+    fn bind_from(&self, from: &[TableRef], consume_scans: bool) -> Result<(LogicalPlan, Scope)> {
         let mut plan: Option<LogicalPlan> = None;
         let mut scope = Scope::default();
         for tref in from {
-            let (p, alias, schema) = self.bind_source(&tref.source, tref.alias.clone(), consume_scans)?;
+            let (p, alias, schema) =
+                self.bind_source(&tref.source, tref.alias.clone(), consume_scans)?;
             plan = Some(match plan {
                 None => p,
                 Some(prev) => LogicalPlan::Cross {
@@ -275,8 +268,12 @@ impl Binder<'_> {
             });
             scope.push(alias, schema);
             for join in &tref.joins {
-                let p =
-                    self.bind_join(plan.take().expect("plan set above"), &mut scope, join, consume_scans)?;
+                let p = self.bind_join(
+                    plan.take().expect("plan set above"),
+                    &mut scope,
+                    join,
+                    consume_scans,
+                )?;
                 plan = Some(p);
             }
         }
@@ -310,9 +307,8 @@ impl Binder<'_> {
                 Ok((plan, alias.or_else(|| Some(name.clone())), schema))
             }
             TableSource::Subquery(sub) => {
-                let alias = alias.ok_or_else(|| {
-                    SqlError::Bind("derived table requires an alias".into())
-                })?;
+                let alias = alias
+                    .ok_or_else(|| SqlError::Bind("derived table requires an alias".into()))?;
                 let plan = self.query(sub, false)?;
                 let schema = plan.schema();
                 Ok((plan, Some(alias), schema))
@@ -338,7 +334,8 @@ impl Binder<'_> {
         consume_scans: bool,
     ) -> Result<LogicalPlan> {
         let left_width = scope.flat_len();
-        let (right, alias, schema) = self.bind_source(&join.source, join.alias.clone(), consume_scans)?;
+        let (right, alias, schema) =
+            self.bind_source(&join.source, join.alias.clone(), consume_scans)?;
         scope.push(alias, schema);
         match join.kind {
             JoinKind::Cross => Ok(LogicalPlan::Cross {
@@ -485,11 +482,7 @@ impl Binder<'_> {
 
     // ---------------- items & order keys ----------------
 
-    fn bind_items(
-        &self,
-        items: &[SelectItem],
-        scope: &Scope,
-    ) -> Result<Vec<(ScalarExpr, String)>> {
+    fn bind_items(&self, items: &[SelectItem], scope: &Scope) -> Result<Vec<(ScalarExpr, String)>> {
         let mut out = Vec::new();
         for (i, item) in items.iter().enumerate() {
             match item {
@@ -509,9 +502,9 @@ impl Binder<'_> {
                     }
                 }
                 SelectItem::QualifiedWildcard(q) => {
-                    let (offset, schema) = scope.relation_range(q).ok_or_else(|| {
-                        SqlError::Bind(format!("unknown relation {q} in {q}.*"))
-                    })?;
+                    let (offset, schema) = scope
+                        .relation_range(q)
+                        .ok_or_else(|| SqlError::Bind(format!("unknown relation {q} in {q}.*")))?;
                     for (j, col) in schema.columns.iter().enumerate() {
                         out.push((
                             ScalarExpr::Column {
@@ -617,10 +610,7 @@ impl Binder<'_> {
             Expr::Neg(inner) => {
                 let b = self.expr(inner, scope)?;
                 if !b.data_type().is_numeric() {
-                    return Err(SqlError::Type(format!(
-                        "cannot negate {}",
-                        b.data_type()
-                    )));
+                    return Err(SqlError::Type(format!("cannot negate {}", b.data_type())));
                 }
                 ScalarExpr::Neg(Box::new(b))
             }
@@ -668,8 +658,7 @@ impl Binder<'_> {
                         Some(prev) => ScalarExpr::Or(Box::new(prev), Box::new(eq)),
                     });
                 }
-                let any = result
-                    .ok_or_else(|| SqlError::Bind("IN list cannot be empty".into()))?;
+                let any = result.ok_or_else(|| SqlError::Bind("IN list cannot be empty".into()))?;
                 if *negated {
                     ScalarExpr::Not(Box::new(any))
                 } else {
@@ -799,7 +788,11 @@ impl Binder<'_> {
                     ty,
                 })
             }
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
             | BinaryOp::Ge => {
                 let cop = match op {
                     BinaryOp::Eq => CmpOp::Eq,
@@ -891,9 +884,7 @@ impl AggContext<'_> {
                     .aggs
                     .iter()
                     .position(|a| a.func == func && a.arg == arg)
-                    .ok_or_else(|| {
-                        SqlError::Bind(format!("aggregate {name} was not collected"))
-                    })?;
+                    .ok_or_else(|| SqlError::Bind(format!("aggregate {name} was not collected")))?;
                 let in_ty = arg.map(|a| a.data_type()).unwrap_or(DataType::Int);
                 return Ok(ScalarExpr::Column {
                     index: self.group.len() + pos,
@@ -970,8 +961,7 @@ impl AggContext<'_> {
                         Some(prev) => ScalarExpr::Or(Box::new(prev), Box::new(eq)),
                     });
                 }
-                let any =
-                    result.ok_or_else(|| SqlError::Bind("IN list cannot be empty".into()))?;
+                let any = result.ok_or_else(|| SqlError::Bind("IN list cannot be empty".into()))?;
                 Ok(if *negated {
                     ScalarExpr::Not(Box::new(any))
                 } else {
@@ -1081,9 +1071,12 @@ pub fn split_conjuncts(e: &ScalarExpr) -> Vec<ScalarExpr> {
 /// Re-assemble conjuncts into a single AND tree.
 pub fn conjoin(mut preds: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     let first = preds.pop()?;
-    Some(preds.into_iter().rev().fold(first, |acc, p| {
-        ScalarExpr::And(Box::new(p), Box::new(acc))
-    }))
+    Some(
+        preds
+            .into_iter()
+            .rev()
+            .fold(first, |acc, p| ScalarExpr::And(Box::new(p), Box::new(acc))),
+    )
 }
 
 /// Push a bound predicate down into the plan: conjuncts that reference only
@@ -1112,9 +1105,9 @@ pub fn push_predicate(plan: LogicalPlan, pred: ScalarExpr) -> Result<LogicalPlan
     let mut per_leaf: Vec<Vec<ScalarExpr>> = vec![Vec::new(); leaves.len()];
     for conj in split_conjuncts(&pred) {
         let cols = conj.referenced_columns();
-        let target = leaves.iter().position(|&(start, len)| {
-            cols.iter().all(|&c| c >= start && c < start + len)
-        });
+        let target = leaves
+            .iter()
+            .position(|&(start, len)| cols.iter().all(|&c| c >= start && c < start + len));
         match target {
             Some(i) if !cols.is_empty() => {
                 let start = leaves[i].0;
@@ -1125,11 +1118,7 @@ pub fn push_predicate(plan: LogicalPlan, pred: ScalarExpr) -> Result<LogicalPlan
     }
 
     // Apply per-leaf predicates.
-    fn apply(
-        plan: LogicalPlan,
-        next: &mut usize,
-        per_leaf: &mut [Vec<ScalarExpr>],
-    ) -> LogicalPlan {
+    fn apply(plan: LogicalPlan, next: &mut usize, per_leaf: &mut [Vec<ScalarExpr>]) -> LogicalPlan {
         match plan {
             LogicalPlan::Join {
                 left,
@@ -1322,7 +1311,11 @@ mod tests {
                 pushed = true;
             }
         });
-        assert!(pushed, "predicate should be fused into scan:\n{}", plan.display());
+        assert!(
+            pushed,
+            "predicate should be fused into scan:\n{}",
+            plan.display()
+        );
     }
 
     #[test]
@@ -1349,7 +1342,10 @@ mod tests {
 
     #[test]
     fn type_errors() {
-        assert!(matches!(bind("select a + c from t"), Err(SqlError::Type(_))));
+        assert!(matches!(
+            bind("select a + c from t"),
+            Err(SqlError::Type(_))
+        ));
         assert!(matches!(
             bind("select * from t where a"),
             Err(SqlError::Type(_))
@@ -1365,8 +1361,8 @@ mod tests {
 
     #[test]
     fn basket_expression_consuming_scan() {
-        let plan = bind("select * from [select * from r where r.b < 20] as s where s.a > 10")
-            .unwrap();
+        let plan =
+            bind("select * from [select * from r where r.b < 20] as s where s.a > 10").unwrap();
         assert_eq!(plan.consumed_baskets(), vec!["r".to_string()]);
         // The inner predicate must be fused into the consuming scan.
         let mut scan_pred = None;
@@ -1428,10 +1424,9 @@ mod tests {
 
     #[test]
     fn aggregate_binding() {
-        let plan = bind(
-            "select a, sum(b) as total, count(*) as n from t group by a having sum(b) > 10",
-        )
-        .unwrap();
+        let plan =
+            bind("select a, sum(b) as total, count(*) as n from t group by a having sum(b) > 10")
+                .unwrap();
         let schema = plan.schema();
         assert_eq!(schema.columns[0].name, "a");
         assert_eq!(schema.columns[1].name, "total");
@@ -1493,7 +1488,10 @@ mod tests {
         // No Between/InList survive binding.
         let mut ok = true;
         plan.walk(&mut |p| {
-            if let LogicalPlan::Scan { predicate: Some(p), .. } = p {
+            if let LogicalPlan::Scan {
+                predicate: Some(p), ..
+            } = p
+            {
                 p.walk(&mut |e| {
                     if matches!(e, ScalarExpr::Like { .. }) {
                         ok = false;
@@ -1517,8 +1515,7 @@ mod tests {
         let bound = bind_insert_rows(&rows, None, &schema).unwrap();
         assert_eq!(bound[0], vec![Value::Int(1), Value::Float(2.0)]);
         // Partial column list: missing columns become NULL.
-        let bound =
-            bind_insert_rows(&rows[..], Some(&["b".into(), "a".into()]), &schema).unwrap();
+        let bound = bind_insert_rows(&rows[..], Some(&["b".into(), "a".into()]), &schema).unwrap();
         assert_eq!(bound[0], vec![Value::Int(2), Value::Float(1.0)]);
         // Arity mismatch.
         assert!(bind_insert_rows(&rows, Some(&["a".into()]), &schema).is_err());
@@ -1526,14 +1523,10 @@ mod tests {
 
     #[test]
     fn multi_basket_join_consumes_both() {
-        let p = provider().with_basket(
-            "r2",
-            Schema::new(vec![("a".into(), DataType::Int)]),
-        );
-        let stmt = parse(
-            "select * from [select r.a from r join r2 on r.a = r2.a where r.b > 0] as s",
-        )
-        .unwrap();
+        let p = provider().with_basket("r2", Schema::new(vec![("a".into(), DataType::Int)]));
+        let stmt =
+            parse("select * from [select r.a from r join r2 on r.a = r2.a where r.b > 0] as s")
+                .unwrap();
         let q = match stmt {
             crate::ast::Statement::Select(q) => q,
             _ => unreachable!(),
@@ -1559,10 +1552,8 @@ mod tests {
 
     #[test]
     fn case_arm_unification() {
-        let plan = bind(
-            "select case when a > 0 then 1 when a < 0 then 2.5 else 0 end as v from t",
-        )
-        .unwrap();
+        let plan = bind("select case when a > 0 then 1 when a < 0 then 2.5 else 0 end as v from t")
+            .unwrap();
         assert_eq!(plan.schema().columns[0].ty, DataType::Float);
         assert!(matches!(
             bind("select case when a > 0 then 1 else 'x' end from t"),

@@ -56,10 +56,7 @@ impl Schema {
 
     /// Type of column `name`, if present.
     pub fn type_of(&self, name: &str) -> Option<DataType> {
-        self.columns
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| c.ty)
+        self.columns.iter().find(|c| c.name == name).map(|c| c.ty)
     }
 
     /// Concatenate two schemas (join output).

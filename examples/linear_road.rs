@@ -18,7 +18,10 @@ fn main() {
     println!("  balance answers      : {}", report.balances);
     println!("  daily-exp. answers   : {}", report.dailies);
     println!("  wall time            : {:.3} s", report.wall_s);
-    println!("  throughput           : {:.0} records/s", report.throughput);
+    println!(
+        "  throughput           : {:.0} records/s",
+        report.throughput
+    );
     println!(
         "  response time        : mean {:.2} ms, max {:.2} ms (deadline 5000 ms)",
         report.mean_response_micros / 1000.0,

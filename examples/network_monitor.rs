@@ -5,154 +5,136 @@
 //! discipline (§2.5):
 //!
 //! 1. a cheap blocklist filter (suspicious destination ports),
-//! 2. a per-source traffic accounting aggregate over tumbling windows,
-//! 3. a heavy "top talkers" report (group-by + order-by + limit).
+//! 2. a heavy "top talkers" report (group-by + order-by + limit),
+//! 3. a per-window traffic volume aggregate over tumbling windows.
 //!
 //! Everything below the surface is ordinary SQL compiled by the ordinary
-//! optimizer — no bespoke stream operators.
+//! optimizer — no bespoke stream operators. The session is configured
+//! through [`DataCellBuilder`]; ingestion runs through typed
+//! [`StreamWriter`]s; the shared-reader factories are wired through the
+//! low-level `Factory` API the facade intentionally keeps public.
+//!
+//! [`DataCellBuilder`]: datacell::DataCellBuilder
+//! [`StreamWriter`]: datacell::StreamWriter
 //!
 //! Run with: `cargo run --example network_monitor`
 
 use std::sync::Arc;
 
-use datacell::catalog::StreamCatalog;
 use datacell::factory::{Factory, FactoryOutput};
-use datacell::scheduler::Scheduler;
-use datacell::window::{ReEvalWindow, WindowSpec};
 use datacell::scheduler::SchedulePolicy;
-use datacell_bat::types::Value;
-use datacell_bat::DataType;
-use datacell_sql::Schema;
-use parking_lot::RwLock;
+use datacell::window::{ReEvalWindow, WindowSpec};
+use datacell::DataCell;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let mut cat = StreamCatalog::new();
-    let packets = cat
-        .create_basket(
-            "packets",
-            Schema::new(vec![
-                ("src".into(), DataType::Int),
-                ("dst".into(), DataType::Int),
-                ("port".into(), DataType::Int),
-                ("bytes".into(), DataType::Int),
-            ]),
+    let cell = DataCell::builder().writer_batch_size(500).build();
+    for ddl in [
+        "create basket packets (src int, dst int, port int, bytes int)",
+        "create basket alerts (src int, port int)",
+        "create basket talkers (src int, total int)",
+        "create basket packets_w (src int, dst int, port int, bytes int)",
+        "create basket volumes (total int)",
+    ] {
+        cell.execute(ddl).unwrap();
+    }
+    let packets = cell.basket("packets").unwrap();
+
+    // Queries 1 and 2 share the `packets` basket under the shared-readers
+    // discipline (§2.5): a tuple is removed only once both have seen it.
+    {
+        let catalog = cell.catalog();
+        let cat = catalog.read();
+        let alerts = cat.basket("alerts").unwrap();
+        let talkers = cat.basket("talkers").unwrap();
+
+        // Query 1 (cheap, shared reader): blocklisted ports.
+        let mut blocklist = Factory::compile(
+            "blocklist",
+            "select p.src, p.port from [select * from packets] as p \
+             where p.port in (23, 445, 1433)",
+            &cat,
+            FactoryOutput::Basket(alerts),
         )
         .unwrap();
-    let alerts = cat
-        .create_basket(
-            "alerts",
-            Schema::new(vec![
-                ("src".into(), DataType::Int),
-                ("port".into(), DataType::Int),
-            ]),
+        blocklist
+            .set_shared("packets", packets.register_reader(true))
+            .unwrap();
+
+        // Query 2 (heavy, shared reader): top talkers per batch.
+        let mut top = Factory::compile(
+            "top_talkers",
+            "select p.src, sum(p.bytes) as total from [select * from packets] as p \
+             group by p.src order by total desc limit 3",
+            &cat,
+            FactoryOutput::Basket(talkers),
         )
         .unwrap();
-    let talkers = cat
-        .create_basket(
-            "talkers",
-            Schema::new(vec![
-                ("src".into(), DataType::Int),
-                ("total".into(), DataType::Int),
-            ]),
+        top.set_shared("packets", packets.register_reader(true))
+            .unwrap();
+
+        // Query 3: tumbling-window byte counts per 1000 packets, on a
+        // private copy of the stream (window processing, §3.1).
+        let window = ReEvalWindow::new(
+            "volume_window",
+            "select sum(p.bytes) as total from [select * from packets_w] as p",
+            &cat,
+            cat.basket("packets_w").unwrap(),
+            WindowSpec::Count {
+                size: 1000,
+                slide: 1000,
+            },
+            FactoryOutput::Basket(cat.basket("volumes").unwrap()),
         )
         .unwrap();
+        drop(cat);
 
-    // Query 1 (cheap, shared reader): blocklisted ports.
-    let mut blocklist = Factory::compile(
-        "blocklist",
-        "select p.src, p.port from [select * from packets] as p \
-         where p.port in (23, 445, 1433)",
-        &cat,
-        FactoryOutput::Basket(Arc::clone(&alerts)),
-    )
-    .unwrap();
-    blocklist
-        .set_shared("packets", packets.register_reader(true))
-        .unwrap();
-
-    // Query 2 (heavy, shared reader): top talkers per batch.
-    let mut top = Factory::compile(
-        "top_talkers",
-        "select p.src, sum(p.bytes) as total from [select * from packets] as p \
-         group by p.src order by total desc limit 3",
-        &cat,
-        FactoryOutput::Basket(Arc::clone(&talkers)),
-    )
-    .unwrap();
-    top.set_shared("packets", packets.register_reader(true))
-        .unwrap();
-
-    // Query 3: tumbling-window byte counts per 1000 packets, on a private
-    // copy of the stream (window processing, §3.1).
-    let wcopy = cat
-        .create_basket(
-            "packets_w",
-            Schema::new(vec![
-                ("src".into(), DataType::Int),
-                ("dst".into(), DataType::Int),
-                ("port".into(), DataType::Int),
-                ("bytes".into(), DataType::Int),
-            ]),
-        )
-        .unwrap();
-    let volumes = cat
-        .create_basket("volumes", Schema::new(vec![("total".into(), DataType::Int)]))
-        .unwrap();
-    let window = ReEvalWindow::new(
-        "volume_window",
-        "select sum(p.bytes) as total from [select * from packets_w] as p",
-        &cat,
-        Arc::clone(&wcopy),
-        WindowSpec::Count {
-            size: 1000,
-            slide: 1000,
-        },
-        FactoryOutput::Basket(Arc::clone(&volumes)),
-    )
-    .unwrap();
-
-    let catalog = Arc::new(RwLock::new(cat));
-    let scheduler = Scheduler::new(Arc::clone(&catalog));
-    scheduler.add_factory(blocklist);
-    scheduler.add_factory(top);
-    scheduler.add_transition(Arc::new(window), SchedulePolicy::default());
+        cell.add_factory(blocklist, SchedulePolicy::default());
+        cell.add_factory(top, SchedulePolicy::default());
+        cell.scheduler()
+            .add_transition(Arc::new(window), SchedulePolicy::default());
+    }
 
     // Synthetic packet trace: 5000 packets, a Zipf-ish source skew, a few
-    // suspicious ports.
+    // suspicious ports, ingested through typed writers (validated against
+    // the basket schema, appended in 500-row batches).
+    let mut wire = cell.writer("packets").unwrap();
+    let mut wire_w = cell.writer("packets_w").unwrap();
     let mut rng = StdRng::seed_from_u64(1);
-    let mut batch = Vec::new();
-    for _ in 0..5_000 {
+    for i in 0..5_000u32 {
         let src = [10, 10, 10, 11, 12, 13, 14][rng.gen_range(0..7)];
         let port = if rng.gen_ratio(2, 100) {
             [23, 445, 1433][rng.gen_range(0..3)]
         } else {
-            rng.gen_range(1024..65535)
+            rng.gen_range(1024..65535i64)
         };
-        batch.push(vec![
-            Value::Int(src),
-            Value::Int(rng.gen_range(1..255)),
-            Value::Int(port),
-            Value::Int(rng.gen_range(40..1500)),
-        ]);
-        if batch.len() == 500 {
-            packets.append_rows(&batch).unwrap();
-            wcopy.append_rows(&batch).unwrap();
-            batch.clear();
-            scheduler.run_until_quiescent(1000);
+        let row = (
+            src,
+            rng.gen_range(1..255i64),
+            port,
+            rng.gen_range(40..1500i64),
+        );
+        wire.append(row).unwrap();
+        wire_w.append(row).unwrap();
+        if (i + 1) % 500 == 0 {
+            cell.run_until_quiescent(1000);
         }
     }
+    cell.run_until_quiescent(1000);
 
+    let alerts = cell.basket("alerts").unwrap();
+    let talkers = cell.basket("talkers").unwrap();
+    let volumes = cell.basket("volumes").unwrap();
     println!("suspicious-port alerts : {}", alerts.len());
     println!("top-talker report rows : {}", talkers.len());
     println!("volume windows         : {}", volumes.len());
-    let vsnap = volumes.snapshot();
+    // Baskets remain inspectable as tables with one-time SQL (§2.6).
+    let vsnap = cell
+        .query("select total from volumes order by total")
+        .unwrap();
     for i in 0..vsnap.len() {
-        println!(
-            "  window {i}: {} bytes",
-            vsnap.columns[0].get(i).unwrap()
-        );
+        println!("  window {i}: {} bytes", vsnap.columns[0].get(i).unwrap());
     }
-    assert!(alerts.len() > 0 && volumes.len() == 5);
+    assert!(!alerts.is_empty() && volumes.len() == 5);
 }

@@ -2,7 +2,10 @@
 //!
 //! Depend on the individual crates (`datacell`, `datacell-sql`, …) in real
 //! use; this crate exists so workspace-level examples and integration
-//! tests have one import root.
+//! tests have one import root. The typed client facade —
+//! [`DataCellBuilder`], [`StreamWriter`], [`Subscription`],
+//! [`QueryHandle`] — is re-exported at the top level as the recommended
+//! entry point.
 
 pub use datacell;
 pub use datacell_baseline;
@@ -10,3 +13,5 @@ pub use datacell_bat;
 pub use datacell_engine;
 pub use datacell_sql;
 pub use linearroad;
+
+pub use datacell::{DataCell, DataCellBuilder, QueryHandle, StreamWriter, Subscription};

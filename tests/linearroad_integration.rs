@@ -9,7 +9,11 @@ use linearroad::{LinearRoadSystem, TrafficConfig, TrafficSim};
 #[test]
 fn short_run_validates_and_meets_deadline() {
     let report = run_linear_road(1, 300, 777);
-    assert!(report.validation.passed(), "{:?}", report.validation.mismatches);
+    assert!(
+        report.validation.passed(),
+        "{:?}",
+        report.validation.mismatches
+    );
     assert!(report.max_response_micros < 5_000_000, "5 s deadline");
     assert!(report.tolls > 0);
 }
@@ -38,7 +42,7 @@ fn interleaved_feeding_matches_reference() {
     sys.drain();
     let report = validate(&sys, sim.records());
     assert!(report.passed(), "{:?}", report.mismatches);
-    assert!(sys.daily_out.len() > 0);
+    assert!(!sys.daily_out.is_empty());
 }
 
 #[test]

@@ -1,0 +1,115 @@
+//! The continuous-query lifecycle across the full stack: register →
+//! subscribe → pause/resume → `DROP CONTINUOUS QUERY`, verifying that the
+//! factory and output basket are detached and every subscription channel
+//! closes — the contract behind `QueryHandle`.
+
+use std::time::Duration;
+
+use datacell::{DataCell, DataCellError};
+
+#[test]
+fn register_subscribe_drop_detaches_and_closes() {
+    let cell = DataCell::new();
+    cell.execute("create basket events (id int, score float)")
+        .unwrap();
+    let q = cell
+        .continuous_query(
+            "hot",
+            "select e.id, e.score from [select * from events] as e \
+             where e.score > 0.5",
+        )
+        .unwrap();
+    let sub = q.subscribe::<(i64, f64)>().unwrap();
+
+    // Flowing: writer → factory → subscription.
+    let mut w = cell.writer("events").unwrap();
+    w.append((1i64, 0.9f64)).unwrap();
+    w.append((2i64, 0.1f64)).unwrap();
+    w.flush().unwrap();
+    cell.run_until_quiescent(100);
+    let rows = sub.collect_n(1, Duration::from_secs(2)).unwrap();
+    assert_eq!(rows, vec![(1, 0.9)]);
+
+    // Drop via SQL: the statement and QueryHandle::drop_query are the same
+    // code path.
+    cell.execute("drop continuous query hot").unwrap();
+
+    // The factory is detached: new input is never processed...
+    w.append((3i64, 0.9f64)).unwrap();
+    w.flush().unwrap();
+    assert_eq!(
+        cell.run_until_quiescent(100),
+        0,
+        "no registered transitions"
+    );
+    assert_eq!(
+        cell.basket("events").unwrap().len(),
+        1,
+        "input just buffers"
+    );
+    // ...the output basket left the catalog...
+    assert!(cell.basket("hot_out").is_err());
+    assert!(cell.query_output("hot").is_err());
+    assert!(cell.query_handle("hot").is_err());
+    // ...and the subscription channel is closed.
+    assert!(matches!(sub.try_next(), Err(DataCellError::Disconnected)));
+    assert!(matches!(
+        sub.next_timeout(Duration::from_millis(10)),
+        Err(DataCellError::Disconnected)
+    ));
+}
+
+#[test]
+fn drop_via_handle_closes_multiple_subscriptions() {
+    let cell = DataCell::new();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let sub1 = q.subscribe::<(i64,)>().unwrap();
+    let sub2 = cell.subscribe::<(i64,)>("q").unwrap();
+    q.drop_query().unwrap();
+    for sub in [&sub1, &sub2] {
+        assert!(matches!(sub.try_next(), Err(DataCellError::Disconnected)));
+    }
+    // Dropping twice reports the unknown query.
+    assert!(cell.drop_query("q").is_err());
+}
+
+#[test]
+fn pause_buffers_resume_drains_under_scheduler_thread() {
+    let cell = DataCell::builder().auto_start(true).build();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let sub = q.subscribe::<(i64,)>().unwrap();
+
+    q.pause().unwrap();
+    cell.execute("insert into b values (1), (2), (3)").unwrap();
+    // Nothing may arrive while paused.
+    assert_eq!(
+        sub.next_timeout(Duration::from_millis(100)).unwrap(),
+        None,
+        "paused query delivered a row"
+    );
+    assert_eq!(cell.basket("b").unwrap().len(), 3);
+
+    q.resume().unwrap();
+    let mut rows = sub.collect_n(3, Duration::from_secs(3)).unwrap();
+    rows.sort_unstable();
+    assert_eq!(rows, vec![(1,), (2,), (3,)]);
+    cell.stop();
+}
+
+#[test]
+fn session_stop_closes_subscriptions() {
+    let cell = DataCell::new();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let sub = q.subscribe::<(i64,)>().unwrap();
+    cell.stop();
+    assert!(matches!(sub.try_next(), Err(DataCellError::Disconnected)));
+}

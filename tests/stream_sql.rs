@@ -41,7 +41,8 @@ fn continuous_query_stream_table_join_and_aggregation() {
         .unwrap();
     cell.execute("insert into products values (1, 10), (2, 20), (3, 30)")
         .unwrap();
-    cell.execute("create basket orders (pid int, qty int)").unwrap();
+    cell.execute("create basket orders (pid int, qty int)")
+        .unwrap();
     cell.execute(
         "create continuous query revenue as \
          select p.pid, sum(o.qty * p.price) as rev \
@@ -82,7 +83,10 @@ fn continuous_query_keeps_state_across_batches() {
 fn errors_are_reported_not_swallowed() {
     let cell = DataCell::new();
     assert!(cell.execute("select * from nowhere").is_err());
-    assert!(cell.execute("create basket b (ts int)").is_err(), "reserved ts");
+    assert!(
+        cell.execute("create basket b (ts int)").is_err(),
+        "reserved ts"
+    );
     cell.execute("create basket b (v int)").unwrap();
     assert!(cell
         .execute("create continuous query q as select v from b")
@@ -96,11 +100,10 @@ fn errors_are_reported_not_swallowed() {
 #[test]
 fn explain_shows_reused_optimizer_plan() {
     let cell = DataCell::new();
-    cell.execute("create basket s (a int, b int, c int)").unwrap();
+    cell.execute("create basket s (a int, b int, c int)")
+        .unwrap();
     match cell
-        .execute(
-            "explain select s2.a from [select * from s where s.b > 1] as s2 where s2.c = 5",
-        )
+        .execute("explain select s2.a from [select * from s where s.b > 1] as s2 where s2.c = 5")
         .unwrap()
     {
         datacell::session::CellResult::Plan(p) => {
