@@ -22,12 +22,15 @@ fn bench_basket(c: &mut Criterion) {
         .create_basket("b", Schema::new(vec![("v".into(), DataType::Int)]))
         .unwrap();
     let rows = int_stream(1_000, 1000, 1);
+    let reader = basket.register_reader(true);
     let mut g = c.benchmark_group("streaming/basket");
     g.throughput(Throughput::Elements(rows.len() as u64));
-    g.bench_function("append_drain_1k", |b| {
+    g.bench_function("append_claim_commit_1k", |b| {
         b.iter(|| {
             basket.append_rows(&rows).unwrap();
-            basket.drain()
+            let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
+            basket.commit_claim(reader, start, end);
+            chunk
         })
     });
     g.finish();
@@ -136,7 +139,7 @@ fn bench_windows(c: &mut Criterion) {
             b.iter(|| {
                 input.append_rows(&rows).unwrap();
                 w.step(None).unwrap();
-                out.drain()
+                out.clear()
             })
         });
     }

@@ -7,14 +7,33 @@
 //! factory, receptor or emitter at a time updates a given basket"
 //! (§2.3) — here a [`parking_lot::Mutex`] held for the whole factory step.
 //!
-//! Two consumption disciplines coexist:
+//! **One consumption discipline.** Every consumer — a shared-strategy
+//! factory, a §3.2 split head, an emitter feeding a subscription, a window
+//! evaluator — registers a *reader* and holds an oid cursor into the
+//! stream. A tuple is physically removed only once every registered
+//! reader's watermark has passed it: "a tuple remains in its basket until
+//! all relevant factories have seen it" (§2.5). The only positional escape
+//! hatch is [`Basket::consume_positions`], which implements the paper's
+//! basket-expression side effect (a predicate window may delete a
+//! *subset*, §2.6) for exclusively-owned baskets.
 //!
-//! * **exclusive** (separate-baskets strategy): a consuming scan's
-//!   qualifying positions are deleted immediately after the step;
-//! * **shared** (shared-baskets strategy): registered readers each keep an
-//!   oid *cursor*; a tuple is physically removed only once every reader's
-//!   cursor has passed it — "a tuple remains in its basket until all
-//!   relevant factories have seen it" (§2.5).
+//! Readers come in two flavours:
+//!
+//! * **snapshot/commit** ([`Basket::snapshot_for_reader`] +
+//!   [`Basket::commit_reader`]) — for transitions the scheduler fires at
+//!   most once concurrently (factories, windows);
+//! * **claim/commit/rewind** ([`Basket::claim_for_reader`] +
+//!   [`Basket::commit_claim`] / [`Basket::rewind_claim`]) — for emitter
+//!   threads: a claim atomically hands a range to one consumer (competing
+//!   emitters sharing a [`ReaderId`] never double-deliver), while the trim
+//!   watermark is held at the oldest *unacknowledged* claim so a failed
+//!   delivery can rewind and be re-claimed instead of being lost.
+//!
+//! **Bounded capacity.** A basket may carry a tuple capacity with an
+//! [`OverflowPolicy`]; *every* append path (receptors, factories, writers)
+//! respects it, so backpressure propagates end-to-end: a full basket blocks
+//! its receptor, a blocked receptor stalls the source, and
+//! `StreamWriter::flush` observes the same limit from the client side.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,13 +44,40 @@ use datacell_bat::column::Column;
 use datacell_bat::types::{DataType, Value};
 use datacell_engine::Chunk;
 use datacell_sql::{ColumnDef, Schema};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::clock::now_micros;
 use crate::error::{DataCellError, Result};
 
 /// Name of the implicit arrival-timestamp column.
 pub const TS_COLUMN: &str = "ts";
+
+/// What a bounded basket does when an append would exceed its capacity.
+///
+/// Under `Block` and `Reject` the capacity bounds the *standing backlog*,
+/// not a single batch: a batch larger than the capacity is admitted whole
+/// once the basket is empty (otherwise a bulk producer whose batch exceeds
+/// the bound could never make progress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// The appending thread waits until readers release space
+    /// (bounded-queue backpressure). Oversized batches land in
+    /// capacity-sized slices as room frees up. Scheduler-driven producers
+    /// use the non-waiting [`Basket::try_append_chunk`] family instead,
+    /// turning a full basket into a deferral rather than a blocked
+    /// scheduler thread.
+    #[default]
+    Block,
+    /// Fail the append with [`DataCellError::Backpressure`] without
+    /// admitting any row of the batch (full-or-nothing, so a retry never
+    /// duplicates a prefix).
+    Reject,
+    /// Admit the new tuples and drop the oldest resident ones (load
+    /// shedding); sheds are counted in [`BasketStats::shed`]. Readers that
+    /// had not yet seen a shed tuple skip over it. The bound is strict:
+    /// an over-capacity batch keeps only its newest `capacity` tuples.
+    ShedOldest,
+}
 
 /// Monotone counters describing a basket's traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +86,12 @@ pub struct BasketStats {
     pub appended: u64,
     /// Tuples ever removed (consumed or trimmed).
     pub consumed: u64,
+    /// Tuples dropped by [`OverflowPolicy::ShedOldest`] (resident tuples
+    /// evicted plus incoming tuples skipped by an over-capacity batch).
+    pub shed: u64,
+    /// Append calls that encountered a full basket (counted once per
+    /// append call, however long it waited or however often it retried).
+    pub overflow_events: u64,
 }
 
 /// A version-counter signal used to wake the scheduler and emitters when a
@@ -80,9 +132,30 @@ impl Signal {
     }
 }
 
-/// Identifier of a registered shared reader.
+/// Identifier of a registered reader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReaderId(u32);
+
+/// Per-reader cursor state. `cursor` is the next oid the reader will see;
+/// `inflight` holds claimed-but-unacknowledged ranges. The reader's
+/// *watermark* — the oid below which it releases tuples for trimming — is
+/// the start of its oldest in-flight claim, or `cursor` when nothing is in
+/// flight.
+#[derive(Debug, Default, Clone)]
+struct ReaderState {
+    cursor: u64,
+    inflight: Vec<(u64, u64)>,
+}
+
+impl ReaderState {
+    fn watermark(&self) -> u64 {
+        self.inflight
+            .iter()
+            .map(|r| r.0)
+            .min()
+            .unwrap_or(self.cursor)
+    }
+}
 
 #[derive(Debug)]
 struct Inner {
@@ -90,10 +163,53 @@ struct Inner {
     columns: Vec<Column>,
     /// Oid of the first resident tuple.
     base_oid: u64,
-    /// Shared readers' cursors (absolute oids).
-    cursors: HashMap<ReaderId, u64>,
+    /// Registered readers' cursors (absolute oids).
+    readers: HashMap<ReaderId, ReaderState>,
     next_reader: u32,
+    /// Tuple capacity; `None` = unbounded.
+    capacity: Option<usize>,
+    policy: OverflowPolicy,
     stats: BasketStats,
+}
+
+impl Inner {
+    fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    fn end_oid(&self) -> u64 {
+        self.base_oid + self.len() as u64
+    }
+
+    /// Drop the `n` oldest resident tuples (shed), skipping readers past
+    /// them and clipping in-flight claims.
+    fn shed_head(&mut self, n: usize) {
+        let n = n.min(self.len());
+        if n == 0 {
+            return;
+        }
+        for c in &mut self.columns {
+            c.drop_head(n);
+        }
+        self.base_oid += n as u64;
+        let base = self.base_oid;
+        for rs in self.readers.values_mut() {
+            rs.cursor = rs.cursor.max(base);
+            rs.inflight.retain(|&(_, e)| e > base);
+            for r in &mut rs.inflight {
+                r.0 = r.0.max(base);
+            }
+        }
+        self.stats.shed += n as u64;
+    }
+}
+
+/// How much of a pending batch the basket admits right now.
+enum Admission {
+    /// Skip `shed` incoming tuples (counted as shed), append `take`.
+    Take { shed: usize, take: usize },
+    /// Full under [`OverflowPolicy::Block`]: wait for space and retry.
+    Wait,
 }
 
 /// A stream buffer (see module docs). Shareable across threads via `Arc`.
@@ -109,9 +225,19 @@ pub struct Basket {
 }
 
 impl Basket {
-    /// Create a basket with the given *user* schema; the implicit
-    /// [`TS_COLUMN`] is appended. Rejects user columns named `ts`.
+    /// Create an unbounded basket with the given *user* schema; the
+    /// implicit [`TS_COLUMN`] is appended. Rejects user columns named `ts`.
     pub fn new(name: impl Into<String>, user_schema: Schema) -> Result<Self> {
+        Self::bounded(name, user_schema, None, OverflowPolicy::Block)
+    }
+
+    /// Create a basket with an optional tuple capacity and overflow policy.
+    pub fn bounded(
+        name: impl Into<String>,
+        user_schema: Schema,
+        capacity: Option<usize>,
+        policy: OverflowPolicy,
+    ) -> Result<Self> {
         let name = name.into();
         if user_schema.index_of(TS_COLUMN).is_some() {
             return Err(DataCellError::Catalog(format!(
@@ -130,8 +256,10 @@ impl Basket {
             inner: Mutex::new(Inner {
                 columns,
                 base_oid: 0,
-                cursors: HashMap::new(),
+                readers: HashMap::new(),
                 next_reader: 0,
+                capacity: capacity.map(|c| c.max(1)),
+                policy,
                 stats: BasketStats::default(),
             }),
             signal: Arc::new(Signal::new()),
@@ -172,61 +300,152 @@ impl Basket {
         }
     }
 
-    /// Atomically snapshot and remove every resident tuple — the emitter's
-    /// pick-up step: no tuple can slip in between read and delete.
-    pub fn drain(&self) -> Chunk {
-        let chunk;
+    // ----------------------- capacity / overflow -----------------------
+
+    /// (Re)configure the tuple capacity and overflow policy at runtime.
+    pub fn set_capacity(&self, capacity: Option<usize>, policy: OverflowPolicy) {
         {
             let mut inner = self.inner.lock();
-            let removed = inner.columns[0].len();
-            chunk = Chunk {
-                schema: self.schema.clone(),
-                columns: inner.columns.clone(),
-            };
-            let base = inner.base_oid + removed as u64;
-            for c in &mut inner.columns {
-                c.clear();
-            }
-            inner.base_oid = base;
-            for cur in inner.cursors.values_mut() {
-                *cur = base;
-            }
-            inner.stats.consumed += removed as u64;
+            inner.capacity = capacity.map(|c| c.max(1));
+            inner.policy = policy;
         }
-        if !chunk.is_empty() {
+        // Raising the cap may unblock waiting appenders.
+        self.notify();
+    }
+
+    /// Configured tuple capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Configured overflow policy.
+    pub fn overflow_policy(&self) -> OverflowPolicy {
+        self.inner.lock().policy
+    }
+
+    /// Remaining room before the capacity is hit (`None` = unbounded).
+    pub fn free_capacity(&self) -> Option<usize> {
+        let inner = self.inner.lock();
+        inner.capacity.map(|c| c.saturating_sub(inner.len()))
+    }
+
+    /// Drop up to `n` oldest resident tuples (load shedding), returning the
+    /// number dropped. Used by writers implementing a client-side
+    /// [`OverflowPolicy::ShedOldest`] over an unbounded basket.
+    pub fn shed_oldest(&self, n: usize) -> usize {
+        let dropped;
+        {
+            let mut inner = self.inner.lock();
+            let before = inner.stats.shed;
+            inner.shed_head(n);
+            dropped = (inner.stats.shed - before) as usize;
+        }
+        if dropped > 0 {
             self.notify();
         }
-        chunk
+        dropped
     }
 
-    /// Resident tuple count.
-    pub fn len(&self) -> usize {
-        self.inner.lock().columns[0].len()
+    /// Decide how much of a `want`-tuple batch is admitted under the
+    /// capacity/overflow configuration. Called with the inner lock held.
+    /// `blocking` producers may be told to wait; non-blocking (scheduler
+    /// thread) producers get all-or-nothing so a deferred step can retry
+    /// without duplicating a prefix. `counted` dedupes the overflow-event
+    /// stat to once per append call.
+    fn admit(
+        &self,
+        inner: &mut Inner,
+        want: usize,
+        blocking: bool,
+        counted: &mut bool,
+    ) -> Result<Admission> {
+        let Some(cap) = inner.capacity else {
+            return Ok(Admission::Take {
+                shed: 0,
+                take: want,
+            });
+        };
+        let resident = inner.len();
+        let room = cap.saturating_sub(resident);
+        if room >= want {
+            return Ok(Admission::Take {
+                shed: 0,
+                take: want,
+            });
+        }
+        if !*counted {
+            inner.stats.overflow_events += 1;
+            *counted = true;
+        }
+        // An empty basket admits an over-capacity batch whole: the bound
+        // caps the standing backlog, not one batch — otherwise a bulk
+        // producer whose batch exceeds the capacity could never progress.
+        if resident == 0 && inner.policy != OverflowPolicy::ShedOldest {
+            return Ok(Admission::Take {
+                shed: 0,
+                take: want,
+            });
+        }
+        match inner.policy {
+            OverflowPolicy::Block => {
+                if !blocking {
+                    Err(DataCellError::Backpressure {
+                        basket: self.name.clone(),
+                        resident,
+                        capacity: cap,
+                    })
+                } else if room > 0 {
+                    Ok(Admission::Take {
+                        shed: 0,
+                        take: room,
+                    })
+                } else {
+                    Ok(Admission::Wait)
+                }
+            }
+            OverflowPolicy::Reject => Err(DataCellError::Backpressure {
+                basket: self.name.clone(),
+                resident,
+                capacity: cap,
+            }),
+            OverflowPolicy::ShedOldest => {
+                // Admit the newest `min(want, cap)` incoming tuples; evict
+                // residents (and skip incoming overflow) to make room.
+                let take = want.min(cap);
+                let skip = want - take;
+                let evict = take.saturating_sub(room);
+                inner.shed_head(evict);
+                inner.stats.shed += skip as u64;
+                Ok(Admission::Take { shed: skip, take })
+            }
+        }
     }
 
-    /// True iff no tuples are resident.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Wait for the basket to change, releasing the inner lock first.
+    fn wait_for_space(&self, inner: MutexGuard<'_, Inner>) {
+        let seen = self.signal.version();
+        drop(inner);
+        // The timeout bounds the wait so capacity changes and consumer
+        // shutdown are noticed even without a notification.
+        self.signal.wait_past(seen, Duration::from_millis(1));
     }
 
-    /// Tuples not yet seen by shared reader `r`.
-    pub fn pending_for(&self, r: ReaderId) -> usize {
-        let inner = self.inner.lock();
-        let cursor = inner.cursors.get(&r).copied().unwrap_or(inner.base_oid);
-        let end = inner.base_oid + inner.columns[0].len() as u64;
-        (end - cursor.min(end)) as usize
-    }
-
-    /// Traffic counters.
-    pub fn stats(&self) -> BasketStats {
-        self.inner.lock().stats
-    }
+    // ----------------------------- appends -----------------------------
 
     /// Append rows of user values (arity = user width); each row is stamped
     /// with the current engine time. Values are coerced to the column
-    /// types (the same rules as SQL `INSERT`).
+    /// types (the same rules as SQL `INSERT`). On a bounded basket the
+    /// [`OverflowPolicy`] applies.
     pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
-        self.append_rows_inner(rows, true)
+        self.append_rows_inner(rows, true, true)
+    }
+
+    /// Non-waiting [`Basket::append_rows`]: a full `Block`-policy basket
+    /// returns [`DataCellError::Backpressure`] (all-or-nothing) instead of
+    /// blocking the caller — for scheduler-driven producers that defer and
+    /// retry rather than stall the scheduling thread.
+    pub fn try_append_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
+        self.append_rows_inner(rows, true, false)
     }
 
     /// Append rows whose values are already coerced to the column types —
@@ -235,39 +454,50 @@ impl Basket {
     /// string-clone) pass per tuple on flush. Arity and type tags are
     /// still pre-checked, so a bad row fails *before* anything is pushed.
     pub fn append_rows_prevalidated(&self, rows: &[Vec<Value>]) -> Result<()> {
-        self.append_rows_inner(rows, false)
+        self.append_rows_inner(rows, false, true)
     }
 
-    fn append_rows_inner(&self, rows: &[Vec<Value>], coerce: bool) -> Result<()> {
+    fn append_rows_inner(&self, rows: &[Vec<Value>], coerce: bool, blocking: bool) -> Result<()> {
         if rows.is_empty() {
             return Ok(());
         }
-        {
-            let mut inner = self.inner.lock();
-            let user_width = self.schema.len() - 1;
-            // Pre-check every row completely before mutating any column:
-            // a failure mid-append would leave the columns with unequal
-            // lengths (a torn write visible to every later reader).
-            for row in rows {
-                if row.len() != user_width {
+        let user_width = self.schema.len() - 1;
+        // Pre-check every row completely before mutating any column:
+        // a failure mid-append would leave the columns with unequal
+        // lengths (a torn write visible to every later reader).
+        for row in rows {
+            if row.len() != user_width {
+                return Err(DataCellError::Wiring(format!(
+                    "basket {}: row arity {} != {}",
+                    self.name,
+                    row.len(),
+                    user_width
+                )));
+            }
+            for (v, cd) in row.iter().zip(self.schema.columns.iter().take(user_width)) {
+                if !v.can_coerce_to(cd.ty) {
                     return Err(DataCellError::Wiring(format!(
-                        "basket {}: row arity {} != {}",
-                        self.name,
-                        row.len(),
-                        user_width
+                        "basket {}: cannot coerce {v:?} to {}",
+                        self.name, cd.ty
                     )));
                 }
-                for (v, cd) in row.iter().zip(self.schema.columns.iter().take(user_width)) {
-                    if !v.can_coerce_to(cd.ty) {
-                        return Err(DataCellError::Wiring(format!(
-                            "basket {}: cannot coerce {v:?} to {}",
-                            self.name, cd.ty
-                        )));
-                    }
-                }
             }
+        }
+        let mut offset = 0;
+        let mut counted = false;
+        loop {
+            let mut inner = self.inner.lock();
+            let (shed, take) =
+                match self.admit(&mut inner, rows.len() - offset, blocking, &mut counted)? {
+                    Admission::Take { shed, take } => (shed, take),
+                    Admission::Wait => {
+                        self.wait_for_space(inner);
+                        continue;
+                    }
+                };
+            offset += shed;
             let ts = now_micros();
-            for row in rows {
+            for row in &rows[offset..offset + take] {
                 for (v, (c, cd)) in row.iter().zip(
                     inner
                         .columns
@@ -295,74 +525,148 @@ impl Basket {
                     .expect("ts column")
                     .push(&Value::Timestamp(ts))?;
             }
-            inner.stats.appended += rows.len() as u64;
+            inner.stats.appended += take as u64;
+            offset += take;
+            let done = offset == rows.len();
+            drop(inner);
+            self.notify();
+            if done {
+                return Ok(());
+            }
         }
-        self.notify();
-        Ok(())
     }
 
     /// Append a chunk of user columns (no `ts`); stamps arrival time.
     pub fn append_chunk(&self, chunk: &Chunk) -> Result<()> {
-        self.append_chunk_impl(chunk, None)
+        self.append_chunk_impl(chunk, None, true)
     }
 
     /// Append a chunk whose **last column is a timestamp column** to carry
     /// through (factory outputs propagating the original arrival time so
     /// emitters can measure true end-to-end latency).
     pub fn append_chunk_carry_ts(&self, chunk: &Chunk) -> Result<()> {
-        self.append_chunk_impl(chunk, Some(chunk.schema.len() - 1))
+        self.append_chunk_impl(chunk, Some(chunk.schema.len() - 1), true)
     }
 
-    fn append_chunk_impl(&self, chunk: &Chunk, ts_from: Option<usize>) -> Result<()> {
+    /// Non-waiting [`Basket::append_chunk`]: a full `Block`-policy basket
+    /// returns [`DataCellError::Backpressure`] (all-or-nothing, nothing
+    /// appended) instead of blocking. Factories use this for their output
+    /// baskets so a full output defers the step — the scheduler thread
+    /// never wedges, and since factories deliver before consuming, the
+    /// deferred step retries losslessly.
+    pub fn try_append_chunk(&self, chunk: &Chunk) -> Result<()> {
+        self.append_chunk_impl(chunk, None, false)
+    }
+
+    /// Non-waiting [`Basket::append_chunk_carry_ts`]; see
+    /// [`Basket::try_append_chunk`].
+    pub fn try_append_chunk_carry_ts(&self, chunk: &Chunk) -> Result<()> {
+        self.append_chunk_impl(chunk, Some(chunk.schema.len() - 1), false)
+    }
+
+    fn append_chunk_impl(
+        &self,
+        chunk: &Chunk,
+        ts_from: Option<usize>,
+        blocking: bool,
+    ) -> Result<()> {
         if chunk.is_empty() {
             return Ok(());
         }
-        {
-            let mut inner = self.inner.lock();
-            let user_width = self.schema.len() - 1;
-            let data_width = match ts_from {
-                None => chunk.schema.len(),
-                Some(_) => chunk.schema.len() - 1,
-            };
-            if data_width != user_width {
+        let user_width = self.schema.len() - 1;
+        let data_width = match ts_from {
+            None => chunk.schema.len(),
+            Some(_) => chunk.schema.len() - 1,
+        };
+        if data_width != user_width {
+            return Err(DataCellError::Wiring(format!(
+                "basket {}: chunk width {} != user width {}",
+                self.name, data_width, user_width
+            )));
+        }
+        if let Some(idx) = ts_from {
+            if chunk.columns[idx].data_type() != DataType::Timestamp {
                 return Err(DataCellError::Wiring(format!(
-                    "basket {}: chunk width {} != user width {}",
-                    self.name, data_width, user_width
+                    "basket {}: carry-ts column has type {}, expected timestamp",
+                    self.name,
+                    chunk.columns[idx].data_type()
                 )));
             }
+        }
+        let total = chunk.len();
+        let mut offset = 0;
+        let mut counted = false;
+        loop {
+            let mut inner = self.inner.lock();
+            let (shed, take) =
+                match self.admit(&mut inner, total - offset, blocking, &mut counted)? {
+                    Admission::Take { shed, take } => (shed, take),
+                    Admission::Wait => {
+                        self.wait_for_space(inner);
+                        continue;
+                    }
+                };
+            offset += shed;
             for i in 0..user_width {
-                inner.columns[i].append_column(&chunk.columns[i])?;
+                let slice = chunk.columns[i].slice(offset, offset + take)?;
+                inner.columns[i].append_column(&slice)?;
             }
             match ts_from {
                 None => {
                     let ts = now_micros();
-                    let n = chunk.len();
                     let last = inner.columns.last_mut().expect("ts column");
-                    for _ in 0..n {
+                    for _ in 0..take {
                         last.push(&Value::Timestamp(ts))?;
                     }
                 }
                 Some(idx) => {
-                    let src = &chunk.columns[idx];
-                    if src.data_type() != DataType::Timestamp {
-                        return Err(DataCellError::Wiring(format!(
-                            "basket {}: carry-ts column has type {}, expected timestamp",
-                            self.name,
-                            src.data_type()
-                        )));
-                    }
-                    let src = src.clone();
+                    let slice = chunk.columns[idx].slice(offset, offset + take)?;
                     inner
                         .columns
                         .last_mut()
                         .expect("ts column")
-                        .append_column(&src)?;
+                        .append_column(&slice)?;
                 }
             }
-            inner.stats.appended += chunk.len() as u64;
+            inner.stats.appended += take as u64;
+            offset += take;
+            let done = offset == total;
+            drop(inner);
+            self.notify();
+            if done {
+                return Ok(());
+            }
         }
-        self.notify();
-        Ok(())
+    }
+
+    // ------------------------------ reads ------------------------------
+
+    /// Resident tuple count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True iff no tuples are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tuples not yet seen by reader `r` — the per-reader unread count the
+    /// scheduler's ready predicates are built on.
+    pub fn pending_for(&self, r: ReaderId) -> usize {
+        let inner = self.inner.lock();
+        let cursor = inner
+            .readers
+            .get(&r)
+            .map(|rs| rs.cursor)
+            .unwrap_or(inner.base_oid);
+        let end = inner.end_oid();
+        (end - cursor.min(end)) as usize
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> BasketStats {
+        self.inner.lock().stats
     }
 
     /// Snapshot the full resident contents (all columns including `ts`).
@@ -374,14 +678,26 @@ impl Basket {
         }
     }
 
+    /// Heap footprint in bytes (diagnostics / load shedding).
+    pub fn byte_size(&self) -> usize {
+        self.inner
+            .lock()
+            .columns
+            .iter()
+            .map(Column::byte_size)
+            .sum()
+    }
+
+    // ------------------- positional consumption (§2.6) -----------------
+
     /// Delete the tuples at `positions` (relative to the current snapshot).
     /// Used to apply the consumption side effect of basket expressions in
-    /// the exclusive (separate-baskets) discipline.
+    /// exclusively-owned baskets (a predicate window deletes a subset).
     pub fn consume_positions(&self, positions: &Candidates) -> Result<usize> {
         let removed;
         {
             let mut inner = self.inner.lock();
-            let len = inner.columns[0].len();
+            let len = inner.len();
             let keep = positions.complement(len).to_positions();
             removed = len - keep.len();
             if removed == 0 {
@@ -390,13 +706,17 @@ impl Basket {
             for c in &mut inner.columns {
                 c.retain_positions(&keep)?;
             }
-            // Deleting arbitrary positions invalidates oid-density; shared
-            // readers and exclusive consumption are not meant to be mixed on
-            // one basket, but keep cursors sane by clamping to the new end.
+            // Deleting arbitrary positions invalidates oid-density; readers
+            // and exclusive consumption are not meant to be mixed on one
+            // basket, but keep cursors sane by clamping to the new end.
             inner.base_oid += removed as u64;
-            let end = inner.base_oid + inner.columns[0].len() as u64;
-            for cur in inner.cursors.values_mut() {
-                *cur = (*cur).min(end);
+            let end = inner.end_oid();
+            for rs in inner.readers.values_mut() {
+                rs.cursor = rs.cursor.min(end);
+                rs.inflight.retain(|&(s, _)| s < end);
+                for r in &mut rs.inflight {
+                    r.1 = r.1.min(end);
+                }
             }
             inner.stats.consumed += removed as u64;
         }
@@ -409,14 +729,15 @@ impl Basket {
         let removed;
         {
             let mut inner = self.inner.lock();
-            removed = inner.columns[0].len();
+            removed = inner.len();
             let base = inner.base_oid + removed as u64;
             for c in &mut inner.columns {
                 c.clear();
             }
             inner.base_oid = base;
-            for cur in inner.cursors.values_mut() {
-                *cur = base;
+            for rs in inner.readers.values_mut() {
+                rs.cursor = base;
+                rs.inflight.clear();
             }
             inner.stats.consumed += removed as u64;
         }
@@ -424,11 +745,11 @@ impl Basket {
         removed
     }
 
-    // ------------- shared-reader discipline (§2.5) -------------
+    // ------------------- registered-reader discipline ------------------
 
-    /// Register a shared reader starting at the current end of stream
-    /// (it sees only tuples arriving after registration) or at the start of
-    /// resident data when `from_start`.
+    /// Register a reader starting at the current end of stream (it sees
+    /// only tuples arriving after registration) or at the start of resident
+    /// data when `from_start`.
     pub fn register_reader(&self, from_start: bool) -> ReaderId {
         let mut inner = self.inner.lock();
         let id = ReaderId(inner.next_reader);
@@ -436,66 +757,150 @@ impl Basket {
         let cursor = if from_start {
             inner.base_oid
         } else {
-            inner.base_oid + inner.columns[0].len() as u64
+            inner.end_oid()
         };
-        inner.cursors.insert(id, cursor);
+        inner.readers.insert(
+            id,
+            ReaderState {
+                cursor,
+                inflight: Vec::new(),
+            },
+        );
         id
     }
 
-    /// Remove a reader; its cursor no longer holds back trimming.
+    /// Remove a reader; its watermark no longer holds back trimming.
     pub fn unregister_reader(&self, r: ReaderId) {
         let mut inner = self.inner.lock();
-        inner.cursors.remove(&r);
+        inner.readers.remove(&r);
         drop(inner);
         self.trim();
     }
 
-    /// Snapshot the tuples reader `r` has not yet seen, along with the end
-    /// oid to pass to [`Basket::commit_reader`] after processing.
-    pub fn snapshot_for_reader(&self, r: ReaderId) -> (Chunk, u64) {
-        let inner = self.inner.lock();
-        let base = inner.base_oid;
-        let len = inner.columns[0].len();
-        let cursor = inner.cursors.get(&r).copied().unwrap_or(base);
-        let from = (cursor.saturating_sub(base) as usize).min(len);
-        let columns = inner
-            .columns
-            .iter()
-            .map(|c| c.slice(from, len).expect("slice within bounds"))
-            .collect();
-        (
-            Chunk {
-                schema: self.schema.clone(),
-                columns,
-            },
-            base + len as u64,
-        )
+    /// Number of registered readers.
+    pub fn reader_count(&self) -> usize {
+        self.inner.lock().readers.len()
     }
 
-    /// Advance reader `r`'s cursor to `end_oid` and trim tuples every
-    /// reader has now seen.
+    /// Snapshot the tuples reader `r` has not yet seen, along with the end
+    /// oid to pass to [`Basket::commit_reader`] after processing. The
+    /// cursor does not move: this is the snapshot/commit flavour for
+    /// transitions fired at most once concurrently.
+    pub fn snapshot_for_reader(&self, r: ReaderId) -> (Chunk, u64) {
+        let inner = self.inner.lock();
+        let (chunk, _, end) = Self::slice_from_cursor(&self.schema, &inner, r, usize::MAX);
+        (chunk, end)
+    }
+
+    /// Advance reader `r`'s cursor and watermark to `end_oid` and trim
+    /// tuples every reader has now released.
     pub fn commit_reader(&self, r: ReaderId, end_oid: u64) {
         {
             let mut inner = self.inner.lock();
-            if let Some(cur) = inner.cursors.get_mut(&r) {
-                *cur = (*cur).max(end_oid);
+            if let Some(rs) = inner.readers.get_mut(&r) {
+                rs.cursor = rs.cursor.max(end_oid);
             }
         }
         self.trim();
     }
 
-    /// Drop the prefix all registered readers have consumed. No-op when no
+    /// Atomically claim up to `max` unread tuples for reader `r`: the
+    /// cursor advances past the claimed range (a competing consumer on the
+    /// same reader claims the *next* range), but the reader's watermark
+    /// stays at the claim start until [`Basket::commit_claim`] — so the
+    /// tuples survive until delivery is acknowledged. Returns the claimed
+    /// chunk with its `[start, end)` oid range (empty chunk ⇒ nothing
+    /// pending, `start == end`).
+    pub fn claim_for_reader(&self, r: ReaderId, max: usize) -> (Chunk, u64, u64) {
+        let mut inner = self.inner.lock();
+        let (chunk, start, end) = Self::slice_from_cursor(&self.schema, &inner, r, max);
+        if end > start {
+            if let Some(rs) = inner.readers.get_mut(&r) {
+                rs.inflight.push((start, end));
+                rs.cursor = rs.cursor.max(end);
+            }
+        }
+        (chunk, start, end)
+    }
+
+    /// Acknowledge a delivered claim: the watermark advances past it and
+    /// fully-released tuples are trimmed.
+    pub fn commit_claim(&self, r: ReaderId, start: u64, end: u64) {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(rs) = inner.readers.get_mut(&r) {
+                rs.inflight.retain(|&(s, e)| e <= start || s >= end);
+            }
+        }
+        self.trim();
+    }
+
+    /// Give a failed claim back: the cursor rewinds to the claim start so
+    /// the range is re-claimed (by this consumer or a competing one on the
+    /// same reader). With claims committed out of order this is
+    /// at-least-once — ranges claimed after `start` may be re-delivered.
+    pub fn rewind_claim(&self, r: ReaderId, start: u64, end: u64) {
+        {
+            let mut inner = self.inner.lock();
+            let base = inner.base_oid;
+            if let Some(rs) = inner.readers.get_mut(&r) {
+                rs.inflight.retain(|&(s, e)| e <= start || s >= end);
+                rs.cursor = rs.cursor.min(start).max(base);
+            }
+        }
+        // The rewound range is pending again: wake consumers to re-claim.
+        self.notify();
+    }
+
+    /// Slice `[cursor, cursor+max)` for reader `r` with the lock held.
+    fn slice_from_cursor(
+        schema: &Schema,
+        inner: &Inner,
+        r: ReaderId,
+        max: usize,
+    ) -> (Chunk, u64, u64) {
+        let base = inner.base_oid;
+        let len = inner.len();
+        let cursor = inner
+            .readers
+            .get(&r)
+            .map(|rs| rs.cursor)
+            .unwrap_or(base)
+            .max(base);
+        let from = (cursor.saturating_sub(base) as usize).min(len);
+        let to = from.saturating_add(max).min(len);
+        let columns = inner
+            .columns
+            .iter()
+            .map(|c| c.slice(from, to).expect("slice within bounds"))
+            .collect();
+        (
+            Chunk {
+                schema: schema.clone(),
+                columns,
+            },
+            base + from as u64,
+            base + to as u64,
+        )
+    }
+
+    /// Drop the prefix below every reader's watermark. No-op when no
     /// readers are registered (exclusive baskets trim via consumption).
     fn trim(&self) {
         let mut notified = false;
         {
             let mut inner = self.inner.lock();
-            if inner.cursors.is_empty() {
+            if inner.readers.is_empty() {
                 return;
             }
-            let min_cursor = inner.cursors.values().copied().min().unwrap_or(0);
-            let drop_n = min_cursor.saturating_sub(inner.base_oid) as usize;
-            let drop_n = drop_n.min(inner.columns[0].len());
+            let watermark = inner
+                .readers
+                .values()
+                .map(ReaderState::watermark)
+                .min()
+                .unwrap_or(0);
+            let drop_n = watermark.saturating_sub(inner.base_oid) as usize;
+            let drop_n = drop_n.min(inner.len());
             if drop_n > 0 {
                 for c in &mut inner.columns {
                     c.drop_head(drop_n);
@@ -508,16 +913,6 @@ impl Basket {
         if notified {
             self.notify();
         }
-    }
-
-    /// Heap footprint in bytes (diagnostics / load shedding).
-    pub fn byte_size(&self) -> usize {
-        self.inner
-            .lock()
-            .columns
-            .iter()
-            .map(Column::byte_size)
-            .sum()
     }
 }
 
@@ -535,6 +930,20 @@ mod tests {
             ]),
         )
         .unwrap()
+    }
+
+    fn bounded(cap: usize, policy: OverflowPolicy) -> Basket {
+        Basket::bounded(
+            "b",
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            Some(cap),
+            policy,
+        )
+        .unwrap()
+    }
+
+    fn ints(b: &Basket) -> Vec<i64> {
+        b.snapshot().columns[0].as_ints().unwrap().to_vec()
     }
 
     #[test]
@@ -669,8 +1078,185 @@ mod tests {
         let (_, end) = b.snapshot_for_reader(r1);
         b.commit_reader(r1, end);
         assert_eq!(b.len(), 1);
+        assert_eq!(b.reader_count(), 2);
         b.unregister_reader(r2);
         assert_eq!(b.len(), 0);
+        assert_eq!(b.reader_count(), 1);
+    }
+
+    #[test]
+    fn claims_hand_off_and_hold_watermark() {
+        let b = basket();
+        let r = b.register_reader(true);
+        for i in 0..4 {
+            b.append_rows(&[vec![Value::Int(i), Value::Float(0.0)]])
+                .unwrap();
+        }
+        // Two competing claims on one reader get disjoint ranges.
+        let (c1, s1, e1) = b.claim_for_reader(r, 2);
+        let (c2, s2, e2) = b.claim_for_reader(r, 10);
+        assert_eq!(c1.columns[0].as_ints().unwrap(), &[0, 1]);
+        assert_eq!(c2.columns[0].as_ints().unwrap(), &[2, 3]);
+        assert_eq!((s1, e1, s2, e2), (0, 2, 2, 4));
+        // Nothing trimmed while claims are unacknowledged.
+        b.commit_claim(r, s2, e2);
+        assert_eq!(b.len(), 4, "older claim still in flight");
+        b.commit_claim(r, s1, e1);
+        assert_eq!(b.len(), 0, "all claims acknowledged: trimmed");
+    }
+
+    #[test]
+    fn rewind_makes_claim_pending_again() {
+        let b = basket();
+        let r = b.register_reader(true);
+        b.append_rows(&[
+            vec![Value::Int(1), Value::Float(0.0)],
+            vec![Value::Int(2), Value::Float(0.0)],
+        ])
+        .unwrap();
+        let (c, s, e) = b.claim_for_reader(r, usize::MAX);
+        assert_eq!(c.len(), 2);
+        assert_eq!(b.pending_for(r), 0, "claimed ranges are not pending");
+        b.rewind_claim(r, s, e);
+        assert_eq!(b.pending_for(r), 2, "rewound claim is pending again");
+        assert_eq!(b.len(), 2, "nothing was lost");
+        let (c2, s2, e2) = b.claim_for_reader(r, usize::MAX);
+        assert_eq!(c2.len(), 2);
+        b.commit_claim(r, s2, e2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reject_policy_is_full_or_nothing() {
+        let b = bounded(2, OverflowPolicy::Reject);
+        b.append_rows(&[vec![Value::Int(1)]]).unwrap();
+        let err = b
+            .append_rows(&[vec![Value::Int(2)], vec![Value::Int(3)]])
+            .unwrap_err();
+        match err {
+            DataCellError::Backpressure {
+                resident, capacity, ..
+            } => {
+                assert_eq!((resident, capacity), (1, 2));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(ints(&b), vec![1], "no partial batch admitted");
+        assert_eq!(b.stats().overflow_events, 1);
+        // With room the same batch lands.
+        b.clear();
+        b.append_rows(&[vec![Value::Int(2)], vec![Value::Int(3)]])
+            .unwrap();
+        assert_eq!(ints(&b), vec![2, 3]);
+    }
+
+    #[test]
+    fn shed_oldest_keeps_newest() {
+        let b = bounded(3, OverflowPolicy::ShedOldest);
+        let r = b.register_reader(true);
+        for i in 0..3 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        b.append_rows(&[vec![Value::Int(3)], vec![Value::Int(4)]])
+            .unwrap();
+        assert_eq!(ints(&b), vec![2, 3, 4]);
+        assert_eq!(b.stats().shed, 2);
+        // The reader skipped the shed tuples; it still sees the survivors.
+        let (c, end) = b.snapshot_for_reader(r);
+        assert_eq!(c.columns[0].as_ints().unwrap(), &[2, 3, 4]);
+        b.commit_reader(r, end);
+        assert!(b.is_empty());
+        // A batch larger than the capacity keeps only its newest tuples.
+        let big: Vec<Vec<Value>> = (10..20).map(|i| vec![Value::Int(i)]).collect();
+        b.append_rows(&big).unwrap();
+        assert_eq!(ints(&b), vec![17, 18, 19]);
+    }
+
+    #[test]
+    fn block_policy_unblocks_when_consumer_advances() {
+        let b = Arc::new(bounded(2, OverflowPolicy::Block));
+        let r = b.register_reader(true);
+        b.append_rows(&[vec![Value::Int(0)], vec![Value::Int(1)]])
+            .unwrap();
+        let writer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                // Blocks until the reader releases space.
+                b.append_rows(&[vec![Value::Int(2)], vec![Value::Int(3)]])
+                    .unwrap();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!writer.is_finished(), "writer must be blocked at capacity");
+        let (c, end) = b.snapshot_for_reader(r);
+        assert_eq!(c.len(), 2);
+        b.commit_reader(r, end);
+        writer.join().unwrap();
+        assert_eq!(b.pending_for(r), 2, "blocked batch landed after trim");
+        assert!(b.stats().overflow_events >= 1);
+        let total: Vec<i64> = {
+            let (c, end) = b.snapshot_for_reader(r);
+            b.commit_reader(r, end);
+            c.columns[0].as_ints().unwrap().to_vec()
+        };
+        assert_eq!(total, vec![2, 3], "no loss, no duplication");
+    }
+
+    #[test]
+    fn empty_basket_admits_oversized_batch() {
+        // The bound caps the standing backlog, not one batch: a bulk
+        // producer whose batch exceeds the capacity still makes progress
+        // once consumers drain the basket.
+        let b = bounded(2, OverflowPolicy::Reject);
+        let big: Vec<Vec<Value>> = (0..5).map(|i| vec![Value::Int(i)]).collect();
+        b.append_rows(&big).unwrap();
+        assert_eq!(b.len(), 5, "oversized batch admitted whole when empty");
+        assert_eq!(b.stats().overflow_events, 1);
+        // With a backlog, the bound applies again.
+        assert!(b.append_rows(&[vec![Value::Int(9)]]).is_err());
+    }
+
+    #[test]
+    fn try_append_defers_instead_of_blocking() {
+        let b = Basket::bounded(
+            "b",
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            Some(1),
+            OverflowPolicy::Block,
+        )
+        .unwrap();
+        let r = b.register_reader(true);
+        b.append_rows(&[vec![Value::Int(1)]]).unwrap();
+        let chunk = Chunk::new(
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            vec![Column::from_ints(vec![2, 3])],
+        )
+        .unwrap();
+        // Full Block basket: the non-waiting path errors (all-or-nothing)
+        // instead of stalling the calling thread.
+        let err = b.try_append_chunk(&chunk).unwrap_err();
+        assert!(matches!(err, DataCellError::Backpressure { .. }), "{err}");
+        assert_eq!(b.len(), 1, "nothing appended");
+        // Consumer drains: the retry lands (empty basket admits the batch).
+        let (_, end) = b.snapshot_for_reader(r);
+        b.commit_reader(r, end);
+        b.try_append_chunk(&chunk).unwrap();
+        assert_eq!(b.pending_for(r), 2);
+    }
+
+    #[test]
+    fn capacity_reconfigurable_at_runtime() {
+        let b = bounded(1, OverflowPolicy::Reject);
+        b.append_rows(&[vec![Value::Int(1)]]).unwrap();
+        assert!(b.append_rows(&[vec![Value::Int(2)]]).is_err());
+        assert_eq!(b.free_capacity(), Some(0));
+        b.set_capacity(Some(4), OverflowPolicy::Reject);
+        assert_eq!(b.capacity(), Some(4));
+        b.append_rows(&[vec![Value::Int(2)]]).unwrap();
+        assert_eq!(b.free_capacity(), Some(2));
+        b.set_capacity(None, OverflowPolicy::Block);
+        assert_eq!(b.free_capacity(), None);
+        assert_eq!(b.overflow_policy(), OverflowPolicy::Block);
     }
 
     #[test]
@@ -703,5 +1289,24 @@ mod tests {
         b.append_chunk_carry_ts(&chunk).unwrap();
         let snap = b.snapshot();
         assert_eq!(snap.columns[2].as_timestamps().unwrap(), &[12345]);
+    }
+
+    #[test]
+    fn bounded_chunk_append_sheds() {
+        let b = Basket::bounded(
+            "b",
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            Some(2),
+            OverflowPolicy::ShedOldest,
+        )
+        .unwrap();
+        let chunk = Chunk::new(
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            vec![Column::from_ints(vec![1, 2, 3])],
+        )
+        .unwrap();
+        b.append_chunk(&chunk).unwrap();
+        assert_eq!(ints(&b), vec![2, 3]);
+        assert_eq!(b.stats().shed, 1);
     }
 }

@@ -39,16 +39,21 @@ use crate::text;
 
 // ---------------------------------------------------------------- builder
 
-/// What a [`StreamWriter`] does when its target basket is at capacity.
+pub use crate::basket::OverflowPolicy;
+
+/// How several [`Subscription`]s on one continuous query share its output
+/// stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OverflowPolicy {
-    /// Wait for the pipeline to drain (bounded-queue backpressure).
+pub enum SubscriptionMode {
+    /// Every subscription registers its own reader on the output basket,
+    /// so **each subscriber sees every tuple** (the shared-readers release
+    /// discipline of §2.5). The default.
     #[default]
-    Block,
-    /// Fail the flush with [`DataCellError::Backpressure`], leaving the
-    /// not-yet-appended rows buffered for a later
-    /// [`flush`](StreamWriter::flush) retry.
-    Reject,
+    Broadcast,
+    /// All subscriptions of the query share one reader: each tuple is
+    /// delivered to exactly *one* of them (competing consumers — a simple
+    /// work-sharing pool).
+    Shared,
 }
 
 /// Configures and constructs a [`DataCell`] session.
@@ -120,14 +125,20 @@ impl DataCellBuilder {
         self
     }
 
-    /// Soft capacity (resident tuples) of writer target baskets; writers
-    /// apply the [`OverflowPolicy`] when a flush would exceed it.
+    /// Tuple capacity of every basket created through this session
+    /// (`CREATE BASKET` and continuous-query output baskets). The capacity
+    /// lives in the engine: receptors, factories and writers all respect
+    /// it under the configured [`OverflowPolicy`], so backpressure
+    /// propagates end-to-end. Writers additionally use it as their
+    /// flush-time soft cap.
     pub fn basket_capacity(mut self, tuples: usize) -> Self {
         self.basket_capacity = Some(tuples.max(1));
         self
     }
 
-    /// What writers do at capacity (default: [`OverflowPolicy::Block`]).
+    /// What producers do at capacity (default: [`OverflowPolicy::Block`]):
+    /// block until readers release space, reject the batch, or shed the
+    /// oldest resident tuples.
     pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
         self.overflow = policy;
         self
@@ -456,12 +467,24 @@ impl StreamWriter {
         Ok(out)
     }
 
+    /// The smaller of the writer's soft cap and the basket's own capacity
+    /// (`None` = unbounded on both sides).
+    fn effective_capacity(&self) -> Option<usize> {
+        match (self.capacity, self.basket.capacity()) {
+            (Some(w), Some(b)) => Some(w.min(b)),
+            (Some(w), None) => Some(w),
+            (None, b) => b,
+        }
+    }
+
     /// Append every buffered row to the basket in bulk, applying the
-    /// capacity/overflow policy. A buffer larger than the remaining
-    /// capacity is flushed in capacity-sized chunks, so a batch size above
-    /// the basket capacity still makes progress. Returns the number of
-    /// rows flushed; on [`DataCellError::Backpressure`] the rows already
-    /// appended are removed from the buffer, the rest stay for retry.
+    /// capacity/overflow policy — the writer's own soft cap *and* the
+    /// basket's engine-level capacity, whichever is tighter. A buffer
+    /// larger than the remaining capacity is flushed in capacity-sized
+    /// chunks, so a batch size above the basket capacity still makes
+    /// progress. Returns the number of rows flushed; on
+    /// [`DataCellError::Backpressure`] the rows already appended are
+    /// removed from the buffer, the rest stay for retry.
     pub fn flush(&mut self) -> Result<usize> {
         if self.buf.is_empty() {
             return Ok(0);
@@ -470,7 +493,7 @@ impl StreamWriter {
         let mut offset = 0;
         let mut waited = false;
         while offset < total {
-            let (room, resident) = match self.capacity {
+            let (room, resident) = match self.effective_capacity() {
                 None => (total - offset, 0),
                 Some(capacity) => {
                     let resident = self.basket.len();
@@ -489,7 +512,7 @@ impl StreamWriter {
                         return Err(DataCellError::Backpressure {
                             basket: self.basket.name().to_string(),
                             resident,
-                            capacity: self.capacity.unwrap_or(0),
+                            capacity: self.effective_capacity().unwrap_or(0),
                         });
                     }
                     OverflowPolicy::Block => {
@@ -501,13 +524,37 @@ impl StreamWriter {
                         signal.wait_past(seen, Duration::from_millis(1));
                         continue;
                     }
+                    OverflowPolicy::ShedOldest => {
+                        // Make room at the head of the stream; the basket
+                        // counts the shed tuples in its stats.
+                        let need = (total - offset)
+                            .min(self.effective_capacity().unwrap_or(total - offset));
+                        self.basket.shed_oldest(need.max(1));
+                        continue;
+                    }
                 }
             }
             let n = room.min(total - offset);
-            // Rows were validated/coerced on append; skip re-coercion.
-            self.basket
-                .append_rows_prevalidated(&self.buf[offset..offset + n])?;
-            offset += n;
+            // Rows were validated/coerced on append; skip re-coercion. A
+            // concurrent producer may still win the race to the last slot:
+            // a Reject basket then surfaces Backpressure here, a Block
+            // basket simply waits inside the append.
+            match self
+                .basket
+                .append_rows_prevalidated(&self.buf[offset..offset + n])
+            {
+                Ok(()) => offset += n,
+                Err(DataCellError::Backpressure { .. })
+                    if self.overflow != OverflowPolicy::Reject =>
+                {
+                    continue;
+                }
+                Err(e) => {
+                    self.buf.drain(..offset);
+                    self.record_flush(offset);
+                    return Err(e);
+                }
+            }
         }
         self.buf.clear();
         self.record_flush(total);
@@ -545,6 +592,14 @@ impl Drop for StreamWriter {
 /// Each delivered tuple (minus the implicit `ts` column) is decoded into
 /// `T` via [`FromRow`]. `Subscription<String>` reproduces the old textual
 /// interface; `Subscription<Vec<Value>>` gives raw rows.
+///
+/// Subscriptions are **broadcast by default**: each registers its own
+/// reader on the query's output basket, so several subscriptions each see
+/// the full result stream, and a tuple is released only once every
+/// subscriber has received it. Competing-consumer delivery (each tuple to
+/// exactly one subscriber) is available via
+/// [`SubscriptionMode::Shared`] and
+/// [`DataCell::subscribe_with`](crate::DataCell::subscribe_with).
 ///
 /// The channel closes — [`next_timeout`] returns
 /// [`DataCellError::Disconnected`] — when the query is dropped

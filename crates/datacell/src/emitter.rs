@@ -2,10 +2,23 @@
 //!
 //! "An emitter is a separate thread that picks up events prepared by the
 //! DataCell kernel and delivers them to interested clients, i.e., those
-//! that have subscribed to a query result." An emitter drains its basket
-//! atomically (no tuple is delivered twice, none is lost) and hands the
-//! batch to a [`Sink`]. The textual sink reproduces the paper's flat
-//! tuple-exchange format; the latency sink powers the evaluation harness.
+//! that have subscribed to a query result." An emitter is a registered
+//! *reader* on its basket: it atomically claims the unread range, hands the
+//! batch to a [`Sink`], and acknowledges the claim on success — so no tuple
+//! is delivered twice by one reader and none is lost. On a failed delivery
+//! the claim is *rewound* (the cursor steps back) instead of the chunk
+//! being re-inserted, which keeps the stream in order for other readers.
+//!
+//! Two fan-out shapes fall out of the reader model:
+//!
+//! * **broadcast** ([`Emitter::spawn`]) — the emitter registers its own
+//!   reader, so several emitters on one basket each see *every* tuple;
+//! * **competing consumers** ([`Emitter::spawn_shared`]) — several emitters
+//!   share one [`ReaderId`]; each claimed range goes to exactly one of
+//!   them.
+//!
+//! The textual sink reproduces the paper's flat tuple-exchange format; the
+//! latency sink powers the evaluation harness.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,7 +30,7 @@ use datacell_bat::types::Value;
 use datacell_engine::Chunk;
 use parking_lot::Mutex;
 
-use crate::basket::Basket;
+use crate::basket::{Basket, ReaderId};
 use crate::clock::now_micros;
 use crate::error::{DataCellError, Result};
 use crate::metrics::{LatencyHistogram, SessionMetrics};
@@ -208,53 +221,105 @@ pub struct Emitter {
 }
 
 impl Emitter {
-    /// Spawn an emitter draining `basket` into `sink` whenever the basket
-    /// signals new content.
+    /// Spawn a broadcast emitter: it registers its own reader on `basket`
+    /// (seeing every resident and future tuple) and delivers into `sink`
+    /// whenever the basket signals new content. The reader is deregistered
+    /// when the emitter exits, releasing its hold on the trim watermark.
     pub fn spawn(
         name: impl Into<String>,
         basket: Arc<Basket>,
-        mut sink: impl Sink + 'static,
+        sink: impl Sink + 'static,
     ) -> Result<Emitter> {
-        let name = name.into();
+        Self::spawn_inner(name.into(), basket, None, sink, None)
+    }
+
+    /// Spawn a competing-consumer emitter on an externally registered
+    /// `reader` shared with other emitters: each claimed range is delivered
+    /// by exactly one of them. The caller owns the reader's lifetime (it is
+    /// *not* deregistered when this emitter exits).
+    pub fn spawn_shared(
+        name: impl Into<String>,
+        basket: Arc<Basket>,
+        reader: ReaderId,
+        sink: impl Sink + 'static,
+    ) -> Result<Emitter> {
+        Self::spawn_inner(name.into(), basket, Some(reader), sink, None)
+    }
+
+    /// [`Emitter::spawn_shared`] with an exit hook, run after the emitter
+    /// thread finishes — the session uses it to refcount a query's shared
+    /// reader and deregister it when the last shared subscriber is gone.
+    pub(crate) fn spawn_shared_with_release(
+        name: impl Into<String>,
+        basket: Arc<Basket>,
+        reader: ReaderId,
+        sink: impl Sink + 'static,
+        release: impl FnOnce() + Send + 'static,
+    ) -> Result<Emitter> {
+        Self::spawn_inner(
+            name.into(),
+            basket,
+            Some(reader),
+            sink,
+            Some(Box::new(release)),
+        )
+    }
+
+    fn spawn_inner(
+        name: String,
+        basket: Arc<Basket>,
+        shared_reader: Option<ReaderId>,
+        mut sink: impl Sink + 'static,
+        on_exit: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Result<Emitter> {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(EmitterStats::default());
         let thread_stop = Arc::clone(&stop);
         let thread_stats = Arc::clone(&stats);
         let thread_name = name.clone();
+        let owns_reader = shared_reader.is_none();
+        let reader = shared_reader.unwrap_or_else(|| basket.register_reader(true));
         let handle = std::thread::Builder::new()
             .name(format!("emitter-{name}"))
             .spawn(move || {
                 let signal = basket.signal();
                 let mut seen = signal.version();
                 while !thread_stop.load(Ordering::Relaxed) {
-                    let chunk = basket.drain();
+                    let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
                     if chunk.is_empty() {
                         seen = signal.wait_past(seen, Duration::from_millis(5));
                         continue;
                     }
                     match sink.deliver(&chunk) {
                         Ok(()) => {
+                            basket.commit_claim(reader, start, end);
                             thread_stats
                                 .tuples
                                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
                             thread_stats.batches.fetch_add(1, Ordering::Relaxed);
                         }
                         // The sink is gone (subscriber hung up) or broken.
-                        // Put the drained chunk back — with its original
-                        // timestamps — so a competing emitter on the same
-                        // basket delivers it instead of it vanishing; a
+                        // Rewind the claim so the range stays in place —
+                        // original order and timestamps intact — for a
+                        // competing emitter on the same reader; a
                         // disconnect is a clean shutdown, not a fault
                         // worth logging.
                         Err(DataCellError::Disconnected) => {
-                            let _ = basket.append_chunk_carry_ts(&chunk);
+                            basket.rewind_claim(reader, start, end);
                             break;
                         }
                         Err(e) => {
                             eprintln!("emitter {thread_name}: {e}");
-                            let _ = basket.append_chunk_carry_ts(&chunk);
+                            basket.rewind_claim(reader, start, end);
                             break;
                         }
                     }
+                }
+                if owns_reader {
+                    basket.unregister_reader(reader);
+                }
+                if let Some(release) = on_exit {
+                    release();
                 }
             })
             .map_err(|e| DataCellError::Runtime(format!("spawn emitter: {e}")))?;
@@ -360,7 +425,82 @@ mod tests {
     }
 
     #[test]
-    fn drain_is_atomic_no_duplicates() {
+    fn broadcast_emitters_each_deliver_everything() {
+        let b = basket();
+        let s1 = CollectSink::new();
+        let s2 = CollectSink::new();
+        let e1 = Emitter::spawn("e1", Arc::clone(&b), s1.clone()).unwrap();
+        let e2 = Emitter::spawn("e2", Arc::clone(&b), s2.clone()).unwrap();
+        for i in 0..20 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(2000, || s1.len() == 20 && s2.len() == 20));
+        assert!(
+            wait_until(2000, || b.is_empty()),
+            "trimmed once both readers passed"
+        );
+        e1.stop();
+        e2.stop();
+        let values = |s: &CollectSink| -> Vec<i64> {
+            s.rows().iter().map(|r| r[0].as_int().unwrap()).collect()
+        };
+        assert_eq!(values(&s1), (0..20).collect::<Vec<_>>());
+        assert_eq!(values(&s2), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_emitters_compete_without_duplicates() {
+        let b = basket();
+        let reader = b.register_reader(true);
+        let s1 = CollectSink::new();
+        let s2 = CollectSink::new();
+        let e1 = Emitter::spawn_shared("e1", Arc::clone(&b), reader, s1.clone()).unwrap();
+        let e2 = Emitter::spawn_shared("e2", Arc::clone(&b), reader, s2.clone()).unwrap();
+        for i in 0..200 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(3000, || s1.len() + s2.len() == 200));
+        e1.stop();
+        e2.stop();
+        let mut values: Vec<i64> = s1
+            .rows()
+            .iter()
+            .chain(s2.rows().iter())
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 200, "each tuple claimed exactly once");
+    }
+
+    #[test]
+    fn disconnect_rewinds_claim_for_surviving_consumer() {
+        // One shared consumer's sink is already gone: its claims must be
+        // rewound (not re-inserted) so the surviving consumer re-claims
+        // them in place.
+        let b = basket();
+        let reader = b.register_reader(true);
+        let (tx, rx) = unbounded::<Vec<Value>>();
+        drop(rx); // dead subscriber
+        let dead =
+            Emitter::spawn_shared("dead", Arc::clone(&b), reader, RowSink::new(tx, None)).unwrap();
+        let sink = CollectSink::new();
+        let live = Emitter::spawn_shared("live", Arc::clone(&b), reader, sink.clone()).unwrap();
+        for i in 0..50 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(3000, || sink.len() == 50), "got {}", sink.len());
+        dead.stop();
+        live.stop();
+        let mut values: Vec<i64> = sink.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 50, "rewound claims were re-delivered");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn claims_are_atomic_no_duplicates() {
         let b = basket();
         let sink = CollectSink::new();
         let e = Emitter::spawn("e", Arc::clone(&b), sink.clone()).unwrap();

@@ -26,14 +26,18 @@ pub enum DataCellError {
     /// A typed ingest or decode failed: the row did not match the schema
     /// (arity, type, or a malformed textual tuple).
     Decode(String),
-    /// A [`StreamWriter`](crate::client::StreamWriter) with a bounded
-    /// target basket refused an append because the basket is at capacity.
+    /// A bounded basket under
+    /// [`OverflowPolicy::Reject`](crate::basket::OverflowPolicy) refused an
+    /// append because it is at capacity. Raised by the basket itself, so
+    /// every producer — receptors, factories, and
+    /// [`StreamWriter`](crate::client::StreamWriter) flushes — observes
+    /// the same backpressure signal.
     Backpressure {
         /// The basket that is full.
         basket: String,
         /// Tuples currently resident.
         resident: usize,
-        /// The configured soft capacity.
+        /// The configured capacity.
         capacity: usize,
     },
 }

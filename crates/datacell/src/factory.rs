@@ -11,10 +11,14 @@
 //! 1. snapshot the input baskets (the locks are per-basket and internal —
 //!    see the concurrency note below);
 //! 2. run the plan in bulk over the snapshots;
-//! 3. apply consumption: exclusive inputs delete exactly the tuples the
+//! 3. append results to the output basket — *before* consuming, so a
+//!    bounded output basket that rejects the batch
+//!    ([`OverflowPolicy::Reject`](crate::basket::OverflowPolicy)) defers
+//!    the whole step without losing input tuples, and a `Block` output
+//!    stalls the factory (backpressure propagating upstream);
+//! 4. apply consumption: exclusive inputs delete exactly the tuples the
 //!    basket expression referenced; shared inputs advance their reader
-//!    cursor;
-//! 4. append results to the output basket and emit control tokens.
+//!    cursor; control tokens are consumed and emitted last.
 //!
 //! **Concurrency.** The paper's Algorithm 1 holds the basket locks for the
 //! whole loop body. We get the same effect with finer locks because (a)
@@ -372,7 +376,21 @@ impl Factory {
         };
         let outcome = execute(&self.plan, &src)?;
 
-        // 3. Consumption (§2.6 side effect).
+        // 3. Deliver results first, without waiting: a full bounded output
+        // basket (any policy) surfaces as Backpressure here, which the
+        // scheduler treats as a deferral — and because nothing has been
+        // consumed yet, the deferred step retries later without loss. The
+        // non-waiting append keeps the scheduler thread from wedging on a
+        // `Block` output whose consumer runs on this same thread.
+        let produced = outcome.chunk.len();
+        match &self.output {
+            FactoryOutput::Basket(b) => b.try_append_chunk(&outcome.chunk)?,
+            FactoryOutput::BasketCarryTs(b) => b.try_append_chunk_carry_ts(&outcome.chunk)?,
+            FactoryOutput::Discard => {}
+        }
+
+        // 4. Consumption (§2.6 side effect). Appends that slipped in since
+        // the snapshot sit past the snapshot positions and are untouched.
         let mut consumed = 0usize;
         // Merge candidates per basket (a self-join of one basket reports it
         // twice).
@@ -403,17 +421,10 @@ impl Factory {
             }
         }
 
-        // 4. Control tokens: consume one per control input.
+        // 5. Control tokens: consume one per control input, then signal
+        // downstream stages (the basket is in its post-consumption state).
         for c in &self.control_in {
             c.consume_positions(&Candidates::Dense(0..1))?;
-        }
-
-        // 5. Deliver results.
-        let produced = outcome.chunk.len();
-        match &self.output {
-            FactoryOutput::Basket(b) => b.append_chunk(&outcome.chunk)?,
-            FactoryOutput::BasketCarryTs(b) => b.append_chunk_carry_ts(&outcome.chunk)?,
-            FactoryOutput::Discard => {}
         }
         for c in &self.control_out {
             c.append_rows(&[vec![Value::Int(1)]])?;

@@ -57,11 +57,12 @@ pub mod strategy;
 pub mod text;
 pub mod window;
 
-pub use crate::basket::{Basket, BasketStats};
+pub use crate::basket::{Basket, BasketStats, OverflowPolicy, ReaderId};
 pub use crate::client::{
-    DataCellBuilder, FromRow, FromValue, IntoRow, OverflowPolicy, QueryHandle, StreamWriter,
-    Subscription,
+    DataCellBuilder, FromRow, FromValue, IntoRow, QueryHandle, StreamWriter, Subscription,
+    SubscriptionMode,
 };
 pub use crate::error::{DataCellError, Result};
 pub use crate::metrics::MetricsSnapshot;
+pub use crate::scheduler::SchedulerMetrics;
 pub use crate::session::DataCell;

@@ -156,7 +156,7 @@ pub struct SessionMetrics {
 
 /// Point-in-time view of [`SessionMetrics`] plus scheduler counters,
 /// returned by [`DataCell::metrics`](crate::DataCell::metrics).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Tuples accepted by writers.
     pub tuples_ingested: u64,
@@ -176,6 +176,15 @@ pub struct MetricsSnapshot {
     pub factory_firings: u64,
     /// Factory step errors.
     pub factory_errors: u64,
+    /// Factory steps deferred by output-basket backpressure.
+    pub factory_deferrals: u64,
+    /// Tuples dropped by `ShedOldest` baskets anywhere in the pipeline.
+    pub tuples_shed: u64,
+    /// Append calls that hit a full bounded basket (blocked or rejected).
+    pub overflow_events: u64,
+    /// Per-query scheduling accounts (firings, busy-time, deferrals) —
+    /// the groundwork for fairness policies.
+    pub per_query: Vec<crate::scheduler::SchedulerMetrics>,
 }
 
 #[cfg(test)]

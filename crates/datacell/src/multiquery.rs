@@ -20,7 +20,7 @@ use std::sync::Arc;
 use datacell_sql::logical::LogicalPlan;
 use datacell_sql::Schema;
 
-use crate::basket::Basket;
+use crate::basket::{Basket, ReaderId};
 use crate::catalog::StreamCatalog;
 use crate::error::{DataCellError, Result};
 use crate::factory::{Factory, FactoryOutput};
@@ -34,6 +34,21 @@ pub struct SplitQuery {
     pub tail: Factory,
     /// The intermediate basket connecting them.
     pub intermediate: Arc<Basket>,
+    /// The consumed source basket (the head's input).
+    pub source: Arc<Basket>,
+}
+
+impl SplitQuery {
+    /// Register a reader on the source basket and switch the head to the
+    /// shared-cursor discipline — the §3.2 deployment: the head releases
+    /// the shared basket at selection speed (its cursor advances as soon
+    /// as the cheap scan has passed), while slower co-resident readers
+    /// keep the tuples alive via the low-watermark trim.
+    pub fn share_input(&mut self) -> Result<ReaderId> {
+        let reader = self.source.register_reader(true);
+        self.head.set_shared(self.source.name(), reader)?;
+        Ok(reader)
+    }
 }
 
 /// Split the continuous query `sql` (which must consume exactly one basket)
@@ -122,6 +137,7 @@ pub fn split(
         head,
         tail,
         intermediate,
+        source: source_basket,
     })
 }
 
@@ -273,9 +289,8 @@ mod tests {
             let mut cat = catalog.write();
             let res = cat.basket("res").unwrap();
             let mut sq = split(&mut cat, "q", sql, FactoryOutput::Basket(res)).unwrap();
+            sq.share_input().unwrap();
             let source = cat.basket("s").unwrap();
-            let reader = source.register_reader(true);
-            sq.head.set_shared("s", reader).unwrap();
             let head = scheduler.add_factory(sq.head);
             scheduler.add_factory(sq.tail);
             (source, head)

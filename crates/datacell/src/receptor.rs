@@ -10,6 +10,12 @@
 //!
 //! A receptor can fan one stream out to *several* baskets — that is exactly
 //! the copy the separate-baskets strategy pays for (§2.5).
+//!
+//! **Backpressure.** Target baskets may be bounded
+//! ([`OverflowPolicy`](crate::basket::OverflowPolicy)): a `Block` basket
+//! holds the receptor thread until readers release space — stalling the
+//! source end-to-end — while a `Reject` basket sheds the batch at the edge
+//! (counted in [`ReceptorStats::rejected`], never fatal).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -180,6 +186,9 @@ pub struct ReceptorStats {
     pub tuples: AtomicU64,
     /// Batches ingested.
     pub batches: AtomicU64,
+    /// Tuples refused by a full `Reject`-policy basket (counted per
+    /// fan-out copy that was turned away).
+    pub rejected: AtomicU64,
 }
 
 /// A running receptor thread.
@@ -217,10 +226,18 @@ impl Receptor {
                     match source.next_batch(batch_size.max(1)) {
                         SourceBatch::Rows(rows) => {
                             for t in &targets {
-                                if let Err(e) = t.append_rows(&rows) {
+                                match t.append_rows(&rows) {
+                                    Ok(()) => {}
+                                    // A full `Reject` basket sheds at the
+                                    // edge: count it, keep pumping.
+                                    Err(DataCellError::Backpressure { .. }) => {
+                                        thread_stats
+                                            .rejected
+                                            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                                    }
                                     // A malformed batch must not kill the
                                     // receptor; report and continue.
-                                    eprintln!("receptor {thread_name}: {e}");
+                                    Err(e) => eprintln!("receptor {thread_name}: {e}"),
                                 }
                             }
                             thread_stats
@@ -252,6 +269,11 @@ impl Receptor {
     /// Tuples ingested so far.
     pub fn tuples_ingested(&self) -> u64 {
         self.stats.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Tuples refused by full `Reject`-policy target baskets so far.
+    pub fn tuples_rejected(&self) -> u64 {
+        self.stats.rejected.load(Ordering::Relaxed)
     }
 
     /// Ask the thread to stop and wait for it.

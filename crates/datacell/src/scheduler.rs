@@ -87,6 +87,12 @@ struct Entry {
     /// Paused transitions are skipped by every pass; their input baskets
     /// keep buffering (the query lifecycle's `pause`/`resume`).
     paused: AtomicBool,
+    /// Completed firings of this transition.
+    firings: AtomicU64,
+    /// Wall-clock time spent inside this transition's `step`, in µs.
+    busy_micros: AtomicU64,
+    /// Steps deferred by output backpressure (retried on a later pass).
+    deferrals: AtomicU64,
 }
 
 /// Monotone scheduler counters.
@@ -99,6 +105,26 @@ pub struct SchedulerStats {
     /// Step errors (logged and skipped — a failing query must not take the
     /// engine down).
     pub errors: AtomicU64,
+    /// Steps deferred because a bounded output basket rejected the batch
+    /// (not an error: the step retries once space frees).
+    pub deferrals: AtomicU64,
+}
+
+/// Per-transition scheduling account: how often a factory fired and how
+/// much scheduler time it consumed — the raw material for fairness
+/// policies and multi-tenant accounting. Exposed through
+/// [`Scheduler::transition_metrics`] and
+/// [`DataCell::metrics`](crate::DataCell::metrics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerMetrics {
+    /// Transition (factory/window) name.
+    pub name: String,
+    /// Completed firings.
+    pub firings: u64,
+    /// Wall-clock µs spent inside `step`.
+    pub busy_micros: u64,
+    /// Steps deferred by output backpressure.
+    pub deferrals: u64,
 }
 
 struct Shared {
@@ -163,6 +189,9 @@ impl Scheduler {
             policy,
             last_fired: Mutex::new(None),
             paused: AtomicBool::new(false),
+            firings: AtomicU64::new(0),
+            busy_micros: AtomicU64::new(0),
+            deferrals: AtomicU64::new(0),
         }));
         // Stable priority order, high first; ties keep registration order.
         entries.sort_by_key(|e| std::cmp::Reverse(e.policy.priority));
@@ -247,11 +276,23 @@ impl Scheduler {
                 continue;
             }
             let catalog = shared.catalog.read();
+            let started = Instant::now();
             let result = entry.factory.step(Some(&catalog.tables));
+            let busy = started.elapsed().as_micros() as u64;
             drop(catalog);
             *entry.last_fired.lock() = Some(Instant::now());
+            entry.busy_micros.fetch_add(busy, Ordering::Relaxed);
             match result {
-                Ok(_) => fired += 1,
+                Ok(_) => {
+                    fired += 1;
+                    entry.firings.fetch_add(1, Ordering::Relaxed);
+                }
+                // A bounded output basket turned the batch away: not an
+                // error, the step retries once downstream frees space.
+                Err(DataCellError::Backpressure { .. }) => {
+                    entry.deferrals.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.deferrals.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(e) => {
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                     eprintln!("scheduler: factory {} failed: {e}", entry.factory.name());
@@ -322,6 +363,27 @@ impl Scheduler {
             self.shared.stats.firings.load(Ordering::Relaxed),
             self.shared.stats.errors.load(Ordering::Relaxed),
         )
+    }
+
+    /// Steps deferred by output backpressure across all transitions.
+    pub fn deferrals(&self) -> u64 {
+        self.shared.stats.deferrals.load(Ordering::Relaxed)
+    }
+
+    /// Per-transition scheduling accounts, in firing order — firings and
+    /// busy-time per factory (groundwork for fairness policies).
+    pub fn transition_metrics(&self) -> Vec<SchedulerMetrics> {
+        self.shared
+            .entries
+            .lock()
+            .iter()
+            .map(|e| SchedulerMetrics {
+                name: e.factory.name().to_string(),
+                firings: e.firings.load(Ordering::Relaxed),
+                busy_micros: e.busy_micros.load(Ordering::Relaxed),
+                deferrals: e.deferrals.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -470,6 +532,53 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(sched.set_paused("nope", true).is_err());
         assert!(sched.is_paused("nope").is_err());
+    }
+
+    #[test]
+    fn per_transition_metrics_account_firings() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let input = catalog.read().basket("r").unwrap();
+        input.append_rows(&[vec![Value::Int(50)]]).unwrap();
+        sched.run_until_quiescent(10);
+        input.append_rows(&[vec![Value::Int(60)]]).unwrap();
+        sched.run_until_quiescent(10);
+        let accounts = sched.transition_metrics();
+        assert_eq!(accounts.len(), 1);
+        assert_eq!(accounts[0].name, "q");
+        assert_eq!(accounts[0].firings, 2);
+        assert_eq!(accounts[0].deferrals, 0);
+    }
+
+    #[test]
+    fn backpressure_defers_instead_of_erroring() {
+        use crate::basket::OverflowPolicy;
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        // A resident tuple leaves no room for the 2-result batch in the
+        // 1-tuple Reject output basket.
+        out.append_rows(&[vec![Value::Int(0)]]).unwrap();
+        out.set_capacity(Some(1), OverflowPolicy::Reject);
+        input
+            .append_rows(&[vec![Value::Int(20)], vec![Value::Int(30)]])
+            .unwrap();
+        assert_eq!(sched.run_until_quiescent(5), 0, "step deferred");
+        assert!(sched.deferrals() >= 1);
+        let (_, _, errors) = sched.stats();
+        assert_eq!(errors, 0, "backpressure is not an error");
+        assert_eq!(input.len(), 2, "inputs were not consumed");
+        // Downstream drains the basket: the retry lands the whole batch
+        // (an empty basket admits an over-capacity batch — the bound caps
+        // the backlog, not one batch — so the deferral always resolves).
+        out.clear();
+        assert_eq!(sched.run_until_quiescent(5), 1);
+        assert_eq!(out.len(), 2);
+        assert!(input.is_empty());
+        assert_eq!(sched.transition_metrics()[0].deferrals, 1);
     }
 
     #[test]

@@ -26,10 +26,11 @@ use datacell_sql::resolve::{bind_insert_rows, bind_query};
 use datacell_sql::{parser, Schema, SqlError};
 use parking_lot::{Mutex, RwLock};
 
-use crate::basket::{Basket, TS_COLUMN};
+use crate::basket::{Basket, ReaderId, TS_COLUMN};
 use crate::catalog::StreamCatalog;
 use crate::client::{
     DataCellBuilder, FromRow, OverflowPolicy, QueryHandle, StreamWriter, Subscription,
+    SubscriptionMode,
 };
 use crate::emitter::{CollectSink, Emitter, RowSink, Sink, TextSink};
 use crate::error::{DataCellError, Result};
@@ -64,6 +65,13 @@ impl DataSource for CatalogSource<'_> {
     }
 }
 
+/// A query's competing-consumer reader plus the number of live shared
+/// emitters on it. The last emitter to exit deregisters the reader.
+struct SharedReader {
+    reader: ReaderId,
+    refs: Arc<std::sync::atomic::AtomicUsize>,
+}
+
 /// Session configuration resolved from [`DataCellBuilder`].
 pub(crate) struct CellConfig {
     pub(crate) default_policy: SchedulePolicy,
@@ -80,6 +88,11 @@ pub struct DataCell {
     config: CellConfig,
     /// Continuous query name → output basket.
     query_outputs: Mutex<HashMap<String, Arc<Basket>>>,
+    /// Continuous query name → the single competing-consumer reader shared
+    /// by every [`SubscriptionMode::Shared`] subscription of that query,
+    /// refcounted so the last exiting shared emitter deregisters it (an
+    /// abandoned reader would hold the trim watermark forever).
+    shared_readers: Mutex<HashMap<String, SharedReader>>,
     factory_registry: Mutex<Vec<Arc<Factory>>>,
     receptors: Mutex<Vec<Receptor>>,
     /// Emitters, tagged with the continuous query they serve (if any) so
@@ -89,6 +102,11 @@ pub struct DataCell {
     /// Wiring records for the Petri-net rendering.
     receptor_wiring: Mutex<Vec<(String, Vec<String>)>>,
     emitter_wiring: Mutex<Vec<(String, String)>>,
+    /// Shed/overflow totals of baskets that have since been dropped, so
+    /// the session-level counters stay monotone across `DROP BASKET` /
+    /// `DROP CONTINUOUS QUERY`.
+    retired_shed: AtomicU64,
+    retired_overflow: AtomicU64,
 }
 
 impl Default for DataCell {
@@ -125,12 +143,15 @@ impl DataCell {
                 metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
             },
             query_outputs: Mutex::new(HashMap::new()),
+            shared_readers: Mutex::new(HashMap::new()),
             factory_registry: Mutex::new(Vec::new()),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
             emitter_seq: AtomicU64::new(0),
             receptor_wiring: Mutex::new(Vec::new()),
             emitter_wiring: Mutex::new(Vec::new()),
+            retired_shed: AtomicU64::new(0),
+            retired_overflow: AtomicU64::new(0),
         };
         if builder.auto_start {
             cell.start();
@@ -202,6 +223,9 @@ impl DataCell {
                     .write()
                     .create_basket(&name, Schema::new(columns))?;
                 basket.set_parent_signal(self.scheduler.signal());
+                // Engine-level capacity: receptors, factories and writers
+                // all hit the same bound.
+                basket.set_capacity(self.config.basket_capacity, self.config.overflow);
                 Ok(CellResult::Ack(format!("created basket {name}")))
             }
             Statement::CreateContinuousQuery { name, query } => {
@@ -235,6 +259,10 @@ impl DataCell {
                     let mut cat = self.catalog.write();
                     let b = cat.create_basket(&out_name, user_schema)?;
                     b.set_parent_signal(self.scheduler.signal());
+                    // Bounded output baskets push backpressure into the
+                    // factory itself (its step defers or stalls when
+                    // subscribers fall behind).
+                    b.set_capacity(self.config.basket_capacity, self.config.overflow);
                     b
                 };
                 let factory = {
@@ -324,7 +352,11 @@ impl DataCell {
                     Ok(CellResult::Ack(format!("dropped table {name}")))
                 }
                 DropKind::Basket => {
-                    self.catalog.write().drop_basket(&name)?;
+                    let mut cat = self.catalog.write();
+                    if let Ok(b) = cat.basket(&name) {
+                        self.retire_basket_stats(&b);
+                    }
+                    cat.drop_basket(&name)?;
                     Ok(CellResult::Ack(format!("dropped basket {name}")))
                 }
                 DropKind::ContinuousQuery => {
@@ -391,11 +423,26 @@ impl DataCell {
     /// tuple into `T` (see [`FromRow`]): tuples of primitives,
     /// `Vec<Value>` for raw rows, or `String` for the textual wire format.
     ///
-    /// Each subscription drains the query's output basket through its own
-    /// emitter thread; with several subscriptions on one query, each tuple
-    /// is delivered to exactly *one* of them (competing consumers). The
+    /// Subscriptions are **broadcast**: each registers its own reader on
+    /// the query's output basket through a dedicated emitter thread, so
+    /// with several subscriptions on one query *every* subscriber sees
+    /// every tuple, and a tuple leaves the basket only once all of them
+    /// have received it. For competing-consumer delivery use
+    /// [`DataCell::subscribe_with`] and [`SubscriptionMode::Shared`]. The
     /// subscription closes when the query is dropped or the session stops.
     pub fn subscribe<T: FromRow>(&self, query: &str) -> Result<Subscription<T>> {
+        self.subscribe_with(query, SubscriptionMode::Broadcast)
+    }
+
+    /// Subscribe with an explicit fan-out mode: [`SubscriptionMode::
+    /// Broadcast`] (every subscriber sees every tuple) or
+    /// [`SubscriptionMode::Shared`] (the query's shared subscriptions form
+    /// a competing-consumer pool; each tuple goes to exactly one of them).
+    pub fn subscribe_with<T: FromRow>(
+        &self,
+        query: &str,
+        mode: SubscriptionMode,
+    ) -> Result<Subscription<T>> {
         let out = self.query_output(query)?;
         let (tx, rx) = crossbeam::channel::unbounded();
         // The `#seq` suffix is globally unique, so emitter names can never
@@ -403,7 +450,64 @@ impl DataCell {
         let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
         let name = format!("emit-{query}#{seq}");
         let sink = RowSink::new(tx, self.config.metrics.clone());
-        let emitter = Emitter::spawn(name.clone(), Arc::clone(&out), sink)?;
+        let emitter = match mode {
+            SubscriptionMode::Broadcast => Emitter::spawn(name.clone(), Arc::clone(&out), sink)?,
+            SubscriptionMode::Shared => {
+                // One refcounted reader per query, shared by every Shared
+                // subscriber; the last exiting emitter deregisters it so
+                // an abandoned pool cannot hold the watermark forever.
+                use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+                let (reader, refs) = {
+                    let mut map = self.shared_readers.lock();
+                    let reuse = map.get(query).and_then(|sr| {
+                        // Retain only if at least one emitter is still
+                        // alive (a drained pool already deregistered).
+                        let mut n = sr.refs.load(AtomicOrdering::Acquire);
+                        loop {
+                            if n == 0 {
+                                return None;
+                            }
+                            match sr.refs.compare_exchange_weak(
+                                n,
+                                n + 1,
+                                AtomicOrdering::AcqRel,
+                                AtomicOrdering::Acquire,
+                            ) {
+                                Ok(_) => return Some((sr.reader, Arc::clone(&sr.refs))),
+                                Err(cur) => n = cur,
+                            }
+                        }
+                    });
+                    match reuse {
+                        Some(pair) => pair,
+                        None => {
+                            let reader = out.register_reader(true);
+                            let refs = Arc::new(AtomicUsize::new(1));
+                            map.insert(
+                                query.to_string(),
+                                SharedReader {
+                                    reader,
+                                    refs: Arc::clone(&refs),
+                                },
+                            );
+                            (reader, refs)
+                        }
+                    }
+                };
+                let release_basket = Arc::clone(&out);
+                Emitter::spawn_shared_with_release(
+                    name.clone(),
+                    Arc::clone(&out),
+                    reader,
+                    sink,
+                    move || {
+                        if refs.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+                            release_basket.unregister_reader(reader);
+                        }
+                    },
+                )?
+            }
+        };
         self.emitter_wiring
             .lock()
             .push((name, out.name().to_string()));
@@ -480,8 +584,10 @@ impl DataCell {
             .remove_factory(name)
             .map_err(|e| self.lifecycle_err(name, e))?;
         self.factory_registry.lock().retain(|f| f.name() != name);
+        self.shared_readers.lock().remove(name);
         let out = self.query_outputs.lock().remove(name);
         if let Some(out) = out {
+            self.retire_basket_stats(&out);
             let _ = self.catalog.write().drop_basket(out.name());
         }
         // Take this query's emitters out of the registry, then stop them
@@ -510,17 +616,33 @@ impl DataCell {
         Ok(())
     }
 
-    /// Session-wide metrics snapshot. Scheduler counters are always
-    /// populated; traffic and latency counters require
-    /// [`DataCellBuilder::metrics`].
+    /// Session-wide metrics snapshot. Scheduler counters — including the
+    /// per-query firing/busy-time accounts — are always populated; traffic
+    /// and latency counters require [`DataCellBuilder::metrics`]. Shed
+    /// tuples are summed over every basket in the catalog, so load
+    /// shedding anywhere in the pipeline shows up here.
     pub fn metrics(&self) -> MetricsSnapshot {
         let (passes, firings, errors) = self.scheduler.stats();
         let mut snap = MetricsSnapshot {
             scheduler_passes: passes,
             factory_firings: firings,
             factory_errors: errors,
+            factory_deferrals: self.scheduler.deferrals(),
+            per_query: self.scheduler.transition_metrics(),
             ..Default::default()
         };
+        {
+            let cat = self.catalog.read();
+            snap.tuples_shed = self.retired_shed.load(Ordering::Relaxed);
+            snap.overflow_events = self.retired_overflow.load(Ordering::Relaxed);
+            for name in cat.basket_names() {
+                if let Ok(b) = cat.basket(&name) {
+                    let stats = b.stats();
+                    snap.tuples_shed += stats.shed;
+                    snap.overflow_events += stats.overflow_events;
+                }
+            }
+        }
         if let Some(m) = &self.config.metrics {
             snap.tuples_ingested = m.ingested.total();
             snap.ingest_rate = m.ingested.rate();
@@ -530,6 +652,15 @@ impl DataCell {
             snap.p99_latency_micros = m.latency.quantile_micros(0.99);
         }
         snap
+    }
+
+    /// Fold a to-be-dropped basket's shed/overflow totals into the retired
+    /// counters so [`DataCell::metrics`] stays monotone.
+    fn retire_basket_stats(&self, basket: &Basket) {
+        let stats = basket.stats();
+        self.retired_shed.fetch_add(stats.shed, Ordering::Relaxed);
+        self.retired_overflow
+            .fetch_add(stats.overflow_events, Ordering::Relaxed);
     }
 
     /// Rewrite a scheduler "unknown factory" error into the session-level

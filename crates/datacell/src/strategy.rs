@@ -24,7 +24,7 @@ use std::sync::Arc;
 use datacell_bat::types::{DataType, Value};
 use datacell_sql::Schema;
 
-use crate::basket::Basket;
+use crate::basket::{Basket, OverflowPolicy};
 use crate::catalog::StreamCatalog;
 use crate::error::{DataCellError, Result};
 use crate::factory::{Factory, FactoryOutput};
@@ -142,6 +142,28 @@ pub fn deploy(
             deploy_cascading(catalog, scheduler, stream, user_schema, queries)
         }
     }
+}
+
+/// [`deploy`] with bounded ingest baskets: each basket the receptor feeds
+/// gets `capacity` tuples under `policy`, so the engine-level overflow
+/// behaviour (block / reject / shed) applies from the very first hop. Used
+/// by the backpressure experiment (`exp8_backpressure`).
+#[allow(clippy::too_many_arguments)]
+pub fn deploy_bounded(
+    catalog: &mut StreamCatalog,
+    scheduler: &Scheduler,
+    strategy: Strategy,
+    stream: &str,
+    user_schema: Schema,
+    queries: &[RangeQuery],
+    capacity: usize,
+    policy: OverflowPolicy,
+) -> Result<Deployment> {
+    let d = deploy(catalog, scheduler, strategy, stream, user_schema, queries)?;
+    for b in &d.ingest {
+        b.set_capacity(Some(capacity), policy);
+    }
+    Ok(d)
 }
 
 fn out_basket(

@@ -29,13 +29,13 @@ use std::sync::Arc;
 
 use datacell_bat::aggregate::{Accumulator, AggFunc};
 use datacell_bat::candidates::Candidates;
-use datacell_bat::types::DataType;
+use datacell_bat::types::{DataType, Value};
 use datacell_engine::{execute, Catalog, Chunk};
 use datacell_sql::physical::PhysicalPlan;
 use datacell_sql::Schema;
 use parking_lot::Mutex;
 
-use crate::basket::{Basket, Signal};
+use crate::basket::{Basket, ReaderId, Signal};
 use crate::catalog::{StepSource, StreamCatalog};
 use crate::error::{DataCellError, Result};
 use crate::factory::{FactoryOutput, StepOutcome};
@@ -95,6 +95,10 @@ struct ReEvalState {
 pub struct ReEvalWindow {
     name: String,
     input: Arc<Basket>,
+    /// Registered reader on `input`: the evaluator consumes through the
+    /// unified cursor discipline, so it can share the basket with other
+    /// readers instead of destructively draining it.
+    reader: ReaderId,
     plan: PhysicalPlan,
     spec: WindowSpec,
     output: FactoryOutput,
@@ -124,9 +128,11 @@ impl ReEvalWindow {
                 input.name()
             )));
         }
+        let reader = input.register_reader(true);
         Ok(ReEvalWindow {
             name: name.into(),
             input,
+            reader,
             plan,
             spec,
             output,
@@ -143,22 +149,17 @@ impl ReEvalWindow {
         self.windows_evaluated.load(Ordering::Relaxed)
     }
 
-    fn evaluate_window(&self, window: &Chunk, tables: Option<&Catalog>) -> Result<usize> {
+    /// Run the unchanged plan over one complete window, returning its
+    /// result rows (delivery happens once per step, after every window of
+    /// the step has evaluated).
+    fn evaluate_window(&self, window: &Chunk, tables: Option<&Catalog>) -> Result<Chunk> {
         let mut snapshots = std::collections::HashMap::new();
         snapshots.insert(self.input.name().to_string(), window.clone());
         let src = StepSource {
             snapshots: &snapshots,
             tables,
         };
-        let outcome = execute(&self.plan, &src)?;
-        let produced = outcome.chunk.len();
-        match &self.output {
-            FactoryOutput::Basket(b) => b.append_chunk(&outcome.chunk)?,
-            FactoryOutput::BasketCarryTs(b) => b.append_chunk_carry_ts(&outcome.chunk)?,
-            FactoryOutput::Discard => {}
-        }
-        self.windows_evaluated.fetch_add(1, Ordering::Relaxed);
-        Ok(produced)
+        Ok(execute(&self.plan, &src)?.chunk)
     }
 }
 
@@ -168,44 +169,60 @@ impl Transition for ReEvalWindow {
     }
 
     fn ready(&self) -> bool {
-        !self.input.is_empty()
+        self.input.pending_for(self.reader) > 0
     }
 
     fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
-        let incoming = self.input.drain();
+        // Snapshot without committing: all window evaluation below runs on
+        // a *working copy* of the buffer, and results are delivered in one
+        // non-waiting append. Only on success do the working state and the
+        // reader cursor commit — a full bounded output (Backpressure)
+        // therefore defers the whole step losslessly.
+        let (incoming, end) = self.input.snapshot_for_reader(self.reader);
         let tuples_in = incoming.len();
         let mut state = self.state.lock();
-        if state.buffer.schema.is_empty() {
-            state.buffer = Chunk::empty(incoming.schema.clone());
-        }
-        state.buffer.append(&incoming)?;
+        let mut buffer = if state.buffer.schema.is_empty() {
+            Chunk::empty(incoming.schema.clone())
+        } else {
+            state.buffer.clone()
+        };
+        buffer.append(&incoming)?;
+        let mut window_start = state.window_start;
 
         let mut produced = 0;
+        let mut windows_run = 0;
+        let mut out: Option<Chunk> = None;
         match self.spec {
             WindowSpec::Count { size, slide } => {
-                while state.buffer.len() >= size {
-                    let window = state.buffer.head(size)?;
-                    produced += self.evaluate_window(&window, tables)?;
+                while buffer.len() >= size {
+                    let window = buffer.head(size)?;
+                    let result = self.evaluate_window(&window, tables)?;
+                    produced += result.len();
+                    windows_run += 1;
+                    match &mut out {
+                        None => out = Some(result),
+                        Some(o) => o.append(&result)?,
+                    }
                     // Slide: drop the oldest `slide` tuples.
-                    let remaining = state.buffer.len();
-                    state.buffer = state.buffer.gather(&Candidates::Dense(slide..remaining))?;
+                    let remaining = buffer.len();
+                    buffer = buffer.gather(&Candidates::Dense(slide..remaining))?;
                 }
             }
             WindowSpec::Time {
                 size_micros,
                 slide_micros,
             } => {
-                let ts_idx = state.buffer.schema.len() - 1;
+                let ts_idx = buffer.schema.len() - 1;
                 loop {
-                    if state.buffer.is_empty() {
+                    if buffer.is_empty() {
                         break;
                     }
-                    let ts = state.buffer.columns[ts_idx].as_timestamps()?.to_vec();
-                    let w_start = match state.window_start {
+                    let ts = buffer.columns[ts_idx].as_timestamps()?.to_vec();
+                    let w_start = match window_start {
                         Some(s) => s,
                         None => {
                             let s = ts[0];
-                            state.window_start = Some(s);
+                            window_start = Some(s);
                             s
                         }
                     };
@@ -221,25 +238,42 @@ impl Transition for ReEvalWindow {
                         .filter(|(_, &t)| t >= w_start && t < w_end)
                         .map(|(i, _)| i)
                         .collect();
-                    let window = state
-                        .buffer
-                        .gather(&Candidates::from_sorted_unchecked(in_window))?;
-                    produced += self.evaluate_window(&window, tables)?;
+                    let window = buffer.gather(&Candidates::from_sorted_unchecked(in_window))?;
+                    let result = self.evaluate_window(&window, tables)?;
+                    produced += result.len();
+                    windows_run += 1;
+                    match &mut out {
+                        None => out = Some(result),
+                        Some(o) => o.append(&result)?,
+                    }
                     // Slide and expire.
                     let new_start = w_start + slide_micros;
-                    state.window_start = Some(new_start);
+                    window_start = Some(new_start);
                     let keep: Vec<usize> = ts
                         .iter()
                         .enumerate()
                         .filter(|(_, &t)| t >= new_start)
                         .map(|(i, _)| i)
                         .collect();
-                    state.buffer = state
-                        .buffer
-                        .gather(&Candidates::from_sorted_unchecked(keep))?;
+                    buffer = buffer.gather(&Candidates::from_sorted_unchecked(keep))?;
                 }
             }
         }
+
+        // Deliver every window's results in one batch; only then commit.
+        if let Some(chunk) = &out {
+            match &self.output {
+                FactoryOutput::Basket(b) => b.try_append_chunk(chunk)?,
+                FactoryOutput::BasketCarryTs(b) => b.try_append_chunk_carry_ts(chunk)?,
+                FactoryOutput::Discard => {}
+            }
+        }
+        state.buffer = buffer;
+        state.window_start = window_start;
+        drop(state);
+        self.windows_evaluated
+            .fetch_add(windows_run, Ordering::Relaxed);
+        self.input.commit_reader(self.reader, end);
         Ok(StepOutcome {
             tuples_in,
             consumed: tuples_in,
@@ -267,6 +301,7 @@ pub struct RangeFilter {
     pub hi: i64,
 }
 
+#[derive(Clone)]
 struct BasicState {
     /// Summary under construction for the current basic window.
     current: Accumulator,
@@ -281,6 +316,8 @@ struct BasicState {
 pub struct BasicWindowAgg {
     name: String,
     input: Arc<Basket>,
+    /// Registered reader on `input` (unified cursor discipline).
+    reader: ReaderId,
     /// Aggregated column index in the input basket schema.
     column: usize,
     func: AggFunc,
@@ -324,9 +361,11 @@ impl BasicWindowAgg {
                 "output basket must have exactly one {agg_ty} column"
             )));
         }
+        let reader = input.register_reader(true);
         Ok(BasicWindowAgg {
             name: name.into(),
             input,
+            reader,
             column,
             func,
             filter,
@@ -347,9 +386,10 @@ impl BasicWindowAgg {
         self.windows_emitted.load(Ordering::Relaxed)
     }
 
-    fn emit_if_full(&self, state: &mut BasicState) -> Result<usize> {
+    /// Pop every complete window off the ring into `out` (delivery happens
+    /// once per step so a rejected output defers the step losslessly).
+    fn collect_if_full(&self, state: &mut BasicState, out: &mut Vec<Vec<Value>>) -> Result<()> {
         let bw_per_window = self.size / self.slide;
-        let mut produced = 0;
         while state.ring.len() >= bw_per_window {
             // Merge the summaries — O(size/slide) instead of O(size).
             let mut merged = Accumulator::new();
@@ -357,13 +397,10 @@ impl BasicWindowAgg {
                 merged.merge(acc);
             }
             let in_ty = self.input.schema().columns[self.column].ty;
-            let value = merged.finish(self.func, in_ty)?;
-            self.output.append_rows(&[vec![value]])?;
-            self.windows_emitted.fetch_add(1, Ordering::Relaxed);
-            produced += 1;
+            out.push(vec![merged.finish(self.func, in_ty)?]);
             state.ring.pop_front();
         }
-        Ok(produced)
+        Ok(())
     }
 }
 
@@ -373,11 +410,15 @@ impl Transition for BasicWindowAgg {
     }
 
     fn ready(&self) -> bool {
-        !self.input.is_empty()
+        self.input.pending_for(self.reader) > 0
     }
 
     fn step(&self, _tables: Option<&Catalog>) -> Result<StepOutcome> {
-        let incoming = self.input.drain();
+        // Snapshot without committing; fold into a *working copy* of the
+        // summaries and deliver all completed windows in one non-waiting
+        // append — only on success do the state and cursor commit, so a
+        // full bounded output defers the step losslessly.
+        let (incoming, end) = self.input.snapshot_for_reader(self.reader);
         let tuples_in = incoming.len();
         if tuples_in == 0 {
             return Ok(StepOutcome::default());
@@ -400,23 +441,31 @@ impl Transition for BasicWindowAgg {
         };
         let col = &incoming.columns[self.column];
         let mut state = self.state.lock();
-        let mut produced = 0;
+        let mut work = state.clone();
+        let mut out: Vec<Vec<Value>> = Vec::new();
         for i in 0..tuples_in {
             let qualified = qualifies.as_ref().is_none_or(|c| c.contains(i));
             if qualified {
-                state.current.update(&col.get(i)?);
+                work.current.update(&col.get(i)?);
             } else {
                 // Non-qualifying tuples still advance the count window.
-                state.current.update(&datacell_bat::Value::Nil);
+                work.current.update(&datacell_bat::Value::Nil);
             }
-            state.filled += 1;
-            if state.filled == self.slide {
-                let acc = std::mem::take(&mut state.current);
-                state.ring.push_back(acc);
-                state.filled = 0;
-                produced += self.emit_if_full(&mut state)?;
+            work.filled += 1;
+            if work.filled == self.slide {
+                let acc = std::mem::take(&mut work.current);
+                work.ring.push_back(acc);
+                work.filled = 0;
+                self.collect_if_full(&mut work, &mut out)?;
             }
         }
+        let produced = out.len();
+        self.output.try_append_rows(&out)?;
+        *state = work;
+        drop(state);
+        self.windows_emitted
+            .fetch_add(produced as u64, Ordering::Relaxed);
+        self.input.commit_reader(self.reader, end);
         Ok(StepOutcome {
             tuples_in,
             consumed: tuples_in,
@@ -687,6 +736,44 @@ mod tests {
         inc.step(None).unwrap();
         // Windows: [5,1,9,2]→9, [9,2,3,4]→9, [3,4,10,0]→10.
         assert_eq!(out_values(&inc_out), vec![9, 9, 10]);
+    }
+
+    #[test]
+    fn bounded_output_defers_window_step_losslessly() {
+        use crate::basket::OverflowPolicy;
+        let (cat, input, _) = setup();
+        let mut cat = cat;
+        let _ = input;
+        let inc_input = cat
+            .create_basket("wb", Schema::new(vec![("v".into(), DataType::Int)]))
+            .unwrap();
+        let inc_out = cat
+            .create_basket("bout", Schema::new(vec![("value".into(), DataType::Int)]))
+            .unwrap();
+        let inc = BasicWindowAgg::new(
+            "inc",
+            Arc::clone(&inc_input),
+            "v",
+            AggFunc::Sum,
+            None,
+            2,
+            2,
+            Arc::clone(&inc_out),
+        )
+        .unwrap();
+        // A resident tuple + cap 1 leaves no room for the step's output.
+        inc_out.append_rows(&[vec![Value::Int(0)]]).unwrap();
+        inc_out.set_capacity(Some(1), OverflowPolicy::Reject);
+        push(&inc_input, &[1, 2, 3, 4]);
+        assert!(inc.step(None).is_err(), "full output defers the step");
+        assert!(inc.ready(), "input cursor did not move");
+        assert_eq!(inc.windows_emitted(), 0, "state untouched");
+        // Downstream drains: the retry reproduces the same windows.
+        inc_out.clear();
+        inc.step(None).unwrap();
+        assert!(!inc.ready());
+        assert_eq!(out_values(&inc_out), vec![3, 7]);
+        assert_eq!(inc.windows_emitted(), 2);
     }
 
     #[test]

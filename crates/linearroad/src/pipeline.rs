@@ -32,7 +32,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use datacell::basket::{Basket, Signal};
+use datacell::basket::{Basket, ReaderId, Signal};
 use datacell::catalog::StreamCatalog;
 use datacell::error::{DataCellError, Result};
 use datacell::factory::StepOutcome;
@@ -105,6 +105,9 @@ struct CoreState {
 /// output baskets, answers historical queries against the `history` table.
 pub struct LrCore {
     input: Arc<Basket>,
+    /// Registered reader on `input`: consumption goes through the engine's
+    /// unified cursor discipline.
+    reader: ReaderId,
     toll_out: Arc<Basket>,
     acc_out: Arc<Basket>,
     bal_out: Arc<Basket>,
@@ -314,11 +317,14 @@ impl Transition for LrCore {
     }
 
     fn ready(&self) -> bool {
-        !self.input.is_empty()
+        self.input.pending_for(self.reader) > 0
     }
 
     fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
-        let chunk = self.input.drain();
+        // Snapshot now, commit at the end of the step: an emit failure
+        // leaves the cursor in place so the batch is retried (at-least-
+        // once) instead of silently dropping the unprocessed remainder.
+        let (chunk, end) = self.input.snapshot_for_reader(self.reader);
         let n = chunk.len();
         if n == 0 {
             return Ok(StepOutcome::default());
@@ -364,6 +370,7 @@ impl Transition for LrCore {
                 }
             }
         }
+        self.input.commit_reader(self.reader, end);
         Ok(StepOutcome {
             tuples_in: n,
             consumed: n,
@@ -464,6 +471,7 @@ impl LinearRoadSystem {
         let scheduler = Scheduler::new(Arc::clone(&catalog));
         let core = Arc::new(LrCore {
             input: Arc::clone(&input),
+            reader: input.register_reader(true),
             toll_out: Arc::clone(&toll_out),
             acc_out: Arc::clone(&acc_out),
             bal_out: Arc::clone(&bal_out),

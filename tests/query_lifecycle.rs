@@ -103,6 +103,50 @@ fn pause_buffers_resume_drains_under_scheduler_thread() {
 }
 
 #[test]
+fn dropped_broadcast_subscriber_releases_the_watermark() {
+    // Two broadcast subscriptions hold two readers on the output basket.
+    // Dropping one must end in its emitter deregistering the reader, so
+    // the surviving subscriber's cursor alone governs the watermark and
+    // the output basket drains instead of growing forever.
+    let cell = DataCell::builder().auto_start(true).build();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let dead = q.subscribe::<(i64,)>().unwrap();
+    let live = q.subscribe::<(i64,)>().unwrap();
+    let out = q.output().unwrap();
+    assert_eq!(out.reader_count(), 2);
+
+    cell.execute("insert into b values (1), (2)").unwrap();
+    assert_eq!(
+        live.collect_n(2, Duration::from_secs(3)).unwrap(),
+        vec![(1,), (2,)]
+    );
+    assert_eq!(
+        dead.collect_n(2, Duration::from_secs(3)).unwrap(),
+        vec![(1,), (2,)],
+        "broadcast: both subscribers see both tuples"
+    );
+
+    drop(dead);
+    // The dead subscriber's emitter notices on its next delivery attempt,
+    // rewinds, and deregisters its reader.
+    cell.execute("insert into b values (3), (4)").unwrap();
+    assert_eq!(
+        live.collect_n(2, Duration::from_secs(3)).unwrap(),
+        vec![(3,), (4,)]
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    while (out.reader_count() > 1 || !out.is_empty()) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(out.reader_count(), 1, "dead reader deregistered");
+    assert!(out.is_empty(), "watermark advanced past delivered tuples");
+    cell.stop();
+}
+
+#[test]
 fn session_stop_closes_subscriptions() {
     let cell = DataCell::new();
     cell.execute("create basket b (x int)").unwrap();
