@@ -54,6 +54,7 @@ fn run(policy_name: &str, min_tuples: usize, min_interval: Option<Duration>) -> 
         .scheduler_policy(SchedulePolicy {
             priority: 0,
             min_interval,
+            ..SchedulePolicy::default()
         })
         .build();
     cell.execute("create basket s (v int)").unwrap();
@@ -91,6 +92,7 @@ fn run(policy_name: &str, min_tuples: usize, min_interval: Option<Duration>) -> 
         SchedulePolicy {
             priority: 0,
             min_interval,
+            ..SchedulePolicy::default()
         },
     );
     let hist = Arc::new(LatencyHistogram::new());

@@ -85,6 +85,7 @@ fn build(split_heavy: bool) -> Rig {
     let slow = SchedulePolicy {
         priority: 0,
         min_interval: Some(HEAVY_SLICE),
+        ..SchedulePolicy::default()
     };
     if split_heavy {
         let mut cat = catalog.write();

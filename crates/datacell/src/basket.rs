@@ -149,11 +149,15 @@ struct ReaderState {
 
 impl ReaderState {
     fn watermark(&self) -> u64 {
+        // The cursor participates in the min: a rewind can move it *below*
+        // a still-in-flight later claim, and the rewound range must stay
+        // resident until it is re-claimed and acknowledged.
         self.inflight
             .iter()
             .map(|r| r.0)
+            .chain(std::iter::once(self.cursor))
             .min()
-            .unwrap_or(self.cursor)
+            .expect("chain is non-empty")
     }
 }
 
@@ -410,10 +414,12 @@ impl Basket {
             }),
             OverflowPolicy::ShedOldest => {
                 // Admit the newest `min(want, cap)` incoming tuples; evict
-                // residents (and skip incoming overflow) to make room.
+                // residents (and skip incoming overflow) so the post-append
+                // residency lands at ≤ cap — even when a runtime
+                // `set_capacity` left more residents than the new bound.
                 let take = want.min(cap);
                 let skip = want - take;
-                let evict = take.saturating_sub(room);
+                let evict = (resident + take).saturating_sub(cap);
                 inner.shed_head(evict);
                 inner.stats.shed += skip as u64;
                 Ok(Admission::Take { shed: skip, take })

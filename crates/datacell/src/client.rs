@@ -33,7 +33,7 @@ use datacell_sql::Schema;
 use crate::basket::Basket;
 use crate::error::{DataCellError, Result};
 use crate::metrics::SessionMetrics;
-use crate::scheduler::SchedulePolicy;
+use crate::scheduler::{Fairness, SchedulePolicy};
 use crate::session::DataCell;
 use crate::text;
 
@@ -53,6 +53,21 @@ pub enum SubscriptionMode {
     /// All subscriptions of the query share one reader: each tuple is
     /// delivered to exactly *one* of them (competing consumers — a simple
     /// work-sharing pool).
+    ///
+    /// **Delivery guarantee: at-least-once, ordered within a claim.** Each
+    /// emitter atomically claims the next unread range, so no two pool
+    /// members deliver the same tuple concurrently, and the tuples inside
+    /// one claim always arrive in stream order. But when a consumer fails
+    /// mid-delivery its claim is *rewound* — the shared cursor steps back
+    /// to the claim start. If a pool sibling had already claimed **and
+    /// committed** a *later* range, the rewind re-opens everything from
+    /// the failed claim's start, so a surviving consumer re-claims the
+    /// failed range *together with* the later, already-delivered range:
+    /// those later tuples are delivered twice (to different pool members),
+    /// never lost, and never reordered within a claim. Exactly-once would
+    /// require per-range acknowledgement tracking in the dispatcher;
+    /// consumers that cannot tolerate duplicates should deduplicate on a
+    /// key or use [`SubscriptionMode::Broadcast`].
     Shared,
 }
 
@@ -73,9 +88,11 @@ pub enum SubscriptionMode {
 #[derive(Debug, Clone)]
 pub struct DataCellBuilder {
     pub(crate) default_policy: SchedulePolicy,
+    pub(crate) fairness: Fairness,
     pub(crate) writer_batch: usize,
     pub(crate) basket_capacity: Option<usize>,
     pub(crate) overflow: OverflowPolicy,
+    pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: bool,
     pub(crate) auto_start: bool,
 }
@@ -84,9 +101,11 @@ impl Default for DataCellBuilder {
     fn default() -> Self {
         DataCellBuilder {
             default_policy: SchedulePolicy::default(),
+            fairness: Fairness::default(),
             writer_batch: 256,
             basket_capacity: None,
             overflow: OverflowPolicy::Block,
+            subscription_channel: None,
             metrics: false,
             auto_start: false,
         }
@@ -106,9 +125,28 @@ impl DataCellBuilder {
         self
     }
 
+    /// How scheduler passes divide the thread between queries (default:
+    /// [`Fairness::Priority`], the historical fixed sweep). Pick
+    /// [`Fairness::DeficitRoundRobin`] for multi-tenant workloads where a
+    /// hot query must not starve its co-tenants; per-query shares are set
+    /// with [`DataCellBuilder::query_weight`], `SET QUERY WEIGHT` in SQL,
+    /// or [`QueryHandle::set_weight`].
+    pub fn fairness(mut self, fairness: Fairness) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
     /// Shorthand: priority of SQL-registered queries.
     pub fn query_priority(mut self, priority: i32) -> Self {
         self.default_policy.priority = priority;
+        self
+    }
+
+    /// Shorthand: deficit-round-robin weight of SQL-registered queries
+    /// (clamped to ≥ 1; only meaningful under
+    /// [`Fairness::DeficitRoundRobin`]).
+    pub fn query_weight(mut self, weight: u32) -> Self {
+        self.default_policy.weight = weight.max(1);
         self
     }
 
@@ -141,6 +179,17 @@ impl DataCellBuilder {
     /// oldest resident tuples.
     pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
         self.overflow = policy;
+        self
+    }
+
+    /// Bound every emitter → subscriber channel at `rows` queued tuples
+    /// (default: unbounded, the historical behavior). With a bound, a slow
+    /// client backpressures its emitter: the emitter stops committing
+    /// claims, the query's output basket fills, and — with bounded baskets
+    /// — the stall propagates all the way to the producers instead of the
+    /// channel growing without limit.
+    pub fn subscription_channel_capacity(mut self, rows: usize) -> Self {
+        self.subscription_channel = Some(rows.max(1));
         self
     }
 
@@ -737,6 +786,15 @@ impl<'a> QueryHandle<'a> {
     /// True iff the factory is currently paused.
     pub fn is_paused(&self) -> Result<bool> {
         self.cell.is_query_paused(&self.name)
+    }
+
+    /// Set the query's deficit-round-robin weight (clamped to ≥ 1): under
+    /// [`Fairness::DeficitRoundRobin`] a weight-3 query earns three times
+    /// the busy-time credit per pass of a weight-1 co-tenant. Equivalent to
+    /// the SQL `SET QUERY WEIGHT name = 3`. Has no effect under
+    /// [`Fairness::Priority`].
+    pub fn set_weight(&self, weight: u32) -> Result<()> {
+        self.cell.set_query_weight(&self.name, weight)
     }
 
     /// The query's output basket.

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{SendTimeoutError, Sender};
 use datacell_bat::types::Value;
 use datacell_engine::Chunk;
 use parking_lot::Mutex;
@@ -40,6 +40,15 @@ use crate::text::render_row;
 pub trait Sink: Send {
     /// Deliver one drained batch (includes the basket's `ts` column last).
     fn deliver(&mut self, chunk: &Chunk) -> Result<()>;
+
+    /// Hand the sink its emitter's stop flag, so a delivery that can stall
+    /// (a bounded subscription channel with a slow client) aborts cleanly
+    /// — returning [`DataCellError::Disconnected`] so the emitter rewinds
+    /// the claim — when the emitter is asked to stop. Default: ignored
+    /// (non-blocking sinks need no cancellation).
+    fn bind_cancel(&mut self, cancel: Arc<AtomicBool>) {
+        let _ = cancel;
+    }
 }
 
 /// Renders each tuple as a comma-separated text line into a channel — the
@@ -81,15 +90,52 @@ impl Sink for TextSink {
 /// behind [`Subscription`](crate::client::Subscription). The trailing `ts`
 /// column is stripped before delivery; when session metrics are attached it
 /// is first used to record per-tuple delivery latency.
+///
+/// On a **bounded** channel
+/// ([`DataCellBuilder::subscription_channel_capacity`](crate::client::DataCellBuilder::subscription_channel_capacity))
+/// a full queue makes the delivery wait for the client — the emitter holds
+/// its claim, the output basket fills, and the slowness backpressures the
+/// whole pipeline instead of growing an unbounded queue. The wait aborts
+/// (claim rewound, nothing lost) when the emitter is stopped.
 pub struct RowSink {
     tx: Sender<Vec<Value>>,
     metrics: Option<Arc<SessionMetrics>>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl RowSink {
     /// Deliver rows into `tx`, optionally recording into `metrics`.
     pub fn new(tx: Sender<Vec<Value>>, metrics: Option<Arc<SessionMetrics>>) -> Self {
-        RowSink { tx, metrics }
+        RowSink {
+            tx,
+            metrics,
+            cancel: None,
+        }
+    }
+
+    /// Push one row, waiting out a full bounded channel until the client
+    /// drains it, the subscription hangs up, or the emitter is stopped.
+    /// The wait parks on the channel's condvar (woken by client pops),
+    /// re-checking the cancel flag on a bounded interval.
+    fn push(&self, mut row: Vec<Value>) -> Result<()> {
+        loop {
+            match self.tx.send_timeout(row, Duration::from_millis(1)) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::Disconnected(_)) => return Err(DataCellError::Disconnected),
+                Err(SendTimeoutError::Timeout(v)) => {
+                    if self
+                        .cancel
+                        .as_ref()
+                        .is_some_and(|c| c.load(Ordering::Relaxed))
+                    {
+                        // Emitter shutting down: abandon the delivery so the
+                        // claim rewinds (at-least-once, nothing lost).
+                        return Err(DataCellError::Disconnected);
+                    }
+                    row = v;
+                }
+            }
+        }
     }
 }
 
@@ -101,7 +147,7 @@ impl Sink for RowSink {
             let mut row = chunk.row(i)?;
             let ts = row.get(width).and_then(Value::as_int);
             row.truncate(width);
-            self.tx.send(row).map_err(|_| DataCellError::Disconnected)?;
+            self.push(row)?;
             // Count only rows that actually reached the subscriber.
             if let Some(m) = &self.metrics {
                 m.delivered.add(1);
@@ -111,6 +157,10 @@ impl Sink for RowSink {
             }
         }
         Ok(())
+    }
+
+    fn bind_cancel(&mut self, cancel: Arc<AtomicBool>) {
+        self.cancel = Some(cancel);
     }
 }
 
@@ -201,6 +251,12 @@ impl Sink for TeeSink {
         }
         Ok(())
     }
+
+    fn bind_cancel(&mut self, cancel: Arc<AtomicBool>) {
+        for s in &mut self.sinks {
+            s.bind_cancel(Arc::clone(&cancel));
+        }
+    }
 }
 
 /// Monotone emitter counters.
@@ -277,6 +333,7 @@ impl Emitter {
         let thread_stop = Arc::clone(&stop);
         let thread_stats = Arc::clone(&stats);
         let thread_name = name.clone();
+        sink.bind_cancel(Arc::clone(&stop));
         let owns_reader = shared_reader.is_none();
         let reader = shared_reader.unwrap_or_else(|| basket.register_reader(true));
         let handle = std::thread::Builder::new()

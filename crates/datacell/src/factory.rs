@@ -349,20 +349,53 @@ impl Factory {
 
     /// Fire once: snapshot → execute → consume → emit (Algorithm 1 body).
     pub fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
+        self.step_impl(tables, None)
+    }
+
+    /// Fire once, processing at most `max_tuples` tuples *per data input*
+    /// — the budgeted service used by the scheduler's deficit-round-robin
+    /// fairness policy. Tuples beyond the budget stay in their baskets
+    /// (exclusive inputs keep them resident, shared cursors advance only
+    /// past the served prefix) and are picked up by a later firing, so a
+    /// budgeted step is simply a smaller batch, not a loss. The budget is
+    /// clamped up to [`Factory::min_tuples`] so a firing never undercuts
+    /// the configured batch threshold.
+    pub fn step_limited(&self, tables: Option<&Catalog>, max_tuples: usize) -> Result<StepOutcome> {
+        self.step_impl(tables, Some(max_tuples.max(self.min_tuples)))
+    }
+
+    fn step_impl(&self, tables: Option<&Catalog>, limit: Option<usize>) -> Result<StepOutcome> {
         let started = Instant::now();
 
-        // 1. Snapshot inputs.
+        // 1. Snapshot inputs, truncated to the service budget when given.
         let mut snapshots: HashMap<String, Chunk> = HashMap::new();
         let mut shared_ends: HashMap<String, u64> = HashMap::new();
         let mut tuples_in = 0usize;
         for input in &self.inputs {
             let name = input.basket.name().to_string();
             let chunk = match input.mode {
-                InputMode::Exclusive => input.basket.snapshot(),
+                InputMode::Exclusive => {
+                    let chunk = input.basket.snapshot();
+                    match limit {
+                        Some(max) if chunk.len() > max => chunk.head(max)?,
+                        _ => chunk,
+                    }
+                }
                 InputMode::Shared(r) => {
                     let (chunk, end) = input.basket.snapshot_for_reader(r);
-                    shared_ends.insert(name.clone(), end);
-                    chunk
+                    match limit {
+                        Some(max) if chunk.len() > max => {
+                            // Serve only the prefix: the reader cursor must
+                            // commit past exactly the tuples snapshotted.
+                            let dropped = (chunk.len() - max) as u64;
+                            shared_ends.insert(name.clone(), end - dropped);
+                            chunk.head(max)?
+                        }
+                        _ => {
+                            shared_ends.insert(name.clone(), end);
+                            chunk
+                        }
+                    }
                 }
             };
             tuples_in += chunk.len();
@@ -640,6 +673,70 @@ mod tests {
         push(&input, &[(1, 0), (2, 0)]);
         f.step(Some(&cat.tables)).unwrap();
         assert!(input.is_empty());
+    }
+
+    #[test]
+    fn step_limited_serves_prefix_and_keeps_rest() {
+        // Exclusive input: a budgeted step consumes only the served prefix.
+        let (cat, input, output) = setup();
+        let f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Basket(Arc::clone(&output)),
+        )
+        .unwrap();
+        push(&input, &[(1, 0), (2, 0), (3, 0), (4, 0), (5, 0)]);
+        let out = f.step_limited(Some(&cat.tables), 2).unwrap();
+        assert_eq!((out.tuples_in, out.consumed, out.produced), (2, 2, 2));
+        assert_eq!(input.snapshot().columns[0].as_ints().unwrap(), &[3, 4, 5]);
+        assert_eq!(output.snapshot().columns[0].as_ints().unwrap(), &[1, 2]);
+        // The remainder is served by later firings; no loss, no reorder.
+        f.step_limited(Some(&cat.tables), 2).unwrap();
+        f.step_limited(Some(&cat.tables), 2).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(
+            output.snapshot().columns[0].as_ints().unwrap(),
+            &[1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn step_limited_shared_commits_only_served_prefix() {
+        let (cat, input, _) = setup();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        let r = input.register_reader(true);
+        f.set_shared("r", r).unwrap();
+        push(&input, &[(1, 0), (2, 0), (3, 0)]);
+        f.step_limited(Some(&cat.tables), 2).unwrap();
+        assert_eq!(input.pending_for(r), 1, "cursor advanced past the prefix");
+        f.step_limited(Some(&cat.tables), 2).unwrap();
+        assert_eq!(input.pending_for(r), 0);
+        assert!(input.is_empty(), "sole reader passed: trimmed");
+    }
+
+    #[test]
+    fn step_limited_budget_never_undercuts_min_tuples() {
+        let (cat, input, _) = setup();
+        let mut f = Factory::compile(
+            "q",
+            "select s.a from [select * from r] as s",
+            &cat,
+            FactoryOutput::Discard,
+        )
+        .unwrap();
+        f.set_min_tuples(3);
+        push(&input, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        // Budget 1 is clamped up to the firing threshold.
+        let out = f.step_limited(Some(&cat.tables), 1).unwrap();
+        assert_eq!(out.tuples_in, 3);
+        assert_eq!(input.len(), 1);
     }
 
     #[test]

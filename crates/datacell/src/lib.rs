@@ -64,5 +64,5 @@ pub use crate::client::{
 };
 pub use crate::error::{DataCellError, Result};
 pub use crate::metrics::MetricsSnapshot;
-pub use crate::scheduler::SchedulerMetrics;
+pub use crate::scheduler::{Fairness, SchedulePolicy, SchedulerMetrics};
 pub use crate::session::DataCell;

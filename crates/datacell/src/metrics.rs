@@ -182,8 +182,11 @@ pub struct MetricsSnapshot {
     pub tuples_shed: u64,
     /// Append calls that hit a full bounded basket (blocked or rejected).
     pub overflow_events: u64,
-    /// Per-query scheduling accounts (firings, busy-time, deferrals) —
-    /// the groundwork for fairness policies.
+    /// Per-query scheduling accounts: firings, busy-time, tuples
+    /// processed, deferrals, DRR weight, and the starvation alarms
+    /// (`sched_delay_micros`, `consecutive_skips`) — these feed, and
+    /// observe, the scheduler's
+    /// [`Fairness`](crate::scheduler::Fairness) policy.
     pub per_query: Vec<crate::scheduler::SchedulerMetrics>,
 }
 

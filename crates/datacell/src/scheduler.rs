@@ -9,8 +9,40 @@
 //! their channels); the scheduler drives the *factories*: each pass it
 //! re-evaluates every factory's firing condition — all data inputs hold at
 //! least `min_tuples` tuples, all control inputs hold a token — and fires
-//! the ready ones in priority order. When nothing is ready it blocks on an
-//! aggregated basket signal instead of spinning.
+//! the ready ones. When nothing is ready it blocks on an aggregated basket
+//! signal instead of spinning.
+//!
+//! # Fairness
+//!
+//! How a pass divides the scheduling thread between ready transitions is
+//! the [`Fairness`] policy:
+//!
+//! * [`Fairness::Priority`] (the default) — the historical fixed sweep:
+//!   every ready transition fires once per pass, higher
+//!   [`SchedulePolicy::priority`] first, ties in registration order. Each
+//!   firing processes the transition's *entire* backlog, so one hot query
+//!   with a deep backlog head-of-line-blocks every co-tenant for the whole
+//!   duration of its step.
+//! * [`Fairness::DeficitRoundRobin`] — a deficit round-robin ring over the
+//!   transitions at priority ≤ 0, with strict priority retained as an
+//!   opt-in express tier: transitions at priority > 0 still fire first and
+//!   unbudgeted, exactly as under `Priority`. Every pass, each backlogged
+//!   ring member earns `quantum × weight` microseconds of busy-time
+//!   credit; its accumulated credit is converted into a **tuple budget**
+//!   through the per-tuple cost observed over its past firings, and the
+//!   firing is capped at that budget ([`Transition::step_budgeted`]). An
+//!   expensive query therefore fires in small slices — or is skipped until
+//!   its deficit covers even one tuple — while cheap queries keep firing
+//!   every pass; unused deficit carries forward while a query stays
+//!   backlogged and resets when its inputs run dry (classic DRR). A
+//!   firing that overruns its budget (transitions without budget support,
+//!   factories clamped up to `min_tuples`) drives the balance negative,
+//!   and the transition is skipped until its credit repays the overrun —
+//!   fair share holds on average even for budget-ignoring transitions.
+//!
+//! Starvation is observable: [`SchedulerMetrics`] reports per-query
+//! scheduling delay (time spent ready-but-unfired) and the current
+//! consecutive-skip streak.
 //!
 //! Two drive modes:
 //! * [`Scheduler::start`] — the production mode: a background thread runs
@@ -18,7 +50,7 @@
 //! * [`Scheduler::run_until_quiescent`] — a deterministic single-threaded
 //!   drive for tests and benchmarks (fire until no transition is ready).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,6 +73,14 @@ pub trait Transition: Send + Sync {
     fn ready(&self) -> bool;
     /// Fire once.
     fn step(&self, tables: Option<&Catalog>) -> Result<StepOutcome>;
+    /// Fire once, processing at most `max_tuples` tuples per data input —
+    /// the service granularity of [`Fairness::DeficitRoundRobin`]. The
+    /// default ignores the budget and runs a full [`Transition::step`];
+    /// transitions that can slice their input (factories) override it.
+    fn step_budgeted(&self, tables: Option<&Catalog>, max_tuples: usize) -> Result<StepOutcome> {
+        let _ = max_tuples;
+        self.step(tables)
+    }
     /// Subscribe the transition's input baskets to the scheduler's wake-up
     /// signal.
     fn subscribe(&self, signal: Arc<Signal>);
@@ -59,6 +99,10 @@ impl Transition for Factory {
         Factory::step(self, tables)
     }
 
+    fn step_budgeted(&self, tables: Option<&Catalog>, max_tuples: usize) -> Result<StepOutcome> {
+        Factory::step_limited(self, tables, max_tuples)
+    }
+
     fn subscribe(&self, signal: Arc<Signal>) {
         for input in self.inputs() {
             input.basket.set_parent_signal(Arc::clone(&signal));
@@ -69,16 +113,66 @@ impl Transition for Factory {
     }
 }
 
+/// How a scheduling pass divides the thread between ready transitions.
+/// See the [module docs](self) for the full story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fairness {
+    /// The historical fixed sweep: every ready transition fires once per
+    /// pass with an unbounded batch, higher priority first, ties in
+    /// registration order.
+    #[default]
+    Priority,
+    /// Deficit round-robin over the transitions at priority ≤ 0 (a
+    /// positive priority stays a strict express tier). Each backlogged
+    /// ring member earns `quantum × weight` µs of busy-time credit per
+    /// pass; firings are capped at the tuple budget that credit buys at
+    /// the query's observed per-tuple cost, so no single query can
+    /// monopolize a pass.
+    DeficitRoundRobin {
+        /// Busy-time credit earned per pass by a weight-1 query, in µs
+        /// (clamped to ≥ 1 — a zero quantum would starve the whole ring).
+        quantum: u64,
+    },
+}
+
 /// Per-factory scheduling parameters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SchedulePolicy {
     /// Higher fires first within a pass (paper: "different query
-    /// priorities").
+    /// priorities"). Under [`Fairness::DeficitRoundRobin`], transitions
+    /// with `priority > 0` form the strict express tier; everything else
+    /// is served by the DRR ring.
     pub priority: i32,
     /// Fire at most once per interval (time-sliced batching); `None` =
     /// eager.
     pub min_interval: Option<Duration>,
+    /// Relative share of scheduler busy time under
+    /// [`Fairness::DeficitRoundRobin`] (a weight-3 query earns three times
+    /// the credit per pass). Clamped to ≥ 1; ignored by
+    /// [`Fairness::Priority`].
+    pub weight: u32,
 }
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy {
+            priority: 0,
+            min_interval: None,
+            weight: 1,
+        }
+    }
+}
+
+/// Floor of the per-tuple cost estimate, in nanoseconds (a measured cost
+/// below this is treated as ~10M tuples/s — protects the budget math from
+/// zero-cost estimates).
+const COST_FLOOR_NANOS: u64 = 100;
+
+/// Per-tuple cost assumed before a transition has any firing history:
+/// 1 µs/tuple. Deliberately conservative — a first budgeted firing over a
+/// deep backlog is capped near `quantum × weight` tuples instead of
+/// monopolizing the pass; one firing later the measured cost takes over.
+const BOOTSTRAP_COST_NANOS: u64 = 1_000;
 
 struct Entry {
     factory: Arc<dyn Transition>,
@@ -87,12 +181,87 @@ struct Entry {
     /// Paused transitions are skipped by every pass; their input baskets
     /// keep buffering (the query lifecycle's `pause`/`resume`).
     paused: AtomicBool,
+    /// DRR weight (runtime-adjustable via [`Scheduler::set_weight`]).
+    weight: AtomicU32,
     /// Completed firings of this transition.
     firings: AtomicU64,
-    /// Wall-clock time spent inside this transition's `step`, in µs.
+    /// Wall-clock time spent inside this transition's `step`, in µs —
+    /// every attempt, including deferred and failed ones (the metric of
+    /// scheduler time this transition consumed).
     busy_micros: AtomicU64,
+    /// Wall-clock µs of *successful* firings only — the cost-model
+    /// numerator. A deferred step runs the whole plan and then fails at
+    /// delivery, adding time but no tuples; folding it into the cost
+    /// estimate would collapse the query's budget after backpressure.
+    fired_busy_micros: AtomicU64,
+    /// Input tuples processed across all firings (per-tuple cost model).
+    tuples_in: AtomicU64,
     /// Steps deferred by output backpressure (retried on a later pass).
     deferrals: AtomicU64,
+    /// DRR deficit counter: unspent busy-time credit in µs. Carries
+    /// forward while the transition stays backlogged; resets when its
+    /// inputs run dry. **Negative = overdraft debt**: a firing that
+    /// overran its budget (window evaluators ignore budgets; factories
+    /// clamp up to `min_tuples`) is charged in full, and the transition is
+    /// skipped until accrued credit pays the overrun back — so even a
+    /// budget-ignoring transition averages out to its fair share.
+    deficit_micros: AtomicI64,
+    /// Passes in a row in which this transition was ready but not fired
+    /// (resets to zero on every firing) — the starvation alarm.
+    consecutive_skips: AtomicU64,
+    /// Cumulative time spent ready-but-unfired before each firing, µs.
+    sched_delay_micros: AtomicU64,
+    /// When the transition was first observed ready since its last firing.
+    ready_since: Mutex<Option<Instant>>,
+}
+
+impl Entry {
+    fn weight(&self) -> u64 {
+        self.weight.load(Ordering::Relaxed).max(1) as u64
+    }
+
+    /// Observed per-tuple cost in nanoseconds (floored; a conservative
+    /// bootstrap assumption before any history exists). Built from
+    /// successful firings only, so backpressure deferrals cannot inflate
+    /// the estimate and collapse the query's budget.
+    fn cost_per_tuple_nanos(&self) -> u64 {
+        let tuples = self.tuples_in.load(Ordering::Relaxed);
+        if tuples == 0 {
+            return BOOTSTRAP_COST_NANOS;
+        }
+        (self
+            .fired_busy_micros
+            .load(Ordering::Relaxed)
+            .saturating_mul(1000)
+            / tuples)
+            .max(COST_FLOOR_NANOS)
+    }
+
+    /// Mark the entry ready-but-unfired this pass.
+    fn note_skip(&self) {
+        self.consecutive_skips.fetch_add(1, Ordering::Relaxed);
+        let mut since = self.ready_since.lock();
+        if since.is_none() {
+            *since = Some(Instant::now());
+        }
+    }
+
+    /// Mark the entry idle, paused, or interval-gated: not starvation —
+    /// clear the skip streak and drop any pending ready-wait.
+    fn note_idle(&self) {
+        self.consecutive_skips.store(0, Ordering::Relaxed);
+        *self.ready_since.lock() = None;
+    }
+
+    /// Mark the entry fired: fold the ready-wait into the scheduling-delay
+    /// account and clear the skip streak.
+    fn note_fired(&self) {
+        self.consecutive_skips.store(0, Ordering::Relaxed);
+        if let Some(since) = self.ready_since.lock().take() {
+            self.sched_delay_micros
+                .fetch_add(since.elapsed().as_micros() as u64, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Monotone scheduler counters.
@@ -110,10 +279,10 @@ pub struct SchedulerStats {
     pub deferrals: AtomicU64,
 }
 
-/// Per-transition scheduling account: how often a factory fired and how
-/// much scheduler time it consumed — the raw material for fairness
-/// policies and multi-tenant accounting. Exposed through
-/// [`Scheduler::transition_metrics`] and
+/// Per-transition scheduling account: how often a factory fired, how much
+/// scheduler time it consumed, and whether it is being starved — the raw
+/// material for fairness policies and multi-tenant accounting. Exposed
+/// through [`Scheduler::transition_metrics`] and
 /// [`DataCell::metrics`](crate::DataCell::metrics).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedulerMetrics {
@@ -123,8 +292,25 @@ pub struct SchedulerMetrics {
     pub firings: u64,
     /// Wall-clock µs spent inside `step`.
     pub busy_micros: u64,
+    /// Input tuples processed across all firings.
+    pub tuples_in: u64,
     /// Steps deferred by output backpressure.
     pub deferrals: u64,
+    /// Configured DRR weight.
+    pub weight: u32,
+    /// Cumulative time the transition spent ready-but-unfired before its
+    /// firings, in µs — the query's scheduling delay, including any
+    /// still-in-progress ready wait at snapshot time. A starved query
+    /// shows this growing while `firings` stands still. (Because an
+    /// in-progress wait is dropped when the query turns out idle, paused,
+    /// or deferred by backpressure, successive snapshots are not strictly
+    /// monotone.)
+    pub sched_delay_micros: u64,
+    /// Current streak of passes in which the transition was ready but not
+    /// fired (resets on every firing). Bounded under
+    /// [`Fairness::DeficitRoundRobin`] by `cost / (quantum × weight)`;
+    /// a blowup here is the starvation alarm.
+    pub consecutive_skips: u64,
 }
 
 struct Shared {
@@ -133,6 +319,23 @@ struct Shared {
     signal: Arc<Signal>,
     stop: AtomicBool,
     stats: SchedulerStats,
+    fairness: Mutex<Fairness>,
+    /// Rotating start offset of the DRR ring, so ties in service order do
+    /// not systematically favor earlier registrations.
+    ring_head: AtomicU64,
+}
+
+/// What happened when the scheduler tried to fire one entry.
+enum FireResult {
+    /// The step completed; `busy_micros` is its measured wall-clock cost.
+    Fired {
+        /// Wall-clock µs the step consumed.
+        busy_micros: u64,
+    },
+    /// The step was turned away by output backpressure (retried later).
+    Deferred,
+    /// The step failed (logged; the query stays registered).
+    Errored,
 }
 
 /// The factory scheduler (see module docs).
@@ -142,7 +345,8 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Create a scheduler over a shared catalog.
+    /// Create a scheduler over a shared catalog, with the default
+    /// [`Fairness::Priority`] pass order.
     pub fn new(catalog: Arc<RwLock<StreamCatalog>>) -> Self {
         Scheduler {
             shared: Arc::new(Shared {
@@ -151,9 +355,34 @@ impl Scheduler {
                 signal: Arc::new(Signal::new()),
                 stop: AtomicBool::new(false),
                 stats: SchedulerStats::default(),
+                fairness: Mutex::new(Fairness::default()),
+                ring_head: AtomicU64::new(0),
             }),
             handle: Mutex::new(None),
         }
+    }
+
+    /// Switch the pass order policy at runtime (takes effect on the next
+    /// pass).
+    pub fn set_fairness(&self, fairness: Fairness) {
+        *self.shared.fairness.lock() = fairness;
+        self.shared.signal.notify();
+    }
+
+    /// The active pass order policy.
+    pub fn fairness(&self) -> Fairness {
+        *self.shared.fairness.lock()
+    }
+
+    /// Adjust a transition's DRR weight at runtime (clamped to ≥ 1).
+    pub fn set_weight(&self, name: &str, weight: u32) -> Result<()> {
+        let entries = self.shared.entries.lock();
+        let entry = entries
+            .iter()
+            .find(|e| e.factory.name() == name)
+            .ok_or_else(|| DataCellError::Catalog(format!("unknown factory {name}")))?;
+        entry.weight.store(weight.max(1), Ordering::Relaxed);
+        Ok(())
     }
 
     /// The aggregated wake-up signal; baskets should set it as their parent
@@ -189,9 +418,16 @@ impl Scheduler {
             policy,
             last_fired: Mutex::new(None),
             paused: AtomicBool::new(false),
+            weight: AtomicU32::new(policy.weight.max(1)),
             firings: AtomicU64::new(0),
             busy_micros: AtomicU64::new(0),
+            fired_busy_micros: AtomicU64::new(0),
+            tuples_in: AtomicU64::new(0),
             deferrals: AtomicU64::new(0),
+            deficit_micros: AtomicI64::new(0),
+            consecutive_skips: AtomicU64::new(0),
+            sched_delay_micros: AtomicU64::new(0),
+            ready_since: Mutex::new(None),
         }));
         // Stable priority order, high first; ties keep registration order.
         entries.sort_by_key(|e| std::cmp::Reverse(e.policy.priority));
@@ -248,70 +484,207 @@ impl Scheduler {
             .collect()
     }
 
-    /// One scheduling pass: fire every ready factory once. Returns the
-    /// number of firings.
+    /// One scheduling pass under the active [`Fairness`] policy. Returns
+    /// the number of firings.
     pub fn pass(&self) -> u64 {
-        Self::pass_shared(&self.shared)
+        Self::pass_shared(&self.shared).0
     }
 
-    fn pass_shared(shared: &Shared) -> u64 {
+    /// Runs one pass; returns `(fired, skipped)` where `skipped` counts
+    /// ready transitions held back by their DRR deficit this pass.
+    fn pass_shared(shared: &Shared) -> (u64, u64) {
+        let fairness = *shared.fairness.lock();
         let entries: Vec<Arc<Entry>> = shared.entries.lock().clone();
+        let (fired, skipped) = match fairness {
+            Fairness::Priority => (Self::sweep(shared, &entries), 0),
+            Fairness::DeficitRoundRobin { quantum } => {
+                // Express tier first (strict priority, unbudgeted), then
+                // the DRR ring over everything at priority ≤ 0.
+                let (strict, ring): (Vec<_>, Vec<_>) =
+                    entries.into_iter().partition(|e| e.policy.priority > 0);
+                let fired = Self::sweep(shared, &strict);
+                let (ring_fired, skipped) = Self::serve_ring(shared, &ring, quantum);
+                (fired + ring_fired, skipped)
+            }
+        };
+        shared.stats.passes.fetch_add(1, Ordering::Relaxed);
+        shared.stats.firings.fetch_add(fired, Ordering::Relaxed);
+        (fired, skipped)
+    }
+
+    /// True iff the entry is pausable/interval-gated out of this pass.
+    /// (Interval-gated entries are treated as not ready: they are neither
+    /// fired nor counted as starved.)
+    fn gated(entry: &Entry) -> bool {
+        if entry.paused.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(interval) = entry.policy.min_interval {
+            if let Some(t) = *entry.last_fired.lock() {
+                if t.elapsed() < interval {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The historical fixed sweep: fire every ready entry once, unbudgeted,
+    /// in the (priority-sorted) order given.
+    fn sweep(shared: &Shared, entries: &[Arc<Entry>]) -> u64 {
         let mut fired = 0;
         for entry in entries {
             if shared.stop.load(Ordering::Relaxed) {
                 break;
             }
-            if entry.paused.load(Ordering::Relaxed) {
+            if Self::gated(entry) || !entry.factory.ready() {
+                entry.note_idle();
                 continue;
             }
-            if let Some(interval) = entry.policy.min_interval {
-                let last = *entry.last_fired.lock();
-                if let Some(t) = last {
-                    if t.elapsed() < interval {
-                        continue;
-                    }
-                }
-            }
-            if !entry.factory.ready() {
-                continue;
-            }
-            let catalog = shared.catalog.read();
-            let started = Instant::now();
-            let result = entry.factory.step(Some(&catalog.tables));
-            let busy = started.elapsed().as_micros() as u64;
-            drop(catalog);
-            *entry.last_fired.lock() = Some(Instant::now());
-            entry.busy_micros.fetch_add(busy, Ordering::Relaxed);
-            match result {
-                Ok(_) => {
-                    fired += 1;
-                    entry.firings.fetch_add(1, Ordering::Relaxed);
-                }
-                // A bounded output basket turned the batch away: not an
-                // error, the step retries once downstream frees space.
-                Err(DataCellError::Backpressure { .. }) => {
-                    entry.deferrals.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.deferrals.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) => {
-                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("scheduler: factory {} failed: {e}", entry.factory.name());
-                }
+            if let FireResult::Fired { .. } = Self::fire_entry(shared, entry, None) {
+                fired += 1;
             }
         }
-        shared.stats.passes.fetch_add(1, Ordering::Relaxed);
-        shared.stats.firings.fetch_add(fired, Ordering::Relaxed);
         fired
     }
 
+    /// One deficit-round-robin round over the ring: every backlogged member
+    /// earns `quantum × weight` µs of credit and is served a tuple budget
+    /// its credit can buy at its observed per-tuple cost. Returns
+    /// `(fired, skipped)`.
+    fn serve_ring(shared: &Shared, ring: &[Arc<Entry>], quantum: u64) -> (u64, u64) {
+        if ring.is_empty() {
+            return (0, 0);
+        }
+        // A zero quantum would accrue no credit and silently starve every
+        // ring member forever; clamp it like the weights.
+        let quantum = quantum.max(1);
+        let head = (shared.ring_head.fetch_add(1, Ordering::Relaxed) % ring.len() as u64) as usize;
+        let (mut fired, mut skipped) = (0, 0);
+        for i in 0..ring.len() {
+            let entry = &ring[(head + i) % ring.len()];
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if Self::gated(entry) {
+                entry.note_idle();
+                continue;
+            }
+            if !entry.factory.ready() {
+                // Backlog ran dry: classic DRR zeroes the deficit so idle
+                // queries cannot bank credit for a later burst.
+                entry.deficit_micros.store(0, Ordering::Relaxed);
+                entry.note_idle();
+                continue;
+            }
+            let credit = quantum.saturating_mul(entry.weight()).min(i64::MAX as u64) as i64;
+            let deficit = entry
+                .deficit_micros
+                .fetch_add(credit, Ordering::Relaxed)
+                .saturating_add(credit);
+            let budget = if deficit <= 0 {
+                // Still paying back an overdraft from a past over-budget
+                // firing.
+                0
+            } else {
+                (deficit as u64).saturating_mul(1000) / entry.cost_per_tuple_nanos()
+            };
+            if budget == 0 {
+                // Cannot yet afford a single tuple: carry the deficit.
+                entry.note_skip();
+                skipped += 1;
+                continue;
+            }
+            let budget = usize::try_from(budget).unwrap_or(usize::MAX);
+            match Self::fire_entry(shared, entry, Some(budget)) {
+                FireResult::Fired { busy_micros } => {
+                    fired += 1;
+                    // Charge what the firing actually consumed — possibly
+                    // more than the accrued credit (budget overrun): the
+                    // balance goes negative and must be paid back before
+                    // the next service. Unused credit carries forward
+                    // while the query stays backlogged.
+                    let spent = busy_micros.min(i64::MAX as u64) as i64;
+                    let _ = entry.deficit_micros.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |d| Some(d.saturating_sub(spent)),
+                    );
+                }
+                // A deferral is downstream backpressure, not scheduler
+                // starvation: do not count a skip, and keep (at most) one
+                // round's credit for the retry. Banking more would make
+                // every deferred retry re-execute an ever-growing slice —
+                // thrown away at delivery — and explode into one
+                // unbudgeted mega-firing the moment downstream frees
+                // space.
+                FireResult::Deferred | FireResult::Errored => {
+                    let _ = entry.deficit_micros.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |d| Some(d.min(credit)),
+                    );
+                }
+            }
+        }
+        (fired, skipped)
+    }
+
+    /// Fire one entry (optionally with a tuple budget) and do the
+    /// book-keeping shared by both fairness policies.
+    fn fire_entry(shared: &Shared, entry: &Entry, budget: Option<usize>) -> FireResult {
+        let catalog = shared.catalog.read();
+        let started = Instant::now();
+        let result = match budget {
+            None => entry.factory.step(Some(&catalog.tables)),
+            Some(max) => entry.factory.step_budgeted(Some(&catalog.tables), max),
+        };
+        let busy = started.elapsed().as_micros() as u64;
+        drop(catalog);
+        *entry.last_fired.lock() = Some(Instant::now());
+        entry.busy_micros.fetch_add(busy, Ordering::Relaxed);
+        match result {
+            Ok(out) => {
+                entry.firings.fetch_add(1, Ordering::Relaxed);
+                entry.fired_busy_micros.fetch_add(busy, Ordering::Relaxed);
+                entry
+                    .tuples_in
+                    .fetch_add(out.tuples_in as u64, Ordering::Relaxed);
+                entry.note_fired();
+                FireResult::Fired { busy_micros: busy }
+            }
+            // A bounded output basket turned the batch away: not an
+            // error, the step retries once downstream frees space. The
+            // stall is downstream backpressure, not scheduler starvation:
+            // drop any pending ready-wait so it is not booked as
+            // scheduling delay.
+            Err(DataCellError::Backpressure { .. }) => {
+                entry.deferrals.fetch_add(1, Ordering::Relaxed);
+                shared.stats.deferrals.fetch_add(1, Ordering::Relaxed);
+                *entry.ready_since.lock() = None;
+                FireResult::Deferred
+            }
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("scheduler: factory {} failed: {e}", entry.factory.name());
+                *entry.ready_since.lock() = None;
+                FireResult::Errored
+            }
+        }
+    }
+
     /// Deterministic drive: fire until no factory is ready (or `limit`
-    /// passes, as a cycle guard). Returns total firings.
+    /// passes, as a cycle guard). Returns total firings. Under
+    /// [`Fairness::DeficitRoundRobin`] a pass may fire nothing while a
+    /// ready query is still saving up deficit; the drive keeps passing
+    /// until no transition is ready *or* skipped, so budgeted backlogs
+    /// drain deterministically.
     pub fn run_until_quiescent(&self, limit: usize) -> u64 {
         let mut total = 0;
         for _ in 0..limit {
-            let fired = self.pass();
+            let (fired, skipped) = Self::pass_shared(&self.shared);
             total += fired;
-            if fired == 0 {
+            if fired == 0 && skipped == 0 {
                 break;
             }
         }
@@ -332,7 +705,7 @@ impl Scheduler {
                 .spawn(move || {
                     let mut seen = shared.signal.version();
                     while !shared.stop.load(Ordering::Relaxed) {
-                        let fired = Self::pass_shared(&shared);
+                        let (fired, _skipped) = Self::pass_shared(&shared);
                         if fired == 0 {
                             // Nothing ready: block until a basket changes.
                             // The timeout bounds the wait so time-sliced
@@ -377,11 +750,24 @@ impl Scheduler {
             .entries
             .lock()
             .iter()
-            .map(|e| SchedulerMetrics {
-                name: e.factory.name().to_string(),
-                firings: e.firings.load(Ordering::Relaxed),
-                busy_micros: e.busy_micros.load(Ordering::Relaxed),
-                deferrals: e.deferrals.load(Ordering::Relaxed),
+            .map(|e| {
+                // Fold any *in-progress* ready-wait into the reported
+                // delay, so the starvation alarm rises while a query is
+                // being skipped, not only after it finally fires.
+                let mut sched_delay_micros = e.sched_delay_micros.load(Ordering::Relaxed);
+                if let Some(since) = *e.ready_since.lock() {
+                    sched_delay_micros += since.elapsed().as_micros() as u64;
+                }
+                SchedulerMetrics {
+                    name: e.factory.name().to_string(),
+                    firings: e.firings.load(Ordering::Relaxed),
+                    busy_micros: e.busy_micros.load(Ordering::Relaxed),
+                    tuples_in: e.tuples_in.load(Ordering::Relaxed),
+                    deferrals: e.deferrals.load(Ordering::Relaxed),
+                    weight: e.weight.load(Ordering::Relaxed).max(1),
+                    sched_delay_micros,
+                    consecutive_skips: e.consecutive_skips.load(Ordering::Relaxed),
+                }
             })
             .collect()
     }
@@ -474,6 +860,7 @@ mod tests {
             SchedulePolicy {
                 priority: 1,
                 min_interval: None,
+                ..SchedulePolicy::default()
             },
         );
         let high = sched.add_factory_with_policy(
@@ -481,6 +868,7 @@ mod tests {
             SchedulePolicy {
                 priority: 10,
                 min_interval: None,
+                ..SchedulePolicy::default()
             },
         );
         let names: Vec<String> = sched
@@ -500,6 +888,7 @@ mod tests {
             SchedulePolicy {
                 priority: 0,
                 min_interval: Some(Duration::from_secs(3600)),
+                ..SchedulePolicy::default()
             },
         );
         let input = catalog.read().basket("r").unwrap();
@@ -579,6 +968,103 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(input.is_empty());
         assert_eq!(sched.transition_metrics()[0].deferrals, 1);
+    }
+
+    #[test]
+    fn drr_deficit_does_not_wind_up_across_deferrals() {
+        use crate::basket::OverflowPolicy;
+        // Sustained output backpressure must not bank deficit: when the
+        // consumer recovers, service resumes in quantum-sized slices, not
+        // one mega-firing over the whole accumulated credit.
+        let (catalog, sched) = setup();
+        sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 50 });
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        // A resident tuple keeps the 1-cap Reject output full (the
+        // empty-basket oversized-batch exemption never applies).
+        out.append_rows(&[vec![Value::Int(0)]]).unwrap();
+        out.set_capacity(Some(1), OverflowPolicy::Reject);
+        let rows: Vec<Vec<Value>> = (0..10_000).map(|i| vec![Value::Int(100 + i)]).collect();
+        input.append_rows(&rows).unwrap();
+        // Many passes of pure deferral (bootstrap cost 1 µs/t → each
+        // attempted slice stays ~quantum-sized even while deferring).
+        for _ in 0..20 {
+            assert_eq!(sched.pass(), 0);
+        }
+        assert!(sched.deferrals() >= 20);
+        // Downstream frees up: the next firing is budget-bounded. With
+        // windup it would cover ~20 × quantum worth (1000+ tuples).
+        out.clear();
+        sched.pass();
+        assert!(!out.is_empty(), "retry landed");
+        assert!(
+            out.len() <= 200,
+            "recovery firing stayed quantum-sized, got {}",
+            out.len()
+        );
+        assert!(input.len() >= 9_000, "backlog drains in slices");
+    }
+
+    #[test]
+    fn fairness_defaults_to_priority_and_is_switchable() {
+        let (_, sched) = setup();
+        assert_eq!(sched.fairness(), Fairness::Priority);
+        sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 500 });
+        assert_eq!(
+            sched.fairness(),
+            Fairness::DeficitRoundRobin { quantum: 500 }
+        );
+    }
+
+    #[test]
+    fn drr_drive_processes_everything() {
+        // The quiescent drive must drain the same workload as Priority
+        // even when firings are budgeted (skips keep the drive alive).
+        let (catalog, sched) = setup();
+        sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 1000 });
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+        input.append_rows(&rows).unwrap();
+        sched.run_until_quiescent(10_000);
+        assert!(input.is_empty());
+        assert_eq!(out.len(), 89, "values 11..100 pass the predicate");
+    }
+
+    #[test]
+    fn zero_quantum_is_clamped_not_starving() {
+        let (catalog, sched) = setup();
+        sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 0 });
+        sched.add_factory(selection_factory(&catalog, "q"));
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        input
+            .append_rows(&[vec![Value::Int(50)], vec![Value::Int(60)]])
+            .unwrap();
+        // A literal quantum of 0 would accrue no credit and skip forever;
+        // the clamp keeps the ring serviceable (if slowly).
+        sched.run_until_quiescent(100_000);
+        assert!(input.is_empty(), "ring still drains under quantum 0");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn set_weight_clamps_and_validates() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.set_weight("q", 0).unwrap();
+        assert_eq!(sched.transition_metrics()[0].weight, 1, "clamped to 1");
+        sched.set_weight("q", 7).unwrap();
+        assert_eq!(sched.transition_metrics()[0].weight, 7);
+        assert!(sched.set_weight("nope", 2).is_err());
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub(crate) struct CellConfig {
     pub(crate) writer_batch: usize,
     pub(crate) basket_capacity: Option<usize>,
     pub(crate) overflow: OverflowPolicy,
+    pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: Option<Arc<SessionMetrics>>,
 }
 
@@ -131,6 +132,7 @@ impl DataCell {
     pub(crate) fn from_builder(builder: DataCellBuilder) -> Self {
         let catalog = Arc::new(RwLock::new(StreamCatalog::new()));
         let scheduler = Scheduler::new(Arc::clone(&catalog));
+        scheduler.set_fairness(builder.fairness);
         crate::clock::init();
         let cell = DataCell {
             catalog,
@@ -140,6 +142,7 @@ impl DataCell {
                 writer_batch: builder.writer_batch,
                 basket_capacity: builder.basket_capacity,
                 overflow: builder.overflow,
+                subscription_channel: builder.subscription_channel,
                 metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
             },
             query_outputs: Mutex::new(HashMap::new()),
@@ -374,6 +377,13 @@ impl DataCell {
                     Ok(CellResult::Ack(format!("resumed continuous query {name}")))
                 }
             },
+            Statement::SetQueryWeight { name, weight } => {
+                // The parser guarantees weight >= 1.
+                self.set_query_weight(&name, weight)?;
+                Ok(CellResult::Ack(format!(
+                    "set query {name} weight to {weight}"
+                )))
+            }
             Statement::Explain(q) => {
                 let cat = self.catalog.read();
                 let bound = bind_query(&q, &*cat)?;
@@ -444,7 +454,13 @@ impl DataCell {
         mode: SubscriptionMode,
     ) -> Result<Subscription<T>> {
         let out = self.query_output(query)?;
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // A configured channel bound turns a slow client into end-to-end
+        // backpressure (the emitter stalls instead of the queue growing);
+        // the default unbounded channel keeps the historical behavior.
+        let (tx, rx) = match self.config.subscription_channel {
+            Some(cap) => crossbeam::channel::bounded(cap),
+            None => crossbeam::channel::unbounded(),
+        };
         // The `#seq` suffix is globally unique, so emitter names can never
         // collide across queries (e.g. a query literally named "q-1").
         let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
@@ -570,6 +586,17 @@ impl DataCell {
     pub fn is_query_paused(&self, name: &str) -> Result<bool> {
         self.scheduler
             .is_paused(name)
+            .map_err(|e| self.lifecycle_err(name, e))
+    }
+
+    /// Set a continuous query's deficit-round-robin weight (clamped to
+    /// ≥ 1) — its relative share of scheduler busy time under
+    /// [`Fairness`](crate::scheduler::Fairness)`::DeficitRoundRobin`.
+    /// Equivalent to the SQL `SET QUERY WEIGHT name = 3`; also reaches
+    /// factories registered programmatically via `add_factory`.
+    pub fn set_query_weight(&self, name: &str, weight: u32) -> Result<()> {
+        self.scheduler
+            .set_weight(name, weight)
             .map_err(|e| self.lifecycle_err(name, e))
     }
 
@@ -1029,6 +1056,13 @@ mod tests {
         cell.run_until_quiescent(10);
         let rows = sub.collect_n(10, Duration::from_secs(2)).unwrap();
         assert_eq!(rows.len(), 10);
+        // The emitter counts a delivery *after* the row is handed over, so
+        // the subscriber can observe the row before the counter ticks —
+        // poll briefly instead of asserting the instantaneous value.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while cell.metrics().tuples_delivered < 10 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let m = cell.metrics();
         assert_eq!(m.tuples_ingested, 10);
         assert_eq!(m.tuples_delivered, 10);

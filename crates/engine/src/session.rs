@@ -83,7 +83,8 @@ impl Session {
             }
             Statement::CreateBasket { .. }
             | Statement::CreateContinuousQuery { .. }
-            | Statement::AlterContinuousQuery { .. } => Err(SqlError::Plan(
+            | Statement::AlterContinuousQuery { .. }
+            | Statement::SetQueryWeight { .. } => Err(SqlError::Plan(
                 "stream DDL requires a DataCell session (use datacell::DataCell)".into(),
             )),
             Statement::Insert {

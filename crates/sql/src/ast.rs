@@ -62,6 +62,17 @@ pub enum Statement {
         /// Pause or resume.
         action: QueryLifecycle,
     },
+    /// `SET QUERY WEIGHT name = n` — the query's relative share of
+    /// scheduler busy time under the deficit-round-robin fairness policy.
+    /// The parser rejects non-positive weights, so `weight ≥ 1` always
+    /// holds here (programmatic paths like `QueryHandle::set_weight`
+    /// clamp instead).
+    SetQueryWeight {
+        /// Query (factory) name.
+        name: String,
+        /// Requested weight.
+        weight: u32,
+    },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
 }
@@ -105,6 +116,7 @@ impl Statement {
                 action: QueryLifecycle::Resume,
                 ..
             } => "RESUME CONTINUOUS QUERY",
+            Statement::SetQueryWeight { .. } => "SET QUERY WEIGHT",
             Statement::Explain(_) => "EXPLAIN",
         }
     }

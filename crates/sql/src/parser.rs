@@ -152,6 +152,9 @@ impl Parser {
         if self.eat_kw("resume") {
             return self.alter_continuous(QueryLifecycle::Resume);
         }
+        if self.eat_kw("set") {
+            return self.set_query_weight();
+        }
         if self.eat_kw("explain") {
             return Ok(Statement::Explain(self.query()?));
         }
@@ -294,6 +297,23 @@ impl Parser {
         self.expect_kw("query")?;
         let name = self.ident()?;
         Ok(Statement::AlterContinuousQuery { name, action })
+    }
+
+    /// `SET QUERY WEIGHT name = n` (the `=` is optional).
+    fn set_query_weight(&mut self) -> Result<Statement> {
+        self.expect_kw("query")?;
+        self.expect_kw("weight")?;
+        let name = self.ident()?;
+        self.eat_if(&TokenKind::Eq);
+        let weight = match self.peek_kind() {
+            TokenKind::Int(v) if *v >= 1 && *v <= u32::MAX as i64 => {
+                let w = *v as u32;
+                self.advance();
+                w
+            }
+            _ => return Err(self.err_expected("positive integer weight")),
+        };
+        Ok(Statement::SetQueryWeight { name, weight })
     }
 
     // ---------------- queries ----------------
@@ -1062,6 +1082,30 @@ mod tests {
         );
         assert!(parse("pause query cq").is_err());
         assert!(parse("resume continuous cq").is_err());
+    }
+
+    #[test]
+    fn set_query_weight() {
+        assert_eq!(
+            parse("set query weight cq = 5").unwrap(),
+            Statement::SetQueryWeight {
+                name: "cq".into(),
+                weight: 5,
+            }
+        );
+        // The `=` is optional; case-insensitive keywords as elsewhere.
+        assert_eq!(
+            parse("SET QUERY WEIGHT cq 3").unwrap(),
+            Statement::SetQueryWeight {
+                name: "cq".into(),
+                weight: 3,
+            }
+        );
+        assert!(parse("set query weight cq = 0").is_err(), "weight >= 1");
+        assert!(parse("set query weight cq = -2").is_err());
+        assert!(parse("set query weight cq = 1.5").is_err());
+        assert!(parse("set weight cq = 1").is_err());
+        assert!(parse("set query weight = 1").is_err());
     }
 
     #[test]

@@ -278,3 +278,82 @@ fn per_query_scheduler_accounts_in_metrics() {
     assert_eq!(acct.deferrals, 0);
     assert_eq!(m.factory_firings, 1);
 }
+
+#[test]
+fn bounded_subscription_channel_backpressures_slow_client() {
+    // ROADMAP follow-up: a slow client must stall the *emitter* (which
+    // holds its claim, keeping the tuples resident in the output basket)
+    // instead of growing an unbounded channel queue.
+    let cell = DataCell::builder()
+        .subscription_channel_capacity(8)
+        .metrics(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let sub = q.subscribe::<(i64,)>().unwrap();
+    let out = q.output().unwrap();
+
+    let mut w = cell.writer("b").unwrap();
+    for i in 0..50i64 {
+        w.append((i,)).unwrap();
+    }
+    w.flush().unwrap();
+    cell.run_until_quiescent(10);
+    assert_eq!(out.len(), 50, "all results in the output basket");
+
+    // The client reads nothing: exactly the channel capacity is delivered,
+    // then the emitter blocks mid-claim — and an unacknowledged claim
+    // holds the trim watermark, so nothing leaves the basket.
+    assert!(
+        wait_until(10_000, || cell.metrics().tuples_delivered == 8),
+        "delivered {} != channel capacity 8",
+        cell.metrics().tuples_delivered
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        cell.metrics().tuples_delivered,
+        8,
+        "delivery parked at the channel bound"
+    );
+    assert_eq!(out.len(), 50, "claim unacknowledged: no trim, no loss");
+
+    // The client catches up: everything arrives exactly once, in order,
+    // and the acknowledged claim finally releases the basket.
+    let rows = sub.collect_n(50, Duration::from_secs(15)).unwrap();
+    assert_eq!(rows, (0..50).map(|i| (i,)).collect::<Vec<_>>());
+    assert!(wait_until(10_000, || out.is_empty()), "drained and trimmed");
+    cell.stop();
+}
+
+#[test]
+fn bounded_subscription_channel_aborts_cleanly_on_stop() {
+    // A stalled delivery must not wedge session shutdown: the emitter's
+    // cancel flag aborts the blocked push and the claim rewinds.
+    let cell = DataCell::builder()
+        .subscription_channel_capacity(4)
+        .metrics(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    let q = cell
+        .continuous_query("q", "select s.x from [select * from b] as s")
+        .unwrap();
+    let sub = q.subscribe::<(i64,)>().unwrap();
+    cell.execute("insert into b values (1), (2), (3), (4), (5), (6), (7), (8)")
+        .unwrap();
+    cell.run_until_quiescent(10);
+    // Wait until the emitter is provably parked on the full channel.
+    assert!(wait_until(10_000, || cell.metrics().tuples_delivered == 4));
+    let started = Instant::now();
+    cell.stop(); // must join the blocked emitter promptly
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() wedged on a full subscription channel"
+    );
+    // Whatever was parked in the channel is still readable; the rest
+    // stayed in the output basket (rewound claim — nothing lost).
+    let delivered = sub.collect_n(8, Duration::from_millis(200)).unwrap();
+    assert_eq!(delivered.len(), 4, "channel held its bound");
+    assert_eq!(q.output().unwrap().len(), 8, "rewound claim kept tuples");
+}

@@ -1,0 +1,311 @@
+//! Property/stress tier for the registered-reader cursor engine
+//! (PR 2's `claim`/`commit`/`rewind` discipline), plus the deterministic
+//! regression for the documented `SubscriptionMode::Shared` rewind corner.
+//!
+//! The properties pin down the invariants later refactors must preserve:
+//!
+//! * a **committed-only reader** (every claim acknowledged immediately)
+//!   sees every appended tuple exactly once, in order, whatever other
+//!   readers do around it — claims, out-of-order commits, rewinds, drops;
+//! * **trim never outruns a reader**: tuples a live reader has not yet
+//!   seen stay resident (the low-watermark rule of §2.5);
+//! * the traffic counters (`appended`/`consumed`/`shed`/
+//!   `overflow_events`) are **monotone** under any op interleaving.
+
+use std::collections::VecDeque;
+
+use datacell::basket::{Basket, OverflowPolicy, ReaderId};
+use datacell_bat::types::{DataType, Value};
+use datacell_sql::Schema;
+use proptest::prelude::*;
+
+fn int_basket() -> Basket {
+    Basket::new("b", Schema::new(vec![("x".into(), DataType::Int)])).unwrap()
+}
+
+fn values_of(chunk: &datacell_engine::Chunk) -> Vec<i64> {
+    chunk.columns[0].as_ints().unwrap().to_vec()
+}
+
+/// One randomized action against the basket under test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Append `n` fresh tuples.
+    Append(usize),
+    /// The observer claims up to `n` tuples and commits immediately.
+    ObserverTake(usize),
+    /// Auxiliary reader `r` claims up to `n` tuples (held in flight).
+    AuxClaim(usize, usize),
+    /// Auxiliary reader `r` commits its most recent in-flight claim
+    /// (out-of-order acknowledgement on purpose).
+    AuxCommitNewest(usize),
+    /// Auxiliary reader `r` commits its oldest in-flight claim.
+    AuxCommitOldest(usize),
+    /// Auxiliary reader `r` rewinds its oldest in-flight claim.
+    AuxRewind(usize),
+    /// Auxiliary reader `r` snapshots and commits everything pending.
+    AuxSnapshotCommit(usize),
+    /// Drop auxiliary reader `r` (its in-flight claims die with it).
+    AuxDrop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (1usize..6).prop_map(Op::Append),
+        4 => (1usize..8).prop_map(Op::ObserverTake),
+        // (reader, claim size) folded into one draw: the shim has no
+        // tuple strategies.
+        3 => (0usize..12).prop_map(|x| Op::AuxClaim(x % 3, 1 + x / 3)),
+        2 => (0usize..3).prop_map(Op::AuxCommitNewest),
+        2 => (0usize..3).prop_map(Op::AuxCommitOldest),
+        2 => (0usize..3).prop_map(Op::AuxRewind),
+        1 => (0usize..3).prop_map(Op::AuxSnapshotCommit),
+        1 => (0usize..3).prop_map(Op::AuxDrop),
+    ]
+}
+
+/// Tracking state of one auxiliary reader.
+struct Aux {
+    id: ReaderId,
+    live: bool,
+    inflight: Vec<(u64, u64)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Arbitrary append/claim/commit/rewind/drop interleavings around a
+    // committed-only observer: the observer must receive every appended
+    // value exactly once, in order, and trim must never evict a tuple a
+    // live reader still has pending.
+    #[test]
+    fn committed_reader_sees_every_tuple_exactly_once(
+        ops in prop::collection::vec(op_strategy(), 1..120)
+    ) {
+        let b = int_basket();
+        let observer = b.register_reader(true);
+        let mut auxes: Vec<Aux> = (0..3)
+            .map(|_| Aux {
+                id: b.register_reader(true),
+                live: true,
+                inflight: Vec::new(),
+            })
+            .collect();
+        let mut next_value = 0i64;
+        // Values appended but not yet delivered to the observer.
+        let mut expected: VecDeque<i64> = VecDeque::new();
+        let mut prev_stats = b.stats();
+
+        for op in ops {
+            match op {
+                Op::Append(n) => {
+                    let rows: Vec<Vec<Value>> = (0..n)
+                        .map(|_| {
+                            let v = next_value;
+                            next_value += 1;
+                            expected.push_back(v);
+                            vec![Value::Int(v)]
+                        })
+                        .collect();
+                    b.append_rows(&rows).unwrap();
+                }
+                Op::ObserverTake(n) => {
+                    let (chunk, s, e) = b.claim_for_reader(observer, n);
+                    let got = values_of(&chunk);
+                    // Exactly-once, in order: the claim must be precisely
+                    // the next prefix of the expected stream.
+                    let want: Vec<i64> =
+                        expected.iter().take(got.len()).copied().collect();
+                    prop_assert_eq!(&got, &want, "observer lost/duplicated/reordered");
+                    for _ in 0..got.len() {
+                        expected.pop_front();
+                    }
+                    b.commit_claim(observer, s, e);
+                }
+                Op::AuxClaim(r, n) => {
+                    let aux = &mut auxes[r];
+                    if aux.live {
+                        let (_chunk, s, e) = b.claim_for_reader(aux.id, n);
+                        if e > s {
+                            aux.inflight.push((s, e));
+                        }
+                    }
+                }
+                Op::AuxCommitNewest(r) => {
+                    let aux = &mut auxes[r];
+                    if let Some((s, e)) = aux.inflight.pop() {
+                        b.commit_claim(aux.id, s, e);
+                    }
+                }
+                Op::AuxCommitOldest(r) => {
+                    let aux = &mut auxes[r];
+                    if !aux.inflight.is_empty() {
+                        let (s, e) = aux.inflight.remove(0);
+                        b.commit_claim(aux.id, s, e);
+                    }
+                }
+                Op::AuxRewind(r) => {
+                    let aux = &mut auxes[r];
+                    if !aux.inflight.is_empty() {
+                        let (s, e) = aux.inflight.remove(0);
+                        b.rewind_claim(aux.id, s, e);
+                    }
+                }
+                Op::AuxSnapshotCommit(r) => {
+                    let aux = &mut auxes[r];
+                    if aux.live && aux.inflight.is_empty() {
+                        let (_chunk, end) = b.snapshot_for_reader(aux.id);
+                        b.commit_reader(aux.id, end);
+                    }
+                }
+                Op::AuxDrop(r) => {
+                    let aux = &mut auxes[r];
+                    if aux.live {
+                        b.unregister_reader(aux.id);
+                        aux.live = false;
+                        aux.inflight.clear();
+                    }
+                }
+            }
+
+            // Trim bound: a live reader's pending tuples are resident.
+            let len = b.len();
+            prop_assert!(
+                b.pending_for(observer) <= len,
+                "trim outran the observer: pending {} > resident {}",
+                b.pending_for(observer),
+                len
+            );
+            for aux in auxes.iter().filter(|a| a.live && a.inflight.is_empty()) {
+                prop_assert!(
+                    b.pending_for(aux.id) <= len,
+                    "trim outran a live reader"
+                );
+            }
+
+            // Counters are monotone under every op.
+            let stats = b.stats();
+            prop_assert!(stats.appended >= prev_stats.appended);
+            prop_assert!(stats.consumed >= prev_stats.consumed);
+            prop_assert!(stats.shed >= prev_stats.shed);
+            prop_assert!(stats.overflow_events >= prev_stats.overflow_events);
+            prev_stats = stats;
+        }
+
+        // Drain: whatever is still pending must complete the stream.
+        let (chunk, s, e) = b.claim_for_reader(observer, usize::MAX);
+        let got = values_of(&chunk);
+        let want: Vec<i64> = expected.iter().copied().collect();
+        prop_assert_eq!(got, want, "tail lost or duplicated");
+        b.commit_claim(observer, s, e);
+        prop_assert_eq!(b.pending_for(observer), 0);
+    }
+
+    // Monotone shed/overflow counters and a strict residency bound under
+    // `ShedOldest`, whatever the interleaving of appends, reads, clears
+    // and capacity changes.
+    #[test]
+    fn shed_and_overflow_counters_stay_monotone(
+        caps in prop::collection::vec(1usize..8, 1..4),
+        batches in prop::collection::vec(1usize..12, 1..60),
+    ) {
+        let b = Basket::bounded(
+            "b",
+            Schema::new(vec![("x".into(), DataType::Int)]),
+            Some(caps[0]),
+            OverflowPolicy::ShedOldest,
+        )
+        .unwrap();
+        let reader = b.register_reader(true);
+        let mut prev = b.stats();
+        let mut v = 0i64;
+        for (i, n) in batches.iter().enumerate() {
+            let rows: Vec<Vec<Value>> = (0..*n)
+                .map(|_| {
+                    v += 1;
+                    vec![Value::Int(v)]
+                })
+                .collect();
+            b.append_rows(&rows).unwrap();
+            let cap = b.capacity().unwrap();
+            prop_assert!(b.len() <= cap, "ShedOldest bound is strict");
+            match i % 4 {
+                0 => {
+                    let (_, end) = b.snapshot_for_reader(reader);
+                    b.commit_reader(reader, end);
+                }
+                1 => {
+                    let (_, s, e) = b.claim_for_reader(reader, 2);
+                    b.rewind_claim(reader, s, e);
+                }
+                2 => {
+                    b.clear();
+                }
+                _ => {
+                    b.set_capacity(Some(caps[i % caps.len()]), OverflowPolicy::ShedOldest);
+                }
+            }
+            let stats = b.stats();
+            prop_assert!(stats.appended >= prev.appended);
+            prop_assert!(stats.consumed >= prev.consumed);
+            prop_assert!(stats.shed >= prev.shed);
+            prop_assert!(stats.overflow_events >= prev.overflow_events);
+            prev = stats;
+        }
+    }
+}
+
+/// The documented `SubscriptionMode::Shared` rewind corner (see the enum's
+/// rustdoc): a claim rewound *behind* an already-committed later claim
+/// re-opens the committed range too — at-least-once, no loss, no reorder
+/// within a claim.
+#[test]
+fn shared_rewind_behind_committed_claim_redelivers_at_least_once() {
+    let b = int_basket();
+    let pool = b.register_reader(true);
+    let rows: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::Int(i)]).collect();
+    b.append_rows(&rows).unwrap();
+
+    // Two competing consumers claim adjacent ranges.
+    let (a_chunk, a_start, a_end) = b.claim_for_reader(pool, 2);
+    let (b_chunk, b_start, b_end) = b.claim_for_reader(pool, 2);
+    assert_eq!(values_of(&a_chunk), vec![0, 1]);
+    assert_eq!(values_of(&b_chunk), vec![2, 3]);
+
+    // The *later* claim is acknowledged first (consumer B is fast)...
+    b.commit_claim(pool, b_start, b_end);
+    // ...then consumer A dies mid-delivery and its claim is rewound.
+    b.rewind_claim(pool, a_start, a_end);
+
+    // Nothing was trimmed: the failed range still holds the watermark.
+    assert_eq!(b.len(), 6, "no loss");
+
+    // A surviving consumer re-claims from the rewound start: it receives
+    // the failed range *and* the already-committed later range again
+    // (at-least-once), in stream order, followed by the undelivered tail.
+    let (re_chunk, re_start, re_end) = b.claim_for_reader(pool, usize::MAX);
+    assert_eq!(
+        values_of(&re_chunk),
+        vec![0, 1, 2, 3, 4, 5],
+        "redelivery covers the rewound range, the committed-later range \
+         (duplicated — at-least-once), and the tail, in order"
+    );
+    b.commit_claim(pool, re_start, re_end);
+    assert!(b.is_empty(), "all claims acknowledged: trimmed");
+
+    // Per-tuple accounting: 0,1 delivered once (rewound before delivery),
+    // 2,3 delivered twice, 4,5 once — never zero times.
+    let delivered = [1, 1, 2, 2, 1, 1];
+    let mut counts = [0usize; 6];
+    for v in values_of(&a_chunk)
+        .iter()
+        .chain(values_of(&b_chunk).iter())
+        .chain(values_of(&re_chunk).iter())
+    {
+        counts[*v as usize] += 1;
+    }
+    // a_chunk was rewound before reaching its sink: subtract its claim.
+    counts[0] -= 1;
+    counts[1] -= 1;
+    assert_eq!(counts, delivered);
+}

@@ -1,0 +1,416 @@
+//! Deterministic fairness tests for the scheduler's pass-order policies:
+//! under [`Fairness::DeficitRoundRobin`] a 10×-cost query and its cheap
+//! co-tenant both make progress every few passes (bounded consecutive
+//! skips — no starvation), and under [`Fairness::Priority`] the historical
+//! sweep ordering is preserved byte-for-byte (regression guard for
+//! existing workloads).
+//!
+//! The workload is a synthetic [`Transition`] whose per-tuple cost is an
+//! exact busy-wait, so the scheduler's cost model sees a controlled,
+//! reproducible skew without depending on plan-execution timings.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datacell::basket::Signal;
+use datacell::catalog::StreamCatalog;
+use datacell::error::Result;
+use datacell::factory::StepOutcome;
+use datacell::scheduler::{Fairness, SchedulePolicy, Scheduler, Transition};
+use datacell::DataCell;
+use parking_lot::{Mutex, RwLock};
+
+/// A query stand-in with an exact, configurable per-tuple cost.
+struct CostedQuery {
+    name: String,
+    /// Tuples waiting to be processed.
+    pending: AtomicUsize,
+    /// Tuples processed so far.
+    processed: AtomicU64,
+    /// Busy-wait per tuple.
+    cost_per_tuple: Duration,
+    /// When false, `step_budgeted` ignores its budget and processes the
+    /// whole backlog — modelling transitions without budget support
+    /// (window evaluators), to test the scheduler's overdraft debt.
+    honors_budget: bool,
+    /// Firing order log shared across transitions (ordering tests).
+    log: Option<Arc<Mutex<Vec<String>>>>,
+}
+
+impl CostedQuery {
+    fn new(name: &str, cost_per_tuple: Duration) -> Arc<Self> {
+        Arc::new(CostedQuery {
+            name: name.to_string(),
+            pending: AtomicUsize::new(0),
+            processed: AtomicU64::new(0),
+            cost_per_tuple,
+            honors_budget: true,
+            log: None,
+        })
+    }
+
+    /// A transition that ignores the tuple budget entirely (the default
+    /// `Transition::step_budgeted` of evaluators without input slicing).
+    fn budget_blind(name: &str, cost_per_tuple: Duration) -> Arc<Self> {
+        Arc::new(CostedQuery {
+            name: name.to_string(),
+            pending: AtomicUsize::new(0),
+            processed: AtomicU64::new(0),
+            cost_per_tuple,
+            honors_budget: false,
+            log: None,
+        })
+    }
+
+    fn with_log(name: &str, log: Arc<Mutex<Vec<String>>>) -> Arc<Self> {
+        Arc::new(CostedQuery {
+            name: name.to_string(),
+            pending: AtomicUsize::new(0),
+            processed: AtomicU64::new(0),
+            cost_per_tuple: Duration::from_micros(1),
+            honors_budget: true,
+            log: Some(log),
+        })
+    }
+
+    fn feed(&self, n: usize) {
+        self.pending.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+}
+
+impl Transition for CostedQuery {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ready(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) > 0
+    }
+
+    fn step(&self, tables: Option<&datacell_engine::Catalog>) -> Result<StepOutcome> {
+        self.step_budgeted(tables, usize::MAX)
+    }
+
+    fn step_budgeted(
+        &self,
+        _tables: Option<&datacell_engine::Catalog>,
+        max_tuples: usize,
+    ) -> Result<StepOutcome> {
+        let cap = if self.honors_budget {
+            max_tuples.max(1)
+        } else {
+            usize::MAX
+        };
+        let n = self.pending.load(Ordering::Relaxed).min(cap);
+        // Exact busy-wait: n tuples at the configured per-tuple cost.
+        let deadline = Instant::now() + self.cost_per_tuple * n as u32;
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+        self.pending.fetch_sub(n, Ordering::Relaxed);
+        self.processed.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(log) = &self.log {
+            log.lock().push(self.name.clone());
+        }
+        Ok(StepOutcome {
+            tuples_in: n,
+            consumed: n,
+            produced: n,
+        })
+    }
+
+    fn subscribe(&self, _signal: Arc<Signal>) {}
+}
+
+fn scheduler() -> Scheduler {
+    Scheduler::new(Arc::new(RwLock::new(StreamCatalog::new())))
+}
+
+/// The busy-wait cost model measures wall-clock time, so concurrently
+/// running tests inflate each other's measured costs (and, with overdraft
+/// debt, compound them). Serialize *every* test in this binary.
+static TIMING: Mutex<()> = Mutex::new(());
+
+#[test]
+fn drr_serves_both_queries_under_10x_cost_skew() {
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 2_000 });
+    // Costs sit well above OS scheduling noise (a ~10 ms preemption is one
+    // credit, not fifty), keeping the assertions meaningful on a loaded
+    // machine.
+    let cheap = CostedQuery::new("cheap", Duration::from_micros(500));
+    let heavy = CostedQuery::new("heavy", Duration::from_micros(5_000));
+    sched.add_transition(Arc::clone(&cheap) as _, SchedulePolicy::default());
+    sched.add_transition(Arc::clone(&heavy) as _, SchedulePolicy::default());
+
+    // Warm-up: one tiny firing each teaches the scheduler the real
+    // per-tuple costs (the bootstrap estimate is optimistic by design).
+    cheap.feed(1);
+    heavy.feed(1);
+    sched.run_until_quiescent(50);
+
+    // Saturate both, then drive a fixed number of passes. Every pass the
+    // cheap query can afford tuples (quantum 2 ms ≫ 500 µs/tuple) while
+    // the heavy one (5 ms/tuple) must save deficit across passes — it
+    // fires roughly every third pass.
+    cheap.feed(1_000_000);
+    heavy.feed(1_000_000);
+    const PASSES: usize = 60;
+    // Nominally the heavy query fires every ~3rd pass (5 ms cost vs
+    // 2 ms/pass accrual); K leaves headroom for preemption noise.
+    const K: u64 = 8;
+    let cheap_before = cheap.processed();
+    let heavy_before = heavy.processed();
+    let mut max_skip_streak = 0u64;
+    for _ in 0..PASSES {
+        sched.pass();
+        for m in sched.transition_metrics() {
+            max_skip_streak = max_skip_streak.max(m.consecutive_skips);
+        }
+    }
+
+    let metrics = sched.transition_metrics();
+    let cheap_m = metrics.iter().find(|m| m.name == "cheap").unwrap();
+    let heavy_m = metrics.iter().find(|m| m.name == "heavy").unwrap();
+    assert!(
+        cheap.processed() - cheap_before >= (PASSES as u64) * 3 / 5,
+        "cheap query progresses on most passes (got {})",
+        cheap.processed() - cheap_before
+    );
+    assert!(
+        heavy.processed() > heavy_before,
+        "heavy query is served, only budgeted"
+    );
+    assert!(
+        heavy_m.firings >= (PASSES as u64) / K,
+        "heavy fires at least every {K} passes: {} firings over {PASSES}",
+        heavy_m.firings
+    );
+    // Absolute-starvation backstop: a broken ring would skip the heavy
+    // query for essentially the whole drive (streak ≈ PASSES); bounded
+    // preemption noise cannot reach half of it.
+    assert!(
+        max_skip_streak < (PASSES as u64) / 2,
+        "no consecutive-skip blowup: max streak {max_skip_streak}"
+    );
+    // The scheduling-delay account of the heavy query is visible: it
+    // waited (ready, unfired) while saving deficit.
+    assert!(
+        heavy_m.sched_delay_micros > 0,
+        "starvation pressure is observable in sched_delay_micros"
+    );
+    assert!(
+        cheap_m.firings >= (PASSES as u64) * 3 / 5,
+        "cheap fired on most passes"
+    );
+}
+
+#[test]
+fn budget_blind_transition_pays_overdraft_debt() {
+    // A transition whose step ignores the tuple budget (the default
+    // `step_budgeted`) still cannot monopolize the ring: its over-budget
+    // firing drives the deficit negative and it is skipped until the debt
+    // is repaid, while the budget-honoring co-tenant fires every pass.
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 2_000 });
+    let blind = CostedQuery::budget_blind("blind", Duration::from_micros(1_000));
+    let cheap = CostedQuery::new("cheap", Duration::from_micros(500));
+    sched.add_transition(Arc::clone(&blind) as _, SchedulePolicy::default());
+    sched.add_transition(Arc::clone(&cheap) as _, SchedulePolicy::default());
+    // Warm-up: teach the scheduler both real per-tuple costs, then clear
+    // any bootstrap-misestimate debt before measuring.
+    blind.feed(1);
+    cheap.feed(1);
+    sched.run_until_quiescent(50);
+    for _ in 0..20 {
+        sched.pass();
+    }
+    let warm = sched.transition_metrics();
+    let blind_warm = warm.iter().find(|m| m.name == "blind").unwrap().firings;
+    let cheap_warm = warm.iter().find(|m| m.name == "cheap").unwrap().firings;
+    cheap.feed(1_000_000);
+
+    const PASSES: usize = 60;
+    for _ in 0..PASSES {
+        // Keep the blind transition backlogged with a fixed 20-tuple
+        // (~20 ms) refill so each of its firings overruns the 2 ms
+        // quantum tenfold.
+        if blind.pending.load(Ordering::Relaxed) == 0 {
+            blind.feed(20);
+        }
+        sched.pass();
+    }
+    let metrics = sched.transition_metrics();
+    let blind_m = metrics.iter().find(|m| m.name == "blind").unwrap();
+    let cheap_m = metrics.iter().find(|m| m.name == "cheap").unwrap();
+    let blind_fired = blind_m.firings - blind_warm;
+    let cheap_fired = cheap_m.firings - cheap_warm;
+    assert!(
+        cheap_fired >= (PASSES as u64) * 3 / 5,
+        "budget-honoring co-tenant keeps firing: {cheap_fired} of {PASSES}"
+    );
+    // Each blind firing costs ~20 ms against a 2 ms accrual, so debt
+    // limits it to roughly every 10th pass. Without overdraft debt it
+    // would fire every pass it is backlogged (~30+ of 60).
+    assert!(
+        blind_fired <= (PASSES as u64) / 4,
+        "overdraft debt throttles the budget-blind transition: {blind_fired} firings"
+    );
+    assert!(blind_fired >= 2, "but it is still served");
+}
+
+#[test]
+fn drr_weights_shift_busy_share() {
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 500 });
+    let favored = CostedQuery::new("favored", Duration::from_micros(1_000));
+    let normal = CostedQuery::new("normal", Duration::from_micros(1_000));
+    sched.add_transition(
+        Arc::clone(&favored) as _,
+        SchedulePolicy {
+            weight: 3,
+            ..SchedulePolicy::default()
+        },
+    );
+    sched.add_transition(Arc::clone(&normal) as _, SchedulePolicy::default());
+    favored.feed(1);
+    normal.feed(1);
+    sched.run_until_quiescent(50);
+
+    favored.feed(1_000_000);
+    normal.feed(1_000_000);
+    for _ in 0..80 {
+        sched.pass();
+    }
+    let (f, n) = (favored.processed() - 1, normal.processed() - 1);
+    assert!(n > 0, "weight-1 query still progresses");
+    assert!(
+        f >= n * 2,
+        "weight 3 earns a clearly larger share: favored={f} normal={n}"
+    );
+    let metrics = sched.transition_metrics();
+    assert_eq!(
+        metrics.iter().find(|m| m.name == "favored").unwrap().weight,
+        3
+    );
+}
+
+#[test]
+fn priority_sweep_ordering_is_preserved_byte_for_byte() {
+    // Regression guard: under Fairness::Priority (the default) the firing
+    // order is exactly the historical sweep — priority descending, ties in
+    // registration order, every ready transition once per pass, no skips.
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    assert_eq!(sched.fairness(), Fairness::Priority, "default unchanged");
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let first_tie = CostedQuery::with_log("first_tie", Arc::clone(&log));
+    let high = CostedQuery::with_log("high", Arc::clone(&log));
+    let second_tie = CostedQuery::with_log("second_tie", Arc::clone(&log));
+    sched.add_transition(Arc::clone(&first_tie) as _, SchedulePolicy::default());
+    sched.add_transition(
+        Arc::clone(&high) as _,
+        SchedulePolicy {
+            priority: 7,
+            ..SchedulePolicy::default()
+        },
+    );
+    sched.add_transition(Arc::clone(&second_tie) as _, SchedulePolicy::default());
+
+    for _ in 0..3 {
+        first_tie.feed(1);
+        high.feed(1);
+        second_tie.feed(1);
+        sched.pass();
+    }
+    let want: Vec<String> = ["high", "first_tie", "second_tie"]
+        .iter()
+        .cycle()
+        .take(9)
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(*log.lock(), want, "historical sweep order, three passes");
+    // The old sweep never skips a ready transition.
+    for m in sched.transition_metrics() {
+        assert_eq!(m.consecutive_skips, 0, "{}", m.name);
+        assert_eq!(m.firings, 3, "{}", m.name);
+    }
+}
+
+#[test]
+fn strict_priority_tier_rides_above_the_drr_ring() {
+    // priority > 0 opts out of the ring: it fires first and unbudgeted
+    // even under DRR, exactly like the old sweep.
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 100 });
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let express = CostedQuery::with_log("express", Arc::clone(&log));
+    let ring = CostedQuery::with_log("ring", Arc::clone(&log));
+    sched.add_transition(Arc::clone(&ring) as _, SchedulePolicy::default());
+    sched.add_transition(
+        Arc::clone(&express) as _,
+        SchedulePolicy {
+            priority: 1,
+            ..SchedulePolicy::default()
+        },
+    );
+    express.feed(5);
+    ring.feed(5);
+    sched.pass();
+    assert_eq!(log.lock()[0], "express", "express tier served first");
+    assert_eq!(
+        express.processed(),
+        5,
+        "express firing is unbudgeted (whole backlog in one step)"
+    );
+}
+
+#[test]
+fn weights_reach_sql_and_handles_end_to_end() {
+    let _serial = TIMING.lock();
+    let cell = DataCell::builder()
+        .fairness(Fairness::DeficitRoundRobin { quantum: 500 })
+        .build();
+    cell.execute("create basket b1 (x int)").unwrap();
+    cell.execute("create basket b2 (x int)").unwrap();
+    let q1 = cell
+        .continuous_query("q1", "select s.x from [select * from b1] as s")
+        .unwrap();
+    cell.execute("create continuous query q2 as select s.x from [select * from b2] as s")
+        .unwrap();
+
+    // SQL surface.
+    cell.execute("set query weight q2 = 4").unwrap();
+    // Typed surface.
+    q1.set_weight(2).unwrap();
+
+    let per_query = cell.metrics().per_query;
+    let weight_of = |name: &str| per_query.iter().find(|m| m.name == name).unwrap().weight;
+    assert_eq!(weight_of("q1"), 2);
+    assert_eq!(weight_of("q2"), 4);
+
+    // Unknown queries are rejected with the session-level wording.
+    let err = cell.execute("set query weight nope = 2").unwrap_err();
+    assert!(
+        err.to_string().contains("unknown continuous query"),
+        "{err}"
+    );
+
+    // The DRR scheduler still drains SQL workloads deterministically.
+    cell.execute("insert into b1 values (1), (2), (3)").unwrap();
+    cell.execute("insert into b2 values (4), (5)").unwrap();
+    cell.run_until_quiescent(1000);
+    assert!(cell.basket("b1").unwrap().is_empty());
+    assert!(cell.basket("b2").unwrap().is_empty());
+    assert_eq!(cell.query_output("q1").unwrap().len(), 3);
+    assert_eq!(cell.query_output("q2").unwrap().len(), 2);
+}
