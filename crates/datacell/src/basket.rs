@@ -463,6 +463,15 @@ impl Basket {
         self.append_rows_inner(rows, false, true)
     }
 
+    /// Non-waiting [`Basket::append_rows_prevalidated`]: a full
+    /// `Block`-policy basket returns [`DataCellError::Backpressure`]
+    /// (all-or-nothing) instead of parking the caller — for writers whose
+    /// own overflow policy is non-blocking (`Reject`/`ShedOldest`), so a
+    /// racing producer can never strand them in the engine's wait loop.
+    pub fn try_append_rows_prevalidated(&self, rows: &[Vec<Value>]) -> Result<()> {
+        self.append_rows_inner(rows, false, false)
+    }
+
     fn append_rows_inner(&self, rows: &[Vec<Value>], coerce: bool, blocking: bool) -> Result<()> {
         if rows.is_empty() {
             return Ok(());
@@ -699,34 +708,101 @@ impl Basket {
     /// Delete the tuples at `positions` (relative to the current snapshot).
     /// Used to apply the consumption side effect of basket expressions in
     /// exclusively-owned baskets (a predicate window deletes a subset).
+    ///
+    /// Positions index the basket *as it is right now*: if tuples may have
+    /// been shed or trimmed since the snapshot the positions were computed
+    /// against, use [`Basket::snapshot_anchored`] +
+    /// [`Basket::consume_anchored`] instead — positional consumption after
+    /// a concurrent head-drop would delete shifted, newer tuples.
     pub fn consume_positions(&self, positions: &Candidates) -> Result<usize> {
         let removed;
         {
             let mut inner = self.inner.lock();
-            let len = inner.len();
-            let keep = positions.complement(len).to_positions();
-            removed = len - keep.len();
+            removed = Self::consume_in(&mut inner, positions)?;
             if removed == 0 {
                 return Ok(0);
             }
-            for c in &mut inner.columns {
-                c.retain_positions(&keep)?;
-            }
-            // Deleting arbitrary positions invalidates oid-density; readers
-            // and exclusive consumption are not meant to be mixed on one
-            // basket, but keep cursors sane by clamping to the new end.
-            inner.base_oid += removed as u64;
-            let end = inner.end_oid();
-            for rs in inner.readers.values_mut() {
-                rs.cursor = rs.cursor.min(end);
-                rs.inflight.retain(|&(s, _)| s < end);
-                for r in &mut rs.inflight {
-                    r.1 = r.1.min(end);
-                }
-            }
-            inner.stats.consumed += removed as u64;
         }
         self.notify();
+        Ok(removed)
+    }
+
+    /// Snapshot the full resident contents together with the oid of the
+    /// first row — the anchor that makes a later
+    /// [`Basket::consume_anchored`] immune to concurrent head-drops
+    /// (`ShedOldest` evictions, trims) between snapshot and consumption.
+    pub fn snapshot_anchored(&self) -> (Chunk, u64) {
+        let inner = self.inner.lock();
+        (
+            Chunk {
+                schema: self.schema.clone(),
+                columns: inner.columns.clone(),
+            },
+            inner.base_oid,
+        )
+    }
+
+    /// Delete the tuples at `positions` *relative to a snapshot whose first
+    /// row had oid `base`* (from [`Basket::snapshot_anchored`]). Positions
+    /// whose tuples were shed or trimmed after the snapshot are skipped —
+    /// they are already gone — instead of silently deleting the newer
+    /// tuples that shifted into their places. This is the at-most-once
+    /// guard for exclusive factories over `ShedOldest` inputs: a shed
+    /// *during* the factory step can no longer make post-step consumption
+    /// eat tuples the step never processed.
+    pub fn consume_anchored(&self, base: u64, positions: &Candidates) -> Result<usize> {
+        let removed;
+        {
+            let mut inner = self.inner.lock();
+            // base_oid only grows, and the snapshot's base was read under
+            // this same lock, so shift = how many snapshot rows left the
+            // head since then.
+            let shift = (inner.base_oid.saturating_sub(base)) as usize;
+            let len = inner.len();
+            let translated: Vec<usize> = positions
+                .to_positions()
+                .into_iter()
+                .filter_map(|p| p.checked_sub(shift))
+                .filter(|&p| p < len)
+                .collect();
+            if translated.is_empty() {
+                return Ok(0);
+            }
+            let cands = Candidates::from_sorted_unchecked(translated);
+            removed = Self::consume_in(&mut inner, &cands)?;
+            if removed == 0 {
+                return Ok(0);
+            }
+        }
+        self.notify();
+        Ok(removed)
+    }
+
+    /// Shared body of the positional-consumption paths; called with the
+    /// inner lock held, `positions` relative to the current residents.
+    fn consume_in(inner: &mut Inner, positions: &Candidates) -> Result<usize> {
+        let len = inner.len();
+        let keep = positions.complement(len).to_positions();
+        let removed = len - keep.len();
+        if removed == 0 {
+            return Ok(0);
+        }
+        for c in &mut inner.columns {
+            c.retain_positions(&keep)?;
+        }
+        // Deleting arbitrary positions invalidates oid-density; readers
+        // and exclusive consumption are not meant to be mixed on one
+        // basket, but keep cursors sane by clamping to the new end.
+        inner.base_oid += removed as u64;
+        let end = inner.end_oid();
+        for rs in inner.readers.values_mut() {
+            rs.cursor = rs.cursor.min(end);
+            rs.inflight.retain(|&(s, _)| s < end);
+            for r in &mut rs.inflight {
+                r.1 = r.1.min(end);
+            }
+        }
+        inner.stats.consumed += removed as u64;
         Ok(removed)
     }
 
@@ -1248,6 +1324,21 @@ mod tests {
         b.commit_reader(r, end);
         b.try_append_chunk(&chunk).unwrap();
         assert_eq!(b.pending_for(r), 2);
+    }
+
+    #[test]
+    fn try_append_prevalidated_defers_instead_of_blocking() {
+        // A non-blocking writer (Reject/ShedOldest policy) that loses the
+        // room-check race against another producer must get Backpressure
+        // back from a full Block basket, never park in the wait loop.
+        let b = bounded(1, OverflowPolicy::Block);
+        let _r = b.register_reader(true); // holds the tuple resident
+        b.append_rows(&[vec![Value::Int(1)]]).unwrap();
+        let err = b
+            .try_append_rows_prevalidated(&[vec![Value::Int(2)], vec![Value::Int(3)]])
+            .unwrap_err();
+        assert!(matches!(err, DataCellError::Backpressure { .. }), "{err}");
+        assert_eq!(ints(&b), vec![1], "all-or-nothing: nothing appended");
     }
 
     #[test]

@@ -95,6 +95,7 @@ pub struct DataCellBuilder {
     pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: bool,
     pub(crate) auto_start: bool,
+    pub(crate) listen: Option<String>,
 }
 
 impl Default for DataCellBuilder {
@@ -108,6 +109,7 @@ impl Default for DataCellBuilder {
             subscription_channel: None,
             metrics: false,
             auto_start: false,
+            listen: None,
         }
     }
 }
@@ -204,6 +206,17 @@ impl DataCellBuilder {
     /// [`DataCell::start`] explicitly).
     pub fn auto_start(mut self, enabled: bool) -> Self {
         self.auto_start = enabled;
+        self
+    }
+
+    /// Record a TCP listen address (e.g. `"127.0.0.1:7878"`, or port `0`
+    /// for an ephemeral port) for the wire-protocol front door. The session
+    /// itself opens no socket — the transport lives in the `datacell-net`
+    /// crate, whose `NetServer::start` reads this address back via
+    /// [`DataCell::listen_addr`](crate::DataCell::listen_addr) and serves
+    /// `STREAM` / `SUBSCRIBE` clients speaking the [`crate::text`] framing.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = Some(addr.into());
         self
     }
 
@@ -586,12 +599,20 @@ impl StreamWriter {
             let n = room.min(total - offset);
             // Rows were validated/coerced on append; skip re-coercion. A
             // concurrent producer may still win the race to the last slot:
-            // a Reject basket then surfaces Backpressure here, a Block
-            // basket simply waits inside the append.
-            match self
-                .basket
-                .append_rows_prevalidated(&self.buf[offset..offset + n])
-            {
+            // a Block-policy *writer* then waits inside the append, while
+            // a non-blocking writer (Reject/ShedOldest) uses the
+            // non-waiting path so the race surfaces as Backpressure and is
+            // handled by this loop — never by parking un-cancellably
+            // inside the engine (the wire receptor's stop-aware retry
+            // depends on flush returning).
+            let append = if self.overflow == OverflowPolicy::Block {
+                self.basket
+                    .append_rows_prevalidated(&self.buf[offset..offset + n])
+            } else {
+                self.basket
+                    .try_append_rows_prevalidated(&self.buf[offset..offset + n])
+            };
+            match append {
                 Ok(()) => offset += n,
                 Err(DataCellError::Backpressure { .. })
                     if self.overflow != OverflowPolicy::Reject =>

@@ -23,11 +23,14 @@
 //! **Concurrency.** The paper's Algorithm 1 holds the basket locks for the
 //! whole loop body. We get the same effect with finer locks because (a)
 //! receptors only ever *append*, and consumption is expressed as positions
-//! within the snapshot — appends that slip in during plan execution are
-//! untouched and wait for the next firing; (b) two factories never consume
-//! the same basket exclusively at the same time by construction (the
-//! scheduler fires a factory at most once concurrently, and cascades
-//! serialize via control tokens).
+//! within an *oid-anchored* snapshot — appends that slip in during plan
+//! execution sit past the snapshot and are untouched, while head-drops
+//! that slip in (a `ShedOldest` input evicting under pressure) shift the
+//! anchor, so consumption deletes exactly the surviving processed tuples
+//! and never the newer rows that moved into their positions; (b) two
+//! factories never consume the same basket exclusively at the same time by
+//! construction (the scheduler fires a factory at most once concurrently,
+//! and cascades serialize via control tokens).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -370,12 +373,18 @@ impl Factory {
         // 1. Snapshot inputs, truncated to the service budget when given.
         let mut snapshots: HashMap<String, Chunk> = HashMap::new();
         let mut shared_ends: HashMap<String, u64> = HashMap::new();
+        // Exclusive snapshots are oid-anchored: a concurrent `ShedOldest`
+        // eviction between snapshot and consumption shifts positions, and
+        // consuming by stale positions would delete newer tuples than the
+        // ones this step processed (at-most-once under shedding).
+        let mut exclusive_bases: HashMap<String, u64> = HashMap::new();
         let mut tuples_in = 0usize;
         for input in &self.inputs {
             let name = input.basket.name().to_string();
             let chunk = match input.mode {
                 InputMode::Exclusive => {
-                    let chunk = input.basket.snapshot();
+                    let (chunk, base) = input.basket.snapshot_anchored();
+                    exclusive_bases.insert(name.clone(), base);
                     match limit {
                         Some(max) if chunk.len() > max => chunk.head(max)?,
                         _ => chunk,
@@ -438,11 +447,12 @@ impl Factory {
             let name = input.basket.name();
             match input.mode {
                 InputMode::Exclusive => {
+                    let base = exclusive_bases.get(name).copied().unwrap_or(0);
                     if self.drain_inputs {
                         let n = snapshots.get(name).map_or(0, Chunk::len);
-                        consumed += input.basket.consume_positions(&Candidates::all(n))?;
+                        consumed += input.basket.consume_anchored(base, &Candidates::all(n))?;
                     } else if let Some(cands) = merged.get(name) {
-                        consumed += input.basket.consume_positions(cands)?;
+                        consumed += input.basket.consume_anchored(base, cands)?;
                     }
                 }
                 InputMode::Shared(r) => {

@@ -154,6 +154,77 @@ pub struct SessionMetrics {
     pub latency: LatencyHistogram,
 }
 
+/// A provider of network-transport counters, implemented by the TCP
+/// server in `datacell-net` and registered on the session through
+/// [`DataCell::register_net_metrics`](crate::DataCell::register_net_metrics)
+/// so [`DataCell::metrics`](crate::DataCell::metrics) can fold
+/// per-connection traffic into one snapshot. Defined here (not in the
+/// transport crate) because the session owns the metrics surface while the
+/// transport depends on the session, not the other way around.
+pub trait NetMetricsSource: Send + Sync {
+    /// Current transport counters.
+    fn net_metrics(&self) -> NetMetricsSnapshot;
+}
+
+/// What a network connection is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetConnectionKind {
+    /// `STREAM`: the client pushes tuples into a basket.
+    Ingest,
+    /// `SUBSCRIBE`: the client receives a continuous query's results.
+    Subscribe,
+    /// Connected but the handshake line has not arrived yet.
+    Handshaking,
+}
+
+impl std::fmt::Display for NetConnectionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NetConnectionKind::Ingest => "ingest",
+            NetConnectionKind::Subscribe => "subscribe",
+            NetConnectionKind::Handshaking => "handshaking",
+        })
+    }
+}
+
+/// Traffic counters of one live TCP connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConnectionMetrics {
+    /// Server-assigned connection id (monotone per listener).
+    pub id: u64,
+    /// Peer address (`ip:port`).
+    pub peer: String,
+    /// Ingest or subscribe.
+    pub kind: NetConnectionKind,
+    /// The basket (ingest) or continuous query (subscribe) served.
+    pub target: String,
+    /// Tuples moved over this connection (in for ingest, out for
+    /// subscribe).
+    pub tuples: u64,
+    /// Malformed lines refused with an `ERR decode` reply (ingest only).
+    pub rejected: u64,
+}
+
+/// Aggregated network-transport counters plus the per-connection accounts,
+/// surfaced through [`MetricsSnapshot::net`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetMetricsSnapshot {
+    /// The listener's bound address.
+    pub local_addr: String,
+    /// Connections ever accepted.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Tuples ingested over all `STREAM` connections (ever).
+    pub tuples_in: u64,
+    /// Tuples delivered over all `SUBSCRIBE` connections (ever).
+    pub tuples_out: u64,
+    /// Malformed ingest lines refused with an `ERR decode` reply (ever).
+    pub lines_rejected: u64,
+    /// Counters of every currently open connection.
+    pub per_connection: Vec<NetConnectionMetrics>,
+}
+
 /// Point-in-time view of [`SessionMetrics`] plus scheduler counters,
 /// returned by [`DataCell::metrics`](crate::DataCell::metrics).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -188,6 +259,9 @@ pub struct MetricsSnapshot {
     /// observe, the scheduler's
     /// [`Fairness`](crate::scheduler::Fairness) policy.
     pub per_query: Vec<crate::scheduler::SchedulerMetrics>,
+    /// Network-transport counters, present when a TCP listener (the
+    /// `datacell-net` crate) is attached to this session.
+    pub net: Option<NetMetricsSnapshot>,
 }
 
 #[cfg(test)]

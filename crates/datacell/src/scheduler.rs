@@ -29,7 +29,9 @@
 //!   unbudgeted, exactly as under `Priority`. Every pass, each backlogged
 //!   ring member earns `quantum × weight` microseconds of busy-time
 //!   credit; its accumulated credit is converted into a **tuple budget**
-//!   through the per-tuple cost observed over its past firings, and the
+//!   through the per-tuple cost observed over its recent firings (an EWMA,
+//!   so a drifting cost — a growing join table, shifting selectivity — is
+//!   tracked within a few firings), and the
 //!   firing is capped at that budget ([`Transition::step_budgeted`]). An
 //!   expensive query therefore fires in small slices — or is skipped until
 //!   its deficit covers even one tuple — while cheap queries keep firing
@@ -189,12 +191,16 @@ struct Entry {
     /// every attempt, including deferred and failed ones (the metric of
     /// scheduler time this transition consumed).
     busy_micros: AtomicU64,
-    /// Wall-clock µs of *successful* firings only — the cost-model
-    /// numerator. A deferred step runs the whole plan and then fails at
-    /// delivery, adding time but no tuples; folding it into the cost
-    /// estimate would collapse the query's budget after backpressure.
-    fired_busy_micros: AtomicU64,
-    /// Input tuples processed across all firings (per-tuple cost model).
+    /// Exponentially weighted moving average of the per-tuple cost in
+    /// nanoseconds, fed by *successful* firings only (a deferred step runs
+    /// the whole plan and then fails at delivery, adding time but no
+    /// tuples; folding it in would collapse the query's budget after
+    /// backpressure). `0` = no history yet. An EWMA (α = 1/8) tracks cost
+    /// drift — a join table growing, selectivity shifting — within a few
+    /// firings, where the old lifetime average `busy / tuples` took the
+    /// whole history to move.
+    ewma_cost_nanos: AtomicU64,
+    /// Input tuples processed across all firings (metrics).
     tuples_in: AtomicU64,
     /// Steps deferred by output backpressure (retried on a later pass).
     deferrals: AtomicU64,
@@ -221,20 +227,45 @@ impl Entry {
     }
 
     /// Observed per-tuple cost in nanoseconds (floored; a conservative
-    /// bootstrap assumption before any history exists). Built from
-    /// successful firings only, so backpressure deferrals cannot inflate
-    /// the estimate and collapse the query's budget.
+    /// bootstrap assumption before any history exists). An EWMA over
+    /// recent firings, built from successful firings only, so backpressure
+    /// deferrals cannot inflate the estimate and collapse the query's
+    /// budget.
     fn cost_per_tuple_nanos(&self) -> u64 {
-        let tuples = self.tuples_in.load(Ordering::Relaxed);
-        if tuples == 0 {
-            return BOOTSTRAP_COST_NANOS;
+        match self.ewma_cost_nanos.load(Ordering::Relaxed) {
+            0 => BOOTSTRAP_COST_NANOS,
+            cost => cost.max(COST_FLOOR_NANOS),
         }
-        (self
-            .fired_busy_micros
-            .load(Ordering::Relaxed)
-            .saturating_mul(1000)
-            / tuples)
-            .max(COST_FLOOR_NANOS)
+    }
+
+    /// Fold one successful firing (`busy_micros` over `tuples` input
+    /// tuples) into the cost EWMA. Firings that saw no data (control-token
+    /// firings) carry no per-tuple signal and are skipped.
+    fn record_cost(&self, busy_micros: u64, tuples: usize) {
+        if tuples == 0 {
+            return;
+        }
+        let sample = (busy_micros.saturating_mul(1000) / tuples as u64).max(COST_FLOOR_NANOS);
+        let _ = self
+            .ewma_cost_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(if old == 0 {
+                    // First observation seeds the average directly.
+                    sample
+                } else {
+                    // new = old + (sample - old) / 8, in signed math so a
+                    // falling cost converges too; deltas small enough to
+                    // round to zero still nudge by one so the average can
+                    // close the last few nanoseconds of any gap.
+                    let delta = (sample as i64 - old as i64) / 8;
+                    let step = match delta {
+                        0 if sample > old => 1,
+                        0 if sample < old => -1,
+                        d => d,
+                    };
+                    (old as i64 + step).max(COST_FLOOR_NANOS as i64) as u64
+                })
+            });
     }
 
     /// Mark the entry ready-but-unfired this pass.
@@ -421,7 +452,7 @@ impl Scheduler {
             weight: AtomicU32::new(policy.weight.max(1)),
             firings: AtomicU64::new(0),
             busy_micros: AtomicU64::new(0),
-            fired_busy_micros: AtomicU64::new(0),
+            ewma_cost_nanos: AtomicU64::new(0),
             tuples_in: AtomicU64::new(0),
             deferrals: AtomicU64::new(0),
             deficit_micros: AtomicI64::new(0),
@@ -646,7 +677,7 @@ impl Scheduler {
         match result {
             Ok(out) => {
                 entry.firings.fetch_add(1, Ordering::Relaxed);
-                entry.fired_busy_micros.fetch_add(busy, Ordering::Relaxed);
+                entry.record_cost(busy, out.tuples_in);
                 entry
                     .tuples_in
                     .fetch_add(out.tuples_in as u64, Ordering::Relaxed);

@@ -35,7 +35,7 @@ use crate::client::{
 use crate::emitter::{CollectSink, Emitter, RowSink, Sink, TextSink};
 use crate::error::{DataCellError, Result};
 use crate::factory::{Factory, FactoryOutput};
-use crate::metrics::{MetricsSnapshot, SessionMetrics};
+use crate::metrics::{MetricsSnapshot, NetMetricsSource, SessionMetrics};
 use crate::petri::PetriNet;
 use crate::receptor::{Receptor, TupleSource};
 use crate::scheduler::{SchedulePolicy, Scheduler};
@@ -80,6 +80,7 @@ pub(crate) struct CellConfig {
     pub(crate) overflow: OverflowPolicy,
     pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: Option<Arc<SessionMetrics>>,
+    pub(crate) listen: Option<String>,
 }
 
 /// The DataCell system handle (see module docs).
@@ -108,6 +109,10 @@ pub struct DataCell {
     /// `DROP CONTINUOUS QUERY`.
     retired_shed: AtomicU64,
     retired_overflow: AtomicU64,
+    /// The attached network transport's counter source (a `Weak` so the
+    /// transport — which holds an `Arc<DataCell>` — never forms a cycle
+    /// with the session).
+    net_metrics: Mutex<Option<std::sync::Weak<dyn NetMetricsSource>>>,
 }
 
 impl Default for DataCell {
@@ -144,6 +149,7 @@ impl DataCell {
                 overflow: builder.overflow,
                 subscription_channel: builder.subscription_channel,
                 metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
+                listen: builder.listen,
             },
             query_outputs: Mutex::new(HashMap::new()),
             shared_readers: Mutex::new(HashMap::new()),
@@ -155,6 +161,7 @@ impl DataCell {
             emitter_wiring: Mutex::new(Vec::new()),
             retired_shed: AtomicU64::new(0),
             retired_overflow: AtomicU64::new(0),
+            net_metrics: Mutex::new(None),
         };
         if builder.auto_start {
             cell.start();
@@ -165,6 +172,22 @@ impl DataCell {
     /// The shared catalog (programmatic data loading).
     pub fn catalog(&self) -> Arc<RwLock<StreamCatalog>> {
         Arc::clone(&self.catalog)
+    }
+
+    /// The TCP listen address configured through
+    /// [`DataCellBuilder::listen`], if any. The session records the
+    /// address; the `datacell-net` transport binds it.
+    pub fn listen_addr(&self) -> Option<&str> {
+        self.config.listen.as_deref()
+    }
+
+    /// Attach a network transport's counter source so
+    /// [`DataCell::metrics`] reports per-connection traffic (the
+    /// [`MetricsSnapshot::net`](crate::metrics::MetricsSnapshot) field).
+    /// Only a `Weak` reference is kept: the snapshot disappears when the
+    /// transport shuts down.
+    pub fn register_net_metrics(&self, source: std::sync::Weak<dyn NetMetricsSource>) {
+        *self.net_metrics.lock() = Some(source);
     }
 
     /// The scheduler (policy tuning, manual drive).
@@ -453,11 +476,42 @@ impl DataCell {
         query: &str,
         mode: SubscriptionMode,
     ) -> Result<Subscription<T>> {
+        self.subscribe_channel(query, mode, self.config.subscription_channel)
+    }
+
+    /// Subscribe with an explicit per-subscription channel bound,
+    /// overriding the session default: at most `capacity` undelivered rows
+    /// queue between the emitter and this subscriber; past that the
+    /// emitter stalls (backpressure) instead of the queue growing. The
+    /// network transport uses this so a slow TCP client can never grow an
+    /// unbounded in-process queue.
+    pub fn subscribe_bounded<T: FromRow>(
+        &self,
+        query: &str,
+        mode: SubscriptionMode,
+        capacity: usize,
+    ) -> Result<Subscription<T>> {
+        self.subscribe_channel(query, mode, Some(capacity.max(1)))
+    }
+
+    /// The session-default emitter → subscriber channel bound
+    /// ([`DataCellBuilder::subscription_channel_capacity`]); `None` =
+    /// unbounded.
+    pub fn subscription_channel_capacity(&self) -> Option<usize> {
+        self.config.subscription_channel
+    }
+
+    fn subscribe_channel<T: FromRow>(
+        &self,
+        query: &str,
+        mode: SubscriptionMode,
+        channel: Option<usize>,
+    ) -> Result<Subscription<T>> {
         let out = self.query_output(query)?;
-        // A configured channel bound turns a slow client into end-to-end
+        // A channel bound turns a slow client into end-to-end
         // backpressure (the emitter stalls instead of the queue growing);
         // the default unbounded channel keeps the historical behavior.
-        let (tx, rx) = match self.config.subscription_channel {
+        let (tx, rx) = match channel {
             Some(cap) => crossbeam::channel::bounded(cap),
             None => crossbeam::channel::unbounded(),
         };
@@ -678,6 +732,12 @@ impl DataCell {
             snap.mean_latency_micros = m.latency.mean_micros();
             snap.p99_latency_micros = m.latency.quantile_micros(0.99);
         }
+        snap.net = self
+            .net_metrics
+            .lock()
+            .as_ref()
+            .and_then(std::sync::Weak::upgrade)
+            .map(|s| s.net_metrics());
         snap
     }
 

@@ -1,0 +1,146 @@
+//! [`NetEmitter`]: one `SUBSCRIBE` connection's delivery bridge.
+//!
+//! The network-facing twin of [`datacell::emitter`]: it pulls rendered
+//! tuple lines from a [`Subscription<String>`](datacell::Subscription)
+//! and writes them to the socket, batching bursts into one buffered write.
+//!
+//! **Backpressure.** A slow client is the whole point of this bridge: its
+//! kernel socket buffer fills, the blocking `write` stalls, the bridge
+//! stops pulling from the subscription channel, the (bounded) channel
+//! fills, and the engine-side emitter parks holding its basket claim — so
+//! the slow TCP client stalls exactly its own emitter while the engine's
+//! memory stays bounded by the basket capacity and
+//! [`OverflowPolicy`](datacell::OverflowPolicy). Bound the channel with
+//! [`DataCellBuilder::subscription_channel_capacity`](datacell::DataCellBuilder::subscription_channel_capacity)
+//! to keep the in-process queue finite too.
+//!
+//! **Disconnects.** A failed write drops the [`Subscription`]; the
+//! engine-side emitter observes the closed channel mid-delivery, rewinds
+//! its claim, and deregisters its reader — no tuple is lost, and under
+//! [`SubscriptionMode::Shared`](datacell::SubscriptionMode) surviving pool
+//! members re-claim the rewound range (at-least-once, as documented on
+//! the mode).
+//!
+//! [`Subscription`]: datacell::Subscription
+
+use std::io::{BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell::Subscription;
+
+use crate::server::ConnStats;
+
+/// The delivery bridge for one `SUBSCRIBE` connection (see module docs).
+/// Created by the [`NetServer`](crate::NetServer) after a successful
+/// `SUBSCRIBE` handshake and run on the connection's thread.
+pub struct NetEmitter {
+    sub: Subscription<String>,
+    stream: TcpStream,
+    stats: Arc<ConnStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetEmitter {
+    pub(crate) fn new(
+        sub: Subscription<String>,
+        stream: TcpStream,
+        stats: Arc<ConnStats>,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        NetEmitter {
+            sub,
+            stream,
+            stats,
+            stop,
+        }
+    }
+
+    /// Bridge rows to the socket until the client disconnects, the query
+    /// is dropped, or the server stops. Client input after the handshake
+    /// is ignored; a subscriber ends its session by closing the
+    /// connection.
+    pub fn run(self) {
+        let mut out = BufWriter::new(match self.stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        // The read side of a subscribe connection exists only for the
+        // liveness probe below; a tiny read timeout keeps each probe from
+        // delaying a row that lands mid-probe by more than ~1 ms. (Write
+        // timeouts are a separate socket option and stay unset — blocking
+        // writes are the backpressure mechanism.)
+        let _ = self.stream.set_read_timeout(Some(Duration::from_millis(1)));
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            // Park briefly for the first row of a burst, then drain the
+            // rest of the burst without blocking so it ships as one write.
+            match self.sub.next_timeout(Duration::from_millis(50)) {
+                Ok(Some(line)) => {
+                    // Count a burst as delivered only once its flush
+                    // succeeds — lines parked in the write buffer when the
+                    // client dies never reached the wire and must not
+                    // inflate `tuples_out`.
+                    let mut burst: u64 = 0;
+                    if writeln!(out, "{line}").is_err() {
+                        return; // client hung up: drop sub → claim rewinds
+                    }
+                    burst += 1;
+                    loop {
+                        match self.sub.try_next() {
+                            Ok(Some(line)) => {
+                                if writeln!(out, "{line}").is_err() {
+                                    return;
+                                }
+                                burst += 1;
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                if out.flush().is_ok() {
+                                    self.stats.tuples.fetch_add(burst, Ordering::Relaxed);
+                                }
+                                return; // query dropped / session stopped
+                            }
+                        }
+                    }
+                    if out.flush().is_err() {
+                        return;
+                    }
+                    self.stats.tuples.fetch_add(burst, Ordering::Relaxed);
+                }
+                Ok(None) => {
+                    // Idle: no rows to write, so a vanished client would
+                    // never surface as a write error. Probe the read side
+                    // (client input is discarded; EOF = client gone) so a
+                    // subscriber that disconnects during a quiet stream
+                    // does not leak this thread and its basket reader.
+                    if !self.peer_alive() {
+                        return;
+                    }
+                }
+                Err(_) => return, // query dropped / session stopped
+            }
+        }
+    }
+
+    /// One bounded read on the socket: `false` once the peer has closed.
+    /// Bounded by the ~1 ms read timeout set in [`NetEmitter::run`]; any
+    /// bytes the client sends are discarded per protocol.
+    fn peer_alive(&self) -> bool {
+        let mut scratch = [0u8; 512];
+        match (&self.stream).read(&mut scratch) {
+            Ok(0) => false,
+            Ok(_) => true,
+            Err(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::Interrupted
+            ),
+        }
+    }
+}

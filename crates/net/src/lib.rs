@@ -1,0 +1,66 @@
+//! # datacell-net — the TCP front door of the DataCell periphery
+//!
+//! The paper's receptors and emitters "use a textual interface for
+//! exchanging flat relational tuples" (§2.1); this crate puts that
+//! interface on a socket, so any client that can open a TCP connection and
+//! write newline-delimited text — `netcat` included — can stream tuples
+//! into the engine and subscribe to continuous-query results out of it.
+//!
+//! ```text
+//!   tcp client ──▶ NetReceptor ──▶ Basket ──▶ Factory ──▶ Basket ──▶ NetEmitter ──▶ tcp client
+//!                  (STREAM b)                                         (SUBSCRIBE q)
+//! ```
+//!
+//! * framing is exactly [`datacell::text`]: one tuple per line,
+//!   comma-separated, CSV-style quoting — the parser is the network trust
+//!   boundary (malformed bytes produce `ERR` replies, never panics);
+//! * a [`NetReceptor`] appends into the engine's bounded baskets through
+//!   the session's [`OverflowPolicy`](datacell::OverflowPolicy), so a full
+//!   pipeline stalls the socket (TCP backpressure) or sheds, it never
+//!   buffers unboundedly;
+//! * a [`NetEmitter`] bridges a [`Subscription`](datacell::Subscription)
+//!   onto the socket: a slow TCP client fills its kernel buffer, the
+//!   bridge stops pulling, the subscription channel fills — network
+//!   subscribers are **always bounded** (the session's configured
+//!   capacity, else a 1024-row transport default) — and the engine-side
+//!   emitter stalls holding its claim, so the slowness backpressures the
+//!   pipeline instead of growing a queue.
+//!
+//! The entry point is [`NetServer`]: bind it to the address configured
+//! through [`DataCellBuilder::listen`](datacell::DataCellBuilder::listen),
+//! and read per-connection traffic back from
+//! [`DataCell::metrics`](datacell::DataCell::metrics).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use datacell::DataCell;
+//! use datacell_net::NetServer;
+//!
+//! let cell = Arc::new(
+//!     DataCell::builder()
+//!         .listen("127.0.0.1:7878")
+//!         .auto_start(true)
+//!         .build(),
+//! );
+//! cell.execute("create basket trades (sym varchar(8), px float)").unwrap();
+//! cell.execute(
+//!     "create continuous query big as \
+//!      select t.sym, t.px from [select * from trades] as t where t.px > 100.0",
+//! ).unwrap();
+//! let server = NetServer::start(&cell).unwrap().expect("listen configured");
+//! println!("speaking datacell/1 on {}", server.local_addr());
+//! // $ nc 127.0.0.1 7878     ← STREAM trades / SUBSCRIBE big
+//! ```
+//!
+//! The full frame grammar, handshake, error replies and backpressure
+//! semantics are specified in `docs/protocol.md` at the repository root.
+
+pub mod emitter;
+pub mod protocol;
+pub mod receptor;
+pub mod server;
+
+pub use emitter::NetEmitter;
+pub use protocol::{Handshake, StreamCommand, PROTOCOL_VERSION};
+pub use receptor::NetReceptor;
+pub use server::NetServer;

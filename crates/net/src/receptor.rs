@@ -1,0 +1,240 @@
+//! [`NetReceptor`]: one `STREAM` connection's ingest pump.
+//!
+//! The network-facing twin of [`datacell::receptor`]: it reads
+//! newline-delimited tuple lines off a socket, validates them against the
+//! basket's user schema via [`datacell::text::parse_tuple`] (through a
+//! batched [`StreamWriter`]), and appends into the engine under the
+//! basket's [`OverflowPolicy`](datacell::OverflowPolicy). The parser is
+//! the trust boundary: any malformed line produces an `ERR decode` reply
+//! and a counter tick — never a panic, never a dropped connection.
+//!
+//! **Backpressure.** The receptor never buffers unboundedly: when the
+//! target basket is full under `Block`/`Reject` it simply stops reading
+//! the socket until space frees (the client's TCP send buffer fills and
+//! the client stalls — backpressure end-to-end over the wire); under
+//! `ShedOldest` the engine sheds and ingest keeps flowing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell::{DataCellError, StreamWriter};
+
+use crate::protocol::{self, StreamCommand};
+use crate::server::ConnStats;
+
+/// Hard cap on one frame: a client that streams bytes without a newline
+/// must not grow server memory without bound (the line buffer is the one
+/// allocation the protocol makes on behalf of the peer — everything past
+/// it is bounded by baskets and channels).
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How one blocking read iteration ended.
+pub(crate) enum ReadStep {
+    /// A complete line is in the buffer.
+    Line,
+    /// The peer closed the stream (a final unterminated line may remain).
+    Eof,
+    /// Timed out or interrupted; poll the stop flag and keep reading.
+    Again,
+    /// The line exceeded [`MAX_LINE_BYTES`] (framing is lost: reply and
+    /// close).
+    TooLong,
+    /// Unrecoverable socket error.
+    Broken,
+}
+
+/// Read one `\n`-terminated line into `buf`, tolerating read timeouts
+/// (partial lines accumulate across calls) and enforcing the
+/// [`MAX_LINE_BYTES`] frame cap *per chunk* — `BufRead::read_line` would
+/// block inside one call while an endless unterminated line grows, so the
+/// accumulation is done here on bounded `fill_buf` slices. Bytes are
+/// collected raw and converted lossily at the frame boundary, so invalid
+/// UTF-8 degrades into a decode error instead of a dropped connection.
+/// Shared by the receptor loop and the server's handshake reader.
+pub(crate) fn read_line_step(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadStep {
+    loop {
+        let (taken, done) = match reader.fill_buf() {
+            Ok([]) => return ReadStep::Eof,
+            Ok(bytes) => match bytes.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&bytes[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(bytes);
+                    (bytes.len(), false)
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                return ReadStep::Again
+            }
+            Err(_) => return ReadStep::Broken,
+        };
+        reader.consume(taken);
+        if buf.len() > MAX_LINE_BYTES {
+            return ReadStep::TooLong;
+        }
+        if done {
+            return ReadStep::Line;
+        }
+    }
+}
+
+/// Take the accumulated frame out of `buf` as text (lossy UTF-8).
+pub(crate) fn take_line(buf: &mut Vec<u8>) -> String {
+    let line = String::from_utf8_lossy(buf).into_owned();
+    buf.clear();
+    line
+}
+
+/// The ingest pump for one `STREAM` connection (see module docs). Created
+/// by the [`NetServer`](crate::NetServer) after a successful `STREAM`
+/// handshake and run on the connection's thread.
+pub struct NetReceptor {
+    reader: BufReader<TcpStream>,
+    replies: TcpStream,
+    writer: StreamWriter,
+    stats: Arc<ConnStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetReceptor {
+    pub(crate) fn new(
+        reader: BufReader<TcpStream>,
+        replies: TcpStream,
+        writer: StreamWriter,
+        stats: Arc<ConnStats>,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        NetReceptor {
+            reader,
+            replies,
+            writer,
+            stats,
+            stop,
+        }
+    }
+
+    /// Pump lines until the client disconnects, sends `QUIT`, or the
+    /// server stops. Whatever was accepted is flushed before returning.
+    pub fn run(mut self) {
+        let mut line = Vec::new();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match read_line_step(&mut self.reader, &mut line) {
+                ReadStep::Line => {
+                    let l = take_line(&mut line);
+                    if self.handle_line(l.trim_end_matches(['\r', '\n'])) {
+                        return;
+                    }
+                }
+                ReadStep::Eof => {
+                    // A final line without a trailing newline is still a
+                    // tuple (pipes often end this way).
+                    let l = take_line(&mut line);
+                    let l = l.trim();
+                    if !l.is_empty() {
+                        self.handle_line(l);
+                    }
+                    break;
+                }
+                ReadStep::Again => continue,
+                ReadStep::TooLong => {
+                    // Framing is lost past the cap: report and hang up.
+                    self.reply(&protocol::err_line(
+                        "decode",
+                        "line exceeds the 1 MiB frame limit",
+                    ));
+                    break;
+                }
+                ReadStep::Broken => break,
+            }
+        }
+        // Disconnect: land whatever the writer still buffers.
+        self.flush_blocking();
+    }
+
+    /// Process one complete line; returns true when the connection should
+    /// close (`QUIT`). Blank lines are ignored (trailing newlines from
+    /// piped files, interactive `nc` use); an empty single-string tuple is
+    /// sent quoted (`""`).
+    fn handle_line(&mut self, l: &str) -> bool {
+        if l.trim().is_empty() {
+            return false;
+        }
+        match protocol::parse_stream_command(l) {
+            Some(StreamCommand::Sync) => {
+                self.flush_blocking();
+                let s = self.writer.stats();
+                self.reply(&format!("OK SYNC {} {}", s.appended, s.rejected));
+            }
+            Some(StreamCommand::Quit) => {
+                self.flush_blocking();
+                self.reply("OK BYE");
+                return true;
+            }
+            None => match self.writer.append_text(l) {
+                Ok(()) => {
+                    self.stats.tuples.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(DataCellError::Backpressure { .. }) => {
+                    // The line was accepted and buffered; the auto-flush
+                    // hit a full basket. Apply the backpressure here and
+                    // now: stop reading the socket until the flush lands.
+                    self.stats.tuples.fetch_add(1, Ordering::Relaxed);
+                    self.flush_blocking();
+                }
+                Err(DataCellError::Decode(msg)) => {
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.reply(&protocol::err_line("decode", &msg));
+                }
+                Err(e) => {
+                    self.reply(&protocol::err_line("internal", &e.to_string()));
+                }
+            },
+        }
+        false
+    }
+
+    /// Retry [`StreamWriter::flush`] until it lands, waiting out
+    /// backpressure in stop-aware slices. Lossless for `Block`/`Reject`
+    /// baskets while the engine runs; `ShedOldest` baskets shed inside
+    /// the engine and return immediately. On server stop the retry gives
+    /// up (rows that cannot land in a stalled, stopping pipeline are
+    /// dropped — the shutdown is never held hostage).
+    fn flush_blocking(&mut self) {
+        loop {
+            match self.writer.flush() {
+                Ok(_) => return,
+                Err(DataCellError::Backpressure { .. }) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => {
+                    self.reply(&protocol::err_line("internal", &e.to_string()));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Best-effort single-line reply; a failed write means the client is
+    /// gone and the read loop will notice.
+    fn reply(&mut self, line: &str) {
+        let _ = writeln!(self.replies, "{line}");
+    }
+}

@@ -1,0 +1,484 @@
+//! [`NetServer`]: the TCP listener tying receptors and emitters to a
+//! [`DataCell`] session.
+//!
+//! One accept loop, one thread per connection. Each connection is greeted
+//! with `OK datacell 1`, sends a handshake line
+//! ([`crate::protocol::Handshake`]), and becomes either a [`NetReceptor`]
+//! (`STREAM`) or a [`NetEmitter`] (`SUBSCRIBE`). The server registers
+//! itself as the session's [`NetMetricsSource`], so [`DataCell::metrics`]
+//! reports accepted/active connections and per-connection tuple counters
+//! alongside the engine's own accounts.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use datacell::error::{DataCellError, Result};
+use datacell::metrics::{
+    NetConnectionKind, NetConnectionMetrics, NetMetricsSnapshot, NetMetricsSource,
+};
+use datacell::{DataCell, OverflowPolicy, SubscriptionMode};
+use datacell_sql::ColumnDef;
+use parking_lot::Mutex;
+
+use crate::emitter::NetEmitter;
+use crate::protocol::{self, Handshake};
+use crate::receptor::{read_line_step, take_line, NetReceptor, ReadStep};
+
+/// Rows a network ingest connection buffers before a bulk append — the
+/// batch-processing advantage of the paper's ingest path, applied to the
+/// socket.
+const INGEST_BATCH: usize = 512;
+
+/// Emitter → subscriber channel bound used for network subscribers when
+/// the session itself is unbounded. A TCP client that stops reading must
+/// stall its emitter, not grow an in-process queue without limit — a
+/// remote peer never gets the unbounded default.
+const SUBSCRIBER_CHANNEL: usize = 1024;
+
+/// How long blocking reads wait before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Traffic counters of one connection, shared between the connection
+/// thread and the server's registry.
+pub(crate) struct ConnStats {
+    pub(crate) id: u64,
+    pub(crate) peer: String,
+    /// What the connection is doing and for which basket/query; set once
+    /// after the handshake.
+    pub(crate) desc: Mutex<(NetConnectionKind, String)>,
+    pub(crate) tuples: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+}
+
+impl ConnStats {
+    fn new(id: u64, peer: String) -> Self {
+        ConnStats {
+            id,
+            peer,
+            desc: Mutex::new((NetConnectionKind::Handshaking, String::new())),
+            tuples: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> NetConnectionMetrics {
+        let (kind, target) = self.desc.lock().clone();
+        NetConnectionMetrics {
+            id: self.id,
+            peer: self.peer.clone(),
+            kind,
+            target,
+            tuples: self.tuples.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One registry entry: counters plus the handles the server needs to shut
+/// the connection down (socket clone to unblock I/O, thread to join).
+struct Conn {
+    stats: Arc<ConnStats>,
+    stream: TcpStream,
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Shared server state: the session, the stop flag, and the connection
+/// registry with its monotone retired totals.
+struct ServerState {
+    cell: Arc<DataCell>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: AtomicU64,
+    conns: Mutex<Vec<Conn>>,
+    /// Totals folded out of closed connections so the aggregate counters
+    /// stay monotone as the registry is reaped.
+    retired_in: AtomicU64,
+    retired_out: AtomicU64,
+    retired_rejected: AtomicU64,
+}
+
+impl ServerState {
+    /// Fold finished connections into the retired totals and drop them
+    /// from the registry.
+    fn reap(&self) {
+        let mut conns = self.conns.lock();
+        let mut keep = Vec::with_capacity(conns.len());
+        for mut c in conns.drain(..) {
+            if c.done.load(Ordering::Acquire) {
+                self.retire(&c.stats);
+                if let Some(h) = c.handle.take() {
+                    let _ = h.join();
+                }
+            } else {
+                keep.push(c);
+            }
+        }
+        *conns = keep;
+    }
+
+    fn retire(&self, stats: &ConnStats) {
+        let tuples = stats.tuples.load(Ordering::Relaxed);
+        match stats.desc.lock().0 {
+            NetConnectionKind::Ingest => {
+                self.retired_in.fetch_add(tuples, Ordering::Relaxed);
+            }
+            NetConnectionKind::Subscribe => {
+                self.retired_out.fetch_add(tuples, Ordering::Relaxed);
+            }
+            NetConnectionKind::Handshaking => {}
+        }
+        self.retired_rejected
+            .fetch_add(stats.rejected.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl NetMetricsSource for ServerState {
+    fn net_metrics(&self) -> NetMetricsSnapshot {
+        self.reap();
+        let conns = self.conns.lock();
+        let mut snap = NetMetricsSnapshot {
+            local_addr: self.local_addr.to_string(),
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_active: conns.len() as u64,
+            tuples_in: self.retired_in.load(Ordering::Relaxed),
+            tuples_out: self.retired_out.load(Ordering::Relaxed),
+            lines_rejected: self.retired_rejected.load(Ordering::Relaxed),
+            per_connection: Vec::with_capacity(conns.len()),
+        };
+        for c in conns.iter() {
+            let m = c.stats.snapshot();
+            match m.kind {
+                NetConnectionKind::Ingest => snap.tuples_in += m.tuples,
+                NetConnectionKind::Subscribe => snap.tuples_out += m.tuples,
+                NetConnectionKind::Handshaking => {}
+            }
+            snap.lines_rejected += m.rejected;
+            snap.per_connection.push(m);
+        }
+        snap
+    }
+}
+
+/// The TCP front door (see module docs). Stops — joining the accept loop
+/// and every connection thread — on [`NetServer::stop`] or drop.
+pub struct NetServer {
+    state: Arc<ServerState>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Bind the address configured through
+    /// [`DataCellBuilder::listen`](datacell::DataCellBuilder::listen);
+    /// `Ok(None)` when the session has no listen address.
+    pub fn start(cell: &Arc<DataCell>) -> Result<Option<NetServer>> {
+        match cell.listen_addr().map(str::to_string) {
+            Some(addr) => Self::bind(Arc::clone(cell), &addr).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Bind an explicit address (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and start accepting wire-protocol connections for `cell`.
+    pub fn bind(cell: Arc<DataCell>, addr: &str) -> Result<NetServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DataCellError::Runtime(format!("net: bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DataCellError::Runtime(format!("net: set_nonblocking: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DataCellError::Runtime(format!("net: local_addr: {e}")))?;
+        let state = Arc::new(ServerState {
+            cell,
+            local_addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            accepted: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            retired_in: AtomicU64::new(0),
+            retired_out: AtomicU64::new(0),
+            retired_rejected: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&state);
+        state
+            .cell
+            .register_net_metrics(weak as std::sync::Weak<dyn NetMetricsSource>);
+        let accept_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name(format!("datacell-net-{local_addr}"))
+            .spawn(move || accept_loop(accept_state, listener))
+            .map_err(|e| DataCellError::Runtime(format!("net: spawn accept loop: {e}")))?;
+        Ok(NetServer {
+            state,
+            accept_handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Current transport counters (the same snapshot
+    /// [`DataCell::metrics`] embeds as
+    /// [`MetricsSnapshot::net`](datacell::metrics::MetricsSnapshot)).
+    pub fn metrics(&self) -> NetMetricsSnapshot {
+        self.state.net_metrics()
+    }
+
+    /// Stop accepting, shut every connection's socket, and join all
+    /// threads. In-flight ingest buffers are flushed best-effort on the
+    /// way out: rows that cannot land because their basket is full and
+    /// stays full (the pipeline is stalled or stopping too) are dropped
+    /// rather than holding the shutdown hostage.
+    pub fn stop(self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.lock().take() {
+            let _ = h.join();
+        }
+        let conns: Vec<Conn> = self.state.conns.lock().drain(..).collect();
+        for c in &conns {
+            // Unblocks reads parked in a poll slice and writes parked on a
+            // slow client's full socket buffer.
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+        for mut c in conns {
+            if let Some(h) = c.handle.take() {
+                let _ = h.join();
+            }
+            self.state.retire(&c.stats);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+/// Accept until stopped; each connection gets its own thread.
+fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
+    while !state.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => spawn_conn(&state, stream, peer),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn spawn_conn(state: &Arc<ServerState>, stream: TcpStream, peer: SocketAddr) {
+    let id = state.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+    let stats = Arc::new(ConnStats::new(id, peer.to_string()));
+    let done = Arc::new(AtomicBool::new(false));
+    let Ok(registry_stream) = stream.try_clone() else {
+        return;
+    };
+    let thread_state = Arc::clone(state);
+    let thread_stats = Arc::clone(&stats);
+    let thread_done = Arc::clone(&done);
+    let thread_shutdown = registry_stream.try_clone().ok();
+    let handle = std::thread::Builder::new()
+        .name(format!("datacell-net-conn-{id}"))
+        .spawn(move || {
+            handle_connection(thread_state, stream, thread_stats);
+            // Dropping the thread's own handles does not close the socket
+            // while the registry still holds its clone; shut it down
+            // explicitly so the peer sees the close as soon as the
+            // conversation ends, not when the entry is reaped.
+            if let Some(s) = thread_shutdown {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            thread_done.store(true, Ordering::Release);
+        });
+    match handle {
+        Ok(handle) => state.conns.lock().push(Conn {
+            stats,
+            stream: registry_stream,
+            done,
+            handle: Some(handle),
+        }),
+        Err(_) => {
+            let _ = registry_stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Greet, read the handshake (PINGs may repeat), then hand the socket to a
+/// receptor or emitter until it closes.
+fn handle_connection(state: Arc<ServerState>, stream: TcpStream, stats: Arc<ConnStats>) {
+    let _ = stream.set_nodelay(true);
+    // Accepted sockets must not inherit the listener's non-blocking mode;
+    // bounded read timeouts keep the thread stop-responsive instead.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut replies = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if writeln!(replies, "{}", protocol::GREETING).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let step = read_line_step(&mut reader, &mut line);
+        let at_eof = matches!(step, ReadStep::Eof);
+        match step {
+            ReadStep::Line | ReadStep::Eof => {
+                let l = take_line(&mut line);
+                let l = l.trim();
+                if l.is_empty() {
+                    if at_eof {
+                        return;
+                    }
+                    continue; // blank line between handshakes: ignore
+                }
+                match protocol::parse_handshake(l) {
+                    Ok(Handshake::Ping) => {
+                        if writeln!(replies, "OK PONG").is_err() || at_eof {
+                            return;
+                        }
+                    }
+                    Ok(Handshake::Quit) => {
+                        let _ = writeln!(replies, "OK BYE");
+                        return;
+                    }
+                    Ok(Handshake::Stream { basket }) => {
+                        serve_stream(&state, reader, replies, stats, &basket);
+                        return;
+                    }
+                    Ok(Handshake::Subscribe { query, mode }) => {
+                        serve_subscribe(&state, replies, stats, &query, mode);
+                        return;
+                    }
+                    Err(msg) => {
+                        let _ = writeln!(replies, "{}", protocol::err_line("proto", &msg));
+                        return;
+                    }
+                }
+            }
+            ReadStep::Again => continue,
+            ReadStep::TooLong => {
+                let _ = writeln!(
+                    replies,
+                    "{}",
+                    protocol::err_line("proto", "line exceeds the 1 MiB frame limit")
+                );
+                return;
+            }
+            ReadStep::Broken => return,
+        }
+    }
+}
+
+/// Set up a [`NetReceptor`] for `STREAM <basket>` and pump it.
+fn serve_stream(
+    state: &Arc<ServerState>,
+    reader: BufReader<TcpStream>,
+    mut replies: TcpStream,
+    stats: Arc<ConnStats>,
+    basket: &str,
+) {
+    // The receptor must stay stop-responsive, so its writer never blocks
+    // inside the engine: `ShedOldest` baskets shed (ingest keeps flowing),
+    // everything else surfaces `Backpressure` that the receptor waits out
+    // in stop-aware slices — which is what stalls the socket end-to-end.
+    let policy = match state.cell.basket(basket) {
+        Ok(b) => match b.overflow_policy() {
+            OverflowPolicy::ShedOldest => OverflowPolicy::ShedOldest,
+            OverflowPolicy::Block | OverflowPolicy::Reject => OverflowPolicy::Reject,
+        },
+        Err(e) => {
+            let _ = writeln!(
+                replies,
+                "{}",
+                protocol::err_line("unknown-basket", &e.to_string())
+            );
+            return;
+        }
+    };
+    let writer = match state.cell.writer_with(basket, INGEST_BATCH, None, policy) {
+        Ok(w) => w,
+        Err(e) => {
+            let _ = writeln!(
+                replies,
+                "{}",
+                protocol::err_line("unknown-basket", &e.to_string())
+            );
+            return;
+        }
+    };
+    let schema = render_cols(&writer.schema().columns);
+    if writeln!(replies, "OK STREAM {basket} {schema}").is_err() {
+        return;
+    }
+    *stats.desc.lock() = (NetConnectionKind::Ingest, basket.to_string());
+    let stop = Arc::clone(&state.stop);
+    NetReceptor::new(reader, replies, writer, stats, stop).run();
+}
+
+/// Set up a [`NetEmitter`] for `SUBSCRIBE <query>` and pump it.
+fn serve_subscribe(
+    state: &Arc<ServerState>,
+    mut replies: TcpStream,
+    stats: Arc<ConnStats>,
+    query: &str,
+    mode: SubscriptionMode,
+) {
+    // Network subscribers always get a bounded channel: the session's
+    // configured bound when one is set, else a transport default — an
+    // unbounded queue driven by a remote peer would be a memory hole.
+    let capacity = state
+        .cell
+        .subscription_channel_capacity()
+        .unwrap_or(SUBSCRIBER_CHANNEL);
+    let sub = match state
+        .cell
+        .subscribe_bounded::<String>(query, mode, capacity)
+    {
+        Ok(sub) => sub,
+        Err(e) => {
+            let _ = writeln!(
+                replies,
+                "{}",
+                protocol::err_line("unknown-query", &e.to_string())
+            );
+            return;
+        }
+    };
+    let schema = state
+        .cell
+        .query_output(query)
+        .map(|out| render_cols(&out.schema().columns[..out.user_width()]))
+        .unwrap_or_default();
+    if writeln!(replies, "OK SUBSCRIBE {query} {schema}").is_err() {
+        return;
+    }
+    *stats.desc.lock() = (NetConnectionKind::Subscribe, query.to_string());
+    let stop = Arc::clone(&state.stop);
+    NetEmitter::new(sub, replies, stats, stop).run();
+}
+
+/// Render columns as the compact `col:type,col:type` reply argument (no
+/// spaces, so clients can split the reply on whitespace).
+fn render_cols(cols: &[ColumnDef]) -> String {
+    cols.iter()
+        .map(|c| format!("{}:{}", c.name, c.ty))
+        .collect::<Vec<_>>()
+        .join(",")
+}

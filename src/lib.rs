@@ -11,6 +11,7 @@ pub use datacell;
 pub use datacell_baseline;
 pub use datacell_bat;
 pub use datacell_engine;
+pub use datacell_net;
 pub use datacell_sql;
 pub use linearroad;
 

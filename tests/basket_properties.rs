@@ -255,6 +255,72 @@ proptest! {
     }
 }
 
+/// The PR-3 "exclusive consumption vs concurrent shed" corner, fixed by
+/// oid-anchored consumption: a `ShedOldest` basket that sheds *while* an
+/// exclusive factory is mid-step (after its snapshot, before its
+/// consumption) must not let the post-step delete eat newer tuples that
+/// shifted into the processed positions.
+#[test]
+fn exclusive_consumption_is_oid_anchored_under_mid_step_shed() {
+    let b = Basket::bounded(
+        "b",
+        Schema::new(vec![("x".into(), DataType::Int)]),
+        Some(4),
+        OverflowPolicy::ShedOldest,
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..4).map(|i| vec![Value::Int(i)]).collect();
+    b.append_rows(&rows).unwrap();
+
+    // The factory step starts: snapshot anchored at the current head oid.
+    let (snap, base) = b.snapshot_anchored();
+    assert_eq!(values_of(&snap), vec![0, 1, 2, 3]);
+
+    // Mid-step, a receptor appends past capacity: tuples 0 and 1 shed.
+    b.append_rows(&[vec![Value::Int(4)], vec![Value::Int(5)]])
+        .unwrap();
+    assert_eq!(values_of(&b.snapshot()), vec![2, 3, 4, 5]);
+
+    // The step's basket expression referenced snapshot positions {0,1,2}
+    // (tuples 0, 1, 2). Anchored consumption deletes only the survivor
+    // among them (tuple 2); positional consumption would have deleted the
+    // *current* positions {0,1,2} = tuples 2, 3, 4 — eating tuple 4, which
+    // the step never saw, and keeping tuple 3's fate wrong both ways.
+    let removed = b
+        .consume_anchored(
+            base,
+            &datacell_bat::candidates::Candidates::from_positions(vec![0, 1, 2]).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(removed, 1, "only the surviving processed tuple is deleted");
+    assert_eq!(
+        values_of(&b.snapshot()),
+        vec![3, 4, 5],
+        "unprocessed tuple 3 and newer arrivals 4, 5 stay resident"
+    );
+
+    // The drain-inputs path (terminal cascade stages) anchors the same
+    // way: draining the old snapshot deletes only its survivors.
+    let (snap2, base2) = b.snapshot_anchored();
+    assert_eq!(values_of(&snap2), vec![3, 4, 5]);
+    b.append_rows(&[vec![Value::Int(6)], vec![Value::Int(7)]])
+        .unwrap(); // 3 + 2 > capacity 4: sheds tuple 3
+    assert_eq!(values_of(&b.snapshot()), vec![4, 5, 6, 7]);
+    let removed = b
+        .consume_anchored(
+            base2,
+            &datacell_bat::candidates::Candidates::all(snap2.len()),
+        )
+        .unwrap();
+    assert_eq!(removed, 2, "of the snapshot [3,4,5], only 4 and 5 reside");
+    assert_eq!(values_of(&b.snapshot()), vec![6, 7]);
+
+    // Sheds and consumption stayed correctly accounted.
+    let stats = b.stats();
+    assert_eq!(stats.shed, 3, "0, 1, then 3 were shed");
+    assert_eq!(stats.consumed, 3, "2, then 4 and 5 were consumed");
+}
+
 /// The documented `SubscriptionMode::Shared` rewind corner (see the enum's
 /// rustdoc): a claim rewound *behind* an already-committed later claim
 /// re-opens the committed range too — at-least-once, no loss, no reorder

@@ -1,0 +1,658 @@
+//! Network integration tier: the TCP wire protocol end-to-end over
+//! loopback.
+//!
+//! Every test drives a real [`NetServer`] with real `std::net` sockets —
+//! exactly what an external (non-Rust) client would speak:
+//!
+//! * multi-client ingest + broadcast/shared subscribe with exact tuple
+//!   counts and order per client;
+//! * slow-reader TCP backpressure: a subscriber that stops reading stalls
+//!   its own emitter while the engine's memory stays bounded (defer/
+//!   overflow/shed counters visible in `DataCell::metrics()`);
+//! * abrupt-disconnect rewind: a killed shared-pool subscriber loses no
+//!   tuples — survivors re-claim its rewound ranges (duplicates only per
+//!   the documented `SubscriptionMode::Shared` at-least-once corner);
+//! * the parser as trust boundary: malformed lines get `ERR decode`
+//!   replies and counters, never a dropped connection or a panic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datacell::metrics::NetConnectionKind;
+use datacell::{DataCell, OverflowPolicy};
+use datacell_net::NetServer;
+
+/// A minimal blocking wire-protocol client (what `nc` would be).
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    /// Partial line carried across read timeouts.
+    buf: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut c = Client {
+            reader,
+            stream,
+            buf: String::new(),
+        };
+        assert_eq!(c.read_line().as_deref(), Some("OK datacell 1"), "greeting");
+        c
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send");
+    }
+
+    /// Send tolerating a connection the server may tear down mid-write
+    /// (frame-cap tests).
+    fn send_best_effort(&mut self, line: &str) {
+        let _ = writeln!(self.stream, "{line}");
+    }
+
+    /// One bounded read attempt; `None` on timeout (no complete line yet).
+    fn try_read_line(&mut self) -> Option<String> {
+        loop {
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        None
+                    } else {
+                        Some(std::mem::take(&mut self.buf))
+                    }
+                }
+                Ok(_) if self.buf.ends_with('\n') => {
+                    let line = std::mem::take(&mut self.buf);
+                    return Some(line.trim_end().to_string());
+                }
+                Ok(_) => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return None
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Read one line, waiting up to 10 s.
+    fn read_line(&mut self) -> Option<String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if let Some(l) = self.try_read_line() {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    /// True once the server has closed this connection (EOF on read).
+    fn server_closed(&mut self) -> bool {
+        use std::io::Read;
+        let mut b = [0u8; 64];
+        loop {
+            match self.reader.get_mut().read(&mut b) {
+                Ok(0) => return true,
+                Ok(_) => continue, // drain leftovers
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return false
+                }
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Collect integer first-fields until `n` lines arrived or `within`
+    /// elapsed.
+    fn collect_ints(&mut self, n: usize, within: Duration) -> Vec<i64> {
+        let deadline = Instant::now() + within;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n && Instant::now() < deadline {
+            if let Some(l) = self.try_read_line() {
+                let first = l.split(',').next().unwrap();
+                out.push(first.trim().parse().expect("int line"));
+            }
+        }
+        out
+    }
+}
+
+fn serve(cell: DataCell) -> (Arc<DataCell>, NetServer, SocketAddr) {
+    let cell = Arc::new(cell);
+    let server = NetServer::start(&cell)
+        .expect("bind")
+        .expect("listen configured");
+    let addr = server.local_addr();
+    (cell, server, addr)
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn end_to_end_ingest_and_subscribe_exact_order() {
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .metrics(true)
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    cell.execute("create continuous query q as select s.x from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    let mut sub = Client::connect(addr);
+    sub.send("SUBSCRIBE q");
+    assert_eq!(sub.read_line().as_deref(), Some("OK SUBSCRIBE q x:int"));
+
+    let mut ingest = Client::connect(addr);
+    ingest.send("STREAM b");
+    assert_eq!(ingest.read_line().as_deref(), Some("OK STREAM b x:int"));
+    for i in 0..100 {
+        ingest.send(&format!("{i}"));
+    }
+    ingest.send("SYNC");
+    assert_eq!(ingest.read_line().as_deref(), Some("OK SYNC 100 0"));
+
+    let got = sub.collect_ints(100, Duration::from_secs(10));
+    assert_eq!(
+        got,
+        (0..100).collect::<Vec<i64>>(),
+        "exact tuples, in order"
+    );
+
+    // Per-connection counters are visible through the session facade.
+    let m = cell.metrics();
+    let net = m.net.expect("listener attached");
+    assert_eq!(net.tuples_in, 100);
+    assert!(net.tuples_out >= 100);
+    assert_eq!(net.lines_rejected, 0);
+    assert!(net.connections_accepted >= 2);
+    let ingest_conn = net
+        .per_connection
+        .iter()
+        .find(|c| c.kind == NetConnectionKind::Ingest)
+        .expect("ingest connection listed");
+    assert_eq!(ingest_conn.target, "b");
+    assert_eq!(ingest_conn.tuples, 100);
+    let sub_conn = net
+        .per_connection
+        .iter()
+        .find(|c| c.kind == NetConnectionKind::Subscribe)
+        .expect("subscribe connection listed");
+    assert_eq!(sub_conn.target, "q");
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn multi_client_broadcast_and_shared_fanout() {
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    cell.execute("create continuous query q as select s.x from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    let mut bc1 = Client::connect(addr);
+    bc1.send("SUBSCRIBE q");
+    assert!(bc1.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+    let mut bc2 = Client::connect(addr);
+    bc2.send("SUBSCRIBE q MODE broadcast");
+    assert!(bc2.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+    let mut sh1 = Client::connect(addr);
+    sh1.send("SUBSCRIBE q MODE shared");
+    assert!(sh1.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+    let mut sh2 = Client::connect(addr);
+    sh2.send("SUBSCRIBE q MODE shared");
+    assert!(sh2.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+
+    let mut ingest = Client::connect(addr);
+    ingest.send("STREAM b");
+    assert!(ingest.read_line().unwrap().starts_with("OK STREAM b"));
+    const N: i64 = 60;
+    for i in 0..N {
+        ingest.send(&format!("{i}"));
+    }
+    ingest.send("QUIT");
+    assert_eq!(ingest.read_line().as_deref(), Some("OK BYE"));
+
+    // Broadcast: every subscriber sees every tuple, in order.
+    let want: Vec<i64> = (0..N).collect();
+    assert_eq!(bc1.collect_ints(N as usize, Duration::from_secs(10)), want);
+    assert_eq!(bc2.collect_ints(N as usize, Duration::from_secs(10)), want);
+
+    // Shared: the pool partitions the stream — disjoint, nothing missing.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (mut got1, mut got2) = (Vec::new(), Vec::new());
+    while got1.len() + got2.len() < N as usize && Instant::now() < deadline {
+        got1.extend(sh1.collect_ints(N as usize, Duration::from_millis(50)));
+        got2.extend(sh2.collect_ints(N as usize, Duration::from_millis(50)));
+    }
+    let mut union: Vec<i64> = got1.iter().chain(got2.iter()).copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(union, want, "shared pool covers the stream exactly once");
+    assert_eq!(got1.len() + got2.len(), N as usize, "no duplicates");
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn slow_tcp_subscriber_bounds_engine_and_disconnect_releases() {
+    // Bounded output (Reject) + bounded subscription channel: a subscriber
+    // that stops reading stalls its emitter; the factory defers instead of
+    // growing memory; the fast subscriber still gets everything — and when
+    // the slow client dies abruptly, its reader deregisters and the
+    // pipeline drains completely.
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .basket_capacity(64)
+        .overflow_policy(OverflowPolicy::Reject)
+        .subscription_channel_capacity(8)
+        .metrics(true)
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int, pad varchar(256))")
+        .unwrap();
+    cell.execute("create continuous query q as select s.x, s.pad from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    // The slow subscriber completes the handshake, then never reads again.
+    let mut slow = Client::connect(addr);
+    slow.send("SUBSCRIBE q");
+    assert!(slow.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+
+    let mut fast = Client::connect(addr);
+    fast.send("SUBSCRIBE q");
+    assert!(fast.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+
+    // Wide rows so a few thousand overflow every kernel socket buffer.
+    const N: usize = 4000;
+    let pad = "p".repeat(120);
+    let ingest_pad = pad.clone();
+    let ingest = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.send("STREAM b");
+        assert!(c.read_line().unwrap().starts_with("OK STREAM b"));
+        for i in 0..N {
+            c.send(&format!("{i}, {ingest_pad}"));
+        }
+        c.send("SYNC");
+        assert_eq!(
+            c.read_line().as_deref(),
+            Some(format!("OK SYNC {N} 0").as_str()),
+            "every line accepted, none lost"
+        );
+    });
+
+    // Drain the fast subscriber from a thread so its channel never stalls.
+    let fast_handle = std::thread::spawn(move || fast.collect_ints(N, Duration::from_secs(60)));
+
+    // The stall must become observable: deferred factory steps and a
+    // bounded output basket, while ingest is nowhere near done.
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            let m = cell.metrics();
+            m.factory_deferrals > 0 && m.overflow_events > 0
+        }),
+        "slow subscriber stalls the pipeline into visible deferrals"
+    );
+    let out_len = cell.query_output("q").unwrap().len();
+    assert!(
+        out_len <= 1024,
+        "engine memory stays bounded while stalled (output resident: {out_len})"
+    );
+
+    // Kill the slow client abruptly: its emitter's write fails, the
+    // subscription drops, the claim rewinds, the reader deregisters, and
+    // the stream drains to the fast subscriber — every tuple, in order.
+    drop(slow);
+    let got = fast_handle.join().unwrap();
+    assert_eq!(got, (0..N as i64).collect::<Vec<i64>>());
+    ingest.join().unwrap();
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn shed_policy_keeps_ingest_flowing_under_slow_subscriber() {
+    // Deliberately no subscription_channel_capacity: network subscribers
+    // must be bounded by the transport's own default — an unbounded
+    // in-process queue fed by a remote peer would be a memory hole.
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .basket_capacity(256)
+        .overflow_policy(OverflowPolicy::ShedOldest)
+        .metrics(true)
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int, pad varchar(256))")
+        .unwrap();
+    cell.execute("create continuous query q as select s.x, s.pad from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    let mut slow = Client::connect(addr);
+    slow.send("SUBSCRIBE q");
+    assert!(slow.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+
+    const N: usize = 12000;
+    let pad = "p".repeat(120);
+    let mut ingest = Client::connect(addr);
+    ingest.send("STREAM b");
+    assert!(ingest.read_line().unwrap().starts_with("OK STREAM b"));
+    for i in 0..N {
+        ingest.send(&format!("{i}, {pad}"));
+    }
+    ingest.send("SYNC");
+    // ShedOldest never stalls ingest: the SYNC lands promptly even though
+    // the subscriber reads nothing.
+    assert_eq!(
+        ingest.read_line().as_deref(),
+        Some(format!("OK SYNC {N} 0").as_str())
+    );
+
+    assert!(
+        wait_until(Duration::from_secs(20), || cell.metrics().tuples_shed > 0),
+        "load shedding is visible in the session metrics"
+    );
+    assert!(cell.basket("b").unwrap().len() <= 256, "input bounded");
+    assert!(
+        cell.query_output("q").unwrap().len() <= 256,
+        "output bounded"
+    );
+
+    // The engine is alive and still speaking protocol.
+    let mut ping = Client::connect(addr);
+    ping.send("PING");
+    assert_eq!(ping.read_line().as_deref(), Some("OK PONG"));
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn abrupt_shared_disconnect_rewinds_without_loss() {
+    // Channel capacity 1 keeps at most one committed-but-undrained row per
+    // emitter, so a shared claim racing toward a dead client blocks
+    // mid-chunk, fails, and rewinds whole — the survivor re-claims it all.
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .subscription_channel_capacity(1)
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    cell.execute("create continuous query q as select s.x from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    // Backlog lands in the output in one bulk firing while paused.
+    cell.pause_query("q").unwrap();
+
+    let mut dead = Client::connect(addr);
+    dead.send("SUBSCRIBE q MODE shared");
+    assert!(dead.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+    let mut live = Client::connect(addr);
+    live.send("SUBSCRIBE q MODE shared");
+    assert!(live.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+
+    const N: i64 = 200;
+    let mut ingest = Client::connect(addr);
+    ingest.send("STREAM b");
+    assert!(ingest.read_line().unwrap().starts_with("OK STREAM b"));
+    for i in 0..N {
+        ingest.send(&format!("{i}"));
+    }
+    ingest.send("SYNC");
+    assert_eq!(ingest.read_line().as_deref(), Some("OK SYNC 200 0"));
+
+    // Kill one pool member abruptly (unread replies ⇒ hard RST), then
+    // release the backlog.
+    drop(dead);
+    cell.resume_query("q").unwrap();
+
+    let mut got = live.collect_ints(N as usize, Duration::from_secs(20));
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(
+        got,
+        (0..N).collect::<Vec<i64>>(),
+        "survivor re-claims the dead consumer's rewound ranges: no loss"
+    );
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn malformed_lines_get_err_replies_and_counters() {
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .metrics(true)
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int, s varchar(20))")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    let mut c = Client::connect(addr);
+    c.send("STREAM b");
+    assert_eq!(c.read_line().as_deref(), Some("OK STREAM b x:int,s:str"));
+    c.send("1, ok");
+    c.send("too, many, fields");
+    let err1 = c.read_line().expect("reply for bad arity");
+    assert!(err1.starts_with("ERR decode "), "{err1}");
+    c.send("nope, text");
+    let err2 = c.read_line().expect("reply for bad int");
+    assert!(err2.starts_with("ERR decode "), "{err2}");
+    c.send("2, \"quoted, comma\"");
+    c.send("SYNC");
+    assert_eq!(
+        c.read_line().as_deref(),
+        Some("OK SYNC 2 2"),
+        "accepted and rejected counted cumulatively"
+    );
+
+    let net = cell.metrics().net.expect("listener attached");
+    assert_eq!(net.tuples_in, 2);
+    assert_eq!(net.lines_rejected, 2);
+    assert_eq!(cell.basket("b").unwrap().len(), 2, "good tuples landed");
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn handshake_protocol_errors_and_ping() {
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    // PING leaves the connection in the handshake state.
+    let mut c = Client::connect(addr);
+    c.send("PING");
+    assert_eq!(c.read_line().as_deref(), Some("OK PONG"));
+    c.send("STREAM b");
+    assert!(c.read_line().unwrap().starts_with("OK STREAM b"));
+
+    let mut bad = Client::connect(addr);
+    bad.send("FETCH everything");
+    let reply = bad.read_line().expect("proto error reply");
+    assert!(reply.starts_with("ERR proto "), "{reply}");
+
+    let mut unknown = Client::connect(addr);
+    unknown.send("STREAM nope");
+    let reply = unknown.read_line().expect("unknown basket reply");
+    assert!(reply.starts_with("ERR unknown-basket "), "{reply}");
+
+    let mut unknown_q = Client::connect(addr);
+    unknown_q.send("SUBSCRIBE nope");
+    let reply = unknown_q.read_line().expect("unknown query reply");
+    assert!(reply.starts_with("ERR unknown-query "), "{reply}");
+
+    let mut quit = Client::connect(addr);
+    quit.send("QUIT");
+    assert_eq!(quit.read_line().as_deref(), Some("OK BYE"));
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn blank_lines_are_ignored_and_frames_are_capped() {
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    // Blank lines between tuples (trailing newlines, interactive use) are
+    // not tuples and are not rejected.
+    let mut c = Client::connect(addr);
+    c.send("STREAM b");
+    assert!(c.read_line().unwrap().starts_with("OK STREAM b"));
+    c.send("1");
+    c.send("");
+    c.send("   ");
+    c.send("2");
+    c.send("SYNC");
+    assert_eq!(c.read_line().as_deref(), Some("OK SYNC 2 0"));
+
+    // A frame over the 1 MiB cap earns an `ERR … frame limit` reply and a
+    // hang-up — the server never buffers an unbounded line. (The reply
+    // itself can be torn away by the RST when the client still had
+    // unconsumed bytes in flight, so the hard assertions are the ones
+    // that matter: the connection closes and the frame never lands.)
+    let mut big = Client::connect(addr);
+    big.send("STREAM b");
+    assert!(big.read_line().unwrap().starts_with("OK STREAM b"));
+    let huge = "9".repeat(2 * 1024 * 1024);
+    big.send_best_effort(&huge);
+    assert!(
+        wait_until(Duration::from_secs(10), || big.server_closed()),
+        "capped connection hangs up"
+    );
+    assert_eq!(
+        cell.basket("b").unwrap().len(),
+        2,
+        "the oversized frame never landed as a tuple"
+    );
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn idle_subscriber_disconnect_is_reaped() {
+    // A subscriber that hangs up while no results are flowing must not
+    // leak its emitter thread, basket reader, or registry entry: the
+    // emitter's read-side liveness probe notices the EOF.
+    let cell = DataCell::builder()
+        .listen("127.0.0.1:0")
+        .auto_start(true)
+        .build();
+    cell.execute("create basket b (x int)").unwrap();
+    cell.execute("create continuous query q as select s.x from [select * from b] as s")
+        .unwrap();
+    let (cell, server, addr) = serve(cell);
+
+    let mut sub = Client::connect(addr);
+    sub.send("SUBSCRIBE q");
+    assert!(sub.read_line().unwrap().starts_with("OK SUBSCRIBE q"));
+    assert_eq!(server.metrics().connections_active, 1);
+    let readers_with_sub = cell.query_output("q").unwrap().reader_count();
+    assert!(readers_with_sub >= 1);
+
+    // Hang up with the stream idle: nothing is ever written to this
+    // socket, so only the liveness probe can notice. The connection
+    // thread, registry entry, and Subscription are released promptly.
+    drop(sub);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            server.metrics().connections_active == 0
+        }),
+        "idle disconnected subscriber reaped"
+    );
+    // The engine-side emitter parks until the next delivery; the first
+    // tuple through the query makes it observe the closed channel, rewind,
+    // and deregister its reader — the leak window is one quiet period.
+    cell.execute("insert into b values (1)").unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            cell.query_output("q").unwrap().reader_count() < readers_with_sub
+        }),
+        "its basket reader deregistered on the next delivery"
+    );
+
+    server.stop();
+    cell.stop();
+}
+
+#[test]
+fn server_start_respects_builder_configuration() {
+    // No listen address → no server.
+    let plain = Arc::new(DataCell::builder().build());
+    assert!(NetServer::start(&plain).unwrap().is_none());
+    assert!(plain.metrics().net.is_none());
+
+    // Explicit bind works without builder configuration too.
+    let cell = Arc::new(DataCell::builder().auto_start(true).build());
+    cell.execute("create basket b (x int)").unwrap();
+    let server = NetServer::bind(Arc::clone(&cell), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    assert_ne!(addr.port(), 0, "ephemeral port resolved");
+    let mut c = Client::connect(addr);
+    c.send("PING");
+    assert_eq!(c.read_line().as_deref(), Some("OK PONG"));
+
+    // The session snapshot carries the listener's counters.
+    let net = cell.metrics().net.expect("registered on bind");
+    assert_eq!(net.local_addr, addr.to_string());
+    assert!(net.connections_accepted >= 1);
+
+    // A bound address that cannot be parsed fails loudly.
+    assert!(NetServer::bind(cell, "not-an-address").is_err());
+
+    server.stop();
+}

@@ -21,15 +21,19 @@ use datacell::scheduler::{Fairness, SchedulePolicy, Scheduler, Transition};
 use datacell::DataCell;
 use parking_lot::{Mutex, RwLock};
 
-/// A query stand-in with an exact, configurable per-tuple cost.
+/// A query stand-in with an exact, configurable (and runtime-adjustable)
+/// per-tuple cost.
 struct CostedQuery {
     name: String,
     /// Tuples waiting to be processed.
     pending: AtomicUsize,
     /// Tuples processed so far.
     processed: AtomicU64,
-    /// Busy-wait per tuple.
-    cost_per_tuple: Duration,
+    /// Busy-wait per tuple, in nanoseconds (adjustable mid-test to model
+    /// cost drift — a growing join table, shifting selectivity).
+    cost_nanos: AtomicU64,
+    /// Tuples served by each firing, in order (drift-tracking tests).
+    firing_sizes: Mutex<Vec<usize>>,
     /// When false, `step_budgeted` ignores its budget and processes the
     /// whole backlog — modelling transitions without budget support
     /// (window evaluators), to test the scheduler's overdraft debt.
@@ -44,7 +48,8 @@ impl CostedQuery {
             name: name.to_string(),
             pending: AtomicUsize::new(0),
             processed: AtomicU64::new(0),
-            cost_per_tuple,
+            cost_nanos: AtomicU64::new(cost_per_tuple.as_nanos() as u64),
+            firing_sizes: Mutex::new(Vec::new()),
             honors_budget: true,
             log: None,
         })
@@ -57,7 +62,8 @@ impl CostedQuery {
             name: name.to_string(),
             pending: AtomicUsize::new(0),
             processed: AtomicU64::new(0),
-            cost_per_tuple,
+            cost_nanos: AtomicU64::new(cost_per_tuple.as_nanos() as u64),
+            firing_sizes: Mutex::new(Vec::new()),
             honors_budget: false,
             log: None,
         })
@@ -68,7 +74,8 @@ impl CostedQuery {
             name: name.to_string(),
             pending: AtomicUsize::new(0),
             processed: AtomicU64::new(0),
-            cost_per_tuple: Duration::from_micros(1),
+            cost_nanos: AtomicU64::new(Duration::from_micros(1).as_nanos() as u64),
+            firing_sizes: Mutex::new(Vec::new()),
             honors_budget: true,
             log: Some(log),
         })
@@ -80,6 +87,17 @@ impl CostedQuery {
 
     fn processed(&self) -> u64 {
         self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Change the per-tuple cost at runtime (the drift under test).
+    fn set_cost(&self, cost_per_tuple: Duration) {
+        self.cost_nanos
+            .store(cost_per_tuple.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Tuples served by each firing so far, in firing order.
+    fn firing_sizes(&self) -> Vec<usize> {
+        self.firing_sizes.lock().clone()
     }
 }
 
@@ -108,12 +126,14 @@ impl Transition for CostedQuery {
         };
         let n = self.pending.load(Ordering::Relaxed).min(cap);
         // Exact busy-wait: n tuples at the configured per-tuple cost.
-        let deadline = Instant::now() + self.cost_per_tuple * n as u32;
+        let cost = Duration::from_nanos(self.cost_nanos.load(Ordering::Relaxed));
+        let deadline = Instant::now() + cost * n as u32;
         while Instant::now() < deadline {
             std::hint::spin_loop();
         }
         self.pending.fetch_sub(n, Ordering::Relaxed);
         self.processed.fetch_add(n as u64, Ordering::Relaxed);
+        self.firing_sizes.lock().push(n);
         if let Some(log) = &self.log {
             log.lock().push(self.name.clone());
         }
@@ -372,6 +392,57 @@ fn strict_priority_tier_rides_above_the_drr_ring() {
         5,
         "express firing is unbudgeted (whole backlog in one step)"
     );
+}
+
+#[test]
+fn ewma_cost_model_tracks_cost_drift() {
+    // The DRR budget is credit / estimated-per-tuple-cost. With the old
+    // lifetime average (`busy / tuples`), a query whose cost drifts up
+    // 100× mid-stream kept its stale cheap estimate for thousands of
+    // tuples, so every firing massively overran its quantum. The EWMA
+    // closes 1/8 of the gap per firing: within a handful of firings the
+    // budget shrinks to match the new cost and firings are quantum-sized
+    // again.
+    let _serial = TIMING.lock();
+    let sched = scheduler();
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 500 });
+    let q = CostedQuery::new("drifter", Duration::from_micros(20));
+    sched.add_transition(Arc::clone(&q) as _, SchedulePolicy::default());
+
+    // A long, cheap history: a lifetime average would be anchored here.
+    q.feed(2_000);
+    sched.run_until_quiescent(100_000);
+    assert_eq!(q.processed(), 2_000, "warm history fully drained");
+    let warm_firings = q.firing_sizes().len();
+
+    // The cost drifts up 100× (e.g. the query's join table grew).
+    q.set_cost(Duration::from_micros(2_000));
+    q.feed(1_000);
+
+    // Drive until 8 post-drift firings happened (the first one is allowed
+    // to overrun: it was budgeted with the stale estimate).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while q.firing_sizes().len() < warm_firings + 8 && Instant::now() < deadline {
+        sched.pass();
+    }
+    let sizes = q.firing_sizes();
+    assert!(
+        sizes.len() >= warm_firings + 8,
+        "drive produced enough post-drift firings (got {})",
+        sizes.len() - warm_firings
+    );
+    let tail = &sizes[sizes.len() - 3..];
+    // At 2 ms/tuple against a 500 µs quantum, a converged estimate buys
+    // 1 tuple per firing (a little more right after the overdraft repays).
+    // The stale lifetime average (~40 µs after the warm history) would
+    // still grant ~12-tuple slices here — a 24 ms firing per 500 µs
+    // credit, i.e. no re-budgeting within the observation window.
+    assert!(
+        tail.iter().all(|&n| n <= 4),
+        "EWMA re-budgeted within a handful of firings: tail {tail:?}"
+    );
+    // The backlog is still being served, just in slices.
+    assert!(q.processed() > 2_000, "drifted query keeps making progress");
 }
 
 #[test]
