@@ -127,6 +127,8 @@ fn main() {
                 OverflowPolicy::Block => "block",
                 OverflowPolicy::Reject => "reject",
                 OverflowPolicy::ShedOldest => "shed_oldest",
+                // Spill is measured by its own experiment (exp11_spill).
+                OverflowPolicy::Spill { .. } => "spill",
             };
             table.row(&[
                 name.to_string(),

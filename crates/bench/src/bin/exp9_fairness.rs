@@ -42,8 +42,10 @@ const RATE: u64 = 30_000;
 const HEAVY_CAP: usize = 12_000;
 /// Cheap queries' input basket bound (tight: latency-sensitive tenants).
 const CHEAP_CAP: usize = 300;
-/// DRR busy-time credit per pass, µs.
-const QUANTUM_US: u64 = 2_500;
+/// DRR busy-time credit in µs per millisecond of wall-clock (accrual is
+/// elapsed-time-based): 150 µs/ms × (3 + 1 + 1 + 1) total weight ≈ 0.9
+/// cores — scarce enough that the tuple budget genuinely binds.
+const QUANTUM_US: u64 = 150;
 /// DRR weight of the heavy query (the operator grants the expensive
 /// tenant a triple share — exercised through SET QUERY WEIGHT).
 const HEAVY_WEIGHT: u32 = 3;

@@ -35,7 +35,7 @@
 //! its receptor, a blocked receptor stalls the source, and
 //! `StreamWriter::flush` observes the same limit from the client side.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +44,7 @@ use datacell_bat::column::Column;
 use datacell_bat::types::{DataType, Value};
 use datacell_engine::Chunk;
 use datacell_sql::{ColumnDef, Schema};
+use datacell_storage::{BasketStore, SegmentMeta, Wal};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::clock::now_micros;
@@ -77,6 +78,40 @@ pub enum OverflowPolicy {
     /// had not yet seen a shed tuple skip over it. The bound is strict:
     /// an over-capacity batch keeps only its newest `capacity` tuples.
     ShedOldest,
+    /// Admit everything, but keep at most `mem_rows` tuples resident in
+    /// memory: when the backlog exceeds the budget, the *head* (oldest
+    /// unconsumed rows) is sealed into on-disk segment files and
+    /// transparently re-read by the reader-cursor API — `claim`/`commit`/
+    /// `rewind` and reader snapshots behave identically across the
+    /// memory/disk boundary, and the low-watermark trim deletes a segment
+    /// file once every reader has passed it. Lossless (nothing is shed)
+    /// and non-blocking (producers never stall), at the price of disk I/O
+    /// under overload. Requires a session `data_dir`
+    /// ([`DataCellBuilder::data_dir`](crate::client::DataCellBuilder::data_dir));
+    /// spill counters surface in
+    /// [`MetricsSnapshot::storage`](crate::metrics::MetricsSnapshot).
+    Spill {
+        /// In-memory tuple budget (clamped to ≥ 1). The engine spills down
+        /// to half the budget at a time, so segments carry reasonable runs
+        /// instead of single rows.
+        mem_rows: usize,
+    },
+}
+
+/// Whether a basket's contents survive a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// In-memory only (the historical behavior): a restart loses resident
+    /// tuples.
+    #[default]
+    Ephemeral,
+    /// Every append is written to a per-basket WAL with group-commit
+    /// batching before the append returns, and head-trims/consumptions are
+    /// logged too, so
+    /// [`DataCell::recover`](crate::DataCell::recover) can rebuild the
+    /// basket's exact contents (and its `appended`/`consumed` accounting
+    /// baselines) after a crash. Requires a session `data_dir`.
+    Persistent,
 }
 
 /// Monotone counters describing a basket's traffic.
@@ -92,6 +127,14 @@ pub struct BasketStats {
     /// Append calls that encountered a full basket (counted once per
     /// append call, however long it waited or however often it retried).
     pub overflow_events: u64,
+    /// Tuples moved from memory to on-disk segments by
+    /// [`OverflowPolicy::Spill`] (a tuple spilled twice counts twice).
+    pub spilled: u64,
+    /// Storage-layer failures observed while spilling or re-reading
+    /// segments. A failed segment *read* leaves the affected rows pending
+    /// (never served corrupt, never skipped); a failed spill *write* keeps
+    /// the rows in memory.
+    pub storage_errors: u64,
 }
 
 /// A version-counter signal used to wake the scheduler and emitters when a
@@ -161,11 +204,41 @@ impl ReaderState {
     }
 }
 
+/// The on-disk head of a spilling basket: sealed segments covering the
+/// contiguous oid range `[segments.front().base_oid, Inner::base_oid)`,
+/// plus a one-segment decode cache so a reader draining a segment pays
+/// one decode, not one per claim.
+#[derive(Debug)]
+struct SpillState {
+    store: BasketStore,
+    segments: VecDeque<SegmentMeta>,
+    /// Rows across all segments (kept in sync with `segments`).
+    rows: u64,
+    /// Most recently decoded segment, keyed by its base oid.
+    cache: Option<(u64, Arc<Chunk>)>,
+}
+
+impl SpillState {
+    fn new(store: BasketStore) -> Self {
+        SpillState {
+            store,
+            segments: VecDeque::new(),
+            rows: 0,
+            cache: None,
+        }
+    }
+
+    fn head_oid(&self) -> Option<u64> {
+        self.segments.front().map(|s| s.base_oid)
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     /// User columns followed by the `ts` column.
     columns: Vec<Column>,
-    /// Oid of the first resident tuple.
+    /// Oid of the first *in-memory* tuple. Under [`OverflowPolicy::Spill`]
+    /// older tuples may live below it, on disk (`spill`).
     base_oid: u64,
     /// Registered readers' cursors (absolute oids).
     readers: HashMap<ReaderId, ReaderState>,
@@ -174,21 +247,46 @@ struct Inner {
     capacity: Option<usize>,
     policy: OverflowPolicy,
     stats: BasketStats,
+    /// On-disk head segments (attached when the session has a data dir).
+    spill: Option<SpillState>,
+    /// Durability log (attached for [`Durability::Persistent`] baskets).
+    wal: Option<Arc<Wal>>,
 }
 
 impl Inner {
-    fn len(&self) -> usize {
+    /// In-memory resident rows.
+    fn mem_len(&self) -> usize {
         self.columns[0].len()
     }
 
-    fn end_oid(&self) -> u64 {
-        self.base_oid + self.len() as u64
+    /// Rows spilled to disk (below `base_oid`).
+    fn spilled_rows(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.rows)
     }
 
-    /// Drop the `n` oldest resident tuples (shed), skipping readers past
-    /// them and clipping in-flight claims.
+    /// Logical resident rows: on-disk head plus in-memory tail.
+    fn total_len(&self) -> usize {
+        self.spilled_rows() as usize + self.mem_len()
+    }
+
+    /// Oid of the oldest live row (disk or memory).
+    fn head_oid(&self) -> u64 {
+        self.spill
+            .as_ref()
+            .and_then(SpillState::head_oid)
+            .unwrap_or(self.base_oid)
+    }
+
+    fn end_oid(&self) -> u64 {
+        self.base_oid + self.mem_len() as u64
+    }
+
+    /// Drop the `n` oldest *in-memory* tuples (shed), skipping readers
+    /// past them and clipping in-flight claims. (`ShedOldest` and `Spill`
+    /// are mutually exclusive policies, so the shed head is always the
+    /// memory head.)
     fn shed_head(&mut self, n: usize) {
-        let n = n.min(self.len());
+        let n = n.min(self.mem_len());
         if n == 0 {
             return;
         }
@@ -205,6 +303,24 @@ impl Inner {
             }
         }
         self.stats.shed += n as u64;
+        if let Some(wal) = self.wal.clone() {
+            if let Err(e) = wal.append_trim(self.base_oid) {
+                self.stats.storage_errors += 1;
+                eprintln!("wal trim record failed: {e}");
+            }
+        }
+    }
+
+    /// Slice rows `[from, to)` of the in-memory columns as a chunk.
+    fn mem_slice(&self, schema: &Schema, from: usize, to: usize) -> Chunk {
+        Chunk {
+            schema: schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice(from, to).expect("slice within bounds"))
+                .collect(),
+        }
     }
 }
 
@@ -265,10 +381,70 @@ impl Basket {
                 capacity: capacity.map(|c| c.max(1)),
                 policy,
                 stats: BasketStats::default(),
+                spill: None,
+                wal: None,
             }),
             signal: Arc::new(Signal::new()),
             parent_signal: Mutex::new(None),
         })
+    }
+
+    /// Attach the basket's slice of the on-disk store: `store` receives
+    /// spill segments under [`OverflowPolicy::Spill`], and `wal` (for
+    /// [`Durability::Persistent`] baskets) receives every append before it
+    /// is acknowledged plus trim/consume accounting records. Normally done
+    /// by the session when it creates a basket under a configured
+    /// `data_dir`.
+    pub fn attach_storage(&self, store: BasketStore, wal: Option<Arc<Wal>>) {
+        let mut inner = self.inner.lock();
+        inner.spill = Some(SpillState::new(store));
+        inner.wal = wal;
+    }
+
+    /// True iff a store/WAL is attached.
+    pub fn has_storage(&self) -> bool {
+        self.inner.lock().spill.is_some()
+    }
+
+    /// True iff appends are WAL-logged ([`Durability::Persistent`]).
+    pub fn is_persistent(&self) -> bool {
+        self.inner.lock().wal.is_some()
+    }
+
+    /// Replace the resident contents wholesale — the recovery path.
+    /// `chunk` carries the full width including `ts`; `base_oid` is the
+    /// oid of its first row; `appended`/`consumed` restore the accounting
+    /// baselines (receptor `SYNC`-style totals keep counting from where
+    /// the previous run left off).
+    pub(crate) fn restore_contents(
+        &self,
+        chunk: Chunk,
+        base_oid: u64,
+        appended: u64,
+        consumed: u64,
+    ) -> Result<()> {
+        if chunk.schema.len() != self.schema.len()
+            || chunk
+                .schema
+                .columns
+                .iter()
+                .zip(&self.schema.columns)
+                .any(|(a, b)| a.ty != b.ty)
+        {
+            return Err(DataCellError::Wiring(format!(
+                "basket {}: recovered contents do not match the schema",
+                self.name
+            )));
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.columns = chunk.columns;
+            inner.base_oid = base_oid;
+            inner.stats.appended = appended;
+            inner.stats.consumed = consumed;
+        }
+        self.notify();
+        Ok(())
     }
 
     /// Basket name.
@@ -307,10 +483,18 @@ impl Basket {
     // ----------------------- capacity / overflow -----------------------
 
     /// (Re)configure the tuple capacity and overflow policy at runtime.
+    /// Under [`OverflowPolicy::Spill`] the basket is logically unbounded
+    /// (the `mem_rows` budget bounds *memory*, not the stream), so any
+    /// capacity is ignored — writers and receptors must never observe a
+    /// full basket and fall back to shedding or rejecting.
     pub fn set_capacity(&self, capacity: Option<usize>, policy: OverflowPolicy) {
         {
             let mut inner = self.inner.lock();
-            inner.capacity = capacity.map(|c| c.max(1));
+            inner.capacity = if matches!(policy, OverflowPolicy::Spill { .. }) {
+                None
+            } else {
+                capacity.map(|c| c.max(1))
+            };
             inner.policy = policy;
         }
         // Raising the cap may unblock waiting appenders.
@@ -330,7 +514,7 @@ impl Basket {
     /// Remaining room before the capacity is hit (`None` = unbounded).
     pub fn free_capacity(&self) -> Option<usize> {
         let inner = self.inner.lock();
-        inner.capacity.map(|c| c.saturating_sub(inner.len()))
+        inner.capacity.map(|c| c.saturating_sub(inner.mem_len()))
     }
 
     /// Drop up to `n` oldest resident tuples (load shedding), returning the
@@ -363,13 +547,22 @@ impl Basket {
         blocking: bool,
         counted: &mut bool,
     ) -> Result<Admission> {
+        // Spill admits everything: the memory bound is enforced *after*
+        // the append by moving the head to disk, so producers never block,
+        // nothing is rejected, and nothing is shed.
+        if matches!(inner.policy, OverflowPolicy::Spill { .. }) {
+            return Ok(Admission::Take {
+                shed: 0,
+                take: want,
+            });
+        }
         let Some(cap) = inner.capacity else {
             return Ok(Admission::Take {
                 shed: 0,
                 take: want,
             });
         };
-        let resident = inner.len();
+        let resident = inner.mem_len();
         let room = cap.saturating_sub(resident);
         if room >= want {
             return Ok(Admission::Take {
@@ -424,7 +617,152 @@ impl Basket {
                 inner.stats.shed += skip as u64;
                 Ok(Admission::Take { shed: skip, take })
             }
+            OverflowPolicy::Spill { .. } => unreachable!("spill admits everything above"),
         }
+    }
+
+    // -------------------------- spill / wal ---------------------------
+
+    /// Log the newest `take` in-memory rows to the WAL. Called with the
+    /// inner lock held so record order matches oid order; the returned
+    /// `(wal, seq)` is the group-commit sync target, awaited *after* the
+    /// lock is released. A failed log **rolls the un-logged rows back
+    /// out** before returning the error — they were never visible outside
+    /// the lock, so the producer's retry of the failed batch cannot
+    /// duplicate.
+    fn log_rows_or_roll_back(
+        &self,
+        inner: &mut Inner,
+        take: usize,
+    ) -> Result<Option<(Arc<Wal>, u64)>> {
+        let Some(wal) = inner.wal.clone() else {
+            return Ok(None);
+        };
+        let len = inner.mem_len();
+        let chunk = inner.mem_slice(&self.schema, len - take, len);
+        match wal.append_rows(&chunk) {
+            Ok(seq) => Ok(Some((wal, seq))),
+            Err(e) => {
+                for c in &mut inner.columns {
+                    *c = c.slice(0, len - take).expect("truncate to prefix");
+                }
+                inner.stats.appended -= take as u64;
+                inner.stats.storage_errors += 1;
+                Err(DataCellError::Storage(format!(
+                    "basket {}: wal append failed (batch rolled back): {e}",
+                    self.name
+                )))
+            }
+        }
+    }
+
+    /// Block until WAL record `seq` is durable (group commit with any
+    /// concurrent committers). On a sync error the rows are already
+    /// resident and logged — only the *durability confirmation* failed —
+    /// so the error means "not confirmed durable", not "not appended";
+    /// re-appending the batch would duplicate it.
+    fn await_durable(&self, synced: Option<(Arc<Wal>, u64)>) -> Result<()> {
+        if let Some((wal, seq)) = synced {
+            wal.sync_to(seq).map_err(|e| {
+                self.inner.lock().stats.storage_errors += 1;
+                DataCellError::Storage(format!("basket {}: wal sync failed: {e}", self.name))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Move the memory head to a sealed segment when the resident count
+    /// exceeds the spill budget. Spills down to *half* the budget so
+    /// segments carry decent runs; a failed seal keeps the rows in memory
+    /// (counted, lossless degradation to an unbounded basket).
+    fn maybe_spill(&self, inner: &mut Inner) {
+        let OverflowPolicy::Spill { mem_rows } = inner.policy else {
+            return;
+        };
+        let mem_rows = mem_rows.max(1);
+        if inner.spill.is_none() || inner.mem_len() <= mem_rows {
+            return;
+        }
+        let n = inner.mem_len() - mem_rows / 2;
+        let base = inner.base_oid;
+        let chunk = inner.mem_slice(&self.schema, 0, n);
+        let store = inner.spill.as_ref().expect("checked above").store.clone();
+        match store.seal_segment(base, &chunk) {
+            Ok(meta) => {
+                for c in &mut inner.columns {
+                    c.drop_head(n);
+                }
+                inner.base_oid += n as u64;
+                inner.stats.spilled += n as u64;
+                let spill = inner.spill.as_mut().expect("checked above");
+                spill.rows += meta.rows;
+                spill.segments.push_back(meta);
+            }
+            Err(e) => {
+                inner.stats.storage_errors += 1;
+                eprintln!(
+                    "basket {}: spill failed, keeping rows in memory: {e}",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// Re-apply the spill budget after a bulk restore: recovery
+    /// materializes a persistent basket's whole backlog in memory, and a
+    /// `Spill`-policy basket must not keep it there — the excess over
+    /// `mem_rows` is sealed straight back to disk.
+    pub(crate) fn spill_excess(&self) {
+        let mut inner = self.inner.lock();
+        self.maybe_spill(&mut inner);
+    }
+
+    /// Bring every spilled segment back into memory (exclusive-consumption
+    /// paths need positional access to the whole logical content). On a
+    /// decode failure nothing changes — the counted error withholds the
+    /// affected rows rather than serving a corrupt or reordered stream.
+    fn unspill_all(&self, inner: &mut Inner) {
+        let Some(spill) = inner.spill.as_ref() else {
+            return;
+        };
+        if spill.segments.is_empty() {
+            return;
+        }
+        let store = spill.store.clone();
+        let segments: Vec<SegmentMeta> = spill.segments.iter().cloned().collect();
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| Column::empty(c.ty))
+            .collect();
+        for meta in &segments {
+            let chunk = match store.read_segment(meta, &self.schema) {
+                Ok(c) => c,
+                Err(e) => {
+                    inner.stats.storage_errors += 1;
+                    eprintln!("basket {}: unspill failed: {e}", self.name);
+                    return;
+                }
+            };
+            for (acc, col) in columns.iter_mut().zip(&chunk.columns) {
+                acc.append_column(col).expect("segment matches schema");
+            }
+        }
+        for (acc, col) in columns.iter_mut().zip(&inner.columns) {
+            acc.append_column(col).expect("same schema");
+        }
+        inner.columns = columns;
+        inner.base_oid = segments[0].base_oid;
+        for meta in &segments {
+            if let Err(e) = store.delete_segment(meta) {
+                eprintln!("basket {}: deleting unspilled segment: {e}", self.name);
+            }
+        }
+        let spill = inner.spill.as_mut().expect("checked above");
+        spill.segments.clear();
+        spill.rows = 0;
+        spill.cache = None;
     }
 
     /// Wait for the basket to change, releasing the inner lock first.
@@ -541,10 +879,13 @@ impl Basket {
                     .push(&Value::Timestamp(ts))?;
             }
             inner.stats.appended += take as u64;
+            let synced = self.log_rows_or_roll_back(&mut inner, take)?;
+            self.maybe_spill(&mut inner);
             offset += take;
             let done = offset == rows.len();
             drop(inner);
             self.notify();
+            self.await_durable(synced)?;
             if done {
                 return Ok(());
             }
@@ -644,10 +985,13 @@ impl Basket {
                 }
             }
             inner.stats.appended += take as u64;
+            let synced = self.log_rows_or_roll_back(&mut inner, take)?;
+            self.maybe_spill(&mut inner);
             offset += take;
             let done = offset == total;
             drop(inner);
             self.notify();
+            self.await_durable(synced)?;
             if done {
                 return Ok(());
             }
@@ -656,25 +1000,38 @@ impl Basket {
 
     // ------------------------------ reads ------------------------------
 
-    /// Resident tuple count.
+    /// Logical resident tuple count: the in-memory tail plus any head
+    /// rows spilled to disk — the backlog as consumers see it.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().total_len()
     }
 
-    /// True iff no tuples are resident.
+    /// Tuples currently held in memory (the quantity
+    /// [`OverflowPolicy::Spill`] bounds).
+    pub fn resident_len(&self) -> usize {
+        self.inner.lock().mem_len()
+    }
+
+    /// Tuples currently spilled to on-disk segments.
+    pub fn spilled_len(&self) -> usize {
+        self.inner.lock().spilled_rows() as usize
+    }
+
+    /// True iff no tuples are resident (memory or disk).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Tuples not yet seen by reader `r` — the per-reader unread count the
-    /// scheduler's ready predicates are built on.
+    /// scheduler's ready predicates are built on. Counts disk and memory
+    /// alike.
     pub fn pending_for(&self, r: ReaderId) -> usize {
         let inner = self.inner.lock();
         let cursor = inner
             .readers
             .get(&r)
             .map(|rs| rs.cursor)
-            .unwrap_or(inner.base_oid);
+            .unwrap_or(inner.head_oid());
         let end = inner.end_oid();
         (end - cursor.min(end)) as usize
     }
@@ -685,15 +1042,20 @@ impl Basket {
     }
 
     /// Snapshot the full resident contents (all columns including `ts`).
+    /// Spilled head rows are brought back into memory first so the
+    /// snapshot is the complete logical stream.
     pub fn snapshot(&self) -> Chunk {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        self.unspill_all(&mut inner);
         Chunk {
             schema: self.schema.clone(),
             columns: inner.columns.clone(),
         }
     }
 
-    /// Heap footprint in bytes (diagnostics / load shedding).
+    /// In-memory heap footprint in bytes (diagnostics / load shedding);
+    /// spilled segments count toward `bytes_on_disk` in the storage
+    /// metrics instead.
     pub fn byte_size(&self) -> usize {
         self.inner
             .lock()
@@ -718,6 +1080,10 @@ impl Basket {
         let removed;
         {
             let mut inner = self.inner.lock();
+            // Positions were computed against the full logical contents
+            // (snapshots stitch disk + memory), so materialize the same
+            // view before deleting by position.
+            self.unspill_all(&mut inner);
             removed = Self::consume_in(&mut inner, positions)?;
             if removed == 0 {
                 return Ok(0);
@@ -732,7 +1098,10 @@ impl Basket {
     /// [`Basket::consume_anchored`] immune to concurrent head-drops
     /// (`ShedOldest` evictions, trims) between snapshot and consumption.
     pub fn snapshot_anchored(&self) -> (Chunk, u64) {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        // Exclusive consumers need positional access to the whole logical
+        // content, so the spilled head is re-materialized first.
+        self.unspill_all(&mut inner);
         (
             Chunk {
                 schema: self.schema.clone(),
@@ -754,11 +1123,14 @@ impl Basket {
         let removed;
         {
             let mut inner = self.inner.lock();
+            // A spill may have raced in since the anchored snapshot; the
+            // positional delete needs the whole logical content in memory.
+            self.unspill_all(&mut inner);
             // base_oid only grows, and the snapshot's base was read under
             // this same lock, so shift = how many snapshot rows left the
             // head since then.
             let shift = (inner.base_oid.saturating_sub(base)) as usize;
-            let len = inner.len();
+            let len = inner.mem_len();
             let translated: Vec<usize> = positions
                 .to_positions()
                 .into_iter()
@@ -779,13 +1151,28 @@ impl Basket {
     }
 
     /// Shared body of the positional-consumption paths; called with the
-    /// inner lock held, `positions` relative to the current residents.
+    /// inner lock held (callers have unspilled first), `positions`
+    /// relative to the current residents.
     fn consume_in(inner: &mut Inner, positions: &Candidates) -> Result<usize> {
-        let len = inner.len();
+        let len = inner.mem_len();
         let keep = positions.complement(len).to_positions();
         let removed = len - keep.len();
         if removed == 0 {
             return Ok(0);
+        }
+        if let Some(wal) = inner.wal.clone() {
+            // Exact replay order is guaranteed by the held lock. Trim and
+            // consume records are not fsynced: losing the tail of them only
+            // re-delivers (at-least-once), never loses or corrupts.
+            let gone: Vec<usize> = positions
+                .to_positions()
+                .into_iter()
+                .filter(|&p| p < len)
+                .collect();
+            if let Err(e) = wal.append_consume(&gone) {
+                inner.stats.storage_errors += 1;
+                eprintln!("wal consume record failed: {e}");
+            }
         }
         for c in &mut inner.columns {
             c.retain_positions(&keep)?;
@@ -806,22 +1193,40 @@ impl Basket {
         Ok(removed)
     }
 
-    /// Remove every resident tuple (`basket.empty` of Algorithm 1).
+    /// Remove every resident tuple (`basket.empty` of Algorithm 1),
+    /// deleting any spilled segment files outright.
     pub fn clear(&self) -> usize {
         let removed;
         {
             let mut inner = self.inner.lock();
-            removed = inner.len();
-            let base = inner.base_oid + removed as u64;
+            removed = inner.total_len();
+            let end = inner.end_oid();
+            if let Some(spill) = inner.spill.as_mut() {
+                let store = spill.store.clone();
+                let metas: Vec<SegmentMeta> = spill.segments.drain(..).collect();
+                spill.rows = 0;
+                spill.cache = None;
+                for meta in &metas {
+                    if let Err(e) = store.delete_segment(meta) {
+                        eprintln!("basket clear: deleting segment: {e}");
+                    }
+                }
+            }
             for c in &mut inner.columns {
                 c.clear();
             }
-            inner.base_oid = base;
+            inner.base_oid = end;
             for rs in inner.readers.values_mut() {
-                rs.cursor = base;
+                rs.cursor = end;
                 rs.inflight.clear();
             }
             inner.stats.consumed += removed as u64;
+            if let Some(wal) = inner.wal.clone() {
+                if let Err(e) = wal.append_trim(end) {
+                    inner.stats.storage_errors += 1;
+                    eprintln!("wal trim record failed: {e}");
+                }
+            }
         }
         self.notify();
         removed
@@ -837,7 +1242,8 @@ impl Basket {
         let id = ReaderId(inner.next_reader);
         inner.next_reader += 1;
         let cursor = if from_start {
-            inner.base_oid
+            // The oldest live row may sit in a spilled segment.
+            inner.head_oid()
         } else {
             inner.end_oid()
         };
@@ -869,8 +1275,8 @@ impl Basket {
     /// cursor does not move: this is the snapshot/commit flavour for
     /// transitions fired at most once concurrently.
     pub fn snapshot_for_reader(&self, r: ReaderId) -> (Chunk, u64) {
-        let inner = self.inner.lock();
-        let (chunk, _, end) = Self::slice_from_cursor(&self.schema, &inner, r, usize::MAX);
+        let mut inner = self.inner.lock();
+        let (chunk, _, end) = self.slice_from_cursor(&mut inner, r, usize::MAX);
         (chunk, end)
     }
 
@@ -895,7 +1301,7 @@ impl Basket {
     /// pending, `start == end`).
     pub fn claim_for_reader(&self, r: ReaderId, max: usize) -> (Chunk, u64, u64) {
         let mut inner = self.inner.lock();
-        let (chunk, start, end) = Self::slice_from_cursor(&self.schema, &inner, r, max);
+        let (chunk, start, end) = self.slice_from_cursor(&mut inner, r, max);
         if end > start {
             if let Some(rs) = inner.readers.get_mut(&r) {
                 rs.inflight.push((start, end));
@@ -924,7 +1330,9 @@ impl Basket {
     pub fn rewind_claim(&self, r: ReaderId, start: u64, end: u64) {
         {
             let mut inner = self.inner.lock();
-            let base = inner.base_oid;
+            // A rewind may legitimately point back into the spilled head;
+            // clamp to the oldest live row, wherever it resides.
+            let base = inner.head_oid();
             if let Some(rs) = inner.readers.get_mut(&r) {
                 rs.inflight.retain(|&(s, e)| e <= start || s >= end);
                 rs.cursor = rs.cursor.min(start).max(base);
@@ -935,20 +1343,26 @@ impl Basket {
     }
 
     /// Slice `[cursor, cursor+max)` for reader `r` with the lock held.
-    fn slice_from_cursor(
-        schema: &Schema,
-        inner: &Inner,
-        r: ReaderId,
-        max: usize,
-    ) -> (Chunk, u64, u64) {
+    /// A cursor below the memory base is served *from disk*: the spilled
+    /// segment containing it is decoded (one-segment cache) and the slice
+    /// stops at that segment's end, so one claim never stitches sources —
+    /// the next claim continues seamlessly in the following segment or in
+    /// memory. A failed segment read is counted and served as "nothing
+    /// yet": the rows stay pending rather than being skipped or served
+    /// corrupt.
+    fn slice_from_cursor(&self, inner: &mut Inner, r: ReaderId, max: usize) -> (Chunk, u64, u64) {
         let base = inner.base_oid;
-        let len = inner.len();
+        let head = inner.head_oid();
         let cursor = inner
             .readers
             .get(&r)
             .map(|rs| rs.cursor)
-            .unwrap_or(base)
-            .max(base);
+            .unwrap_or(head)
+            .max(head);
+        if cursor < base {
+            return self.slice_from_disk(inner, cursor, max);
+        }
+        let len = inner.mem_len();
         let from = (cursor.saturating_sub(base) as usize).min(len);
         let to = from.saturating_add(max).min(len);
         let columns = inner
@@ -958,7 +1372,7 @@ impl Basket {
             .collect();
         (
             Chunk {
-                schema: schema.clone(),
+                schema: self.schema.clone(),
                 columns,
             },
             base + from as u64,
@@ -966,8 +1380,68 @@ impl Basket {
         )
     }
 
+    /// Serve `[cursor, cursor+max)` out of the spilled segment containing
+    /// `cursor` (see [`Basket::slice_from_cursor`]).
+    fn slice_from_disk(&self, inner: &mut Inner, cursor: u64, max: usize) -> (Chunk, u64, u64) {
+        let empty = |schema: &Schema| (Chunk::empty(schema.clone()), cursor, cursor);
+        let Some(spill) = inner.spill.as_ref() else {
+            return empty(&self.schema);
+        };
+        let Some(meta) = spill
+            .segments
+            .iter()
+            .find(|s| s.base_oid <= cursor && cursor < s.end_oid())
+            .cloned()
+        else {
+            return empty(&self.schema);
+        };
+        let store = spill.store.clone();
+        // The cache holds an `Arc`, so a hit is a refcount bump, not a
+        // deep copy of the whole segment per claim.
+        let cached = spill
+            .cache
+            .as_ref()
+            .filter(|(b, _)| *b == meta.base_oid)
+            .map(|(_, c)| Arc::clone(c));
+        let chunk = match cached {
+            Some(c) => c,
+            None => match store.read_segment(&meta, &self.schema) {
+                Ok(c) => {
+                    let c = Arc::new(c);
+                    if let Some(spill) = inner.spill.as_mut() {
+                        spill.cache = Some((meta.base_oid, Arc::clone(&c)));
+                    }
+                    c
+                }
+                Err(e) => {
+                    inner.stats.storage_errors += 1;
+                    eprintln!("basket {}: segment read failed: {e}", self.name);
+                    return empty(&self.schema);
+                }
+            },
+        };
+        let from = (cursor - meta.base_oid) as usize;
+        let to = from.saturating_add(max).min(meta.rows as usize);
+        let columns = chunk
+            .columns
+            .iter()
+            .map(|c| c.slice(from, to).expect("slice within segment"))
+            .collect();
+        (
+            Chunk {
+                schema: self.schema.clone(),
+                columns,
+            },
+            cursor,
+            meta.base_oid + to as u64,
+        )
+    }
+
     /// Drop the prefix below every reader's watermark. No-op when no
     /// readers are registered (exclusive baskets trim via consumption).
+    /// Spilled segments are deleted **whole**: a segment's file goes away
+    /// once every reader has passed its last row (low-watermark trim); a
+    /// segment the watermark sits inside stays on disk untouched.
     fn trim(&self) {
         let mut notified = false;
         {
@@ -981,15 +1455,49 @@ impl Basket {
                 .map(ReaderState::watermark)
                 .min()
                 .unwrap_or(0);
+            // Fully-consumed on-disk head first.
+            let mut disk_dropped = 0u64;
+            if let Some(spill) = inner.spill.as_mut() {
+                let store = spill.store.clone();
+                while spill
+                    .segments
+                    .front()
+                    .is_some_and(|s| s.end_oid() <= watermark)
+                {
+                    let meta = spill.segments.pop_front().expect("front checked");
+                    spill.rows -= meta.rows;
+                    if spill
+                        .cache
+                        .as_ref()
+                        .is_some_and(|(b, _)| *b == meta.base_oid)
+                    {
+                        spill.cache = None;
+                    }
+                    if let Err(e) = store.delete_segment(&meta) {
+                        eprintln!("basket {}: deleting trimmed segment: {e}", self.name);
+                    }
+                    disk_dropped += meta.rows;
+                }
+            }
             let drop_n = watermark.saturating_sub(inner.base_oid) as usize;
-            let drop_n = drop_n.min(inner.len());
+            let drop_n = drop_n.min(inner.mem_len());
             if drop_n > 0 {
                 for c in &mut inner.columns {
                     c.drop_head(drop_n);
                 }
                 inner.base_oid += drop_n as u64;
-                inner.stats.consumed += drop_n as u64;
+            }
+            if disk_dropped > 0 || drop_n > 0 {
+                inner.stats.consumed += disk_dropped + drop_n as u64;
                 notified = true;
+                if let Some(wal) = inner.wal.clone() {
+                    // Log what is actually gone: the new oldest live oid.
+                    let head = inner.head_oid();
+                    if let Err(e) = wal.append_trim(head) {
+                        inner.stats.storage_errors += 1;
+                        eprintln!("wal trim record failed: {e}");
+                    }
+                }
             }
         }
         if notified {

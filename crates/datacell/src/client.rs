@@ -39,7 +39,7 @@ use crate::text;
 
 // ---------------------------------------------------------------- builder
 
-pub use crate::basket::OverflowPolicy;
+pub use crate::basket::{Durability, OverflowPolicy};
 
 /// How several [`Subscription`]s on one continuous query share its output
 /// stream.
@@ -96,6 +96,8 @@ pub struct DataCellBuilder {
     pub(crate) metrics: bool,
     pub(crate) auto_start: bool,
     pub(crate) listen: Option<String>,
+    pub(crate) data_dir: Option<std::path::PathBuf>,
+    pub(crate) durability: Durability,
 }
 
 impl Default for DataCellBuilder {
@@ -110,6 +112,8 @@ impl Default for DataCellBuilder {
             metrics: false,
             auto_start: false,
             listen: None,
+            data_dir: None,
+            durability: Durability::Ephemeral,
         }
     }
 }
@@ -220,9 +224,36 @@ impl DataCellBuilder {
         self
     }
 
+    /// Root data directory for the storage subsystem: spill segments
+    /// ([`OverflowPolicy::Spill`]) and durable baskets
+    /// ([`Durability::Persistent`], WAL + [`DataCell::recover`]) live in
+    /// per-basket subdirectories beneath it. Without a data dir, spill
+    /// and persistence are unavailable (their use errors cleanly).
+    pub fn data_dir(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.data_dir = Some(path.into());
+        self
+    }
+
+    /// Default durability of baskets created through this session
+    /// (default: [`Durability::Ephemeral`]). `CREATE BASKET ... PERSISTENT`
+    /// opts a single basket in. Requires
+    /// [`data_dir`](DataCellBuilder::data_dir).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// Construct the session. Also initializes the engine clock so the
-    /// first tuple's arrival timestamp is well-anchored.
+    /// first tuple's arrival timestamp is well-anchored. Panics when the
+    /// configured `data_dir` cannot be created — use
+    /// [`try_build`](DataCellBuilder::try_build) to handle that case.
     pub fn build(self) -> DataCell {
+        self.try_build().expect("DataCellBuilder::build")
+    }
+
+    /// [`build`](DataCellBuilder::build), surfacing storage-setup errors
+    /// instead of panicking.
+    pub fn try_build(self) -> Result<DataCell> {
         DataCell::from_builder(self)
     }
 }
@@ -568,6 +599,10 @@ impl StreamWriter {
                     waited = true;
                 }
                 match self.overflow {
+                    // A Spill basket reports no capacity (`room` is never
+                    // 0 through `effective_capacity` unless the writer set
+                    // its own soft cap); treat a soft-cap hit like Block:
+                    // wait for the engine to spill/trim.
                     OverflowPolicy::Reject => {
                         self.buf.drain(..offset);
                         self.record_flush(offset);
@@ -577,7 +612,7 @@ impl StreamWriter {
                             capacity: self.effective_capacity().unwrap_or(0),
                         });
                     }
-                    OverflowPolicy::Block => {
+                    OverflowPolicy::Block | OverflowPolicy::Spill { .. } => {
                         let signal = self.basket.signal();
                         let seen = signal.version();
                         // Re-check after any basket change (or 1ms, so a
@@ -810,8 +845,8 @@ impl<'a> QueryHandle<'a> {
     }
 
     /// Set the query's deficit-round-robin weight (clamped to ≥ 1): under
-    /// [`Fairness::DeficitRoundRobin`] a weight-3 query earns three times
-    /// the busy-time credit per pass of a weight-1 co-tenant. Equivalent to
+    /// [`Fairness::DeficitRoundRobin`] a weight-3 query accrues three times
+    /// the busy-time credit of a weight-1 co-tenant. Equivalent to
     /// the SQL `SET QUERY WEIGHT name = 3`. Has no effect under
     /// [`Fairness::Priority`].
     pub fn set_weight(&self, weight: u32) -> Result<()> {

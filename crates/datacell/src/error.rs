@@ -40,6 +40,11 @@ pub enum DataCellError {
         /// The configured capacity.
         capacity: usize,
     },
+    /// The storage layer failed: a WAL append/sync could not complete, a
+    /// segment file is corrupt or unreadable, or recovery hit an
+    /// inconsistent data directory. Corrupt data is *never* served — the
+    /// affected rows stay pending (reads) or in memory (spill writes).
+    Storage(String),
 }
 
 impl fmt::Display for DataCellError {
@@ -60,7 +65,14 @@ impl fmt::Display for DataCellError {
                 f,
                 "backpressure: basket {basket} holds {resident} tuples (capacity {capacity})"
             ),
+            DataCellError::Storage(m) => write!(f, "storage error: {m}"),
         }
+    }
+}
+
+impl From<datacell_storage::StorageError> for DataCellError {
+    fn from(e: datacell_storage::StorageError) -> Self {
+        DataCellError::Storage(e.to_string())
     }
 }
 

@@ -57,7 +57,7 @@ pub mod strategy;
 pub mod text;
 pub mod window;
 
-pub use crate::basket::{Basket, BasketStats, OverflowPolicy, ReaderId};
+pub use crate::basket::{Basket, BasketStats, Durability, OverflowPolicy, ReaderId};
 pub use crate::client::{
     DataCellBuilder, FromRow, FromValue, IntoRow, QueryHandle, StreamWriter, Subscription,
     SubscriptionMode,

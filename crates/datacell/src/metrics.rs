@@ -262,7 +262,14 @@ pub struct MetricsSnapshot {
     /// Network-transport counters, present when a TCP listener (the
     /// `datacell-net` crate) is attached to this session.
     pub net: Option<NetMetricsSnapshot>,
+    /// Storage-subsystem counters (`tuples_spilled`,
+    /// `segments_{written,read,deleted}`, `bytes_on_disk`, recovery
+    /// stats), present when the session has a
+    /// [`data_dir`](crate::client::DataCellBuilder::data_dir).
+    pub storage: Option<StorageMetricsSnapshot>,
 }
+
+pub use datacell_storage::StorageMetricsSnapshot;
 
 #[cfg(test)]
 mod tests {

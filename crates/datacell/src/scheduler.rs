@@ -26,9 +26,15 @@
 //! * [`Fairness::DeficitRoundRobin`] — a deficit round-robin ring over the
 //!   transitions at priority ≤ 0, with strict priority retained as an
 //!   opt-in express tier: transitions at priority > 0 still fire first and
-//!   unbudgeted, exactly as under `Priority`. Every pass, each backlogged
-//!   ring member earns `quantum × weight` microseconds of busy-time
-//!   credit; its accumulated credit is converted into a **tuple budget**
+//!   unbudgeted, exactly as under `Priority`. Each backlogged ring member
+//!   accrues busy-time credit **by elapsed wall-clock time** — `quantum ×
+//!   weight` microseconds per millisecond since its last service
+//!   opportunity (Δt clamped to `[1 ms, 100 ms]`), decoupling the credit
+//!   rate from the scheduler's pass rate: a busy system whose passes take
+//!   10 ms accrues the same per-second credit as an idle-ish one passing
+//!   every 1 ms, and back-to-back deterministic drives sit on the 1 ms
+//!   floor (one nominal quantum per pass — the historical behavior).
+//!   The accumulated credit is converted into a **tuple budget**
 //!   through the per-tuple cost observed over its recent firings (an EWMA,
 //!   so a drifting cost — a growing join table, shifting selectivity — is
 //!   tracked within a few firings), and the
@@ -126,13 +132,18 @@ pub enum Fairness {
     Priority,
     /// Deficit round-robin over the transitions at priority ≤ 0 (a
     /// positive priority stays a strict express tier). Each backlogged
-    /// ring member earns `quantum × weight` µs of busy-time credit per
-    /// pass; firings are capped at the tuple budget that credit buys at
-    /// the query's observed per-tuple cost, so no single query can
-    /// monopolize a pass.
+    /// ring member accrues `quantum × weight` µs of busy-time credit per
+    /// **millisecond of elapsed wall-clock** (Δt clamped to
+    /// `[1 ms, 100 ms]`, so tight deterministic drives accrue one nominal
+    /// quantum per pass); firings are capped at the tuple budget that
+    /// credit buys at the query's observed per-tuple cost, so no single
+    /// query can monopolize the scheduler. A weight-1 `quantum` of 1000
+    /// therefore means "one full core's worth of busy time"; 250 means a
+    /// quarter core.
     DeficitRoundRobin {
-        /// Busy-time credit earned per pass by a weight-1 query, in µs
-        /// (clamped to ≥ 1 — a zero quantum would starve the whole ring).
+        /// Busy-time credit in µs accrued per millisecond of wall-clock
+        /// by a weight-1 query (clamped to ≥ 1 — a zero quantum would
+        /// starve the whole ring).
         quantum: u64,
     },
 }
@@ -149,9 +160,9 @@ pub struct SchedulePolicy {
     /// eager.
     pub min_interval: Option<Duration>,
     /// Relative share of scheduler busy time under
-    /// [`Fairness::DeficitRoundRobin`] (a weight-3 query earns three times
-    /// the credit per pass). Clamped to ≥ 1; ignored by
-    /// [`Fairness::Priority`].
+    /// [`Fairness::DeficitRoundRobin`] (a weight-3 query accrues three
+    /// times the credit per unit of wall-clock). Clamped to ≥ 1; ignored
+    /// by [`Fairness::Priority`].
     pub weight: u32,
 }
 
@@ -175,6 +186,18 @@ const COST_FLOOR_NANOS: u64 = 100;
 /// deep backlog is capped near `quantum × weight` tuples instead of
 /// monopolizing the pass; one firing later the measured cost takes over.
 const BOOTSTRAP_COST_NANOS: u64 = 1_000;
+
+/// Floor of the elapsed-time Δt used by DRR credit accrual, in µs. A
+/// tight loop of back-to-back passes (deterministic drives, saturated
+/// schedulers) accrues as if each pass were one nominal millisecond, so
+/// `run_until_quiescent` stays serviceable and the historical
+/// credit-per-pass intuition survives in that regime.
+const ACCRUAL_FLOOR_MICROS: u64 = 1_000;
+
+/// Cap of the accrual Δt, in µs: one observation can mint at most 100 ms
+/// worth of credit, bounding the burst after a long stall (the idle path
+/// resets the anchor outright, so this only guards ready-but-slow rings).
+const ACCRUAL_CAP_MICROS: u64 = 100_000;
 
 struct Entry {
     factory: Arc<dyn Transition>,
@@ -219,6 +242,10 @@ struct Entry {
     sched_delay_micros: AtomicU64,
     /// When the transition was first observed ready since its last firing.
     ready_since: Mutex<Option<Instant>>,
+    /// When DRR credit last accrued for this entry — the Δt anchor of the
+    /// elapsed-time accrual. Reset whenever the entry leaves the ready
+    /// set, so idle or paused stretches mint no credit.
+    last_accrual: Mutex<Option<Instant>>,
 }
 
 impl Entry {
@@ -459,6 +486,7 @@ impl Scheduler {
             consecutive_skips: AtomicU64::new(0),
             sched_delay_micros: AtomicU64::new(0),
             ready_since: Mutex::new(None),
+            last_accrual: Mutex::new(None),
         }));
         // Stable priority order, high first; ties keep registration order.
         entries.sort_by_key(|e| std::cmp::Reverse(e.policy.priority));
@@ -580,9 +608,11 @@ impl Scheduler {
     }
 
     /// One deficit-round-robin round over the ring: every backlogged member
-    /// earns `quantum × weight` µs of credit and is served a tuple budget
-    /// its credit can buy at its observed per-tuple cost. Returns
-    /// `(fired, skipped)`.
+    /// accrues `quantum × weight` µs of credit per elapsed millisecond
+    /// since its last service opportunity (Δt clamped to
+    /// `[`[`ACCRUAL_FLOOR_MICROS`]`, `[`ACCRUAL_CAP_MICROS`]`]`) and is
+    /// served a tuple budget its credit can buy at its observed per-tuple
+    /// cost. Returns `(fired, skipped)`.
     fn serve_ring(shared: &Shared, ring: &[Arc<Entry>], quantum: u64) -> (u64, u64) {
         if ring.is_empty() {
             return (0, 0);
@@ -599,16 +629,35 @@ impl Scheduler {
             }
             if Self::gated(entry) {
                 entry.note_idle();
+                *entry.last_accrual.lock() = None;
                 continue;
             }
             if !entry.factory.ready() {
                 // Backlog ran dry: classic DRR zeroes the deficit so idle
-                // queries cannot bank credit for a later burst.
+                // queries cannot bank credit for a later burst — and the
+                // accrual anchor resets so the idle stretch mints nothing.
                 entry.deficit_micros.store(0, Ordering::Relaxed);
                 entry.note_idle();
+                *entry.last_accrual.lock() = None;
                 continue;
             }
-            let credit = quantum.saturating_mul(entry.weight()).min(i64::MAX as u64) as i64;
+            // Elapsed-time accrual: Δt since this entry's last service
+            // opportunity, clamped so tight loops behave per-pass and a
+            // stalled ring cannot mint an unbounded burst.
+            let dt_micros = {
+                let now = Instant::now();
+                let mut last = entry.last_accrual.lock();
+                let dt = last
+                    .map(|t| now.duration_since(t).as_micros() as u64)
+                    .unwrap_or(0);
+                *last = Some(now);
+                dt.clamp(ACCRUAL_FLOOR_MICROS, ACCRUAL_CAP_MICROS)
+            };
+            let credit = quantum
+                .saturating_mul(entry.weight())
+                .saturating_mul(dt_micros)
+                / 1_000;
+            let credit = credit.min(i64::MAX as u64) as i64;
             let deficit = entry
                 .deficit_micros
                 .fetch_add(credit, Ordering::Relaxed)

@@ -14,19 +14,22 @@
 //!   once — registration via `CREATE CONTINUOUS QUERY` is what makes it
 //!   continual.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datacell_bat::candidates::Candidates;
+use datacell_bat::column::Column;
 use datacell_bat::types::DataType;
 use datacell_engine::{execute, Chunk, DataSource};
-use datacell_sql::ast::{DropKind, QueryLifecycle, Statement};
+use datacell_sql::ast::{BasketOptions, DropKind, OverflowSpec, QueryLifecycle, Statement};
 use datacell_sql::resolve::{bind_insert_rows, bind_query};
 use datacell_sql::{parser, Schema, SqlError};
+use datacell_storage::{wal, BasketManifest, SegmentStore, WalRecord};
 use parking_lot::{Mutex, RwLock};
 
-use crate::basket::{Basket, ReaderId, TS_COLUMN};
+use crate::basket::{Basket, Durability, ReaderId, TS_COLUMN};
 use crate::catalog::StreamCatalog;
 use crate::client::{
     DataCellBuilder, FromRow, OverflowPolicy, QueryHandle, StreamWriter, Subscription,
@@ -81,6 +84,22 @@ pub(crate) struct CellConfig {
     pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: Option<Arc<SessionMetrics>>,
     pub(crate) listen: Option<String>,
+    pub(crate) data_dir: Option<PathBuf>,
+    pub(crate) durability: Durability,
+}
+
+/// What [`DataCell::recover`] rebuilt from the data directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Names of the baskets restored, in recovery order.
+    pub baskets: Vec<String>,
+    /// Tuples resident across the restored baskets.
+    pub tuples: u64,
+    /// Valid WAL bytes replayed.
+    pub wal_bytes: u64,
+    /// Torn WAL tail bytes dropped (a crash mid-write; the affected
+    /// record was never acknowledged durable).
+    pub torn_bytes: u64,
 }
 
 /// The DataCell system handle (see module docs).
@@ -113,6 +132,14 @@ pub struct DataCell {
     /// transport — which holds an `Arc<DataCell>` — never forms a cycle
     /// with the session).
     net_metrics: Mutex<Option<std::sync::Weak<dyn NetMetricsSource>>>,
+    /// The storage subsystem's root (spill segments + WALs), present when
+    /// the session has a [`DataCellBuilder::data_dir`].
+    storage: Option<Arc<SegmentStore>>,
+    /// Baskets rebuilt by [`DataCell::recover`] and not yet re-declared:
+    /// `CREATE BASKET` / `CREATE CONTINUOUS QUERY` *adopt* these (same
+    /// name, same schema) instead of failing with "already exists", so a
+    /// startup script can be re-run unchanged after a crash.
+    recovered: Mutex<HashSet<String>>,
 }
 
 impl Default for DataCell {
@@ -134,11 +161,15 @@ impl DataCell {
         DataCellBuilder::new()
     }
 
-    pub(crate) fn from_builder(builder: DataCellBuilder) -> Self {
+    pub(crate) fn from_builder(builder: DataCellBuilder) -> Result<Self> {
         let catalog = Arc::new(RwLock::new(StreamCatalog::new()));
         let scheduler = Scheduler::new(Arc::clone(&catalog));
         scheduler.set_fairness(builder.fairness);
         crate::clock::init();
+        let storage = match &builder.data_dir {
+            Some(dir) => Some(Arc::new(SegmentStore::open(dir)?)),
+            None => None,
+        };
         let cell = DataCell {
             catalog,
             scheduler,
@@ -150,6 +181,8 @@ impl DataCell {
                 subscription_channel: builder.subscription_channel,
                 metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
                 listen: builder.listen,
+                data_dir: builder.data_dir,
+                durability: builder.durability,
             },
             query_outputs: Mutex::new(HashMap::new()),
             shared_readers: Mutex::new(HashMap::new()),
@@ -162,11 +195,28 @@ impl DataCell {
             retired_shed: AtomicU64::new(0),
             retired_overflow: AtomicU64::new(0),
             net_metrics: Mutex::new(None),
+            storage,
+            recovered: Mutex::new(HashSet::new()),
         };
+        if cell.config.durability == Durability::Persistent && cell.storage.is_none() {
+            return Err(DataCellError::Storage(
+                "durability(Persistent) requires a data_dir".into(),
+            ));
+        }
+        if matches!(cell.config.overflow, OverflowPolicy::Spill { .. }) && cell.storage.is_none() {
+            return Err(DataCellError::Storage(
+                "overflow_policy(Spill) requires a data_dir".into(),
+            ));
+        }
         if builder.auto_start {
             cell.start();
         }
-        cell
+        Ok(cell)
+    }
+
+    /// The configured data directory, if any.
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.config.data_dir.as_deref()
     }
 
     /// The shared catalog (programmatic data loading).
@@ -243,15 +293,25 @@ impl DataCell {
                     .create_table(&name, Schema::new(columns))?;
                 Ok(CellResult::Ack(format!("created table {name}")))
             }
-            Statement::CreateBasket { name, columns } => {
-                let basket = self
-                    .catalog
-                    .write()
-                    .create_basket(&name, Schema::new(columns))?;
+            Statement::CreateBasket {
+                name,
+                columns,
+                options,
+            } => {
+                let user_schema = Schema::new(columns);
+                // A basket rebuilt by `recover()` is *adopted* by an
+                // identical re-declaration, so startup scripts re-run
+                // unchanged after a crash.
+                if self.try_adopt(&name, &user_schema, &options)?.is_some() {
+                    return Ok(CellResult::Ack(format!("adopted recovered basket {name}")));
+                }
+                let (capacity, policy, persistent) = self.resolve_basket_config(&options)?;
+                let basket = self.catalog.write().create_basket(&name, user_schema)?;
                 basket.set_parent_signal(self.scheduler.signal());
                 // Engine-level capacity: receptors, factories and writers
                 // all hit the same bound.
-                basket.set_capacity(self.config.basket_capacity, self.config.overflow);
+                basket.set_capacity(capacity, policy);
+                self.setup_basket_storage(&basket, capacity, policy, persistent)?;
                 Ok(CellResult::Ack(format!("created basket {name}")))
             }
             Statement::CreateContinuousQuery { name, query } => {
@@ -281,16 +341,30 @@ impl DataCell {
                 } else {
                     out_schema.clone()
                 };
-                let output = {
-                    let mut cat = self.catalog.write();
-                    let b = cat.create_basket(&out_name, user_schema)?;
-                    b.set_parent_signal(self.scheduler.signal());
-                    // Bounded output baskets push backpressure into the
-                    // factory itself (its step defers or stalls when
-                    // subscribers fall behind).
-                    b.set_capacity(self.config.basket_capacity, self.config.overflow);
-                    b
-                };
+                // A recovered output basket (same name, same schema) is
+                // adopted with its undelivered rows intact, so
+                // re-registering the query after `recover()` resumes
+                // delivery without loss.
+                let output =
+                    match self.try_adopt(&out_name, &user_schema, &BasketOptions::default())? {
+                        Some(b) => b,
+                        None => {
+                            let (capacity, policy, persistent) =
+                                self.resolve_basket_config(&BasketOptions::default())?;
+                            let b = {
+                                let mut cat = self.catalog.write();
+                                let b = cat.create_basket(&out_name, user_schema)?;
+                                b.set_parent_signal(self.scheduler.signal());
+                                // Bounded output baskets push backpressure into
+                                // the factory itself (its step defers or stalls
+                                // when subscribers fall behind).
+                                b.set_capacity(capacity, policy);
+                                b
+                            };
+                            self.setup_basket_storage(&b, capacity, policy, persistent)?;
+                            b
+                        }
+                    };
                 let factory = {
                     let cat = self.catalog.read();
                     Factory::from_plan(
@@ -378,11 +452,14 @@ impl DataCell {
                     Ok(CellResult::Ack(format!("dropped table {name}")))
                 }
                 DropKind::Basket => {
-                    let mut cat = self.catalog.write();
-                    if let Ok(b) = cat.basket(&name) {
-                        self.retire_basket_stats(&b);
+                    {
+                        let mut cat = self.catalog.write();
+                        if let Ok(b) = cat.basket(&name) {
+                            self.retire_basket_stats(&b);
+                        }
+                        cat.drop_basket(&name)?;
                     }
-                    cat.drop_basket(&name)?;
+                    self.remove_basket_storage(&name);
                     Ok(CellResult::Ack(format!("dropped basket {name}")))
                 }
                 DropKind::ContinuousQuery => {
@@ -670,6 +747,9 @@ impl DataCell {
         if let Some(out) = out {
             self.retire_basket_stats(&out);
             let _ = self.catalog.write().drop_basket(out.name());
+            if out.has_storage() {
+                self.remove_basket_storage(out.name());
+            }
         }
         // Take this query's emitters out of the registry, then stop them
         // outside the lock (stop joins the thread).
@@ -738,6 +818,7 @@ impl DataCell {
             .as_ref()
             .and_then(std::sync::Weak::upgrade)
             .map(|s| s.net_metrics());
+        snap.storage = self.storage.as_ref().map(|s| s.metrics_snapshot());
         snap
     }
 
@@ -748,6 +829,233 @@ impl DataCell {
         self.retired_shed.fetch_add(stats.shed, Ordering::Relaxed);
         self.retired_overflow
             .fetch_add(stats.overflow_events, Ordering::Relaxed);
+    }
+
+    // ---------------- storage / durability ----------------
+
+    /// Resolve a basket's capacity / overflow / durability from its
+    /// `CREATE BASKET` clauses over the session defaults, validating that
+    /// spill and persistence have a `data_dir` to live in.
+    fn resolve_basket_config(
+        &self,
+        options: &BasketOptions,
+    ) -> Result<(Option<usize>, OverflowPolicy, bool)> {
+        let capacity = options
+            .capacity
+            .map(|c| c as usize)
+            .or(self.config.basket_capacity);
+        let policy = options
+            .overflow
+            .map(overflow_spec_policy)
+            .unwrap_or(self.config.overflow);
+        let persistent = options.persistent || self.config.durability == Durability::Persistent;
+        if self.storage.is_none() {
+            if matches!(policy, OverflowPolicy::Spill { .. }) {
+                return Err(DataCellError::Storage(
+                    "OVERFLOW SPILL requires a session data_dir".into(),
+                ));
+            }
+            if persistent {
+                return Err(DataCellError::Storage(
+                    "PERSISTENT requires a session data_dir".into(),
+                ));
+            }
+        }
+        Ok((capacity, policy, persistent))
+    }
+
+    /// Give a freshly created basket its slice of the store: a manifest
+    /// (always, when a store exists — recovery needs it), spill segments
+    /// (under `Spill`), and a WAL (when persistent).
+    fn setup_basket_storage(
+        &self,
+        basket: &Arc<Basket>,
+        capacity: Option<usize>,
+        policy: OverflowPolicy,
+        persistent: bool,
+    ) -> Result<()> {
+        let Some(store) = &self.storage else {
+            return Ok(());
+        };
+        let bs = store.basket(basket.name())?;
+        let user_columns = basket.schema().columns[..basket.user_width()]
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        bs.write_manifest(&BasketManifest {
+            name: basket.name().to_string(),
+            columns: user_columns,
+            persistent,
+            policy: policy_manifest_str(policy),
+            capacity: capacity.map(|c| c as u64),
+        })?;
+        let wal = if persistent {
+            Some(Arc::new(bs.open_wal()?))
+        } else {
+            None
+        };
+        basket.attach_storage(bs, wal);
+        Ok(())
+    }
+
+    /// Adopt a recovered basket under an identical re-declaration.
+    /// Returns the basket on success, `None` when the name was not
+    /// recovered (or was already adopted once — a *second* declaration
+    /// falls through to the ordinary "already exists" error), and an
+    /// error when the schema or the declared storage clauses disagree
+    /// with the recovered configuration.
+    fn try_adopt(
+        &self,
+        name: &str,
+        user_schema: &Schema,
+        options: &BasketOptions,
+    ) -> Result<Option<Arc<Basket>>> {
+        if !self.recovered.lock().contains(name) {
+            return Ok(None);
+        }
+        let basket = self.catalog.read().basket(name)?;
+        let existing = &basket.schema().columns[..basket.user_width()];
+        if existing.len() != user_schema.len()
+            || existing
+                .iter()
+                .zip(&user_schema.columns)
+                .any(|(a, b)| a.name != b.name || a.ty != b.ty)
+        {
+            return Err(DataCellError::Catalog(format!(
+                "basket {name} was recovered with a different schema; \
+                 drop it or recover into a fresh data_dir"
+            )));
+        }
+        // *Explicit* clauses must describe the recovered basket —
+        // silently dropping a changed CAPACITY/OVERFLOW would leave the
+        // operator believing the new policy applies. Session defaults are
+        // not declarations: the recovering process may legitimately be
+        // configured differently, and the basket keeps its manifest
+        // configuration either way.
+        let declared = options.overflow.map(overflow_spec_policy);
+        let overflow_conflict = declared.is_some_and(|p| p != basket.overflow_policy());
+        let capacity_conflict = options.capacity.is_some_and(|c| {
+            // Spill ignores capacity by design; nothing to conflict with.
+            !matches!(basket.overflow_policy(), OverflowPolicy::Spill { .. })
+                && basket.capacity() != Some(c as usize)
+        });
+        if overflow_conflict || capacity_conflict {
+            return Err(DataCellError::Catalog(format!(
+                "basket {name} was recovered with a different storage \
+                 configuration; re-declare it with the original clauses, \
+                 or drop it first"
+            )));
+        }
+        // Adoption is one-shot: the invariant that a duplicate CREATE
+        // BASKET fails comes back for the rest of the session.
+        self.recovered.lock().remove(name);
+        Ok(Some(basket))
+    }
+
+    /// Remove a dropped basket's on-disk state (manifest, WAL, segments).
+    fn remove_basket_storage(&self, name: &str) {
+        self.recovered.lock().remove(name);
+        if let Some(store) = &self.storage {
+            if let Ok(bs) = store.basket(name) {
+                if let Err(e) = bs.remove_dir() {
+                    eprintln!("dropping basket {name}: removing data dir: {e}");
+                }
+            }
+        }
+    }
+
+    /// Rebuild every persistent basket found under the data directory:
+    /// replay each WAL (appends, trims, positional consumes) into the
+    /// basket's exact pre-crash contents, restore the `appended`/
+    /// `consumed` accounting baselines, compact the log, and delete stale
+    /// spill segments (their rows live in the WAL). Non-persistent basket
+    /// directories are leftover spill state and are removed.
+    ///
+    /// Call `recover()` on a fresh session *before* re-declaring baskets
+    /// and queries: re-declarations with identical schemas then **adopt**
+    /// the recovered baskets (undelivered rows intact), so a crashed
+    /// pipeline's startup script re-runs unchanged. Rows whose append was
+    /// acknowledged are never lost; rows a consumer had fully committed
+    /// (trimmed) are never re-delivered; rows in flight at the crash are
+    /// re-delivered (at-least-once).
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let store = self.storage.as_ref().ok_or_else(|| {
+            DataCellError::Storage("recover() requires a session data_dir".into())
+        })?;
+        let mut report = RecoveryReport::default();
+        for name in store.basket_names()? {
+            if self.catalog.read().basket(&name).is_ok() {
+                continue;
+            }
+            let bs = store.basket(&name)?;
+            let Some(manifest) = bs.read_manifest()? else {
+                continue;
+            };
+            if !manifest.persistent {
+                // Spill-only state: the rows were never promised to
+                // survive a restart, and their basket is gone.
+                bs.remove_dir()?;
+                continue;
+            }
+            let policy = manifest_policy(&manifest.policy).ok_or_else(|| {
+                DataCellError::Storage(format!(
+                    "basket {name}: unknown manifest policy {:?}",
+                    manifest.policy
+                ))
+            })?;
+            let capacity = manifest.capacity.map(|c| c as usize);
+            // Replay and compact the log *before* the basket enters the
+            // catalog: a failure here (mid-file corruption, an I/O error)
+            // leaves no half-initialized basket behind, so a retried
+            // recover() sees the name as still-unrecovered and the
+            // durable state is never silently shadowed by an empty shell.
+            let full_schema = {
+                let mut s = manifest.user_schema();
+                s.columns
+                    .push(datacell_sql::ColumnDef::new(TS_COLUMN, DataType::Timestamp));
+                s
+            };
+            let wal_path = bs.dir().join(datacell_storage::wal::WAL_FILE);
+            let replay = wal::read_wal(&wal_path, &full_schema)?;
+            let (chunk, base_oid, appended, consumed) =
+                apply_wal_records(&full_schema, replay.records)?;
+            let resident = chunk.len() as u64;
+            // Stale spill segments duplicate WAL rows; recovery starts
+            // from a clean, compacted state.
+            for meta in bs.list_segments()? {
+                bs.delete_segment(&meta)?;
+            }
+            // The baseline excludes the resident rows the compact log
+            // re-writes as a Rows record — replay adds them back in.
+            wal::rewrite_wal(&wal_path, appended - resident, consumed, base_oid, &chunk)?;
+            let wal_handle = Arc::new(bs.open_wal()?);
+
+            let basket = self
+                .catalog
+                .write()
+                .create_basket(&name, manifest.user_schema())?;
+            basket.set_parent_signal(self.scheduler.signal());
+            basket.set_capacity(capacity, policy);
+            basket.attach_storage(bs.clone(), Some(wal_handle));
+            basket.restore_contents(chunk, base_oid, appended, consumed)?;
+            // A Spill basket must not hold its whole recovered backlog in
+            // memory: seal the excess straight back to disk.
+            basket.spill_excess();
+
+            let m = store.metrics();
+            m.baskets_recovered.fetch_add(1, Ordering::Relaxed);
+            m.tuples_recovered.fetch_add(resident, Ordering::Relaxed);
+            m.wal_bytes_replayed
+                .fetch_add(replay.bytes_read, Ordering::Relaxed);
+            m.wal_bytes_torn
+                .fetch_add(replay.torn_bytes, Ordering::Relaxed);
+            self.recovered.lock().insert(name.clone());
+            report.baskets.push(name);
+            report.tuples += resident;
+            report.wal_bytes += replay.bytes_read;
+            report.torn_bytes += replay.torn_bytes;
+        }
+        Ok(report)
     }
 
     /// Rewrite a scheduler "unknown factory" error into the session-level
@@ -903,6 +1211,108 @@ impl Drop for DataCell {
 
 fn sql_err(e: SqlError) -> DataCellError {
     DataCellError::Sql(e)
+}
+
+/// Map a SQL `OVERFLOW` clause onto the engine policy.
+fn overflow_spec_policy(spec: OverflowSpec) -> OverflowPolicy {
+    match spec {
+        OverflowSpec::Block => OverflowPolicy::Block,
+        OverflowSpec::Reject => OverflowPolicy::Reject,
+        OverflowSpec::Shed => OverflowPolicy::ShedOldest,
+        OverflowSpec::Spill { mem_rows } => OverflowPolicy::Spill {
+            mem_rows: mem_rows as usize,
+        },
+    }
+}
+
+/// Render an engine policy as the manifest's policy string.
+fn policy_manifest_str(policy: OverflowPolicy) -> String {
+    match policy {
+        OverflowPolicy::Block => "block".into(),
+        OverflowPolicy::Reject => "reject".into(),
+        OverflowPolicy::ShedOldest => "shed".into(),
+        OverflowPolicy::Spill { mem_rows } => format!("spill:{mem_rows}"),
+    }
+}
+
+/// Parse a manifest policy string back into the engine policy.
+fn manifest_policy(s: &str) -> Option<OverflowPolicy> {
+    Some(match s {
+        "block" => OverflowPolicy::Block,
+        "reject" => OverflowPolicy::Reject,
+        "shed" => OverflowPolicy::ShedOldest,
+        other => OverflowPolicy::Spill {
+            mem_rows: other.strip_prefix("spill:")?.parse().ok()?,
+        },
+    })
+}
+
+/// Fold a replayed WAL into the basket state it describes: the resident
+/// contents (full width including `ts`), the base oid, and the lifetime
+/// `appended`/`consumed` totals.
+fn apply_wal_records(schema: &Schema, records: Vec<WalRecord>) -> Result<(Chunk, u64, u64, u64)> {
+    let mut columns: Vec<Column> = schema.columns.iter().map(|c| Column::empty(c.ty)).collect();
+    let mut base_oid = 0u64;
+    let mut appended = 0u64;
+    let mut consumed = 0u64;
+    for record in records {
+        match record {
+            WalRecord::Baseline {
+                appended: a,
+                consumed: c,
+                base_oid: b,
+            } => {
+                appended = a;
+                consumed = c;
+                base_oid = b;
+            }
+            WalRecord::Rows(chunk) => {
+                for (acc, col) in columns.iter_mut().zip(&chunk.columns) {
+                    acc.append_column(col).map_err(DataCellError::from)?;
+                }
+                appended += chunk.len() as u64;
+            }
+            WalRecord::TrimTo(oid) => {
+                let len = columns[0].len() as u64;
+                let drop = oid.saturating_sub(base_oid).min(len) as usize;
+                if drop > 0 {
+                    for c in &mut columns {
+                        c.drop_head(drop);
+                    }
+                    base_oid += drop as u64;
+                    consumed += drop as u64;
+                }
+            }
+            WalRecord::Consume(positions) => {
+                let len = columns[0].len();
+                let positions: Vec<usize> = positions
+                    .into_iter()
+                    .map(|p| p as usize)
+                    .filter(|&p| p < len)
+                    .collect();
+                let keep = Candidates::from_sorted_unchecked(positions)
+                    .complement(len)
+                    .to_positions();
+                let removed = len - keep.len();
+                if removed > 0 {
+                    for c in &mut columns {
+                        c.retain_positions(&keep).map_err(DataCellError::from)?;
+                    }
+                    base_oid += removed as u64;
+                    consumed += removed as u64;
+                }
+            }
+        }
+    }
+    Ok((
+        Chunk {
+            schema: schema.clone(),
+            columns,
+        },
+        base_oid,
+        appended,
+        consumed,
+    ))
 }
 
 #[cfg(test)]

@@ -10,6 +10,11 @@
 //! * fields may be double-quoted; inside quotes, commas are literal and
 //!   `""` is an escaped quote — so strings containing the delimiter
 //!   survive the wire;
+//! * inside quotes, backslash escapes carry the line terminators the
+//!   framing reserves: `\n` is a newline, `\r` a carriage return, `\\` a
+//!   literal backslash (an unrecognized escape keeps the backslash
+//!   literally — lenient). Rendering escapes these, so **any** string is
+//!   wire-representable while a rendered row stays a single line;
 //! * whitespace around unquoted fields (including trailing whitespace at
 //!   end of line) is ignored; whitespace inside quotes is preserved;
 //! * the unquoted tokens `nil` and `null` (any case) denote SQL NULL; the
@@ -57,6 +62,25 @@ pub fn split_fields(line: &str) -> Vec<Field> {
                             break;
                         }
                     }
+                    Some('\\') => match chars.peek() {
+                        // The escapes that make line terminators (and the
+                        // escape character itself) wire-representable.
+                        Some('n') => {
+                            text.push('\n');
+                            chars.next();
+                        }
+                        Some('r') => {
+                            text.push('\r');
+                            chars.next();
+                        }
+                        Some('\\') => {
+                            text.push('\\');
+                            chars.next();
+                        }
+                        // Unknown escape: keep the backslash literally
+                        // (lenient, like the unterminated-quote rule).
+                        _ => text.push('\\'),
+                    },
                     Some(c) => text.push(c),
                     None => break, // unterminated quote: lenient
                 }
@@ -127,11 +151,18 @@ fn bad_field(raw: &str, ty: DataType) -> DataCellError {
 }
 
 /// Render one value as a wire field, quoting strings that would otherwise
-/// be ambiguous (embedded comma/quote, outer whitespace, or a bare `nil`).
+/// be ambiguous (embedded comma/quote/newline/backslash, outer
+/// whitespace, or a bare `nil`). Line terminators are backslash-escaped
+/// inside the quotes, so a rendered row is always a single line whatever
+/// the string contains.
 pub fn render_field(v: &Value) -> String {
     match v {
         Value::Str(s) if needs_quoting(s) => {
-            let escaped = s.replace('"', "\"\"");
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\"\"")
+                .replace('\n', "\\n")
+                .replace('\r', "\\r");
             format!("\"{escaped}\"")
         }
         other => other.to_string(),
@@ -142,6 +173,9 @@ fn needs_quoting(s: &str) -> bool {
     s.is_empty()
         || s.contains(',')
         || s.contains('"')
+        || s.contains('\\')
+        || s.contains('\n')
+        || s.contains('\r')
         || s != s.trim()
         || s.eq_ignore_ascii_case("nil")
         || s.eq_ignore_ascii_case("null")
@@ -239,6 +273,28 @@ mod tests {
             let back = parse_tuple(&line, &s).unwrap();
             assert_eq!(back, row, "line was {line:?}");
         }
+    }
+
+    #[test]
+    fn newlines_and_backslashes_roundtrip_on_one_line() {
+        let s = schema(&[DataType::Str, DataType::Str]);
+        let rows = [
+            vec![Value::Str("line1\nline2".into()), Value::Str("\r\n".into())],
+            // A literal backslash-n must stay distinct from a newline.
+            vec![Value::Str("back\\slash".into()), Value::Str("\\n".into())],
+            vec![Value::Str("mix\",\n\\".into()), Value::Str(String::new())],
+        ];
+        for row in rows {
+            let line = render_row(&row);
+            assert!(
+                !line.contains('\n') && !line.contains('\r'),
+                "rendered frame stays a single line: {line:?}"
+            );
+            assert_eq!(parse_tuple(&line, &s).unwrap(), row, "line {line:?}");
+        }
+        // An unrecognized escape keeps its backslash (lenient).
+        let row = parse_tuple(r#""a\x""#, &schema(&[DataType::Str])).unwrap();
+        assert_eq!(row[0], Value::Str("a\\x".into()));
     }
 
     #[test]

@@ -395,12 +395,14 @@ fn serve_stream(
     basket: &str,
 ) {
     // The receptor must stay stop-responsive, so its writer never blocks
-    // inside the engine: `ShedOldest` baskets shed (ingest keeps flowing),
-    // everything else surfaces `Backpressure` that the receptor waits out
-    // in stop-aware slices — which is what stalls the socket end-to-end.
+    // inside the engine: `ShedOldest` baskets shed and `Spill` baskets
+    // move their head to disk (ingest keeps flowing either way — the
+    // engine admits everything), while `Block`/`Reject` surface
+    // `Backpressure` that the receptor waits out in stop-aware slices —
+    // which is what stalls the socket end-to-end.
     let policy = match state.cell.basket(basket) {
         Ok(b) => match b.overflow_policy() {
-            OverflowPolicy::ShedOldest => OverflowPolicy::ShedOldest,
+            OverflowPolicy::ShedOldest | OverflowPolicy::Spill { .. } => OverflowPolicy::ShedOldest,
             OverflowPolicy::Block | OverflowPolicy::Reject => OverflowPolicy::Reject,
         },
         Err(e) => {

@@ -13,13 +13,17 @@ pub enum Statement {
         /// Column definitions.
         columns: Vec<(String, DataType)>,
     },
-    /// `CREATE BASKET name (col type, ...)` — a stream buffer (§2.2).
+    /// `CREATE BASKET name (col type, ...) [CAPACITY n]
+    /// [OVERFLOW BLOCK|REJECT|SHED|SPILL n] [PERSISTENT]` — a stream
+    /// buffer (§2.2) with optional per-basket storage policy.
     CreateBasket {
         /// Basket name.
         name: String,
         /// Column definitions (a `ts` timestamp column is added implicitly
         /// by the DataCell layer if absent).
         columns: Vec<(String, DataType)>,
+        /// Capacity / overflow / durability clauses.
+        options: BasketOptions,
     },
     /// `CREATE CONTINUOUS QUERY name AS select` — registers a factory.
     CreateContinuousQuery {
@@ -75,6 +79,36 @@ pub enum Statement {
     },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
+}
+
+/// Optional storage clauses of `CREATE BASKET` (defaults come from the
+/// session when a clause is absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BasketOptions {
+    /// `CAPACITY n` — tuple capacity; `None` leaves the session default.
+    pub capacity: Option<u64>,
+    /// `OVERFLOW ...` — what producers meet at capacity; `None` leaves the
+    /// session default.
+    pub overflow: Option<OverflowSpec>,
+    /// `PERSISTENT` — appends are WAL-logged and survive restarts.
+    pub persistent: bool,
+}
+
+/// The `OVERFLOW` clause of `CREATE BASKET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowSpec {
+    /// `OVERFLOW BLOCK` — producers wait at capacity.
+    Block,
+    /// `OVERFLOW REJECT` — appends fail at capacity.
+    Reject,
+    /// `OVERFLOW SHED` — the oldest resident tuples are dropped.
+    Shed,
+    /// `OVERFLOW SPILL n` — keep at most `n` tuples in memory; the older
+    /// head is sealed to disk segments and re-read transparently.
+    Spill {
+        /// In-memory tuple budget.
+        mem_rows: u64,
+    },
 }
 
 /// Lifecycle actions for [`Statement::AlterContinuousQuery`].

@@ -174,7 +174,12 @@ impl Parser {
         if self.eat_kw("basket") {
             let name = self.ident()?;
             let columns = self.column_defs()?;
-            return Ok(Statement::CreateBasket { name, columns });
+            let options = self.basket_options()?;
+            return Ok(Statement::CreateBasket {
+                name,
+                columns,
+                options,
+            });
         }
         if self.eat_kw("continuous") {
             self.expect_kw("query")?;
@@ -184,6 +189,48 @@ impl Parser {
             return Ok(Statement::CreateContinuousQuery { name, query });
         }
         Err(self.err_expected("TABLE, BASKET or CONTINUOUS QUERY"))
+    }
+
+    /// Optional `CAPACITY n`, `OVERFLOW BLOCK|REJECT|SHED|SPILL n`, and
+    /// `PERSISTENT` clauses after the column list, in any order.
+    fn basket_options(&mut self) -> Result<crate::ast::BasketOptions> {
+        use crate::ast::OverflowSpec;
+        let mut options = crate::ast::BasketOptions::default();
+        loop {
+            if self.eat_kw("capacity") {
+                options.capacity = Some(self.positive_int("capacity")?);
+            } else if self.eat_kw("overflow") {
+                options.overflow = Some(if self.eat_kw("block") {
+                    OverflowSpec::Block
+                } else if self.eat_kw("reject") {
+                    OverflowSpec::Reject
+                } else if self.eat_kw("shed") {
+                    OverflowSpec::Shed
+                } else if self.eat_kw("spill") {
+                    OverflowSpec::Spill {
+                        mem_rows: self.positive_int("spill budget")?,
+                    }
+                } else {
+                    return Err(self.err_expected("BLOCK, REJECT, SHED or SPILL"));
+                });
+            } else if self.eat_kw("persistent") {
+                options.persistent = true;
+            } else {
+                return Ok(options);
+            }
+        }
+    }
+
+    /// A strictly positive integer literal (capacities, spill budgets).
+    fn positive_int(&mut self, what: &str) -> Result<u64> {
+        match self.peek_kind() {
+            TokenKind::Int(n) if *n > 0 => {
+                let n = *n as u64;
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.err_expected(&format!("positive {what}"))),
+        }
     }
 
     fn column_defs(&mut self) -> Result<Vec<(String, DataType)>> {

@@ -1,0 +1,41 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the segment store and the write-ahead log.
+///
+/// Everything corrupt or truncated surfaces as a *clean error*, never a
+/// panic and never silently-served bad rows: the decoder validates magic
+/// numbers, type tags and CRCs before any value reaches a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure (open/read/write/fsync/rename).
+    Io(String),
+    /// A file failed validation: bad magic, bad CRC, truncated payload,
+    /// or a type tag that does not match the expected schema.
+    Corrupt(String),
+    /// The store was asked for something that does not exist or was used
+    /// inconsistently (unknown segment, schema mismatch, bad manifest).
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(m) => write!(f, "storage io error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::Invalid(m) => write!(f, "invalid storage request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// Result alias for the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,42 @@
+//! # datacell-storage — spill segments and durable baskets on disk
+//!
+//! The storage half of the DataCell claim that *baskets are database
+//! tables*: because a basket is an ordinary columnar table, a run of its
+//! rows can be serialized column-at-a-time into a sealed **segment file**
+//! and read back transparently — which is what lets the engine bound a
+//! basket's resident memory without shedding data
+//! (`OverflowPolicy::Spill`), and rebuild basket contents after a crash
+//! (`Durability::Persistent` + `DataCell::recover`).
+//!
+//! Three layers, all mechanism and no policy:
+//!
+//! * [`codec`] — the length-prefixed per-column payload encoding
+//!   (Int/Float/Bool/Str/Timestamp, nils in-band), shared by segments and
+//!   the WAL;
+//! * [`segment`] / [`wal`] — the two file formats: immutable CRC-checked
+//!   segments sealed with `fsync` + atomic rename, and an append log with
+//!   **group commit** (concurrent committers share one `fdatasync`);
+//! * [`store`] — the directory lifecycle: a root data dir, one
+//!   subdirectory per basket with a `manifest.txt`, and the shared
+//!   counters (`tuples_spilled`, `segments_{written,read,deleted}`,
+//!   `bytes_on_disk`, recovery stats) surfaced through
+//!   `DataCell::metrics()`.
+//!
+//! When to spill, what to trim, and how to replay is decided by the
+//! engine (`datacell::basket` / `DataCell::recover`); see
+//! `docs/storage.md` for the format and the recovery guarantees.
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod segment;
+pub mod store;
+pub mod testutil;
+pub mod wal;
+
+pub use error::{Result, StorageError};
+pub use segment::SegmentMeta;
+pub use store::{
+    BasketManifest, BasketStore, SegmentStore, StorageMetrics, StorageMetricsSnapshot,
+};
+pub use wal::{Wal, WalRecord, WalReplay};

@@ -1,0 +1,40 @@
+//! A tiny self-cleaning temp-dir guard for tests (a `tempfile` stand-in —
+//! the build environment has no registry access).
+//!
+//! Every [`TempDir::new`] gets a unique directory under the OS temp root
+//! (process id + a process-wide counter), so `cargo test -q` stays
+//! parallel-safe; the directory is removed on drop, so test runs leave no
+//! artifacts behind.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `datacell-<label>-<pid>-<n>` under the OS temp directory.
+    pub fn new(label: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("datacell-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

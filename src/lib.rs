@@ -13,6 +13,7 @@ pub use datacell_bat;
 pub use datacell_engine;
 pub use datacell_net;
 pub use datacell_sql;
+pub use datacell_storage;
 pub use linearroad;
 
 pub use datacell::{DataCell, DataCellBuilder, QueryHandle, StreamWriter, Subscription};

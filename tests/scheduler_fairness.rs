@@ -160,12 +160,14 @@ static TIMING: Mutex<()> = Mutex::new(());
 fn drr_serves_both_queries_under_10x_cost_skew() {
     let _serial = TIMING.lock();
     let sched = scheduler();
-    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 2_000 });
-    // Costs sit well above OS scheduling noise (a ~10 ms preemption is one
-    // credit, not fifty), keeping the assertions meaningful on a loaded
-    // machine.
-    let cheap = CostedQuery::new("cheap", Duration::from_micros(500));
-    let heavy = CostedQuery::new("heavy", Duration::from_micros(5_000));
+    // Quantum is a wall-clock share now: 400 µs of busy credit per ms,
+    // per query — together 0.8 cores, so the budget genuinely binds.
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 400 });
+    // Costs sit well above OS scheduling noise (a ~10 ms preemption is a
+    // few credits, not fifty), keeping the assertions meaningful on a
+    // loaded machine.
+    let cheap = CostedQuery::new("cheap", Duration::from_micros(200));
+    let heavy = CostedQuery::new("heavy", Duration::from_micros(2_000));
     sched.add_transition(Arc::clone(&cheap) as _, SchedulePolicy::default());
     sched.add_transition(Arc::clone(&heavy) as _, SchedulePolicy::default());
 
@@ -176,14 +178,14 @@ fn drr_serves_both_queries_under_10x_cost_skew() {
     sched.run_until_quiescent(50);
 
     // Saturate both, then drive a fixed number of passes. Every pass the
-    // cheap query can afford tuples (quantum 2 ms ≫ 500 µs/tuple) while
-    // the heavy one (5 ms/tuple) must save deficit across passes — it
-    // fires roughly every third pass.
+    // cheap query can afford tuples (≥400 µs accrued ≫ 200 µs/tuple)
+    // while the heavy one (2 ms/tuple) must save deficit across passes —
+    // it fires roughly every fifth pass.
     cheap.feed(1_000_000);
     heavy.feed(1_000_000);
     const PASSES: usize = 60;
-    // Nominally the heavy query fires every ~3rd pass (5 ms cost vs
-    // 2 ms/pass accrual); K leaves headroom for preemption noise.
+    // Nominally the heavy query fires every ~5th pass (2 ms cost vs
+    // ≥400 µs/pass accrual); K leaves headroom for preemption noise.
     const K: u64 = 8;
     let cheap_before = cheap.processed();
     let heavy_before = heavy.processed();
@@ -239,9 +241,9 @@ fn budget_blind_transition_pays_overdraft_debt() {
     // is repaid, while the budget-honoring co-tenant fires every pass.
     let _serial = TIMING.lock();
     let sched = scheduler();
-    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 2_000 });
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 400 });
     let blind = CostedQuery::budget_blind("blind", Duration::from_micros(1_000));
-    let cheap = CostedQuery::new("cheap", Duration::from_micros(500));
+    let cheap = CostedQuery::new("cheap", Duration::from_micros(200));
     sched.add_transition(Arc::clone(&blind) as _, SchedulePolicy::default());
     sched.add_transition(Arc::clone(&cheap) as _, SchedulePolicy::default());
     // Warm-up: teach the scheduler both real per-tuple costs, then clear
@@ -259,11 +261,11 @@ fn budget_blind_transition_pays_overdraft_debt() {
 
     const PASSES: usize = 60;
     for _ in 0..PASSES {
-        // Keep the blind transition backlogged with a fixed 20-tuple
-        // (~20 ms) refill so each of its firings overruns the 2 ms
-        // quantum tenfold.
+        // Keep the blind transition backlogged with a fixed 10-tuple
+        // (~10 ms) refill so each of its firings overruns its accrued
+        // credit (≥0.4 ms/pass) many times over.
         if blind.pending.load(Ordering::Relaxed) == 0 {
-            blind.feed(20);
+            blind.feed(10);
         }
         sched.pass();
     }
@@ -276,9 +278,9 @@ fn budget_blind_transition_pays_overdraft_debt() {
         cheap_fired >= (PASSES as u64) * 3 / 5,
         "budget-honoring co-tenant keeps firing: {cheap_fired} of {PASSES}"
     );
-    // Each blind firing costs ~20 ms against a 2 ms accrual, so debt
-    // limits it to roughly every 10th pass. Without overdraft debt it
-    // would fire every pass it is backlogged (~30+ of 60).
+    // Each blind firing costs ~10 ms against a sub-millisecond accrual,
+    // so debt limits it to a handful of firings. Without overdraft debt
+    // it would fire every pass it is backlogged (~30+ of 60).
     assert!(
         blind_fired <= (PASSES as u64) / 4,
         "overdraft debt throttles the budget-blind transition: {blind_fired} firings"
@@ -290,7 +292,9 @@ fn budget_blind_transition_pays_overdraft_debt() {
 fn drr_weights_shift_busy_share() {
     let _serial = TIMING.lock();
     let sched = scheduler();
-    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 500 });
+    // 0.6 + 0.2 cores by weight: scarce enough that the budget binds and
+    // the 3:1 share is the inflow ratio, not the backlog ratio.
+    sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 200 });
     let favored = CostedQuery::new("favored", Duration::from_micros(1_000));
     let normal = CostedQuery::new("normal", Duration::from_micros(1_000));
     sched.add_transition(
@@ -443,6 +447,42 @@ fn ewma_cost_model_tracks_cost_drift() {
     );
     // The backlog is still being served, just in slices.
     assert!(q.processed() > 2_000, "drifted query keeps making progress");
+}
+
+#[test]
+fn drr_credit_tracks_wall_clock_not_pass_rate() {
+    // The PR-3 follow-up pinned: per-pass accrual coupled a query's
+    // credit rate to how often the scheduler passes, so an idle-ish
+    // system passing every 1 ms out-accrued a busy one in wall-clock
+    // terms. Accrual is now `quantum × weight × Δt`: one budget-bound
+    // query driven over the same wall-clock window at *half* the pass
+    // rate must get an (approximately) unchanged share. Under the old
+    // per-pass rule the fast drive processed ~2.3× the slow one.
+    let _serial = TIMING.lock();
+    let run = |pass_period: Duration| -> u64 {
+        let sched = scheduler();
+        // 0.2 cores of credit; each tuple costs 1 ms, so the query is
+        // budget-bound, never backlog-bound.
+        sched.set_fairness(Fairness::DeficitRoundRobin { quantum: 200 });
+        let q = CostedQuery::new("q", Duration::from_millis(1));
+        sched.add_transition(Arc::clone(&q) as _, SchedulePolicy::default());
+        q.feed(1);
+        sched.run_until_quiescent(50); // teach the cost model
+        q.feed(1_000_000);
+        let deadline = Instant::now() + Duration::from_millis(400);
+        while Instant::now() < deadline {
+            sched.pass();
+            std::thread::sleep(pass_period);
+        }
+        q.processed() - 1
+    };
+    let fast = run(Duration::from_millis(2));
+    let slow = run(Duration::from_millis(6));
+    assert!(slow > 0 && fast > 0, "both drives make progress");
+    assert!(
+        fast <= slow.saturating_mul(8) / 5 && slow <= fast.saturating_mul(8) / 5,
+        "shares track wall-clock, not pass rate: fast={fast} slow={slow}"
+    );
 }
 
 #[test]

@@ -8,11 +8,11 @@
 //! values (`render ∘ parse = id`), or subscribers would silently see
 //! different data than the engine produced.
 //!
-//! One deliberate exclusion: raw `\n`/`\r` inside string values are not
-//! round-trippable — the framing is line-based, so an embedded newline
-//! splits the frame (documented in `docs/protocol.md`). The fuzz palette
-//! still includes them to prove the parser survives; only the round-trip
-//! property excludes them.
+//! The framing is line-based, yet **every** string value is
+//! wire-representable: rendering backslash-escapes `\n`/`\r` (and `\\`)
+//! inside quoted fields, so a rendered row is always a single line and
+//! embedded line terminators survive the round trip (documented in
+//! `docs/protocol.md`).
 
 use datacell::error::DataCellError;
 use datacell::text::{parse_tuple, render_row, split_fields};
@@ -22,10 +22,11 @@ use proptest::prelude::*;
 
 /// Characters a round-trippable string value may contain: quoting and
 /// delimiter edge cases, whitespace, `nil` fragments, unicode, controls —
-/// everything except the line terminators the framing reserves.
+/// including the line terminators and the backslash, which the quoted
+/// escape (`\n`, `\r`, `\\`) carries across the line-based framing.
 const VALUE_PALETTE: &[char] = &[
     'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', ',', '"', '\'', 'n', 'i', 'l', 'N', 'U', 'L',
-    '.', '-', '+', 'e', 'é', '→', '\u{1}', '\\', '/', ';', ':', '[', ']', '(', ')',
+    '.', '-', '+', 'e', 'é', '→', '\u{1}', '\\', '/', ';', ':', '[', ']', '(', ')', '\n', '\r',
 ];
 
 /// The full hostile palette for the never-panic property: adds the line
