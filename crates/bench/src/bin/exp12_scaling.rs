@@ -1,0 +1,160 @@
+//! `fig:exp12_scaling` — throughput scaling of the parallel execution
+//! subsystem: aggregate scheduler throughput (input tuples/s summed over
+//! all queries) as the worker pool grows from 1 thread (the historical
+//! sequential pass loop) to the machine's cores.
+//!
+//! Eight independent continuous queries share one scheduler; each joins
+//! its input against an all-matching dimension table, so per-tuple cost is
+//! dominated by CPU work inside the firing — the part the worker pool
+//! parallelizes. Inputs are `ShedOldest`-bounded and fed well above
+//! single-core capacity, so there is always a backlog and measured
+//! throughput reads as *processing capacity*, not offered load. The
+//! admission pass (fairness, budgets, firing locks) stays sequential at
+//! every width; only execution fans out, so near-linear scaling here means
+//! admission is not the bottleneck.
+//!
+//! Emits one machine-readable summary line at the end
+//! (`BENCH_scaling.json: {...}`).
+
+use std::time::{Duration, Instant};
+
+use datacell::DataCell;
+use datacell_bench::{banner, f, TablePrinter};
+
+/// Independent continuous queries (slack above the widest pool, so every
+/// worker always has a distinct firing to run).
+const QUERIES: usize = 8;
+/// Rows in the all-matching dimension table (per-tuple fan-out — the CPU
+/// work each worker performs inside a firing).
+const DIMS: usize = 300;
+/// Offered load per query, tuples/second — far above single-core
+/// capacity, so the backlog never runs dry.
+const RATE: u64 = 200_000;
+/// Input basket bound (ShedOldest: producers never block, an unserved
+/// backlog sheds instead of growing without limit).
+const CAP: usize = 8_000;
+
+fn run(workers: usize, seconds: u64) -> f64 {
+    let cell = DataCell::builder().workers(workers).build();
+
+    cell.execute("create table dims (k int)").unwrap();
+    let values: Vec<String> = (0..DIMS).map(|_| "(1)".to_string()).collect();
+    cell.execute(&format!("insert into dims values {}", values.join(",")))
+        .unwrap();
+
+    let mut names = Vec::new();
+    for i in 0..QUERIES {
+        cell.execute(&format!("create basket b{i} (k int)"))
+            .unwrap();
+        cell.execute(&format!(
+            "create continuous query q{i} as \
+             select count(*) as n from [select * from b{i}] as s join dims d on s.k = d.k"
+        ))
+        .unwrap();
+        cell.basket(&format!("b{i}"))
+            .unwrap()
+            .set_capacity(Some(CAP), datacell::OverflowPolicy::ShedOldest);
+        names.push(format!("q{i}"));
+    }
+
+    // Drain the (one-row-per-firing) aggregate outputs.
+    let drainers: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let sub = cell
+                .subscribe::<Vec<datacell_bat::types::Value>>(n)
+                .unwrap();
+            std::thread::spawn(
+                move || {
+                    while sub.next_timeout(Duration::from_millis(250)).is_ok() {}
+                },
+            )
+        })
+        .collect();
+
+    // Saturating paced producers into the shedding inputs.
+    let stop_feed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let feeders: Vec<_> = (0..QUERIES)
+        .map(|i| {
+            let b = cell.basket(&format!("b{i}")).unwrap();
+            let stop = std::sync::Arc::clone(&stop_feed);
+            std::thread::spawn(move || {
+                use datacell_bat::types::Value;
+                let started = Instant::now();
+                let mut sent = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let due = (started.elapsed().as_secs_f64() * RATE as f64) as u64;
+                    if due > sent {
+                        let n = (due - sent).min(RATE / 50);
+                        let rows: Vec<Vec<Value>> = (0..n).map(|_| vec![Value::Int(1)]).collect();
+                        let _ = b.append_rows(&rows);
+                        sent += n;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        })
+        .collect();
+
+    cell.start();
+    // Warm up: fill the backlogs and let the EWMA cost model settle.
+    std::thread::sleep(Duration::from_secs(1));
+    let t0 = Instant::now();
+    let base = cell.metrics().per_query;
+    std::thread::sleep(Duration::from_secs(seconds));
+    let end = cell.metrics().per_query;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    stop_feed.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in feeders {
+        let _ = h.join();
+    }
+    cell.stop();
+    for d in drainers {
+        let _ = d.join();
+    }
+
+    let sum = |set: &[datacell::SchedulerMetrics]| -> u64 { set.iter().map(|m| m.tuples_in).sum() };
+    (sum(&end) - sum(&base)) as f64 / elapsed
+}
+
+fn main() {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut widths = vec![1usize, 2, 4];
+    if cores > 4 {
+        widths.push(cores);
+    }
+    widths.retain(|&w| w <= cores.max(4));
+    banner(
+        "fig:exp12_scaling",
+        "aggregate scheduler throughput vs worker-pool width: 8 CPU-heavy \
+         continuous queries, saturating ShedOldest-fed inputs",
+        "execution fans out across the pool while admission stays sequential; \
+         near-linear speedup until queries or cores run out",
+    );
+    let table = TablePrinter::new(&["workers", "tuples/s", "speedup vs 1"]);
+    let mut baseline = 0.0;
+    let mut json = Vec::new();
+    for &w in &widths {
+        let rate = run(w, seconds);
+        if w == 1 {
+            baseline = rate;
+        }
+        let speedup = if baseline > 0.0 { rate / baseline } else { 0.0 };
+        table.row(&[w.to_string(), f(rate), format!("{speedup:.2}x")]);
+        json.push(format!(
+            "{{\"workers\":{w},\"tuples_per_sec\":{rate:.0},\"speedup\":{speedup:.2}}}"
+        ));
+    }
+    println!();
+    println!(
+        "BENCH_scaling.json: {{\"experiment\":\"exp12_scaling\",\
+         \"queries\":{QUERIES},\"dims\":{DIMS},\"rate_tps\":{RATE},\
+         \"measured_s\":{seconds},\"cores\":{cores},\"results\":[{}]}}",
+        json.join(",")
+    );
+}

@@ -216,6 +216,10 @@ struct SpillState {
     rows: u64,
     /// Most recently decoded segment, keyed by its base oid.
     cache: Option<(u64, Arc<Chunk>)>,
+    /// A seal is in flight *outside* the basket lock (see
+    /// [`Basket::finish_spill`]): at most one at a time, so concurrent
+    /// appenders don't race to seal overlapping head snapshots.
+    sealing: bool,
 }
 
 impl SpillState {
@@ -225,12 +229,29 @@ impl SpillState {
             segments: VecDeque::new(),
             rows: 0,
             cache: None,
+            sealing: false,
         }
     }
 
     fn head_oid(&self) -> Option<u64> {
         self.segments.front().map(|s| s.base_oid)
     }
+}
+
+/// A head snapshot awaiting its disk seal, produced under the basket lock
+/// by [`Basket::spill_job`] and consumed outside it by
+/// [`Basket::finish_spill`] (publish-then-drop; see there for the epoch
+/// protocol).
+struct SpillJob {
+    store: BasketStore,
+    /// `Inner::base_oid` at snapshot time — the sealed segment's base.
+    base: u64,
+    /// Rows `[0, n)` of the in-memory columns, copied out.
+    chunk: Chunk,
+    /// How many head rows to drop from memory on publication.
+    n: usize,
+    /// `Inner::epoch` at snapshot time; publication requires a match.
+    epoch: u64,
 }
 
 #[derive(Debug)]
@@ -251,6 +272,12 @@ struct Inner {
     spill: Option<SpillState>,
     /// Durability log (attached for [`Durability::Persistent`] baskets).
     wal: Option<Arc<Wal>>,
+    /// Bumped on every head mutation (shed, trim, consume, clear, restore,
+    /// unspill) — anything that invalidates a head snapshot taken for an
+    /// in-flight seal. [`Basket::finish_spill`] publishes its segment only
+    /// if the epoch still matches; otherwise the sealed file is orphaned
+    /// and deleted. Tail appends do *not* bump it.
+    epoch: u64,
 }
 
 impl Inner {
@@ -294,6 +321,7 @@ impl Inner {
             c.drop_head(n);
         }
         self.base_oid += n as u64;
+        self.epoch += 1;
         let base = self.base_oid;
         for rs in self.readers.values_mut() {
             rs.cursor = rs.cursor.max(base);
@@ -383,6 +411,7 @@ impl Basket {
                 stats: BasketStats::default(),
                 spill: None,
                 wal: None,
+                epoch: 0,
             }),
             signal: Arc::new(Signal::new()),
             parent_signal: Mutex::new(None),
@@ -440,6 +469,7 @@ impl Basket {
             let mut inner = self.inner.lock();
             inner.columns = chunk.columns;
             inner.base_oid = base_oid;
+            inner.epoch += 1;
             inner.stats.appended = appended;
             inner.stats.consumed = consumed;
         }
@@ -671,41 +701,91 @@ impl Basket {
         Ok(())
     }
 
-    /// Move the memory head to a sealed segment when the resident count
-    /// exceeds the spill budget. Spills down to *half* the budget so
-    /// segments carry decent runs; a failed seal keeps the rows in memory
-    /// (counted, lossless degradation to an unbounded basket).
-    fn maybe_spill(&self, inner: &mut Inner) {
+    /// Snapshot the over-budget memory head for sealing, **under** the
+    /// basket lock but without touching the disk. Returns `None` when the
+    /// policy is not `Spill`, the budget is respected, or a seal is
+    /// already in flight (at most one at a time). The caller must pass the
+    /// job to [`Basket::finish_spill`] *after dropping the lock* — the
+    /// encode + fsync in `seal_segment` is the slow part, and running it
+    /// outside the lock means a slow disk stalls only the sealing
+    /// appender, not every producer, reader and scheduler pass on the
+    /// basket.
+    fn spill_job(&self, inner: &mut Inner) -> Option<SpillJob> {
         let OverflowPolicy::Spill { mem_rows } = inner.policy else {
-            return;
+            return None;
         };
         let mem_rows = mem_rows.max(1);
-        if inner.spill.is_none() || inner.mem_len() <= mem_rows {
-            return;
+        let sealing = match inner.spill.as_ref() {
+            Some(s) => s.sealing,
+            None => return None,
+        };
+        if sealing || inner.mem_len() <= mem_rows {
+            return None;
         }
         let n = inner.mem_len() - mem_rows / 2;
-        let base = inner.base_oid;
-        let chunk = inner.mem_slice(&self.schema, 0, n);
-        let store = inner.spill.as_ref().expect("checked above").store.clone();
-        match store.seal_segment(base, &chunk) {
-            Ok(meta) => {
-                for c in &mut inner.columns {
-                    c.drop_head(n);
-                }
-                inner.base_oid += n as u64;
-                inner.stats.spilled += n as u64;
-                let spill = inner.spill.as_mut().expect("checked above");
-                spill.rows += meta.rows;
-                spill.segments.push_back(meta);
+        let job = SpillJob {
+            store: inner.spill.as_ref().expect("checked above").store.clone(),
+            base: inner.base_oid,
+            chunk: inner.mem_slice(&self.schema, 0, n),
+            n,
+            epoch: inner.epoch,
+        };
+        inner.spill.as_mut().expect("checked above").sealing = true;
+        Some(job)
+    }
+
+    /// Seal the snapshot taken by [`Basket::spill_job`] — called with the
+    /// basket lock **released** — then re-lock and publish: drop the
+    /// sealed rows from memory and append the segment to the on-disk head.
+    /// Publication is guarded by the epoch: if the head mutated while the
+    /// seal was in flight (a shed, trim, clear, consume or restore), the
+    /// snapshot no longer matches memory, so the sealed file is deleted as
+    /// an orphan and nothing changes — no row is ever lost or duplicated.
+    /// A failed seal keeps the rows in memory (counted, lossless
+    /// degradation to an unbounded basket). Spills down to *half* the
+    /// budget so segments carry decent runs.
+    fn finish_spill(&self, job: SpillJob) {
+        let sealed = job.store.seal_segment(job.base, &job.chunk);
+        let mut orphan = None;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(spill) = inner.spill.as_mut() {
+                spill.sealing = false;
             }
-            Err(e) => {
-                inner.stats.storage_errors += 1;
-                eprintln!(
-                    "basket {}: spill failed, keeping rows in memory: {e}",
-                    self.name
-                );
+            match sealed {
+                Ok(meta) => {
+                    if inner.epoch == job.epoch && inner.spill.is_some() {
+                        debug_assert_eq!(inner.base_oid, job.base);
+                        for c in &mut inner.columns {
+                            c.drop_head(job.n);
+                        }
+                        inner.base_oid += job.n as u64;
+                        inner.stats.spilled += job.n as u64;
+                        let spill = inner.spill.as_mut().expect("checked above");
+                        spill.rows += meta.rows;
+                        spill.segments.push_back(meta);
+                    } else {
+                        // Stale snapshot: the memory head moved under the
+                        // in-flight seal. The rows' fate was decided by
+                        // whoever moved it; the sealed copy is an orphan.
+                        orphan = Some(meta);
+                    }
+                }
+                Err(e) => {
+                    inner.stats.storage_errors += 1;
+                    eprintln!(
+                        "basket {}: spill failed, keeping rows in memory: {e}",
+                        self.name
+                    );
+                }
             }
         }
+        if let Some(meta) = orphan {
+            if let Err(e) = job.store.delete_segment(&meta) {
+                eprintln!("basket {}: deleting orphaned spill segment: {e}", self.name);
+            }
+        }
+        self.notify();
     }
 
     /// Re-apply the spill budget after a bulk restore: recovery
@@ -713,8 +793,13 @@ impl Basket {
     /// `Spill`-policy basket must not keep it there — the excess over
     /// `mem_rows` is sealed straight back to disk.
     pub(crate) fn spill_excess(&self) {
-        let mut inner = self.inner.lock();
-        self.maybe_spill(&mut inner);
+        let job = {
+            let mut inner = self.inner.lock();
+            self.spill_job(&mut inner)
+        };
+        if let Some(job) = job {
+            self.finish_spill(job);
+        }
     }
 
     /// Bring every spilled segment back into memory (exclusive-consumption
@@ -754,6 +839,7 @@ impl Basket {
         }
         inner.columns = columns;
         inner.base_oid = segments[0].base_oid;
+        inner.epoch += 1;
         for meta in &segments {
             if let Err(e) = store.delete_segment(meta) {
                 eprintln!("basket {}: deleting unspilled segment: {e}", self.name);
@@ -880,11 +966,14 @@ impl Basket {
             }
             inner.stats.appended += take as u64;
             let synced = self.log_rows_or_roll_back(&mut inner, take)?;
-            self.maybe_spill(&mut inner);
+            let spill = self.spill_job(&mut inner);
             offset += take;
             let done = offset == rows.len();
             drop(inner);
             self.notify();
+            if let Some(job) = spill {
+                self.finish_spill(job);
+            }
             self.await_durable(synced)?;
             if done {
                 return Ok(());
@@ -986,11 +1075,14 @@ impl Basket {
             }
             inner.stats.appended += take as u64;
             let synced = self.log_rows_or_roll_back(&mut inner, take)?;
-            self.maybe_spill(&mut inner);
+            let spill = self.spill_job(&mut inner);
             offset += take;
             let done = offset == total;
             drop(inner);
             self.notify();
+            if let Some(job) = spill {
+                self.finish_spill(job);
+            }
             self.await_durable(synced)?;
             if done {
                 return Ok(());
@@ -1181,6 +1273,7 @@ impl Basket {
         // and exclusive consumption are not meant to be mixed on one
         // basket, but keep cursors sane by clamping to the new end.
         inner.base_oid += removed as u64;
+        inner.epoch += 1;
         let end = inner.end_oid();
         for rs in inner.readers.values_mut() {
             rs.cursor = rs.cursor.min(end);
@@ -1216,6 +1309,7 @@ impl Basket {
                 c.clear();
             }
             inner.base_oid = end;
+            inner.epoch += 1;
             for rs in inner.readers.values_mut() {
                 rs.cursor = end;
                 rs.inflight.clear();
@@ -1486,6 +1580,7 @@ impl Basket {
                     c.drop_head(drop_n);
                 }
                 inner.base_oid += drop_n as u64;
+                inner.epoch += 1;
             }
             if disk_dropped > 0 || drop_n > 0 {
                 inner.stats.consumed += disk_dropped + drop_n as u64;

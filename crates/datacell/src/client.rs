@@ -94,6 +94,7 @@ pub struct DataCellBuilder {
     pub(crate) overflow: OverflowPolicy,
     pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: bool,
+    pub(crate) workers: usize,
     pub(crate) auto_start: bool,
     pub(crate) listen: Option<String>,
     pub(crate) data_dir: Option<std::path::PathBuf>,
@@ -110,12 +111,29 @@ impl Default for DataCellBuilder {
             overflow: OverflowPolicy::Block,
             subscription_channel: None,
             metrics: false,
+            workers: default_workers(),
             auto_start: false,
             listen: None,
             data_dir: None,
             durability: Durability::Ephemeral,
         }
     }
+}
+
+/// Default worker count: `DATACELL_WORKERS` when set to a positive
+/// integer (the CI pin for deterministic single-core runs), otherwise the
+/// machine's available parallelism, otherwise 1.
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("DATACELL_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl DataCellBuilder {
@@ -203,6 +221,20 @@ impl DataCellBuilder {
     /// [`DataCell::metrics`].
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.metrics = enabled;
+        self
+    }
+
+    /// Worker threads executing factory firings when the scheduler runs in
+    /// the background (clamped to ≥ 1; default: the machine's available
+    /// cores, overridable with the `DATACELL_WORKERS` environment
+    /// variable). With `1` the scheduler keeps the historical sequential
+    /// pass loop — admission and execution on one thread, byte-for-byte
+    /// the old firing order. With more, ready firings are dispatched to a
+    /// work-stealing pool ([`datacell_exec::WorkerPool`]) while the
+    /// admission pass (fairness, budgets, gating) stays sequential; also
+    /// settable at runtime with `SET SCHEDULER WORKERS n` in SQL.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
         self
     }
 

@@ -28,9 +28,12 @@
 //! that slip in (a `ShedOldest` input evicting under pressure) shift the
 //! anchor, so consumption deletes exactly the surviving processed tuples
 //! and never the newer rows that moved into their positions; (b) two
-//! factories never consume the same basket exclusively at the same time by
-//! construction (the scheduler fires a factory at most once concurrently,
-//! and cascades serialize via control tokens).
+//! factories never consume the same basket exclusively at the same time:
+//! the scheduler holds a per-transition firing lock plus the factory's
+//! [`Factory::conflict_basket_names`] keys for the duration of every
+//! firing, so a factory runs at most once concurrently and exclusive
+//! consumers of one basket are serialized even under the parallel worker
+//! pool (cascades additionally serialize via control tokens).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -291,6 +294,25 @@ impl Factory {
     /// Control-output baskets.
     pub fn control_out(&self) -> &[Arc<Basket>] {
         &self.control_out
+    }
+
+    /// Basket names this factory must hold exclusively while firing: its
+    /// exclusive-mode data inputs (a firing snapshots, delivers, then
+    /// *deletes* from them — two concurrent exclusive consumers would
+    /// double-consume) and its control inputs (a firing eats one token).
+    /// Shared-mode inputs are absent: each reader owns a private cursor,
+    /// so concurrent firings of *different* factories over one shared
+    /// basket are safe. The scheduler acquires these keys together with
+    /// the per-transition firing lock before every firing.
+    pub fn conflict_basket_names(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .inputs
+            .iter()
+            .filter(|i| matches!(i.mode, InputMode::Exclusive))
+            .map(|i| i.basket.name().to_string())
+            .collect();
+        keys.extend(self.control_in.iter().map(|c| c.name().to_string()));
+        keys
     }
 
     /// Set the firing threshold.

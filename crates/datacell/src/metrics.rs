@@ -243,6 +243,20 @@ pub struct MetricsSnapshot {
     pub p99_latency_micros: u64,
     /// Scheduler passes executed.
     pub scheduler_passes: u64,
+    /// Scheduler worker threads configured (1 = the sequential pass loop;
+    /// more = the admission/execution split over the work-stealing pool).
+    pub workers: usize,
+    /// Firings dispatched to the parallel worker pool (ever). Zero while
+    /// `workers == 1` even under load: inline firings are not parallel.
+    pub firings_parallel: u64,
+    /// Firings a pool worker took from a sibling's inbox rather than its
+    /// own (ever) — how often work stealing rebalanced a skewed load.
+    pub steals: u64,
+    /// Per-worker busy fraction over the pool's lifetime so far, indexed
+    /// by worker id, each in `[0, 1]` — the worker-sizing signal (all near
+    /// 1.0: add workers or shed load; most near 0.0: pool oversized).
+    /// Empty while the scheduler runs sequentially.
+    pub worker_busy: Vec<f64>,
     /// Factory firings.
     pub factory_firings: u64,
     /// Factory step errors.

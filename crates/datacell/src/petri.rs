@@ -116,6 +116,16 @@ impl PetriNet {
     /// * a place with ≥2 exclusive consumers that are not serialized by
     ///   control tokens — the §2.4 rule that "auxiliary input/output
     ///   baskets are used to regulate when a transition runs".
+    ///
+    /// The second warning is about *determinism*, not safety. At runtime
+    /// the scheduler's firing locks treat every exclusive input (and
+    /// control input) as a conflict key, so two transitions sharing an
+    /// exclusively-consumed place never *step concurrently* — even under
+    /// a multi-worker pool, racing consumers cannot tear each other's
+    /// claims. What the locks do **not** decide is *which* consumer runs
+    /// first, so an un-serialized pair still splits the stream
+    /// nondeterministically; serialize with control tokens when the split
+    /// matters.
     pub fn validate(&self) -> Vec<String> {
         let mut warnings = Vec::new();
         let produced: HashSet<&String> = self.outputs.iter().map(|(_, p)| p).collect();

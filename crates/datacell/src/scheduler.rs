@@ -52,13 +52,38 @@
 //! scheduling delay (time spent ready-but-unfired) and the current
 //! consecutive-skip streak.
 //!
+//! # Parallel execution
+//!
+//! With [`Scheduler::set_workers`]` > 1` the pass loop splits into
+//! *admission* and *execution*: the background thread keeps running the
+//! fairness policy exactly as above — ready checks, DRR credit accrual,
+//! tuple budgets — but instead of firing inline it dispatches each
+//! admitted firing to a work-stealing pool of worker threads
+//! ([`datacell_exec::WorkerPool`]), routed by a stable per-transition
+//! affinity so one query's firings stay on one worker while idle siblings
+//! steal. Budget charging happens at completion from the firing's actual
+//! busy time, so the DRR ledger is identical whether a firing ran inline
+//! or on a worker.
+//!
+//! Safety under parallelism is the **firing-lock protocol**: before any
+//! firing (inline or dispatched), the scheduler atomically acquires the
+//! transition's firing flag *and* its [`Transition::conflict_keys`] (the
+//! basket names the firing consumes exclusively) under one lock; both are
+//! released when the firing completes. A transition therefore never runs
+//! twice concurrently — including against a concurrent
+//! [`Scheduler::run_until_quiescent`] manual drive, which contends on the
+//! same locks — and two exclusive consumers of one basket are serialized.
+//! With `workers == 1` (the default) no pool exists and the pass loop is
+//! the historical sequential sweep, byte-for-byte.
+//!
 //! Two drive modes:
 //! * [`Scheduler::start`] — the production mode: a background thread runs
-//!   the infinite loop;
+//!   the infinite loop (admitting to the worker pool when `workers > 1`);
 //! * [`Scheduler::run_until_quiescent`] — a deterministic single-threaded
 //!   drive for tests and benchmarks (fire until no transition is ready).
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -66,6 +91,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use datacell_engine::Catalog;
+use datacell_exec::{PoolSnapshot, WorkerPool};
 
 use crate::basket::Signal;
 use crate::catalog::StreamCatalog;
@@ -92,6 +118,16 @@ pub trait Transition: Send + Sync {
     /// Subscribe the transition's input baskets to the scheduler's wake-up
     /// signal.
     fn subscribe(&self, signal: Arc<Signal>);
+    /// Basket names this transition consumes *exclusively* while firing.
+    /// The scheduler holds these keys (together with the per-transition
+    /// firing lock) for the duration of every firing, so two transitions
+    /// that would double-consume one basket never run concurrently under
+    /// the parallel worker pool. The default — no keys — is correct for
+    /// cursor-based transitions (shared readers, window evaluators): their
+    /// consumption is private per reader.
+    fn conflict_keys(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl Transition for Factory {
@@ -118,6 +154,10 @@ impl Transition for Factory {
         for c in self.control_in() {
             c.set_parent_signal(Arc::clone(&signal));
         }
+    }
+
+    fn conflict_keys(&self) -> Vec<String> {
+        self.conflict_basket_names()
     }
 }
 
@@ -202,6 +242,13 @@ const ACCRUAL_CAP_MICROS: u64 = 100_000;
 struct Entry {
     factory: Arc<dyn Transition>,
     policy: SchedulePolicy,
+    /// Basket names the transition consumes exclusively while firing
+    /// ([`Transition::conflict_keys`], captured at registration).
+    conflicts: Vec<String>,
+    /// True while a firing of this transition is in flight on any thread.
+    /// Mutated only under [`Shared::firing_keys`], so the flag and the
+    /// conflict-key set always change together.
+    firing: AtomicBool,
     last_fired: Mutex<Option<Instant>>,
     /// Paused transitions are skipped by every pass; their input baskets
     /// keep buffering (the query lifecycle's `pause`/`resume`).
@@ -335,6 +382,9 @@ pub struct SchedulerStats {
     /// Steps deferred because a bounded output basket rejected the batch
     /// (not an error: the step retries once space frees).
     pub deferrals: AtomicU64,
+    /// Firings dispatched to the parallel worker pool (as opposed to run
+    /// inline by the sequential pass loop or a manual drive).
+    pub firings_parallel: AtomicU64,
 }
 
 /// Per-transition scheduling account: how often a factory fired, how much
@@ -381,6 +431,17 @@ struct Shared {
     /// Rotating start offset of the DRR ring, so ties in service order do
     /// not systematically favor earlier registrations.
     ring_head: AtomicU64,
+    /// Conflict keys (basket names) held by in-flight firings. The lock on
+    /// this set is the firing-lock protocol's single point of atomicity:
+    /// an entry's `firing` flag and its keys are acquired and released
+    /// together under it.
+    firing_keys: Mutex<HashSet<String>>,
+    /// Configured worker count; > 1 switches [`Scheduler::start`] to the
+    /// admission/execution split over a work-stealing pool.
+    workers: AtomicUsize,
+    /// The execution pool of the current (or most recent) background run,
+    /// kept after [`Scheduler::stop`] so its counters stay snapshotable.
+    pool: Mutex<Option<Arc<WorkerPool>>>,
 }
 
 /// What happened when the scheduler tried to fire one entry.
@@ -415,9 +476,29 @@ impl Scheduler {
                 stats: SchedulerStats::default(),
                 fairness: Mutex::new(Fairness::default()),
                 ring_head: AtomicU64::new(0),
+                firing_keys: Mutex::new(HashSet::new()),
+                workers: AtomicUsize::new(1),
+                pool: Mutex::new(None),
             }),
             handle: Mutex::new(None),
         }
+    }
+
+    /// Set the worker-thread count used by [`Scheduler::start`] (clamped
+    /// to ≥ 1). With 1 the background loop is the historical sequential
+    /// sweep; with more, admitted firings run on a work-stealing pool. A
+    /// running scheduler is restarted so the new pool size takes effect.
+    pub fn set_workers(&self, workers: usize) {
+        self.shared.workers.store(workers.max(1), Ordering::Relaxed);
+        if self.handle.lock().is_some() {
+            self.stop();
+            self.start();
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.load(Ordering::Relaxed)
     }
 
     /// Switch the pass order policy at runtime (takes effect on the next
@@ -471,9 +552,12 @@ impl Scheduler {
     pub fn add_transition(&self, transition: Arc<dyn Transition>, policy: SchedulePolicy) {
         transition.subscribe(self.signal());
         let mut entries = self.shared.entries.lock();
+        let conflicts = transition.conflict_keys();
         entries.push(Arc::new(Entry {
             factory: transition,
             policy,
+            conflicts,
+            firing: AtomicBool::new(false),
             last_fired: Mutex::new(None),
             paused: AtomicBool::new(false),
             weight: AtomicU32::new(policy.weight.max(1)),
@@ -546,29 +630,154 @@ impl Scheduler {
     /// One scheduling pass under the active [`Fairness`] policy. Returns
     /// the number of firings.
     pub fn pass(&self) -> u64 {
-        Self::pass_shared(&self.shared).0
+        Self::pass_impl(&self.shared, None).0
     }
 
-    /// Runs one pass; returns `(fired, skipped)` where `skipped` counts
-    /// ready transitions held back by their DRR deficit this pass.
-    fn pass_shared(shared: &Shared) -> (u64, u64) {
+    /// Runs one pass; returns `(fired, skipped)` where `fired` counts
+    /// inline firings (or, with a pool, firings *dispatched*) and
+    /// `skipped` counts ready transitions held back this pass — by their
+    /// DRR deficit, or by a firing lock a concurrent drive still holds.
+    fn pass_impl(shared: &Arc<Shared>, pool: Option<&Arc<WorkerPool>>) -> (u64, u64) {
         let fairness = *shared.fairness.lock();
         let entries: Vec<Arc<Entry>> = shared.entries.lock().clone();
         let (fired, skipped) = match fairness {
-            Fairness::Priority => (Self::sweep(shared, &entries), 0),
+            Fairness::Priority => Self::sweep(shared, &entries, pool),
             Fairness::DeficitRoundRobin { quantum } => {
                 // Express tier first (strict priority, unbudgeted), then
                 // the DRR ring over everything at priority ≤ 0.
                 let (strict, ring): (Vec<_>, Vec<_>) =
                     entries.into_iter().partition(|e| e.policy.priority > 0);
-                let fired = Self::sweep(shared, &strict);
-                let (ring_fired, skipped) = Self::serve_ring(shared, &ring, quantum);
-                (fired + ring_fired, skipped)
+                let (fired, express_skipped) = Self::sweep(shared, &strict, pool);
+                let (ring_fired, skipped) = Self::serve_ring(shared, &ring, quantum, pool);
+                (fired + ring_fired, express_skipped + skipped)
             }
         };
         shared.stats.passes.fetch_add(1, Ordering::Relaxed);
-        shared.stats.firings.fetch_add(fired, Ordering::Relaxed);
         (fired, skipped)
+    }
+
+    /// Atomically acquire `entry`'s firing flag plus its conflict keys.
+    /// False when the transition is already firing or any of its keys is
+    /// held by another in-flight firing.
+    fn try_begin_firing(shared: &Shared, entry: &Entry) -> bool {
+        let mut keys = shared.firing_keys.lock();
+        if entry.firing.load(Ordering::Relaxed) {
+            return false;
+        }
+        if entry.conflicts.iter().any(|k| keys.contains(k)) {
+            return false;
+        }
+        entry.firing.store(true, Ordering::Relaxed);
+        for k in &entry.conflicts {
+            keys.insert(k.clone());
+        }
+        true
+    }
+
+    /// Release the firing flag and conflict keys taken by
+    /// [`Scheduler::try_begin_firing`], and wake the scheduler: a firing's
+    /// completion can unblock both conflicting transitions and the
+    /// admission loop's quiescence check.
+    fn end_firing(shared: &Shared, entry: &Entry) {
+        let mut keys = shared.firing_keys.lock();
+        for k in &entry.conflicts {
+            keys.remove(k);
+        }
+        entry.firing.store(false, Ordering::Relaxed);
+        drop(keys);
+        shared.signal.notify();
+    }
+
+    /// Run one admitted firing to completion: step, then (under DRR)
+    /// settle the deficit ledger from the firing's actual busy time, then
+    /// release the firing lock. Runs inline on the pass loop, or on a pool
+    /// worker when the firing was dispatched — the accounting is identical.
+    /// The caller must hold the firing lock ([`Scheduler::try_begin_firing`]).
+    fn execute_firing(
+        shared: &Shared,
+        entry: &Entry,
+        budget: Option<usize>,
+        drr_credit: Option<i64>,
+    ) -> FireResult {
+        let result = Self::fire_entry(shared, entry, budget);
+        if let Some(credit) = drr_credit {
+            match result {
+                FireResult::Fired { busy_micros } => {
+                    // Charge what the firing actually consumed — possibly
+                    // more than the accrued credit (budget overrun): the
+                    // balance goes negative and must be paid back before
+                    // the next service. Unused credit carries forward
+                    // while the query stays backlogged.
+                    let spent = busy_micros.min(i64::MAX as u64) as i64;
+                    let _ = entry.deficit_micros.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |d| Some(d.saturating_sub(spent)),
+                    );
+                }
+                // A deferral is downstream backpressure, not scheduler
+                // starvation: keep (at most) one round's credit for the
+                // retry. Banking more would make every deferred retry
+                // re-execute an ever-growing slice — thrown away at
+                // delivery — and explode into one unbudgeted mega-firing
+                // the moment downstream frees space.
+                FireResult::Deferred | FireResult::Errored => {
+                    let _ = entry.deficit_micros.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |d| Some(d.min(credit)),
+                    );
+                }
+            }
+        }
+        Self::end_firing(shared, entry);
+        result
+    }
+
+    /// Fire (inline) or dispatch (to the pool) one admitted entry whose
+    /// firing lock the caller just acquired. Returns true iff an inline
+    /// firing completed as `Fired` — a dispatched firing always counts
+    /// toward the pass's admitted total instead.
+    fn launch_firing(
+        shared: &Arc<Shared>,
+        pool: Option<&Arc<WorkerPool>>,
+        entry: &Arc<Entry>,
+        budget: Option<usize>,
+        drr_credit: Option<i64>,
+    ) -> bool {
+        match pool {
+            None => matches!(
+                Self::execute_firing(shared, entry, budget, drr_credit),
+                FireResult::Fired { .. }
+            ),
+            Some(pool) => {
+                shared
+                    .stats
+                    .firings_parallel
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let entry = Arc::clone(entry);
+                // Stable per-transition affinity: one query's firings land
+                // on one worker's inbox (cache warmth, and the groundwork
+                // for partitioned baskets with worker affinity) while idle
+                // siblings steal.
+                let affinity = Self::affinity(entry.factory.name());
+                pool.submit(affinity, move || {
+                    Self::execute_firing(&shared, &entry, budget, drr_credit);
+                });
+                true
+            }
+        }
+    }
+
+    /// Stable affinity hash of a transition name (FNV-1a).
+    fn affinity(name: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h as usize
     }
 
     /// True iff the entry is pausable/interval-gated out of this pass.
@@ -589,22 +798,37 @@ impl Scheduler {
     }
 
     /// The historical fixed sweep: fire every ready entry once, unbudgeted,
-    /// in the (priority-sorted) order given.
-    fn sweep(shared: &Shared, entries: &[Arc<Entry>]) -> u64 {
-        let mut fired = 0;
+    /// in the (priority-sorted) order given. An entry whose firing lock is
+    /// held by a concurrent drive or in-flight worker counts as skipped,
+    /// so quiescence loops keep passing until that firing completes.
+    fn sweep(
+        shared: &Arc<Shared>,
+        entries: &[Arc<Entry>],
+        pool: Option<&Arc<WorkerPool>>,
+    ) -> (u64, u64) {
+        let (mut fired, mut skipped) = (0, 0);
         for entry in entries {
             if shared.stop.load(Ordering::Relaxed) {
                 break;
+            }
+            if entry.firing.load(Ordering::Relaxed) {
+                // Already in flight elsewhere: being served, not starved.
+                skipped += 1;
+                continue;
             }
             if Self::gated(entry) || !entry.factory.ready() {
                 entry.note_idle();
                 continue;
             }
-            if let FireResult::Fired { .. } = Self::fire_entry(shared, entry, None) {
+            if !Self::try_begin_firing(shared, entry) {
+                skipped += 1;
+                continue;
+            }
+            if Self::launch_firing(shared, pool, entry, None, None) {
                 fired += 1;
             }
         }
-        fired
+        (fired, skipped)
     }
 
     /// One deficit-round-robin round over the ring: every backlogged member
@@ -613,7 +837,12 @@ impl Scheduler {
     /// `[`[`ACCRUAL_FLOOR_MICROS`]`, `[`ACCRUAL_CAP_MICROS`]`]`) and is
     /// served a tuple budget its credit can buy at its observed per-tuple
     /// cost. Returns `(fired, skipped)`.
-    fn serve_ring(shared: &Shared, ring: &[Arc<Entry>], quantum: u64) -> (u64, u64) {
+    fn serve_ring(
+        shared: &Arc<Shared>,
+        ring: &[Arc<Entry>],
+        quantum: u64,
+        pool: Option<&Arc<WorkerPool>>,
+    ) -> (u64, u64) {
         if ring.is_empty() {
             return (0, 0);
         }
@@ -626,6 +855,14 @@ impl Scheduler {
             let entry = &ring[(head + i) % ring.len()];
             if shared.stop.load(Ordering::Relaxed) {
                 break;
+            }
+            if entry.firing.load(Ordering::Relaxed) {
+                // In flight on a worker or a concurrent drive: being
+                // served right now, not starved — leave the accrual anchor
+                // alone (the elapsed time will mint credit when the firing
+                // completes, Δt-capped) and keep the pass loop alive.
+                skipped += 1;
+                continue;
             }
             if Self::gated(entry) {
                 entry.note_idle();
@@ -676,35 +913,18 @@ impl Scheduler {
                 continue;
             }
             let budget = usize::try_from(budget).unwrap_or(usize::MAX);
-            match Self::fire_entry(shared, entry, Some(budget)) {
-                FireResult::Fired { busy_micros } => {
-                    fired += 1;
-                    // Charge what the firing actually consumed — possibly
-                    // more than the accrued credit (budget overrun): the
-                    // balance goes negative and must be paid back before
-                    // the next service. Unused credit carries forward
-                    // while the query stays backlogged.
-                    let spent = busy_micros.min(i64::MAX as u64) as i64;
-                    let _ = entry.deficit_micros.fetch_update(
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                        |d| Some(d.saturating_sub(spent)),
-                    );
-                }
-                // A deferral is downstream backpressure, not scheduler
-                // starvation: do not count a skip, and keep (at most) one
-                // round's credit for the retry. Banking more would make
-                // every deferred retry re-execute an ever-growing slice —
-                // thrown away at delivery — and explode into one
-                // unbudgeted mega-firing the moment downstream frees
-                // space.
-                FireResult::Deferred | FireResult::Errored => {
-                    let _ = entry.deficit_micros.fetch_update(
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                        |d| Some(d.min(credit)),
-                    );
-                }
+            if !Self::try_begin_firing(shared, entry) {
+                // A conflict key is held by another in-flight firing
+                // (e.g. an exclusive sibling over the same basket): retry
+                // next pass; the accrued credit carries.
+                skipped += 1;
+                continue;
+            }
+            // The deficit settlement — charge actual busy time, or cap at
+            // one round's credit on deferral — happens inside the firing
+            // (inline here, or on the worker that runs it).
+            if Self::launch_firing(shared, pool, entry, Some(budget), Some(credit)) {
+                fired += 1;
             }
         }
         (fired, skipped)
@@ -726,6 +946,7 @@ impl Scheduler {
         match result {
             Ok(out) => {
                 entry.firings.fetch_add(1, Ordering::Relaxed);
+                shared.stats.firings.fetch_add(1, Ordering::Relaxed);
                 entry.record_cost(busy, out.tuples_in);
                 entry
                     .tuples_in
@@ -759,10 +980,16 @@ impl Scheduler {
     /// ready query is still saving up deficit; the drive keeps passing
     /// until no transition is ready *or* skipped, so budgeted backlogs
     /// drain deterministically.
+    ///
+    /// Always fires inline on the calling thread — but through the same
+    /// per-transition firing locks as the background scheduler, so driving
+    /// a started cell cannot double-fire a transition: an entry a
+    /// background worker holds counts as skipped and the drive keeps
+    /// passing until that firing completes.
     pub fn run_until_quiescent(&self, limit: usize) -> u64 {
         let mut total = 0;
         for _ in 0..limit {
-            let (fired, skipped) = Self::pass_shared(&self.shared);
+            let (fired, skipped) = Self::pass_impl(&self.shared, None);
             total += fired;
             if fired == 0 && skipped == 0 {
                 break;
@@ -771,13 +998,26 @@ impl Scheduler {
         total
     }
 
-    /// Start the background scheduling thread (idempotent).
+    /// Start the background scheduling thread (idempotent). With
+    /// [`Scheduler::set_workers`]` > 1` the thread becomes the *admission*
+    /// loop of an admission/execution split: it runs the fairness policy
+    /// and dispatches each admitted firing to a work-stealing pool of that
+    /// many workers.
     pub fn start(&self) {
         let mut handle = self.handle.lock();
         if handle.is_some() {
             return;
         }
         self.shared.stop.store(false, Ordering::Relaxed);
+        let workers = self.shared.workers.load(Ordering::Relaxed).max(1);
+        let pool = if workers > 1 {
+            let pool = Arc::new(WorkerPool::new(workers));
+            *self.shared.pool.lock() = Some(Arc::clone(&pool));
+            Some(pool)
+        } else {
+            *self.shared.pool.lock() = None;
+            None
+        };
         let shared = Arc::clone(&self.shared);
         *handle = Some(
             std::thread::Builder::new()
@@ -785,11 +1025,13 @@ impl Scheduler {
                 .spawn(move || {
                     let mut seen = shared.signal.version();
                     while !shared.stop.load(Ordering::Relaxed) {
-                        let (fired, _skipped) = Self::pass_shared(&shared);
+                        let (fired, _skipped) = Self::pass_impl(&shared, pool.as_ref());
                         if fired == 0 {
-                            // Nothing ready: block until a basket changes.
-                            // The timeout bounds the wait so time-sliced
-                            // policies and stop flags are honoured.
+                            // Nothing ready (or everything admissible is
+                            // already in flight): block until a basket
+                            // changes or a firing completes. The timeout
+                            // bounds the wait so time-sliced policies and
+                            // stop flags are honoured.
                             seen = shared.signal.wait_past(seen, Duration::from_millis(1));
                         } else {
                             seen = shared.signal.version();
@@ -800,13 +1042,31 @@ impl Scheduler {
         );
     }
 
-    /// Stop the background thread and wait for it.
+    /// Stop the background thread and wait for it — and, when a worker
+    /// pool is attached, drain and join the workers too (every already
+    /// admitted firing completes; none is abandoned mid-lock). The pool's
+    /// counters stay snapshotable after stop.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.signal.notify();
         if let Some(h) = self.handle.lock().take() {
             let _ = h.join();
         }
+        if let Some(pool) = self.shared.pool.lock().as_ref() {
+            pool.shutdown();
+        }
+    }
+
+    /// Counters of the execution pool of the current (or most recent)
+    /// parallel run; `None` when the scheduler has only ever run
+    /// sequentially.
+    pub fn exec_snapshot(&self) -> Option<PoolSnapshot> {
+        self.shared.pool.lock().as_ref().map(|p| p.snapshot())
+    }
+
+    /// Firings dispatched to the worker pool (ever).
+    pub fn firings_parallel(&self) -> u64 {
+        self.shared.stats.firings_parallel.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot: (passes, firings, errors).
@@ -1157,5 +1417,106 @@ mod tests {
         input.append_rows(&[vec![Value::Int(50)]]).unwrap();
         assert_eq!(sched.run_until_quiescent(10), 0);
         assert_eq!(input.len(), 1);
+    }
+
+    // ------------------------- parallel execution -------------------------
+
+    #[test]
+    fn workers_default_and_clamp() {
+        let (_, sched) = setup();
+        assert_eq!(sched.workers(), 1, "direct scheduler stays sequential");
+        sched.set_workers(0);
+        assert_eq!(sched.workers(), 1, "clamped to >= 1");
+        sched.set_workers(4);
+        assert_eq!(sched.workers(), 4);
+        assert!(
+            sched.exec_snapshot().is_none(),
+            "no pool until the scheduler runs in the background"
+        );
+    }
+
+    #[test]
+    fn parallel_background_processes_everything() {
+        let (catalog, sched) = setup();
+        sched.set_workers(4);
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.start();
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        let rows: Vec<Vec<Value>> = (0..500).map(|i| vec![Value::Int(i)]).collect();
+        input.append_rows(&rows).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (!input.is_empty() || out.len() < 489) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.stop();
+        assert!(input.is_empty(), "backlog drained");
+        assert_eq!(out.len(), 489, "values 11..500 pass, exactly once");
+        assert!(
+            sched.firings_parallel() >= 1,
+            "firings went through the pool"
+        );
+        let snap = sched.exec_snapshot().expect("pool ran");
+        assert_eq!(snap.workers, 4);
+        assert_eq!(
+            snap.tasks,
+            sched.firings_parallel(),
+            "every dispatched firing was executed"
+        );
+    }
+
+    #[test]
+    fn set_workers_restarts_running_scheduler() {
+        let (catalog, sched) = setup();
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.start();
+        sched.set_workers(2);
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        input.append_rows(&[vec![Value::Int(50)]]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while out.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.stop();
+        assert_eq!(out.len(), 1, "resized scheduler keeps processing");
+        assert_eq!(sched.workers(), 2);
+    }
+
+    #[test]
+    fn manual_drive_and_background_fire_exactly_once() {
+        // Regression for the double-fire race: `run_until_quiescent` on a
+        // cell whose background scheduler is running contends on the same
+        // per-transition firing locks, so a transition never steps twice
+        // concurrently and every input tuple is consumed exactly once.
+        let (catalog, sched) = setup();
+        sched.set_workers(4);
+        sched.add_factory(selection_factory(&catalog, "q"));
+        sched.start();
+        let (input, out) = {
+            let cat = catalog.read();
+            (cat.basket("r").unwrap(), cat.basket("out").unwrap())
+        };
+        // All values pass the predicate, so delivered == appended iff
+        // nothing is lost and nothing fires twice.
+        for batch in 0..20 {
+            let rows: Vec<Vec<Value>> = (0..50)
+                .map(|i| vec![Value::Int(100 + batch * 50 + i)])
+                .collect();
+            input.append_rows(&rows).unwrap();
+            sched.run_until_quiescent(10_000);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (!input.is_empty() || out.len() < 1000) && Instant::now() < deadline {
+            sched.run_until_quiescent(10_000);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.stop();
+        assert!(input.is_empty());
+        assert_eq!(out.len(), 1000, "exactly once across both drivers");
     }
 }

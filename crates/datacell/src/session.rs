@@ -165,6 +165,7 @@ impl DataCell {
         let catalog = Arc::new(RwLock::new(StreamCatalog::new()));
         let scheduler = Scheduler::new(Arc::clone(&catalog));
         scheduler.set_fairness(builder.fairness);
+        scheduler.set_workers(builder.workers);
         crate::clock::init();
         let storage = match &builder.data_dir {
             Some(dir) => Some(Arc::new(SegmentStore::open(dir)?)),
@@ -484,6 +485,16 @@ impl DataCell {
                     "set query {name} weight to {weight}"
                 )))
             }
+            Statement::SetSchedulerWorkers { workers } => {
+                // The parser guarantees workers >= 1. If the scheduler is
+                // running this restarts its background thread (and worker
+                // pool) at the new width; queued firings drain first, so
+                // nothing is lost across the resize.
+                self.scheduler.set_workers(workers as usize);
+                Ok(CellResult::Ack(format!(
+                    "set scheduler workers to {workers}"
+                )))
+            }
             Statement::Explain(q) => {
                 let cat = self.catalog.read();
                 let bound = bind_query(&q, &*cat)?;
@@ -790,8 +801,14 @@ impl DataCell {
             factory_errors: errors,
             factory_deferrals: self.scheduler.deferrals(),
             per_query: self.scheduler.transition_metrics(),
+            workers: self.scheduler.workers(),
+            firings_parallel: self.scheduler.firings_parallel(),
             ..Default::default()
         };
+        if let Some(exec) = self.scheduler.exec_snapshot() {
+            snap.steals = exec.steals;
+            snap.worker_busy = exec.per_worker.iter().map(|w| w.busy_fraction).collect();
+        }
         {
             let cat = self.catalog.read();
             snap.tuples_shed = self.retired_shed.load(Ordering::Relaxed);

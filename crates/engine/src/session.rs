@@ -84,7 +84,8 @@ impl Session {
             Statement::CreateBasket { .. }
             | Statement::CreateContinuousQuery { .. }
             | Statement::AlterContinuousQuery { .. }
-            | Statement::SetQueryWeight { .. } => Err(SqlError::Plan(
+            | Statement::SetQueryWeight { .. }
+            | Statement::SetSchedulerWorkers { .. } => Err(SqlError::Plan(
                 "stream DDL requires a DataCell session (use datacell::DataCell)".into(),
             )),
             Statement::Insert {

@@ -1,0 +1,408 @@
+//! # datacell-exec — the work-stealing execution pool
+//!
+//! The execution half of the scheduler's admission/execution split: the
+//! scheduler (the *policy* layer — DRR or priority admission, tuple
+//! budgets, firing locks) decides *what* may run and hands each admitted
+//! firing to this pool, which decides *where* it runs.
+//!
+//! The layout is one stealable FIFO inbox ([`crossbeam::deque::Injector`])
+//! per worker thread. A submitter routes each task by an *affinity* key
+//! (the scheduler uses a stable per-transition hash, so one transition's
+//! firings land on one inbox and stay cache-warm — the groundwork for
+//! partitioned baskets with worker affinity); an idle worker first drains
+//! its own inbox, then steals from its siblings round-robin. Stealing is
+//! counted per worker, busy time is accounted per worker, and the whole
+//! pool can be snapshotted ([`WorkerPool::snapshot`]) for the session
+//! metrics surface.
+//!
+//! The pool is deliberately generic — it executes `FnOnce()` tasks and
+//! knows nothing about factories, baskets, or budgets — so the dependency
+//! points one way (`datacell` → `datacell-exec`) and the pool is reusable
+//! by any other subsystem that needs bounded, observable parallelism.
+//!
+//! ## Shutdown
+//!
+//! [`WorkerPool::shutdown`] (also run on drop) is *draining*: every task
+//! already submitted still executes before the workers exit. Firings carry
+//! scheduler-side locks that only the task body releases, so dropping a
+//! queued task would wedge the scheduler; a submit that races shutdown is
+//! executed inline on the submitting thread for the same reason.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::Injector;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A versioned wake-up latch: workers park on it when every inbox is
+/// empty, submitters bump it on every push. (The same shape as the
+/// scheduler's basket `Signal`, duplicated here so the dependency between
+/// the crates stays one-way.)
+#[derive(Debug, Default)]
+struct Latch {
+    version: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn notify(&self) {
+        let mut v = self.version.lock().expect("latch poisoned");
+        *v += 1;
+        drop(v);
+        self.cv.notify_all();
+    }
+
+    fn version(&self) -> u64 {
+        *self.version.lock().expect("latch poisoned")
+    }
+
+    /// Wait until the version moves past `seen` (or the timeout elapses);
+    /// returns the current version.
+    fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut v = self.version.lock().expect("latch poisoned");
+        while *v <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(v, deadline - now)
+                .expect("latch poisoned");
+            v = guard;
+        }
+        *v
+    }
+}
+
+/// Per-worker monotone counters.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    /// Tasks this worker completed.
+    tasks: AtomicU64,
+    /// Tasks this worker took from a sibling's inbox.
+    steals: AtomicU64,
+    /// Wall-clock time spent inside task bodies, µs.
+    busy_micros: AtomicU64,
+}
+
+struct PoolShared {
+    /// One stealable FIFO inbox per worker.
+    queues: Vec<Injector<Task>>,
+    per_worker: Vec<WorkerStats>,
+    latch: Latch,
+    stop: AtomicBool,
+    /// Tasks submitted but not yet completed.
+    inflight: AtomicUsize,
+    /// Tasks ever submitted.
+    submitted: AtomicU64,
+}
+
+impl PoolShared {
+    /// Take one task for worker `id`: own inbox first, then the siblings
+    /// round-robin starting past `id`. Returns the task and whether it was
+    /// stolen.
+    fn take(&self, id: usize) -> Option<(Task, bool)> {
+        if let Some(task) = self.queues[id].steal().success() {
+            return Some((task, false));
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            if let Some(task) = self.queues[(id + i) % n].steal().success() {
+                return Some((task, true));
+            }
+        }
+        None
+    }
+}
+
+/// Point-in-time counters of one worker, from [`PoolSnapshot::per_worker`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerSnapshot {
+    /// Tasks this worker completed.
+    pub tasks: u64,
+    /// Tasks this worker stole from a sibling's inbox.
+    pub steals: u64,
+    /// Wall-clock µs spent inside task bodies.
+    pub busy_micros: u64,
+    /// `busy_micros` over the pool's lifetime so far, in `[0, 1]` — the
+    /// worker-sizing signal (every worker near 1.0: add workers or shed
+    /// load; most near 0.0: the pool is oversized).
+    pub busy_fraction: f64,
+}
+
+/// Point-in-time counters of the whole pool ([`WorkerPool::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolSnapshot {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Tasks ever submitted.
+    pub submitted: u64,
+    /// Tasks completed across all workers.
+    pub tasks: u64,
+    /// Cross-worker steals across all workers.
+    pub steals: u64,
+    /// Per-worker accounts, indexed by worker id.
+    pub per_worker: Vec<WorkerSnapshot>,
+}
+
+/// The work-stealing worker pool (see module docs).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` (clamped to ≥ 1) threads named `datacell-worker-N`.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Injector::new()).collect(),
+            per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
+            latch: Latch::default(),
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("datacell-worker-{id}"))
+                    .spawn(move || Self::worker_loop(&shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            started: Instant::now(),
+        }
+    }
+
+    fn worker_loop(shared: &PoolShared, id: usize) {
+        let stats = &shared.per_worker[id];
+        let mut seen = shared.latch.version();
+        loop {
+            match shared.take(id) {
+                Some((task, stolen)) => {
+                    if stolen {
+                        stats.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let started = Instant::now();
+                    task();
+                    stats
+                        .busy_micros
+                        .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    stats.tasks.fetch_add(1, Ordering::Relaxed);
+                    shared.inflight.fetch_sub(1, Ordering::Release);
+                    seen = shared.latch.version();
+                }
+                None => {
+                    // Drain-before-exit: only stop once every inbox has
+                    // been observed empty (a queued firing holds scheduler
+                    // locks that its body must release).
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // The timeout bounds the park so the stop flag is
+                    // honoured even without a final notification.
+                    seen = shared.latch.wait_past(seen, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Submit one task, routed to the inbox `affinity % workers`. A stable
+    /// per-source affinity keeps one source's tasks on one worker (cache
+    /// warmth) while still stealable by idle siblings. After
+    /// [`WorkerPool::shutdown`] the task runs inline on the caller.
+    pub fn submit(&self, affinity: usize, task: impl FnOnce() + Send + 'static) {
+        if self.shared.stop.load(Ordering::Acquire) {
+            // Racing a shutdown: execute rather than strand the task (its
+            // body may hold scheduler-side firing locks).
+            task();
+            return;
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.inflight.fetch_add(1, Ordering::Acquire);
+        self.shared.queues[affinity % self.shared.queues.len()].push(Box::new(task));
+        self.shared.latch.notify();
+    }
+
+    /// Tasks submitted but not yet completed (queued or running).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// Block until every submitted task has completed (bounded by
+    /// `timeout`); returns true when the pool went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.inflight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let lifetime = self.started.elapsed().as_micros().max(1) as f64;
+        let per_worker: Vec<WorkerSnapshot> = self
+            .shared
+            .per_worker
+            .iter()
+            .map(|w| {
+                let busy_micros = w.busy_micros.load(Ordering::Relaxed);
+                WorkerSnapshot {
+                    tasks: w.tasks.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                    busy_micros,
+                    busy_fraction: (busy_micros as f64 / lifetime).min(1.0),
+                }
+            })
+            .collect();
+        PoolSnapshot {
+            workers: self.shared.queues.len(),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            tasks: per_worker.iter().map(|w| w.tasks).sum(),
+            steals: per_worker.iter().map(|w| w.steals).sum(),
+            per_worker,
+        }
+    }
+
+    /// Drain every submitted task, stop the workers, and join them
+    /// (idempotent; also run on drop).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.latch.notify();
+        for handle in self.handles.lock().expect("pool handles").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(Counter::new(0));
+        for i in 0..1000 {
+            let hits = Arc::clone(&hits);
+            pool.submit(i, move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        let snap = pool.snapshot();
+        assert_eq!(snap.workers, 4);
+        assert_eq!(snap.submitted, 1000);
+        assert_eq!(snap.tasks, 1000);
+        assert_eq!(snap.per_worker.len(), 4);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_sibling() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(Counter::new(0));
+        // Everything lands on inbox 0; the other three workers can only
+        // contribute by stealing. The tasks are slow enough that worker 0
+        // cannot drain the inbox alone before a sibling wakes.
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.submit(0, move || {
+                std::thread::sleep(Duration::from_millis(2));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        let snap = pool.snapshot();
+        assert!(snap.steals > 0, "siblings stole from the loaded inbox");
+        assert!(
+            snap.per_worker.iter().filter(|w| w.tasks > 0).count() > 1,
+            "work spread beyond the affinity target: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(Counter::new(0));
+        for i in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.submit(i, move || {
+                std::thread::sleep(Duration::from_micros(300));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // No wait: shutdown must still run everything already submitted.
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.inflight(), 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_runs_inline() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        let hits = Arc::new(Counter::new(0));
+        let h = Arc::clone(&hits);
+        pool.submit(0, move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "ran on the caller");
+    }
+
+    #[test]
+    fn single_worker_pool_preserves_submission_order() {
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..100usize {
+            let order = Arc::clone(&order);
+            pool.submit(i, move || {
+                order.lock().unwrap().push(i);
+            });
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(*order.lock().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn busy_fraction_is_bounded() {
+        let pool = WorkerPool::new(2);
+        for i in 0..16 {
+            pool.submit(i, move || {
+                std::thread::sleep(Duration::from_millis(1));
+            });
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        for w in pool.snapshot().per_worker {
+            assert!((0.0..=1.0).contains(&w.busy_fraction));
+        }
+    }
+}

@@ -1,11 +1,13 @@
-//! API-compatible subset of `crossbeam` (the `channel` module only),
-//! implemented over a mutex-protected deque with a condition variable.
+//! API-compatible subset of `crossbeam` (the `channel` and `deque`
+//! modules), implemented over mutex-protected deques with condition
+//! variables.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors the MPMC channel surface it actually uses: cloneable
+//! workspace vendors the surface it actually uses: cloneable
 //! [`channel::Sender`]/[`channel::Receiver`], `unbounded()`/`bounded()`,
-//! and the `send`/`try_send`/`recv`/`try_recv`/`recv_timeout` methods with
-//! the real crate's error types.
+//! the `send`/`try_send`/`recv`/`try_recv`/`recv_timeout` methods with
+//! the real crate's error types, and the [`deque::Injector`]/[`deque::Steal`]
+//! pair the work-stealing execution pool (`datacell-exec`) is built on.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -498,6 +500,133 @@ pub mod channel {
             }
             got.sort_unstable();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}
+
+pub mod deque {
+    //! The `crossbeam-deque` surface used by the work-stealing pool: a
+    //! shared FIFO [`Injector`] any thread can push to and any thread can
+    //! [`Injector::steal`] from, with the real crate's three-valued
+    //! [`Steal`] result. The lock-free epochs of the real implementation
+    //! are replaced by one mutex per injector — contention on a queue this
+    //! short is a few nanoseconds of critical section, and the scheduler's
+    //! per-worker-injector layout keeps sharing low anyway.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried (the mutex-based
+        /// implementation never produces this, but callers written against
+        /// the real crate must handle it).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some(task)` on success, `None` on `Empty`/`Retry`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// True iff the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO task queue shared between submitters and stealers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Fresh empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Pop the oldest task (FIFO order, like the real crate's
+        /// `steal()` on an injector).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Queued (not yet stolen) tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+
+        /// True iff no task is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert!(inj.steal().is_empty());
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealers_take_each_task_once() {
+            let inj = Arc::new(Injector::new());
+            for i in 0..1000 {
+                inj.push(i);
+            }
+            let stealers: Vec<_> = (0..4)
+                .map(|_| {
+                    let inj = Arc::clone(&inj);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = inj.steal().success() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<i32> = stealers
+                .into_iter()
+                .flat_map(|s| s.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
         }
     }
 }

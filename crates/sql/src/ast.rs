@@ -77,6 +77,14 @@ pub enum Statement {
         /// Requested weight.
         weight: u32,
     },
+    /// `SET SCHEDULER WORKERS n` — resize the scheduler's execution side:
+    /// `1` is the sequential pass loop, more dispatches firings to a
+    /// work-stealing worker pool. The parser rejects non-positive counts,
+    /// so `workers ≥ 1` always holds here.
+    SetSchedulerWorkers {
+        /// Requested worker-thread count.
+        workers: u32,
+    },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
 }
@@ -151,6 +159,7 @@ impl Statement {
                 ..
             } => "RESUME CONTINUOUS QUERY",
             Statement::SetQueryWeight { .. } => "SET QUERY WEIGHT",
+            Statement::SetSchedulerWorkers { .. } => "SET SCHEDULER WORKERS",
             Statement::Explain(_) => "EXPLAIN",
         }
     }

@@ -153,6 +153,9 @@ impl Parser {
             return self.alter_continuous(QueryLifecycle::Resume);
         }
         if self.eat_kw("set") {
+            if self.peek_kw("scheduler") {
+                return self.set_scheduler_workers();
+            }
             return self.set_query_weight();
         }
         if self.eat_kw("explain") {
@@ -361,6 +364,23 @@ impl Parser {
             _ => return Err(self.err_expected("positive integer weight")),
         };
         Ok(Statement::SetQueryWeight { name, weight })
+    }
+
+    /// `SET SCHEDULER WORKERS n` (the `=` is optional, as in `SET QUERY
+    /// WEIGHT`).
+    fn set_scheduler_workers(&mut self) -> Result<Statement> {
+        self.expect_kw("scheduler")?;
+        self.expect_kw("workers")?;
+        self.eat_if(&TokenKind::Eq);
+        let workers = match self.peek_kind() {
+            TokenKind::Int(v) if *v >= 1 && *v <= u32::MAX as i64 => {
+                let n = *v as u32;
+                self.advance();
+                n
+            }
+            _ => return Err(self.err_expected("positive integer worker count")),
+        };
+        Ok(Statement::SetSchedulerWorkers { workers })
     }
 
     // ---------------- queries ----------------
@@ -1153,6 +1173,24 @@ mod tests {
         assert!(parse("set query weight cq = 1.5").is_err());
         assert!(parse("set weight cq = 1").is_err());
         assert!(parse("set query weight = 1").is_err());
+    }
+
+    #[test]
+    fn set_scheduler_workers() {
+        assert_eq!(
+            parse("set scheduler workers = 4").unwrap(),
+            Statement::SetSchedulerWorkers { workers: 4 }
+        );
+        // The `=` is optional; case-insensitive keywords as elsewhere.
+        assert_eq!(
+            parse("SET SCHEDULER WORKERS 2").unwrap(),
+            Statement::SetSchedulerWorkers { workers: 2 }
+        );
+        assert!(parse("set scheduler workers = 0").is_err(), "workers >= 1");
+        assert!(parse("set scheduler workers = -1").is_err());
+        assert!(parse("set scheduler workers = 2.5").is_err());
+        assert!(parse("set scheduler workers").is_err());
+        assert!(parse("set workers 4").is_err());
     }
 
     #[test]

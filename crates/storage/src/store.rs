@@ -265,6 +265,7 @@ impl SegmentStore {
             name: name.to_string(),
             dir,
             metrics: Arc::clone(&self.metrics),
+            seal_delay_micros: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -295,6 +296,11 @@ pub struct BasketStore {
     name: String,
     dir: PathBuf,
     metrics: Arc<StorageMetrics>,
+    /// Artificial delay injected before every [`BasketStore::seal_segment`]
+    /// write, in microseconds. Zero (the default) is free; tests use it to
+    /// simulate a slow disk and pin down what a stalled seal may and may
+    /// not block. Shared across clones, like the metrics.
+    seal_delay_micros: Arc<AtomicU64>,
 }
 
 impl BasketStore {
@@ -337,9 +343,21 @@ impl BasketStore {
         }
     }
 
+    /// Inject an artificial delay before every subsequent
+    /// [`BasketStore::seal_segment`] write on this store and its clones —
+    /// a slow-disk simulation for tests.
+    pub fn set_seal_delay(&self, delay: std::time::Duration) {
+        self.seal_delay_micros
+            .store(delay.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// Seal `chunk` (full basket width including `ts`) as the segment
     /// starting at `base_oid`.
     pub fn seal_segment(&self, base_oid: u64, chunk: &Chunk) -> Result<SegmentMeta> {
+        let delay = self.seal_delay_micros.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
         let meta = segment::write_segment(&self.dir, base_oid, chunk)?;
         self.metrics
             .tuples_spilled

@@ -147,6 +147,121 @@ fn exclusive_snapshot_stitches_spilled_head_back() {
 }
 
 #[test]
+fn slow_disk_seal_blocks_only_the_sealing_appender() {
+    // Regression: the spill seal (segment encode + fsync) used to run
+    // under the basket lock, so a slow disk stalled every producer and
+    // reader on the basket. The seal now runs outside the lock
+    // (publish-then-drop): while one appender sits in a 400ms-injected
+    // seal, other appends and claims on the same basket complete fast.
+    let dir = TempDir::new("slow-seal");
+    let store = SegmentStore::open(dir.path()).unwrap();
+    let basket = Arc::new(
+        Basket::bounded(
+            "b",
+            int_schema(),
+            None,
+            OverflowPolicy::Spill { mem_rows: 100 },
+        )
+        .unwrap(),
+    );
+    let bs = store.basket("b").unwrap();
+    bs.set_seal_delay(Duration::from_millis(400));
+    basket.attach_storage(bs, None);
+    let reader = basket.register_reader(true);
+
+    // The sealing appender: crosses the memory budget, so its append
+    // carries the (delayed) seal and takes >= 400ms.
+    let sealer = {
+        let basket = Arc::clone(&basket);
+        std::thread::spawn(move || push_ints(&basket, 0..150))
+    };
+    // Rows become visible (and the seal goes in flight) before the seal
+    // completes: wait for them, then race the in-flight seal.
+    let t0 = std::time::Instant::now();
+    while basket.len() < 150 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "appender stuck");
+        std::thread::yield_now();
+    }
+    let t1 = std::time::Instant::now();
+    push_ints(&basket, 1000..1010);
+    let (chunk, start, end) = basket.claim_for_reader(reader, 20);
+    assert_eq!(ints_of(&chunk), (0..20).collect::<Vec<i64>>());
+    assert!(
+        t1.elapsed() < Duration::from_millis(200),
+        "concurrent append + claim waited on the in-flight seal: {:?}",
+        t1.elapsed()
+    );
+    sealer.join().unwrap();
+    // Committing *after* the seal: a commit trims the consumed head,
+    // which would bump the epoch and (correctly) abort the in-flight
+    // seal — here we want the publication path.
+    basket.commit_claim(reader, start, end);
+
+    // Nothing lost or duplicated across the concurrent seal: the
+    // remaining drain yields exactly the unclaimed suffix, in order.
+    let mut got = Vec::new();
+    while got.len() < 140 {
+        let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
+        assert!(end > start, "claim makes progress ({} so far)", got.len());
+        got.extend(ints_of(&chunk));
+        basket.commit_claim(reader, start, end);
+    }
+    let want: Vec<i64> = (20..150).chain(1000..1010).collect();
+    assert_eq!(got, want);
+    assert!(basket.stats().spilled >= 1, "the delayed seal published");
+}
+
+#[test]
+fn stale_seal_is_orphaned_not_published() {
+    // A head mutation (here: `clear`) racing an in-flight seal bumps the
+    // basket epoch, so the late-finishing seal must discard its segment
+    // as an orphan instead of resurrecting cleared rows.
+    let dir = TempDir::new("slow-seal-abort");
+    let store = SegmentStore::open(dir.path()).unwrap();
+    let basket = Arc::new(
+        Basket::bounded(
+            "b",
+            int_schema(),
+            None,
+            OverflowPolicy::Spill { mem_rows: 50 },
+        )
+        .unwrap(),
+    );
+    let bs = store.basket("b").unwrap();
+    bs.set_seal_delay(Duration::from_millis(400));
+    basket.attach_storage(bs, None);
+    let reader = basket.register_reader(true);
+
+    let sealer = {
+        let basket = Arc::clone(&basket);
+        std::thread::spawn(move || push_ints(&basket, 0..200))
+    };
+    let t0 = std::time::Instant::now();
+    while basket.len() < 200 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "appender stuck");
+        std::thread::yield_now();
+    }
+    // Seal in flight (sleeping in the injected delay): clear the basket.
+    assert_eq!(basket.clear(), 200);
+    sealer.join().unwrap();
+
+    assert_eq!(basket.len(), 0, "cleared rows must not come back");
+    assert_eq!(basket.spilled_len(), 0);
+    let m = store.metrics_snapshot();
+    assert_eq!(
+        m.segments_deleted, m.segments_written,
+        "the stale segment was deleted as an orphan"
+    );
+    assert_eq!(m.bytes_on_disk, 0);
+
+    // The basket stays fully serviceable afterwards.
+    push_ints(&basket, 500..510);
+    let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
+    assert_eq!(ints_of(&chunk), (500..510).collect::<Vec<i64>>());
+    basket.commit_claim(reader, start, end);
+}
+
+#[test]
 fn corrupt_segment_withholds_rows_cleanly() {
     let dir = TempDir::new("spill-corrupt");
     let (basket, _store) = spill_basket(&dir, 10);
