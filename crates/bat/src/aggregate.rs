@@ -3,13 +3,22 @@
 //! Nil values are skipped (SQL semantics): `COUNT(col)` counts non-nil rows,
 //! `SUM`/`MIN`/`MAX`/`AVG` over an all-nil (or empty) input yield nil.
 //! Integer sums overflow-check and report rather than wrap.
+//!
+//! Int/timestamp and float columns take single-pass specialized folds over
+//! the candidate view — no per-row [`Value`] boxing and no materialized
+//! position vector (dense candidates fold over a contiguous slice). Nil
+//! handling rides the sentinel encoding: for `MAX` the int nil (`i64::MIN`)
+//! can never win, for `MIN` it is remapped to `i64::MAX`, and float min/max
+//! fold on total-order keys with NaN mapped to the key domain's identity.
+//! Bool/str columns (and the float-sum-free timestamp `AVG`) keep the
+//! [`Accumulator`] path.
 
 use crate::bat::Bat;
-use crate::candidates::Candidates;
+use crate::candidates::{CandView, Candidates};
 use crate::column::Column;
 use crate::error::{BatError, Result};
 use crate::group::Grouping;
-use crate::types::{is_nil_float, is_nil_int, DataType, Value};
+use crate::types::{is_nil_int, nil_float, total_key, DataType, Value, NIL_INT};
 
 /// Aggregate functions supported by the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -172,74 +181,418 @@ impl Accumulator {
     }
 }
 
+/// Fold every candidate value through `f`. Dense candidates fold over a
+/// contiguous sub-slice (vectorizable for branchless accumulators); position
+/// lists gather.
+#[inline]
+fn fold<T: Copy, A>(vals: &[T], sel: &CandView<'_>, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+    match sel {
+        CandView::Dense(r) => vals[r.clone()].iter().fold(init, |a, &v| f(a, v)),
+        CandView::Positions(p) => p.iter().fold(init, |a, &i| f(a, vals[i])),
+    }
+}
+
+/// Fallible variant of [`fold`] (integer sums can overflow).
+#[inline]
+fn try_fold<T: Copy, A>(
+    vals: &[T],
+    sel: &CandView<'_>,
+    init: A,
+    mut f: impl FnMut(A, T) -> Result<A>,
+) -> Result<A> {
+    match sel {
+        CandView::Dense(r) => vals[r.clone()].iter().try_fold(init, |a, &v| f(a, v)),
+        CandView::Positions(p) => p.iter().try_fold(init, |a, &i| f(a, vals[i])),
+    }
+}
+
+/// Wrap an i64 aggregate result in the column's logical type.
+fn int_val(ty: DataType, v: i64) -> Value {
+    if ty == DataType::Timestamp {
+        Value::Timestamp(v)
+    } else {
+        Value::Int(v)
+    }
+}
+
+/// Inverse of [`total_key`] (the key transform is an involution on bits).
+#[inline]
+fn from_total_key(k: i64) -> f64 {
+    f64::from_bits((k ^ (((k >> 63) as u64) >> 1) as i64) as u64)
+}
+
+fn int_scalar(func: AggFunc, v: &[i64], sel: &CandView<'_>, ty: DataType) -> Result<Value> {
+    Ok(match func {
+        AggFunc::Count { star: true } => Value::Int(sel.len() as i64),
+        AggFunc::Count { star: false } => {
+            Value::Int(fold(v, sel, 0i64, |a, x| a + !is_nil_int(x) as i64))
+        }
+        AggFunc::Sum => {
+            // Running checked sum: an intermediate overflow errors even if a
+            // later value would bring the total back in range (the same
+            // behavior as the scalar reference).
+            let (sum, any) = try_fold(v, sel, (0i64, false), |(s, any), x| {
+                if is_nil_int(x) {
+                    Ok((s, any))
+                } else {
+                    Ok((s.checked_add(x).ok_or(BatError::Overflow("sum"))?, true))
+                }
+            })?;
+            if any {
+                Value::Int(sum)
+            } else {
+                Value::Nil
+            }
+        }
+        AggFunc::Min => {
+            // Remap nil (i64::MIN) to i64::MAX so it can never win the min.
+            let (m, cnt) = fold(v, sel, (i64::MAX, 0u64), |(m, c), x| {
+                let k = if is_nil_int(x) { i64::MAX } else { x };
+                (m.min(k), c + !is_nil_int(x) as u64)
+            });
+            if cnt == 0 {
+                Value::Nil
+            } else {
+                int_val(ty, m)
+            }
+        }
+        AggFunc::Max => {
+            // Nil is i64::MIN — it can never win the max, so no remap needed.
+            let (m, cnt) = fold(v, sel, (NIL_INT, 0u64), |(m, c), x| {
+                (m.max(x), c + !is_nil_int(x) as u64)
+            });
+            if cnt == 0 {
+                Value::Nil
+            } else {
+                int_val(ty, m)
+            }
+        }
+        AggFunc::Avg => {
+            let (s, c) = fold(v, sel, (0f64, 0u64), |(s, c), x| {
+                if is_nil_int(x) {
+                    (s, c)
+                } else {
+                    (s + x as f64, c + 1)
+                }
+            });
+            if c == 0 {
+                Value::Nil
+            } else {
+                Value::Float(s / c as f64)
+            }
+        }
+    })
+}
+
+fn float_scalar(func: AggFunc, v: &[f64], sel: &CandView<'_>) -> Result<Value> {
+    Ok(match func {
+        AggFunc::Count { star: true } => Value::Int(sel.len() as i64),
+        AggFunc::Count { star: false } => {
+            Value::Int(fold(v, sel, 0i64, |a, x| a + !x.is_nan() as i64))
+        }
+        AggFunc::Sum => {
+            // Sequential accumulation in candidate order: bit-identical to
+            // the scalar reference (float addition is not reassociated).
+            let (sum, any) = fold(v, sel, (0f64, false), |(s, any), x| {
+                if x.is_nan() {
+                    (s, any)
+                } else {
+                    (s + x, true)
+                }
+            });
+            if any {
+                Value::Float(sum)
+            } else {
+                Value::Nil
+            }
+        }
+        AggFunc::Min => {
+            // Fold on total-order keys (-0.0 < 0.0, like the Value fold);
+            // NaN maps to the fold identity.
+            let (mk, cnt) = fold(v, sel, (i64::MAX, 0u64), |(mk, c), x| {
+                let nn = !x.is_nan();
+                let k = if nn { total_key(x) } else { i64::MAX };
+                (mk.min(k), c + nn as u64)
+            });
+            if cnt == 0 {
+                Value::Nil
+            } else {
+                Value::Float(from_total_key(mk))
+            }
+        }
+        AggFunc::Max => {
+            let (mk, cnt) = fold(v, sel, (i64::MIN, 0u64), |(mk, c), x| {
+                let nn = !x.is_nan();
+                let k = if nn { total_key(x) } else { i64::MIN };
+                (mk.max(k), c + nn as u64)
+            });
+            if cnt == 0 {
+                Value::Nil
+            } else {
+                Value::Float(from_total_key(mk))
+            }
+        }
+        AggFunc::Avg => {
+            let (s, c) = fold(v, sel, (0f64, 0u64), |(s, c), x| {
+                if x.is_nan() {
+                    (s, c)
+                } else {
+                    (s + x, c + 1)
+                }
+            });
+            if c == 0 {
+                Value::Nil
+            } else {
+                Value::Float(s / c as f64)
+            }
+        }
+    })
+}
+
 /// Aggregate `bat` (restricted to `cand`) to a single value.
 pub fn scalar_agg(func: AggFunc, bat: &Bat, cand: Option<&Candidates>) -> Result<Value> {
-    // Fast numeric paths avoid Value boxing for the hot types.
-    match (bat.tail(), func) {
-        (Column::Int(v) | Column::Timestamp(v), AggFunc::Sum) => {
-            let mut sum = 0i64;
-            let mut any = false;
-            for p in iter_rows(bat.len(), cand)? {
-                let x = v[p];
+    let sel = Candidates::resolve(cand, bat.len())?;
+    match bat.tail() {
+        Column::Int(v) => int_scalar(func, v, &sel, DataType::Int),
+        // Timestamp AVG historically never fed the float sum (Value::as_float
+        // rejects timestamps), so it keeps the Accumulator path verbatim.
+        Column::Timestamp(v) if func != AggFunc::Avg => {
+            int_scalar(func, v, &sel, DataType::Timestamp)
+        }
+        Column::Float(v) => float_scalar(func, v, &sel),
+        _ => {
+            let mut acc = Accumulator::new();
+            match sel {
+                CandView::Dense(r) => {
+                    for p in r {
+                        acc.update(&bat.get(p)?);
+                    }
+                }
+                CandView::Positions(ps) => {
+                    for &p in ps {
+                        acc.update(&bat.get(p)?);
+                    }
+                }
+            }
+            acc.finish(func, bat.data_type())
+        }
+    }
+}
+
+fn int_grouped(func: AggFunc, v: &[i64], g: &Grouping, ty: DataType) -> Result<Column> {
+    let n = g.n_groups;
+    let rows = || g.rows.iter().enumerate().map(|(i, &p)| (g.ids[i], v[p]));
+    Ok(match func {
+        AggFunc::Count { star: true } => {
+            let mut cnt = vec![0i64; n];
+            for (gid, _) in rows() {
+                cnt[gid] += 1;
+            }
+            Column::Int(cnt)
+        }
+        AggFunc::Count { star: false } => {
+            let mut cnt = vec![0i64; n];
+            for (gid, x) in rows() {
+                cnt[gid] += !is_nil_int(x) as i64;
+            }
+            Column::Int(cnt)
+        }
+        AggFunc::Sum => {
+            let mut sum = vec![0i64; n];
+            let mut any = vec![false; n];
+            for (gid, x) in rows() {
                 if !is_nil_int(x) {
-                    sum = sum.checked_add(x).ok_or(BatError::Overflow("sum"))?;
-                    any = true;
+                    sum[gid] = sum[gid].checked_add(x).ok_or(BatError::Overflow("sum"))?;
+                    any[gid] = true;
                 }
             }
-            return Ok(if any { Value::Int(sum) } else { Value::Nil });
+            Column::Int(
+                sum.iter()
+                    .zip(&any)
+                    .map(|(&s, &a)| if a { s } else { NIL_INT })
+                    .collect(),
+            )
         }
-        (Column::Float(v), AggFunc::Sum) => {
-            let mut sum = 0f64;
-            let mut any = false;
-            for p in iter_rows(bat.len(), cand)? {
-                let x = v[p];
-                if !is_nil_float(x) {
-                    sum += x;
-                    any = true;
+        AggFunc::Min => {
+            let mut m = vec![i64::MAX; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                let k = if is_nil_int(x) { i64::MAX } else { x };
+                m[gid] = m[gid].min(k);
+                cnt[gid] += !is_nil_int(x) as u64;
+            }
+            let vals = m
+                .iter()
+                .zip(&cnt)
+                .map(|(&x, &c)| if c == 0 { NIL_INT } else { x })
+                .collect();
+            if ty == DataType::Timestamp {
+                Column::Timestamp(vals)
+            } else {
+                Column::Int(vals)
+            }
+        }
+        AggFunc::Max => {
+            let mut m = vec![NIL_INT; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                m[gid] = m[gid].max(x);
+                cnt[gid] += !is_nil_int(x) as u64;
+            }
+            let vals = m
+                .iter()
+                .zip(&cnt)
+                .map(|(&x, &c)| if c == 0 { NIL_INT } else { x })
+                .collect();
+            if ty == DataType::Timestamp {
+                Column::Timestamp(vals)
+            } else {
+                Column::Int(vals)
+            }
+        }
+        AggFunc::Avg => {
+            let mut sum = vec![0f64; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                if !is_nil_int(x) {
+                    sum[gid] += x as f64;
+                    cnt[gid] += 1;
                 }
             }
-            return Ok(if any { Value::Float(sum) } else { Value::Nil });
+            Column::Float(
+                sum.iter()
+                    .zip(&cnt)
+                    .map(|(&s, &c)| if c == 0 { nil_float() } else { s / c as f64 })
+                    .collect(),
+            )
         }
-        _ => {}
-    }
-    let mut acc = Accumulator::new();
-    for p in iter_rows(bat.len(), cand)? {
-        acc.update(&bat.get(p)?);
-    }
-    acc.finish(func, bat.data_type())
+    })
+}
+
+fn float_grouped(func: AggFunc, v: &[f64], g: &Grouping) -> Result<Column> {
+    let n = g.n_groups;
+    let rows = || g.rows.iter().enumerate().map(|(i, &p)| (g.ids[i], v[p]));
+    Ok(match func {
+        AggFunc::Count { star: true } => {
+            let mut cnt = vec![0i64; n];
+            for (gid, _) in rows() {
+                cnt[gid] += 1;
+            }
+            Column::Int(cnt)
+        }
+        AggFunc::Count { star: false } => {
+            let mut cnt = vec![0i64; n];
+            for (gid, x) in rows() {
+                cnt[gid] += !x.is_nan() as i64;
+            }
+            Column::Int(cnt)
+        }
+        AggFunc::Sum => {
+            let mut sum = vec![0f64; n];
+            let mut any = vec![false; n];
+            for (gid, x) in rows() {
+                if !x.is_nan() {
+                    sum[gid] += x;
+                    any[gid] = true;
+                }
+            }
+            Column::Float(
+                sum.iter()
+                    .zip(&any)
+                    .map(|(&s, &a)| if a { s } else { nil_float() })
+                    .collect(),
+            )
+        }
+        AggFunc::Min => {
+            let mut mk = vec![i64::MAX; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                let nn = !x.is_nan();
+                let k = if nn { total_key(x) } else { i64::MAX };
+                mk[gid] = mk[gid].min(k);
+                cnt[gid] += nn as u64;
+            }
+            Column::Float(
+                mk.iter()
+                    .zip(&cnt)
+                    .map(|(&k, &c)| {
+                        if c == 0 {
+                            nil_float()
+                        } else {
+                            from_total_key(k)
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        AggFunc::Max => {
+            let mut mk = vec![i64::MIN; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                let nn = !x.is_nan();
+                let k = if nn { total_key(x) } else { i64::MIN };
+                mk[gid] = mk[gid].max(k);
+                cnt[gid] += nn as u64;
+            }
+            Column::Float(
+                mk.iter()
+                    .zip(&cnt)
+                    .map(|(&k, &c)| {
+                        if c == 0 {
+                            nil_float()
+                        } else {
+                            from_total_key(k)
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        AggFunc::Avg => {
+            let mut sum = vec![0f64; n];
+            let mut cnt = vec![0u64; n];
+            for (gid, x) in rows() {
+                if !x.is_nan() {
+                    sum[gid] += x;
+                    cnt[gid] += 1;
+                }
+            }
+            Column::Float(
+                sum.iter()
+                    .zip(&cnt)
+                    .map(|(&s, &c)| if c == 0 { nil_float() } else { s / c as f64 })
+                    .collect(),
+            )
+        }
+    })
 }
 
 /// Grouped aggregation: one output value per group of `grouping`, in group
 /// id order. The `bat` must cover the positions in `grouping.rows`.
 pub fn grouped_agg(func: AggFunc, bat: &Bat, grouping: &Grouping) -> Result<Column> {
-    let mut accs = vec![Accumulator::new(); grouping.n_groups];
-    for (i, &p) in grouping.rows.iter().enumerate() {
-        if p >= bat.len() {
-            return Err(BatError::PositionOutOfRange {
-                pos: p,
-                len: bat.len(),
-            });
+    if let Some(&bad) = grouping.rows.iter().find(|&&p| p >= bat.len()) {
+        return Err(BatError::PositionOutOfRange {
+            pos: bad,
+            len: bat.len(),
+        });
+    }
+    match bat.tail() {
+        Column::Int(v) => int_grouped(func, v, grouping, DataType::Int),
+        Column::Timestamp(v) if func != AggFunc::Avg => {
+            int_grouped(func, v, grouping, DataType::Timestamp)
         }
-        accs[grouping.ids[i]].update(&bat.get(p)?);
-    }
-    let out_ty = func.output_type(bat.data_type());
-    let mut col = Column::with_capacity(out_ty, grouping.n_groups);
-    for acc in &accs {
-        let v = acc.finish(func, bat.data_type())?;
-        col.push(&v)?;
-    }
-    Ok(col)
-}
-
-fn iter_rows(len: usize, cand: Option<&Candidates>) -> Result<Vec<usize>> {
-    match cand {
-        None => Ok((0..len).collect()),
-        Some(c) => {
-            let rows = c.to_positions();
-            if let Some(&bad) = rows.iter().find(|&&p| p >= len) {
-                return Err(BatError::PositionOutOfRange { pos: bad, len });
+        Column::Float(v) => float_grouped(func, v, grouping),
+        _ => {
+            let mut accs = vec![Accumulator::new(); grouping.n_groups];
+            for (i, &p) in grouping.rows.iter().enumerate() {
+                accs[grouping.ids[i]].update(&bat.get(p)?);
             }
-            Ok(rows)
+            let out_ty = func.output_type(bat.data_type());
+            let mut col = Column::with_capacity(out_ty, grouping.n_groups);
+            for acc in &accs {
+                let v = acc.finish(func, bat.data_type())?;
+                col.push(&v)?;
+            }
+            Ok(col)
         }
     }
 }
@@ -301,6 +654,51 @@ mod tests {
     }
 
     #[test]
+    fn float_min_max_total_order() {
+        let b = Bat::from_floats(vec![0.0, -0.0, f64::NAN, 1.0]);
+        // total order: -0.0 < 0.0 < 1.0; NaN is nil and is skipped.
+        assert_eq!(
+            scalar_agg(AggFunc::Min, &b, None).unwrap(),
+            Value::Float(-0.0)
+        );
+        let Value::Float(m) = scalar_agg(AggFunc::Min, &b, None).unwrap() else {
+            panic!("expected float");
+        };
+        assert!(m.is_sign_negative());
+        assert_eq!(
+            scalar_agg(AggFunc::Max, &b, None).unwrap(),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn timestamp_min_keeps_type() {
+        let b = Bat::new(Column::from_timestamps(vec![500, 100, 900]));
+        assert_eq!(
+            scalar_agg(AggFunc::Min, &b, None).unwrap(),
+            Value::Timestamp(100)
+        );
+        assert_eq!(
+            scalar_agg(AggFunc::Sum, &b, None).unwrap(),
+            Value::Int(1500)
+        );
+    }
+
+    #[test]
+    fn dense_candidate_subrange_sums_slice() {
+        let b = Bat::from_ints(vec![1, 2, 3, 4, 5]);
+        let c = Candidates::Dense(1..4);
+        assert_eq!(
+            scalar_agg(AggFunc::Sum, &b, Some(&c)).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            scalar_agg(AggFunc::Count { star: true }, &b, Some(&c)).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
     fn grouped_sum_and_count() {
         let keys = Bat::from_ints(vec![1, 2, 1, 2, 1]);
         let vals = Bat::from_ints(vec![10, 20, 30, 40, NIL_INT]);
@@ -344,6 +742,18 @@ mod tests {
     }
 
     #[test]
+    fn grouped_float_min_max_and_nil_groups() {
+        let keys = Bat::from_ints(vec![1, 1, 2]);
+        let vals = Bat::from_floats(vec![2.5, -0.0, f64::NAN]);
+        let g = group_by(&keys, None, None).unwrap();
+        let mins = grouped_agg(AggFunc::Min, &vals, &g).unwrap();
+        assert_eq!(mins.get(0).unwrap(), Value::Float(-0.0));
+        assert_eq!(mins.get(1).unwrap(), Value::Nil);
+        let maxs = grouped_agg(AggFunc::Max, &vals, &g).unwrap();
+        assert_eq!(maxs.get(0).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
     fn accumulator_merge_equals_bulk() {
         let vals: Vec<i64> = (1..=10).collect();
         let mut whole = Accumulator::new();
@@ -381,6 +791,4 @@ mod tests {
             DataType::Int
         );
     }
-
-    use crate::types::NIL_INT;
 }

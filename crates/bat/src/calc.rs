@@ -8,11 +8,20 @@
 //! treating such tuples as non-qualifying over killing the factory.
 //! Integer overflow, by contrast, is a hard error (silent wraparound would
 //! corrupt aggregates downstream).
+//!
+//! The kernels are slice-to-slice: operands are resolved once into a typed
+//! slice or a broadcast constant (`Src`), the operator is dispatched once,
+//! and the inner loop is a tight `zip`/`map` over the raw vectors — no
+//! per-row [`Value`] boxing or column-type matching. Float arithmetic needs
+//! no explicit nil test at all (the NaN sentinel propagates through IEEE
+//! arithmetic); strings resolve comparisons against the dictionary once into
+//! a per-code result table.
 
+use crate::candidates::Candidates;
 use crate::column::{Column, NIL_BOOL};
 use crate::error::{BatError, Result};
 use crate::select::CmpOp;
-use crate::types::{is_nil_float, is_nil_int, nil_float, DataType, Value, NIL_INT};
+use crate::types::{is_nil_float, is_nil_int, nil_float, total_key, DataType, Value, NIL_INT};
 
 /// Binary arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,54 +49,6 @@ impl ArithOp {
             ArithOp::Mod => "%",
         }
     }
-
-    #[inline]
-    fn eval_i64(self, a: i64, b: i64) -> Result<i64> {
-        match self {
-            ArithOp::Add => a.checked_add(b).ok_or(BatError::Overflow("add")),
-            ArithOp::Sub => a.checked_sub(b).ok_or(BatError::Overflow("sub")),
-            ArithOp::Mul => a.checked_mul(b).ok_or(BatError::Overflow("mul")),
-            ArithOp::Div => {
-                if b == 0 {
-                    Ok(NIL_INT)
-                } else {
-                    a.checked_div(b).ok_or(BatError::Overflow("div"))
-                }
-            }
-            ArithOp::Mod => {
-                if b == 0 {
-                    Ok(NIL_INT)
-                } else {
-                    a.checked_rem(b).ok_or(BatError::Overflow("mod"))
-                }
-            }
-        }
-    }
-
-    #[inline]
-    fn eval_f64(self, a: f64, b: f64) -> f64 {
-        match self {
-            ArithOp::Add => a + b,
-            ArithOp::Sub => a - b,
-            ArithOp::Mul => a * b,
-            // Float division by zero would give ±inf; nil keeps the policy
-            // uniform with the integer kernel.
-            ArithOp::Div => {
-                if b == 0.0 {
-                    nil_float()
-                } else {
-                    a / b
-                }
-            }
-            ArithOp::Mod => {
-                if b == 0.0 {
-                    nil_float()
-                } else {
-                    a % b
-                }
-            }
-        }
-    }
 }
 
 /// Operand for the calc kernels: a column or a scalar broadcast across rows.
@@ -113,35 +74,6 @@ impl Operand<'_> {
             Operand::Scalar(_) => None,
         }
     }
-
-    #[inline]
-    fn int_at(&self, i: usize) -> i64 {
-        match self {
-            Operand::Col(c) => match c {
-                Column::Int(v) | Column::Timestamp(v) => v[i],
-                _ => NIL_INT,
-            },
-            Operand::Scalar(v) => v.as_int().unwrap_or(NIL_INT),
-        }
-    }
-
-    #[inline]
-    fn float_at(&self, i: usize) -> f64 {
-        match self {
-            Operand::Col(c) => match c {
-                Column::Float(v) => v[i],
-                Column::Int(v) | Column::Timestamp(v) => {
-                    if is_nil_int(v[i]) {
-                        nil_float()
-                    } else {
-                        v[i] as f64
-                    }
-                }
-                _ => nil_float(),
-            },
-            Operand::Scalar(v) => v.as_float().unwrap_or(nil_float()),
-        }
-    }
 }
 
 fn rows_of(a: &Operand<'_>, b: &Operand<'_>, op: &'static str) -> Result<usize> {
@@ -156,6 +88,110 @@ fn rows_of(a: &Operand<'_>, b: &Operand<'_>, op: &'static str) -> Result<usize> 
         (None, None) => Err(BatError::Invalid(format!(
             "{op}: at least one operand must be a column"
         ))),
+    }
+}
+
+/// A resolved operand: a contiguous slice or a broadcast constant. Resolving
+/// once before the loop is what keeps the inner loops free of per-row
+/// dispatch.
+enum Src<'a, T: Copy> {
+    /// Column values.
+    S(&'a [T]),
+    /// Broadcast scalar (nil scalars become the type's sentinel).
+    K(T),
+}
+
+/// Zip two sources through `f` into an output vector (`n` rows).
+#[inline]
+fn zip_map<T: Copy, R>(n: usize, a: &Src<'_, T>, b: &Src<'_, T>, f: impl Fn(T, T) -> R) -> Vec<R> {
+    match (a, b) {
+        (Src::S(x), Src::S(y)) => x.iter().zip(y.iter()).map(|(&p, &q)| f(p, q)).collect(),
+        (Src::S(x), Src::K(q)) => x.iter().map(|&p| f(p, *q)).collect(),
+        (Src::K(p), Src::S(y)) => y.iter().map(|&q| f(*p, q)).collect(),
+        (Src::K(p), Src::K(q)) => (0..n).map(|_| f(*p, *q)).collect(),
+    }
+}
+
+/// Fallible variant of [`zip_map`] (integer arithmetic can overflow).
+#[inline]
+fn zip_try<T: Copy, R>(
+    n: usize,
+    a: &Src<'_, T>,
+    b: &Src<'_, T>,
+    f: impl Fn(T, T) -> Result<R>,
+) -> Result<Vec<R>> {
+    match (a, b) {
+        (Src::S(x), Src::S(y)) => x.iter().zip(y.iter()).map(|(&p, &q)| f(p, q)).collect(),
+        (Src::S(x), Src::K(q)) => x.iter().map(|&p| f(p, *q)).collect(),
+        (Src::K(p), Src::S(y)) => y.iter().map(|&q| f(*p, q)).collect(),
+        (Src::K(p), Src::K(q)) => (0..n).map(|_| f(*p, *q)).collect(),
+    }
+}
+
+/// Integer view of a numeric operand (timestamps share the i64 tail).
+fn int_src<'a>(o: &Operand<'a>) -> Src<'a, i64> {
+    match o {
+        Operand::Col(c) => match c {
+            Column::Int(v) | Column::Timestamp(v) => Src::S(v),
+            _ => Src::K(NIL_INT),
+        },
+        Operand::Scalar(v) => Src::K(v.as_int().unwrap_or(NIL_INT)),
+    }
+}
+
+/// Float view of a numeric operand; an integer column is widened once into a
+/// temporary vector (a single vectorizable pass) instead of per row.
+fn float_src<'a>(o: &Operand<'a>) -> FloatSrc<'a> {
+    match o {
+        Operand::Col(c) => match c {
+            Column::Float(v) => FloatSrc::Slice(v),
+            Column::Int(v) | Column::Timestamp(v) => FloatSrc::Owned(
+                v.iter()
+                    .map(|&x| if is_nil_int(x) { nil_float() } else { x as f64 })
+                    .collect(),
+            ),
+            _ => FloatSrc::Const(nil_float()),
+        },
+        Operand::Scalar(v) => FloatSrc::Const(v.as_float().unwrap_or(nil_float())),
+    }
+}
+
+/// Tri-state boolean view of an operand (non-bool columns and non-bool
+/// scalars broadcast nil, matching the scalar kernel's behavior).
+fn bool_src<'a>(o: &Operand<'a>) -> Src<'a, i8> {
+    match o {
+        Operand::Col(c) => match c {
+            Column::Bool(v) => Src::S(v),
+            _ => Src::K(NIL_BOOL),
+        },
+        Operand::Scalar(v) => Src::K(v.as_bool().map_or(NIL_BOOL, i8::from)),
+    }
+}
+
+/// Float operand storage: borrowed column, widened temporary, or constant.
+enum FloatSrc<'a> {
+    Slice(&'a [f64]),
+    Owned(Vec<f64>),
+    Const(f64),
+}
+
+impl FloatSrc<'_> {
+    fn as_src(&self) -> Src<'_, f64> {
+        match self {
+            FloatSrc::Slice(s) => Src::S(s),
+            FloatSrc::Owned(v) => Src::S(v),
+            FloatSrc::Const(k) => Src::K(*k),
+        }
+    }
+}
+
+/// Nil-propagating integer op: nil operands pass through, otherwise `f`.
+#[inline]
+fn int_nil_or(x: i64, y: i64, f: impl FnOnce(i64, i64) -> Result<i64>) -> Result<i64> {
+    if is_nil_int(x) || is_nil_int(y) {
+        Ok(NIL_INT)
+    } else {
+        f(x, y)
     }
 }
 
@@ -182,27 +218,79 @@ pub fn arith(op: ArithOp, a: Operand<'_>, b: Operand<'_>) -> Result<Column> {
         });
     }
     if float {
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let (x, y) = (a.float_at(i), b.float_at(i));
-            if is_nil_float(x) || is_nil_float(y) {
-                out.push(nil_float());
-            } else {
-                out.push(op.eval_f64(x, y));
-            }
-        }
+        let (fa, fb) = (float_src(&a), float_src(&b));
+        let (x, y) = (fa.as_src(), fb.as_src());
+        // No explicit nil test: NaN (the float nil) propagates through IEEE
+        // arithmetic, so every loop body is pure slice math.
+        let out = match op {
+            ArithOp::Add => zip_map(n, &x, &y, |p, q| p + q),
+            ArithOp::Sub => zip_map(n, &x, &y, |p, q| p - q),
+            ArithOp::Mul => zip_map(n, &x, &y, |p, q| p * q),
+            // Float division by zero would give ±inf; nil keeps the policy
+            // uniform with the integer kernel.
+            ArithOp::Div => zip_map(n, &x, &y, |p, q| if q == 0.0 { nil_float() } else { p / q }),
+            ArithOp::Mod => zip_map(n, &x, &y, |p, q| if q == 0.0 { nil_float() } else { p % q }),
+        };
         Ok(Column::Float(out))
     } else {
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let (x, y) = (a.int_at(i), b.int_at(i));
-            if is_nil_int(x) || is_nil_int(y) {
-                out.push(NIL_INT);
-            } else {
-                out.push(op.eval_i64(x, y)?);
-            }
-        }
+        let (x, y) = (int_src(&a), int_src(&b));
+        let out = match op {
+            ArithOp::Add => zip_try(n, &x, &y, |p, q| {
+                int_nil_or(p, q, |p, q| {
+                    p.checked_add(q).ok_or(BatError::Overflow("add"))
+                })
+            }),
+            ArithOp::Sub => zip_try(n, &x, &y, |p, q| {
+                int_nil_or(p, q, |p, q| {
+                    p.checked_sub(q).ok_or(BatError::Overflow("sub"))
+                })
+            }),
+            ArithOp::Mul => zip_try(n, &x, &y, |p, q| {
+                int_nil_or(p, q, |p, q| {
+                    p.checked_mul(q).ok_or(BatError::Overflow("mul"))
+                })
+            }),
+            ArithOp::Div => zip_try(n, &x, &y, |p, q| {
+                int_nil_or(p, q, |p, q| {
+                    if q == 0 {
+                        Ok(NIL_INT)
+                    } else {
+                        p.checked_div(q).ok_or(BatError::Overflow("div"))
+                    }
+                })
+            }),
+            ArithOp::Mod => zip_try(n, &x, &y, |p, q| {
+                int_nil_or(p, q, |p, q| {
+                    if q == 0 {
+                        Ok(NIL_INT)
+                    } else {
+                        p.checked_rem(q).ok_or(BatError::Overflow("mod"))
+                    }
+                })
+            }),
+        }?;
         Ok(Column::Int(out))
+    }
+}
+
+/// Tri-state comparison result for valid ints: evaluate the (branchless)
+/// comparison, then overwrite with nil if either side is the sentinel.
+#[inline]
+fn tri_int(x: i64, y: i64, r: bool) -> i8 {
+    if is_nil_int(x) || is_nil_int(y) {
+        NIL_BOOL
+    } else {
+        i8::from(r)
+    }
+}
+
+/// Tri-state comparison result for floats (NaN is nil).
+#[inline]
+fn tri_float(x: f64, y: f64, r: bool) -> i8 {
+    if x.is_nan() || y.is_nan() {
+        NIL_BOOL
+    } else {
+        i8::from(r)
     }
 }
 
@@ -221,71 +309,125 @@ pub fn compare(op: CmpOp, a: Operand<'_>, b: Operand<'_>) -> Result<Column> {
                 got: "mixed",
             });
         }
-        let get = |o: &Operand<'_>, i: usize| -> Option<String> {
-            match o {
-                Operand::Col(c) => match c.get(i).ok()? {
-                    Value::Str(s) => Some(s),
-                    _ => None,
-                },
-                Operand::Scalar(v) => v.as_str().map(str::to_string),
-            }
-        };
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            match (get(&a, i), get(&b, i)) {
-                (Some(x), Some(y)) => out.push(i8::from(op.eval(x.cmp(&y)))),
-                _ => out.push(NIL_BOOL),
-            }
-        }
-        return Ok(Column::Bool(out));
+        return compare_str(op, &a, &b, n);
     }
     // Boolean equality path.
     let bool_side = |o: &Operand<'_>| matches!(o.data_type(), Some(DataType::Bool));
     if bool_side(&a) || bool_side(&b) {
-        let get = |o: &Operand<'_>, i: usize| -> i8 {
-            match o {
-                Operand::Col(c) => match c {
-                    Column::Bool(v) => v[i],
-                    _ => NIL_BOOL,
-                },
-                Operand::Scalar(v) => v.as_bool().map_or(NIL_BOOL, i8::from),
-            }
-        };
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let (x, y) = (get(&a, i), get(&b, i));
-            if !(0..=1).contains(&x) || !(0..=1).contains(&y) {
-                out.push(NIL_BOOL);
+        let (x, y) = (bool_src(&a), bool_src(&b));
+        let valid = |v: i8| v == 0 || v == 1;
+        let out = zip_map(n, &x, &y, |p, q| {
+            if valid(p) && valid(q) {
+                i8::from(op.eval(p.cmp(&q)))
             } else {
-                out.push(i8::from(op.eval(x.cmp(&y))));
+                NIL_BOOL
             }
-        }
+        });
         return Ok(Column::Bool(out));
     }
     // Numeric path (ints compare exactly unless a float is involved).
     let float = matches!(a.data_type(), Some(DataType::Float))
         || matches!(b.data_type(), Some(DataType::Float));
-    let mut out = Vec::with_capacity(n);
-    if float {
-        for i in 0..n {
-            let (x, y) = (a.float_at(i), b.float_at(i));
-            if is_nil_float(x) || is_nil_float(y) {
-                out.push(NIL_BOOL);
-            } else {
-                out.push(i8::from(op.eval(x.total_cmp(&y))));
-            }
+    let out = if float {
+        let (fa, fb) = (float_src(&a), float_src(&b));
+        let (x, y) = (fa.as_src(), fb.as_src());
+        // Comparison follows total_cmp (-0.0 < 0.0), evaluated branchlessly
+        // on total-order keys.
+        match op {
+            CmpOp::Eq => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) == total_key(q))
+            }),
+            CmpOp::Ne => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) != total_key(q))
+            }),
+            CmpOp::Lt => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) < total_key(q))
+            }),
+            CmpOp::Le => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) <= total_key(q))
+            }),
+            CmpOp::Gt => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) > total_key(q))
+            }),
+            CmpOp::Ge => zip_map(n, &x, &y, |p, q| {
+                tri_float(p, q, total_key(p) >= total_key(q))
+            }),
         }
     } else {
-        for i in 0..n {
-            let (x, y) = (a.int_at(i), b.int_at(i));
-            if is_nil_int(x) || is_nil_int(y) {
-                out.push(NIL_BOOL);
-            } else {
-                out.push(i8::from(op.eval(x.cmp(&y))));
-            }
+        let (x, y) = (int_src(&a), int_src(&b));
+        match op {
+            CmpOp::Eq => zip_map(n, &x, &y, |p, q| tri_int(p, q, p == q)),
+            CmpOp::Ne => zip_map(n, &x, &y, |p, q| tri_int(p, q, p != q)),
+            CmpOp::Lt => zip_map(n, &x, &y, |p, q| tri_int(p, q, p < q)),
+            CmpOp::Le => zip_map(n, &x, &y, |p, q| tri_int(p, q, p <= q)),
+            CmpOp::Gt => zip_map(n, &x, &y, |p, q| tri_int(p, q, p > q)),
+            CmpOp::Ge => zip_map(n, &x, &y, |p, q| tri_int(p, q, p >= q)),
+        }
+    };
+    Ok(Column::Bool(out))
+}
+
+/// String comparison without per-row allocation: column-vs-scalar resolves
+/// the comparison against the dictionary once into a per-code result table;
+/// column-vs-column compares borrowed `&str` (no `String` clones).
+fn compare_str<'a>(op: CmpOp, a: &Operand<'a>, b: &Operand<'a>, n: usize) -> Result<Column> {
+    fn col<'b>(o: &Operand<'b>) -> Option<(&'b [u32], &'b crate::heap::StrHeap)> {
+        match o {
+            Operand::Col(Column::Str { codes, heap }) => Some((codes.as_slice(), heap.as_ref())),
+            _ => None,
         }
     }
+    fn scalar_str<'b>(o: &Operand<'b>) -> Option<&'b str> {
+        match o {
+            Operand::Scalar(v) => v.as_str(),
+            _ => None,
+        }
+    }
+    let out = match (col(a), col(b)) {
+        (Some((ca, ha)), Some((cb, hb))) => ca
+            .iter()
+            .zip(cb.iter())
+            .map(|(&x, &y)| match (ha.get(x), hb.get(y)) {
+                (Some(s), Some(t)) => i8::from(op.eval(s.cmp(t))),
+                _ => NIL_BOOL,
+            })
+            .collect(),
+        (Some((codes, heap)), None) => match scalar_str(b) {
+            Some(rhs) => {
+                let tbl = cmp_table(heap, |s| op.eval(s.cmp(rhs)));
+                codes_to_tri(codes, &tbl)
+            }
+            // Nil scalar: every comparison is unknown.
+            None => vec![NIL_BOOL; n],
+        },
+        (None, Some((codes, heap))) => match scalar_str(a) {
+            Some(lhs) => {
+                let tbl = cmp_table(heap, |s| op.eval(lhs.cmp(s)));
+                codes_to_tri(codes, &tbl)
+            }
+            None => vec![NIL_BOOL; n],
+        },
+        // Both scalar is rejected by rows_of; nil-vs-nil cannot reach here.
+        (None, None) => vec![NIL_BOOL; n],
+    };
     Ok(Column::Bool(out))
+}
+
+/// Evaluate a string predicate once per dictionary entry into a tri-state
+/// table (nil code → nil result).
+fn cmp_table(heap: &crate::heap::StrHeap, pred: impl Fn(&str) -> bool) -> Vec<i8> {
+    (0..heap.len() as u32)
+        .map(|c| heap.get(c).map_or(NIL_BOOL, |s| i8::from(pred(s))))
+        .collect()
+}
+
+/// Map dictionary codes through a per-code result table (unknown/nil codes
+/// yield nil).
+fn codes_to_tri(codes: &[u32], tbl: &[i8]) -> Vec<i8> {
+    codes
+        .iter()
+        .map(|&c| tbl.get(c as usize).copied().unwrap_or(NIL_BOOL))
+        .collect()
 }
 
 /// Three-valued AND: false dominates nil.
@@ -361,15 +503,27 @@ pub fn neg(a: &Column) -> Result<Column> {
 
 /// Positions where a tri-state boolean column is exactly `true`
 /// (the WHERE-clause contract: nil and false both filter out).
-pub fn true_candidates(a: &Column) -> Result<crate::candidates::Candidates> {
+///
+/// Count-then-fill, like the select kernels: the counting pass is a pure
+/// reduction, the fill pass is branchless, and an all-true column collapses
+/// to [`Candidates::Dense`].
+pub fn true_candidates(a: &Column) -> Result<Candidates> {
     let x = a.as_bools()?;
-    let mut out = Vec::new();
-    for (i, &v) in x.iter().enumerate() {
-        if v == 1 {
-            out.push(i);
-        }
+    let count = x.iter().filter(|&&v| v == 1).count();
+    if count == 0 {
+        return Ok(Candidates::none());
     }
-    Ok(crate::candidates::Candidates::from_sorted_unchecked(out))
+    if count == x.len() {
+        return Ok(Candidates::Dense(0..x.len()));
+    }
+    let mut out = vec![0usize; count + 1];
+    let mut k = 0usize;
+    for (i, &v) in x.iter().enumerate() {
+        out[k] = i;
+        k += (v == 1) as usize;
+    }
+    out.truncate(count);
+    Ok(Candidates::from_sorted_unchecked(out))
 }
 
 #[inline]
@@ -505,6 +659,29 @@ mod tests {
     }
 
     #[test]
+    fn compare_str_scalar_on_left() {
+        let a = Column::from_strs(&["apple", "pear"]);
+        let c = compare(
+            CmpOp::Lt,
+            Operand::Scalar(&Value::Str("kiwi".into())),
+            Operand::Col(&a),
+        )
+        .unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Bool(false));
+        assert_eq!(c.get(1).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn compare_str_col_col_and_nil_scalar() {
+        let a = Column::from_strs(&["a", "b", "c"]);
+        let b = Column::from_strs(&["b", "b", "a"]);
+        let c = compare(CmpOp::Le, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(c.as_bools().unwrap(), &[1, 1, 0]);
+        let n = compare(CmpOp::Eq, Operand::Col(&a), Operand::Scalar(&Value::Nil)).unwrap();
+        assert_eq!(n.as_bools().unwrap(), &[NIL_BOOL, NIL_BOOL, NIL_BOOL]);
+    }
+
+    #[test]
     fn compare_bools() {
         let a = Column::from_bools(vec![true, false]);
         let c = compare(
@@ -515,6 +692,19 @@ mod tests {
         .unwrap();
         assert_eq!(c.get(0).unwrap(), Value::Bool(true));
         assert_eq!(c.get(1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn compare_float_total_order() {
+        let a = Column::Float(vec![-0.0, 1.0, f64::NAN]);
+        let c = compare(
+            CmpOp::Lt,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Float(0.0)),
+        )
+        .unwrap();
+        // total_cmp: -0.0 < 0.0 is true; NaN is nil.
+        assert_eq!(c.as_bools().unwrap(), &[1, 0, NIL_BOOL]);
     }
 
     #[test]
@@ -542,6 +732,13 @@ mod tests {
     fn true_candidates_filters_nil_and_false() {
         let c = Column::Bool(vec![1, 0, NIL_BOOL, 1]);
         assert_eq!(true_candidates(&c).unwrap().to_positions(), vec![0, 3]);
+    }
+
+    #[test]
+    fn true_candidates_all_true_is_dense() {
+        let c = Column::Bool(vec![1, 1, 1]);
+        let cand = true_candidates(&c).unwrap();
+        assert!(matches!(cand, Candidates::Dense(ref r) if *r == (0..3)));
     }
 
     #[test]

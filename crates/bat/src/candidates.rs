@@ -51,6 +51,69 @@ impl Candidates {
         Candidates::Positions(pos)
     }
 
+    /// Build from the result of scanning the dense range `scanned`: when every
+    /// scanned position qualified, collapse to [`Candidates::Dense`] so a
+    /// 100%-selectivity scan costs two words instead of a position vector.
+    ///
+    /// `pos` must be ascending and a subset of `scanned` (kernel scan output).
+    pub fn from_scan(pos: Vec<usize>, scanned: Range<usize>) -> Self {
+        if pos.len() == scanned.len() {
+            Candidates::Dense(scanned)
+        } else {
+            Candidates::from_sorted_unchecked(pos)
+        }
+    }
+
+    /// Borrow as a kernel-facing view: dense range or position slice.
+    ///
+    /// Kernels specialize on this instead of materializing `to_positions`,
+    /// so the dense path stays a contiguous (auto-vectorizable) loop and the
+    /// position path is a gather over the borrowed slice.
+    pub fn view(&self) -> CandView<'_> {
+        match self {
+            Candidates::Dense(r) => CandView::Dense(r.clone()),
+            Candidates::Positions(p) => CandView::Positions(p),
+        }
+    }
+
+    /// Verify every position is `< len`, reporting the first offender in
+    /// iteration order (the same error a per-element scan would produce, at
+    /// O(log n) cost thanks to the ascending invariant).
+    pub fn check_bounds(&self, len: usize) -> Result<()> {
+        match self {
+            Candidates::Dense(r) => {
+                if r.start >= r.end || r.end <= len {
+                    Ok(())
+                } else {
+                    Err(BatError::PositionOutOfRange {
+                        pos: r.start.max(len),
+                        len,
+                    })
+                }
+            }
+            Candidates::Positions(p) => {
+                let cut = p.partition_point(|&x| x < len);
+                if cut == p.len() {
+                    Ok(())
+                } else {
+                    Err(BatError::PositionOutOfRange { pos: p[cut], len })
+                }
+            }
+        }
+    }
+
+    /// Resolve an optional candidate list against a BAT of length `len`:
+    /// `None` means "all rows". Bounds are checked once, up front.
+    pub fn resolve(cand: Option<&Candidates>, len: usize) -> Result<CandView<'_>> {
+        match cand {
+            None => Ok(CandView::Dense(0..len)),
+            Some(c) => {
+                c.check_bounds(len)?;
+                Ok(c.view())
+            }
+        }
+    }
+
     /// Number of qualifying positions.
     pub fn len(&self) -> usize {
         match self {
@@ -216,6 +279,41 @@ impl Candidates {
         match self {
             Candidates::Dense(r) => Candidates::Dense(r.start..r.end.min(r.start + n)),
             Candidates::Positions(p) => Candidates::Positions(p[..n.min(p.len())].to_vec()),
+        }
+    }
+}
+
+/// Borrowed kernel-facing view of a candidate list (see
+/// [`Candidates::view`]): kernels branch on this once, then run either a
+/// contiguous loop over the dense range or a gather over the position slice.
+#[derive(Debug, Clone)]
+pub enum CandView<'a> {
+    /// Contiguous range of qualifying positions.
+    Dense(Range<usize>),
+    /// Explicit ascending positions.
+    Positions(&'a [usize]),
+}
+
+impl CandView<'_> {
+    /// Number of qualifying positions.
+    pub fn len(&self) -> usize {
+        match self {
+            CandView::Dense(r) => r.len(),
+            CandView::Positions(p) => p.len(),
+        }
+    }
+
+    /// True iff nothing qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit each qualifying position in ascending order.
+    #[inline]
+    pub fn for_each_pos(&self, mut f: impl FnMut(usize)) {
+        match self {
+            CandView::Dense(r) => r.clone().for_each(&mut f),
+            CandView::Positions(p) => p.iter().for_each(|&x| f(x)),
         }
     }
 }

@@ -5,63 +5,30 @@
 //! uses [`fetch_join`] per payload column, exploiting the tuple-order
 //! alignment the paper describes in §2.
 //!
+//! Type dispatch happens once per join, not once per row: each kernel
+//! resolves both tails to a typed key representation up front (i64 slices,
+//! canonical f64 bits, string-dictionary codes, bool bytes) and then runs a
+//! monomorphized build/probe loop over primitive keys. String probes
+//! translate the left dictionary against the build table once — one string
+//! hash per distinct value — and scan integer codes after that.
+//!
 //! Nil keys never match (SQL equi-join semantics).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 
 use crate::bat::Bat;
-use crate::candidates::Candidates;
+use crate::candidates::{CandView, Candidates};
+use crate::column::Column;
 use crate::error::{BatError, Result};
-use crate::types::{is_nil_float, is_nil_int, DataType, NIL_STR_CODE};
+use crate::heap::StrHeap;
+use crate::types::{is_nil_int, DataType, NIL_STR_CODE};
 
 /// Positional projection (`leftfetchjoin`): gather `bat` tuples at
 /// `positions`, producing a dense-headed result aligned with the positions
 /// vector. This is the tuple-reconstruction primitive.
 pub fn fetch_join(positions: &[usize], bat: &Bat) -> Result<Bat> {
     Ok(Bat::new(bat.tail().take(positions)?))
-}
-
-/// Join key normalized for hashing across compatible numeric types.
-#[derive(Hash, PartialEq, Eq, Clone, Copy)]
-enum Key<'a> {
-    Int(i64),
-    /// Canonical float bits (`-0.0` normalized to `0.0`).
-    FloatBits(u64),
-    Str(&'a str),
-    Bool(bool),
-}
-
-fn key_at<'a>(bat: &'a Bat, p: usize, as_float: bool) -> Result<Option<Key<'a>>> {
-    Ok(match bat.tail() {
-        crate::column::Column::Int(v) | crate::column::Column::Timestamp(v) => {
-            if is_nil_int(v[p]) {
-                None
-            } else if as_float {
-                Some(Key::FloatBits(canon_bits(v[p] as f64)))
-            } else {
-                Some(Key::Int(v[p]))
-            }
-        }
-        crate::column::Column::Float(v) => {
-            if is_nil_float(v[p]) {
-                None
-            } else {
-                Some(Key::FloatBits(canon_bits(v[p])))
-            }
-        }
-        crate::column::Column::Bool(v) => match v[p] {
-            0 => Some(Key::Bool(false)),
-            1 => Some(Key::Bool(true)),
-            _ => None,
-        },
-        crate::column::Column::Str { codes, heap } => {
-            if codes[p] == NIL_STR_CODE {
-                None
-            } else {
-                heap.get(codes[p]).map(Key::Str)
-            }
-        }
-    })
 }
 
 #[inline]
@@ -71,6 +38,62 @@ fn canon_bits(f: f64) -> u64 {
         0.0f64.to_bits()
     } else {
         f.to_bits()
+    }
+}
+
+/// Nil sentinel in the canonical-float-bits key domain. `u64::MAX` decodes
+/// to a NaN payload, which no canonical non-nil key can produce.
+const NIL_FKEY: u64 = u64::MAX;
+
+/// Materialize a numeric tail as canonical f64-bit keys (nil → [`NIL_FKEY`]),
+/// widening int/timestamp values so mixed-type joins compare in one domain.
+fn f64_keys(col: &Column) -> Vec<u64> {
+    match col {
+        Column::Int(v) | Column::Timestamp(v) => v
+            .iter()
+            .map(|&x| {
+                if is_nil_int(x) {
+                    NIL_FKEY
+                } else {
+                    canon_bits(x as f64)
+                }
+            })
+            .collect(),
+        Column::Float(v) => v
+            .iter()
+            .map(|&x| if x.is_nan() { NIL_FKEY } else { canon_bits(x) })
+            .collect(),
+        // join_types only unifies numeric inputs to Float.
+        _ => unreachable!("float-keyed join over non-numeric column"),
+    }
+}
+
+#[inline]
+fn int_key(v: i64) -> Option<i64> {
+    (!is_nil_int(v)).then_some(v)
+}
+
+#[inline]
+fn fkey(k: u64) -> Option<u64> {
+    (k != NIL_FKEY).then_some(k)
+}
+
+#[inline]
+fn bool_key(v: i8) -> Option<bool> {
+    match v {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+#[inline]
+fn str_key<'a>(codes: &[u32], heap: &'a StrHeap, p: usize) -> Option<&'a str> {
+    let c = codes[p];
+    if c == NIL_STR_CODE {
+        None
+    } else {
+        heap.get(c)
     }
 }
 
@@ -86,6 +109,41 @@ fn join_types(l: &Bat, r: &Bat, op: &'static str) -> Result<bool> {
     Ok(unified == DataType::Float)
 }
 
+/// Build the hash table over the right side: key → build-order positions.
+fn build_table<K: Hash + Eq>(
+    right_len: usize,
+    rcand: Option<&Candidates>,
+    get: impl Fn(usize) -> Option<K>,
+) -> Result<HashMap<K, Vec<usize>>> {
+    let rsel = Candidates::resolve(rcand, right_len)?;
+    let mut table: HashMap<K, Vec<usize>> = HashMap::new();
+    rsel.for_each_pos(|rp| {
+        if let Some(k) = get(rp) {
+            table.entry(k).or_default().push(rp);
+        }
+    });
+    Ok(table)
+}
+
+/// Probe the table with the left side, emitting left-major pairs.
+fn probe_pairs<K: Hash + Eq>(
+    table: &HashMap<K, Vec<usize>>,
+    left_len: usize,
+    lcand: Option<&Candidates>,
+    get: impl Fn(usize) -> Option<K>,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let lsel = Candidates::resolve(lcand, left_len)?;
+    let mut lpos = Vec::new();
+    let mut rpos = Vec::new();
+    lsel.for_each_pos(|lp| {
+        if let Some(matches) = get(lp).and_then(|k| table.get(&k)) {
+            lpos.extend(std::iter::repeat_n(lp, matches.len()));
+            rpos.extend_from_slice(matches);
+        }
+    });
+    Ok((lpos, rpos))
+}
+
 /// Equi hash join: all pairs `(lp, rp)` with `left[lp] == right[rp]`.
 ///
 /// Builds on the right input, probes with the left; output is left-major
@@ -98,45 +156,51 @@ pub fn hash_join(
     rcand: Option<&Candidates>,
 ) -> Result<(Vec<usize>, Vec<usize>)> {
     let as_float = join_types(left, right, "hash_join")?;
-    let mut table: HashMap<Key<'_>, Vec<usize>> = HashMap::new();
-    let riter: Vec<usize> = match rcand {
-        Some(c) => c.to_positions(),
-        None => (0..right.len()).collect(),
-    };
-    for rp in riter {
-        if rp >= right.len() {
-            return Err(BatError::PositionOutOfRange {
-                pos: rp,
-                len: right.len(),
-            });
-        }
-        if let Some(k) = key_at(right, rp, as_float)? {
-            table.entry(k).or_default().push(rp);
-        }
-    }
-    let mut lpos = Vec::new();
-    let mut rpos = Vec::new();
-    let liter: Vec<usize> = match lcand {
-        Some(c) => c.to_positions(),
-        None => (0..left.len()).collect(),
-    };
-    for lp in liter {
-        if lp >= left.len() {
-            return Err(BatError::PositionOutOfRange {
-                pos: lp,
-                len: left.len(),
-            });
-        }
-        if let Some(k) = key_at(left, lp, as_float)? {
-            if let Some(matches) = table.get(&k) {
-                for &rp in matches {
-                    lpos.push(lp);
-                    rpos.push(rp);
+    match (left.tail(), right.tail()) {
+        (
+            Column::Str {
+                codes: lc,
+                heap: lh,
+            },
+            Column::Str {
+                codes: rc,
+                heap: rh,
+            },
+        ) => {
+            let table = build_table(rc.len(), rcand, |p| str_key(rc, rh, p))?;
+            // Translate the left dictionary once: one string hash per
+            // distinct left value, then the probe is an integer-code gather.
+            let lookup: Vec<Option<&Vec<usize>>> = (0..lh.len() as u32)
+                .map(|c| lh.get(c).and_then(|s| table.get(s)))
+                .collect();
+            let lsel = Candidates::resolve(lcand, lc.len())?;
+            let mut lpos = Vec::new();
+            let mut rpos = Vec::new();
+            lsel.for_each_pos(|lp| {
+                if let Some(Some(matches)) = lookup.get(lc[lp] as usize) {
+                    lpos.extend(std::iter::repeat_n(lp, matches.len()));
+                    rpos.extend_from_slice(matches);
                 }
-            }
+            });
+            Ok((lpos, rpos))
+        }
+        (Column::Bool(lv), Column::Bool(rv)) => {
+            let table = build_table(rv.len(), rcand, |p| bool_key(rv[p]))?;
+            probe_pairs(&table, lv.len(), lcand, |p| bool_key(lv[p]))
+        }
+        _ if as_float => {
+            let lk = f64_keys(left.tail());
+            let rk = f64_keys(right.tail());
+            let table = build_table(rk.len(), rcand, |p| fkey(rk[p]))?;
+            probe_pairs(&table, lk.len(), lcand, |p| fkey(lk[p]))
+        }
+        _ => {
+            let lv = left.tail().as_i64s()?;
+            let rv = right.tail().as_i64s()?;
+            let table = build_table(rv.len(), rcand, |p| int_key(rv[p]))?;
+            probe_pairs(&table, lv.len(), lcand, |p| int_key(lv[p]))
         }
     }
-    Ok((lpos, rpos))
 }
 
 /// Merge join over two tails both flagged sorted; falls back to
@@ -189,66 +253,104 @@ pub fn merge_join(left: &Bat, right: &Bat) -> Result<(Vec<usize>, Vec<usize>)> {
     Ok((lpos, rpos))
 }
 
+/// Build the membership set over the full right side.
+fn build_set<K: Hash + Eq>(right_len: usize, get: impl Fn(usize) -> Option<K>) -> HashSet<K> {
+    let mut set = HashSet::new();
+    for p in 0..right_len {
+        if let Some(k) = get(p) {
+            set.insert(k);
+        }
+    }
+    set
+}
+
+/// Keep the left candidate positions whose key satisfies `pred`. Upgrades to
+/// [`Candidates::Dense`] when every scanned dense position qualifies.
+fn filter_positions(
+    len: usize,
+    cand: Option<&Candidates>,
+    pred: impl Fn(usize) -> bool,
+) -> Result<Candidates> {
+    let sel = Candidates::resolve(cand, len)?;
+    let mut out = Vec::new();
+    sel.for_each_pos(|p| {
+        if pred(p) {
+            out.push(p);
+        }
+    });
+    Ok(match sel {
+        CandView::Dense(r) => Candidates::from_scan(out, r),
+        CandView::Positions(_) => Candidates::from_sorted_unchecked(out),
+    })
+}
+
+/// Shared semi/anti core: keep left rows whose (non-nil) key membership in
+/// the right-side set equals `keep_matched`. Nil probe keys never qualify,
+/// matching SQL `IN` / `NOT IN` over non-null probe values.
+fn membership_join(
+    left: &Bat,
+    right: &Bat,
+    lcand: Option<&Candidates>,
+    keep_matched: bool,
+    op: &'static str,
+) -> Result<Candidates> {
+    let as_float = join_types(left, right, op)?;
+    match (left.tail(), right.tail()) {
+        (
+            Column::Str {
+                codes: lc,
+                heap: lh,
+            },
+            Column::Str {
+                codes: rc,
+                heap: rh,
+            },
+        ) => {
+            let set = build_set(rc.len(), |p| str_key(rc, rh, p));
+            // Per-left-dictionary-entry qualification, like the select
+            // kernels: one hash per distinct string, integer scan after.
+            let qual: Vec<bool> = (0..lh.len() as u32)
+                .map(|c| lh.get(c).is_some_and(|s| set.contains(s) == keep_matched))
+                .collect();
+            filter_positions(lc.len(), lcand, |p| {
+                matches!(qual.get(lc[p] as usize), Some(true))
+            })
+        }
+        (Column::Bool(lv), Column::Bool(rv)) => {
+            let set = build_set(rv.len(), |p| bool_key(rv[p]));
+            filter_positions(lv.len(), lcand, |p| {
+                bool_key(lv[p]).is_some_and(|k| set.contains(&k) == keep_matched)
+            })
+        }
+        _ if as_float => {
+            let lk = f64_keys(left.tail());
+            let rk = f64_keys(right.tail());
+            let set = build_set(rk.len(), |p| fkey(rk[p]));
+            filter_positions(lk.len(), lcand, |p| {
+                fkey(lk[p]).is_some_and(|k| set.contains(&k) == keep_matched)
+            })
+        }
+        _ => {
+            let lv = left.tail().as_i64s()?;
+            let rv = right.tail().as_i64s()?;
+            let set = build_set(rv.len(), |p| int_key(rv[p]));
+            filter_positions(lv.len(), lcand, |p| {
+                int_key(lv[p]).is_some_and(|k| set.contains(&k) == keep_matched)
+            })
+        }
+    }
+}
+
 /// Left semi-join: candidates of `left` positions having ≥1 match in `right`.
 pub fn semi_join(left: &Bat, right: &Bat, lcand: Option<&Candidates>) -> Result<Candidates> {
-    let as_float = join_types(left, right, "semi_join")?;
-    let mut keys: HashMap<Key<'_>, ()> = HashMap::new();
-    for rp in 0..right.len() {
-        if let Some(k) = key_at(right, rp, as_float)? {
-            keys.insert(k, ());
-        }
-    }
-    let mut out = Vec::new();
-    let liter: Vec<usize> = match lcand {
-        Some(c) => c.to_positions(),
-        None => (0..left.len()).collect(),
-    };
-    for lp in liter {
-        if lp >= left.len() {
-            return Err(BatError::PositionOutOfRange {
-                pos: lp,
-                len: left.len(),
-            });
-        }
-        if let Some(k) = key_at(left, lp, as_float)? {
-            if keys.contains_key(&k) {
-                out.push(lp);
-            }
-        }
-    }
-    Ok(Candidates::from_sorted_unchecked(out))
+    membership_join(left, right, lcand, true, "semi_join")
 }
 
 /// Left anti-join: candidates of `left` positions with *no* match in
 /// `right`. Rows whose key is nil are excluded (SQL `NOT IN` semantics for
 /// non-null probe keys).
 pub fn anti_join(left: &Bat, right: &Bat, lcand: Option<&Candidates>) -> Result<Candidates> {
-    let as_float = join_types(left, right, "anti_join")?;
-    let mut keys: HashMap<Key<'_>, ()> = HashMap::new();
-    for rp in 0..right.len() {
-        if let Some(k) = key_at(right, rp, as_float)? {
-            keys.insert(k, ());
-        }
-    }
-    let mut out = Vec::new();
-    let liter: Vec<usize> = match lcand {
-        Some(c) => c.to_positions(),
-        None => (0..left.len()).collect(),
-    };
-    for lp in liter {
-        if lp >= left.len() {
-            return Err(BatError::PositionOutOfRange {
-                pos: lp,
-                len: left.len(),
-            });
-        }
-        if let Some(k) = key_at(left, lp, as_float)? {
-            if !keys.contains_key(&k) {
-                out.push(lp);
-            }
-        }
-    }
-    Ok(Candidates::from_sorted_unchecked(out))
+    membership_join(left, right, lcand, false, "anti_join")
 }
 
 #[cfg(test)]
@@ -327,6 +429,21 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_rejects_out_of_range_candidates() {
+        let l = Bat::from_ints(vec![1, 2]);
+        let r = Bat::from_ints(vec![1, 2]);
+        let bad = Candidates::from_positions(vec![0, 5]).unwrap();
+        assert_eq!(
+            hash_join(&l, &r, Some(&bad), None).unwrap_err(),
+            BatError::PositionOutOfRange { pos: 5, len: 2 }
+        );
+        assert_eq!(
+            hash_join(&l, &r, None, Some(&bad)).unwrap_err(),
+            BatError::PositionOutOfRange { pos: 5, len: 2 }
+        );
+    }
+
+    #[test]
     fn merge_join_sorted_runs() {
         let mut l = Bat::from_ints(vec![1, 2, 2, 5]);
         l.set_sorted(true);
@@ -363,6 +480,24 @@ mod tests {
         let anti = anti_join(&l, &r, None).unwrap();
         assert_eq!(semi.to_positions(), vec![1, 3]);
         assert_eq!(anti.to_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn semi_join_all_match_collapses_to_dense() {
+        let l = Bat::from_ints(vec![1, 2, 1, 2]);
+        let r = Bat::from_ints(vec![2, 1]);
+        let semi = semi_join(&l, &r, None).unwrap();
+        assert!(matches!(semi, Candidates::Dense(ref rng) if *rng == (0..4)));
+    }
+
+    #[test]
+    fn semi_join_strings_uses_dictionary() {
+        let l = Bat::from_strs(&["pear", "kiwi", "pear", "fig"]);
+        let r = Bat::from_strs(&["pear", "plum"]);
+        let semi = semi_join(&l, &r, None).unwrap();
+        assert_eq!(semi.to_positions(), vec![0, 2]);
+        let anti = anti_join(&l, &r, None).unwrap();
+        assert_eq!(anti.to_positions(), vec![1, 3]);
     }
 
     #[test]

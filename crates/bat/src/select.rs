@@ -4,11 +4,30 @@
 //! (`monetdb.select(input, v1, v2)`): bulk scans over a tail column that emit
 //! the qualifying positions as [`Candidates`], composable with a prior
 //! candidate list. Nil never qualifies.
+//!
+//! The kernels are structured for data-parallel execution (see
+//! `docs/kernels.md`): every select lowers to a type-specialized, branchless
+//! predicate over a contiguous slice, driven by `scan_with`. Dense inputs
+//! take a count-then-fill pass (the counting loop auto-vectorizes; the fill
+//! loop is branchless), position lists take a single branchless gather.
+//! Nil handling is folded into the comparison itself wherever the sentinel
+//! encoding allows it:
+//!
+//! * ints/timestamps: `NIL_INT == i64::MIN` orders below every valid value,
+//!   so clamping the effective lower bound to `NIL_INT + 1` excludes nil for
+//!   free;
+//! * floats: nil is NaN, which fails every operator comparison (only `anti`
+//!   needs an explicit NaN test);
+//! * strings: bounds are resolved against the dictionary once into a
+//!   per-code qualification table, turning the scan into integer lookups;
+//! * bools: the domain is `{0, 1}`, so the predicate collapses to two
+//!   precomputed bits.
 
 use crate::bat::Bat;
-use crate::candidates::Candidates;
+use crate::candidates::{CandView, Candidates};
 use crate::error::{BatError, Result};
-use crate::types::{is_nil_float, is_nil_int, DataType, Value};
+use crate::heap::StrHeap;
+use crate::types::{total_key, DataType, Value, NIL_INT};
 
 /// Comparison operators for [`theta_select`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,42 +105,24 @@ pub fn select_range(
             let vals = bat.tail().as_i64s()?;
             let lo = bound_int(lo, "select lo")?;
             let hi = bound_int(hi, "select hi")?;
-            scan(vals.len(), cand, |p| {
-                let v = vals[p];
-                if is_nil_int(v) {
-                    return false;
-                }
-                let ok = ge_bound(v, lo, li) && le_bound(v, hi, hi_incl);
-                ok != anti
-            })
+            select_i64(vals, int_window(lo, hi, li, hi_incl), anti, cand)
         }
         DataType::Float => {
             let vals = bat.tail().as_floats()?;
             let lo = bound_float(lo, "select lo")?;
             let hi = bound_float(hi, "select hi")?;
-            scan(vals.len(), cand, |p| {
-                let v = vals[p];
-                if is_nil_float(v) {
-                    return false;
-                }
-                let ok = lo.is_none_or(|b| if li { v >= b } else { v > b })
-                    && hi.is_none_or(|b| if hi_incl { v <= b } else { v < b });
-                ok != anti
-            })
+            select_f64(vals, lo, hi, li, hi_incl, anti, cand)
         }
         DataType::Str => {
             let (codes, heap) = bat.tail().as_strs()?;
             let lo = bound_str(lo, "select lo")?;
             let hi = bound_str(hi, "select hi")?;
-            scan(codes.len(), cand, |p| {
-                let s = match heap.get(codes[p]) {
-                    Some(s) => s,
-                    None => return false,
-                };
+            let qual = qual_table(heap, |s| {
                 let ok = lo.is_none_or(|b| if li { s >= b } else { s > b })
                     && hi.is_none_or(|b| if hi_incl { s <= b } else { s < b });
                 ok != anti
-            })
+            });
+            select_codes(codes, &qual, cand)
         }
         DataType::Bool => {
             let vals = bat.tail().as_bools()?;
@@ -139,15 +140,12 @@ pub fn select_range(
             };
             let lo = want(lo)?;
             let hi = want(hi)?;
-            scan(vals.len(), cand, |p| {
-                let v = vals[p];
-                if v != 0 && v != 1 {
-                    return false;
-                }
+            let q = |v: i8| {
                 let ok = lo.is_none_or(|b| if li { v >= b } else { v > b })
                     && hi.is_none_or(|b| if hi_incl { v <= b } else { v < b });
                 ok != anti
-            })
+            };
+            select_bool(vals, q(0), q(1), cand)
         }
     }
 }
@@ -171,9 +169,16 @@ pub fn theta_select(
                 expected: "int",
                 got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
             })?;
-            scan(vals.len(), cand, |p| {
-                !is_nil_int(vals[p]) && op.eval(vals[p].cmp(&rhs))
-            })
+            // Every theta op is an (anti-)range over the integer total order.
+            let (win, anti) = match op {
+                CmpOp::Eq => (int_window(Some(rhs), Some(rhs), true, true), false),
+                CmpOp::Ne => (int_window(Some(rhs), Some(rhs), true, true), true),
+                CmpOp::Lt => (int_window(None, Some(rhs), true, false), false),
+                CmpOp::Le => (int_window(None, Some(rhs), true, true), false),
+                CmpOp::Gt => (int_window(Some(rhs), None, false, true), false),
+                CmpOp::Ge => (int_window(Some(rhs), None, true, true), false),
+            };
+            select_i64(vals, win, anti, cand)
         }
         DataType::Float => {
             let vals = bat.tail().as_floats()?;
@@ -182,9 +187,18 @@ pub fn theta_select(
                 expected: "float",
                 got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
             })?;
-            scan(vals.len(), cand, |p| {
-                !is_nil_float(vals[p]) && op.eval(vals[p].total_cmp(&rhs))
-            })
+            // Theta on floats follows `f64::total_cmp`; comparing total-order
+            // keys as integers reproduces it branchlessly (-0.0 < 0.0, and
+            // nil/NaN is rejected explicitly).
+            let k = total_key(rhs);
+            match op {
+                CmpOp::Eq => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) == k)),
+                CmpOp::Ne => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) != k)),
+                CmpOp::Lt => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) < k)),
+                CmpOp::Le => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) <= k)),
+                CmpOp::Gt => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) > k)),
+                CmpOp::Ge => scan_with(vals, cand, move |v| !v.is_nan() & (total_key(v) >= k)),
+            }
         }
         DataType::Str => {
             let (codes, heap) = bat.tail().as_strs()?;
@@ -198,13 +212,11 @@ pub fn theta_select(
             if op == CmpOp::Eq {
                 return match heap.code_of(rhs) {
                     None => Ok(Candidates::none()),
-                    Some(code) => scan(codes.len(), cand, |p| codes[p] == code),
+                    Some(code) => scan_with(codes, cand, move |c| c == code),
                 };
             }
-            scan(codes.len(), cand, |p| match heap.get(codes[p]) {
-                Some(s) => op.eval(s.cmp(rhs)),
-                None => false,
-            })
+            let qual = qual_table(heap, |s| op.eval(s.cmp(rhs)));
+            select_codes(codes, &qual, cand)
         }
         DataType::Bool => {
             let vals = bat.tail().as_bools()?;
@@ -213,41 +225,155 @@ pub fn theta_select(
                 expected: "bool",
                 got: value.data_type().map(|t| t.name()).unwrap_or("nil"),
             })?);
-            scan(vals.len(), cand, |p| {
-                (vals[p] == 0 || vals[p] == 1) && op.eval(vals[p].cmp(&rhs))
-            })
+            select_bool(vals, op.eval(0i8.cmp(&rhs)), op.eval(1i8.cmp(&rhs)), cand)
         }
     }
 }
 
-/// Shared scan driver: applies `pred` over either the dense range or the
-/// prior candidate list, producing ascending positions.
-fn scan<F: FnMut(usize) -> bool>(
-    len: usize,
+/// Normalize int-range bounds to an inclusive window `[lo, hi]`.
+///
+/// An unbounded low side becomes `NIL_INT + 1`, and any explicit low bound is
+/// clamped to it, so the window comparison itself excludes the nil sentinel
+/// (`i64::MIN` orders below every valid value). Returns `None` when the
+/// window is empty (including exclusive bounds that overflow the domain).
+#[inline]
+fn int_window(lo: Option<i64>, hi: Option<i64>, li: bool, hi_incl: bool) -> Option<(i64, i64)> {
+    let lo_eff = match lo {
+        None => NIL_INT + 1,
+        Some(b) if li => b.max(NIL_INT + 1),
+        Some(b) => b.checked_add(1)?.max(NIL_INT + 1),
+    };
+    let hi_eff = match hi {
+        None => i64::MAX,
+        Some(b) if hi_incl => b,
+        Some(b) => b.checked_sub(1)?,
+    };
+    (lo_eff <= hi_eff).then_some((lo_eff, hi_eff))
+}
+
+/// Int/timestamp select over a normalized window.
+fn select_i64(
+    vals: &[i64],
+    win: Option<(i64, i64)>,
+    anti: bool,
     cand: Option<&Candidates>,
-    mut pred: F,
 ) -> Result<Candidates> {
-    let mut out = Vec::new();
-    match cand {
-        None => {
-            for p in 0..len {
-                if pred(p) {
-                    out.push(p);
-                }
-            }
+    match (win, anti) {
+        (None, false) => {
+            // Empty window selects nothing, but candidate bounds are still
+            // validated (a scalar scan would have tripped over them).
+            Candidates::resolve(cand, vals.len())?;
+            Ok(Candidates::none())
         }
-        Some(c) => {
-            for p in c.iter() {
-                if p >= len {
-                    return Err(BatError::PositionOutOfRange { pos: p, len });
-                }
-                if pred(p) {
-                    out.push(p);
-                }
-            }
+        // NOT-in-empty-window = every non-nil value.
+        (None, true) => select_i64(vals, Some((NIL_INT + 1, i64::MAX)), false, cand),
+        (Some((lo, hi)), false) => scan_with(vals, cand, move |v| (v >= lo) & (v <= hi)),
+        (Some((lo, hi)), true) => {
+            scan_with(vals, cand, move |v| ((v < lo) | (v > hi)) & (v != NIL_INT))
         }
     }
-    Ok(Candidates::from_sorted_unchecked(out))
+}
+
+/// Float range select with operator comparison semantics (NaN — the nil
+/// sentinel — fails every comparison; `anti` re-excludes it explicitly).
+fn select_f64(
+    vals: &[f64],
+    lo: Option<f64>,
+    hi: Option<f64>,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+    cand: Option<&Candidates>,
+) -> Result<Candidates> {
+    let lo_b = lo.unwrap_or(f64::NEG_INFINITY);
+    let hi_b = hi.unwrap_or(f64::INFINITY);
+    // An unbounded side must admit its own infinity, so force inclusivity.
+    let li = li || lo.is_none();
+    let hi_incl = hi_incl || hi.is_none();
+    match (li, hi_incl) {
+        (true, true) => scan_with(vals, cand, move |v| {
+            (((v >= lo_b) & (v <= hi_b)) != anti) & !v.is_nan()
+        }),
+        (true, false) => scan_with(vals, cand, move |v| {
+            (((v >= lo_b) & (v < hi_b)) != anti) & !v.is_nan()
+        }),
+        (false, true) => scan_with(vals, cand, move |v| {
+            (((v > lo_b) & (v <= hi_b)) != anti) & !v.is_nan()
+        }),
+        (false, false) => scan_with(vals, cand, move |v| {
+            (((v > lo_b) & (v < hi_b)) != anti) & !v.is_nan()
+        }),
+    }
+}
+
+/// Bool select: the domain is `{0, 1}` (plus the `-1` nil sentinel), so the
+/// whole predicate is two precomputed qualification bits.
+fn select_bool(vals: &[i8], q0: bool, q1: bool, cand: Option<&Candidates>) -> Result<Candidates> {
+    scan_with(vals, cand, move |v| ((v == 0) & q0) | ((v == 1) & q1))
+}
+
+/// Evaluate a string predicate once per dictionary entry. Nil and unknown
+/// codes (index out of table range) never qualify.
+fn qual_table(heap: &StrHeap, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+    (0..heap.len() as u32)
+        .map(|c| heap.get(c).is_some_and(&pred))
+        .collect()
+}
+
+/// Str select as an integer scan over dictionary codes.
+fn select_codes(codes: &[u32], qual: &[bool], cand: Option<&Candidates>) -> Result<Candidates> {
+    scan_with(codes, cand, move |c| {
+        matches!(qual.get(c as usize), Some(true))
+    })
+}
+
+/// Shared scan driver: applies the branchless `pred` to each candidate value.
+///
+/// Dense inputs run a two-pass count-then-fill — the counting loop is a pure
+/// reduction the compiler auto-vectorizes, and the fill loop emits positions
+/// without branching (`out[k] = p; k += pred as usize`). When every scanned
+/// position qualifies, the result collapses to [`Candidates::Dense`] instead
+/// of materializing a position vector. Position-list inputs take a single
+/// branchless gather pass.
+#[inline]
+fn scan_with<T: Copy>(
+    vals: &[T],
+    cand: Option<&Candidates>,
+    pred: impl Fn(T) -> bool,
+) -> Result<Candidates> {
+    match Candidates::resolve(cand, vals.len())? {
+        CandView::Dense(r) => {
+            let slice = &vals[r.clone()];
+            let count = slice.iter().filter(|&&v| pred(v)).count();
+            if count == 0 {
+                return Ok(Candidates::none());
+            }
+            if count == slice.len() {
+                return Ok(Candidates::Dense(r));
+            }
+            // One slot of slack lets the fill loop write unconditionally:
+            // `k` stops at `count`, and trailing non-matches land in the
+            // sacrificial last slot.
+            let mut out = vec![0usize; count + 1];
+            let mut k = 0usize;
+            for (i, &v) in slice.iter().enumerate() {
+                out[k] = r.start + i;
+                k += pred(v) as usize;
+            }
+            out.truncate(count);
+            Ok(Candidates::from_sorted_unchecked(out))
+        }
+        CandView::Positions(pos) => {
+            let mut out = vec![0usize; pos.len() + 1];
+            let mut k = 0usize;
+            for &p in pos {
+                out[k] = p;
+                k += pred(vals[p]) as usize;
+            }
+            out.truncate(k);
+            Ok(Candidates::from_sorted_unchecked(out))
+        }
+    }
 }
 
 fn bound_int(v: Option<&Value>, op: &str) -> Result<Option<i64>> {
@@ -277,34 +403,6 @@ fn bound_str<'a>(v: Option<&'a Value>, op: &str) -> Result<Option<&'a str>> {
             .as_str()
             .map(Some)
             .ok_or_else(|| BatError::Invalid(format!("{op}: expected string bound, got {x:?}"))),
-    }
-}
-
-#[inline]
-fn ge_bound(v: i64, lo: Option<i64>, incl: bool) -> bool {
-    match lo {
-        None => true,
-        Some(b) => {
-            if incl {
-                v >= b
-            } else {
-                v > b
-            }
-        }
-    }
-}
-
-#[inline]
-fn le_bound(v: i64, hi: Option<i64>, incl: bool) -> bool {
-    match hi {
-        None => true,
-        Some(b) => {
-            if incl {
-                v <= b
-            } else {
-                v < b
-            }
-        }
     }
 }
 
@@ -512,5 +610,51 @@ mod tests {
         assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
         assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn full_selectivity_scan_collapses_to_dense() {
+        let b = ints(vec![1, 2, 3, 4]);
+        let c = theta_select(&b, CmpOp::Gt, &Value::Int(0), None).unwrap();
+        assert!(matches!(c, Candidates::Dense(ref r) if *r == (0..4)));
+        // A dense sub-range stays dense when everything in it qualifies.
+        let sub = Candidates::Dense(1..3);
+        let c = theta_select(&b, CmpOp::Gt, &Value::Int(0), Some(&sub)).unwrap();
+        assert!(matches!(c, Candidates::Dense(ref r) if *r == (1..3)));
+    }
+
+    #[test]
+    fn int_window_extremes() {
+        let b = ints(vec![i64::MAX, 0, NIL_INT + 1, NIL_INT]);
+        // > MAX is empty; >= MIN+1 is "all non-nil".
+        let gt_max = theta_select(&b, CmpOp::Gt, &Value::Int(i64::MAX), None).unwrap();
+        assert!(gt_max.is_empty());
+        let ge_min = theta_select(&b, CmpOp::Ge, &Value::Int(NIL_INT + 1), None).unwrap();
+        assert_eq!(ge_min.to_positions(), vec![0, 1, 2]);
+        // Ne over the whole domain still excludes nil.
+        let ne = theta_select(&b, CmpOp::Ne, &Value::Int(0), None).unwrap();
+        assert_eq!(ne.to_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn float_theta_total_order() {
+        let b = Bat::from_floats(vec![-0.0, 0.0, 1.0, f64::NAN]);
+        // theta uses total_cmp: -0.0 < 0.0.
+        let lt = theta_select(&b, CmpOp::Lt, &Value::Float(0.0), None).unwrap();
+        assert_eq!(lt.to_positions(), vec![0]);
+        let eq = theta_select(&b, CmpOp::Eq, &Value::Float(0.0), None).unwrap();
+        assert_eq!(eq.to_positions(), vec![1]);
+        // range uses operator semantics: -0.0 == 0.0.
+        let r = select_range(
+            &b,
+            Some(&Value::Float(0.0)),
+            Some(&Value::Float(0.0)),
+            true,
+            true,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.to_positions(), vec![0, 1]);
     }
 }

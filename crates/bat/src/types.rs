@@ -34,6 +34,15 @@ pub fn is_nil_int(v: i64) -> bool {
     v == NIL_INT
 }
 
+/// Total-order key of a float: comparing keys as `i64` reproduces
+/// [`f64::total_cmp`] with plain integer comparisons, which lets the
+/// vectorized kernels evaluate total-order predicates branchlessly.
+#[inline]
+pub fn total_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
 /// Logical column types supported by the kernel.
 ///
 /// `Timestamp` is stored as microseconds since an arbitrary epoch in an

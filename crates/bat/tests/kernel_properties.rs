@@ -4,7 +4,7 @@
 //! row-at-a-time oracle, and check algebraic laws (candidate-list algebra,
 //! join symmetry, accumulator mergeability) on arbitrary inputs.
 
-use datacell_bat::aggregate::{scalar_agg, Accumulator, AggFunc};
+use datacell_bat::aggregate::{grouped_agg, scalar_agg, Accumulator, AggFunc};
 use datacell_bat::calc::{arith, compare, true_candidates, ArithOp, Operand};
 use datacell_bat::candidates::Candidates;
 use datacell_bat::group::group_by;
@@ -14,6 +14,103 @@ use datacell_bat::sort::{distinct, order, SortOrder};
 use datacell_bat::types::{DataType, Value, NIL_INT};
 use datacell_bat::{Bat, Column};
 use proptest::prelude::*;
+
+mod reference;
+use reference::{
+    ref_arith, ref_compare, ref_grouped_agg, ref_scalar_agg, ref_select_range, ref_theta, values_eq,
+};
+
+const ALL_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+const ALL_FUNCS: [AggFunc; 6] = [
+    AggFunc::Count { star: true },
+    AggFunc::Count { star: false },
+    AggFunc::Sum,
+    AggFunc::Min,
+    AggFunc::Max,
+    AggFunc::Avg,
+];
+
+/// Materialize a candidate list from an independently generated recipe:
+/// shape 0 = none (all rows), 1 = empty, 2 = dense sub-range, 3 = positions.
+fn make_cand(shape: u8, a: usize, b: usize, raw: &[usize], len: usize) -> Option<Candidates> {
+    match shape {
+        0 => None,
+        1 => Some(Candidates::none()),
+        2 => Some(Candidates::Dense(a.min(b).min(len)..a.max(b).min(len))),
+        _ => Some(
+            Candidates::from_positions(raw.iter().copied().filter(|&p| p < len).collect()).unwrap(),
+        ),
+    }
+}
+
+/// Position pool for `make_cand` shape 3 (filtered to the data length).
+fn raw_positions() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0usize..64, 0..40).prop_map(|s| s.into_iter().collect())
+}
+
+/// Floats rich in kernel edge cases: NaN (nil), signed zeros, infinities.
+fn float_vals() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (-40i64..40).prop_map(|v| v as f64 / 4.0),
+            1 => Just(f64::NAN),
+            1 => Just(-0.0f64),
+            1 => Just(0.0f64),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+        ],
+        0..50,
+    )
+}
+
+fn opt_int_bound() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![1 => Just(None), 3 => (-5i64..15).prop_map(Some)]
+}
+
+fn opt_float_bound() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        1 => Just(None),
+        1 => Just(Some(0.0f64)),
+        1 => Just(Some(-0.0f64)),
+        4 => (-40i64..40).prop_map(|v| Some(v as f64 / 4.0)),
+    ]
+}
+
+/// Dictionary pool for string tests; index 5 encodes nil, and the probe
+/// pool extends past it so lookups can miss the column's dictionary.
+const STR_POOL: [&str; 5] = ["apple", "fig", "kiwi", "pear", "plum"];
+const STR_PROBES: [&str; 7] = ["apple", "fig", "kiwi", "pear", "plum", "aaa", "zzz"];
+
+fn str_bat(idx: &[usize]) -> Bat {
+    let mut col = Column::empty(DataType::Str);
+    for &i in idx {
+        match STR_POOL.get(i) {
+            Some(s) => col.push(&Value::Str((*s).to_string())).unwrap(),
+            None => col.push_nil(),
+        }
+    }
+    Bat::new(col)
+}
+
+fn bool_bat(vals: &[u8]) -> Bat {
+    let mut col = Column::empty(DataType::Bool);
+    for &v in vals {
+        match v {
+            0 => col.push(&Value::Bool(false)).unwrap(),
+            1 => col.push(&Value::Bool(true)).unwrap(),
+            _ => col.push_nil(),
+        }
+    }
+    Bat::new(col)
+}
 
 /// Small-domain ints (lots of duplicates, occasional nil) stress joins and
 /// grouping harder than uniform randoms.
@@ -200,5 +297,316 @@ proptest! {
         let added = arith(ArithOp::Add, Operand::Col(&col), Operand::Scalar(&Value::Int(k))).unwrap();
         let back = arith(ArithOp::Sub, Operand::Col(&added), Operand::Scalar(&Value::Int(k))).unwrap();
         prop_assert_eq!(back.as_ints().unwrap(), &vals[..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential tier: vectorized kernels vs the row-at-a-time reference
+// implementations in `tests/reference/mod.rs`. Every test sweeps candidate
+// shapes (all / empty / dense sub-range / position list) via `make_cand`.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn range_select_matches_reference_int(
+        vals in small_ints(),
+        lo in opt_int_bound(),
+        hi in opt_int_bound(),
+        flags in 0u8..8,
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let (li, hi_incl, anti) = (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        let bat = Bat::from_ints(vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let lov = lo.map(Value::Int);
+        let hiv = hi.map(Value::Int);
+        let got = select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref())
+            .unwrap()
+            .to_positions();
+        let want = ref_select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_select_matches_reference_float(
+        vals in float_vals(),
+        lo in opt_float_bound(),
+        hi in opt_float_bound(),
+        flags in 0u8..8,
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let (li, hi_incl, anti) = (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        let bat = Bat::from_floats(vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let lov = lo.map(Value::Float);
+        let hiv = hi.map(Value::Float);
+        let got = select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref())
+            .unwrap()
+            .to_positions();
+        let want = ref_select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_select_matches_reference_str(
+        idx in prop::collection::vec(0usize..6, 0..40),
+        lo_i in 0usize..8,
+        hi_i in 0usize..8,
+        flags in 0u8..8,
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let (li, hi_incl, anti) = (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        let bat = str_bat(&idx);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let lov = STR_PROBES.get(lo_i).map(|s| Value::Str((*s).to_string()));
+        let hiv = STR_PROBES.get(hi_i).map(|s| Value::Str((*s).to_string()));
+        let got = select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref())
+            .unwrap()
+            .to_positions();
+        let want = ref_select_range(&bat, lov.as_ref(), hiv.as_ref(), li, hi_incl, anti, cand.as_ref());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn theta_select_matches_reference_float(
+        vals in float_vals(),
+        pivot in opt_float_bound(),
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = Bat::from_floats(vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let rhs = Value::Float(pivot.unwrap_or(0.5));
+        for op in ALL_OPS {
+            let got = theta_select(&bat, op, &rhs, cand.as_ref()).unwrap().to_positions();
+            let want = ref_theta(&bat, op, &rhs, cand.as_ref());
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn theta_select_matches_reference_str(
+        idx in prop::collection::vec(0usize..6, 0..40),
+        rhs_i in 0usize..7,
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = str_bat(&idx);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let rhs = Value::Str(STR_PROBES[rhs_i].to_string());
+        for op in ALL_OPS {
+            let got = theta_select(&bat, op, &rhs, cand.as_ref()).unwrap().to_positions();
+            let want = ref_theta(&bat, op, &rhs, cand.as_ref());
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn theta_select_matches_reference_bool(
+        vals in prop::collection::vec(0u8..3, 0..40),
+        rhs in 0u8..2,
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = bool_bat(&vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        let rhs = Value::Bool(rhs == 1);
+        for op in ALL_OPS {
+            let got = theta_select(&bat, op, &rhs, cand.as_ref()).unwrap().to_positions();
+            let want = ref_theta(&bat, op, &rhs, cand.as_ref());
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn compare_matches_reference_int_scalar(vals in small_ints(), pivot in -5i64..15) {
+        let col = Column::from_ints(vals);
+        let rhs = Value::Int(pivot);
+        for op in ALL_OPS {
+            let got = compare(op, Operand::Col(&col), Operand::Scalar(&rhs)).unwrap();
+            let want = ref_compare(op, &Operand::Col(&col), &Operand::Scalar(&rhs), col.len());
+            prop_assert_eq!(got.as_bools().unwrap(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn compare_matches_reference_float_cols(xs in float_vals(), ys in float_vals()) {
+        let n = xs.len().min(ys.len());
+        let ca = Column::from_floats(xs[..n].to_vec());
+        let cb = Column::from_floats(ys[..n].to_vec());
+        for op in ALL_OPS {
+            let got = compare(op, Operand::Col(&ca), Operand::Col(&cb)).unwrap();
+            let want = ref_compare(op, &Operand::Col(&ca), &Operand::Col(&cb), n);
+            prop_assert_eq!(got.as_bools().unwrap(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn compare_matches_reference_str_scalar(
+        idx in prop::collection::vec(0usize..6, 0..40),
+        rhs_i in 0usize..7,
+    ) {
+        let bat = str_bat(&idx);
+        let col = bat.tail();
+        let rhs = Value::Str(STR_PROBES[rhs_i].to_string());
+        for op in ALL_OPS {
+            let got = compare(op, Operand::Col(col), Operand::Scalar(&rhs)).unwrap();
+            let want = ref_compare(op, &Operand::Col(col), &Operand::Scalar(&rhs), col.len());
+            prop_assert_eq!(got.as_bools().unwrap(), &want[..]);
+            // Flipped operands exercise the scalar-on-the-left path.
+            let got = compare(op, Operand::Scalar(&rhs), Operand::Col(col)).unwrap();
+            let want = ref_compare(op, &Operand::Scalar(&rhs), &Operand::Col(col), col.len());
+            prop_assert_eq!(got.as_bools().unwrap(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn arith_matches_reference_int(vals in small_ints(), k in -3i64..4) {
+        let col = Column::from_ints(vals);
+        let rhs = Value::Int(k);
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Mod] {
+            let got = arith(op, Operand::Col(&col), Operand::Scalar(&rhs)).unwrap();
+            let want = ref_arith(op, &Operand::Col(&col), &Operand::Scalar(&rhs), col.len()).unwrap();
+            prop_assert_eq!(got.as_ints().unwrap(), want.as_ints().unwrap());
+        }
+    }
+
+    #[test]
+    fn arith_matches_reference_float_widening(vals in small_ints(), ys in float_vals()) {
+        let n = vals.len().min(ys.len());
+        let ca = Column::from_ints(vals[..n].to_vec());
+        let cb = Column::from_floats(ys[..n].to_vec());
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Mod] {
+            let got = arith(op, Operand::Col(&ca), Operand::Col(&cb)).unwrap();
+            let want = ref_arith(op, &Operand::Col(&ca), &Operand::Col(&cb), n).unwrap();
+            let gb: Vec<u64> = got.as_floats().unwrap().iter().map(|f| f.to_bits()).collect();
+            let wb: Vec<u64> = want.as_floats().unwrap().iter().map(|f| f.to_bits()).collect();
+            prop_assert_eq!(gb, wb);
+        }
+    }
+
+    #[test]
+    fn scalar_agg_matches_reference_int(
+        vals in small_ints(),
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = Bat::from_ints(vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        for func in ALL_FUNCS {
+            let got = scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            let want = ref_scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            prop_assert!(values_eq(&got, &want), "{:?}: {:?} != {:?}", func, got, want);
+        }
+    }
+
+    #[test]
+    fn scalar_agg_matches_reference_float(
+        vals in float_vals(),
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = Bat::from_floats(vals);
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        for func in ALL_FUNCS {
+            let got = scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            let want = ref_scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            prop_assert!(values_eq(&got, &want), "{:?}: {:?} != {:?}", func, got, want);
+        }
+    }
+
+    #[test]
+    fn scalar_agg_matches_reference_timestamp(
+        vals in small_ints(),
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let bat = Bat::new(Column::from_timestamps(vals));
+        let cand = make_cand(shape, a, b, &raw, bat.len());
+        for func in ALL_FUNCS {
+            let got = scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            let want = ref_scalar_agg(func, &bat, cand.as_ref()).unwrap();
+            prop_assert!(values_eq(&got, &want), "{:?}: {:?} != {:?}", func, got, want);
+        }
+    }
+
+    #[test]
+    fn grouped_agg_matches_reference_int(keys in small_ints(), vals in small_ints()) {
+        let n = keys.len().min(vals.len());
+        let kb = Bat::from_ints(keys[..n].to_vec());
+        let vb = Bat::from_ints(vals[..n].to_vec());
+        let g = group_by(&kb, None, None).unwrap();
+        for func in ALL_FUNCS {
+            let got = grouped_agg(func, &vb, &g).unwrap();
+            let want = ref_grouped_agg(func, &vb, &g).unwrap();
+            prop_assert_eq!(got.len(), want.len());
+            for (i, w) in want.iter().enumerate() {
+                let gv = got.get(i).unwrap();
+                prop_assert!(values_eq(&gv, w), "{:?} group {}: {:?} != {:?}", func, i, gv, w);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_agg_matches_reference_float(keys in small_ints(), vals in float_vals()) {
+        let n = keys.len().min(vals.len());
+        let kb = Bat::from_ints(keys[..n].to_vec());
+        let vb = Bat::from_floats(vals[..n].to_vec());
+        let g = group_by(&kb, None, None).unwrap();
+        for func in ALL_FUNCS {
+            let got = grouped_agg(func, &vb, &g).unwrap();
+            let want = ref_grouped_agg(func, &vb, &g).unwrap();
+            prop_assert_eq!(got.len(), want.len());
+            for (i, w) in want.iter().enumerate() {
+                let gv = got.get(i).unwrap();
+                prop_assert!(values_eq(&gv, w), "{:?} group {}: {:?} != {:?}", func, i, gv, w);
+            }
+        }
+    }
+
+    #[test]
+    fn join_candidates_agree_with_positions(l in small_ints(), r in small_ints(),
+        shape in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+        raw in raw_positions(),
+    ) {
+        let lb = Bat::from_ints(l);
+        let rb = Bat::from_ints(r);
+        let cand = make_cand(shape, a, b, &raw, lb.len());
+        let (lp, _) = hash_join(&lb, &rb, cand.as_ref(), None).unwrap();
+        let semi = semi_join(&lb, &rb, cand.as_ref()).unwrap();
+        let anti = anti_join(&lb, &rb, cand.as_ref()).unwrap();
+        // semi = distinct probe hits; semi ∪ anti = candidate rows with
+        // non-nil keys.
+        let mut hits = lp;
+        hits.dedup();
+        prop_assert_eq!(semi.to_positions(), hits);
+        let sel: Vec<usize> = reference::positions_of(cand.as_ref(), lb.len())
+            .into_iter()
+            .filter(|&p| lb.get(p).unwrap() != Value::Nil)
+            .collect();
+        prop_assert_eq!(semi.union(&anti).to_positions(), sel);
     }
 }
