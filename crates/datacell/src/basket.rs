@@ -36,6 +36,7 @@
 //! `StreamWriter::flush` observes the same limit from the client side.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +53,10 @@ use crate::error::{DataCellError, Result};
 
 /// Name of the implicit arrival-timestamp column.
 pub const TS_COLUMN: &str = "ts";
+
+/// Default WAL size (bytes) past which an append triggers a live
+/// checkpoint ([`Basket::set_wal_checkpoint_bytes`]).
+pub const DEFAULT_WAL_CHECKPOINT_BYTES: u64 = 8 * 1024 * 1024;
 
 /// What a bounded basket does when an append would exceed its capacity.
 ///
@@ -202,6 +207,31 @@ impl ReaderState {
             .min()
             .expect("chain is non-empty")
     }
+}
+
+/// Anchor from [`Basket::snapshot_exclusive`]: the snapshot's position in
+/// the stream and the layout epoch it was taken under, so the matching
+/// [`Basket::consume_exclusive`] can apply snapshot-relative positions
+/// directly (fast path) or detect a layout change and fall back to the
+/// shift-corrected anchored path.
+#[derive(Debug, Clone)]
+pub struct ExclusiveAnchor {
+    /// Oid of the snapshot's first row.
+    base: u64,
+    /// Basket epoch at snapshot time.
+    epoch: u64,
+    /// Tuples covered by the snapshot.
+    rows: usize,
+}
+
+/// Outcome of one locked slice attempt: either the slice itself, or the
+/// spill segment that must be decoded (outside the lock) before retrying.
+enum CursorSlice {
+    /// `(chunk, start_oid, end_oid)` — the slice, ready to serve.
+    Ready(Chunk, u64, u64),
+    /// The cursor sits in this spilled segment and the one-segment cache
+    /// missed: decode it without holding the basket lock, install, retry.
+    NeedSegment(SegmentMeta, BasketStore),
 }
 
 /// The on-disk head of a spilling basket: sealed segments covering the
@@ -370,6 +400,9 @@ pub struct Basket {
     /// Optional aggregated signal (the scheduler's): notified alongside the
     /// basket's own signal so one waiter can watch every basket.
     parent_signal: Mutex<Option<Arc<Signal>>>,
+    /// WAL size threshold (bytes) past which an append triggers a live
+    /// checkpoint; `0` disables live checkpointing.
+    wal_checkpoint_bytes: AtomicU64,
 }
 
 impl Basket {
@@ -415,7 +448,19 @@ impl Basket {
             }),
             signal: Arc::new(Signal::new()),
             parent_signal: Mutex::new(None),
+            wal_checkpoint_bytes: AtomicU64::new(DEFAULT_WAL_CHECKPOINT_BYTES),
         })
+    }
+
+    /// Set the live WAL checkpoint threshold: once the log file exceeds
+    /// `bytes`, the next append compacts it in place to a baseline plus
+    /// the basket's current contents (see [`Wal::checkpoint`]). `0`
+    /// disables live checkpointing (compaction then only happens at
+    /// recovery, the pre-checkpoint behavior). Default:
+    /// [`DEFAULT_WAL_CHECKPOINT_BYTES`].
+    pub fn set_wal_checkpoint_bytes(&self, bytes: u64) {
+        self.wal_checkpoint_bytes
+            .store(bytes, AtomicOrdering::Relaxed);
     }
 
     /// Attach the basket's slice of the on-disk store: `store` receives
@@ -701,6 +746,86 @@ impl Basket {
         Ok(())
     }
 
+    /// Live WAL compaction (the PR-5 "compaction only happens at
+    /// recovery" corner): when the log has grown past the checkpoint
+    /// threshold, rewrite it in place as a baseline plus one rows record
+    /// holding the full logical contents, truncating every record behind
+    /// it (see [`Wal::checkpoint`]). Runs under the basket lock so the
+    /// cut is consistent with the log; a failed segment decode or
+    /// checkpoint write skips the compaction (counted) and a later append
+    /// retries it.
+    fn maybe_checkpoint_wal(&self, inner: &mut Inner) {
+        let Some(wal) = inner.wal.clone() else {
+            return;
+        };
+        let threshold = self.wal_checkpoint_bytes.load(AtomicOrdering::Relaxed);
+        if threshold == 0 || wal.bytes_written() < threshold {
+            return;
+        }
+        let Some(chunk) = self.logical_contents(inner) else {
+            return;
+        };
+        let appended = inner.stats.appended - chunk.len() as u64;
+        let base = inner.head_oid();
+        if let Err(e) = wal.checkpoint(appended, inner.stats.consumed, base, &chunk) {
+            inner.stats.storage_errors += 1;
+            eprintln!("basket {}: wal checkpoint failed: {e}", self.name);
+        }
+    }
+
+    /// Decode the full logical contents (on-disk head then memory tail)
+    /// into one chunk, under the lock — the checkpoint image. `None` if a
+    /// segment read fails (counted; never serves a partial image).
+    fn logical_contents(&self, inner: &mut Inner) -> Option<Chunk> {
+        let has_segments = inner.spill.as_ref().is_some_and(|s| !s.segments.is_empty());
+        if !has_segments {
+            return Some(inner.mem_slice(&self.schema, 0, inner.mem_len()));
+        }
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| Column::empty(c.ty))
+            .collect();
+        let (store, segments) = {
+            let spill = inner.spill.as_ref().expect("checked above");
+            let segs: Vec<SegmentMeta> = spill.segments.iter().cloned().collect();
+            (spill.store.clone(), segs)
+        };
+        for meta in &segments {
+            let cached = inner
+                .spill
+                .as_ref()
+                .and_then(|s| s.cache.as_ref())
+                .filter(|(b, c)| *b == meta.base_oid && c.len() == meta.rows as usize)
+                .map(|(_, c)| Arc::clone(c));
+            let seg = match cached {
+                Some(c) => c,
+                None => match store.read_segment(meta, &self.schema) {
+                    Ok(c) => Arc::new(c),
+                    Err(e) => {
+                        inner.stats.storage_errors += 1;
+                        eprintln!(
+                            "basket {}: checkpoint segment decode failed: {e}",
+                            self.name
+                        );
+                        return None;
+                    }
+                },
+            };
+            for (acc, col) in columns.iter_mut().zip(&seg.columns) {
+                acc.append_column(col).expect("segment matches schema");
+            }
+        }
+        for (acc, col) in columns.iter_mut().zip(&inner.columns) {
+            acc.append_column(col).expect("same schema");
+        }
+        Some(Chunk {
+            schema: self.schema.clone(),
+            columns,
+        })
+    }
+
     /// Snapshot the over-budget memory head for sealing, **under** the
     /// basket lock but without touching the disk. Returns `None` when the
     /// policy is not `Spill`, the budget is respected, or a seal is
@@ -966,6 +1091,7 @@ impl Basket {
             }
             inner.stats.appended += take as u64;
             let synced = self.log_rows_or_roll_back(&mut inner, take)?;
+            self.maybe_checkpoint_wal(&mut inner);
             let spill = self.spill_job(&mut inner);
             offset += take;
             let done = offset == rows.len();
@@ -1075,6 +1201,7 @@ impl Basket {
             }
             inner.stats.appended += take as u64;
             let synced = self.log_rows_or_roll_back(&mut inner, take)?;
+            self.maybe_checkpoint_wal(&mut inner);
             let spill = self.spill_job(&mut inner);
             offset += take;
             let done = offset == total;
@@ -1242,6 +1369,300 @@ impl Basket {
         Ok(removed)
     }
 
+    /// Snapshot up to `budget` tuples of the logical head for exclusive
+    /// consumption **without** re-materializing the spilled backlog into
+    /// the basket. [`Basket::snapshot_anchored`] unspills everything
+    /// first, so one exclusive step over a deep backlog silently broke the
+    /// `Spill { mem_rows }` memory ceiling; here spilled segments are
+    /// decoded straight into the returned chunk one at a time (transient
+    /// copies — basket residency never changes), resident rows fill the
+    /// remainder of the budget, and the boundary segment stays warm in the
+    /// one-segment cache for the matching [`Basket::consume_exclusive`].
+    ///
+    /// Position `p` of the returned chunk is the `p`-th logical tuple of
+    /// the basket; the [`ExclusiveAnchor`] records the layout epoch so
+    /// consumption can verify those ordinals still hold. A failed segment
+    /// decode is counted and ends the snapshot at the last good segment
+    /// (the unread rows stay pending, never skipped or served corrupt).
+    pub fn snapshot_exclusive(&self, budget: usize) -> (Chunk, ExclusiveAnchor) {
+        let mut inner = self.inner.lock();
+        let anchor_base = inner.head_oid();
+        let epoch = inner.epoch;
+        let spilled = inner.spill.as_ref().is_some_and(|s| !s.segments.is_empty());
+        if !spilled {
+            // Pure-memory fast path: the historical clone, budget-capped.
+            let take = inner.mem_len().min(budget);
+            let columns: Vec<Column> = inner
+                .columns
+                .iter()
+                .map(|c| c.slice(0, take).expect("slice within bounds"))
+                .collect();
+            let chunk = Chunk {
+                schema: self.schema.clone(),
+                columns,
+            };
+            return (
+                chunk,
+                ExclusiveAnchor {
+                    base: anchor_base,
+                    epoch,
+                    rows: take,
+                },
+            );
+        }
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| Column::empty(c.ty))
+            .collect();
+        let mut remaining = budget;
+        let mut truncated = false;
+        let spill = inner.spill.as_ref().expect("checked above");
+        let store = spill.store.clone();
+        let segments: Vec<SegmentMeta> = spill.segments.iter().cloned().collect();
+        let mut cache_install: Option<(u64, Arc<Chunk>)> = None;
+        for meta in &segments {
+            if remaining == 0 {
+                break;
+            }
+            let cached = inner
+                .spill
+                .as_ref()
+                .and_then(|s| s.cache.as_ref())
+                .filter(|(b, _)| *b == meta.base_oid)
+                .map(|(_, c)| Arc::clone(c));
+            let seg = match cached {
+                Some(c) => c,
+                None => match store.read_segment(meta, &self.schema) {
+                    Ok(c) => Arc::new(c),
+                    Err(e) => {
+                        inner.stats.storage_errors += 1;
+                        eprintln!(
+                            "basket {}: exclusive snapshot decode failed: {e}",
+                            self.name
+                        );
+                        truncated = true;
+                        break;
+                    }
+                },
+            };
+            let take = (meta.rows as usize).min(remaining);
+            for (acc, col) in columns.iter_mut().zip(&seg.columns) {
+                let part = col.slice(0, take).expect("slice within segment");
+                acc.append_column(&part).expect("segment matches schema");
+            }
+            remaining -= take;
+            if take < meta.rows as usize {
+                // Budget boundary inside this segment: keep it warm for
+                // the decode-free partial consume that follows.
+                cache_install = Some((meta.base_oid, seg));
+            }
+        }
+        if remaining > 0 && !truncated {
+            let take = inner.mem_len().min(remaining);
+            for (acc, col) in columns.iter_mut().zip(&inner.columns) {
+                let part = col.slice(0, take).expect("slice within bounds");
+                acc.append_column(&part).expect("same schema");
+            }
+        }
+        if let (Some(entry), Some(spill)) = (cache_install, inner.spill.as_mut()) {
+            spill.cache = Some(entry);
+        }
+        let chunk = Chunk {
+            schema: self.schema.clone(),
+            columns,
+        };
+        let rows = chunk.len();
+        (
+            chunk,
+            ExclusiveAnchor {
+                base: anchor_base,
+                epoch,
+                rows,
+            },
+        )
+    }
+
+    /// Delete the tuples at `positions` *relative to a
+    /// [`Basket::snapshot_exclusive`] snapshot*, serving the spilled part
+    /// segment-by-segment instead of re-materializing the backlog: a
+    /// segment whose rows are all consumed is deleted outright (no
+    /// decode), a partially-consumed segment is decoded (cache-aware),
+    /// its survivors re-sealed in place at the same base oid, and the
+    /// resident suffix is consumed positionally. The layout epoch guards
+    /// the ordinal mapping — appends and spill seals preserve the logical
+    /// prefix and keep the epoch, while head mutations (shed, trim,
+    /// clear, a competing consume) bump it, in which case this falls back
+    /// to the shift-corrected [`Basket::consume_anchored`] path.
+    ///
+    /// A failed decode or re-seal keeps the affected segment intact
+    /// (counted; the rows are re-delivered rather than lost — the same
+    /// at-least-once stance as the reader paths).
+    pub fn consume_exclusive(
+        &self,
+        anchor: &ExclusiveAnchor,
+        positions: &Candidates,
+    ) -> Result<usize> {
+        let removed_total;
+        {
+            let mut inner = self.inner.lock();
+            if inner.epoch != anchor.epoch {
+                drop(inner);
+                return self.consume_anchored(anchor.base, positions);
+            }
+            let limit = anchor.rows.min(inner.total_len());
+            let gone: Vec<usize> = positions
+                .to_positions()
+                .into_iter()
+                .filter(|&p| p < limit)
+                .collect();
+            if gone.is_empty() {
+                return Ok(0);
+            }
+            let mut removed = 0usize;
+            // Ordinals actually removed — the WAL record is written from
+            // these, so a decode/re-seal failure that keeps rows resident
+            // also keeps them in the replayed state.
+            let mut walled: Vec<usize> = Vec::with_capacity(gone.len());
+            let mut storage_errs = 0u64;
+            let mut idx = 0usize; // cursor into `gone`
+            let mut offset = 0usize; // logical ordinal of the current segment's first row
+            let schema = self.schema.clone();
+            if let Some(spill) = inner.spill.as_mut() {
+                let store = spill.store.clone();
+                let segments: Vec<SegmentMeta> = spill.segments.drain(..).collect();
+                let mut kept: VecDeque<SegmentMeta> = VecDeque::with_capacity(segments.len());
+                for meta in segments {
+                    let rows = meta.rows as usize;
+                    let seg_end = offset + rows;
+                    let mut seg_gone: Vec<usize> = Vec::new();
+                    while idx < gone.len() && gone[idx] < seg_end {
+                        seg_gone.push(gone[idx] - offset);
+                        idx += 1;
+                    }
+                    if seg_gone.is_empty() {
+                        kept.push_back(meta);
+                    } else if seg_gone.len() == rows {
+                        // Fully consumed: the file goes, no decode needed.
+                        if spill
+                            .cache
+                            .as_ref()
+                            .is_some_and(|(b, _)| *b == meta.base_oid)
+                        {
+                            spill.cache = None;
+                        }
+                        if let Err(e) = store.delete_segment(&meta) {
+                            eprintln!("basket {}: deleting consumed segment: {e}", self.name);
+                        }
+                        spill.rows -= rows as u64;
+                        removed += rows;
+                        walled.extend(offset..seg_end);
+                    } else {
+                        // Partial: decode, retain survivors, re-seal in
+                        // place at the same base.
+                        let cached = spill
+                            .cache
+                            .as_ref()
+                            .filter(|(b, _)| *b == meta.base_oid)
+                            .map(|(_, c)| Arc::clone(c));
+                        let full = match cached {
+                            Some(c) => c,
+                            None => match store.read_segment(&meta, &schema) {
+                                Ok(c) => Arc::new(c),
+                                Err(e) => {
+                                    storage_errs += 1;
+                                    eprintln!(
+                                        "basket {}: consume decode failed, keeping segment: {e}",
+                                        self.name
+                                    );
+                                    kept.push_back(meta);
+                                    offset = seg_end;
+                                    continue;
+                                }
+                            },
+                        };
+                        let keep = Candidates::from_sorted_unchecked(seg_gone.clone())
+                            .complement(rows)
+                            .to_positions();
+                        let mut cols = full.columns.clone();
+                        for c in &mut cols {
+                            c.retain_positions(&keep)?;
+                        }
+                        let survivors = Chunk {
+                            schema: schema.clone(),
+                            columns: cols,
+                        };
+                        match store.replace_segment(&meta, &survivors) {
+                            Ok(new_meta) => {
+                                spill.rows -= seg_gone.len() as u64;
+                                removed += seg_gone.len();
+                                walled.extend(seg_gone.iter().map(|&p| offset + p));
+                                spill.cache = Some((new_meta.base_oid, Arc::new(survivors)));
+                                kept.push_back(new_meta);
+                            }
+                            Err(e) => {
+                                storage_errs += 1;
+                                eprintln!(
+                                    "basket {}: re-seal failed, keeping segment: {e}",
+                                    self.name
+                                );
+                                kept.push_back(meta);
+                            }
+                        }
+                    }
+                    offset = seg_end;
+                }
+                spill.segments = kept;
+            }
+            inner.stats.storage_errors += storage_errs;
+            // Resident suffix: ordinals past the disk part map 1:1 onto
+            // memory positions.
+            let mem_len = inner.mem_len();
+            let mem_gone: Vec<usize> = gone[idx..]
+                .iter()
+                .map(|&p| p - offset)
+                .filter(|&p| p < mem_len)
+                .collect();
+            if !mem_gone.is_empty() {
+                let keep = Candidates::from_sorted_unchecked(mem_gone.clone())
+                    .complement(mem_len)
+                    .to_positions();
+                let r = mem_len - keep.len();
+                for c in &mut inner.columns {
+                    c.retain_positions(&keep)?;
+                }
+                walled.extend(mem_gone.iter().map(|&p| offset + p));
+                inner.base_oid += r as u64;
+                removed += r;
+            }
+            if removed == 0 {
+                return Ok(0);
+            }
+            if let Some(wal) = inner.wal.clone() {
+                // Ordinals relative to the pre-consume logical content —
+                // exactly the view a WAL replay holds at this record.
+                if let Err(e) = wal.append_consume(&walled) {
+                    inner.stats.storage_errors += 1;
+                    eprintln!("wal consume record failed: {e}");
+                }
+            }
+            inner.epoch += 1;
+            let end = inner.end_oid();
+            for rs in inner.readers.values_mut() {
+                rs.cursor = rs.cursor.min(end);
+                rs.inflight.retain(|&(s, _)| s < end);
+                for r in &mut rs.inflight {
+                    r.1 = r.1.min(end);
+                }
+            }
+            inner.stats.consumed += removed as u64;
+            removed_total = removed;
+        }
+        self.notify();
+        Ok(removed_total)
+    }
+
     /// Shared body of the positional-consumption paths; called with the
     /// inner lock held (callers have unspilled first), `positions`
     /// relative to the current residents.
@@ -1369,8 +1790,7 @@ impl Basket {
     /// cursor does not move: this is the snapshot/commit flavour for
     /// transitions fired at most once concurrently.
     pub fn snapshot_for_reader(&self, r: ReaderId) -> (Chunk, u64) {
-        let mut inner = self.inner.lock();
-        let (chunk, _, end) = self.slice_from_cursor(&mut inner, r, usize::MAX);
+        let (chunk, _, end) = self.slice_resolving_segments(r, usize::MAX, false);
         (chunk, end)
     }
 
@@ -1394,15 +1814,7 @@ impl Basket {
     /// chunk with its `[start, end)` oid range (empty chunk ⇒ nothing
     /// pending, `start == end`).
     pub fn claim_for_reader(&self, r: ReaderId, max: usize) -> (Chunk, u64, u64) {
-        let mut inner = self.inner.lock();
-        let (chunk, start, end) = self.slice_from_cursor(&mut inner, r, max);
-        if end > start {
-            if let Some(rs) = inner.readers.get_mut(&r) {
-                rs.inflight.push((start, end));
-                rs.cursor = rs.cursor.max(end);
-            }
-        }
-        (chunk, start, end)
+        self.slice_resolving_segments(r, max, true)
     }
 
     /// Acknowledge a delivered claim: the watermark advances past it and
@@ -1436,15 +1848,89 @@ impl Basket {
         self.notify();
     }
 
+    /// Drive [`Basket::slice_from_cursor`] to completion, decoding any
+    /// cache-missed spill segment **outside the basket lock**: the lock is
+    /// released around the `read_segment` call (decode + CRC check of a
+    /// whole segment — milliseconds on a cold disk), so concurrent appends
+    /// and claims on other segments proceed while the decode runs. The
+    /// decoded segment is installed into the one-segment cache only if an
+    /// identical [`SegmentMeta`] is still listed (the layout may have
+    /// changed underneath us: trim, clear, exclusive consume), then the
+    /// slice is retried — the second pass hits the cache or re-resolves
+    /// the moved cursor. A rare adversarial race could keep evicting the
+    /// cache between passes, so after a few attempts the decode falls back
+    /// to running under the lock (the historical behavior), guaranteeing
+    /// termination. With `claim` the successful slice also pushes the
+    /// inflight range and advances the cursor, atomically with the slice.
+    fn slice_resolving_segments(&self, r: ReaderId, max: usize, claim: bool) -> (Chunk, u64, u64) {
+        let mut attempts = 0u32;
+        loop {
+            let need = {
+                let mut inner = self.inner.lock();
+                match self.slice_from_cursor(&mut inner, r, max, attempts >= 3) {
+                    CursorSlice::Ready(chunk, start, end) => {
+                        if claim && end > start {
+                            if let Some(rs) = inner.readers.get_mut(&r) {
+                                rs.inflight.push((start, end));
+                                rs.cursor = rs.cursor.max(end);
+                            }
+                        }
+                        return (chunk, start, end);
+                    }
+                    CursorSlice::NeedSegment(meta, store) => (meta, store),
+                }
+            };
+            attempts += 1;
+            let (meta, store) = need;
+            let decoded = store.read_segment(&meta, &self.schema);
+            let mut inner = self.inner.lock();
+            match decoded {
+                Ok(c) => {
+                    if let Some(spill) = inner.spill.as_mut() {
+                        // Full-meta equality: a same-base segment whose
+                        // row count changed on disk must not be served
+                        // from this stale decode.
+                        if spill.segments.iter().any(|s| *s == meta) {
+                            spill.cache = Some((meta.base_oid, Arc::new(c)));
+                        }
+                    }
+                }
+                Err(e) => {
+                    inner.stats.storage_errors += 1;
+                    eprintln!("basket {}: segment read failed: {e}", self.name);
+                    // Served as "nothing yet": the rows stay pending
+                    // rather than being skipped or served corrupt.
+                    let head = inner.head_oid();
+                    let cursor = inner
+                        .readers
+                        .get(&r)
+                        .map(|rs| rs.cursor)
+                        .unwrap_or(head)
+                        .max(head);
+                    return (Chunk::empty(self.schema.clone()), cursor, cursor);
+                }
+            }
+        }
+    }
+
     /// Slice `[cursor, cursor+max)` for reader `r` with the lock held.
     /// A cursor below the memory base is served *from disk*: the spilled
     /// segment containing it is decoded (one-segment cache) and the slice
     /// stops at that segment's end, so one claim never stitches sources —
     /// the next claim continues seamlessly in the following segment or in
-    /// memory. A failed segment read is counted and served as "nothing
-    /// yet": the rows stay pending rather than being skipped or served
-    /// corrupt.
-    fn slice_from_cursor(&self, inner: &mut Inner, r: ReaderId, max: usize) -> (Chunk, u64, u64) {
+    /// memory. A cache miss normally yields
+    /// [`CursorSlice::NeedSegment`] so the caller decodes without the
+    /// lock; `decode_inline` forces the decode here (the bounded-retry
+    /// fallback). A failed inline segment read is counted and served as
+    /// "nothing yet": the rows stay pending rather than being skipped or
+    /// served corrupt.
+    fn slice_from_cursor(
+        &self,
+        inner: &mut Inner,
+        r: ReaderId,
+        max: usize,
+        decode_inline: bool,
+    ) -> CursorSlice {
         let base = inner.base_oid;
         let head = inner.head_oid();
         let cursor = inner
@@ -1454,7 +1940,7 @@ impl Basket {
             .unwrap_or(head)
             .max(head);
         if cursor < base {
-            return self.slice_from_disk(inner, cursor, max);
+            return self.slice_from_disk(inner, cursor, max, decode_inline);
         }
         let len = inner.mem_len();
         let from = (cursor.saturating_sub(base) as usize).min(len);
@@ -1464,7 +1950,7 @@ impl Basket {
             .iter()
             .map(|c| c.slice(from, to).expect("slice within bounds"))
             .collect();
-        (
+        CursorSlice::Ready(
             Chunk {
                 schema: self.schema.clone(),
                 columns,
@@ -1476,8 +1962,15 @@ impl Basket {
 
     /// Serve `[cursor, cursor+max)` out of the spilled segment containing
     /// `cursor` (see [`Basket::slice_from_cursor`]).
-    fn slice_from_disk(&self, inner: &mut Inner, cursor: u64, max: usize) -> (Chunk, u64, u64) {
-        let empty = |schema: &Schema| (Chunk::empty(schema.clone()), cursor, cursor);
+    fn slice_from_disk(
+        &self,
+        inner: &mut Inner,
+        cursor: u64,
+        max: usize,
+        decode_inline: bool,
+    ) -> CursorSlice {
+        let empty =
+            |schema: &Schema| CursorSlice::Ready(Chunk::empty(schema.clone()), cursor, cursor);
         let Some(spill) = inner.spill.as_ref() else {
             return empty(&self.schema);
         };
@@ -1499,6 +1992,7 @@ impl Basket {
             .map(|(_, c)| Arc::clone(c));
         let chunk = match cached {
             Some(c) => c,
+            None if !decode_inline => return CursorSlice::NeedSegment(meta, store),
             None => match store.read_segment(&meta, &self.schema) {
                 Ok(c) => {
                     let c = Arc::new(c);
@@ -1521,7 +2015,7 @@ impl Basket {
             .iter()
             .map(|c| c.slice(from, to).expect("slice within segment"))
             .collect();
-        (
+        CursorSlice::Ready(
             Chunk {
                 schema: self.schema.clone(),
                 columns,

@@ -99,6 +99,7 @@ pub struct DataCellBuilder {
     pub(crate) listen: Option<String>,
     pub(crate) data_dir: Option<std::path::PathBuf>,
     pub(crate) durability: Durability,
+    pub(crate) plan_sharing: bool,
 }
 
 impl Default for DataCellBuilder {
@@ -116,6 +117,7 @@ impl Default for DataCellBuilder {
             listen: None,
             data_dir: None,
             durability: Durability::Ephemeral,
+            plan_sharing: false,
         }
     }
 }
@@ -272,6 +274,19 @@ impl DataCellBuilder {
     /// [`data_dir`](DataCellBuilder::data_dir).
     pub fn durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Enable cost-based multi-query plan sharing (default: off; also
+    /// toggleable at runtime with `SET PLAN SHARING ON|OFF`). When on,
+    /// continuous queries whose plans share a common consuming-scan prefix
+    /// over the same basket (same predicate window) are rewritten so one
+    /// shared head factory materializes the prefix once into a shared
+    /// intermediate basket, and each query's tail consumes that basket
+    /// through its own reader cursor. Dropping a query detaches its
+    /// reader; the last drop retires the shared head and intermediate.
+    pub fn plan_sharing(mut self, enabled: bool) -> Self {
+        self.plan_sharing = enabled;
         self
     }
 

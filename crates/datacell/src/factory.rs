@@ -46,7 +46,7 @@ use datacell_engine::{execute, Catalog, Chunk};
 use datacell_sql::physical::PhysicalPlan;
 use datacell_sql::Schema;
 
-use crate::basket::{Basket, ReaderId};
+use crate::basket::{Basket, ExclusiveAnchor, ReaderId};
 use crate::catalog::{StepSource, StreamCatalog};
 use crate::error::{DataCellError, Result};
 
@@ -395,22 +395,23 @@ impl Factory {
         // 1. Snapshot inputs, truncated to the service budget when given.
         let mut snapshots: HashMap<String, Chunk> = HashMap::new();
         let mut shared_ends: HashMap<String, u64> = HashMap::new();
-        // Exclusive snapshots are oid-anchored: a concurrent `ShedOldest`
-        // eviction between snapshot and consumption shifts positions, and
-        // consuming by stale positions would delete newer tuples than the
-        // ones this step processed (at-most-once under shedding).
-        let mut exclusive_bases: HashMap<String, u64> = HashMap::new();
+        // Exclusive snapshots are anchored to the basket's layout epoch: a
+        // concurrent `ShedOldest` eviction between snapshot and
+        // consumption shifts positions, and consuming by stale positions
+        // would delete newer tuples than the ones this step processed
+        // (at-most-once under shedding). The snapshot is budgeted and
+        // segment-aware: a spilled backlog is served from disk in
+        // budget-sized bites instead of being re-materialized whole.
+        let mut exclusive_anchors: HashMap<String, ExclusiveAnchor> = HashMap::new();
         let mut tuples_in = 0usize;
         for input in &self.inputs {
             let name = input.basket.name().to_string();
             let chunk = match input.mode {
                 InputMode::Exclusive => {
-                    let (chunk, base) = input.basket.snapshot_anchored();
-                    exclusive_bases.insert(name.clone(), base);
-                    match limit {
-                        Some(max) if chunk.len() > max => chunk.head(max)?,
-                        _ => chunk,
-                    }
+                    let (chunk, anchor) =
+                        input.basket.snapshot_exclusive(limit.unwrap_or(usize::MAX));
+                    exclusive_anchors.insert(name.clone(), anchor);
+                    chunk
                 }
                 InputMode::Shared(r) => {
                     let (chunk, end) = input.basket.snapshot_for_reader(r);
@@ -469,12 +470,16 @@ impl Factory {
             let name = input.basket.name();
             match input.mode {
                 InputMode::Exclusive => {
-                    let base = exclusive_bases.get(name).copied().unwrap_or(0);
+                    let Some(anchor) = exclusive_anchors.get(name) else {
+                        continue;
+                    };
                     if self.drain_inputs {
                         let n = snapshots.get(name).map_or(0, Chunk::len);
-                        consumed += input.basket.consume_anchored(base, &Candidates::all(n))?;
+                        consumed += input
+                            .basket
+                            .consume_exclusive(anchor, &Candidates::all(n))?;
                     } else if let Some(cands) = merged.get(name) {
-                        consumed += input.basket.consume_anchored(base, cands)?;
+                        consumed += input.basket.consume_exclusive(anchor, cands)?;
                     }
                 }
                 InputMode::Shared(r) => {

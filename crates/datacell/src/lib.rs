@@ -50,6 +50,7 @@ pub mod factory;
 pub mod metrics;
 pub mod multiquery;
 pub mod petri;
+pub(crate) mod planshare;
 pub mod receptor;
 pub mod scheduler;
 pub mod session;

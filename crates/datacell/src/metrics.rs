@@ -273,6 +273,14 @@ pub struct MetricsSnapshot {
     /// observe, the scheduler's
     /// [`Fairness`](crate::scheduler::Fairness) policy.
     pub per_query: Vec<crate::scheduler::SchedulerMetrics>,
+    /// Active shared subplan nodes built by multi-query plan sharing
+    /// ([`crate::DataCellBuilder::plan_sharing`] / `SET PLAN SHARING ON`):
+    /// one per distinct consuming-scan prefix currently materialized into
+    /// a shared intermediate basket.
+    pub shared_subplans: u64,
+    /// Per shared node: (intermediate basket name, subscriber count) —
+    /// how many continuous queries consume each shared prefix.
+    pub shared_subscribers: Vec<(String, u64)>,
     /// Network-transport counters, present when a TCP listener (the
     /// `datacell-net` crate) is attached to this session.
     pub net: Option<NetMetricsSnapshot>,

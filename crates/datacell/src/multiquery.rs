@@ -142,8 +142,10 @@ pub fn split(
 }
 
 /// Rewrite every consuming scan of `from` into a predicate-free consuming
-/// scan of `to` (same schema shape: both carry user columns + ts).
-fn retarget(plan: LogicalPlan, from: &str, to: &str) -> LogicalPlan {
+/// scan of `to` (same schema shape: both carry user columns + ts). Also
+/// used by the session's plan-sharing path to point a query's tail at a
+/// shared intermediate basket.
+pub(crate) fn retarget(plan: LogicalPlan, from: &str, to: &str) -> LogicalPlan {
     match plan {
         LogicalPlan::Scan {
             table,

@@ -16,7 +16,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datacell_bat::candidates::Candidates;
@@ -40,6 +40,7 @@ use crate::error::{DataCellError, Result};
 use crate::factory::{Factory, FactoryOutput};
 use crate::metrics::{MetricsSnapshot, NetMetricsSource, SessionMetrics};
 use crate::petri::PetriNet;
+use crate::planshare::{PlanShare, SharedNode};
 use crate::receptor::{Receptor, TupleSource};
 use crate::scheduler::{SchedulePolicy, Scheduler};
 
@@ -140,6 +141,15 @@ pub struct DataCell {
     /// name, same schema) instead of failing with "already exists", so a
     /// startup script can be re-run unchanged after a crash.
     recovered: Mutex<HashSet<String>>,
+    /// Multi-query plan-sharing registry: shared head factories and the
+    /// queries subscribed to them. Lock order: `plan_share` before
+    /// `catalog`.
+    plan_share: Mutex<PlanShare>,
+    /// Whether newly registered continuous queries go through the
+    /// plan-sharing path ([`DataCellBuilder::plan_sharing`] / `SET PLAN
+    /// SHARING ON|OFF`). Toggling affects registration only; queries
+    /// already sharing keep their wiring until dropped.
+    plan_sharing: AtomicBool,
 }
 
 impl Default for DataCell {
@@ -198,6 +208,8 @@ impl DataCell {
             net_metrics: Mutex::new(None),
             storage,
             recovered: Mutex::new(HashSet::new()),
+            plan_share: Mutex::new(PlanShare::default()),
+            plan_sharing: AtomicBool::new(builder.plan_sharing),
         };
         if cell.config.durability == Durability::Persistent && cell.storage.is_none() {
             return Err(DataCellError::Storage(
@@ -321,6 +333,14 @@ impl DataCell {
                         "continuous query {name} must contain a basket expression (§2.6)"
                     )));
                 }
+                // Cost-based multi-query sharing: when enabled and the
+                // plan's consuming-scan prefix matches (or can seed) a
+                // shared node, register through the shared path instead.
+                if self.plan_sharing.load(Ordering::Relaxed) {
+                    if let Some(res) = self.try_register_shared(&name, &query)? {
+                        return Ok(res);
+                    }
+                }
                 let out_name = format!("{name}_out");
                 // Compile against the current catalog.
                 let (plan, out_schema) = {
@@ -329,43 +349,7 @@ impl DataCell {
                     let optimized = datacell_sql::optimizer::optimize(bound);
                     datacell_sql::physical::plan(optimized)?
                 };
-                // Carry the arrival timestamp through when the query
-                // projects `ts` as its last column.
-                let carry_ts = out_schema
-                    .columns
-                    .last()
-                    .is_some_and(|c| c.name == TS_COLUMN && c.ty == DataType::Timestamp);
-                let user_schema = if carry_ts {
-                    Schema {
-                        columns: out_schema.columns[..out_schema.len() - 1].to_vec(),
-                    }
-                } else {
-                    out_schema.clone()
-                };
-                // A recovered output basket (same name, same schema) is
-                // adopted with its undelivered rows intact, so
-                // re-registering the query after `recover()` resumes
-                // delivery without loss.
-                let output =
-                    match self.try_adopt(&out_name, &user_schema, &BasketOptions::default())? {
-                        Some(b) => b,
-                        None => {
-                            let (capacity, policy, persistent) =
-                                self.resolve_basket_config(&BasketOptions::default())?;
-                            let b = {
-                                let mut cat = self.catalog.write();
-                                let b = cat.create_basket(&out_name, user_schema)?;
-                                b.set_parent_signal(self.scheduler.signal());
-                                // Bounded output baskets push backpressure into
-                                // the factory itself (its step defers or stalls
-                                // when subscribers fall behind).
-                                b.set_capacity(capacity, policy);
-                                b
-                            };
-                            self.setup_basket_storage(&b, capacity, policy, persistent)?;
-                            b
-                        }
-                    };
+                let (output, carry_ts) = self.create_query_output(&out_name, &out_schema)?;
                 let factory = {
                     let cat = self.catalog.read();
                     Factory::from_plan(
@@ -483,6 +467,13 @@ impl DataCell {
                 self.set_query_weight(&name, weight)?;
                 Ok(CellResult::Ack(format!(
                     "set query {name} weight to {weight}"
+                )))
+            }
+            Statement::SetPlanSharing { enabled } => {
+                self.set_plan_sharing(enabled);
+                Ok(CellResult::Ack(format!(
+                    "set plan sharing {}",
+                    if enabled { "on" } else { "off" }
                 )))
             }
             Statement::SetSchedulerWorkers { workers } => {
@@ -754,6 +745,9 @@ impl DataCell {
             .map_err(|e| self.lifecycle_err(name, e))?;
         self.factory_registry.lock().retain(|f| f.name() != name);
         self.shared_readers.lock().remove(name);
+        // Plan sharing: detach this query's reader from its shared
+        // intermediate; the last subscriber retires the shared head.
+        self.release_shared(name);
         let out = self.query_outputs.lock().remove(name);
         if let Some(out) = out {
             self.retire_basket_stats(&out);
@@ -788,6 +782,319 @@ impl DataCell {
         Ok(())
     }
 
+    // ---------------- multi-query plan sharing ----------------
+
+    /// Enable or disable cost-based multi-query plan sharing for
+    /// *subsequently registered* continuous queries (SQL: `SET PLAN
+    /// SHARING ON|OFF`; builder: [`DataCellBuilder::plan_sharing`]).
+    /// Queries already wired to a shared prefix keep their wiring until
+    /// dropped.
+    pub fn set_plan_sharing(&self, enabled: bool) {
+        self.plan_sharing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether plan sharing is currently enabled.
+    pub fn plan_sharing(&self) -> bool {
+        self.plan_sharing.load(Ordering::Relaxed)
+    }
+
+    /// Try to register `name` through the plan-sharing path. Returns
+    /// `Ok(None)` when the plan is not shareable (not exactly one
+    /// consuming scan), in which case the caller falls through to the
+    /// private-plan path.
+    ///
+    /// The shareable prefix is the consuming scan with its fused
+    /// predicate window, extracted *before* optimization (the scan still
+    /// reads the whole tuple — exactly what the shared intermediate
+    /// basket must carry) and then optimized in isolation so equivalent
+    /// predicates (`b > 1+1` vs `b > 2`) land on the same shared node. A
+    /// hit — fingerprint prefilter, `==` confirmation, same source
+    /// basket — subscribes the query's tail to the existing intermediate;
+    /// a miss builds the shared head first. Either way the tail factory
+    /// carries the query's own name, so pause/resume/drop/weight
+    /// addressing is unchanged.
+    fn try_register_shared(
+        &self,
+        name: &str,
+        query: &datacell_sql::ast::Query,
+    ) -> Result<Option<CellResult>> {
+        let logical = {
+            let cat = self.catalog.read();
+            bind_query(query, &*cat)?
+        };
+        let Some(prefix) = datacell_sql::optimizer::shared_prefix(&logical) else {
+            return Ok(None);
+        };
+        let source = match logical.consumed_baskets().as_slice() {
+            [one] => one.clone(),
+            _ => return Ok(None),
+        };
+        let prefix = datacell_sql::optimizer::optimize(prefix);
+        let fingerprint = prefix.fingerprint();
+
+        // Lock order: plan_share before catalog.
+        let mut ps = self.plan_share.lock();
+        let (mid, mid_name, created) = match ps.find_mut(fingerprint, &prefix, &source) {
+            Some(node) => {
+                let mid = self.catalog.read().basket(&node.mid_name)?;
+                (mid, node.mid_name.clone(), false)
+            }
+            None => {
+                ps.seq += 1;
+                let mid_name = format!("mqo{}_mid", ps.seq);
+                let head_name = format!("mqo{}_head", ps.seq);
+                let source_basket = self.catalog.read().basket(&source)?;
+                let user_schema = Schema {
+                    columns: source_basket.schema().columns[..source_basket.user_width()].to_vec(),
+                };
+                // The shared intermediate gets the session-default
+                // capacity/overflow/durability like any query plumbing
+                // basket; a recovered one (same name, same schema) is
+                // adopted so startup scripts replay after a crash.
+                let mid =
+                    match self.try_adopt(&mid_name, &user_schema, &BasketOptions::default())? {
+                        Some(b) => b,
+                        None => {
+                            let (capacity, policy, persistent) =
+                                self.resolve_basket_config(&BasketOptions::default())?;
+                            let b = {
+                                let mut cat = self.catalog.write();
+                                let b = cat.create_basket(&mid_name, user_schema)?;
+                                b.set_parent_signal(self.scheduler.signal());
+                                b.set_capacity(capacity, policy);
+                                b
+                            };
+                            self.setup_basket_storage(&b, capacity, policy, persistent)?;
+                            b
+                        }
+                    };
+                let built = (|| {
+                    let (head_plan, head_schema) = datacell_sql::physical::plan(prefix.clone())?;
+                    let cat = self.catalog.read();
+                    Factory::from_plan(
+                        &head_name,
+                        head_plan,
+                        head_schema,
+                        &cat,
+                        FactoryOutput::BasketCarryTs(Arc::clone(&mid)),
+                    )
+                })();
+                let mut head = match built {
+                    Ok(h) => h,
+                    Err(e) => {
+                        self.teardown_shared_mid(&mid_name);
+                        return Err(e);
+                    }
+                };
+                // The head never consumes the source exclusively: it
+                // reads through a shared cursor, so co-resident readers
+                // keep their own pace and the source trims at the slowest
+                // watermark.
+                let source_reader = source_basket.register_reader(true);
+                if let Err(e) = head.set_shared(&source, source_reader) {
+                    source_basket.unregister_reader(source_reader);
+                    self.teardown_shared_mid(&mid_name);
+                    return Err(e);
+                }
+                let handle = self
+                    .scheduler
+                    .add_factory_with_policy(head, self.config.default_policy);
+                self.factory_registry.lock().push(handle);
+                ps.nodes.push(SharedNode {
+                    fingerprint,
+                    prefix: prefix.clone(),
+                    source: source.clone(),
+                    head_name,
+                    mid_name: mid_name.clone(),
+                    source_reader,
+                    subscribers: HashMap::new(),
+                });
+                (mid, mid_name, true)
+            }
+        };
+        match self.build_shared_tail(name, logical, &source, &mid, &mid_name) {
+            Ok((output, out_name, mid_reader)) => {
+                let node = ps
+                    .find_mut(fingerprint, &prefix, &source)
+                    .expect("shared node just ensured");
+                node.subscribers.insert(name.to_string(), mid_reader);
+                let head_name = node.head_name.clone();
+                let weight = node.subscribers.len().max(1) as u32;
+                drop(ps);
+                // DRR cost attribution: the shared head works for all of
+                // its subscribers, so it earns their aggregate share of
+                // scheduler busy time.
+                let _ = self.scheduler.set_weight(&head_name, weight);
+                self.query_outputs.lock().insert(name.to_string(), output);
+                Ok(Some(CellResult::Ack(format!(
+                    "registered continuous query {name} \
+                     (output basket {out_name}, shared prefix via {mid_name})"
+                ))))
+            }
+            Err(e) => {
+                // A node created for this query alone must not outlive
+                // the failed registration.
+                if created {
+                    if let Some(idx) = ps.nodes.iter().position(|n| n.mid_name == mid_name) {
+                        if ps.nodes[idx].subscribers.is_empty() {
+                            let node = ps.nodes.swap_remove(idx);
+                            self.retire_shared_node(&node);
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Compile and register a shared query's tail: the original plan with
+    /// its consuming scan retargeted (predicate-free) onto the shared
+    /// intermediate, reading through its own shared cursor.
+    fn build_shared_tail(
+        &self,
+        name: &str,
+        logical: datacell_sql::logical::LogicalPlan,
+        source: &str,
+        mid: &Arc<Basket>,
+        mid_name: &str,
+    ) -> Result<(Arc<Basket>, String, ReaderId)> {
+        let tail_logical = crate::multiquery::retarget(logical, source, mid_name);
+        let (tail_plan, out_schema) =
+            datacell_sql::physical::plan(datacell_sql::optimizer::optimize(tail_logical))?;
+        let out_name = format!("{name}_out");
+        let (output, carry_ts) = self.create_query_output(&out_name, &out_schema)?;
+        let built = (|| {
+            let mut tail = {
+                let cat = self.catalog.read();
+                Factory::from_plan(
+                    name,
+                    tail_plan,
+                    out_schema,
+                    &cat,
+                    if carry_ts {
+                        FactoryOutput::BasketCarryTs(Arc::clone(&output))
+                    } else {
+                        FactoryOutput::Basket(Arc::clone(&output))
+                    },
+                )?
+            };
+            let mid_reader = mid.register_reader(true);
+            if let Err(e) = tail.set_shared(mid_name, mid_reader) {
+                mid.unregister_reader(mid_reader);
+                return Err(e);
+            }
+            Ok((tail, mid_reader))
+        })();
+        let (tail, mid_reader) = match built {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = self.catalog.write().drop_basket(&out_name);
+                self.remove_basket_storage(&out_name);
+                return Err(e);
+            }
+        };
+        let handle = self
+            .scheduler
+            .add_factory_with_policy(tail, self.config.default_policy);
+        self.factory_registry.lock().push(handle);
+        Ok((output, out_name, mid_reader))
+    }
+
+    /// Drop a just-created shared intermediate after a failed node build.
+    fn teardown_shared_mid(&self, mid_name: &str) {
+        let _ = self.catalog.write().drop_basket(mid_name);
+        self.remove_basket_storage(mid_name);
+    }
+
+    /// Tear down a retired shared node: head factory, source reader, and
+    /// the intermediate basket with its storage.
+    fn retire_shared_node(&self, node: &SharedNode) {
+        let _ = self.scheduler.remove_factory(&node.head_name);
+        self.factory_registry
+            .lock()
+            .retain(|f| f.name() != node.head_name);
+        if let Ok(src) = self.catalog.read().basket(&node.source) {
+            src.unregister_reader(node.source_reader);
+        }
+        {
+            let mut cat = self.catalog.write();
+            if let Ok(b) = cat.basket(&node.mid_name) {
+                self.retire_basket_stats(&b);
+            }
+            let _ = cat.drop_basket(&node.mid_name);
+        }
+        self.remove_basket_storage(&node.mid_name);
+    }
+
+    /// Reference-counted detach on `DROP CONTINUOUS QUERY`: remove the
+    /// query's reader from its shared intermediate (releasing its hold on
+    /// the trim watermark); the last subscriber retires the whole node.
+    fn release_shared(&self, name: &str) {
+        let mut ps = self.plan_share.lock();
+        let Some((reader, mid_name, retired)) = ps.detach(name) else {
+            return;
+        };
+        if let Ok(mid) = self.catalog.read().basket(&mid_name) {
+            mid.unregister_reader(reader);
+        }
+        match retired {
+            Some(node) => self.retire_shared_node(&node),
+            None => {
+                // Surviving subscribers: shrink the head's DRR share.
+                if let Some(node) = ps.nodes.iter().find(|n| n.mid_name == mid_name) {
+                    let _ = self
+                        .scheduler
+                        .set_weight(&node.head_name, node.subscribers.len().max(1) as u32);
+                }
+            }
+        }
+    }
+
+    /// Create (or adopt, after `recover()`) a continuous query's output
+    /// basket. Returns the basket and whether the factory should carry
+    /// the arrival timestamp through (the query projects `ts` of type
+    /// Timestamp as its last column).
+    fn create_query_output(
+        &self,
+        out_name: &str,
+        out_schema: &Schema,
+    ) -> Result<(Arc<Basket>, bool)> {
+        let carry_ts = out_schema
+            .columns
+            .last()
+            .is_some_and(|c| c.name == TS_COLUMN && c.ty == DataType::Timestamp);
+        let user_schema = if carry_ts {
+            Schema {
+                columns: out_schema.columns[..out_schema.len() - 1].to_vec(),
+            }
+        } else {
+            out_schema.clone()
+        };
+        // A recovered output basket (same name, same schema) is adopted
+        // with its undelivered rows intact, so re-registering the query
+        // after `recover()` resumes delivery without loss.
+        let output = match self.try_adopt(out_name, &user_schema, &BasketOptions::default())? {
+            Some(b) => b,
+            None => {
+                let (capacity, policy, persistent) =
+                    self.resolve_basket_config(&BasketOptions::default())?;
+                let b = {
+                    let mut cat = self.catalog.write();
+                    let b = cat.create_basket(out_name, user_schema)?;
+                    b.set_parent_signal(self.scheduler.signal());
+                    // Bounded output baskets push backpressure into the
+                    // factory itself (its step defers or stalls when
+                    // subscribers fall behind).
+                    b.set_capacity(capacity, policy);
+                    b
+                };
+                self.setup_basket_storage(&b, capacity, policy, persistent)?;
+                b
+            }
+        };
+        Ok((output, carry_ts))
+    }
+
     /// Session-wide metrics snapshot. Scheduler counters — including the
     /// per-query firing/busy-time accounts — are always populated; traffic
     /// and latency counters require [`DataCellBuilder::metrics`]. Shed
@@ -820,6 +1127,15 @@ impl DataCell {
                     snap.overflow_events += stats.overflow_events;
                 }
             }
+        }
+        {
+            let ps = self.plan_share.lock();
+            snap.shared_subplans = ps.nodes.len() as u64;
+            snap.shared_subscribers = ps
+                .nodes
+                .iter()
+                .map(|n| (n.mid_name.clone(), n.subscribers.len() as u64))
+                .collect();
         }
         if let Some(m) = &self.config.metrics {
             snap.tuples_ingested = m.ingested.total();

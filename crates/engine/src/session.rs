@@ -85,7 +85,8 @@ impl Session {
             | Statement::CreateContinuousQuery { .. }
             | Statement::AlterContinuousQuery { .. }
             | Statement::SetQueryWeight { .. }
-            | Statement::SetSchedulerWorkers { .. } => Err(SqlError::Plan(
+            | Statement::SetSchedulerWorkers { .. }
+            | Statement::SetPlanSharing { .. } => Err(SqlError::Plan(
                 "stream DDL requires a DataCell session (use datacell::DataCell)".into(),
             )),
             Statement::Insert {

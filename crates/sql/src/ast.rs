@@ -85,6 +85,15 @@ pub enum Statement {
         /// Requested worker-thread count.
         workers: u32,
     },
+    /// `SET PLAN SHARING ON|OFF` — toggle cost-based multi-query plan
+    /// sharing: when on, continuous queries whose plans share a common
+    /// scan→select→calc prefix over the same basket are rewritten to
+    /// consume one shared intermediate basket materialized by a single
+    /// head factory.
+    SetPlanSharing {
+        /// `true` for `ON`, `false` for `OFF`.
+        enabled: bool,
+    },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
 }
@@ -160,6 +169,7 @@ impl Statement {
             } => "RESUME CONTINUOUS QUERY",
             Statement::SetQueryWeight { .. } => "SET QUERY WEIGHT",
             Statement::SetSchedulerWorkers { .. } => "SET SCHEDULER WORKERS",
+            Statement::SetPlanSharing { .. } => "SET PLAN SHARING",
             Statement::Explain(_) => "EXPLAIN",
         }
     }

@@ -207,6 +207,20 @@ impl LogicalPlan {
         }
     }
 
+    /// Structural fingerprint of the plan: FNV-1a over the full `Debug`
+    /// rendering, which covers every node, predicate, window spec, and
+    /// projection. Equal plans always fingerprint equal; the converse is
+    /// not guaranteed, so plan-sharing lookups use this as a prefilter and
+    /// confirm candidates with `==`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Indented plan rendering for `EXPLAIN` and debugging.
     pub fn display(&self) -> String {
         let mut s = String::new();
@@ -327,6 +341,17 @@ mod tests {
         }
         assert_eq!(s.schema().columns[0].name, "b");
         assert_eq!(s.schema().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        assert_eq!(scan("t").fingerprint(), scan("t").fingerprint());
+        assert_ne!(scan("t").fingerprint(), scan("u").fingerprint());
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(scan("t")),
+            predicate: ScalarExpr::Literal(Value::Bool(true)),
+        };
+        assert_ne!(scan("t").fingerprint(), filtered.fingerprint());
     }
 
     #[test]

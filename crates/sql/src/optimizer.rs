@@ -35,6 +35,29 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
     prune_to(plan, &(0..width).collect::<Vec<_>>())
 }
 
+/// Extract the shareable prefix of a continuous plan for multi-query plan
+/// sharing: the single consuming [`LogicalPlan::Scan`] (basket expression)
+/// with its fused predicate window intact. Two queries whose extracted
+/// prefixes compare equal read exactly the same tuples from the same
+/// basket and can therefore consume one shared intermediate materialized
+/// once per firing.
+///
+/// Returns `None` when the plan has no consuming scan or more than one
+/// (self-joins of a basket against itself interleave removal with the
+/// join and cannot safely share a materialized prefix).
+pub fn shared_prefix(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    let mut consuming: Vec<&LogicalPlan> = Vec::new();
+    plan.walk(&mut |p| {
+        if matches!(p, LogicalPlan::Scan { consume: true, .. }) {
+            consuming.push(p);
+        }
+    });
+    match consuming.as_slice() {
+        [scan] => Some((*scan).clone()),
+        _ => None,
+    }
+}
+
 // ---------------- rule 1: constant folding ----------------
 
 /// Fold constant sub-expressions bottom-up. Expressions that error at fold
@@ -537,6 +560,53 @@ mod tests {
             _ => unreachable!(),
         };
         optimize(bind_query(&q, &provider()).unwrap())
+    }
+
+    #[test]
+    fn shared_prefix_extracts_single_consuming_scan() {
+        let p = StaticProvider::new()
+            .with_basket(
+                "r",
+                Schema::new(vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Int),
+                ]),
+            )
+            .with_basket("r2", Schema::new(vec![("a".into(), DataType::Int)]));
+        let bound = |sql: &str| {
+            let stmt = parse(sql).unwrap();
+            match stmt {
+                crate::ast::Statement::Select(q) => bind_query(&q, &p).unwrap(),
+                other => panic!("expected SELECT, got {other:?}"),
+            }
+        };
+
+        // Identical basket expressions → equal prefixes (and fingerprints).
+        let q1 = bound("select s.a + 1 as x from [select * from r where r.b < 20] as s");
+        let q2 = bound("select s.a * 2 as y from [select * from r where r.b < 20] as s");
+        let p1 = shared_prefix(&q1).expect("single consuming scan");
+        let p2 = shared_prefix(&q2).expect("single consuming scan");
+        assert_eq!(p1, p2);
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        assert!(matches!(
+            &p1,
+            LogicalPlan::Scan {
+                consume: true,
+                predicate: Some(_),
+                ..
+            }
+        ));
+
+        // Different predicate windows must not compare equal.
+        let q3 = bound("select s.a from [select * from r where r.b < 30] as s");
+        assert_ne!(p1, shared_prefix(&q3).unwrap());
+
+        // No consuming scan → nothing to share.
+        assert!(shared_prefix(&plan("select a from t")).is_none());
+
+        // Two consuming scans → refuse to share.
+        let joined = bound("select * from [select r.a from r join r2 on r.a = r2.a] as s");
+        assert!(shared_prefix(&joined).is_none());
     }
 
     #[test]

@@ -156,6 +156,9 @@ impl Parser {
             if self.peek_kw("scheduler") {
                 return self.set_scheduler_workers();
             }
+            if self.peek_kw("plan") {
+                return self.set_plan_sharing();
+            }
             return self.set_query_weight();
         }
         if self.eat_kw("explain") {
@@ -381,6 +384,22 @@ impl Parser {
             _ => return Err(self.err_expected("positive integer worker count")),
         };
         Ok(Statement::SetSchedulerWorkers { workers })
+    }
+
+    /// `SET PLAN SHARING ON|OFF` (the `=` is optional, as in the other
+    /// `SET` forms).
+    fn set_plan_sharing(&mut self) -> Result<Statement> {
+        self.expect_kw("plan")?;
+        self.expect_kw("sharing")?;
+        self.eat_if(&TokenKind::Eq);
+        let enabled = if self.eat_kw("on") {
+            true
+        } else if self.eat_kw("off") {
+            false
+        } else {
+            return Err(self.err_expected("ON or OFF"));
+        };
+        Ok(Statement::SetPlanSharing { enabled })
     }
 
     // ---------------- queries ----------------
@@ -1191,6 +1210,23 @@ mod tests {
         assert!(parse("set scheduler workers = 2.5").is_err());
         assert!(parse("set scheduler workers").is_err());
         assert!(parse("set workers 4").is_err());
+    }
+
+    #[test]
+    fn set_plan_sharing() {
+        assert_eq!(
+            parse("set plan sharing on").unwrap(),
+            Statement::SetPlanSharing { enabled: true }
+        );
+        // The `=` is optional; case-insensitive keywords as elsewhere.
+        assert_eq!(
+            parse("SET PLAN SHARING = OFF").unwrap(),
+            Statement::SetPlanSharing { enabled: false }
+        );
+        assert!(parse("set plan sharing").is_err(), "ON or OFF required");
+        assert!(parse("set plan sharing maybe").is_err());
+        assert!(parse("set plan on").is_err());
+        assert!(parse("set sharing on").is_err());
     }
 
     #[test]

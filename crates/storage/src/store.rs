@@ -266,6 +266,7 @@ impl SegmentStore {
             dir,
             metrics: Arc::clone(&self.metrics),
             seal_delay_micros: Arc::new(AtomicU64::new(0)),
+            read_delay_micros: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -301,6 +302,11 @@ pub struct BasketStore {
     /// simulate a slow disk and pin down what a stalled seal may and may
     /// not block. Shared across clones, like the metrics.
     seal_delay_micros: Arc<AtomicU64>,
+    /// Artificial delay injected before every [`BasketStore::read_segment`]
+    /// decode, in microseconds — the read-side twin of `seal_delay_micros`.
+    /// Tests use it to prove segment decodes do not stall concurrent
+    /// basket work. Shared across clones, like the metrics.
+    read_delay_micros: Arc<AtomicU64>,
 }
 
 impl BasketStore {
@@ -351,6 +357,14 @@ impl BasketStore {
             .store(delay.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Inject an artificial delay before every subsequent
+    /// [`BasketStore::read_segment`] decode on this store and its clones —
+    /// a slow-disk simulation for tests.
+    pub fn set_read_delay(&self, delay: std::time::Duration) {
+        self.read_delay_micros
+            .store(delay.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// Seal `chunk` (full basket width including `ts`) as the segment
     /// starting at `base_oid`.
     pub fn seal_segment(&self, base_oid: u64, chunk: &Chunk) -> Result<SegmentMeta> {
@@ -373,6 +387,10 @@ impl BasketStore {
 
     /// Decode a sealed segment back into a chunk.
     pub fn read_segment(&self, meta: &SegmentMeta, schema: &Schema) -> Result<Chunk> {
+        let delay = self.read_delay_micros.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
         let (chunk, base) = segment::read_segment(&meta.path, schema)?;
         if base != meta.base_oid || chunk.len() as u64 != meta.rows {
             return Err(StorageError::Corrupt(format!(
@@ -382,6 +400,29 @@ impl BasketStore {
         }
         self.metrics.segments_read.fetch_add(1, Ordering::Relaxed);
         Ok(chunk)
+    }
+
+    /// Atomically replace a segment's contents with `chunk` (the surviving
+    /// rows after a partial exclusive consume), keeping the old base oid
+    /// and therefore the same file name: the new image is written to a
+    /// temp file and renamed over the old one. `tuples_spilled` is
+    /// untouched — no new rows were spilled — while `bytes_on_disk` moves
+    /// by the size delta.
+    pub fn replace_segment(&self, old: &SegmentMeta, chunk: &Chunk) -> Result<SegmentMeta> {
+        let meta = segment::write_segment(&self.dir, old.base_oid, chunk)?;
+        self.metrics
+            .segments_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_on_disk
+            .fetch_add(meta.bytes, Ordering::Relaxed);
+        let _ =
+            self.metrics
+                .bytes_on_disk
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                    Some(b.saturating_sub(old.bytes))
+                });
+        Ok(meta)
     }
 
     /// Delete a fully-consumed segment file.

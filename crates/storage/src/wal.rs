@@ -76,7 +76,8 @@ struct WalInner {
     durable_seq: u64,
     /// A sync is in flight on some thread; others wait on the condvar.
     syncing: bool,
-    /// Bytes appended since open (diagnostics).
+    /// Approximate live-log size: bytes present at open plus bytes
+    /// appended since; reset by [`Wal::checkpoint`].
     bytes_written: u64,
 }
 
@@ -92,6 +93,7 @@ impl Wal {
     /// Open (creating if absent) the log at `path`, appending at the end.
     pub fn open(path: &Path) -> Result<Wal> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let existing = file.metadata()?.len();
         Ok(Wal {
             path: path.to_path_buf(),
             inner: Mutex::new(WalInner {
@@ -99,7 +101,7 @@ impl Wal {
                 written_seq: 0,
                 durable_seq: 0,
                 syncing: false,
-                bytes_written: 0,
+                bytes_written: existing,
             }),
             synced: Condvar::new(),
         })
@@ -148,22 +150,73 @@ impl Wal {
     }
 
     fn append_record(&self, kind: u8, body: &[u8]) -> Result<u64> {
-        let mut frame = Vec::with_capacity(9 + body.len());
-        let len = u32::try_from(1 + body.len())
-            .map_err(|_| StorageError::Invalid("record larger than 4 GiB".into()))?;
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.push(kind);
-        frame.extend_from_slice(body);
-        let mut crc_input = Vec::with_capacity(1 + body.len());
-        crc_input.push(kind);
-        crc_input.extend_from_slice(body);
-        frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
-
+        let frame = encode_frame(kind, body)?;
         let mut inner = self.inner.lock();
         inner.file.write_all(&frame)?;
         inner.written_seq += 1;
         inner.bytes_written += frame.len() as u64;
         Ok(inner.written_seq)
+    }
+
+    /// Compact the **live** log in place (the PR-5 "compaction only
+    /// happens at recovery" corner): write a fresh log holding a
+    /// [`WalRecord::Baseline`] plus `chunk` as a single rows record — the
+    /// basket's full logical contents at the cut — fsync it, rename it
+    /// over the current file, and swap the append handle onto the new
+    /// file. The whole sequence runs under the log lock, so records
+    /// appended after the checkpoint land strictly behind the baseline.
+    ///
+    /// The caller must hold whatever lock makes `(appended, consumed,
+    /// base_oid, chunk)` a consistent cut of the state the log describes
+    /// (for a basket: the basket lock), or concurrent mutations could
+    /// slip between the snapshot and the swap and be lost from the log.
+    ///
+    /// A crash before the rename leaves the old log intact; after it, the
+    /// new one — never a mix. Everything the checkpoint wrote is fsynced
+    /// before the swap, so [`Wal::sync_to`] targets taken before the
+    /// checkpoint are already satisfied and `durable_seq` jumps to
+    /// `written_seq`.
+    pub fn checkpoint(
+        &self,
+        appended: u64,
+        consumed: u64,
+        base_oid: u64,
+        chunk: &Chunk,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let tmp = self.path.with_extension("log.tmp");
+        let mut bytes = 0u64;
+        {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let mut body = Vec::with_capacity(24);
+            body.extend_from_slice(&appended.to_le_bytes());
+            body.extend_from_slice(&consumed.to_le_bytes());
+            body.extend_from_slice(&base_oid.to_le_bytes());
+            let frame = encode_frame(KIND_BASELINE, &body)?;
+            file.write_all(&frame)?;
+            bytes += frame.len() as u64;
+            if !chunk.is_empty() {
+                let mut rows = Vec::new();
+                codec::encode_chunk_into(&mut rows, chunk)?;
+                let frame = encode_frame(KIND_ROWS, &rows)?;
+                file.write_all(&frame)?;
+                bytes += frame.len() as u64;
+            }
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            crate::segment::sync_dir(dir)?;
+        }
+        inner.file = OpenOptions::new().append(true).open(&self.path)?;
+        inner.bytes_written = bytes;
+        inner.durable_seq = inner.written_seq;
+        self.synced.notify_all();
+        Ok(())
     }
 
     /// Block until record `seq` is durable. Group commit: if another
@@ -204,10 +257,27 @@ impl Wal {
         }
     }
 
-    /// Bytes appended through this handle since it was opened.
+    /// Approximate size of the live log file: bytes present at open plus
+    /// bytes appended since, reset to the compacted size by
+    /// [`Wal::checkpoint`]. Drives size-threshold checkpoint triggers.
     pub fn bytes_written(&self) -> u64 {
         self.inner.lock().bytes_written
     }
+}
+
+/// CRC-frame one record for the log: `len | kind | body | crc`.
+fn encode_frame(kind: u8, body: &[u8]) -> Result<Vec<u8>> {
+    let mut frame = Vec::with_capacity(9 + body.len());
+    let len = u32::try_from(1 + body.len())
+        .map_err(|_| StorageError::Invalid("record larger than 4 GiB".into()))?;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(body);
+    let mut crc_input = Vec::with_capacity(1 + body.len());
+    crc_input.push(kind);
+    crc_input.extend_from_slice(body);
+    frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    Ok(frame)
 }
 
 /// Atomically replace the log at `path` with a compact one: a

@@ -262,6 +262,156 @@ fn stale_seal_is_orphaned_not_published() {
 }
 
 #[test]
+fn exclusive_consume_keeps_spill_residency_bounded() {
+    // Regression (PR-5 corner): exclusive-factory anchored snapshots used
+    // to unspill the *entire* spilled backlog into memory, so one step
+    // over a deep backlog silently broke the `Spill { mem_rows }` memory
+    // ceiling. The budgeted snapshot/consume pair serves the backlog from
+    // disk in budget-sized bites: residency stays bounded the whole way
+    // down, and every tuple still arrives exactly once, in order.
+    let dir = TempDir::new("spill-excl-budget");
+    let (basket, store) = spill_basket(&dir, 50);
+    push_ints(&basket, 0..2000);
+    assert!(basket.resident_len() <= 50, "spill ceiling holds on ingest");
+    assert!(basket.spilled_len() >= 1900);
+
+    let mut got = Vec::new();
+    while !basket.is_empty() {
+        let (chunk, anchor) = basket.snapshot_exclusive(100);
+        assert!(!chunk.is_empty(), "progress ({} so far)", got.len());
+        assert!(chunk.len() <= 100, "snapshot respects the budget");
+        got.extend(ints_of(&chunk));
+        let n = chunk.len();
+        basket
+            .consume_exclusive(&anchor, &datacell_bat::candidates::Candidates::all(n))
+            .unwrap();
+        assert!(
+            basket.resident_len() <= 150,
+            "exclusive consumption re-materialized the backlog: {} resident",
+            basket.resident_len()
+        );
+    }
+    assert_eq!(got, (0..2000).collect::<Vec<i64>>());
+    let m = store.metrics_snapshot();
+    assert_eq!(m.bytes_on_disk, 0, "consumed segments were deleted");
+}
+
+#[test]
+fn exclusive_partial_consume_reseals_survivors_in_place() {
+    // A predicate window consumes a sparse subset of a spilled snapshot:
+    // the partially-consumed segment is re-sealed with its survivors at
+    // the same base (no unspill), and the survivors drain later exactly
+    // once, in order.
+    let dir = TempDir::new("spill-excl-partial");
+    let (basket, _store) = spill_basket(&dir, 10);
+    push_ints(&basket, 0..100);
+    let resident_before = basket.resident_len();
+    assert!(resident_before <= 10);
+
+    let (chunk, anchor) = basket.snapshot_exclusive(60);
+    assert_eq!(ints_of(&chunk), (0..60).collect::<Vec<i64>>());
+    let evens: Vec<usize> = (0..60).step_by(2).collect();
+    let removed = basket
+        .consume_exclusive(
+            &anchor,
+            &datacell_bat::candidates::Candidates::from_sorted_unchecked(evens),
+        )
+        .unwrap();
+    assert_eq!(removed, 30);
+    assert_eq!(basket.len(), 70);
+    assert_eq!(
+        basket.resident_len(),
+        resident_before,
+        "partial consume must not change residency"
+    );
+
+    let mut got = Vec::new();
+    while !basket.is_empty() {
+        let (chunk, anchor) = basket.snapshot_exclusive(40);
+        got.extend(ints_of(&chunk));
+        let n = chunk.len();
+        basket
+            .consume_exclusive(&anchor, &datacell_bat::candidates::Candidates::all(n))
+            .unwrap();
+    }
+    let want: Vec<i64> = (0..60).filter(|v| v % 2 == 1).chain(60..100).collect();
+    assert_eq!(got, want, "survivors drain in order, exactly once");
+}
+
+#[test]
+fn slow_disk_decode_blocks_only_the_decoding_claimer() {
+    // Regression: a claim that missed the segment cache used to *decode*
+    // the segment while holding the basket lock, so a slow disk stalled
+    // every producer on the basket for the whole read. The decode now runs
+    // outside the lock (decode, re-validate the segment layout, install
+    // into the cache, retry): while one claimer sits in a 400ms-injected
+    // segment read, appends on the same basket complete fast.
+    let dir = TempDir::new("slow-decode");
+    let store = SegmentStore::open(dir.path()).unwrap();
+    let basket = Arc::new(
+        Basket::bounded(
+            "b",
+            int_schema(),
+            None,
+            OverflowPolicy::Spill { mem_rows: 50 },
+        )
+        .unwrap(),
+    );
+    let bs = store.basket("b").unwrap();
+    basket.attach_storage(bs.clone(), None);
+    let reader = basket.register_reader(true);
+    push_ints(&basket, 0..500);
+    assert!(basket.spilled_len() > 0, "the head spilled to disk");
+    // Injected only now, so the spill itself was not slowed.
+    bs.set_read_delay(Duration::from_millis(400));
+
+    // The claimer: its cursor sits in a spilled segment nobody has read
+    // yet (cold cache), so this claim carries the delayed decode.
+    let claimer = {
+        let basket = Arc::clone(&basket);
+        std::thread::spawn(move || {
+            let t = std::time::Instant::now();
+            let (chunk, start, end) = basket.claim_for_reader(reader, 20);
+            (ints_of(&chunk), start, end, t.elapsed())
+        })
+    };
+    // Let the claimer enter the decode, then race it with appends.
+    std::thread::sleep(Duration::from_millis(100));
+    let t1 = std::time::Instant::now();
+    push_ints(&basket, 1000..1010);
+    assert!(
+        t1.elapsed() < Duration::from_millis(200),
+        "concurrent append waited on the in-flight segment decode: {:?}",
+        t1.elapsed()
+    );
+    let (got, start, end, took) = claimer.join().unwrap();
+    assert_eq!(got, (0..20).collect::<Vec<i64>>());
+    assert!(
+        took >= Duration::from_millis(350),
+        "claim was expected to carry the injected decode delay, took {took:?}"
+    );
+    basket.commit_claim(reader, start, end);
+    bs.set_read_delay(Duration::ZERO);
+
+    // Nothing lost or duplicated across the concurrent decode: the
+    // remaining drain yields exactly the unclaimed suffix, in order.
+    let mut drained = Vec::new();
+    while drained.len() < 490 {
+        let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
+        assert!(
+            end > start,
+            "claim makes progress ({} so far)",
+            drained.len()
+        );
+        drained.extend(ints_of(&chunk));
+        basket.commit_claim(reader, start, end);
+    }
+    let want: Vec<i64> = (20..500).chain(1000..1010).collect();
+    assert_eq!(drained, want);
+    assert!(basket.is_empty());
+}
+
+#[test]
 fn corrupt_segment_withholds_rows_cleanly() {
     let dir = TempDir::new("spill-corrupt");
     let (basket, _store) = spill_basket(&dir, 10);
@@ -578,6 +728,89 @@ fn recovered_spill_basket_keeps_its_memory_budget() {
         b.commit_claim(r, s, e);
     }
     assert_eq!(got, (0..500).collect::<Vec<i64>>());
+}
+
+#[test]
+fn live_wal_checkpoint_bounds_the_log_and_recovers_exactly() {
+    // Regression (PR-5 corner): WAL compaction used to happen only at
+    // recovery, so a long-running session's log grew without bound even
+    // when the basket stayed small. The live checkpoint rewrites the log
+    // behind a baseline once it crosses a size threshold.
+    let dir = TempDir::new("wal-live-checkpoint");
+    let wal_path = dir.path().join("b").join("wal.log");
+    {
+        let cell = persistent_cell(&dir);
+        cell.execute("create basket b (x int)").unwrap();
+        let b = cell.basket("b").unwrap();
+        b.set_wal_checkpoint_bytes(2048);
+        // Append/consume churn: ~50 KiB of lifetime log traffic over a
+        // basket that never holds more than 100 rows.
+        for _ in 0..30 {
+            push_ints(&b, 0..100);
+            b.clear();
+        }
+        push_ints(&b, 0..5);
+        let log = std::fs::metadata(&wal_path).unwrap().len();
+        assert!(
+            log < 16 * 1024,
+            "live checkpoint keeps the log near the resident size, got {log} bytes"
+        );
+        drop(cell);
+    }
+    let cell = persistent_cell(&dir);
+    cell.recover().unwrap();
+    let b = cell.basket("b").unwrap();
+    assert_eq!(ints_of(&b.snapshot().head(5).unwrap()), vec![0, 1, 2, 3, 4]);
+    assert_eq!(b.stats().appended, 3005, "lifetime baseline survives");
+    assert_eq!(b.stats().consumed, 3000);
+}
+
+#[test]
+fn live_checkpoint_of_spilled_basket_preserves_the_disk_head() {
+    // The checkpoint image is the *full logical* contents: for a
+    // Spill+Persistent basket that means decoding the on-disk head, so a
+    // post-checkpoint crash still recovers every acknowledged row.
+    let dir = TempDir::new("wal-checkpoint-spill");
+    {
+        let cell = DataCell::builder()
+            .data_dir(dir.path())
+            .durability(Durability::Persistent)
+            .build();
+        cell.execute("create basket b (x int) overflow spill 50 persistent")
+            .unwrap();
+        let b = cell.basket("b").unwrap();
+        b.set_wal_checkpoint_bytes(1024);
+        // Crosses the threshold repeatedly while most rows live in spill
+        // segments below the memory budget.
+        for start in 0..10 {
+            push_ints(&b, start * 100..(start + 1) * 100);
+        }
+        assert!(b.resident_len() <= 50);
+        let log = std::fs::metadata(dir.path().join("b").join("wal.log"))
+            .unwrap()
+            .len();
+        assert!(log > 0);
+        drop(cell);
+    }
+    let cell = DataCell::builder()
+        .data_dir(dir.path())
+        .durability(Durability::Persistent)
+        .build();
+    cell.recover().unwrap();
+    let b = cell.basket("b").unwrap();
+    assert_eq!(b.len(), 1000, "nothing lost across checkpoint + crash");
+    assert!(b.resident_len() <= 50, "recovered backlog re-spilled");
+    let r = b.register_reader(true);
+    let mut got = Vec::new();
+    loop {
+        let (c, s, e) = b.claim_for_reader(r, usize::MAX);
+        if e == s {
+            break;
+        }
+        got.extend(ints_of(&c));
+        b.commit_claim(r, s, e);
+    }
+    assert_eq!(got, (0..1000).collect::<Vec<i64>>());
 }
 
 #[test]
