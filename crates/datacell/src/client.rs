@@ -54,20 +54,26 @@ pub enum SubscriptionMode {
     /// delivered to exactly *one* of them (competing consumers — a simple
     /// work-sharing pool).
     ///
-    /// **Delivery guarantee: at-least-once, ordered within a claim.** Each
-    /// emitter atomically claims the next unread range, so no two pool
-    /// members deliver the same tuple concurrently, and the tuples inside
-    /// one claim always arrive in stream order. But when a consumer fails
-    /// mid-delivery its claim is *rewound* — the shared cursor steps back
-    /// to the claim start. If a pool sibling had already claimed **and
-    /// committed** a *later* range, the rewind re-opens everything from
-    /// the failed claim's start, so a surviving consumer re-claims the
-    /// failed range *together with* the later, already-delivered range:
-    /// those later tuples are delivered twice (to different pool members),
-    /// never lost, and never reordered within a claim. Exactly-once would
-    /// require per-range acknowledgement tracking in the dispatcher;
-    /// consumers that cannot tolerate duplicates should deduplicate on a
-    /// key or use [`SubscriptionMode::Broadcast`].
+    /// **Delivery guarantee: exactly-once failover, ordered within a
+    /// claim; at-least-once under racing failures.** Each emitter
+    /// atomically claims the next unread range, so no two pool members
+    /// deliver the same tuple concurrently, and the tuples inside one
+    /// claim always arrive in stream order. Commits are
+    /// **drain-acknowledged** (per-range [`AckLedger`] tracking): a
+    /// claimed range is committed past the pool cursor only once this
+    /// subscription has actually received its rows, not merely once they
+    /// were pushed into its channel. A subscriber that dies mid-drain
+    /// therefore loses nothing — the drained prefix of its claims stays
+    /// committed, the undrained suffix is rewound to the pool and a
+    /// surviving member redelivers it exactly once. Duplicates remain
+    /// possible only when a failure races still-in-flight drains (the
+    /// rewind can re-open a later range a sibling already delivered, and
+    /// rows a dying subscriber drained concurrently with its settlement
+    /// may be redelivered): never loss, never reordering within a claim.
+    /// Consumers that cannot tolerate duplicates under such races should
+    /// deduplicate on a key or use [`SubscriptionMode::Broadcast`].
+    ///
+    /// [`AckLedger`]: crate::emitter::AckLedger
     Shared,
 }
 
@@ -762,6 +768,11 @@ impl Drop for StreamWriter {
 pub struct Subscription<T = Vec<Value>> {
     query: String,
     rx: Receiver<Vec<Value>>,
+    /// Shared-mode drain ledger: every row received here is acknowledged
+    /// so the emitter can commit the pool cursor past it (exactly-once
+    /// failover; see [`crate::emitter::AckLedger`]). `None` for broadcast
+    /// subscriptions, whose reader dies with them.
+    ledger: Option<Arc<crate::emitter::AckLedger>>,
     _decode: PhantomData<fn() -> T>,
 }
 
@@ -770,6 +781,20 @@ impl<T: FromRow> Subscription<T> {
         Subscription {
             query,
             rx,
+            ledger: None,
+            _decode: PhantomData,
+        }
+    }
+
+    pub(crate) fn new_acked(
+        query: String,
+        rx: Receiver<Vec<Value>>,
+        ledger: Arc<crate::emitter::AckLedger>,
+    ) -> Self {
+        Subscription {
+            query,
+            rx,
+            ledger: Some(ledger),
             _decode: PhantomData,
         }
     }
@@ -783,7 +808,12 @@ impl<T: FromRow> Subscription<T> {
     /// is queued, `Err(Disconnected)` once the query is gone.
     pub fn try_next(&self) -> Result<Option<T>> {
         match self.rx.try_recv() {
-            Ok(row) => T::from_row(row).map(Some),
+            Ok(row) => {
+                if let Some(l) = &self.ledger {
+                    l.ack();
+                }
+                T::from_row(row).map(Some)
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(DataCellError::Disconnected),
         }
@@ -793,9 +823,66 @@ impl<T: FromRow> Subscription<T> {
     /// elapsed (the subscription is still live).
     pub fn next_timeout(&self, timeout: Duration) -> Result<Option<T>> {
         match self.rx.recv_timeout(timeout) {
+            Ok(row) => {
+                if let Some(l) = &self.ledger {
+                    l.ack();
+                }
+                T::from_row(row).map(Some)
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(DataCellError::Disconnected),
+        }
+    }
+
+    /// [`try_next`](Subscription::try_next) without the drain
+    /// acknowledgement: the popped row is **not** recorded against the
+    /// shared-pool ledger. For bridges that forward rows onward (e.g. the
+    /// network emitter writing to a socket) and must count a row as
+    /// drained only once that onward delivery succeeds — call
+    /// [`ack_rows`](Subscription::ack_rows) afterwards, or the row is
+    /// treated as lost and redelivered to the pool at this subscription's
+    /// settlement. Identical to `try_next` on broadcast subscriptions.
+    pub fn try_next_unacked(&self) -> Result<Option<T>> {
+        match self.rx.try_recv() {
+            Ok(row) => T::from_row(row).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(DataCellError::Disconnected),
+        }
+    }
+
+    /// [`next_timeout`](Subscription::next_timeout) without the drain
+    /// acknowledgement; see
+    /// [`try_next_unacked`](Subscription::try_next_unacked).
+    pub fn next_timeout_unacked(&self, timeout: Duration) -> Result<Option<T>> {
+        match self.rx.recv_timeout(timeout) {
             Ok(row) => T::from_row(row).map(Some),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(DataCellError::Disconnected),
+        }
+    }
+
+    /// True when receives are drain-acknowledged against a shared-pool
+    /// ledger (the subscription was opened with
+    /// [`SubscriptionMode::Shared`]) — i.e. when a bridge using the
+    /// `_unacked` variants must follow up with
+    /// [`ack_rows`](Subscription::ack_rows). Lets such a bridge skip
+    /// per-burst delivery confirmation work on broadcast subscriptions,
+    /// where acks are no-ops.
+    pub fn needs_ack(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// Acknowledge `n` rows previously received through the `_unacked`
+    /// variants, marking them drained on the shared-pool ledger. No-op on
+    /// broadcast subscriptions. Acknowledge only rows whose onward
+    /// delivery actually succeeded: anything popped but never acked is
+    /// returned to the pool when this subscription settles.
+    pub fn ack_rows(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(l) = &self.ledger {
+            l.ack_n(n);
         }
     }
 

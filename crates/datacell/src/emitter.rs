@@ -20,6 +20,7 @@
 //! The textual sink reproduces the paper's flat tuple-exchange format; the
 //! latency sink powers the evaluation harness.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -48,6 +49,63 @@ pub trait Sink: Send {
     /// (non-blocking sinks need no cancellation).
     fn bind_cancel(&mut self, cancel: Arc<AtomicBool>) {
         let _ = cancel;
+    }
+}
+
+/// Per-subscription delivery ledger closing the shared-pool loss window.
+///
+/// A [`RowSink`]'s `deliver` returns `Ok` once rows are *pushed into the
+/// subscription channel* — not once the subscriber drained them. A shared
+/// emitter that commits its claim on push therefore loses whatever a dying
+/// subscriber left sitting undrained in its channel: the pool cursor has
+/// moved on, the channel buffer is gone.
+///
+/// The ledger splits the two events: the sink counts rows **pushed**, the
+/// [`Subscription`](crate::client::Subscription) counts rows **acked**
+/// (drained by the client). An acked emitter defers `commit_claim` until a
+/// range's rows are fully acked; when its subscriber dies, the undrained
+/// suffix of every claimed range is rewound to the pool and a surviving
+/// member redelivers it — exactly-once failover instead of silent loss.
+/// (If acks race with the settlement, a drained row may be redelivered:
+/// the guarantee degrades to at-least-once only when the subscriber is
+/// still draining at settlement time, never to loss.)
+#[derive(Debug, Default)]
+pub struct AckLedger {
+    pushed: AtomicU64,
+    acked: AtomicU64,
+}
+
+impl AckLedger {
+    /// Fresh ledger, shared between one sink and one subscription.
+    pub fn new() -> Arc<AckLedger> {
+        Arc::new(AckLedger::default())
+    }
+
+    /// Record one row pushed into the channel (sink side).
+    fn record_push(&self) {
+        self.pushed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Record one row drained out of the channel (subscriber side).
+    pub fn ack(&self) {
+        self.acked.fetch_add(1, Ordering::Release);
+    }
+
+    /// Record `n` rows drained at once — for bridges that pop a burst
+    /// unacknowledged and confirm it only after onward delivery succeeds
+    /// (see [`Subscription::ack_rows`](crate::client::Subscription::ack_rows)).
+    pub fn ack_n(&self, n: u64) {
+        self.acked.fetch_add(n, Ordering::Release);
+    }
+
+    /// Total rows pushed into the channel so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Total rows the subscriber has drained so far.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
     }
 }
 
@@ -101,6 +159,7 @@ pub struct RowSink {
     tx: Sender<Vec<Value>>,
     metrics: Option<Arc<SessionMetrics>>,
     cancel: Option<Arc<AtomicBool>>,
+    ledger: Option<Arc<AckLedger>>,
 }
 
 impl RowSink {
@@ -110,7 +169,16 @@ impl RowSink {
             tx,
             metrics,
             cancel: None,
+            ledger: None,
         }
+    }
+
+    /// Count every pushed row into `ledger` (see [`AckLedger`]); pair with
+    /// [`Emitter::spawn_shared_acked`] and a ledgered subscription for
+    /// exactly-once shared failover.
+    pub fn with_ledger(mut self, ledger: Arc<AckLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 
     /// Push one row, waiting out a full bounded channel until the client
@@ -120,7 +188,12 @@ impl RowSink {
     fn push(&self, mut row: Vec<Value>) -> Result<()> {
         loop {
             match self.tx.send_timeout(row, Duration::from_millis(1)) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if let Some(l) = &self.ledger {
+                        l.record_push();
+                    }
+                    return Ok(());
+                }
                 Err(SendTimeoutError::Disconnected(_)) => return Err(DataCellError::Disconnected),
                 Err(SendTimeoutError::Timeout(v)) => {
                     if self
@@ -286,30 +359,53 @@ impl Emitter {
         basket: Arc<Basket>,
         sink: impl Sink + 'static,
     ) -> Result<Emitter> {
-        Self::spawn_inner(name.into(), basket, None, sink, None)
+        Self::spawn_inner(name.into(), basket, None, sink, None, None)
     }
 
     /// Spawn a competing-consumer emitter on an externally registered
     /// `reader` shared with other emitters: each claimed range is delivered
     /// by exactly one of them. The caller owns the reader's lifetime (it is
     /// *not* deregistered when this emitter exits).
+    ///
+    /// Commits each claim as soon as the sink accepts it. For channel
+    /// sinks that means *pushed, not drained* — a subscriber dying with
+    /// rows still queued loses them from the pool. Use
+    /// [`Emitter::spawn_shared_acked`] for drain-acknowledged commits.
     pub fn spawn_shared(
         name: impl Into<String>,
         basket: Arc<Basket>,
         reader: ReaderId,
         sink: impl Sink + 'static,
     ) -> Result<Emitter> {
-        Self::spawn_inner(name.into(), basket, Some(reader), sink, None)
+        Self::spawn_inner(name.into(), basket, Some(reader), sink, None, None)
     }
 
-    /// [`Emitter::spawn_shared`] with an exit hook, run after the emitter
-    /// thread finishes — the session uses it to refcount a query's shared
-    /// reader and deregister it when the last shared subscriber is gone.
+    /// [`Emitter::spawn_shared`] with per-range acknowledgement tracking:
+    /// a claimed range is committed only once the subscriber has drained
+    /// its rows (per `ledger`, which must also be wired into the sink via
+    /// [`RowSink::with_ledger`] and the consuming subscription). When the
+    /// subscriber dies, every undrained row is rewound to the pool for a
+    /// surviving member — exactly-once failover (see [`AckLedger`]).
+    pub fn spawn_shared_acked(
+        name: impl Into<String>,
+        basket: Arc<Basket>,
+        reader: ReaderId,
+        sink: impl Sink + 'static,
+        ledger: Arc<AckLedger>,
+    ) -> Result<Emitter> {
+        Self::spawn_inner(name.into(), basket, Some(reader), sink, Some(ledger), None)
+    }
+
+    /// [`Emitter::spawn_shared_acked`] with an exit hook, run after the
+    /// emitter thread finishes — the session uses it to refcount a query's
+    /// shared reader and deregister it when the last shared subscriber is
+    /// gone.
     pub(crate) fn spawn_shared_with_release(
         name: impl Into<String>,
         basket: Arc<Basket>,
         reader: ReaderId,
         sink: impl Sink + 'static,
+        ledger: Option<Arc<AckLedger>>,
         release: impl FnOnce() + Send + 'static,
     ) -> Result<Emitter> {
         Self::spawn_inner(
@@ -317,6 +413,7 @@ impl Emitter {
             basket,
             Some(reader),
             sink,
+            ledger,
             Some(Box::new(release)),
         )
     }
@@ -326,6 +423,7 @@ impl Emitter {
         basket: Arc<Basket>,
         shared_reader: Option<ReaderId>,
         mut sink: impl Sink + 'static,
+        ledger: Option<Arc<AckLedger>>,
         on_exit: Option<Box<dyn FnOnce() + Send>>,
     ) -> Result<Emitter> {
         let stop = Arc::new(AtomicBool::new(false));
@@ -336,20 +434,47 @@ impl Emitter {
         sink.bind_cancel(Arc::clone(&stop));
         let owns_reader = shared_reader.is_none();
         let reader = shared_reader.unwrap_or_else(|| basket.register_reader(true));
+        // Acked commits only matter on a shared reader: a broadcast
+        // emitter's reader dies with it, so there is no pool to hand
+        // undrained rows back to.
+        let acked_mode = ledger.is_some() && !owns_reader;
         let handle = std::thread::Builder::new()
             .name(format!("emitter-{name}"))
             .spawn(move || {
                 let signal = basket.signal();
                 let mut seen = signal.version();
+                // Delivered-but-uncommitted claims, oldest first:
+                // `(start, end, pushed_before, pushed_after)` with the
+                // cumulative ledger push counts bracketing the range.
+                let mut outstanding: VecDeque<(u64, u64, u64, u64)> = VecDeque::new();
                 while !thread_stop.load(Ordering::Relaxed) {
+                    if acked_mode {
+                        let acked = ledger.as_ref().expect("acked_mode").acked();
+                        // Commit the prefix of ranges the subscriber has
+                        // fully drained; the pool cursor advances exactly
+                        // as far as consumption is proven.
+                        while outstanding
+                            .front()
+                            .is_some_and(|&(_, _, _, p1)| p1 <= acked)
+                        {
+                            let (s, e, _, _) = outstanding.pop_front().expect("front");
+                            basket.commit_claim(reader, s, e);
+                        }
+                    }
                     let (chunk, start, end) = basket.claim_for_reader(reader, usize::MAX);
                     if chunk.is_empty() {
                         seen = signal.wait_past(seen, Duration::from_millis(5));
                         continue;
                     }
+                    let p0 = ledger.as_ref().map_or(0, |l| l.pushed());
                     match sink.deliver(&chunk) {
                         Ok(()) => {
-                            basket.commit_claim(reader, start, end);
+                            if acked_mode {
+                                let p1 = ledger.as_ref().expect("acked_mode").pushed();
+                                outstanding.push_back((start, end, p0, p1));
+                            } else {
+                                basket.commit_claim(reader, start, end);
+                            }
                             thread_stats
                                 .tuples
                                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
@@ -361,14 +486,44 @@ impl Emitter {
                         // competing emitter on the same reader; a
                         // disconnect is a clean shutdown, not a fault
                         // worth logging.
-                        Err(DataCellError::Disconnected) => {
-                            basket.rewind_claim(reader, start, end);
+                        Err(e) => {
+                            if !matches!(e, DataCellError::Disconnected) {
+                                eprintln!("emitter {thread_name}: {e}");
+                            }
+                            if acked_mode {
+                                // The failing delivery may have pushed a
+                                // prefix of the chunk; settle it below by
+                                // acks like every other range.
+                                let p1 = ledger.as_ref().expect("acked_mode").pushed();
+                                outstanding.push_back((start, end, p0, p1));
+                            } else {
+                                basket.rewind_claim(reader, start, end);
+                            }
                             break;
                         }
-                        Err(e) => {
-                            eprintln!("emitter {thread_name}: {e}");
-                            basket.rewind_claim(reader, start, end);
-                            break;
+                    }
+                }
+                if acked_mode {
+                    // Exit settlement — on failure *and* on clean stop:
+                    // only proven-drained rows commit; everything else goes
+                    // back to the pool. (Committing pushed-but-undrained
+                    // rows on a clean stop would lose them whenever the
+                    // subscriber is already gone; returning them can at
+                    // worst duplicate towards a subscriber that is still
+                    // draining concurrently — never lose.)
+                    let acked = ledger.as_ref().expect("acked_mode").acked();
+                    for (s, e, p0, p1) in outstanding.drain(..) {
+                        // The range's rows reached the channel as the push
+                        // window `(p0, p1]` — a failed delivery pushes only
+                        // a prefix (possibly none), so `acked >= p1` alone
+                        // would wrongly cover rows that never left the
+                        // basket. Commit exactly the proven-drained prefix.
+                        let drained = acked.saturating_sub(p0).min(p1 - p0);
+                        let mid = s + drained.min(e - s);
+                        if mid >= e {
+                            basket.commit_claim(reader, s, e);
+                        } else {
+                            basket.rewind_claim(reader, mid, e);
                         }
                     }
                 }
@@ -554,6 +709,113 @@ mod tests {
         values.dedup();
         assert_eq!(values.len(), 50, "rewound claims were re-delivered");
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn unacked_shared_pool_loses_undrained_rows_on_subscriber_death() {
+        // The pre-fix path, pinned as a negative: `spawn_shared` (no
+        // ledger) commits a claim once rows are *pushed* into the channel.
+        // A subscriber that dies with rows still queued takes them to the
+        // grave — the pool cursor has already passed them.
+        let b = basket();
+        let reader = b.register_reader(true);
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<Value>>(4);
+        let dying =
+            Emitter::spawn_shared("dying", Arc::clone(&b), reader, RowSink::new(tx, None)).unwrap();
+        for i in 0..4 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        // All four pushed into the channel and committed from the pool.
+        assert!(wait_until(2000, || dying.tuples_delivered() == 4));
+        // The subscriber drains two rows, then dies with two queued.
+        assert_eq!(rx.recv().unwrap(), vec![Value::Int(0)]);
+        assert_eq!(rx.recv().unwrap(), vec![Value::Int(1)]);
+        drop(rx);
+        dying.stop();
+        // A surviving pool member picks up the stream.
+        let sink = CollectSink::new();
+        let live = Emitter::spawn_shared("live", Arc::clone(&b), reader, sink.clone()).unwrap();
+        for i in 4..6 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(2000, || sink.len() == 2), "got {}", sink.len());
+        live.stop();
+        let survivor: Vec<i64> = sink.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        // Rows 2 and 3 are gone: committed from the pool, never drained.
+        assert_eq!(survivor, vec![4, 5], "old path silently loses rows 2..4");
+        b.unregister_reader(reader);
+    }
+
+    #[test]
+    fn acked_shared_pool_fails_over_exactly_once() {
+        // The fix: with per-range ack tracking the pool cursor only passes
+        // rows the subscriber drained. Kill the subscriber mid-drain and
+        // every undrained row is redelivered by the survivor exactly once.
+        let b = basket();
+        let reader = b.register_reader(true);
+        let ledger = AckLedger::new();
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<Value>>(4);
+        let sink = RowSink::new(tx, None).with_ledger(Arc::clone(&ledger));
+        let dying =
+            Emitter::spawn_shared_acked("dying", Arc::clone(&b), reader, sink, Arc::clone(&ledger))
+                .unwrap();
+        for i in 0..4 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        // All four pushed — but the claim stays uncommitted (no acks yet).
+        assert!(wait_until(2000, || ledger.pushed() == 4));
+        assert_eq!(dying.tuples_delivered(), 4);
+        // The subscriber drains (and acks) two rows, then dies mid-drain
+        // with two rows still queued.
+        assert_eq!(rx.recv().unwrap(), vec![Value::Int(0)]);
+        ledger.ack();
+        assert_eq!(rx.recv().unwrap(), vec![Value::Int(1)]);
+        ledger.ack();
+        drop(rx);
+        // Exit settlement: [0,2) drained → committed; [2,4) undrained →
+        // rewound to the pool.
+        dying.stop();
+        let sink = CollectSink::new();
+        let live = Emitter::spawn_shared("live", Arc::clone(&b), reader, sink.clone()).unwrap();
+        for i in 4..6 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        assert!(wait_until(2000, || sink.len() == 4), "got {}", sink.len());
+        live.stop();
+        let survivor: Vec<i64> = sink.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        // Zero loss, zero duplicates: the survivor redelivers exactly the
+        // rows the dead subscriber left behind, in order.
+        assert_eq!(survivor, vec![2, 3, 4, 5]);
+        b.unregister_reader(reader);
+        assert!(wait_until(2000, || b.is_empty()));
+    }
+
+    #[test]
+    fn acked_shared_pool_commits_as_subscriber_drains() {
+        // Steady-state: acks arriving while the emitter runs let it commit
+        // ranges incrementally — the basket drains without any emitter
+        // exiting.
+        let b = basket();
+        let reader = b.register_reader(true);
+        let ledger = AckLedger::new();
+        let (tx, rx) = unbounded::<Vec<Value>>();
+        let sink = RowSink::new(tx, None).with_ledger(Arc::clone(&ledger));
+        let e = Emitter::spawn_shared_acked("e", Arc::clone(&b), reader, sink, Arc::clone(&ledger))
+            .unwrap();
+        for i in 0..30 {
+            b.append_rows(&[vec![Value::Int(i)]]).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 30 {
+            let row = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            ledger.ack();
+            got.push(row[0].as_int().unwrap());
+        }
+        assert_eq!(got, (0..30).collect::<Vec<_>>());
+        // Fully acked: the running emitter commits and the basket trims.
+        assert!(wait_until(2000, || b.is_empty()), "resident: {}", b.len());
+        e.stop();
+        b.unregister_reader(reader);
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   ordinary relational operators plus scheduling.
 //! * [`multiquery`] (§3.2) — plan splitting so a fast query never waits for
 //!   a slow one on a shared basket.
+//! * [`window_join`] — cross-stream windowed joins with per-source window
+//!   specs (`FROM s1 [RANGE 10s SLIDE 5s], s2 [RANGE 5s] WHERE ...`),
+//!   evaluated by the unchanged relational join kernels.
 //!
 //! The front door is [`DataCell`]: a session that accepts standard SQL plus
 //! the stream DDL (`CREATE BASKET`, `CREATE CONTINUOUS QUERY`,
@@ -57,6 +60,7 @@ pub mod session;
 pub mod strategy;
 pub mod text;
 pub mod window;
+pub mod window_join;
 
 pub use crate::basket::{Basket, BasketStats, Durability, OverflowPolicy, ReaderId};
 pub use crate::client::{
@@ -67,3 +71,4 @@ pub use crate::error::{DataCellError, Result};
 pub use crate::metrics::MetricsSnapshot;
 pub use crate::scheduler::{Fairness, SchedulePolicy, SchedulerMetrics};
 pub use crate::session::DataCell;
+pub use crate::window_join::WindowJoin;

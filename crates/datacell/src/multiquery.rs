@@ -153,6 +153,7 @@ pub(crate) fn retarget(plan: LogicalPlan, from: &str, to: &str) -> LogicalPlan {
             consume,
             predicate,
             projection,
+            window,
         } => {
             if consume && table == from {
                 LogicalPlan::Scan {
@@ -161,6 +162,7 @@ pub(crate) fn retarget(plan: LogicalPlan, from: &str, to: &str) -> LogicalPlan {
                     consume: true,
                     predicate: None,
                     projection,
+                    window,
                 }
             } else {
                 LogicalPlan::Scan {
@@ -169,6 +171,7 @@ pub(crate) fn retarget(plan: LogicalPlan, from: &str, to: &str) -> LogicalPlan {
                     consume,
                     predicate,
                     projection,
+                    window,
                 }
             }
         }

@@ -103,6 +103,7 @@ mod tests {
             consume: true,
             predicate: None,
             projection: None,
+            window: None,
         }
     }
 

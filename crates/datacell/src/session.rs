@@ -42,7 +42,8 @@ use crate::metrics::{MetricsSnapshot, NetMetricsSource, SessionMetrics};
 use crate::petri::PetriNet;
 use crate::planshare::{PlanShare, SharedNode};
 use crate::receptor::{Receptor, TupleSource};
-use crate::scheduler::{SchedulePolicy, Scheduler};
+use crate::scheduler::{SchedulePolicy, Scheduler, Transition};
+use crate::window_join::WindowJoin;
 
 /// Result of one statement.
 #[derive(Debug, Clone)]
@@ -116,6 +117,9 @@ pub struct DataCell {
     /// abandoned reader would hold the trim watermark forever).
     shared_readers: Mutex<HashMap<String, SharedReader>>,
     factory_registry: Mutex<Vec<Arc<Factory>>>,
+    /// Cross-stream windowed-join transitions, kept so `DROP CONTINUOUS
+    /// QUERY` can detach their reader cursors from the input baskets.
+    window_joins: Mutex<Vec<Arc<WindowJoin>>>,
     receptors: Mutex<Vec<Receptor>>,
     /// Emitters, tagged with the continuous query they serve (if any) so
     /// dropping the query can stop exactly its emitters.
@@ -198,6 +202,7 @@ impl DataCell {
             query_outputs: Mutex::new(HashMap::new()),
             shared_readers: Mutex::new(HashMap::new()),
             factory_registry: Mutex::new(Vec::new()),
+            window_joins: Mutex::new(Vec::new()),
             receptors: Mutex::new(Vec::new()),
             emitters: Mutex::new(Vec::new()),
             emitter_seq: AtomicU64::new(0),
@@ -350,6 +355,37 @@ impl DataCell {
                     datacell_sql::physical::plan(optimized)?
                 };
                 let (output, carry_ts) = self.create_query_output(&out_name, &out_schema)?;
+                // Windowed scans route to the WindowJoin evaluator instead
+                // of a plain factory: the stream layer shapes the per-source
+                // window snapshots, the unchanged plan (and its join
+                // kernels) does the rest. Note these plans fell through the
+                // plan-sharing path above by construction — a windowed scan
+                // is never a shareable prefix.
+                if !plan.windowed_scans().is_empty() {
+                    let wj = {
+                        let cat = self.catalog.read();
+                        WindowJoin::from_plan(
+                            &name,
+                            plan,
+                            &cat,
+                            if carry_ts {
+                                FactoryOutput::BasketCarryTs(Arc::clone(&output))
+                            } else {
+                                FactoryOutput::Basket(Arc::clone(&output))
+                            },
+                        )?
+                    };
+                    let wj = Arc::new(wj);
+                    self.scheduler.add_transition(
+                        Arc::clone(&wj) as Arc<dyn crate::scheduler::Transition>,
+                        self.config.default_policy,
+                    );
+                    self.window_joins.lock().push(wj);
+                    self.query_outputs.lock().insert(name.clone(), output);
+                    return Ok(CellResult::Ack(format!(
+                        "registered continuous windowed query {name} (output basket {out_name})"
+                    )));
+                }
                 let factory = {
                     let cat = self.catalog.read();
                     Factory::from_plan(
@@ -471,9 +507,17 @@ impl DataCell {
             }
             Statement::SetPlanSharing { enabled } => {
                 self.set_plan_sharing(enabled);
+                // The toggle scopes to *future* registrations: queries
+                // already wired to a shared prefix keep their wiring until
+                // dropped. Say so in the ack instead of a bare OK, and
+                // count what stays shared, so a client turning sharing off
+                // is not misled into thinking existing plans unshared.
+                let shared = self.plan_share.lock().nodes.len();
                 Ok(CellResult::Ack(format!(
-                    "set plan sharing {}",
-                    if enabled { "on" } else { "off" }
+                    "set plan sharing {} (affects future registrations; {} shared subplan{} unchanged)",
+                    if enabled { "on" } else { "off" },
+                    shared,
+                    if shared == 1 { "" } else { "s" },
                 )))
             }
             Statement::SetSchedulerWorkers { workers } => {
@@ -598,7 +642,18 @@ impl DataCell {
         // collide across queries (e.g. a query literally named "q-1").
         let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
         let name = format!("emit-{query}#{seq}");
-        let sink = RowSink::new(tx, self.config.metrics.clone());
+        let mut sink = RowSink::new(tx, self.config.metrics.clone());
+        // Shared pools commit drain-acknowledged (exactly-once failover):
+        // the ledger pairs this sink's pushes with the subscription's
+        // drains so the pool cursor only passes consumed rows. Broadcast
+        // readers die with their subscriber — nothing to hand back.
+        let ledger = match mode {
+            SubscriptionMode::Shared => Some(crate::emitter::AckLedger::new()),
+            SubscriptionMode::Broadcast => None,
+        };
+        if let Some(l) = &ledger {
+            sink = sink.with_ledger(Arc::clone(l));
+        }
         let emitter = match mode {
             SubscriptionMode::Broadcast => Emitter::spawn(name.clone(), Arc::clone(&out), sink)?,
             SubscriptionMode::Shared => {
@@ -649,6 +704,7 @@ impl DataCell {
                     Arc::clone(&out),
                     reader,
                     sink,
+                    ledger.clone(),
                     move || {
                         if refs.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
                             release_basket.unregister_reader(reader);
@@ -663,7 +719,10 @@ impl DataCell {
         self.emitters
             .lock()
             .push((Some(query.to_string()), emitter));
-        Ok(Subscription::new(query.to_string(), rx))
+        Ok(match ledger {
+            Some(l) => Subscription::new_acked(query.to_string(), rx, l),
+            None => Subscription::new(query.to_string(), rx),
+        })
     }
 
     /// Register a continuous query from its SELECT text and return its
@@ -715,6 +774,29 @@ impl DataCell {
             .map_err(|e| self.lifecycle_err(name, e))
     }
 
+    /// Declare a windowed query's input streams quiescent and close every
+    /// remaining window at each stream's horizon (last-seen timestamp),
+    /// draining the buffered state into the output basket. This is the
+    /// explicit fix for the idle-stream stall: a time window only closes
+    /// online when a later tuple arrives on the *same* stream, so a stream
+    /// that goes quiescent leaves its last window — and any join partner's
+    /// eviction — hanging forever. A tuple arriving after the flush and
+    /// below the flushed horizon is dropped; the caller owns that
+    /// soundness trade (see `docs/windows.md`).
+    pub fn flush_query(&self, name: &str) -> Result<()> {
+        let wj = self
+            .window_joins
+            .lock()
+            .iter()
+            .find(|w| w.name() == name)
+            .cloned()
+            .ok_or_else(|| {
+                DataCellError::Catalog(format!("unknown windowed continuous query {name}"))
+            })?;
+        let cat = self.catalog.read();
+        wj.flush(Some(&cat.tables)).map(|_| ())
+    }
+
     /// True iff the named continuous query is paused.
     pub fn is_query_paused(&self, name: &str) -> Result<bool> {
         self.scheduler
@@ -744,6 +826,16 @@ impl DataCell {
             .remove_factory(name)
             .map_err(|e| self.lifecycle_err(name, e))?;
         self.factory_registry.lock().retain(|f| f.name() != name);
+        // Windowed joins additionally hold a reader cursor per input
+        // basket; detach them so the inputs stop retaining tuples.
+        self.window_joins.lock().retain(|wj| {
+            if wj.name() == name {
+                wj.detach();
+                false
+            } else {
+                true
+            }
+        });
         self.shared_readers.lock().remove(name);
         // Plan sharing: detach this query's reader from its shared
         // intermediate; the last subscriber retires the shared head.

@@ -161,6 +161,117 @@ impl ReEvalWindow {
         };
         Ok(execute(&self.plan, &src)?.chunk)
     }
+
+    /// Declare the input stream quiescent and close the remaining
+    /// window(s) at the horizon, draining the buffer.
+    ///
+    /// Online, a time window only closes when a tuple at/after its end
+    /// arrives *on this stream* — arrival order bounds the stream's own
+    /// timestamps, nothing else does. A stream that goes quiescent
+    /// therefore never closes its last window and the buffered tail is
+    /// never evaluated. Deciding quiescence online would need a timeout
+    /// oracle, so the close is explicit: `flush` evaluates every window
+    /// holding buffered tuples as if the stream had ended. A tuple
+    /// arriving afterwards below the flushed horizon is dropped — the
+    /// caller owns that soundness trade (see `docs/windows.md`).
+    ///
+    /// Count-based windows close on arrival count and never stall, but
+    /// for symmetry `flush` also evaluates their trailing partial window.
+    /// Follows the step discipline: deliver first, commit only on success.
+    pub fn flush(&self, tables: Option<&Catalog>) -> Result<StepOutcome> {
+        let (incoming, end) = self.input.snapshot_for_reader(self.reader);
+        let tuples_in = incoming.len();
+        let mut state = self.state.lock();
+        let mut buffer = if state.buffer.schema.is_empty() {
+            Chunk::empty(incoming.schema.clone())
+        } else {
+            state.buffer.clone()
+        };
+        buffer.append(&incoming)?;
+        let mut window_start = state.window_start;
+
+        let mut produced = 0;
+        let mut windows_run = 0;
+        let mut out: Option<Chunk> = None;
+        match self.spec {
+            WindowSpec::Count { size, slide } => {
+                while !buffer.is_empty() {
+                    let window = buffer.head(size.min(buffer.len()))?;
+                    let result = self.evaluate_window(&window, tables)?;
+                    produced += result.len();
+                    windows_run += 1;
+                    match &mut out {
+                        None => out = Some(result),
+                        Some(o) => o.append(&result)?,
+                    }
+                    let remaining = buffer.len();
+                    buffer = buffer.gather(&Candidates::Dense(slide.min(remaining)..remaining))?;
+                }
+            }
+            WindowSpec::Time {
+                size_micros,
+                slide_micros,
+            } => {
+                let ts_idx = buffer.schema.len() - 1;
+                while !buffer.is_empty() {
+                    let ts = buffer.columns[ts_idx].as_timestamps()?.to_vec();
+                    let w_start = window_start.unwrap_or(ts[0]);
+                    let w_end = w_start + size_micros;
+                    let in_window: Vec<usize> = ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &t)| t >= w_start && t < w_end)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if in_window.is_empty() {
+                        // A gap: jump to the first window that can hold the
+                        // oldest buffered tuple instead of grinding through
+                        // gap/slide empty evaluations.
+                        let first = ts[0];
+                        let n = ((first - w_start - size_micros) / slide_micros + 1).max(1);
+                        window_start = Some(w_start + n * slide_micros);
+                        continue;
+                    }
+                    let window = buffer.gather(&Candidates::from_sorted_unchecked(in_window))?;
+                    let result = self.evaluate_window(&window, tables)?;
+                    produced += result.len();
+                    windows_run += 1;
+                    match &mut out {
+                        None => out = Some(result),
+                        Some(o) => o.append(&result)?,
+                    }
+                    let new_start = w_start + slide_micros;
+                    window_start = Some(new_start);
+                    let keep: Vec<usize> = ts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &t)| t >= new_start)
+                        .map(|(i, _)| i)
+                        .collect();
+                    buffer = buffer.gather(&Candidates::from_sorted_unchecked(keep))?;
+                }
+            }
+        }
+
+        if let Some(chunk) = &out {
+            match &self.output {
+                FactoryOutput::Basket(b) => b.try_append_chunk(chunk)?,
+                FactoryOutput::BasketCarryTs(b) => b.try_append_chunk_carry_ts(chunk)?,
+                FactoryOutput::Discard => {}
+            }
+        }
+        state.buffer = buffer;
+        state.window_start = window_start;
+        drop(state);
+        self.windows_evaluated
+            .fetch_add(windows_run, Ordering::Relaxed);
+        self.input.commit_reader(self.reader, end);
+        Ok(StepOutcome {
+            tuples_in,
+            consumed: tuples_in,
+            produced,
+        })
+    }
 }
 
 impl Transition for ReEvalWindow {
@@ -774,6 +885,59 @@ mod tests {
         assert!(!inc.ready());
         assert_eq!(out_values(&inc_out), vec![3, 7]);
         assert_eq!(inc.windows_emitted(), 2);
+    }
+
+    #[test]
+    fn flush_closes_idle_stream_window_at_horizon() {
+        let (cat, input, out) = setup();
+        let w = ReEvalWindow::new(
+            "sumw",
+            "select sum(s.v) as value from [select * from w] as s",
+            &cat,
+            Arc::clone(&input),
+            WindowSpec::Time {
+                size_micros: 1000,
+                slide_micros: 1000,
+            },
+            FactoryOutput::Basket(Arc::clone(&out)),
+        )
+        .unwrap();
+        let mk = |vals: &[(i64, i64)]| {
+            Chunk::new(
+                Schema::new(vec![
+                    ("v".into(), DataType::Int),
+                    ("ts".into(), DataType::Timestamp),
+                ]),
+                vec![
+                    datacell_bat::Column::from_ints(vals.iter().map(|x| x.0).collect()),
+                    datacell_bat::Column::from_timestamps(vals.iter().map(|x| x.1).collect()),
+                ],
+            )
+            .unwrap()
+        };
+        // The stream goes quiescent mid-window: no tuple at/after 1000
+        // ever arrives, so stepping can never close the window (the
+        // online trigger is sound only because a later tuple on the same
+        // stream bounds its timestamps).
+        input
+            .append_chunk_carry_ts(&mk(&[(1, 0), (2, 400), (3, 900)]))
+            .unwrap();
+        w.step(None).unwrap();
+        assert_eq!(w.windows_evaluated(), 0, "window must not close online");
+        // The explicit close evaluates it at the horizon and drains.
+        w.flush(None).unwrap();
+        assert_eq!(out_values(&out), vec![6]);
+        assert_eq!(w.windows_evaluated(), 1);
+        assert!(!w.ready());
+        // Idempotent once drained.
+        w.flush(None).unwrap();
+        assert_eq!(out_values(&out), vec![6]);
+        // The stream may resume afterwards; later windows keep working.
+        input
+            .append_chunk_carry_ts(&mk(&[(7, 1500), (8, 2600)]))
+            .unwrap();
+        w.step(None).unwrap();
+        assert_eq!(out_values(&out), vec![6, 7]);
     }
 
     #[test]

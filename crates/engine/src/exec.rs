@@ -63,6 +63,9 @@ fn run(
             projection,
             schema,
             full_schema,
+            // The engine evaluates whatever snapshot the source hands it; the
+            // stream layer is responsible for shaping windowed snapshots.
+            window: _,
         } => {
             let raw = src.scan(table).map_err(SqlError::Kernel)?;
             if raw.schema.len() != full_schema.len() {

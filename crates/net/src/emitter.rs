@@ -16,10 +16,14 @@
 //!
 //! **Disconnects.** A failed write drops the [`Subscription`]; the
 //! engine-side emitter observes the closed channel mid-delivery, rewinds
-//! its claim, and deregisters its reader — no tuple is lost, and under
-//! [`SubscriptionMode::Shared`](datacell::SubscriptionMode) surviving pool
-//! members re-claim the rewound range (at-least-once, as documented on
-//! the mode).
+//! its claim, and deregisters its reader — no tuple is lost. Under
+//! [`SubscriptionMode::Shared`](datacell::SubscriptionMode) the bridge
+//! additionally pops rows *unacknowledged* and acks each burst only after
+//! its socket flush succeeds: rows popped for a client that died
+//! mid-burst were never acked, so the pool emitter's settlement rewinds
+//! them and a surviving member redelivers — exactly-once failover, with
+//! duplicates only when a failure races an in-flight flush (as documented
+//! on the mode).
 //!
 //! [`Subscription`]: datacell::Subscription
 
@@ -79,19 +83,21 @@ impl NetEmitter {
             }
             // Park briefly for the first row of a burst, then drain the
             // rest of the burst without blocking so it ships as one write.
-            match self.sub.next_timeout(Duration::from_millis(50)) {
+            match self.sub.next_timeout_unacked(Duration::from_millis(50)) {
                 Ok(Some(line)) => {
-                    // Count a burst as delivered only once its flush
-                    // succeeds — lines parked in the write buffer when the
-                    // client dies never reached the wire and must not
-                    // inflate `tuples_out`.
+                    // Count (and, for shared pools, acknowledge) a burst
+                    // only once its flush succeeds — lines parked in the
+                    // write buffer when the client dies never reached the
+                    // wire, must not inflate `tuples_out`, and must stay
+                    // unacked so the pool emitter rewinds them to a
+                    // surviving member instead of committing them lost.
                     let mut burst: u64 = 0;
                     if writeln!(out, "{line}").is_err() {
                         return; // client hung up: drop sub → claim rewinds
                     }
                     burst += 1;
                     loop {
-                        match self.sub.try_next() {
+                        match self.sub.try_next_unacked() {
                             Ok(Some(line)) => {
                                 if writeln!(out, "{line}").is_err() {
                                     return;
@@ -100,7 +106,7 @@ impl NetEmitter {
                             }
                             Ok(None) => break,
                             Err(_) => {
-                                if out.flush().is_ok() {
+                                if out.flush().is_ok() && self.confirm_burst(burst) {
                                     self.stats.tuples.fetch_add(burst, Ordering::Relaxed);
                                 }
                                 return; // query dropped / session stopped
@@ -109,6 +115,9 @@ impl NetEmitter {
                     }
                     if out.flush().is_err() {
                         return;
+                    }
+                    if !self.confirm_burst(burst) {
+                        return; // peer closed: burst stays unacked, rewinds
                     }
                     self.stats.tuples.fetch_add(burst, Ordering::Relaxed);
                 }
@@ -125,6 +134,30 @@ impl NetEmitter {
                 Err(_) => return, // query dropped / session stopped
             }
         }
+    }
+
+    /// Acknowledge a flushed burst on the shared-pool ledger — or refuse.
+    ///
+    /// A flush into a half-closed socket *succeeds* (the peer's kernel
+    /// RSTs only after the data arrives), so "flush ok" alone would ack
+    /// rows a dead client never read and the pool would commit them lost.
+    /// Probe the read side first: EOF means the peer has closed and will
+    /// never read what was flushed — leave the burst unacked so the pool
+    /// emitter rewinds it to a surviving member. The probe costs up to the
+    /// ~1 ms read timeout, so broadcast subscriptions (acks are no-ops,
+    /// and their reader dies with the bridge anyway) skip it entirely. A
+    /// peer dying between this probe and the client-side read remains
+    /// invisible — that is the documented racing-failure window where
+    /// shared delivery degrades to at-least-once.
+    fn confirm_burst(&self, burst: u64) -> bool {
+        if !self.sub.needs_ack() {
+            return true;
+        }
+        if !self.peer_alive() {
+            return false;
+        }
+        self.sub.ack_rows(burst);
+        true
     }
 
     /// One bounded read on the socket: `false` once the peer has closed.

@@ -197,13 +197,17 @@ pub struct Query {
 }
 
 impl Query {
-    /// True iff any table reference (recursively) is a basket expression —
-    /// the marker distinguishing continuous from one-time queries (§2.6:
-    /// "basket expressions may be part only of continuous queries, which
-    /// allows the system to distinguish between continuous and normal/
-    /// one-time queries").
+    /// True iff any table reference (recursively) is a basket expression or
+    /// a windowed stream source — the markers distinguishing continuous from
+    /// one-time queries (§2.6: "basket expressions may be part only of
+    /// continuous queries, which allows the system to distinguish between
+    /// continuous and normal/one-time queries"; a window clause implies the
+    /// same consuming stream read).
     pub fn is_continuous(&self) -> bool {
-        fn source_has_basket(s: &TableSource) -> bool {
+        fn source_has_basket(s: &TableSource, window: Option<&WindowSpec>) -> bool {
+            if window.is_some() {
+                return true;
+            }
             match s {
                 TableSource::Named(_) => false,
                 TableSource::Subquery(q) => q.is_continuous(),
@@ -211,17 +215,24 @@ impl Query {
             }
         }
         self.from.iter().any(|t| {
-            source_has_basket(&t.source) || t.joins.iter().any(|j| source_has_basket(&j.source))
+            source_has_basket(&t.source, t.window.as_ref())
+                || t.joins
+                    .iter()
+                    .any(|j| source_has_basket(&j.source, j.window.as_ref()))
         })
     }
 
     /// Collect the names of all baskets consumed through basket expressions
-    /// (the factory's *input baskets*, §2.3).
+    /// or windowed stream sources (the factory's *input baskets*, §2.3).
     pub fn basket_inputs(&self) -> Vec<String> {
         let mut out = Vec::new();
-        fn walk_source(s: &TableSource, out: &mut Vec<String>) {
+        fn walk_source(s: &TableSource, window: Option<&WindowSpec>, out: &mut Vec<String>) {
             match s {
-                TableSource::Named(_) => {}
+                TableSource::Named(n) => {
+                    if window.is_some() {
+                        out.push(n.clone());
+                    }
+                }
                 TableSource::Subquery(sub) => walk_query(sub, out),
                 TableSource::BasketExpr(sub) => {
                     // The innermost named FROM sources of the basket
@@ -229,12 +240,12 @@ impl Query {
                     for it in &sub.from {
                         match &it.source {
                             TableSource::Named(n) => out.push(n.clone()),
-                            other => walk_source(other, out),
+                            other => walk_source(other, it.window.as_ref(), out),
                         }
                         for j in &it.joins {
                             match &j.source {
                                 TableSource::Named(n) => out.push(n.clone()),
-                                other => walk_source(other, out),
+                                other => walk_source(other, j.window.as_ref(), out),
                             }
                         }
                     }
@@ -243,13 +254,30 @@ impl Query {
         }
         fn walk_query(q: &Query, out: &mut Vec<String>) {
             for t in &q.from {
-                walk_source(&t.source, out);
+                walk_source(&t.source, t.window.as_ref(), &mut *out);
                 for j in &t.joins {
-                    walk_source(&j.source, out);
+                    walk_source(&j.source, j.window.as_ref(), &mut *out);
                 }
             }
         }
         walk_query(self, &mut out);
+        out
+    }
+
+    /// Collect `(basket, window)` pairs for every windowed stream source in
+    /// the top-level FROM clause, in syntactic order.
+    pub fn windowed_inputs(&self) -> Vec<(String, WindowSpec)> {
+        let mut out = Vec::new();
+        for t in &self.from {
+            if let (TableSource::Named(n), Some(w)) = (&t.source, t.window) {
+                out.push((n.clone(), w));
+            }
+            for j in &t.joins {
+                if let (TableSource::Named(n), Some(w)) = (&j.source, j.window) {
+                    out.push((n.clone(), w));
+                }
+            }
+        }
         out
     }
 }
@@ -277,8 +305,70 @@ pub struct TableRef {
     pub source: TableSource,
     /// Alias (`AS s`); required for subqueries and basket expressions.
     pub alias: Option<String>,
+    /// Stream window clause (`[RANGE 10s SLIDE 5s]` / `[ROWS 100]`); only
+    /// valid on named basket sources, and marks the query continuous.
+    pub window: Option<WindowSpec>,
     /// Explicit `JOIN ... ON ...` chain hanging off this source.
     pub joins: Vec<Join>,
+}
+
+/// A per-source stream window clause.
+///
+/// `s [RANGE 10s SLIDE 5s]` re-evaluates over the tuples of the last 10
+/// seconds every 5 seconds of stream time; `s [ROWS 100 SLIDE 50]` over
+/// the last 100 tuples every 50 arrivals. `SLIDE` defaults to the window
+/// size (a tumbling window). Windows attach to named basket sources only:
+/// the windowed read is consuming (the stream engine buffers window state
+/// itself and advances a private reader cursor past served tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// `[ROWS size [SLIDE slide]]` — count-based window.
+    Count {
+        /// Window size in tuples.
+        size: u64,
+        /// Advance per evaluation, in tuples.
+        slide: u64,
+    },
+    /// `[RANGE size [SLIDE slide]]` — time-based window over arrival
+    /// timestamps, normalized to microseconds.
+    Time {
+        /// Window length in microseconds.
+        size_micros: i64,
+        /// Advance per evaluation in microseconds.
+        slide_micros: i64,
+    },
+}
+
+impl WindowSpec {
+    /// Check the size/slide invariants: both strictly positive and
+    /// `slide ≤ size` (a gap between windows would silently drop tuples).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        match *self {
+            WindowSpec::Count { size, slide } => {
+                if size == 0 || slide == 0 {
+                    Err("window size and slide must be positive".into())
+                } else if slide > size {
+                    Err(format!("window slide {slide} exceeds size {size}"))
+                } else {
+                    Ok(())
+                }
+            }
+            WindowSpec::Time {
+                size_micros,
+                slide_micros,
+            } => {
+                if size_micros <= 0 || slide_micros <= 0 {
+                    Err("window size and slide must be positive".into())
+                } else if slide_micros > size_micros {
+                    Err(format!(
+                        "window slide {slide_micros}us exceeds size {size_micros}us"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
 }
 
 /// What a [`TableRef`] reads from.
@@ -303,6 +393,8 @@ pub struct Join {
     pub source: TableSource,
     /// Right-hand alias.
     pub alias: Option<String>,
+    /// Stream window clause on the right-hand source (named baskets only).
+    pub window: Option<WindowSpec>,
     /// ON predicate (`None` only for CROSS).
     pub on: Option<Expr>,
 }
@@ -523,6 +615,7 @@ mod tests {
         TableRef {
             source: TableSource::Named(n.into()),
             alias: None,
+            window: None,
             joins: vec![],
         }
     }
@@ -548,6 +641,7 @@ mod tests {
         let basket = empty_query(vec![TableRef {
             source: TableSource::BasketExpr(Box::new(empty_query(vec![named("r")]))),
             alias: Some("s".into()),
+            window: None,
             joins: vec![],
         }]);
         assert!(basket.is_continuous());
@@ -555,15 +649,41 @@ mod tests {
     }
 
     #[test]
+    fn windowed_source_is_continuous() {
+        let mut tref = named("s1");
+        tref.window = Some(WindowSpec::Time {
+            size_micros: 10_000_000,
+            slide_micros: 5_000_000,
+        });
+        tref.joins.push(Join {
+            kind: JoinKind::Inner,
+            source: TableSource::Named("s2".into()),
+            alias: None,
+            window: Some(WindowSpec::Count {
+                size: 10,
+                slide: 10,
+            }),
+            on: None,
+        });
+        let q = empty_query(vec![tref]);
+        assert!(q.is_continuous());
+        assert_eq!(q.basket_inputs(), vec!["s1".to_string(), "s2".to_string()]);
+        assert_eq!(q.windowed_inputs().len(), 2);
+        assert_eq!(q.windowed_inputs()[0].0, "s1");
+    }
+
+    #[test]
     fn nested_subquery_continuity() {
         let inner = empty_query(vec![TableRef {
             source: TableSource::BasketExpr(Box::new(empty_query(vec![named("s")]))),
             alias: Some("x".into()),
+            window: None,
             joins: vec![],
         }]);
         let outer = empty_query(vec![TableRef {
             source: TableSource::Subquery(Box::new(inner)),
             alias: Some("y".into()),
+            window: None,
             joins: vec![],
         }]);
         assert!(outer.is_continuous());

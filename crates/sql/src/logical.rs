@@ -8,6 +8,7 @@
 
 use datacell_bat::aggregate::AggFunc;
 
+use crate::ast::WindowSpec;
 use crate::expr::ScalarExpr;
 use crate::schema::{ColumnDef, Schema};
 
@@ -41,6 +42,10 @@ pub enum LogicalPlan {
         /// Optional column pruning: physical positions to read. `None`
         /// reads everything. Output schema follows this list.
         projection: Option<Vec<usize>>,
+        /// Stream window clause on this scan (`s [RANGE 10s SLIDE 5s]`).
+        /// Windowed scans are always consuming; the stream layer routes
+        /// them to a windowed evaluator instead of a plain factory.
+        window: Option<WindowSpec>,
     },
     /// Row filter.
     Filter {
@@ -236,11 +241,16 @@ impl LogicalPlan {
                 consume,
                 predicate,
                 projection,
+                window,
                 ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Scan {table}{}{}{}\n",
+                    "{pad}Scan {table}{}{}{}{}\n",
                     if *consume { " [consume]" } else { "" },
+                    window
+                        .as_ref()
+                        .map(|w| format!(" window={w:?}"))
+                        .unwrap_or_default(),
                     predicate
                         .as_ref()
                         .map(|p| format!(" pred={p:?}"))
@@ -330,6 +340,7 @@ mod tests {
             consume: false,
             predicate: None,
             projection: None,
+            window: None,
         }
     }
 

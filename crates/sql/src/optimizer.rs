@@ -44,7 +44,10 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
 ///
 /// Returns `None` when the plan has no consuming scan or more than one
 /// (self-joins of a basket against itself interleave removal with the
-/// join and cannot safely share a materialized prefix).
+/// join and cannot safely share a materialized prefix), or when the scan
+/// carries a window clause — windowed scans are served by the windowed
+/// evaluator, whose buffered re-evaluation state is per-query and cannot
+/// ride a shared consume-once head factory.
 pub fn shared_prefix(plan: &LogicalPlan) -> Option<LogicalPlan> {
     let mut consuming: Vec<&LogicalPlan> = Vec::new();
     plan.walk(&mut |p| {
@@ -53,7 +56,7 @@ pub fn shared_prefix(plan: &LogicalPlan) -> Option<LogicalPlan> {
         }
     });
     match consuming.as_slice() {
-        [scan] => Some((*scan).clone()),
+        [scan] if matches!(scan, LogicalPlan::Scan { window: None, .. }) => Some((*scan).clone()),
         _ => None,
     }
 }
@@ -143,12 +146,14 @@ fn map_plan_exprs(plan: LogicalPlan, f: &dyn Fn(&ScalarExpr) -> ScalarExpr) -> L
             consume,
             predicate,
             projection,
+            window,
         } => LogicalPlan::Scan {
             table,
             schema,
             consume,
             predicate: predicate.as_ref().map(f),
             projection,
+            window,
         },
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
             input: Box::new(map_plan_exprs(*input, f)),
@@ -280,6 +285,7 @@ fn prune_to(plan: LogicalPlan, required: &[usize]) -> LogicalPlan {
             consume,
             predicate,
             projection,
+            window,
         } => {
             // Compose with an existing projection if present.
             let base: Vec<usize> = match &projection {
@@ -294,6 +300,7 @@ fn prune_to(plan: LogicalPlan, required: &[usize]) -> LogicalPlan {
                 consume,
                 predicate,
                 projection: if identity { None } else { Some(base) },
+                window,
             }
         }
         LogicalPlan::Project { input, exprs } => {
@@ -607,6 +614,13 @@ mod tests {
         // Two consuming scans → refuse to share.
         let joined = bound("select * from [select r.a from r join r2 on r.a = r2.a] as s");
         assert!(shared_prefix(&joined).is_none());
+
+        // Windowed scans → refuse to share (served by the windowed
+        // evaluator, not a shared head factory).
+        let windowed = bound("select r.a from r [rows 10]");
+        assert!(shared_prefix(&windowed).is_none());
+        let window_join = bound("select r.a from r [range 10s], r2 [range 5s] where r.a = r2.a");
+        assert!(shared_prefix(&window_join).is_none());
     }
 
     #[test]

@@ -530,9 +530,71 @@ impl Parser {
         }
     }
 
+    /// `[RANGE n[unit] [SLIDE n[unit]]]` / `[ROWS n [SLIDE n]]` after a
+    /// FROM-clause source. Consumed only when the bracket actually opens a
+    /// window clause (next token is RANGE or ROWS), so basket expressions
+    /// `[select ...]` stay unambiguous.
+    fn window_spec(&mut self) -> Result<Option<WindowSpec>> {
+        if self.peek_kind() != &TokenKind::LBracket {
+            return Ok(None);
+        }
+        let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+        if !matches!(next, Some(TokenKind::Ident(s)) if s == "range" || s == "rows") {
+            return Ok(None);
+        }
+        self.advance(); // `[`
+        let spec = if self.eat_kw("range") {
+            let size_micros = self.duration_micros()?;
+            let slide_micros = if self.eat_kw("slide") {
+                self.duration_micros()?
+            } else {
+                size_micros
+            };
+            WindowSpec::Time {
+                size_micros,
+                slide_micros,
+            }
+        } else {
+            self.expect_kw("rows")?;
+            let size = self.positive_int("window size")?;
+            let slide = if self.eat_kw("slide") {
+                self.positive_int("window slide")?
+            } else {
+                size
+            };
+            WindowSpec::Count { size, slide }
+        };
+        self.expect(&TokenKind::RBracket)?;
+        Ok(Some(spec))
+    }
+
+    /// A duration literal: a positive integer with an optional unit suffix
+    /// (`us`, `ms`, `s`, `m`, `h`; bare numbers are seconds), normalized to
+    /// microseconds. The lexer splits `10s` into `Int(10) Ident("s")`, so
+    /// both `10s` and `10 s` work.
+    fn duration_micros(&mut self) -> Result<i64> {
+        let n = self.positive_int("duration")? as i64;
+        let mult: i64 = match self.peek_kind() {
+            TokenKind::Ident(u) => match duration_unit_micros(u) {
+                Some(m) => {
+                    self.advance();
+                    m
+                }
+                None => 1_000_000,
+            },
+            _ => 1_000_000,
+        };
+        n.checked_mul(mult)
+            .ok_or_else(|| self.err_expected("duration within i64 microseconds"))
+    }
+
     fn table_ref(&mut self) -> Result<TableRef> {
         let source = self.table_source()?;
+        let mut window = self.window_spec()?;
         let alias = self.table_alias()?;
+        if window.is_none() {
+            window = self.window_spec()?;
+        }
         let mut joins = Vec::new();
         loop {
             let kind = if self.eat_kw("cross") {
@@ -547,7 +609,11 @@ impl Parser {
                 break;
             };
             let source = self.table_source()?;
+            let mut jwindow = self.window_spec()?;
             let alias = self.table_alias()?;
+            if jwindow.is_none() {
+                jwindow = self.window_spec()?;
+            }
             let on = if kind == JoinKind::Inner {
                 self.expect_kw("on")?;
                 Some(self.expr()?)
@@ -558,12 +624,14 @@ impl Parser {
                 kind,
                 source,
                 alias,
+                window: jwindow,
                 on,
             });
         }
         Ok(TableRef {
             source,
             alias,
+            window,
             joins,
         })
     }
@@ -921,6 +989,18 @@ fn is_join_keyword(s: &str) -> bool {
     matches!(s, "join" | "inner" | "cross" | "left" | "right" | "full")
 }
 
+/// Microseconds per duration unit in window clauses.
+fn duration_unit_micros(unit: &str) -> Option<i64> {
+    match unit {
+        "us" | "micros" | "microsecond" | "microseconds" => Some(1),
+        "ms" | "millis" | "millisecond" | "milliseconds" => Some(1_000),
+        "s" | "sec" | "secs" | "second" | "seconds" => Some(1_000_000),
+        "m" | "min" | "mins" | "minute" | "minutes" => Some(60_000_000),
+        "h" | "hour" | "hours" => Some(3_600_000_000),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1273,6 +1353,68 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse("select 1 from r extra garbage ; nonsense").is_err());
+    }
+
+    #[test]
+    fn window_specs_on_stream_sources() {
+        // The flagship cross-stream form: per-source RANGE/SLIDE windows.
+        let query = q("select * from s1 [range 10s slide 5s], s2 [range 5s] where s1.k = s2.k");
+        assert!(query.is_continuous());
+        assert_eq!(
+            query.from[0].window,
+            Some(WindowSpec::Time {
+                size_micros: 10_000_000,
+                slide_micros: 5_000_000,
+            })
+        );
+        assert_eq!(
+            query.from[1].window,
+            Some(WindowSpec::Time {
+                size_micros: 5_000_000,
+                slide_micros: 5_000_000,
+            })
+        );
+        assert_eq!(
+            query.basket_inputs(),
+            vec!["s1".to_string(), "s2".to_string()]
+        );
+
+        // Count windows, window after alias, and explicit JOIN syntax.
+        let query = q("select * from s1 as a [rows 100 slide 50] join s2 [rows 10] b on a.k = b.k");
+        assert_eq!(
+            query.from[0].window,
+            Some(WindowSpec::Count {
+                size: 100,
+                slide: 50
+            })
+        );
+        assert_eq!(
+            query.from[0].joins[0].window,
+            Some(WindowSpec::Count {
+                size: 10,
+                slide: 10
+            })
+        );
+        assert_eq!(query.from[0].joins[0].alias.as_deref(), Some("b"));
+
+        // Duration units normalize to microseconds; bare numbers are seconds.
+        let query = q("select * from s1 [range 500 ms slide 2]");
+        assert_eq!(
+            query.from[0].window,
+            Some(WindowSpec::Time {
+                size_micros: 500_000,
+                slide_micros: 2_000_000,
+            })
+        );
+
+        // A basket expression's bracket is not a window clause.
+        let query = q("select * from [select * from s1] as s");
+        assert!(query.from[0].window.is_none());
+
+        // Malformed windows are rejected.
+        assert!(parse("select * from s1 [range]").is_err());
+        assert!(parse("select * from s1 [rows 0]").is_err());
+        assert!(parse("select * from s1 [range 10s").is_err());
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub enum PhysicalPlan {
         predicate: Option<ScalarExpr>,
         /// Columns to emit (positions into the full schema); `None` = all.
         projection: Option<Vec<usize>>,
+        /// Stream window clause carried through from the logical scan; the
+        /// stream layer (not the engine) interprets it when it wires the
+        /// plan to a windowed evaluator.
+        window: Option<crate::ast::WindowSpec>,
         /// Cached output schema.
         schema: Schema,
     },
@@ -180,6 +184,24 @@ impl PhysicalPlan {
         out
     }
 
+    /// Windowed stream scans in the plan, in walk order: `(basket, spec)`.
+    /// Non-empty iff the query used `[RANGE ..]` / `[ROWS ..]` clauses; such
+    /// plans are executed by a windowed evaluator rather than a plain factory.
+    pub fn windowed_scans(&self) -> Vec<(String, crate::ast::WindowSpec)> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let PhysicalPlan::ScanTable {
+                table,
+                window: Some(w),
+                ..
+            } = p
+            {
+                out.push((table.clone(), *w));
+            }
+        });
+        out
+    }
+
     /// Depth-first pre-order walk.
     pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a PhysicalPlan)) {
         f(self);
@@ -214,10 +236,15 @@ impl PhysicalPlan {
                 consume,
                 predicate,
                 projection,
+                window,
                 ..
             } => out.push_str(&format!(
-                "{pad}ScanTable {table}{}{}{}\n",
+                "{pad}ScanTable {table}{}{}{}{}\n",
                 if *consume { " [consume]" } else { "" },
+                window
+                    .as_ref()
+                    .map(|w| format!(" window={w:?}"))
+                    .unwrap_or_default(),
                 predicate
                     .as_ref()
                     .map(|_| " [pred]".to_string())
@@ -297,6 +324,7 @@ fn lower(plan: LogicalPlan) -> Result<PhysicalPlan> {
             consume,
             predicate,
             projection,
+            window,
         } => {
             let out_schema = match &projection {
                 None => schema.clone(),
@@ -317,6 +345,7 @@ fn lower(plan: LogicalPlan) -> Result<PhysicalPlan> {
                 consume,
                 predicate,
                 projection,
+                window,
                 schema: out_schema,
             }
         }

@@ -257,8 +257,12 @@ impl Binder<'_> {
         let mut plan: Option<LogicalPlan> = None;
         let mut scope = Scope::default();
         for tref in from {
-            let (p, alias, schema) =
-                self.bind_source(&tref.source, tref.alias.clone(), consume_scans)?;
+            let (p, alias, schema) = self.bind_source(
+                &tref.source,
+                tref.alias.clone(),
+                tref.window.as_ref(),
+                consume_scans,
+            )?;
             plan = Some(match plan {
                 None => p,
                 Some(prev) => LogicalPlan::Cross {
@@ -284,6 +288,7 @@ impl Binder<'_> {
         &self,
         source: &TableSource,
         alias: Option<String>,
+        window: Option<&ast::WindowSpec>,
         consume_scans: bool,
     ) -> Result<(LogicalPlan, Option<String>, Schema)> {
         match source {
@@ -297,16 +302,33 @@ impl Binder<'_> {
                         "basket expressions may only consume baskets; {name} is a table"
                     )));
                 }
+                if let Some(w) = window {
+                    if !self.provider.is_basket(name) {
+                        return Err(SqlError::Bind(format!(
+                            "window clauses apply to stream baskets; {name} is a table"
+                        )));
+                    }
+                    w.validate().map_err(SqlError::Bind)?;
+                }
+                // A window clause implies a consuming stream read: the
+                // windowed evaluator owns a private reader cursor and
+                // advances it past served tuples.
                 let plan = LogicalPlan::Scan {
                     table: name.clone(),
                     schema: schema.clone(),
-                    consume: consume_scans,
+                    consume: consume_scans || window.is_some(),
                     predicate: None,
                     projection: None,
+                    window: window.copied(),
                 };
                 Ok((plan, alias.or_else(|| Some(name.clone())), schema))
             }
             TableSource::Subquery(sub) => {
+                if window.is_some() {
+                    return Err(SqlError::Bind(
+                        "window clauses apply only to named stream sources".into(),
+                    ));
+                }
                 let alias = alias
                     .ok_or_else(|| SqlError::Bind("derived table requires an alias".into()))?;
                 let plan = self.query(sub, false)?;
@@ -314,6 +336,11 @@ impl Binder<'_> {
                 Ok((plan, Some(alias), schema))
             }
             TableSource::BasketExpr(sub) => {
+                if window.is_some() {
+                    return Err(SqlError::Bind(
+                        "window clauses apply only to named stream sources".into(),
+                    ));
+                }
                 let alias = alias.ok_or_else(|| {
                     SqlError::Bind("basket expression requires an alias (… as S)".into())
                 })?;
@@ -334,8 +361,12 @@ impl Binder<'_> {
         consume_scans: bool,
     ) -> Result<LogicalPlan> {
         let left_width = scope.flat_len();
-        let (right, alias, schema) =
-            self.bind_source(&join.source, join.alias.clone(), consume_scans)?;
+        let (right, alias, schema) = self.bind_source(
+            &join.source,
+            join.alias.clone(),
+            join.window.as_ref(),
+            consume_scans,
+        )?;
         scope.push(alias, schema);
         match join.kind {
             JoinKind::Cross => Ok(LogicalPlan::Cross {
@@ -1162,6 +1193,7 @@ pub fn push_predicate(plan: LogicalPlan, pred: ScalarExpr) -> Result<LogicalPlan
                         consume,
                         predicate,
                         projection,
+                        window,
                     } if projection.is_none() => {
                         let merged = match predicate {
                             None => combined,
@@ -1173,6 +1205,7 @@ pub fn push_predicate(plan: LogicalPlan, pred: ScalarExpr) -> Result<LogicalPlan
                             consume,
                             predicate: Some(merged),
                             projection,
+                            window,
                         }
                     }
                     node => LogicalPlan::Filter {
@@ -1519,6 +1552,79 @@ mod tests {
         assert_eq!(bound[0], vec![Value::Int(2), Value::Float(1.0)]);
         // Arity mismatch.
         assert!(bind_insert_rows(&rows, Some(&["a".into()]), &schema).is_err());
+    }
+
+    #[test]
+    fn windowed_sources_bind_to_consuming_scans() {
+        let p = provider().with_basket("r2", Schema::new(vec![("a".into(), DataType::Int)]));
+        let stmt = parse("select r.a from r [range 10s slide 5s], r2 [rows 100] where r.a = r2.a")
+            .unwrap();
+        let q = match stmt {
+            crate::ast::Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let plan = bind_query(&q, &p).unwrap();
+        let mut consumed = plan.consumed_baskets();
+        consumed.sort();
+        assert_eq!(consumed, vec!["r".to_string(), "r2".to_string()]);
+        let mut windows = Vec::new();
+        plan.walk(&mut |pl| {
+            if let LogicalPlan::Scan {
+                table,
+                consume,
+                window: Some(w),
+                ..
+            } = pl
+            {
+                assert!(*consume, "windowed scans must consume");
+                windows.push((table.clone(), *w));
+            }
+        });
+        windows.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            windows,
+            vec![
+                (
+                    "r".to_string(),
+                    crate::ast::WindowSpec::Time {
+                        size_micros: 10_000_000,
+                        slide_micros: 5_000_000,
+                    }
+                ),
+                (
+                    "r2".to_string(),
+                    crate::ast::WindowSpec::Count {
+                        size: 100,
+                        slide: 100
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_on_table_rejected() {
+        let err = bind("select * from t [range 10s]").unwrap_err();
+        assert!(err.to_string().contains("stream baskets"), "{err}");
+    }
+
+    #[test]
+    fn window_slide_exceeding_size_rejected() {
+        let err = bind("select * from r [range 5s slide 10s]").unwrap_err();
+        assert!(err.to_string().contains("slide"), "{err}");
+    }
+
+    #[test]
+    fn window_on_subquery_rejected() {
+        // The parser only attaches windows after a source or alias, so the
+        // subquery form reaches the binder and must be rejected there.
+        let stmt = parse("select * from (select a from t) as s [rows 10]").unwrap();
+        let q = match stmt {
+            crate::ast::Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let err = bind_query(&q, &provider()).unwrap_err();
+        assert!(err.to_string().contains("named stream sources"), "{err}");
     }
 
     #[test]

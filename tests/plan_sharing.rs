@@ -128,6 +128,70 @@ fn set_plan_sharing_toggles_registration_path() {
 }
 
 #[test]
+fn set_plan_sharing_ack_states_toggle_scope() {
+    // The toggle affects future registrations only; the ack must say so
+    // and report how many live shared subplans it left untouched.
+    let c = cell(true);
+    c.execute("create basket s (a int)").unwrap();
+    for q in ["q1", "q2"] {
+        c.execute(&format!(
+            "create continuous query {q} as select s2.a from [select * from s] as s2"
+        ))
+        .unwrap();
+    }
+    assert_eq!(c.metrics().shared_subplans, 1);
+    let ack = c.execute("set plan sharing off").unwrap();
+    assert_eq!(
+        format!("{ack:?}"),
+        r#"Ack("set plan sharing off (affects future registrations; 1 shared subplan unchanged)")"#
+    );
+    // The existing shared node really is unchanged.
+    assert_eq!(c.metrics().shared_subplans, 1);
+    let ack = c.execute("set plan sharing on").unwrap();
+    assert_eq!(
+        format!("{ack:?}"),
+        r#"Ack("set plan sharing on (affects future registrations; 1 shared subplan unchanged)")"#
+    );
+    // Plural form with zero nodes.
+    let c2 = cell(true);
+    let ack = c2.execute("set plan sharing off").unwrap();
+    assert_eq!(
+        format!("{ack:?}"),
+        r#"Ack("set plan sharing off (affects future registrations; 0 shared subplans unchanged)")"#
+    );
+}
+
+#[test]
+fn windowed_scans_fall_through_plan_sharing() {
+    // Cross-stream windowed joins are multi-scan plans whose sources are
+    // shaped by the stream layer — never a shareable prefix. Two
+    // identical windowed queries must each run privately, and sharing-ON
+    // registration must not disturb their outputs.
+    let c = cell(true);
+    c.execute("create basket s1 (k int, a int)").unwrap();
+    c.execute("create basket s2 (k int, b int)").unwrap();
+    for q in ["w1", "w2"] {
+        c.execute(&format!(
+            "create continuous query {q} as \
+             select s1.k as k from s1 [rows 2], s2 [rows 2] \
+             where s1.k = s2.k order by k"
+        ))
+        .unwrap();
+    }
+    assert_eq!(
+        c.metrics().shared_subplans,
+        0,
+        "windowed plans never join shared nodes"
+    );
+    c.execute("insert into s1 values (1, 10), (2, 20)").unwrap();
+    c.execute("insert into s2 values (2, 200), (3, 300)")
+        .unwrap();
+    c.run_until_quiescent(10_000);
+    assert_eq!(ints(&c, "w1", 0), vec![2]);
+    assert_eq!(ints(&c, "w2", 0), vec![2]);
+}
+
+#[test]
 fn multi_basket_plans_fall_through_to_private_path() {
     let c = cell(true);
     c.execute("create basket s (a int)").unwrap();
