@@ -793,8 +793,31 @@ impl DataCell {
             .ok_or_else(|| {
                 DataCellError::Catalog(format!("unknown windowed continuous query {name}"))
             })?;
-        let cat = self.catalog.read();
-        wj.flush(Some(&cat.tables)).map(|_| ())
+        // Snapshot only the stored tables the plan scans, then release the
+        // catalog lock before draining: a flush evaluates every remaining
+        // window through the full plan, and holding the session-wide read
+        // lock for that long would block all DDL (CREATE/DROP) behind it.
+        // The join's input baskets also appear as plan scans but are served
+        // from the join's own window buffers, not the table catalog.
+        let inputs = wj.input_names();
+        let table_names: Vec<String> = wj
+            .scanned_tables()
+            .into_iter()
+            .filter(|t| !inputs.contains(t))
+            .collect();
+        if table_names.is_empty() {
+            return wj.flush(None).map(|_| ());
+        }
+        let mut tables = datacell_engine::Catalog::new();
+        {
+            let cat = self.catalog.read();
+            for t in &table_names {
+                let snap = cat.tables.table(t)?.snapshot();
+                tables.create_table(t, snap.schema.clone())?;
+                tables.table_mut(t)?.append_chunk(&snap)?;
+            }
+        }
+        wj.flush(Some(&tables)).map(|_| ())
     }
 
     /// True iff the named continuous query is paused.

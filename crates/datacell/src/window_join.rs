@@ -148,10 +148,19 @@ impl WindowJoin {
                  clause: windowed {names:?}, consumed {consumed:?}"
             )));
         }
-        let mut sides = Vec::with_capacity(windowed.len());
-        let mut states = Vec::with_capacity(windowed.len());
+        // Validate every side before registering any reader: a reader
+        // registered on an early side and then leaked by a later error
+        // would pin that basket's trim watermark forever (Side has no Drop;
+        // detach() only exists on a constructed WindowJoin).
+        let mut resolved = Vec::with_capacity(windowed.len());
         for (basket_name, spec) in &windowed {
             let basket = catalog.basket(basket_name)?;
+            let spec = to_runtime_spec(spec)?;
+            resolved.push((basket, spec));
+        }
+        let mut sides = Vec::with_capacity(resolved.len());
+        let mut states = Vec::with_capacity(resolved.len());
+        for (basket, spec) in resolved {
             let reader = basket.register_reader(true);
             states.push(SideState {
                 buffer: Chunk::empty(basket.schema().clone()),
@@ -163,7 +172,7 @@ impl WindowJoin {
             sides.push(Side {
                 basket,
                 reader,
-                spec: to_runtime_spec(spec)?,
+                spec,
             });
         }
         Ok(WindowJoin {
@@ -184,6 +193,12 @@ impl WindowJoin {
     /// Number of joint window evaluations so far.
     pub fn windows_evaluated(&self) -> u64 {
         self.windows_evaluated.load(Ordering::Relaxed)
+    }
+
+    /// Stored tables the compiled plan scans; the caller supplies their
+    /// contents at step/flush time.
+    pub fn scanned_tables(&self) -> Vec<String> {
+        self.plan.scanned_tables()
     }
 
     /// Input basket names, in plan walk order.
@@ -302,7 +317,13 @@ impl WindowJoin {
 
     fn step_inner(&self, tables: Option<&Catalog>, closing: bool) -> Result<StepOutcome> {
         // Snapshot every reader without committing; evaluate on working
-        // copies; deliver once; only then commit state and cursors.
+        // copies; deliver once; only then commit state and cursors. The
+        // whole snapshot→ingest→commit sequence runs under the state lock:
+        // flush arrives from the session thread outside the scheduler's
+        // conflict-key serialization, and a racing snapshot would ingest
+        // the same uncommitted rows on both callers, double-counting
+        // `arrived` and duplicating buffered tuples.
+        let mut state = self.state.lock();
         let snaps: Vec<(Chunk, u64)> = self
             .sides
             .iter()
@@ -310,7 +331,6 @@ impl WindowJoin {
             .collect();
         let tuples_in: usize = snaps.iter().map(|(c, _)| c.len()).sum();
 
-        let mut state = self.state.lock();
         let JoinState {
             sides: ref prior,
             next_eval,
@@ -345,6 +365,10 @@ impl WindowJoin {
         }
 
         // Settle the time anchor once every time-windowed side has data.
+        // Flush declares the inputs quiescent, so an empty time side can no
+        // longer contribute an earlier first-ts: anchor on whichever time
+        // sides do have data, or the sides that did buffer tuples could
+        // never drain (their windows would stay unanchored forever).
         let mut anchor = anchor;
         if anchor.is_none() {
             let time_firsts: Vec<Option<i64>> = self
@@ -354,7 +378,12 @@ impl WindowJoin {
                 .filter(|(s, _)| matches!(s.spec, WindowSpec::Time { .. }))
                 .map(|(_, st)| st.first_ts)
                 .collect();
-            if !time_firsts.is_empty() && time_firsts.iter().all(|f| f.is_some()) {
+            let settled = if closing {
+                time_firsts.iter().any(|f| f.is_some())
+            } else {
+                !time_firsts.is_empty() && time_firsts.iter().all(|f| f.is_some())
+            };
+            if settled {
                 anchor = time_firsts.into_iter().flatten().min();
             }
         }
@@ -402,8 +431,18 @@ impl WindowJoin {
                     Some(o) => o.append(&result)?,
                 }
             }
+            let before: usize = work.iter().map(|st| st.buffer.len()).sum();
             for (s, st) in self.sides.iter().zip(work.iter_mut()) {
                 Self::evict(s, st, anchor, k)?;
+            }
+            let after: usize = work.iter().map(|st| st.buffer.len()).sum();
+            // Backstop against a non-terminating flush: with no anchor a
+            // time side can never gather or evict, so a sweep that also
+            // moved nothing elsewhere will never drain by advancing k.
+            // (An anchored gap sweep legitimately passes empty windows —
+            // that case is excluded by `anchor.is_none()`.)
+            if closing && !all_complete && !any_tuples && after == before && anchor.is_none() {
+                break;
             }
             k += 1;
         }
@@ -420,12 +459,12 @@ impl WindowJoin {
         state.sides = work;
         state.next_eval = k;
         state.anchor = anchor;
-        drop(state);
-        self.windows_evaluated
-            .fetch_add(windows_run, Ordering::Relaxed);
         for (side, (_, end)) in self.sides.iter().zip(&snaps) {
             side.basket.commit_reader(side.reader, *end);
         }
+        drop(state);
+        self.windows_evaluated
+            .fetch_add(windows_run, Ordering::Relaxed);
         Ok(StepOutcome {
             tuples_in,
             consumed: tuples_in,
@@ -532,6 +571,23 @@ mod tests {
         (0..snap.len()).map(|i| (k[i], a[i], v[i])).collect()
     }
 
+    /// Build a `(k, a, ts)` chunk with hand-stamped timestamps.
+    fn stamp(rows: &[(i64, i64, i64)]) -> Chunk {
+        Chunk::new(
+            Schema::new(vec![
+                ("k".into(), DataType::Int),
+                ("a".into(), DataType::Int),
+                ("ts".into(), DataType::Timestamp),
+            ]),
+            vec![
+                datacell_bat::Column::from_ints(rows.iter().map(|r| r.0).collect()),
+                datacell_bat::Column::from_ints(rows.iter().map(|r| r.1).collect()),
+                datacell_bat::Column::from_timestamps(rows.iter().map(|r| r.2).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
     #[test]
     fn tumbling_count_join_pairs_windows_in_lockstep() {
         let (cat, left, right, out) = setup();
@@ -597,21 +653,6 @@ mod tests {
         );
         let wj = WindowJoin::from_plan("wj", plan, &cat, FactoryOutput::Basket(Arc::clone(&out)))
             .unwrap();
-        let stamp = |rows: &[(i64, i64, i64)]| {
-            Chunk::new(
-                Schema::new(vec![
-                    ("k".into(), DataType::Int),
-                    ("a".into(), DataType::Int),
-                    ("ts".into(), DataType::Timestamp),
-                ]),
-                vec![
-                    datacell_bat::Column::from_ints(rows.iter().map(|r| r.0).collect()),
-                    datacell_bat::Column::from_ints(rows.iter().map(|r| r.1).collect()),
-                    datacell_bat::Column::from_timestamps(rows.iter().map(|r| r.2).collect()),
-                ],
-            )
-            .unwrap()
-        };
         left.append_chunk_carry_ts(&stamp(&[(1, 10, 0), (2, 20, 900)]))
             .unwrap();
         right
@@ -645,21 +686,6 @@ mod tests {
         );
         let wj = WindowJoin::from_plan("wj", plan, &cat, FactoryOutput::Basket(Arc::clone(&out)))
             .unwrap();
-        let stamp = |rows: &[(i64, i64, i64)]| {
-            Chunk::new(
-                Schema::new(vec![
-                    ("k".into(), DataType::Int),
-                    ("a".into(), DataType::Int),
-                    ("ts".into(), DataType::Timestamp),
-                ]),
-                vec![
-                    datacell_bat::Column::from_ints(rows.iter().map(|r| r.0).collect()),
-                    datacell_bat::Column::from_ints(rows.iter().map(|r| r.1).collect()),
-                    datacell_bat::Column::from_timestamps(rows.iter().map(|r| r.2).collect()),
-                ],
-            )
-            .unwrap()
-        };
         left.append_chunk_carry_ts(&stamp(&[(1, 10, 0), (2, 20, 500)]))
             .unwrap();
         right
@@ -702,6 +728,105 @@ mod tests {
         let mut keys = wj.conflict_keys();
         keys.sort();
         assert_eq!(keys, vec!["s1".to_string(), "s2".to_string()]);
+    }
+
+    /// Regression: flush used to spin forever when a time-windowed side
+    /// never received a tuple — the common anchor stayed `None`, so window
+    /// chunks came back empty and eviction was a no-op on the side that
+    /// *did* buffer data, yet the flush loop only broke once every buffer
+    /// drained.
+    #[test]
+    fn flush_terminates_when_one_time_side_never_arrived() {
+        let (cat, left, _right, out) = setup();
+        let plan = compile(
+            &cat,
+            "select s1.k as k, s1.a as a, s2.b as b \
+             from s1 [range 1000us] , s2 [range 1000us] \
+             where s1.k = s2.k order by k",
+        );
+        let wj = WindowJoin::from_plan("wj", plan, &cat, FactoryOutput::Basket(Arc::clone(&out)))
+            .unwrap();
+        left.append_chunk_carry_ts(&stamp(&[(1, 10, 0), (2, 20, 2500)]))
+            .unwrap();
+        wj.step(None).unwrap();
+        assert_eq!(wj.windows_evaluated(), 0);
+        // Must return (anchoring on the sides that have data) and drain the
+        // left buffer; an empty partner contributes no join rows.
+        wj.flush(None).unwrap();
+        assert!(out_rows(&out).is_empty());
+        assert!(!wj.ready(), "flush committed the input cursors");
+        // The drained state is durable: a second flush is a clean no-op.
+        wj.flush(None).unwrap();
+        assert!(out_rows(&out).is_empty());
+    }
+
+    /// Regression: a failed `from_plan` must not leave reader cursors
+    /// registered on the sides it already resolved — a leaked reader pins
+    /// the basket's trim watermark forever.
+    #[test]
+    fn from_plan_error_unwinds_without_leaking_readers() {
+        let (mut cat, left, right, _out) = setup();
+        let plan = compile(&cat, JOIN_SQL);
+        let left_readers = left.reader_count();
+        let right_readers = right.reader_count();
+        // Invalidate one side after compilation; wiring must now fail.
+        cat.drop_basket("s2").unwrap();
+        assert!(WindowJoin::from_plan("bad", plan, &cat, FactoryOutput::Discard).is_err());
+        assert_eq!(left.reader_count(), left_readers);
+        assert_eq!(right.reader_count(), right_readers);
+    }
+
+    /// Regression: `flush` is called from the session thread, outside the
+    /// scheduler's conflict-key serialization, so `step_inner` invocations
+    /// can race. They used to snapshot the reader cursors before taking
+    /// the state lock, letting two racers ingest the same uncommitted rows
+    /// twice — duplicating buffered tuples and double-counting `arrived`.
+    /// Two concurrent steppers hit the identical code path, and with
+    /// tumbling `[rows 1]` windows a double-ingest shows up as duplicated
+    /// output rows (online steps never close an incomplete window, so the
+    /// full output is exactly predictable).
+    #[test]
+    fn concurrent_step_inner_calls_ingest_exactly_once() {
+        use std::thread;
+        let (cat, left, right, out) = setup();
+        let plan = compile(
+            &cat,
+            "select s1.k as k, s1.a as a, s2.b as b \
+             from s1 [rows 1] , s2 [rows 1] where s1.k = s2.k",
+        );
+        let wj = Arc::new(
+            WindowJoin::from_plan("wj", plan, &cat, FactoryOutput::Basket(Arc::clone(&out)))
+                .unwrap(),
+        );
+        const N: i64 = 256;
+        let stop = Arc::new(AtomicBool::new(false));
+        let steppers: Vec<_> = (0..2)
+            .map(|_| {
+                let wj = Arc::clone(&wj);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        wj.step(None).unwrap();
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for i in 0..N {
+            push(&left, &[(i, i)]);
+            push(&right, &[(i, i)]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for s in steppers {
+            s.join().unwrap();
+        }
+        // Every window is complete by now, so this drains the remainder
+        // without closing anything early.
+        wj.flush(None).unwrap();
+        let mut rows = out_rows(&out);
+        rows.sort_unstable();
+        let expect: Vec<(i64, i64, i64)> = (0..N).map(|i| (i, i, i)).collect();
+        assert_eq!(rows, expect);
     }
 
     #[test]
