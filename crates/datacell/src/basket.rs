@@ -50,6 +50,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::clock::now_micros;
 use crate::error::{DataCellError, Result};
+use crate::events::{EventKind, EventRing};
 
 /// Name of the implicit arrival-timestamp column.
 pub const TS_COLUMN: &str = "ts";
@@ -403,6 +404,9 @@ pub struct Basket {
     /// WAL size threshold (bytes) past which an append triggers a live
     /// checkpoint; `0` disables live checkpointing.
     wal_checkpoint_bytes: AtomicU64,
+    /// Optional engine-event ring (the session's): overflow decisions,
+    /// sheds, spill seals and WAL checkpoints are traced into it.
+    events: Mutex<Option<Arc<EventRing>>>,
 }
 
 impl Basket {
@@ -449,6 +453,7 @@ impl Basket {
             signal: Arc::new(Signal::new()),
             parent_signal: Mutex::new(None),
             wal_checkpoint_bytes: AtomicU64::new(DEFAULT_WAL_CHECKPOINT_BYTES),
+            events: Mutex::new(None),
         })
     }
 
@@ -548,6 +553,21 @@ impl Basket {
         *self.parent_signal.lock() = Some(parent);
     }
 
+    /// Attach an engine-event ring (e.g. the session's): overflow, shed,
+    /// spill-seal and WAL-checkpoint decisions on this basket are traced
+    /// into it.
+    pub fn set_events(&self, events: Arc<EventRing>) {
+        *self.events.lock() = Some(events);
+    }
+
+    /// Trace an event if a ring is attached; `detail` is only rendered
+    /// when it is.
+    fn record_event(&self, kind: EventKind, detail: impl FnOnce() -> String) {
+        if let Some(ring) = self.events.lock().as_ref() {
+            ring.record(kind, detail());
+        }
+    }
+
     fn notify(&self) {
         self.signal.notify();
         if let Some(p) = self.parent_signal.lock().as_ref() {
@@ -604,6 +624,12 @@ impl Basket {
             dropped = (inner.stats.shed - before) as usize;
         }
         if dropped > 0 {
+            self.record_event(EventKind::Shed, || {
+                format!(
+                    "{}: dropped {dropped} resident tuples (client-side shed)",
+                    self.name
+                )
+            });
             self.notify();
         }
         dropped
@@ -648,6 +674,12 @@ impl Basket {
         if !*counted {
             inner.stats.overflow_events += 1;
             *counted = true;
+            self.record_event(EventKind::Overflow, || {
+                format!(
+                    "{}: {resident} resident / capacity {cap}, batch of {want} under {:?}",
+                    self.name, inner.policy
+                )
+            });
         }
         // An empty basket admits an over-capacity batch whole: the bound
         // caps the standing backlog, not one batch — otherwise a bulk
@@ -690,6 +722,13 @@ impl Basket {
                 let evict = (resident + take).saturating_sub(cap);
                 inner.shed_head(evict);
                 inner.stats.shed += skip as u64;
+                self.record_event(EventKind::Shed, || {
+                    format!(
+                        "{}: dropped {} tuples ({evict} resident, {skip} incoming)",
+                        self.name,
+                        evict + skip
+                    )
+                });
                 Ok(Admission::Take { shed: skip, take })
             }
             OverflowPolicy::Spill { .. } => unreachable!("spill admits everything above"),
@@ -767,9 +806,18 @@ impl Basket {
         };
         let appended = inner.stats.appended - chunk.len() as u64;
         let base = inner.head_oid();
-        if let Err(e) = wal.checkpoint(appended, inner.stats.consumed, base, &chunk) {
-            inner.stats.storage_errors += 1;
-            eprintln!("basket {}: wal checkpoint failed: {e}", self.name);
+        match wal.checkpoint(appended, inner.stats.consumed, base, &chunk) {
+            Ok(()) => self.record_event(EventKind::WalCheckpoint, || {
+                format!(
+                    "{}: compacted to {} resident tuples",
+                    self.name,
+                    chunk.len()
+                )
+            }),
+            Err(e) => {
+                inner.stats.storage_errors += 1;
+                eprintln!("basket {}: wal checkpoint failed: {e}", self.name);
+            }
         }
     }
 
@@ -889,6 +937,9 @@ impl Basket {
                         let spill = inner.spill.as_mut().expect("checked above");
                         spill.rows += meta.rows;
                         spill.segments.push_back(meta);
+                        self.record_event(EventKind::SpillSeal, || {
+                            format!("{}: sealed {} tuples to disk", self.name, job.n)
+                        });
                     } else {
                         // Stale snapshot: the memory head moved under the
                         // in-flight seal. The rows' fate was decided by

@@ -103,6 +103,8 @@ pub struct DataCellBuilder {
     pub(crate) workers: usize,
     pub(crate) auto_start: bool,
     pub(crate) listen: Option<String>,
+    pub(crate) metrics_listen: Option<String>,
+    pub(crate) auth_token: Option<String>,
     pub(crate) data_dir: Option<std::path::PathBuf>,
     pub(crate) durability: Durability,
     pub(crate) plan_sharing: bool,
@@ -121,6 +123,8 @@ impl Default for DataCellBuilder {
             workers: default_workers(),
             auto_start: false,
             listen: None,
+            metrics_listen: None,
+            auth_token: None,
             data_dir: None,
             durability: Durability::Ephemeral,
             plan_sharing: false,
@@ -261,6 +265,28 @@ impl DataCellBuilder {
     /// `STREAM` / `SUBSCRIBE` clients speaking the [`crate::text`] framing.
     pub fn listen(mut self, addr: impl Into<String>) -> Self {
         self.listen = Some(addr.into());
+        self
+    }
+
+    /// Record an HTTP listen address (e.g. `"127.0.0.1:9090"`, or port `0`
+    /// for an ephemeral port) for the observability front door. As with
+    /// [`listen`](DataCellBuilder::listen), the session itself opens no
+    /// socket — `datacell-net`'s `HttpServer::start` reads this address
+    /// back via
+    /// [`DataCell::metrics_listen_addr`](crate::DataCell::metrics_listen_addr)
+    /// and serves `GET /metrics` (Prometheus text), `/healthz`, `/queries`
+    /// and `/events`.
+    pub fn metrics_listen(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_listen = Some(addr.into());
+        self
+    }
+
+    /// Require clients of the wire-protocol front door to authenticate
+    /// with `HELLO <token>` before `STREAM`/`SUBSCRIBE`/`EXEC`, and HTTP
+    /// observability clients to send `Authorization: Bearer <token>`.
+    /// Default: no authentication.
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
         self
     }
 

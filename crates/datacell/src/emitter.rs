@@ -160,6 +160,10 @@ pub struct RowSink {
     metrics: Option<Arc<SessionMetrics>>,
     cancel: Option<Arc<AtomicBool>>,
     ledger: Option<Arc<AckLedger>>,
+    /// Per-query end-to-end latency attribution: recorded for every
+    /// delivered tuple regardless of the session-metrics toggle (the
+    /// arrival `ts` rides on the tuple anyway).
+    query_latency: Option<Arc<LatencyHistogram>>,
 }
 
 impl RowSink {
@@ -170,6 +174,7 @@ impl RowSink {
             metrics,
             cancel: None,
             ledger: None,
+            query_latency: None,
         }
     }
 
@@ -178,6 +183,15 @@ impl RowSink {
     /// exactly-once shared failover.
     pub fn with_ledger(mut self, ledger: Arc<AckLedger>) -> Self {
         self.ledger = Some(ledger);
+        self
+    }
+
+    /// Record each delivered tuple's end-to-end latency (basket entry →
+    /// delivery) into the query's own histogram — the per-query
+    /// attribution behind
+    /// [`MetricsSnapshot::per_query_latency`](crate::metrics::MetricsSnapshot::per_query_latency).
+    pub fn with_query_latency(mut self, hist: Arc<LatencyHistogram>) -> Self {
+        self.query_latency = Some(hist);
         self
     }
 
@@ -221,12 +235,18 @@ impl Sink for RowSink {
             let ts = row.get(width).and_then(Value::as_int);
             row.truncate(width);
             self.push(row)?;
+            if let Some(t) = ts {
+                let lat = (now - t).max(0) as u64;
+                if let Some(h) = &self.query_latency {
+                    h.record(lat);
+                }
+                if let Some(m) = &self.metrics {
+                    m.latency.record(lat);
+                }
+            }
             // Count only rows that actually reached the subscriber.
             if let Some(m) = &self.metrics {
                 m.delivered.add(1);
-                if let Some(t) = ts {
-                    m.latency.record((now - t).max(0) as u64);
-                }
             }
         }
         Ok(())

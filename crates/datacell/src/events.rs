@@ -1,0 +1,186 @@
+//! Engine event tracing: a fixed-size ring buffer of recent engine
+//! events, readable via
+//! [`DataCell::recent_events`](crate::DataCell::recent_events) and the
+//! HTTP `GET /events` endpoint.
+//!
+//! The ring answers the post-hoc question "why did latency spike?": it
+//! holds the most recent firings, overflow/shed decisions, spill seals,
+//! recovery milestones, connection churn, and plan-sharing attach/detach
+//! transitions, each with a sequence number and a wall-clock timestamp.
+//! Recording is cheap — one short uncontended mutex section per event,
+//! never on the per-tuple path (events are batch-level: one per firing,
+//! per overflow decision, per connection) — and bounded: the ring holds
+//! [`EventRing::DEFAULT_CAPACITY`] entries and overwrites the oldest.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::now_micros;
+
+/// What kind of engine event happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A factory/transition firing completed (detail: name, tuples,
+    /// duration).
+    Firing,
+    /// A firing returned an error.
+    FiringError,
+    /// A bounded basket hit capacity (blocked or rejected an append).
+    Overflow,
+    /// A `ShedOldest` basket dropped resident tuples to make room.
+    Shed,
+    /// A spill basket sealed an in-memory run to a disk segment.
+    SpillSeal,
+    /// A persistent basket's WAL was compacted/checkpointed.
+    WalCheckpoint,
+    /// `DataCell::recover` rebuilt a basket from its WAL.
+    Recovery,
+    /// A continuous query was registered.
+    QueryRegistered,
+    /// A continuous query was dropped.
+    QueryDropped,
+    /// A continuous query attached to a shared subplan (plan sharing).
+    PlanShareAttach,
+    /// A continuous query detached from a shared subplan.
+    PlanShareDetach,
+    /// A network connection was accepted.
+    ConnOpen,
+    /// A network connection closed.
+    ConnClose,
+}
+
+impl EventKind {
+    /// Stable lowercase label (used by the JSON export and tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Firing => "firing",
+            EventKind::FiringError => "firing-error",
+            EventKind::Overflow => "overflow",
+            EventKind::Shed => "shed",
+            EventKind::SpillSeal => "spill-seal",
+            EventKind::WalCheckpoint => "wal-checkpoint",
+            EventKind::Recovery => "recovery",
+            EventKind::QueryRegistered => "query-registered",
+            EventKind::QueryDropped => "query-dropped",
+            EventKind::PlanShareAttach => "plan-share-attach",
+            EventKind::PlanShareDetach => "plan-share-detach",
+            EventKind::ConnOpen => "conn-open",
+            EventKind::ConnClose => "conn-close",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineEvent {
+    /// Monotone sequence number (counts every event ever recorded, so a
+    /// gap between consecutive returned events means the ring wrapped).
+    pub seq: u64,
+    /// Wall-clock microseconds (same clock as tuple `ts` stamps).
+    pub at_micros: i64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Human-readable detail: the object involved and its numbers.
+    pub detail: String,
+}
+
+/// Fixed-size ring of recent [`EngineEvent`]s (see module docs).
+#[derive(Debug)]
+pub struct EventRing {
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<EngineEvent>>,
+    capacity: usize,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Fresh ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) {
+        let event = EngineEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_micros: now_micros(),
+            kind,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Events ever recorded (including those the ring has since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<EngineEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// The most recent `n` retained events, oldest first.
+    pub fn recent_n(&self, n: usize) -> Vec<EngineEvent> {
+        let ring = self.ring.lock();
+        ring.iter()
+            .skip(ring.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_all() {
+        crate::clock::init();
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.record(EventKind::Firing, format!("q fired {i}"));
+        }
+        assert_eq!(ring.recorded(), 5);
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 2, "oldest two evicted");
+        assert_eq!(recent[2].seq, 4);
+        assert_eq!(recent[2].detail, "q fired 4");
+        assert!(recent.windows(2).all(|w| w[0].seq < w[1].seq));
+        let last = ring.recent_n(2);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].seq, 3);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(EventKind::Firing.label(), "firing");
+        assert_eq!(EventKind::PlanShareAttach.to_string(), "plan-share-attach");
+    }
+}

@@ -49,6 +49,7 @@ pub mod client;
 pub mod clock;
 pub mod emitter;
 pub mod error;
+pub mod events;
 pub mod factory;
 pub mod metrics;
 pub mod multiquery;
@@ -62,13 +63,17 @@ pub mod text;
 pub mod window;
 pub mod window_join;
 
+pub use datacell_bat::types::{DataType, Value};
+pub use datacell_engine::Chunk;
+
 pub use crate::basket::{Basket, BasketStats, Durability, OverflowPolicy, ReaderId};
 pub use crate::client::{
     DataCellBuilder, FromRow, FromValue, IntoRow, QueryHandle, StreamWriter, Subscription,
     SubscriptionMode,
 };
 pub use crate::error::{DataCellError, Result};
-pub use crate::metrics::MetricsSnapshot;
+pub use crate::events::{EngineEvent, EventKind, EventRing};
+pub use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use crate::scheduler::{Fairness, SchedulePolicy, SchedulerMetrics};
-pub use crate::session::DataCell;
+pub use crate::session::{CellResult, DataCell};
 pub use crate::window_join::WindowJoin;

@@ -64,7 +64,11 @@ impl LatencyHistogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    /// Approximate quantile, `q` in `[0, 1]`. Returns the covering
+    /// bucket's upper bound, clamped to the exact observed maximum — a
+    /// bucket bound above everything ever recorded would over-report (a
+    /// uniform 10 µs workload lands in bucket `[8, 16)`, and without the
+    /// clamp its p99 would read as 16 µs).
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -75,10 +79,34 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(self.max_micros());
             }
         }
         self.max_micros()
+    }
+
+    /// Sum of all observations in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram: per-bucket counts with their
+    /// upper bounds, totals, and the exact maximum. The bucket bounds are
+    /// exactly the Prometheus `le=` bounds of the exported histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((1u64 << (i + 1), n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum_micros: self.sum_micros(),
+            max_micros: self.max_micros(),
+        }
     }
 
     /// Reset all counters.
@@ -89,6 +117,50 @@ impl LatencyHistogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen copy of a [`LatencyHistogram`], embedded in
+/// [`MetricsSnapshot`] and rendered as a Prometheus histogram by the
+/// `datacell-net` HTTP endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(upper_bound_micros, count)`, ascending. The
+    /// bound is exclusive at record time (`[2^i, 2^(i+1))`), which makes
+    /// it usable directly as an inclusive Prometheus `le=` bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations in microseconds.
+    pub sum_micros: u64,
+    /// Exact maximum observation in microseconds.
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile over the frozen buckets, with the same
+    /// max-clamp as [`LatencyHistogram::quantile_micros`].
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bound.min(self.max_micros);
+            }
+        }
+        self.max_micros
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_micros as f64 / self.count as f64
     }
 }
 
@@ -239,8 +311,22 @@ pub struct MetricsSnapshot {
     pub delivery_rate: f64,
     /// Mean delivery latency in microseconds.
     pub mean_latency_micros: f64,
-    /// 99th-percentile delivery latency in microseconds (bucket bound).
+    /// 99th-percentile delivery latency in microseconds (bucket bound,
+    /// clamped to the observed maximum).
     pub p99_latency_micros: u64,
+    /// Session-wide end-to-end (basket entry → subscription delivery)
+    /// latency histogram. Populated when
+    /// [`DataCellBuilder::metrics`](crate::client::DataCellBuilder::metrics)
+    /// is enabled.
+    pub latency: HistogramSnapshot,
+    /// Per-continuous-query end-to-end latency histograms, one per query
+    /// with at least one subscription, keyed by query name. Always
+    /// recorded (independent of the session-metrics toggle): the arrival
+    /// timestamp rides on every tuple anyway, so attribution is free.
+    pub per_query_latency: Vec<(String, HistogramSnapshot)>,
+    /// Microseconds since the session was built — lets dashboards
+    /// correlate counter resets with restarts.
+    pub uptime_micros: u64,
     /// Scheduler passes executed.
     pub scheduler_passes: u64,
     /// Scheduler worker threads configured (1 = the sequential pass loop;
@@ -319,6 +405,25 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max() {
+        // A uniform 10 µs workload lands entirely in bucket [8, 16); the
+        // quantile must read 10 (the observed max), not the 16 µs bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        assert_eq!(h.quantile_micros(0.5), 10);
+        assert_eq!(h.quantile_micros(0.99), 10);
+        assert_eq!(h.quantile_micros(1.0), 10);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(16, 100)]);
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum_micros, 1000);
+        assert_eq!(snap.quantile_micros(0.99), 10);
+        assert!((snap.mean_micros() - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -96,7 +96,9 @@ use datacell_exec::{PoolSnapshot, WorkerPool};
 use crate::basket::Signal;
 use crate::catalog::StreamCatalog;
 use crate::error::{DataCellError, Result};
+use crate::events::{EventKind, EventRing};
 use crate::factory::{Factory, StepOutcome};
+use crate::metrics::{HistogramSnapshot, LatencyHistogram};
 
 /// A schedulable Petri-net transition. [`Factory`] is the canonical
 /// implementation; the window evaluators in [`crate::window`] are others.
@@ -261,6 +263,10 @@ struct Entry {
     /// every attempt, including deferred and failed ones (the metric of
     /// scheduler time this transition consumed).
     busy_micros: AtomicU64,
+    /// Distribution of per-firing durations (completed firings only):
+    /// where `busy_micros` says how much time a query consumed,
+    /// this says how it was shaped — many fast slices or few long stalls.
+    firing_hist: LatencyHistogram,
     /// Exponentially weighted moving average of the per-tuple cost in
     /// nanoseconds, fed by *successful* firings only (a deferred step runs
     /// the whole plan and then fails at delivery, adding time but no
@@ -419,6 +425,9 @@ pub struct SchedulerMetrics {
     /// [`Fairness::DeficitRoundRobin`] by `cost / (quantum × weight)`;
     /// a blowup here is the starvation alarm.
     pub consecutive_skips: u64,
+    /// Distribution of per-firing durations (completed firings only),
+    /// exported as a Prometheus histogram by the HTTP endpoint.
+    pub firing_micros: HistogramSnapshot,
 }
 
 struct Shared {
@@ -442,6 +451,17 @@ struct Shared {
     /// The execution pool of the current (or most recent) background run,
     /// kept after [`Scheduler::stop`] so its counters stay snapshotable.
     pool: Mutex<Option<Arc<WorkerPool>>>,
+    /// The session's event ring, when attached: firings and firing errors
+    /// are recorded here for `DataCell::recent_events` / `GET /events`.
+    events: Mutex<Option<Arc<EventRing>>>,
+}
+
+impl Shared {
+    fn record_event(&self, kind: EventKind, detail: impl FnOnce() -> String) {
+        if let Some(ring) = self.events.lock().as_ref() {
+            ring.record(kind, detail());
+        }
+    }
 }
 
 /// What happened when the scheduler tried to fire one entry.
@@ -479,9 +499,23 @@ impl Scheduler {
                 firing_keys: Mutex::new(HashSet::new()),
                 workers: AtomicUsize::new(1),
                 pool: Mutex::new(None),
+                events: Mutex::new(None),
             }),
             handle: Mutex::new(None),
         }
+    }
+
+    /// Attach the session's event ring: firings (with duration and tuple
+    /// count) and firing errors are traced into it.
+    pub fn set_events(&self, events: Arc<EventRing>) {
+        *self.shared.events.lock() = Some(events);
+    }
+
+    /// True while the background scheduling thread is running — the
+    /// readiness signal of the `/healthz` endpoint. Deterministic drives
+    /// (`run_until_quiescent`) work without it.
+    pub fn is_running(&self) -> bool {
+        self.handle.lock().is_some()
     }
 
     /// Set the worker-thread count used by [`Scheduler::start`] (clamped
@@ -563,6 +597,7 @@ impl Scheduler {
             weight: AtomicU32::new(policy.weight.max(1)),
             firings: AtomicU64::new(0),
             busy_micros: AtomicU64::new(0),
+            firing_hist: LatencyHistogram::new(),
             ewma_cost_nanos: AtomicU64::new(0),
             tuples_in: AtomicU64::new(0),
             deferrals: AtomicU64::new(0),
@@ -948,10 +983,18 @@ impl Scheduler {
                 entry.firings.fetch_add(1, Ordering::Relaxed);
                 shared.stats.firings.fetch_add(1, Ordering::Relaxed);
                 entry.record_cost(busy, out.tuples_in);
+                entry.firing_hist.record(busy);
                 entry
                     .tuples_in
                     .fetch_add(out.tuples_in as u64, Ordering::Relaxed);
                 entry.note_fired();
+                shared.record_event(EventKind::Firing, || {
+                    format!(
+                        "{} fired: {} tuples in {busy}µs",
+                        entry.factory.name(),
+                        out.tuples_in
+                    )
+                });
                 FireResult::Fired { busy_micros: busy }
             }
             // A bounded output basket turned the batch away: not an
@@ -968,6 +1011,9 @@ impl Scheduler {
             Err(e) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!("scheduler: factory {} failed: {e}", entry.factory.name());
+                shared.record_event(EventKind::FiringError, || {
+                    format!("{} failed: {e}", entry.factory.name())
+                });
                 *entry.ready_since.lock() = None;
                 FireResult::Errored
             }
@@ -1107,6 +1153,7 @@ impl Scheduler {
                     weight: e.weight.load(Ordering::Relaxed).max(1),
                     sched_delay_micros,
                     consecutive_skips: e.consecutive_skips.load(Ordering::Relaxed),
+                    firing_micros: e.firing_hist.snapshot(),
                 }
             })
             .collect()

@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use datacell_bat::candidates::Candidates;
 use datacell_bat::column::Column;
-use datacell_bat::types::DataType;
-use datacell_engine::{execute, Chunk, DataSource};
+use datacell_bat::types::{DataType, Value};
+use datacell_engine::{execute, execute_traced, Chunk, DataSource};
 use datacell_sql::ast::{BasketOptions, DropKind, OverflowSpec, QueryLifecycle, Statement};
 use datacell_sql::resolve::{bind_insert_rows, bind_query};
 use datacell_sql::{parser, Schema, SqlError};
@@ -37,8 +37,9 @@ use crate::client::{
 };
 use crate::emitter::{CollectSink, Emitter, RowSink, Sink, TextSink};
 use crate::error::{DataCellError, Result};
+use crate::events::{EngineEvent, EventKind, EventRing};
 use crate::factory::{Factory, FactoryOutput};
-use crate::metrics::{MetricsSnapshot, NetMetricsSource, SessionMetrics};
+use crate::metrics::{LatencyHistogram, MetricsSnapshot, NetMetricsSource, SessionMetrics};
 use crate::petri::PetriNet;
 use crate::planshare::{PlanShare, SharedNode};
 use crate::receptor::{Receptor, TupleSource};
@@ -86,6 +87,8 @@ pub(crate) struct CellConfig {
     pub(crate) subscription_channel: Option<usize>,
     pub(crate) metrics: Option<Arc<SessionMetrics>>,
     pub(crate) listen: Option<String>,
+    pub(crate) metrics_listen: Option<String>,
+    pub(crate) auth_token: Option<String>,
     pub(crate) data_dir: Option<PathBuf>,
     pub(crate) durability: Durability,
 }
@@ -154,6 +157,16 @@ pub struct DataCell {
     /// SHARING ON|OFF`). Toggling affects registration only; queries
     /// already sharing keep their wiring until dropped.
     plan_sharing: AtomicBool,
+    /// Ring of recent engine events (firings, overflow/shed, recovery,
+    /// connection churn …) — see [`DataCell::recent_events`].
+    events: Arc<EventRing>,
+    /// Per-query end-to-end latency histograms, fed by every subscription
+    /// sink of the query (basket entry → delivery). Kept across
+    /// pause/resume; removed on drop.
+    query_latency: Mutex<HashMap<String, Arc<LatencyHistogram>>>,
+    /// Engine-clock µs stamp taken at session construction
+    /// ([`MetricsSnapshot::uptime_micros`]).
+    started_micros: i64,
 }
 
 impl Default for DataCell {
@@ -181,6 +194,8 @@ impl DataCell {
         scheduler.set_fairness(builder.fairness);
         scheduler.set_workers(builder.workers);
         crate::clock::init();
+        let events = Arc::new(EventRing::default());
+        scheduler.set_events(Arc::clone(&events));
         let storage = match &builder.data_dir {
             Some(dir) => Some(Arc::new(SegmentStore::open(dir)?)),
             None => None,
@@ -196,6 +211,8 @@ impl DataCell {
                 subscription_channel: builder.subscription_channel,
                 metrics: builder.metrics.then(|| Arc::new(SessionMetrics::default())),
                 listen: builder.listen,
+                metrics_listen: builder.metrics_listen,
+                auth_token: builder.auth_token,
                 data_dir: builder.data_dir,
                 durability: builder.durability,
             },
@@ -215,6 +232,9 @@ impl DataCell {
             recovered: Mutex::new(HashSet::new()),
             plan_share: Mutex::new(PlanShare::default()),
             plan_sharing: AtomicBool::new(builder.plan_sharing),
+            events,
+            query_latency: Mutex::new(HashMap::new()),
+            started_micros: crate::clock::now_micros(),
         };
         if cell.config.durability == Durability::Persistent && cell.storage.is_none() {
             return Err(DataCellError::Storage(
@@ -247,6 +267,51 @@ impl DataCell {
     /// address; the `datacell-net` transport binds it.
     pub fn listen_addr(&self) -> Option<&str> {
         self.config.listen.as_deref()
+    }
+
+    /// The HTTP observability listen address configured through
+    /// [`DataCellBuilder::metrics_listen`], if any. As with
+    /// [`listen_addr`](DataCell::listen_addr) the session only records the
+    /// address; `datacell-net`'s `HttpServer` binds it.
+    pub fn metrics_listen_addr(&self) -> Option<&str> {
+        self.config.metrics_listen.as_deref()
+    }
+
+    /// The front-door authentication token configured through
+    /// [`DataCellBuilder::auth_token`], if any. Transports compare
+    /// `HELLO <token>` / `Authorization: Bearer <token>` against this.
+    pub fn auth_token(&self) -> Option<&str> {
+        self.config.auth_token.as_deref()
+    }
+
+    /// The retained engine events, oldest first (see [`EventRing`]).
+    pub fn recent_events(&self) -> Vec<EngineEvent> {
+        self.events.recent()
+    }
+
+    /// The most recent `n` retained engine events, oldest first.
+    pub fn recent_events_n(&self, n: usize) -> Vec<EngineEvent> {
+        self.events.recent_n(n)
+    }
+
+    /// Total engine events recorded since the session was built (monotone;
+    /// unlike [`recent_events`](Self::recent_events), unaffected by the
+    /// ring's retention limit).
+    pub fn events_recorded(&self) -> u64 {
+        self.events.recorded()
+    }
+
+    /// Record an engine event into the session's ring. Public so attached
+    /// transports (the `datacell-net` servers) can trace connection churn
+    /// alongside engine events.
+    pub fn record_event(&self, kind: EventKind, detail: impl Into<String>) {
+        self.events.record(kind, detail);
+    }
+
+    /// True while the scheduler's background thread is running — the
+    /// liveness half of the HTTP `/healthz` probe.
+    pub fn is_running(&self) -> bool {
+        self.scheduler.is_running()
     }
 
     /// Attach a network transport's counter source so
@@ -326,6 +391,7 @@ impl DataCell {
                 let (capacity, policy, persistent) = self.resolve_basket_config(&options)?;
                 let basket = self.catalog.write().create_basket(&name, user_schema)?;
                 basket.set_parent_signal(self.scheduler.signal());
+                basket.set_events(Arc::clone(&self.events));
                 // Engine-level capacity: receptors, factories and writers
                 // all hit the same bound.
                 basket.set_capacity(capacity, policy);
@@ -382,6 +448,10 @@ impl DataCell {
                     );
                     self.window_joins.lock().push(wj);
                     self.query_outputs.lock().insert(name.clone(), output);
+                    self.events.record(
+                        EventKind::QueryRegistered,
+                        format!("{name} (windowed, output {out_name})"),
+                    );
                     return Ok(CellResult::Ack(format!(
                         "registered continuous windowed query {name} (output basket {out_name})"
                     )));
@@ -405,6 +475,10 @@ impl DataCell {
                     .add_factory_with_policy(factory, self.config.default_policy);
                 self.factory_registry.lock().push(handle);
                 self.query_outputs.lock().insert(name.clone(), output);
+                self.events.record(
+                    EventKind::QueryRegistered,
+                    format!("{name} (output {out_name})"),
+                );
                 Ok(CellResult::Ack(format!(
                     "registered continuous query {name} (output basket {out_name})"
                 )))
@@ -537,7 +611,157 @@ impl DataCell {
                 let (plan, _) = datacell_sql::physical::plan(optimized)?;
                 Ok(CellResult::Plan(plan.display()))
             }
+            Statement::ExplainAnalyze(q) => {
+                // Same execution as a one-time SELECT — including the
+                // one-shot consumption of basket expressions (§2.6) — but
+                // traced, and rendering the annotated plan instead of the
+                // rows.
+                let cat = self.catalog.read();
+                let bound = bind_query(&q, &*cat)?;
+                let optimized = datacell_sql::optimizer::optimize(bound);
+                let (plan, _) = datacell_sql::physical::plan(optimized)?;
+                let (outcome, stats) =
+                    execute_traced(&plan, &CatalogSource(&cat)).map_err(sql_err)?;
+                for (basket, cands) in &outcome.consumed {
+                    cat.basket(basket)?.consume_positions(cands)?;
+                }
+                Ok(CellResult::Plan(plan.display_analyzed(&stats)))
+            }
+            Statement::ShowQueries => self.show_queries(),
+            Statement::ShowMetrics { query } => self.show_metrics(query.as_deref()),
         }
+    }
+
+    /// `SHOW QUERIES`: one row per registered continuous query with its
+    /// scheduler state and counters, ordered by name.
+    fn show_queries(&self) -> Result<CellResult> {
+        let queries: Vec<String> = {
+            let mut names: Vec<String> = self.query_outputs.lock().keys().cloned().collect();
+            names.sort();
+            names
+        };
+        let per_query = self.scheduler.transition_metrics();
+        let schema = Schema::new(vec![
+            ("query".into(), DataType::Str),
+            ("state".into(), DataType::Str),
+            ("output".into(), DataType::Str),
+            ("firings".into(), DataType::Int),
+            ("tuples_in".into(), DataType::Int),
+            ("busy_micros".into(), DataType::Int),
+            ("deferrals".into(), DataType::Int),
+            ("weight".into(), DataType::Int),
+        ]);
+        let mut columns: Vec<Column> = schema
+            .columns
+            .iter()
+            .map(|c| Column::with_capacity(c.ty, queries.len()))
+            .collect();
+        for name in &queries {
+            let state = match self.scheduler.is_paused(name) {
+                Ok(true) => "paused",
+                Ok(false) => "running",
+                // Shared-prefix tails are scheduled under the query's own
+                // name; anything unknown to the scheduler is draining.
+                Err(_) => "detached",
+            };
+            let output = self
+                .query_outputs
+                .lock()
+                .get(name)
+                .map(|b| b.name().to_string())
+                .unwrap_or_default();
+            let m = per_query.iter().find(|m| &m.name == name);
+            columns[0]
+                .push(&Value::Str(name.clone()))
+                .map_err(sql_err_kernel)?;
+            columns[1]
+                .push(&Value::Str(state.into()))
+                .map_err(sql_err_kernel)?;
+            columns[2]
+                .push(&Value::Str(output))
+                .map_err(sql_err_kernel)?;
+            let ints = [
+                m.map_or(0, |m| m.firings),
+                m.map_or(0, |m| m.tuples_in),
+                m.map_or(0, |m| m.busy_micros),
+                m.map_or(0, |m| m.deferrals),
+                m.map_or(1, |m| m.weight as u64),
+            ];
+            for (col, v) in columns[3..].iter_mut().zip(ints) {
+                col.push(&Value::Int(v as i64)).map_err(sql_err_kernel)?;
+            }
+        }
+        Ok(CellResult::Rows(
+            Chunk::new(schema, columns).map_err(|e| DataCellError::Sql(SqlError::Kernel(e)))?,
+        ))
+    }
+
+    /// `SHOW METRICS [FOR query]`: the metrics snapshot as (metric, value)
+    /// rows — session-wide without `FOR`, one query's counters with it.
+    fn show_metrics(&self, query: Option<&str>) -> Result<CellResult> {
+        let snap = self.metrics();
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        match query {
+            None => {
+                rows.push(("scheduler_passes".into(), snap.scheduler_passes as f64));
+                rows.push(("factory_firings".into(), snap.factory_firings as f64));
+                rows.push(("factory_errors".into(), snap.factory_errors as f64));
+                rows.push(("factory_deferrals".into(), snap.factory_deferrals as f64));
+                rows.push(("workers".into(), snap.workers as f64));
+                rows.push(("firings_parallel".into(), snap.firings_parallel as f64));
+                rows.push(("worker_steals".into(), snap.steals as f64));
+                rows.push(("tuples_ingested".into(), snap.tuples_ingested as f64));
+                rows.push(("ingest_rate".into(), snap.ingest_rate));
+                rows.push(("tuples_delivered".into(), snap.tuples_delivered as f64));
+                rows.push(("delivery_rate".into(), snap.delivery_rate));
+                rows.push(("mean_latency_micros".into(), snap.mean_latency_micros));
+                rows.push(("p99_latency_micros".into(), snap.p99_latency_micros as f64));
+                rows.push(("tuples_shed".into(), snap.tuples_shed as f64));
+                rows.push(("overflow_events".into(), snap.overflow_events as f64));
+                rows.push(("shared_subplans".into(), snap.shared_subplans as f64));
+                rows.push(("events_recorded".into(), self.events.recorded() as f64));
+                rows.push(("uptime_micros".into(), snap.uptime_micros as f64));
+            }
+            Some(q) => {
+                let m = snap.per_query.iter().find(|m| m.name == q).ok_or_else(|| {
+                    DataCellError::Catalog(format!("unknown continuous query {q}"))
+                })?;
+                rows.push(("firings".into(), m.firings as f64));
+                rows.push(("busy_micros".into(), m.busy_micros as f64));
+                rows.push(("tuples_in".into(), m.tuples_in as f64));
+                rows.push(("deferrals".into(), m.deferrals as f64));
+                rows.push(("weight".into(), m.weight as f64));
+                rows.push(("sched_delay_micros".into(), m.sched_delay_micros as f64));
+                rows.push(("consecutive_skips".into(), m.consecutive_skips as f64));
+                rows.push((
+                    "firing_p50_micros".into(),
+                    m.firing_micros.quantile_micros(0.5) as f64,
+                ));
+                rows.push((
+                    "firing_p99_micros".into(),
+                    m.firing_micros.quantile_micros(0.99) as f64,
+                ));
+                if let Some((_, h)) = snap.per_query_latency.iter().find(|(name, _)| name == q) {
+                    rows.push(("delivered_latency_count".into(), h.count as f64));
+                    rows.push(("latency_p50_micros".into(), h.quantile_micros(0.5) as f64));
+                    rows.push(("latency_p99_micros".into(), h.quantile_micros(0.99) as f64));
+                }
+            }
+        }
+        let schema = Schema::new(vec![
+            ("metric".into(), DataType::Str),
+            ("value".into(), DataType::Float),
+        ]);
+        let mut metric = Column::with_capacity(DataType::Str, rows.len());
+        let mut value = Column::with_capacity(DataType::Float, rows.len());
+        for (name, v) in rows {
+            metric.push(&Value::Str(name)).map_err(sql_err_kernel)?;
+            value.push(&Value::Float(v)).map_err(sql_err_kernel)?;
+        }
+        Ok(CellResult::Rows(
+            Chunk::new(schema, vec![metric, value])
+                .map_err(|e| DataCellError::Sql(SqlError::Kernel(e)))?,
+        ))
     }
 
     // ---------------- typed client facade ----------------
@@ -643,6 +867,16 @@ impl DataCell {
         let seq = self.emitter_seq.fetch_add(1, Ordering::Relaxed);
         let name = format!("emit-{query}#{seq}");
         let mut sink = RowSink::new(tx, self.config.metrics.clone());
+        // Per-query latency attribution: every subscription of a query
+        // feeds the query's one histogram, recorded independently of the
+        // session-metrics toggle.
+        let hist = Arc::clone(
+            self.query_latency
+                .lock()
+                .entry(query.to_string())
+                .or_default(),
+        );
+        sink = sink.with_query_latency(hist);
         // Shared pools commit drain-acknowledged (exactly-once failover):
         // the ledger pairs this sink's pushes with the subscription's
         // drains so the pool cursor only passes consumed rows. Broadcast
@@ -894,6 +1128,9 @@ impl DataCell {
         self.emitter_wiring
             .lock()
             .retain(|(n, _)| !stopped.contains(n));
+        self.query_latency.lock().remove(name);
+        self.events
+            .record(EventKind::QueryDropped, name.to_string());
         Ok(())
     }
 
@@ -976,6 +1213,7 @@ impl DataCell {
                                 let mut cat = self.catalog.write();
                                 let b = cat.create_basket(&mid_name, user_schema)?;
                                 b.set_parent_signal(self.scheduler.signal());
+                                b.set_events(Arc::clone(&self.events));
                                 b.set_capacity(capacity, policy);
                                 b
                             };
@@ -1041,6 +1279,14 @@ impl DataCell {
                 // scheduler busy time.
                 let _ = self.scheduler.set_weight(&head_name, weight);
                 self.query_outputs.lock().insert(name.to_string(), output);
+                self.events.record(
+                    EventKind::PlanShareAttach,
+                    format!("{name} attached to {mid_name} (head {head_name})"),
+                );
+                self.events.record(
+                    EventKind::QueryRegistered,
+                    format!("{name} (output {out_name}, shared prefix {mid_name})"),
+                );
                 Ok(Some(CellResult::Ack(format!(
                     "registered continuous query {name} \
                      (output basket {out_name}, shared prefix via {mid_name})"
@@ -1152,6 +1398,17 @@ impl DataCell {
         if let Ok(mid) = self.catalog.read().basket(&mid_name) {
             mid.unregister_reader(reader);
         }
+        self.events.record(
+            EventKind::PlanShareDetach,
+            format!(
+                "{name} detached from {mid_name}{}",
+                if retired.is_some() {
+                    " (last subscriber; shared head retired)"
+                } else {
+                    ""
+                }
+            ),
+        );
         match retired {
             Some(node) => self.retire_shared_node(&node),
             None => {
@@ -1197,6 +1454,7 @@ impl DataCell {
                     let mut cat = self.catalog.write();
                     let b = cat.create_basket(out_name, user_schema)?;
                     b.set_parent_signal(self.scheduler.signal());
+                    b.set_events(Arc::clone(&self.events));
                     // Bounded output baskets push backpressure into the
                     // factory itself (its step defers or stalls when
                     // subscribers fall behind).
@@ -1259,7 +1517,22 @@ impl DataCell {
             snap.delivery_rate = m.delivered.rate();
             snap.mean_latency_micros = m.latency.mean_micros();
             snap.p99_latency_micros = m.latency.quantile_micros(0.99);
+            snap.latency = m.latency.snapshot();
         }
+        {
+            // Per-query latency is attributed at the subscription sink and
+            // recorded unconditionally, independent of the session-metrics
+            // toggle.
+            let mut per_query: Vec<(String, crate::metrics::HistogramSnapshot)> = self
+                .query_latency
+                .lock()
+                .iter()
+                .map(|(q, h)| (q.clone(), h.snapshot()))
+                .collect();
+            per_query.sort_by(|a, b| a.0.cmp(&b.0));
+            snap.per_query_latency = per_query;
+        }
+        snap.uptime_micros = (crate::clock::now_micros() - self.started_micros).max(0) as u64;
         snap.net = self
             .net_metrics
             .lock()
@@ -1483,6 +1756,7 @@ impl DataCell {
                 .write()
                 .create_basket(&name, manifest.user_schema())?;
             basket.set_parent_signal(self.scheduler.signal());
+            basket.set_events(Arc::clone(&self.events));
             basket.set_capacity(capacity, policy);
             basket.attach_storage(bs.clone(), Some(wal_handle));
             basket.restore_contents(chunk, base_oid, appended, consumed)?;
@@ -1498,6 +1772,13 @@ impl DataCell {
             m.wal_bytes_torn
                 .fetch_add(replay.torn_bytes, Ordering::Relaxed);
             self.recovered.lock().insert(name.clone());
+            self.events.record(
+                EventKind::Recovery,
+                format!(
+                    "{name}: {resident} tuples from {} WAL bytes ({} torn)",
+                    replay.bytes_read, replay.torn_bytes
+                ),
+            );
             report.baskets.push(name);
             report.tuples += resident;
             report.wal_bytes += replay.bytes_read;
@@ -1659,6 +1940,10 @@ impl Drop for DataCell {
 
 fn sql_err(e: SqlError) -> DataCellError {
     DataCellError::Sql(e)
+}
+
+fn sql_err_kernel(e: datacell_bat::error::BatError) -> DataCellError {
+    DataCellError::Sql(SqlError::Kernel(e))
 }
 
 /// Map a SQL `OVERFLOW` clause onto the engine policy.

@@ -17,7 +17,7 @@ use datacell_bat::error::Result as BatResult;
 use datacell_bat::group::{group_by, Grouping};
 use datacell_bat::types::Value;
 use datacell_sql::expr::ScalarExpr;
-use datacell_sql::physical::{PhysAgg, PhysicalPlan};
+use datacell_sql::physical::{OpStats, PhysAgg, PhysicalPlan};
 use datacell_sql::{Result, Schema, SqlError};
 
 use crate::chunk::Chunk;
@@ -46,14 +46,55 @@ pub struct ExecOutcome {
 /// Execute `plan` against `src`.
 pub fn execute(plan: &PhysicalPlan, src: &dyn DataSource) -> Result<ExecOutcome> {
     let mut consumed = Vec::new();
-    let chunk = run(plan, src, &mut consumed)?;
+    let chunk = run(plan, src, &mut consumed, None)?;
     Ok(ExecOutcome { chunk, consumed })
 }
 
+/// Execute `plan` against `src`, additionally recording per-operator
+/// row counts and wall-clock time — the engine half of `EXPLAIN ANALYZE`.
+/// The returned stats vector holds one [`OpStats`] per plan node in
+/// depth-first pre-order (the [`PhysicalPlan::walk`] order), ready for
+/// [`PhysicalPlan::display_analyzed`].
+pub fn execute_traced(
+    plan: &PhysicalPlan,
+    src: &dyn DataSource,
+) -> Result<(ExecOutcome, Vec<OpStats>)> {
+    let mut consumed = Vec::new();
+    let mut stats = Vec::new();
+    let chunk = run(plan, src, &mut consumed, Some(&mut stats))?;
+    Ok((ExecOutcome { chunk, consumed }, stats))
+}
+
+/// Evaluate one node, reserving its pre-order trace slot before the
+/// children run (so slot order matches [`PhysicalPlan::walk`]) and filling
+/// it with the observed output count and elapsed time afterwards.
 fn run(
     plan: &PhysicalPlan,
     src: &dyn DataSource,
     consumed: &mut Vec<(String, Candidates)>,
+    mut trace: Option<&mut Vec<OpStats>>,
+) -> Result<Chunk> {
+    let slot = trace.as_deref_mut().map(|t| {
+        let i = t.len();
+        t.push(OpStats::default());
+        i
+    });
+    let start = slot.map(|_| std::time::Instant::now());
+    let out = run_node(plan, src, consumed, trace.as_deref_mut())?;
+    if let (Some(t), Some(i), Some(s)) = (trace, slot, start) {
+        t[i] = OpStats {
+            rows_out: out.len() as u64,
+            micros: s.elapsed().as_micros() as u64,
+        };
+    }
+    Ok(out)
+}
+
+fn run_node(
+    plan: &PhysicalPlan,
+    src: &dyn DataSource,
+    consumed: &mut Vec<(String, Candidates)>,
+    mut trace: Option<&mut Vec<OpStats>>,
 ) -> Result<Chunk> {
     match plan {
         PhysicalPlan::ScanTable {
@@ -95,7 +136,7 @@ fn run(
         PhysicalPlan::Filter {
             input, predicate, ..
         } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace.as_deref_mut())?;
             let cands = eval_predicate(predicate, &child)?;
             child.gather(&cands).map_err(SqlError::Kernel)
         }
@@ -104,7 +145,7 @@ fn run(
             exprs,
             schema,
         } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace.as_deref_mut())?;
             let columns = exprs
                 .iter()
                 .map(|(e, _)| eval(e, &child))
@@ -122,8 +163,8 @@ fn run(
             residual,
             schema,
         } => {
-            let lchunk = run(left, src, consumed)?;
-            let rchunk = run(right, src, consumed)?;
+            let lchunk = run(left, src, consumed, trace.as_deref_mut())?;
+            let rchunk = run(right, src, consumed, trace.as_deref_mut())?;
             let lkeys = left_keys
                 .iter()
                 .map(|k| eval(k, &lchunk))
@@ -147,8 +188,8 @@ fn run(
             right,
             schema,
         } => {
-            let lchunk = run(left, src, consumed)?;
-            let rchunk = run(right, src, consumed)?;
+            let lchunk = run(left, src, consumed, trace.as_deref_mut())?;
+            let rchunk = run(right, src, consumed, trace.as_deref_mut())?;
             let (ln, rn) = (lchunk.len(), rchunk.len());
             let mut lpos = Vec::with_capacity(ln * rn);
             let mut rpos = Vec::with_capacity(ln * rn);
@@ -166,19 +207,19 @@ fn run(
             aggs,
             schema,
         } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace.as_deref_mut())?;
             aggregate(&child, group, aggs, schema)
         }
         PhysicalPlan::Sort { input, keys, .. } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace.as_deref_mut())?;
             sort_chunk(child, keys)
         }
         PhysicalPlan::Limit { input, n, .. } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace.as_deref_mut())?;
             child.head(*n as usize).map_err(SqlError::Kernel)
         }
         PhysicalPlan::Distinct { input, .. } => {
-            let child = run(input, src, consumed)?;
+            let child = run(input, src, consumed, trace)?;
             distinct_chunk(child)
         }
         PhysicalPlan::ConstRow { exprs, schema } => {

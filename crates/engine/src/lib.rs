@@ -26,6 +26,6 @@ pub mod table;
 
 pub use crate::catalog::Catalog;
 pub use crate::chunk::Chunk;
-pub use crate::exec::{execute, DataSource, ExecOutcome};
+pub use crate::exec::{execute, execute_traced, DataSource, ExecOutcome};
 pub use crate::session::Session;
 pub use crate::table::Table;

@@ -173,6 +173,16 @@ impl Session {
                 let (plan, _) = datacell_sql::physical::plan(optimized)?;
                 Ok(StatementResult::Plan(plan.display()))
             }
+            Statement::ExplainAnalyze(q) => {
+                let bound = bind_query(&q, &self.catalog)?;
+                let optimized = datacell_sql::optimizer::optimize(bound);
+                let (plan, _) = datacell_sql::physical::plan(optimized)?;
+                let (_, stats) = crate::exec::execute_traced(&plan, &self.catalog)?;
+                Ok(StatementResult::Plan(plan.display_analyzed(&stats)))
+            }
+            Statement::ShowQueries | Statement::ShowMetrics { .. } => Err(SqlError::Plan(
+                "stream introspection requires a DataCell session (use datacell::DataCell)".into(),
+            )),
         }
     }
 }

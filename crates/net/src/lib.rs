@@ -56,11 +56,13 @@
 //! semantics are specified in `docs/protocol.md` at the repository root.
 
 pub mod emitter;
+pub mod http;
 pub mod protocol;
 pub mod receptor;
 pub mod server;
 
 pub use emitter::NetEmitter;
+pub use http::HttpServer;
 pub use protocol::{Handshake, StreamCommand, PROTOCOL_VERSION};
 pub use receptor::NetReceptor;
 pub use server::NetServer;

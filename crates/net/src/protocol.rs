@@ -15,9 +15,19 @@
 //!
 //! Keywords are case-insensitive; basket and query names are
 //! case-sensitive. Replies are a single line starting `OK ` or `ERR `;
-//! `ERR` is followed by a one-word category (`proto`, `decode`,
-//! `unknown-basket`, `unknown-query`, `internal`) and a human-readable
-//! message.
+//! `ERR` is followed by a one-word category (`proto`, `auth`, `decode`,
+//! `unknown-basket`, `unknown-query`, `sql`, `internal`) and a
+//! human-readable message.
+//!
+//! When the session was built with an
+//! [`auth_token`](datacell::DataCellBuilder::auth_token), the connection
+//! must authenticate first: `HELLO <token>` → `OK HELLO`. `PING` and
+//! `QUIT` stay available unauthenticated; anything else gets `ERR auth`.
+//!
+//! `EXEC <sql>` runs one introspection/DDL statement in the handshake
+//! state and leaves the connection there, so a client can interleave
+//! `SHOW QUERIES` / `SHOW METRICS` / `EXPLAIN ANALYZE` probes with pings
+//! before (or instead of) committing the socket to `STREAM`/`SUBSCRIBE`.
 
 use datacell::SubscriptionMode;
 
@@ -49,6 +59,18 @@ pub enum Handshake {
     Ping,
     /// `QUIT` — close the connection cleanly (`OK BYE`).
     Quit,
+    /// `HELLO <token>` — authenticate against the session's configured
+    /// token; answered `OK HELLO`, stays in the handshake state.
+    Hello {
+        /// The presented credential, compared verbatim.
+        token: String,
+    },
+    /// `EXEC <sql>` — run one SQL statement (introspection, DDL, one-time
+    /// query) and return its result inline; stays in the handshake state.
+    Exec {
+        /// Everything after the verb, passed to the SQL front end as-is.
+        sql: String,
+    },
 }
 
 /// Parse a handshake line; `Err` carries the message for the `ERR proto`
@@ -103,8 +125,33 @@ pub fn parse_handshake(line: &str) -> Result<Handshake, String> {
         }
         "PING" => Ok(Handshake::Ping),
         "QUIT" => Ok(Handshake::Quit),
+        "HELLO" => {
+            let Some(token) = words.next() else {
+                return Err("HELLO needs a token: HELLO <token>".into());
+            };
+            if words.next().is_some() {
+                return Err("HELLO takes exactly one argument: HELLO <token>".into());
+            }
+            Ok(Handshake::Hello {
+                token: token.to_string(),
+            })
+        }
+        "EXEC" => {
+            // The SQL is the rest of the line verbatim (it contains
+            // spaces), not a whitespace-split word.
+            let sql = line
+                .trim_start()
+                .get(verb.len()..)
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            if sql.is_empty() {
+                return Err("EXEC needs a statement: EXEC <sql>".into());
+            }
+            Ok(Handshake::Exec { sql })
+        }
         other => Err(format!(
-            "unknown verb {other}; expected STREAM, SUBSCRIBE, PING or QUIT"
+            "unknown verb {other}; expected STREAM, SUBSCRIBE, EXEC, HELLO, PING or QUIT"
         )),
     }
 }
@@ -181,6 +228,32 @@ mod tests {
                 basket: "Trades".into()
             })
         );
+    }
+
+    #[test]
+    fn hello_and_exec_parse() {
+        assert_eq!(
+            parse_handshake("hello s3cret"),
+            Ok(Handshake::Hello {
+                token: "s3cret".into()
+            })
+        );
+        assert_eq!(
+            parse_handshake("EXEC show queries"),
+            Ok(Handshake::Exec {
+                sql: "show queries".into()
+            })
+        );
+        // EXEC keeps the whole rest of the line, internal spaces included.
+        assert_eq!(
+            parse_handshake("exec  explain analyze select * from t "),
+            Ok(Handshake::Exec {
+                sql: "explain analyze select * from t".into()
+            })
+        );
+        assert!(parse_handshake("HELLO").unwrap_err().contains("token"));
+        assert!(parse_handshake("HELLO a b").unwrap_err().contains("one"));
+        assert!(parse_handshake("EXEC").unwrap_err().contains("statement"));
     }
 
     #[test]

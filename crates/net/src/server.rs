@@ -20,7 +20,7 @@ use datacell::error::{DataCellError, Result};
 use datacell::metrics::{
     NetConnectionKind, NetConnectionMetrics, NetMetricsSnapshot, NetMetricsSource,
 };
-use datacell::{DataCell, OverflowPolicy, SubscriptionMode};
+use datacell::{CellResult, DataCell, EventKind, OverflowPolicy, SubscriptionMode, Value};
 use datacell_sql::ColumnDef;
 use parking_lot::Mutex;
 
@@ -285,6 +285,9 @@ fn spawn_conn(state: &Arc<ServerState>, stream: TcpStream, peer: SocketAddr) {
     let Ok(registry_stream) = stream.try_clone() else {
         return;
     };
+    state
+        .cell
+        .record_event(EventKind::ConnOpen, format!("conn {id} from {peer}"));
     let thread_state = Arc::clone(state);
     let thread_stats = Arc::clone(&stats);
     let thread_done = Arc::clone(&done);
@@ -292,7 +295,15 @@ fn spawn_conn(state: &Arc<ServerState>, stream: TcpStream, peer: SocketAddr) {
     let handle = std::thread::Builder::new()
         .name(format!("datacell-net-conn-{id}"))
         .spawn(move || {
-            handle_connection(thread_state, stream, thread_stats);
+            handle_connection(&thread_state, stream, Arc::clone(&thread_stats));
+            let m = thread_stats.snapshot();
+            thread_state.cell.record_event(
+                EventKind::ConnClose,
+                format!(
+                    "conn {id} from {} ({:?} {}, {} tuples)",
+                    m.peer, m.kind, m.target, m.tuples
+                ),
+            );
             // Dropping the thread's own handles does not close the socket
             // while the registry still holds its clone; shut it down
             // explicitly so the peer sees the close as soon as the
@@ -315,9 +326,9 @@ fn spawn_conn(state: &Arc<ServerState>, stream: TcpStream, peer: SocketAddr) {
     }
 }
 
-/// Greet, read the handshake (PINGs may repeat), then hand the socket to a
-/// receptor or emitter until it closes.
-fn handle_connection(state: Arc<ServerState>, stream: TcpStream, stats: Arc<ConnStats>) {
+/// Greet, read the handshake (PINGs, HELLOs and EXECs may repeat), then
+/// hand the socket to a receptor or emitter until it closes.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, stats: Arc<ConnStats>) {
     let _ = stream.set_nodelay(true);
     // Accepted sockets must not inherit the listener's non-blocking mode;
     // bounded read timeouts keep the thread stop-responsive instead.
@@ -332,6 +343,9 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream, stats: Arc<Conn
     }
     let mut reader = BufReader::new(stream);
     let mut line = Vec::new();
+    // With no configured token every connection starts authenticated;
+    // with one, only PING/QUIT/HELLO are allowed until HELLO succeeds.
+    let mut authed = state.cell.auth_token().is_none();
     loop {
         if state.stop.load(Ordering::Relaxed) {
             return;
@@ -358,13 +372,46 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream, stats: Arc<Conn
                         let _ = writeln!(replies, "OK BYE");
                         return;
                     }
+                    Ok(Handshake::Hello { token }) => {
+                        match state.cell.auth_token() {
+                            Some(expected) if expected != token => {
+                                let _ = writeln!(
+                                    replies,
+                                    "{}",
+                                    protocol::err_line("auth", "bad token")
+                                );
+                                return;
+                            }
+                            _ => authed = true,
+                        }
+                        if writeln!(replies, "OK HELLO").is_err() || at_eof {
+                            return;
+                        }
+                    }
+                    Ok(Handshake::Stream { .. })
+                    | Ok(Handshake::Subscribe { .. })
+                    | Ok(Handshake::Exec { .. })
+                        if !authed =>
+                    {
+                        let _ = writeln!(
+                            replies,
+                            "{}",
+                            protocol::err_line("auth", "authentication required: HELLO <token>")
+                        );
+                        return;
+                    }
                     Ok(Handshake::Stream { basket }) => {
-                        serve_stream(&state, reader, replies, stats, &basket);
+                        serve_stream(state, reader, replies, stats, &basket);
                         return;
                     }
                     Ok(Handshake::Subscribe { query, mode }) => {
-                        serve_subscribe(&state, replies, stats, &query, mode);
+                        serve_subscribe(state, replies, stats, &query, mode);
                         return;
+                    }
+                    Ok(Handshake::Exec { sql }) => {
+                        if exec_reply(&mut replies, state.cell.execute(&sql)).is_err() || at_eof {
+                            return;
+                        }
                     }
                     Err(msg) => {
                         let _ = writeln!(replies, "{}", protocol::err_line("proto", &msg));
@@ -474,6 +521,54 @@ fn serve_subscribe(
     *stats.desc.lock() = (NetConnectionKind::Subscribe, query.to_string());
     let stop = Arc::clone(&state.stop);
     NetEmitter::new(sub, replies, stats, stop).run();
+}
+
+/// Render an `EXEC` outcome onto the socket. The first line tells the
+/// client what follows:
+///
+/// ```text
+/// OK EXEC ack <message>                      ← DDL acknowledged, no body
+/// OK EXEC affected <n>                       ← INSERT/DELETE, no body
+/// OK EXEC rows <n> <col:type,...>            ← n tuple lines follow
+/// OK EXEC plan <n>                           ← n plan-text lines follow
+/// ERR sql <message>                          ← statement failed
+/// ```
+fn exec_reply(replies: &mut TcpStream, result: Result<CellResult>) -> std::io::Result<()> {
+    match result {
+        Ok(CellResult::Ack(msg)) => {
+            writeln!(replies, "{}", one_frame(&format!("OK EXEC ack {msg}")))
+        }
+        Ok(CellResult::Affected(n)) => writeln!(replies, "OK EXEC affected {n}"),
+        Ok(CellResult::Plan(text)) => {
+            let lines: Vec<&str> = text.lines().collect();
+            writeln!(replies, "OK EXEC plan {}", lines.len())?;
+            for l in lines {
+                writeln!(replies, "{l}")?;
+            }
+            Ok(())
+        }
+        Ok(CellResult::Rows(chunk)) => {
+            let schema = render_cols(&chunk.schema.columns);
+            writeln!(replies, "OK EXEC rows {} {schema}", chunk.len())?;
+            for i in 0..chunk.len() {
+                let row: Vec<Value> = chunk
+                    .columns
+                    .iter()
+                    .map(|c| c.get(i).unwrap_or(Value::Nil))
+                    .collect();
+                writeln!(replies, "{}", datacell::text::render_row(&row))?;
+            }
+            Ok(())
+        }
+        Err(e) => writeln!(replies, "{}", protocol::err_line("sql", &e.to_string())),
+    }
+}
+
+/// Flatten newlines so a reply stays one frame.
+fn one_frame(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect()
 }
 
 /// Render columns as the compact `col:type,col:type` reply argument (no

@@ -96,6 +96,18 @@ pub enum Statement {
     },
     /// `EXPLAIN select` — render the optimized plan.
     Explain(Query),
+    /// `EXPLAIN ANALYZE select` — run the plan over the current contents
+    /// and render it with per-operator rows-in / rows-out / time.
+    ExplainAnalyze(Query),
+    /// `SHOW QUERIES` — one row per registered continuous query with its
+    /// scheduler state and counters.
+    ShowQueries,
+    /// `SHOW METRICS [FOR query]` — the session metrics snapshot as
+    /// (metric, value) rows; `FOR` narrows to one query's counters.
+    ShowMetrics {
+        /// Restrict to one continuous query's counters.
+        query: Option<String>,
+    },
 }
 
 /// Optional storage clauses of `CREATE BASKET` (defaults come from the
@@ -171,6 +183,9 @@ impl Statement {
             Statement::SetSchedulerWorkers { .. } => "SET SCHEDULER WORKERS",
             Statement::SetPlanSharing { .. } => "SET PLAN SHARING",
             Statement::Explain(_) => "EXPLAIN",
+            Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE",
+            Statement::ShowQueries => "SHOW QUERIES",
+            Statement::ShowMetrics { .. } => "SHOW METRICS",
         }
     }
 }

@@ -162,12 +162,34 @@ impl Parser {
             return self.set_query_weight();
         }
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                return Ok(Statement::ExplainAnalyze(self.query()?));
+            }
             return Ok(Statement::Explain(self.query()?));
+        }
+        if self.eat_kw("show") {
+            return self.show();
         }
         if self.peek_kw("select") {
             return Ok(Statement::Select(self.query()?));
         }
         Err(self.err_expected("statement keyword"))
+    }
+
+    /// `SHOW QUERIES` | `SHOW METRICS [FOR query]`.
+    fn show(&mut self) -> Result<Statement> {
+        if self.eat_kw("queries") {
+            return Ok(Statement::ShowQueries);
+        }
+        if self.eat_kw("metrics") {
+            let query = if self.eat_kw("for") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::ShowMetrics { query });
+        }
+        Err(self.err_expected("QUERIES or METRICS after SHOW"))
     }
 
     fn create(&mut self) -> Result<Statement> {
@@ -1307,6 +1329,35 @@ mod tests {
         assert!(parse("set plan sharing maybe").is_err());
         assert!(parse("set plan on").is_err());
         assert!(parse("set sharing on").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_and_show() {
+        assert!(matches!(
+            parse("explain select * from t").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t WHERE a > 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        assert_eq!(parse("show queries").unwrap(), Statement::ShowQueries);
+        assert_eq!(
+            parse("SHOW METRICS").unwrap(),
+            Statement::ShowMetrics { query: None }
+        );
+        assert_eq!(
+            parse("show metrics for cq").unwrap(),
+            Statement::ShowMetrics {
+                query: Some("cq".into())
+            }
+        );
+        // `analyze` only combines with a following SELECT; `show` needs
+        // its object.
+        assert!(parse("explain analyze").is_err());
+        assert!(parse("show").is_err());
+        assert!(parse("show tables").is_err());
+        assert!(parse("show metrics for").is_err());
     }
 
     #[test]

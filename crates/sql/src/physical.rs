@@ -24,6 +24,20 @@ pub struct PhysAgg {
     pub name: String,
 }
 
+/// Per-operator runtime statistics collected by the engine's traced
+/// execution (`EXPLAIN ANALYZE`), one entry per plan node in depth-first
+/// pre-order — the same order [`PhysicalPlan::walk`] visits nodes, so
+/// [`PhysicalPlan::display_analyzed`] can zip stats back onto the tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Rows this operator emitted.
+    pub rows_out: u64,
+    /// Wall-clock microseconds spent in this operator *including* its
+    /// children (the interpreter is recursive; subtract child times for
+    /// self time).
+    pub micros: u64,
+}
+
 /// Executable plan tree. Every node carries its output schema.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -221,6 +235,22 @@ impl PhysicalPlan {
         }
     }
 
+    /// Direct children in evaluation order (joins: left then right) —
+    /// the order [`PhysicalPlan::walk`] recurses and the engine executes.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::ScanTable { .. } | PhysicalPlan::ConstRow { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoop { left, right, .. } => vec![left, right],
+        }
+    }
+
     /// Indented rendering for EXPLAIN.
     pub fn display(&self) -> String {
         let mut s = String::new();
@@ -228,8 +258,61 @@ impl PhysicalPlan {
         s
     }
 
+    /// Indented rendering for EXPLAIN ANALYZE: the same tree as
+    /// [`display`](PhysicalPlan::display), each line annotated with the
+    /// operator's observed `rows_in` / `rows_out` / `time` from a traced
+    /// execution. `stats` is the pre-order vector the engine's
+    /// `execute_traced` produced for *this* plan; `rows_in` is derived as
+    /// the sum of the direct children's `rows_out` (a leaf reads its own
+    /// output count: scans emit what they select).
+    pub fn display_analyzed(&self, stats: &[OpStats]) -> String {
+        let mut s = String::new();
+        let mut idx = 0;
+        self.fmt_analyzed_into(&mut s, 0, stats, &mut idx);
+        s
+    }
+
+    fn fmt_analyzed_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        stats: &[OpStats],
+        idx: &mut usize,
+    ) -> u64 {
+        let my = stats.get(*idx).copied().unwrap_or_default();
+        *idx += 1;
+        // Children render into a scratch buffer first: the parent's line
+        // needs their rows_out (its rows_in) but must precede them.
+        let mut child_buf = String::new();
+        let mut rows_in = 0u64;
+        let children = self.children();
+        for child in &children {
+            rows_in += child.fmt_analyzed_into(&mut child_buf, depth + 1, stats, idx);
+        }
+        if children.is_empty() {
+            rows_in = my.rows_out;
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.node_line());
+        out.push_str(&format!(
+            " (rows_in={} rows_out={} time={}us)\n",
+            rows_in, my.rows_out, my.micros
+        ));
+        out.push_str(&child_buf);
+        my.rows_out
+    }
+
     fn fmt_into(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.node_line());
+        out.push('\n');
+        for child in self.children() {
+            child.fmt_into(out, depth + 1);
+        }
+    }
+
+    /// One operator's EXPLAIN line, without indentation or newline.
+    fn node_line(&self) -> String {
         match self {
             PhysicalPlan::ScanTable {
                 table,
@@ -238,8 +321,8 @@ impl PhysicalPlan {
                 projection,
                 window,
                 ..
-            } => out.push_str(&format!(
-                "{pad}ScanTable {table}{}{}{}{}\n",
+            } => format!(
+                "ScanTable {table}{}{}{}{}",
                 if *consume { " [consume]" } else { "" },
                 window
                     .as_ref()
@@ -253,56 +336,25 @@ impl PhysicalPlan {
                     .as_ref()
                     .map(|p| format!(" cols={p:?}"))
                     .unwrap_or_default()
-            )),
-            PhysicalPlan::Filter { input, .. } => {
-                out.push_str(&format!("{pad}Filter\n"));
-                input.fmt_into(out, depth + 1);
-            }
-            PhysicalPlan::Project { input, exprs, .. } => {
+            ),
+            PhysicalPlan::Filter { .. } => "Filter".into(),
+            PhysicalPlan::Project { exprs, .. } => {
                 let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
-                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
-                input.fmt_into(out, depth + 1);
+                format!("Project [{}]", names.join(", "))
             }
-            PhysicalPlan::HashJoin {
-                left,
-                right,
-                left_keys,
-                ..
-            } => {
-                out.push_str(&format!("{pad}HashJoin ({} keys)\n", left_keys.len()));
-                left.fmt_into(out, depth + 1);
-                right.fmt_into(out, depth + 1);
+            PhysicalPlan::HashJoin { left_keys, .. } => {
+                format!("HashJoin ({} keys)", left_keys.len())
             }
-            PhysicalPlan::NestedLoop { left, right, .. } => {
-                out.push_str(&format!("{pad}NestedLoop\n"));
-                left.fmt_into(out, depth + 1);
-                right.fmt_into(out, depth + 1);
+            PhysicalPlan::NestedLoop { .. } => "NestedLoop".into(),
+            PhysicalPlan::HashAggregate { group, aggs, .. } => {
+                format!("HashAggregate groups={} aggs={}", group.len(), aggs.len())
             }
-            PhysicalPlan::HashAggregate {
-                input, group, aggs, ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}HashAggregate groups={} aggs={}\n",
-                    group.len(),
-                    aggs.len()
-                ));
-                input.fmt_into(out, depth + 1);
-            }
-            PhysicalPlan::Sort { input, keys, .. } => {
-                out.push_str(&format!("{pad}Sort {keys:?}\n"));
-                input.fmt_into(out, depth + 1);
-            }
-            PhysicalPlan::Limit { input, n, .. } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.fmt_into(out, depth + 1);
-            }
-            PhysicalPlan::Distinct { input, .. } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.fmt_into(out, depth + 1);
-            }
+            PhysicalPlan::Sort { keys, .. } => format!("Sort {keys:?}"),
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::Distinct { .. } => "Distinct".into(),
             PhysicalPlan::ConstRow { exprs, .. } => {
                 let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
-                out.push_str(&format!("{pad}ConstRow [{}]\n", names.join(", ")));
+                format!("ConstRow [{}]", names.join(", "))
             }
         }
     }
